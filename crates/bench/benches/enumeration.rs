@@ -1,0 +1,43 @@
+//! Criterion bench: near-critical path enumeration cost as a function of
+//! the confidence constant `C` — the paper's `O(κ·|E|)` claim means the
+//! cost should track the number of qualifying paths κ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use statim_core::characterize::characterize_placed;
+use statim_core::enumerate::near_critical_paths;
+use statim_core::longest_path::topo_labels;
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Placement, PlacementStyle};
+use statim_process::Technology;
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let tech = Technology::cmos130();
+    let circuit = iscas85::generate(Benchmark::C1355);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let timing = characterize_placed(&circuit, &tech, &placement).expect("characterize");
+    let labels = topo_labels(&circuit, &timing).expect("labels");
+    let d = labels.critical_delay(&circuit).expect("critical delay");
+    let mut group = c.benchmark_group("enumeration_c1355");
+    for &frac in &[0.999f64, 0.99, 0.97, 0.95] {
+        let threshold = d * frac;
+        let kappa = near_critical_paths(&circuit, &timing, &labels, threshold, 5_000_000)
+            .expect("enumerate")
+            .paths
+            .len();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{frac}_k{kappa}")),
+            &threshold,
+            |b, &thr| {
+                b.iter(|| {
+                    near_critical_paths(black_box(&circuit), &timing, &labels, thr, 5_000_000)
+                        .expect("enumerate")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

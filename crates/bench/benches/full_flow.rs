@@ -1,0 +1,33 @@
+//! Criterion bench: the complete SSTA flow per benchmark — the run-time
+//! column of the paper's Table 2. Run-times are strong functions of the
+//! number of near-critical paths (κ) and of the QUALITY settings, as the
+//! paper's §4 discusses; c1355 and c6288 dominate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use statim_core::engine::{SstaConfig, SstaEngine};
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Placement, PlacementStyle};
+use std::hint::black_box;
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_flow");
+    group.sample_size(10);
+    for (bench, confidence) in [
+        (Benchmark::C432, 0.05),
+        (Benchmark::C499, 0.05),
+        (Benchmark::C880, 0.05),
+        (Benchmark::C1908, 0.05),
+        (Benchmark::C7552, 0.05),
+    ] {
+        let circuit = iscas85::generate(bench);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        let engine = SstaEngine::new(SstaConfig::date05().with_confidence(confidence));
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &circuit, |b, circ| {
+            b.iter(|| engine.run(black_box(circ), &placement).expect("flow"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_flow);
+criterion_main!(benches);

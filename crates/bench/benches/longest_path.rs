@@ -1,0 +1,34 @@
+//! Criterion bench: Bellman-Ford (the paper's §3.1 choice) vs. the
+//! topological dynamic program, across circuit sizes — ablation 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use statim_core::characterize::characterize_placed;
+use statim_core::longest_path::{bellman_ford, topo_labels};
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Placement, PlacementStyle};
+use statim_process::Technology;
+use std::hint::black_box;
+
+fn bench_labels(c: &mut Criterion) {
+    let tech = Technology::cmos130();
+    let mut group = c.benchmark_group("labels");
+    for bench in [Benchmark::C432, Benchmark::C880, Benchmark::C2670, Benchmark::C7552] {
+        let circuit = iscas85::generate(bench);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        let timing = characterize_placed(&circuit, &tech, &placement).expect("characterize");
+        group.bench_with_input(
+            BenchmarkId::new("bellman_ford", bench.name()),
+            &circuit,
+            |b, circ| b.iter(|| bellman_ford(black_box(circ), &timing).expect("bf")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("topological", bench.name()),
+            &circuit,
+            |b, circ| b.iter(|| topo_labels(black_box(circ), &timing).expect("topo")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_labels);
+criterion_main!(benches);

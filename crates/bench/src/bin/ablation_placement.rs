@@ -1,0 +1,61 @@
+//! **Ablation 5**: the effect of placement on statistical timing. The
+//! paper concludes "it is the topology and placement of the circuit that
+//! usually determine changes in critical path ranks"; this experiment
+//! isolates the placement half by re-running c1355 under levelized,
+//! random and single-spot placements at identical netlist and variations.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin ablation_placement --release
+//! ```
+
+use statim_core::engine::{SstaConfig, SstaEngine};
+use statim_core::rank::mean_rank_shift;
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Placement, PlacementStyle};
+use statim_stats::tabulate::format_table;
+
+fn main() {
+    let circuit = iscas85::generate(Benchmark::C1355);
+    let styles: Vec<(String, Placement)> = vec![
+        (
+            "levelized".into(),
+            Placement::generate(&circuit, PlacementStyle::Levelized),
+        ),
+        (
+            "random s=1".into(),
+            Placement::generate(&circuit, PlacementStyle::Random(1)),
+        ),
+        (
+            "random s=2".into(),
+            Placement::generate(&circuit, PlacementStyle::Random(2)),
+        ),
+        (
+            "one spot".into(),
+            Placement::from_positions(
+                &circuit,
+                vec![(1.0, 1.0); circuit.gate_count()],
+                100.0,
+            )
+            .expect("co-located placement"),
+        ),
+    ];
+    let header = ["placement", "crit σ (ps)", "intra σ (ps)", "#paths", "rank shift"];
+    let mut rows = Vec::new();
+    for (name, placement) in &styles {
+        let mut config = SstaConfig::date05().with_confidence(0.05);
+        config.max_paths = 50_000;
+        let report = SstaEngine::new(config).run(&circuit, placement).expect("flow");
+        let a = &report.critical().analysis;
+        rows.push(vec![
+            name.clone(),
+            format!("{:.3}", a.sigma * 1e12),
+            format!("{:.3}", a.intra_sigma * 1e12),
+            report.num_paths.to_string(),
+            format!("{:.1}", mean_rank_shift(&report.paths, 100)),
+        ]);
+    }
+    println!("== Ablation: placement styles on c1355 (same netlist, same variations) ==");
+    println!("{}", format_table(&header, &rows));
+    println!("co-locating every gate maximizes spatial correlation (largest intra σ);");
+    println!("spreading gates decorrelates them and changes which paths win.");
+}

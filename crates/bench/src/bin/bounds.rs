@@ -1,0 +1,64 @@
+//! **Baseline comparison 3**: distribution *bounds* (the Agarwal-style
+//! thread, the paper's refs 2 and 8) vs the exact correlated CDF.
+//!
+//! Prints the Fréchet upper / Boole lower bounds on the circuit-delay
+//! CDF computed from the near-critical path PDFs, with the Monte-Carlo
+//! truth between them — and shows the truth hugging the upper bound, the
+//! positive-correlation fact that makes single-path confidence-point
+//! ranking (the paper's method) work.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin bounds --release
+//! ```
+
+use statim_bench::runner::run_benchmark_with;
+use statim_core::bounds::delay_cdf_bounds;
+use statim_core::characterize::characterize_placed;
+use statim_core::engine::SstaConfig;
+use statim_core::monte_carlo::mc_circuit_distribution;
+use statim_netlist::generators::iscas85::Benchmark;
+use statim_process::{Technology, Variations};
+use statim_stats::tabulate::format_table;
+
+fn main() {
+    let tech = Technology::cmos130();
+    let vars = Variations::date05();
+    let run = run_benchmark_with(Benchmark::C432, 0.5, SstaConfig::date05());
+    let paths: Vec<_> = run.report.paths.iter().map(|p| p.analysis.clone()).collect();
+    let timing =
+        characterize_placed(&run.circuit, &tech, &run.placement).expect("characterize");
+    let mc = mc_circuit_distribution(
+        &run.circuit,
+        &timing,
+        &run.placement,
+        &tech,
+        &vars,
+        &statim_core::LayerModel::date05(),
+        30_000,
+        200,
+        55,
+    )
+    .expect("MC");
+    println!(
+        "c432, {} near-critical paths: bounds on P(delay ≤ t) vs exact correlated MC",
+        paths.len()
+    );
+    let header = ["t (ps)", "Boole lower", "exact MC", "Fréchet upper"];
+    let mut rows = Vec::new();
+    for k in [-1.0f64, 0.0, 1.0, 2.0, 3.0, 4.0] {
+        let t = mc.mean + k * mc.sigma;
+        let b = delay_cdf_bounds(&paths, t);
+        rows.push(vec![
+            format!("{:.1}", t * 1e12),
+            format!("{:.4}", b.lower),
+            format!("{:.4}", mc.pdf.cdf(t)),
+            format!("{:.4}", b.upper),
+        ]);
+    }
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "the exact CDF sits just under the Fréchet bound: near-critical paths are\n\
+         strongly positively correlated, so bounding methods (refs 2, 8) are loose\n\
+         on the low side while the paper's path ranking loses almost nothing."
+    );
+}

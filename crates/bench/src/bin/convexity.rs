@@ -1,0 +1,46 @@
+//! Regenerates the paper's **convexity analysis** (§2.5): for each gate
+//! type and parameter, the relative change of the delay derivative over a
+//! one-sigma parameter move, `|∂²tp/∂χ²·σχ| / |∂tp/∂χ|`. The paper argues
+//! these ratios are small enough (≲ 0.1) to justify freezing the Taylor
+//! coefficients at nominal (eq. (11)).
+//!
+//! ```text
+//! cargo run -p statim-bench --bin convexity
+//! ```
+
+use statim_process::deriv::convexity_ratios;
+use statim_process::sensitivity::TABLE1_GATES;
+use statim_process::{Load, Param, Technology, Variations};
+use statim_stats::tabulate::format_table;
+
+fn main() {
+    let tech = Technology::cmos130();
+    let vars = Variations::date05();
+    let pt = tech.nominal_point();
+    let header = ["param", "2-NAND", "2-NOR", "INV", "2-XNOR"];
+    let mut rows = Vec::new();
+    let ratios: Vec<_> = TABLE1_GATES
+        .iter()
+        .map(|&kind| {
+            let ab = tech.alpha_beta(kind, &Load::fanout(2));
+            convexity_ratios(&tech, &ab, &pt, &vars.sigma)
+        })
+        .collect();
+    let mut max_ratio = 0.0f64;
+    for p in Param::ALL {
+        let mut row = vec![p.symbol().to_string()];
+        for r in &ratios {
+            let v = r.get(p);
+            max_ratio = max_ratio.max(v);
+            row.push(format!("{v:.5}"));
+        }
+        rows.push(row);
+    }
+    println!("== Convexity ratios |d²tp/dχ²·σ| / |dtp/dχ| (FO2 gates) ==");
+    println!("{}", format_table(&header, &rows));
+    println!(
+        "max ratio = {max_ratio:.4}: even a 3σ move changes the derivative by \
+         only ~{:.0}% of itself — the zeroth-order freeze (eq. 11) is sound.",
+        max_ratio * 3.0 * 100.0
+    );
+}

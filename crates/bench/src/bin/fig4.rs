@@ -1,0 +1,41 @@
+//! Regenerates the paper's **Fig. 4**: c432's critical-path intra-die,
+//! inter-die and total (convolved) delay PDFs, with the 3σ point and the
+//! worst-case delay marked.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin fig4 --release > fig4.csv
+//! ```
+
+use statim_bench::runner::run_benchmark;
+use statim_netlist::generators::iscas85::Benchmark;
+use statim_stats::tabulate::{ascii_plot, to_csv, Series};
+
+fn main() {
+    let run = run_benchmark(Benchmark::C432);
+    let crit = &run.report.critical().analysis;
+    // Shift the zero-mean intra PDF to the inter mean so the three curves
+    // share an axis (as in the paper's figure), and scale to ps.
+    let intra_shifted = crit
+        .intra_pdf
+        .affine(1e12, crit.inter_pdf.mean() * 1e12)
+        .expect("affine shift");
+    let inter_ps = crit.inter_pdf.affine(1e12, 0.0).expect("scale");
+    let total_ps = crit.total_pdf.affine(1e12, 0.0).expect("scale");
+    let series = vec![
+        Series::from_pdf("intra (shifted to mean)", &intra_shifted),
+        Series::from_pdf("inter", &inter_ps),
+        Series::from_pdf("total = intra (*) inter", &total_ps),
+    ];
+    println!("{}", to_csv(&series));
+    eprintln!("c432 critical path ({} gates)", crit.gate_count());
+    eprintln!("  deterministic delay : {:>9.3} ps", crit.det_delay * 1e12);
+    eprintln!("  mean                : {:>9.3} ps", crit.mean * 1e12);
+    eprintln!("  intra sigma         : {:>9.3} ps", crit.intra_sigma * 1e12);
+    eprintln!("  inter sigma         : {:>9.3} ps", crit.inter_sigma * 1e12);
+    eprintln!("  total sigma         : {:>9.3} ps", crit.sigma * 1e12);
+    eprintln!("  3-sigma point       : {:>9.3} ps", crit.confidence_point * 1e12);
+    eprintln!("  worst-case (3σ all) : {:>9.3} ps", crit.worst_case * 1e12);
+    eprintln!("  overestimation      : {:>9.2} %", crit.overestimation_pct());
+    eprintln!("-- total PDF (axis in ps) --");
+    eprintln!("{}", ascii_plot(&total_ps, 8, 64));
+}

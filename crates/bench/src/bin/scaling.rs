@@ -1,0 +1,75 @@
+//! **Polynomial run-time study** — the paper's conclusion claims "the
+//! work presented has a polynomial run time". This experiment scales the
+//! carry-save multiplier (the hardest structure in the suite) from 4×4
+//! to 24×24 and measures the full-flow run time at a fixed tiny
+//! confidence window, fitting the empirical growth exponent.
+//!
+//! Gate count grows as Θ(n²); per-path analysis is Θ(path length) plus
+//! fixed QUALITY kernels; path length is Θ(n) — so the fitted exponent
+//! should be a small constant (far from the exponential blow-up of exact
+//! JPDF methods the paper's introduction rules out).
+//!
+//! ```text
+//! cargo run -p statim-bench --bin scaling --release
+//! ```
+
+use statim_core::engine::{SstaConfig, SstaEngine};
+use statim_netlist::generators::blocks::Builder;
+use statim_netlist::{Circuit, Placement, PlacementStyle};
+use statim_stats::tabulate::format_table;
+use std::time::Instant;
+
+fn multiplier(n: usize) -> Circuit {
+    let mut b = Builder::new(format!("mult{n}"));
+    let a = b.inputs("a", n);
+    let x = b.inputs("b", n);
+    let products = b.carry_save_multiplier(&a, &x);
+    for (i, p) in products.iter().enumerate() {
+        b.output(format!("p{i}"), *p);
+    }
+    b.finish()
+}
+
+fn main() {
+    let header = ["n", "gates", "depth", "#paths", "flow time (s)", "time/gate (µs)"];
+    let mut rows = Vec::new();
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for n in [4usize, 6, 8, 12, 16, 20, 24] {
+        let circuit = multiplier(n);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        // A tiny window keeps κ comparable across sizes so the scaling of
+        // the *flow* (not of κ) is measured.
+        let mut config = SstaConfig::date05().with_confidence(1e-4);
+        config.max_paths = 50_000;
+        let start = Instant::now();
+        let report = SstaEngine::new(config)
+            .run(&circuit, &placement)
+            .expect("flow");
+        let secs = start.elapsed().as_secs_f64();
+        points.push(((circuit.gate_count() as f64).ln(), secs.max(1e-6).ln()));
+        rows.push(vec![
+            n.to_string(),
+            circuit.gate_count().to_string(),
+            circuit.depth().to_string(),
+            report.num_paths.to_string(),
+            format!("{secs:.4}"),
+            format!("{:.2}", secs / circuit.gate_count() as f64 * 1e6),
+        ]);
+    }
+    println!("== Full-flow run time vs carry-save multiplier size ==");
+    println!("{}", format_table(&header, &rows));
+    // Least-squares slope of ln(time) vs ln(gates): the growth exponent.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    println!(
+        "empirical growth exponent at fixed κ: time ~ gates^{slope:.2} — the\n\
+         per-path QUALITY kernels dominate and graph costs are linear, so the\n\
+         whole flow is O(gates + κ·(|E| + QUALITYinter³)): polynomial, as the\n\
+         paper's conclusion claims (exact JPDF methods are exponential in the\n\
+         number of correlated RVs)."
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates the paper's **Table 1**: first-order sensitivity of each
+//! gate type's delay to a one-sigma move of each parameter, side by side
+//! with the published values.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin table1
+//! ```
+
+use statim_bench::paper::TABLE1_PS;
+use statim_process::sensitivity::table1;
+use statim_process::{Param, Technology};
+use statim_stats::tabulate::format_table;
+
+fn main() {
+    let t = table1(&Technology::cmos130());
+    let header = ["param", "2-NAND", "2-NOR", "INV", "2-XNOR", "", "paper NAND", "paper NOR", "paper INV", "paper XNOR"];
+    let mut rows = Vec::new();
+    for (pi, p) in Param::ALL.iter().enumerate() {
+        let mut row = vec![p.symbol().to_string()];
+        for gate in &t.rows {
+            row.push(format!("{:.3}ps", gate.swing_ps.get(*p)));
+        }
+        row.push(String::new());
+        for col in 0..4 {
+            row.push(format!("{:.3}ps", TABLE1_PS[pi][col]));
+        }
+        rows.push(row);
+    }
+    println!("== Table 1: |dtp/dx|·sigma_x per gate (ours vs paper) ==");
+    println!("sigma: tox=0.15nm Leff=15nm Vdd=40mV VTn=13mV VTp=14mV, FO=2");
+    println!("{}", format_table(&header, &rows));
+    println!("nominal FO2 delays (ps):");
+    for gate in &t.rows {
+        println!("  {:>6}: {:.3}", gate.kind.to_string(), gate.nominal_ps);
+    }
+}

@@ -1,0 +1,67 @@
+//! Regenerates the paper's **Table 2**: full deterministic + probabilistic
+//! results for all ten ISCAS85-equivalent benchmarks, side by side with
+//! the published numbers.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin table2 --release
+//! ```
+
+use statim_bench::paper;
+use statim_bench::runner::{ps, run_benchmark};
+use statim_netlist::generators::iscas85::Benchmark;
+use statim_stats::tabulate::format_table;
+
+fn main() {
+    let header = [
+        "circuit", "gates", "det delay", "worst case", "%diff 3σ", "C", "#paths",
+        "crit mean", "crit 3σ", "#g", "det rank", "time(s)",
+    ];
+    let mut ours: Vec<Vec<String>> = Vec::new();
+    let mut theirs: Vec<Vec<String>> = Vec::new();
+    let mut over_sum = 0.0;
+    for bench in Benchmark::ALL {
+        eprintln!("running {bench}...");
+        let run = run_benchmark(bench);
+        let r = &run.report;
+        let crit = r.critical();
+        over_sum += r.overestimation_pct;
+        ours.push(vec![
+            bench.name().to_string(),
+            r.gate_count.to_string(),
+            ps(r.det_critical_delay),
+            ps(r.worst_case_delay),
+            format!("{:.2}", r.overestimation_pct),
+            format!("{}", run.confidence_used),
+            r.num_paths.to_string(),
+            ps(crit.analysis.mean),
+            ps(crit.analysis.confidence_point),
+            crit.analysis.gate_count().to_string(),
+            crit.det_rank.to_string(),
+            format!("{:.2}", r.runtime),
+        ]);
+        let p = paper::table2_row(bench);
+        theirs.push(vec![
+            bench.name().to_string(),
+            p.gates.to_string(),
+            format!("{:.3}", p.det_delay_ps),
+            format!("{:.3}", p.worst_case_ps),
+            format!("{:.2}", p.overestimation_pct),
+            format!("{}", p.confidence),
+            p.num_paths.to_string(),
+            format!("{:.3}", p.crit_mean_ps),
+            format!("{:.3}", p.crit_3sigma_ps),
+            p.crit_gates.to_string(),
+            p.det_rank.to_string(),
+            format!("{}", p.runtime_s),
+        ]);
+    }
+    println!("== Table 2 (this reproduction; delays in ps) ==");
+    println!("{}", format_table(&header, &ours));
+    println!(
+        "average worst-case overestimation: {:.1}% (paper: 55%)",
+        over_sum / Benchmark::ALL.len() as f64
+    );
+    println!();
+    println!("== Table 2 (paper, DATE'05) ==");
+    println!("{}", format_table(&header, &theirs));
+}

@@ -1,0 +1,10 @@
+//! Shared support for the benchmark harness: the paper's published
+//! numbers (for side-by-side comparison) and common run helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod runner;
+
+pub use runner::{run_benchmark, BenchmarkRun};

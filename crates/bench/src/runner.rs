@@ -1,0 +1,88 @@
+//! Common run helpers for the regeneration binaries.
+
+use crate::paper;
+use statim_core::engine::{SstaConfig, SstaEngine, SstaReport};
+use statim_core::CoreError;
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Circuit, Placement, PlacementStyle};
+
+/// A benchmark run: the generated circuit, its placement and the report.
+#[derive(Debug)]
+pub struct BenchmarkRun {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Its placement.
+    pub placement: Placement,
+    /// The SSTA report.
+    pub report: SstaReport,
+    /// The confidence constant actually used (may be lower than requested
+    /// if the enumeration budget was hit, as the paper did on c6288).
+    pub confidence_used: f64,
+}
+
+/// Analysis cap for the regeneration binaries: enumerating more paths
+/// than this triggers the same response the paper used on c6288 —
+/// shrink `C` until the count is tractable.
+pub const PATH_CAP: usize = 20_000;
+
+/// Runs `bench` at the paper's per-circuit confidence constant, shrinking
+/// `C` (×0.2 per step) whenever the enumeration exceeds [`PATH_CAP`],
+/// mirroring the paper's c6288 procedure.
+///
+/// # Panics
+///
+/// Panics if the flow fails for a reason other than the path budget —
+/// regeneration binaries want a loud failure, not a partial table.
+pub fn run_benchmark(bench: Benchmark) -> BenchmarkRun {
+    let row = paper::table2_row(bench);
+    run_benchmark_with(bench, row.confidence, SstaConfig::date05())
+}
+
+/// [`run_benchmark`] with an explicit starting confidence and base
+/// configuration.
+///
+/// # Panics
+///
+/// Panics on non-budget engine failures.
+pub fn run_benchmark_with(bench: Benchmark, confidence: f64, base: SstaConfig) -> BenchmarkRun {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let mut c = confidence;
+    loop {
+        let mut config = base.clone().with_confidence(c);
+        config.max_paths = PATH_CAP;
+        match SstaEngine::new(config).run(&circuit, &placement) {
+            Ok(report) => {
+                return BenchmarkRun { circuit, placement, report, confidence_used: c };
+            }
+            Err(CoreError::PathBudgetExceeded { .. }) if c > 1e-7 => {
+                c *= 0.2;
+            }
+            Err(e) => panic!("{bench}: SSTA flow failed: {e}"),
+        }
+    }
+}
+
+/// Formats seconds as picoseconds with 3 decimals.
+pub fn ps(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_benchmark_c432_smoke() {
+        let run = run_benchmark(Benchmark::C432);
+        assert_eq!(run.report.gate_count, 160);
+        assert!(run.report.num_paths >= 1);
+        assert!(run.confidence_used <= 0.05);
+    }
+
+    #[test]
+    fn ps_formatting() {
+        assert_eq!(ps(266.771e-12), "266.771");
+        assert_eq!(ps(0.0), "0.000");
+    }
+}

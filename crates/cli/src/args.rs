@@ -1,0 +1,340 @@
+//! Hand-rolled argument parsing (no external CLI crate in the offline
+//! dependency set).
+
+/// Usage text.
+pub const USAGE: &str = "\
+statim — path-based statistical static timing analysis (DATE'05)
+
+USAGE:
+    statim analyze <circuit.bench> [OPTIONS]   analyze a .bench netlist
+    statim analyze --benchmark <name> [OPTIONS] analyze a built-in ISCAS85 equivalent
+    statim yield --benchmark <name> [--target <y>] [OPTIONS]
+                                               timing-yield curve and clock constraint
+    statim mc --benchmark <name> [--samples <n>] [OPTIONS]
+                                               Monte-Carlo validation of the critical path
+    statim generate <name> [--out-bench FILE] [--out-def FILE]
+                                               emit a synthetic benchmark
+    statim sensitivity                         print the Table-1 sensitivity analysis
+    statim list                                list built-in benchmarks
+
+ANALYZE OPTIONS:
+    --def <file>          read gate placement from a DEF(-lite) file
+    -C, --confidence <f>  near-critical window in units of sigma_C [default: 0.05]
+    --top <n>             print the top n ranked paths [default: 10]
+    --inter-share <f>     inter-die variance share (0..=1) [default: equal split]
+    --quality-intra <n>   intra PDF discretization [default: 100]
+    --quality-inter <n>   inter PDF discretization [default: 50]
+    --random-place <seed> use seeded random placement instead of levelized
+    --max-paths <n>       enumeration budget [default: 1000000]";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Analyze a circuit.
+    Analyze(AnalyzeArgs),
+    /// Timing-yield analysis (same options as analyze plus a target).
+    Yield {
+        /// The analyze options.
+        args: AnalyzeArgs,
+        /// Target yield for the clock-period constraint.
+        target: f64,
+    },
+    /// Monte-Carlo validation of the critical path.
+    Mc {
+        /// The analyze options.
+        args: AnalyzeArgs,
+        /// Sample count.
+        samples: usize,
+    },
+    /// Generate a synthetic benchmark.
+    Generate {
+        /// Benchmark name (c432…c7552).
+        name: String,
+        /// Optional `.bench` output path.
+        out_bench: Option<String>,
+        /// Optional DEF output path.
+        out_def: Option<String>,
+    },
+    /// Print the sensitivity table.
+    Sensitivity,
+    /// List built-in benchmarks.
+    List,
+}
+
+/// Options for `statim analyze`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeArgs {
+    /// `.bench` file path (mutually exclusive with `benchmark`).
+    pub bench_file: Option<String>,
+    /// Built-in benchmark name.
+    pub benchmark: Option<String>,
+    /// DEF placement file.
+    pub def_file: Option<String>,
+    /// Confidence constant C.
+    pub confidence: f64,
+    /// How many ranked paths to print.
+    pub top: usize,
+    /// Optional inter-die variance share.
+    pub inter_share: Option<f64>,
+    /// QUALITYintra.
+    pub quality_intra: usize,
+    /// QUALITYinter.
+    pub quality_inter: usize,
+    /// Random placement seed (None = levelized).
+    pub random_place: Option<u64>,
+    /// Enumeration budget.
+    pub max_paths: usize,
+}
+
+impl Default for AnalyzeArgs {
+    fn default() -> Self {
+        AnalyzeArgs {
+            bench_file: None,
+            benchmark: None,
+            def_file: None,
+            confidence: 0.05,
+            top: 10,
+            inter_share: None,
+            quality_intra: 100,
+            quality_inter: 50,
+            random_place: None,
+            max_paths: 1_000_000,
+        }
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unknown flags,
+/// missing values or malformed numbers.
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let cmd = it.next().ok_or("missing command")?;
+    match cmd.as_str() {
+        "analyze" => parse_analyze(it.as_slice()),
+        "yield" => {
+            let (args, extra) = parse_analyze_with(it.as_slice(), &["--target"])?;
+            let target = extra
+                .get("--target")
+                .map(|v| parse_num("--target", v))
+                .transpose()?
+                .unwrap_or(0.99);
+            Ok(Command::Yield { args, target })
+        }
+        "mc" => {
+            let (args, extra) = parse_analyze_with(it.as_slice(), &["--samples"])?;
+            let samples = extra
+                .get("--samples")
+                .map(|v| parse_num("--samples", v))
+                .transpose()?
+                .unwrap_or(20_000);
+            Ok(Command::Mc { args, samples })
+        }
+        "generate" => parse_generate(it.as_slice()),
+        "sensitivity" => Ok(Command::Sensitivity),
+        "list" => Ok(Command::List),
+        "-h" | "--help" | "help" => Err("help requested".into()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("flag {flag} needs a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid value `{s}` for {flag}"))
+}
+
+fn parse_analyze(rest: &[String]) -> Result<Command, String> {
+    let (args, _) = parse_analyze_with(rest, &[])?;
+    Ok(Command::Analyze(args))
+}
+
+/// Parses analyze-style options, additionally accepting `extra_flags`
+/// (each taking one value), returned in a map.
+fn parse_analyze_with<'a>(
+    rest: &[String],
+    extra_flags: &[&'a str],
+) -> Result<(AnalyzeArgs, std::collections::HashMap<&'a str, String>), String> {
+    let mut args = AnalyzeArgs::default();
+    let mut extra = std::collections::HashMap::new();
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        if let Some(&flag) = extra_flags.iter().find(|&&f| f == tok.as_str()) {
+            extra.insert(flag, value(tok, &mut it)?.clone());
+            continue;
+        }
+        match tok.as_str() {
+            "--benchmark" => args.benchmark = Some(value(tok, &mut it)?.clone()),
+            "--def" => args.def_file = Some(value(tok, &mut it)?.clone()),
+            "-C" | "--confidence" => {
+                args.confidence = parse_num(tok, value(tok, &mut it)?)?;
+            }
+            "--top" => args.top = parse_num(tok, value(tok, &mut it)?)?,
+            "--inter-share" => {
+                args.inter_share = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--quality-intra" => {
+                args.quality_intra = parse_num(tok, value(tok, &mut it)?)?;
+            }
+            "--quality-inter" => {
+                args.quality_inter = parse_num(tok, value(tok, &mut it)?)?;
+            }
+            "--random-place" => {
+                args.random_place = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--max-paths" => args.max_paths = parse_num(tok, value(tok, &mut it)?)?,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            file => {
+                if args.bench_file.is_some() {
+                    return Err(format!("unexpected extra argument `{file}`"));
+                }
+                args.bench_file = Some(file.to_string());
+            }
+        }
+    }
+    if args.bench_file.is_none() && args.benchmark.is_none() {
+        return Err("analyze needs a .bench file or --benchmark <name>".into());
+    }
+    if args.bench_file.is_some() && args.benchmark.is_some() {
+        return Err("give either a .bench file or --benchmark, not both".into());
+    }
+    Ok((args, extra))
+}
+
+fn parse_generate(rest: &[String]) -> Result<Command, String> {
+    let mut name = None;
+    let mut out_bench = None;
+    let mut out_def = None;
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--out-bench" => out_bench = Some(value(tok, &mut it)?.clone()),
+            "--out-def" => out_def = Some(value(tok, &mut it)?.clone()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            n => {
+                if name.is_some() {
+                    return Err(format!("unexpected extra argument `{n}`"));
+                }
+                name = Some(n.to_string());
+            }
+        }
+    }
+    Ok(Command::Generate {
+        name: name.ok_or("generate needs a benchmark name")?,
+        out_bench,
+        out_def,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_analyze_benchmark() {
+        let cmd = parse(&v(&["analyze", "--benchmark", "c432", "-C", "0.1", "--top", "5"]))
+            .unwrap();
+        match cmd {
+            Command::Analyze(a) => {
+                assert_eq!(a.benchmark.as_deref(), Some("c432"));
+                assert_eq!(a.confidence, 0.1);
+                assert_eq!(a.top, 5);
+                assert!(a.bench_file.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_analyze_file_with_def() {
+        let cmd = parse(&v(&["analyze", "my.bench", "--def", "my.def"])).unwrap();
+        match cmd {
+            Command::Analyze(a) => {
+                assert_eq!(a.bench_file.as_deref(), Some("my.bench"));
+                assert_eq!(a.def_file.as_deref(), Some("my.def"));
+                assert_eq!(a.confidence, 0.05);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_conflicts_and_unknowns() {
+        assert!(parse(&v(&["analyze"])).is_err());
+        assert!(parse(&v(&["analyze", "a.bench", "--benchmark", "c432"])).is_err());
+        assert!(parse(&v(&["analyze", "a.bench", "--wat"])).is_err());
+        assert!(parse(&v(&["analyze", "--benchmark"])).is_err());
+        assert!(parse(&v(&["analyze", "--benchmark", "c432", "-C", "x"])).is_err());
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&[])).is_err());
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd =
+            parse(&v(&["generate", "c6288", "--out-bench", "x.bench", "--out-def", "x.def"]))
+                .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                name: "c6288".into(),
+                out_bench: Some("x.bench".into()),
+                out_def: Some("x.def".into()),
+            }
+        );
+        assert!(parse(&v(&["generate"])).is_err());
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse(&v(&["sensitivity"])).unwrap(), Command::Sensitivity);
+        assert_eq!(parse(&v(&["list"])).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn parses_yield() {
+        match parse(&v(&["yield", "--benchmark", "c432", "--target", "0.95"])).unwrap() {
+            Command::Yield { args, target } => {
+                assert_eq!(args.benchmark.as_deref(), Some("c432"));
+                assert_eq!(target, 0.95);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default target.
+        match parse(&v(&["yield", "--benchmark", "c432"])).unwrap() {
+            Command::Yield { target, .. } => assert_eq!(target, 0.99),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["yield", "--benchmark", "c432", "--target", "bad"])).is_err());
+    }
+
+    #[test]
+    fn parses_mc() {
+        match parse(&v(&["mc", "--benchmark", "c499", "--samples", "500", "-C", "0.1"])).unwrap()
+        {
+            Command::Mc { args, samples } => {
+                assert_eq!(args.benchmark.as_deref(), Some("c499"));
+                assert_eq!(args.confidence, 0.1);
+                assert_eq!(samples, 500);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["mc", "--benchmark", "c499"])).unwrap() {
+            Command::Mc { samples, .. } => assert_eq!(samples, 20_000),
+            other => panic!("{other:?}"),
+        }
+        // yield/mc still reject analyze-level mistakes.
+        assert!(parse(&v(&["mc"])).is_err());
+    }
+}

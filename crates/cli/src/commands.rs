@@ -1,0 +1,183 @@
+//! Command implementations.
+
+use crate::args::{AnalyzeArgs, Command};
+use statim_core::engine::{SstaConfig, SstaEngine};
+use statim_core::LayerModel;
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle};
+use statim_process::sensitivity::table1;
+use statim_process::Technology;
+use std::error::Error;
+use std::fs;
+
+type DynResult = Result<(), Box<dyn Error>>;
+
+/// Runs a parsed command.
+///
+/// # Errors
+///
+/// Returns I/O, parse and analysis errors for the caller to print.
+pub fn run(cmd: Command) -> DynResult {
+    match cmd {
+        Command::Analyze(a) => analyze(a),
+        Command::Yield { args, target } => timing_yield(args, target),
+        Command::Mc { args, samples } => monte_carlo(args, samples),
+        Command::Generate { name, out_bench, out_def } => generate(&name, out_bench, out_def),
+        Command::Sensitivity => {
+            println!("{}", table1(&Technology::cmos130()).render());
+            Ok(())
+        }
+        Command::List => {
+            println!("built-in ISCAS85-equivalent benchmarks:");
+            for b in Benchmark::ALL {
+                println!(
+                    "  {:<6} {:>5} gates, {:>3} inputs, {:>3} outputs",
+                    b.name(),
+                    b.gate_count(),
+                    b.input_count(),
+                    b.output_count()
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn load_circuit(a: &AnalyzeArgs) -> Result<Circuit, Box<dyn Error>> {
+    if let Some(name) = &a.benchmark {
+        let bench = Benchmark::from_name(name)
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `statim list`)"))?;
+        Ok(iscas85::generate(bench))
+    } else {
+        let path = a.bench_file.as_deref().expect("validated by the parser");
+        let text = fs::read_to_string(path)?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("circuit");
+        Ok(bench_format::parse(name, &text)?)
+    }
+}
+
+fn analyze(a: AnalyzeArgs) -> DynResult {
+    let top = a.top;
+    let (_, _, report) = run_engine(&a)?;
+    print!("{}", statim_core::report::summary(&report));
+    println!("  run time                     : {:.3} s", report.runtime);
+    println!();
+    println!("{}", statim_core::report::path_table(&report, top));
+    Ok(())
+}
+
+/// Builds circuit, placement and config from analyze-style args, then
+/// runs the engine.
+fn run_engine(
+    a: &AnalyzeArgs,
+) -> Result<
+    (statim_netlist::Circuit, Placement, statim_core::SstaReport),
+    Box<dyn Error>,
+> {
+    let circuit = load_circuit(a)?;
+    let placement = match (&a.def_file, a.random_place) {
+        (Some(def), _) => {
+            let text = fs::read_to_string(def)?;
+            def_lite::parse(&text)?.placement_for(&circuit)?
+        }
+        (None, Some(seed)) => Placement::generate(&circuit, PlacementStyle::Random(seed)),
+        (None, None) => Placement::generate(&circuit, PlacementStyle::Levelized),
+    };
+    let mut config = SstaConfig::date05().with_confidence(a.confidence);
+    config.quality_intra = a.quality_intra;
+    config.quality_inter = a.quality_inter;
+    config.max_paths = a.max_paths;
+    if let Some(share) = a.inter_share {
+        config = config.with_layers(LayerModel::with_inter_share(share));
+    }
+    let report = SstaEngine::new(config).run(&circuit, &placement)?;
+    Ok((circuit, placement, report))
+}
+
+fn timing_yield(a: AnalyzeArgs, target: f64) -> DynResult {
+    use statim_core::timing_yield::{period_for_yield, yield_curve};
+    let (_, _, report) = run_engine(&a)?;
+    println!(
+        "circuit {} — {} near-critical paths, critical 3σ point {:.3} ps",
+        report.circuit,
+        report.num_paths,
+        report.critical().analysis.confidence_point * 1e12
+    );
+    println!();
+    println!("clock period (ps) | yield lower bound | yield upper bound");
+    for pt in yield_curve(&report, 10) {
+        println!(
+            "{:>17.1} | {:>17.5} | {:>17.5}",
+            pt.period * 1e12,
+            pt.lower,
+            pt.upper
+        );
+    }
+    match period_for_yield(&report, target) {
+        Some(t) => println!(
+            "\nperiod for {:.1}% yield: {:.1} ps (worst-case corner demands {:.1} ps)",
+            target * 100.0,
+            t * 1e12,
+            report.worst_case_delay * 1e12
+        ),
+        None => println!("\ninvalid yield target {target}"),
+    }
+    Ok(())
+}
+
+fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
+    use statim_core::characterize::characterize_placed;
+    use statim_core::monte_carlo::mc_path_distribution;
+    let (circuit, placement, report) = run_engine(&a)?;
+    let tech = Technology::cmos130();
+    let timing = characterize_placed(&circuit, &tech, &placement)?;
+    let crit = &report.critical().analysis;
+    let mc = mc_path_distribution(
+        &crit.gates,
+        &timing,
+        &placement,
+        &tech,
+        &statim_process::Variations::date05(),
+        &LayerModel::date05(),
+        samples,
+        150,
+        0xC0FFEE,
+    )?;
+    let ps = |s: f64| s * 1e12;
+    println!(
+        "critical path of {} ({} gates), {} exact non-linear samples:",
+        report.circuit,
+        crit.gate_count(),
+        samples
+    );
+    println!("              analytic        monte-carlo     error");
+    let row = |name: &str, a: f64, b: f64| {
+        println!("{name:>10}  {:>10.3} ps   {:>10.3} ps   {:+.3}%", ps(a), ps(b), (a - b) / b * 100.0);
+    };
+    row("mean", crit.mean, mc.mean);
+    row("sigma", crit.sigma, mc.sigma);
+    row("3σ point", crit.confidence_point, mc.sigma_point(3.0));
+    Ok(())
+}
+
+fn generate(name: &str, out_bench: Option<String>, out_def: Option<String>) -> DynResult {
+    let bench = Benchmark::from_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `statim list`)"))?;
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    match &out_bench {
+        Some(path) => {
+            fs::write(path, bench_format::write(&circuit))?;
+            println!("wrote {path}");
+        }
+        None => print!("{}", bench_format::write(&circuit)),
+    }
+    if let Some(path) = &out_def {
+        fs::write(path, def_lite::write(&circuit, &placement))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

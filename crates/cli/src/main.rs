@@ -1,0 +1,34 @@
+//! `statim` — a command-line statistical static timing analyzer
+//! implementing the DATE'05 path-based SSTA methodology.
+//!
+//! ```text
+//! statim analyze <circuit.bench> [--def <file.def>] [-C <conf>] [--top <n>]
+//! statim analyze --benchmark c432 [-C <conf>] [--top <n>] [--inter-share <f>]
+//! statim generate <name> [--out-bench <file>] [--out-def <file>]
+//! statim sensitivity
+//! statim list
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! End-to-end tests of the `statim` binary: spawn the compiled
+//! executable and check its output and exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn statim() -> Command {
+    // Cargo puts integration-test binaries in target/<profile>/deps; the
+    // CLI binary lives one directory up.
+    let mut path = PathBuf::from(std::env::current_exe().expect("test exe"));
+    path.pop();
+    if path.ends_with("deps") {
+        path.pop();
+    }
+    path.push("statim");
+    Command::new(path)
+}
+
+#[test]
+fn list_shows_all_benchmarks() {
+    let out = statim().arg("list").output().expect("run statim list");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["c432", "c499", "c6288", "c7552"] {
+        assert!(text.contains(name), "missing {name} in: {text}");
+    }
+}
+
+#[test]
+fn analyze_benchmark_prints_report() {
+    let out = statim()
+        .args(["analyze", "--benchmark", "c432", "--top", "3", "--quality-intra", "40", "--quality-inter", "20"])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("deterministic critical delay"));
+    assert!(text.contains("overestimation"));
+    assert!(text.contains("prob rank"));
+}
+
+#[test]
+fn sensitivity_prints_table() {
+    let out = statim().arg("sensitivity").output().expect("run sensitivity");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Leff"));
+    assert!(text.contains("2NAND"));
+}
+
+#[test]
+fn generate_and_reanalyze_round_trip() {
+    let dir = std::env::temp_dir().join("statim_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bench = dir.join("c432.bench");
+    let def = dir.join("c432.def");
+    let out = statim()
+        .args([
+            "generate",
+            "c432",
+            "--out-bench",
+            bench.to_str().unwrap(),
+            "--out-def",
+            def.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(bench.exists());
+    assert!(def.exists());
+    let out = statim()
+        .args([
+            "analyze",
+            bench.to_str().unwrap(),
+            "--def",
+            def.to_str().unwrap(),
+            "--quality-intra",
+            "40",
+            "--quality-inter",
+            "20",
+        ])
+        .output()
+        .expect("run analyze on files");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("near-critical paths"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = statim().arg("frobnicate").output().expect("run bad command");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_benchmark_fails_cleanly() {
+    let out = statim()
+        .args(["analyze", "--benchmark", "c9999"])
+        .output()
+        .expect("run bad benchmark");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown benchmark"));
+}
+
+#[test]
+fn yield_command_reports_curve() {
+    let out = statim()
+        .args([
+            "yield",
+            "--benchmark",
+            "c432",
+            "--quality-intra",
+            "40",
+            "--quality-inter",
+            "20",
+        ])
+        .output()
+        .expect("run yield");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("yield lower bound"));
+    assert!(text.contains("period for 99.0% yield"));
+}
+
+#[test]
+fn mc_command_reports_errors() {
+    let out = statim()
+        .args([
+            "mc",
+            "--benchmark",
+            "c432",
+            "--samples",
+            "2000",
+            "--quality-intra",
+            "40",
+            "--quality-inter",
+            "20",
+        ])
+        .output()
+        .expect("run mc");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("monte-carlo"));
+    assert!(text.contains("3σ point"));
+}

@@ -1,0 +1,247 @@
+//! The layered spatial-correlation model (the paper's §2.3, after
+//! Agarwal et al.).
+//!
+//! The die is replicated on `L` layers; layer `i` is divided into `4^i`
+//! rectangular partitions, each carrying one independent zero-mean random
+//! variable per parameter. A gate's parameter value is the sum over
+//! layers of the RVs of the partitions it falls in (eq. (7)); the layer
+//! variances sum to the parameter's total variance (eq. (6)):
+//! `σ_χ² = Σᵢ σ_χᵢ²`. Layer 0 spans the whole die and *is* the inter-die
+//! variation (its mean is the nominal value); all other layers are
+//! intra-die. The paper's configuration is 4 spatial layers plus a fifth
+//! per-gate "random" layer, with the variance split equally.
+
+use crate::{CoreError, Result};
+
+/// How the total variance of each parameter is distributed across layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarianceSplit {
+    /// Every layer (spatial layers plus the random layer if present)
+    /// receives an equal share — the paper's Table 2 configuration.
+    Equal,
+    /// Layer 0 (inter-die) receives `share`; the remainder is split
+    /// equally over the intra-die layers. Used for the paper's Table 3
+    /// scenarios (0%, 50%, 75% inter-die).
+    InterShare(f64),
+    /// Explicit per-layer weights (must be non-negative and sum to 1).
+    Custom(Vec<f64>),
+}
+
+/// The layered correlation space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerModel {
+    /// Number of spatial layers `L` (layer `i` has `4^i` partitions).
+    /// Layer 0 is the inter-die layer.
+    pub spatial_layers: usize,
+    /// Whether a final per-gate ("random") layer is appended.
+    pub random_layer: bool,
+    /// Variance allocation across the `spatial_layers (+1)` slots.
+    pub split: VarianceSplit,
+}
+
+impl LayerModel {
+    /// The paper's model: 4 spatial layers plus a fifth random layer,
+    /// variance divided equally (each layer gets 1/5 of every σ²).
+    pub fn date05() -> Self {
+        LayerModel { spatial_layers: 4, random_layer: true, split: VarianceSplit::Equal }
+    }
+
+    /// A model with the given inter-die variance share (Table 3
+    /// scenarios), keeping the paper's layer structure.
+    pub fn with_inter_share(share: f64) -> Self {
+        LayerModel {
+            spatial_layers: 4,
+            random_layer: true,
+            split: VarianceSplit::InterShare(share),
+        }
+    }
+
+    /// Total number of variance slots: the spatial layers plus the random
+    /// layer if present.
+    pub fn slots(&self) -> usize {
+        self.spatial_layers + usize::from(self.random_layer)
+    }
+
+    /// Index of the random layer's variance slot (one past the spatial
+    /// layers), if it exists.
+    pub fn random_slot(&self) -> Option<usize> {
+        self.random_layer.then_some(self.spatial_layers)
+    }
+
+    /// Number of partitions in spatial layer `i` (`4^i`).
+    pub fn partitions_in(&self, layer: usize) -> usize {
+        4usize.pow(layer as u32)
+    }
+
+    /// Per-slot variance weights (validated, summing to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the model has no slots, an
+    /// inter share outside `[0, 1]`, or custom weights that are negative
+    /// or do not sum to 1.
+    pub fn weights(&self) -> Result<Vec<f64>> {
+        let n = self.slots();
+        if n == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "layer model has no variance slots".into(),
+            });
+        }
+        match &self.split {
+            VarianceSplit::Equal => Ok(vec![1.0 / n as f64; n]),
+            VarianceSplit::InterShare(s) => {
+                if !(0.0..=1.0).contains(s) || !s.is_finite() {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!("inter-die share {s} outside [0, 1]"),
+                    });
+                }
+                if n == 1 {
+                    return Ok(vec![1.0]);
+                }
+                let rest = (1.0 - s) / (n - 1) as f64;
+                let mut w = vec![rest; n];
+                w[0] = *s;
+                Ok(w)
+            }
+            VarianceSplit::Custom(w) => {
+                if w.len() != n {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!("{} weights for {n} slots", w.len()),
+                    });
+                }
+                if w.iter().any(|x| *x < 0.0 || !x.is_finite()) {
+                    return Err(CoreError::InvalidConfig {
+                        message: "negative or non-finite layer weight".into(),
+                    });
+                }
+                let sum: f64 = w.iter().sum();
+                if (sum - 1.0).abs() > 1e-9 {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!("layer weights sum to {sum}, expected 1"),
+                    });
+                }
+                Ok(w.clone())
+            }
+        }
+    }
+
+    /// Partition index of a normalized die coordinate `(x, y) ∈ [0,1)²`
+    /// in spatial layer `layer`: a `2^layer × 2^layer` grid in row-major
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= spatial_layers` (internal misuse) — callers
+    /// iterate `0..spatial_layers`.
+    pub fn partition_of(&self, layer: usize, xy: (f64, f64)) -> usize {
+        assert!(layer < self.spatial_layers, "layer {layer} out of range");
+        let side = 1usize << layer; // 2^layer per axis → 4^layer cells
+        let clamp = |v: f64| v.clamp(0.0, 1.0 - f64::EPSILON);
+        let px = (clamp(xy.0) * side as f64) as usize;
+        let py = (clamp(xy.1) * side as f64) as usize;
+        py * side + px
+    }
+
+    /// Number of shared `(layer, partition)` RVs between two normalized
+    /// coordinates — the model's correlation measure: nearby gates share
+    /// RVs on more layers.
+    pub fn shared_layers(&self, a: (f64, f64), b: (f64, f64)) -> usize {
+        (0..self.spatial_layers)
+            .filter(|&l| self.partition_of(l, a) == self.partition_of(l, b))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date05_shape() {
+        let m = LayerModel::date05();
+        assert_eq!(m.slots(), 5);
+        assert_eq!(m.random_slot(), Some(4));
+        assert_eq!(m.partitions_in(0), 1);
+        assert_eq!(m.partitions_in(3), 64);
+        let w = m.weights().unwrap();
+        assert_eq!(w, vec![0.2; 5]);
+    }
+
+    #[test]
+    fn inter_share_weights() {
+        let m = LayerModel::with_inter_share(0.5);
+        let w = m.weights().unwrap();
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.125).abs() < 1e-12);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+
+        let zero = LayerModel::with_inter_share(0.0);
+        assert_eq!(zero.weights().unwrap()[0], 0.0);
+
+        assert!(LayerModel::with_inter_share(1.5).weights().is_err());
+        assert!(LayerModel::with_inter_share(-0.1).weights().is_err());
+    }
+
+    #[test]
+    fn custom_weights_validated() {
+        let ok = LayerModel {
+            spatial_layers: 2,
+            random_layer: false,
+            split: VarianceSplit::Custom(vec![0.7, 0.3]),
+        };
+        assert_eq!(ok.weights().unwrap(), vec![0.7, 0.3]);
+        let bad_len = LayerModel {
+            spatial_layers: 2,
+            random_layer: false,
+            split: VarianceSplit::Custom(vec![1.0]),
+        };
+        assert!(bad_len.weights().is_err());
+        let bad_sum = LayerModel {
+            spatial_layers: 2,
+            random_layer: false,
+            split: VarianceSplit::Custom(vec![0.7, 0.7]),
+        };
+        assert!(bad_sum.weights().is_err());
+        let neg = LayerModel {
+            spatial_layers: 2,
+            random_layer: false,
+            split: VarianceSplit::Custom(vec![1.5, -0.5]),
+        };
+        assert!(neg.weights().is_err());
+    }
+
+    #[test]
+    fn partition_lookup() {
+        let m = LayerModel::date05();
+        // Layer 0: everything in partition 0.
+        assert_eq!(m.partition_of(0, (0.1, 0.9)), 0);
+        assert_eq!(m.partition_of(0, (0.99, 0.01)), 0);
+        // Layer 1: 2×2 quadrants, row-major.
+        assert_eq!(m.partition_of(1, (0.1, 0.1)), 0);
+        assert_eq!(m.partition_of(1, (0.9, 0.1)), 1);
+        assert_eq!(m.partition_of(1, (0.1, 0.9)), 2);
+        assert_eq!(m.partition_of(1, (0.9, 0.9)), 3);
+        // Layer 2: 4×4.
+        assert_eq!(m.partition_of(2, (0.3, 0.0)), 1);
+        assert!(m.partition_of(2, (0.99, 0.99)) == 15);
+        // Out-of-range coordinates clamp instead of panicking.
+        assert_eq!(m.partition_of(1, (1.5, -0.5)), 1);
+    }
+
+    #[test]
+    fn shared_layers_decreases_with_distance() {
+        let m = LayerModel::date05();
+        let near = m.shared_layers((0.10, 0.10), (0.11, 0.11));
+        let mid = m.shared_layers((0.10, 0.10), (0.30, 0.30));
+        let far = m.shared_layers((0.10, 0.10), (0.90, 0.90));
+        assert_eq!(near, 4); // same cell on every layer
+        assert!(mid < near && mid >= 1);
+        assert_eq!(far, 1); // only the die-wide layer 0
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_of_bad_layer_panics() {
+        LayerModel::date05().partition_of(4, (0.5, 0.5));
+    }
+}

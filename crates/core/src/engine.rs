@@ -1,0 +1,438 @@
+//! The full methodology — the paper's Fig. 1 flowchart as a single
+//! engine.
+//!
+//! ```text
+//! characterize gates → Bellman-Ford labels → deterministic critical path
+//!   → probabilistic analysis of it → σ_C
+//!   → enumerate paths within C·σ_C → analyze each → rank by 3σ point
+//!   → report (probabilistic critical path, overestimation, migration)
+//! ```
+
+use crate::analyze::{analyze_path, AnalysisSettings, PathAnalysis};
+use crate::characterize::characterize_placed;
+use crate::correlation::LayerModel;
+use crate::enumerate::near_critical_paths;
+use crate::longest_path::{bellman_ford, critical_path, topo_labels};
+use crate::rank::{rank_paths, RankedPath};
+use crate::worst_case::worst_case_critical_delay;
+use crate::{CoreError, Result};
+use statim_netlist::{Circuit, Placement};
+use statim_process::delay::CornerSpec;
+use statim_process::param::Variations;
+use statim_process::Technology;
+use std::time::Instant;
+
+/// Which longest-path solver computes the node labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelSolver {
+    /// Bellman-Ford, as in the paper (§3.1).
+    BellmanFord,
+    /// Single-pass topological dynamic program (ablation baseline).
+    Topological,
+}
+
+/// Full configuration of an SSTA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SstaConfig {
+    /// Technology (nominals, capacitances, mobilities).
+    pub tech: Technology,
+    /// Process variations (σ per parameter, truncation).
+    pub vars: Variations,
+    /// Spatial-correlation layer model and variance split.
+    pub layers: LayerModel,
+    /// Input marginal shape for every parameter (paper: Gaussian).
+    pub marginal: statim_stats::Marginal,
+    /// Intra-die PDF computation model.
+    pub intra_model: crate::analyze::IntraModel,
+    /// The confidence constant `C`: paths within `C·σ_C` of the
+    /// deterministic critical delay are analyzed (paper: 0.05 for most
+    /// circuits, 0.001 for c6288).
+    pub confidence: f64,
+    /// Intra-die PDF discretization (paper: 100).
+    pub quality_intra: usize,
+    /// Inter-die PDF discretization (paper: 50).
+    pub quality_inter: usize,
+    /// Ranking confidence multiple (paper: 3 ⇒ 3σ point).
+    pub sigma_rank: f64,
+    /// Worst-case corner (paper: 3σ).
+    pub corner: CornerSpec,
+    /// Enumeration budget; exceeding it is an error (the c6288 guard).
+    pub max_paths: usize,
+    /// Label solver.
+    pub solver: LabelSolver,
+}
+
+impl SstaConfig {
+    /// The paper's configuration with `C = 0.05`.
+    pub fn date05() -> Self {
+        SstaConfig {
+            tech: Technology::cmos130(),
+            vars: Variations::date05(),
+            layers: LayerModel::date05(),
+            marginal: statim_stats::Marginal::Gaussian,
+            intra_model: crate::analyze::IntraModel::GaussianClosedForm,
+            confidence: 0.05,
+            quality_intra: 100,
+            quality_inter: 50,
+            sigma_rank: 3.0,
+            corner: CornerSpec::three_sigma(),
+            max_paths: 1_000_000,
+            solver: LabelSolver::BellmanFord,
+        }
+    }
+
+    /// Same configuration with a different confidence constant.
+    pub fn with_confidence(mut self, c: f64) -> Self {
+        self.confidence = c;
+        self
+    }
+
+    /// Same configuration with a different layer model.
+    pub fn with_layers(mut self, layers: LayerModel) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    fn settings(&self) -> AnalysisSettings {
+        AnalysisSettings {
+            vars: self.vars,
+            layers: self.layers.clone(),
+            marginal: self.marginal,
+            intra_model: self.intra_model,
+            quality_intra: self.quality_intra,
+            quality_inter: self.quality_inter,
+            sigma_rank: self.sigma_rank,
+            corner: self.corner,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.confidence >= 0.0) || !self.confidence.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                message: format!("confidence C must be ≥ 0, got {}", self.confidence),
+            });
+        }
+        if self.quality_intra < 4 || self.quality_inter < 4 {
+            return Err(CoreError::InvalidConfig {
+                message: "QUALITY discretizations must be at least 4".into(),
+            });
+        }
+        if self.max_paths == 0 {
+            return Err(CoreError::InvalidConfig { message: "max_paths must be positive".into() });
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock time spent in each stage of the flow, seconds — the
+/// breakdown behind the paper's run-time discussion (per-path PDF
+/// analysis dominates; everything deterministic is cheap).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimes {
+    /// Gate characterization (one-time, §3).
+    pub characterize: f64,
+    /// Longest-path labels (Bellman-Ford or DP).
+    pub labels: f64,
+    /// Near-critical path enumeration (Fig. 2).
+    pub enumerate: f64,
+    /// Per-path probabilistic analysis (the κ·QUALITY kernels).
+    pub analyze: f64,
+    /// Confidence-point ranking.
+    pub rank: f64,
+}
+
+/// The result of a full run — one row of the paper's Table 2 plus the
+/// complete ranked path set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SstaReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// Gate count of the circuit.
+    pub gate_count: usize,
+    /// Deterministic critical path delay, seconds (Table 2 col. 3).
+    pub det_critical_delay: f64,
+    /// Worst-case (corner) critical delay, seconds (col. 4).
+    pub worst_case_delay: f64,
+    /// Worst-case overestimation over the probabilistic critical path's
+    /// 3σ point, percent (col. 5).
+    pub overestimation_pct: f64,
+    /// Confidence constant used (col. 6).
+    pub confidence: f64,
+    /// σ of the deterministic critical path's total delay PDF — the
+    /// variability yardstick the enumeration threshold uses.
+    pub sigma_c: f64,
+    /// Number of near-critical paths analyzed (col. 7).
+    pub num_paths: usize,
+    /// All analyzed paths in probabilistic rank order (element 0 is the
+    /// probabilistic critical path). Columns 8–11 of Table 2 come from
+    /// element 0: mean, 3σ point, gate count, deterministic rank.
+    pub paths: Vec<RankedPath>,
+    /// Bellman-Ford (or DP) relaxation sweeps.
+    pub label_sweeps: usize,
+    /// Wall-clock run time of the whole flow, seconds (col. 12).
+    pub runtime: f64,
+    /// Per-stage time breakdown.
+    pub stage_times: StageTimes,
+}
+
+impl SstaReport {
+    /// The probabilistic critical path.
+    pub fn critical(&self) -> &RankedPath {
+        &self.paths[0]
+    }
+}
+
+/// The statistical timing engine.
+#[derive(Debug, Clone)]
+pub struct SstaEngine {
+    config: SstaConfig,
+}
+
+impl SstaEngine {
+    /// Creates an engine with `config`.
+    pub fn new(config: SstaConfig) -> Self {
+        SstaEngine { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SstaConfig {
+        &self.config
+    }
+
+    /// Runs the full methodology on a placed circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors up front,
+    /// [`CoreError::EmptyCircuit`] for untimeable circuits, and
+    /// [`CoreError::PathBudgetExceeded`] when `C` admits more paths than
+    /// `max_paths` (lower `C`, as the paper did for c6288).
+    pub fn run(&self, circuit: &Circuit, placement: &Placement) -> Result<SstaReport> {
+        let start = Instant::now();
+        self.config.validate()?;
+        if placement.len() != circuit.gate_count() {
+            return Err(CoreError::Netlist(statim_netlist::NetlistError::PlacementMismatch {
+                gates: circuit.gate_count(),
+                placed: placement.len(),
+            }));
+        }
+        let settings = self.config.settings();
+        let mut stage_times = StageTimes::default();
+
+        // 1. One-time gate characterization (placement-aware wire loads,
+        //    as a DEF-driven flow sees them).
+        let t0 = Instant::now();
+        let timing = characterize_placed(circuit, &self.config.tech, placement)?;
+        stage_times.characterize = t0.elapsed().as_secs_f64();
+
+        // 2. Deterministic analysis.
+        let t0 = Instant::now();
+        let labels = match self.config.solver {
+            LabelSolver::BellmanFord => bellman_ford(circuit, &timing)?,
+            LabelSolver::Topological => topo_labels(circuit, &timing)?,
+        };
+        let det_critical_delay = labels.critical_delay(circuit)?;
+        let det_path = critical_path(circuit, &timing, &labels)?;
+        stage_times.labels = t0.elapsed().as_secs_f64();
+
+        // 3. Probabilistic analysis of the deterministic critical path
+        //    yields σ_C.
+        let t0 = Instant::now();
+        let det_analysis =
+            analyze_path(&det_path, &timing, placement, &self.config.tech, &settings)?;
+        let sigma_c = det_analysis.sigma;
+        stage_times.analyze += t0.elapsed().as_secs_f64();
+
+        // 4. Enumerate paths within C·σ_C.
+        let t0 = Instant::now();
+        let threshold = det_critical_delay - self.config.confidence * sigma_c;
+        let set = near_critical_paths(
+            circuit,
+            &timing,
+            &labels,
+            threshold,
+            self.config.max_paths,
+        )?;
+        stage_times.enumerate = t0.elapsed().as_secs_f64();
+
+        // 5. Analyze every near-critical path (reusing the critical
+        //    path's analysis).
+        let t0 = Instant::now();
+        let mut analyses: Vec<PathAnalysis> = Vec::with_capacity(set.paths.len());
+        for p in &set.paths {
+            if *p == det_path {
+                analyses.push(det_analysis.clone());
+            } else {
+                analyses.push(analyze_path(p, &timing, placement, &self.config.tech, &settings)?);
+            }
+        }
+        stage_times.analyze += t0.elapsed().as_secs_f64();
+
+        // 6. Rank by the confidence point.
+        let t0 = Instant::now();
+        let ranked = rank_paths(analyses);
+        stage_times.rank = t0.elapsed().as_secs_f64();
+        if ranked.is_empty() {
+            return Err(CoreError::EmptyCircuit);
+        }
+
+        // Worst-case analysis over the whole circuit (corner STA).
+        let worst_case_delay = worst_case_critical_delay(
+            circuit,
+            &timing,
+            &self.config.tech,
+            &self.config.vars,
+            self.config.corner,
+        )?;
+        let crit_point = ranked[0].analysis.confidence_point;
+        let overestimation_pct = (worst_case_delay - crit_point) / crit_point * 100.0;
+
+        Ok(SstaReport {
+            circuit: circuit.name().to_string(),
+            gate_count: circuit.gate_count(),
+            det_critical_delay,
+            worst_case_delay,
+            overestimation_pct,
+            confidence: self.config.confidence,
+            sigma_c,
+            num_paths: ranked.len(),
+            paths: ranked,
+            label_sweeps: labels.sweeps,
+            runtime: start.elapsed().as_secs_f64(),
+            stage_times,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_netlist::PlacementStyle;
+
+    fn run(bench: Benchmark, config: SstaConfig) -> SstaReport {
+        let c = iscas85::generate(bench);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        SstaEngine::new(config).run(&c, &p).unwrap()
+    }
+
+    #[test]
+    fn c432_full_flow() {
+        let r = run(Benchmark::C432, SstaConfig::date05());
+        assert_eq!(r.circuit, "c432");
+        assert_eq!(r.gate_count, 160);
+        assert!(r.num_paths >= 1);
+        assert_eq!(r.paths.len(), r.num_paths);
+        // The probabilistic critical path is rank 1 and its confidence
+        // point dominates every other path's.
+        let crit = r.critical();
+        assert_eq!(crit.prob_rank, 1);
+        for p in &r.paths[1..] {
+            assert!(p.analysis.confidence_point <= crit.analysis.confidence_point);
+        }
+        // Worst case exceeds the 3σ point substantially (paper: ~56%).
+        assert!(r.overestimation_pct > 25.0, "{}", r.overestimation_pct);
+        assert!(r.overestimation_pct < 90.0, "{}", r.overestimation_pct);
+        // Mean close to but not equal to the deterministic delay.
+        let mean = crit.analysis.mean;
+        assert!((mean - r.det_critical_delay).abs() / r.det_critical_delay < 0.02);
+        assert!(r.runtime > 0.0);
+    }
+
+    #[test]
+    fn solver_choice_does_not_change_results() {
+        let bf = run(Benchmark::C499, SstaConfig::date05());
+        let mut cfg = SstaConfig::date05();
+        cfg.solver = LabelSolver::Topological;
+        let tp = run(Benchmark::C499, cfg);
+        assert_eq!(bf.num_paths, tp.num_paths);
+        assert!((bf.det_critical_delay - tp.det_critical_delay).abs() < 1e-18);
+        assert_eq!(bf.critical().analysis.gates, tp.critical().analysis.gates);
+        assert!(bf.label_sweeps >= tp.label_sweeps);
+    }
+
+    #[test]
+    fn higher_confidence_analyzes_more_paths() {
+        let small = run(Benchmark::C432, SstaConfig::date05().with_confidence(0.01));
+        let large = run(Benchmark::C432, SstaConfig::date05().with_confidence(0.3));
+        assert!(large.num_paths >= small.num_paths);
+        // The probabilistic critical path must not get *worse* with a
+        // wider search.
+        assert!(
+            large.critical().analysis.confidence_point
+                >= small.critical().analysis.confidence_point - 1e-18
+        );
+    }
+
+    #[test]
+    fn table3_monotonicity_inter_share() {
+        // Larger inter-die share ⇒ larger σ and at least as many
+        // near-critical paths (the paper's Table 3).
+        let intra_only =
+            run(Benchmark::C432, SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.0)));
+        let half =
+            run(Benchmark::C432, SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.5)));
+        let three_q = run(
+            Benchmark::C432,
+            SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.75)),
+        );
+        assert!(half.sigma_c > intra_only.sigma_c);
+        assert!(three_q.sigma_c > half.sigma_c);
+        assert!(half.num_paths >= intra_only.num_paths);
+        assert!(three_q.num_paths >= half.num_paths);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let mut cfg = SstaConfig::date05();
+        cfg.confidence = -1.0;
+        assert!(SstaEngine::new(cfg).run(&c, &p).is_err());
+        let mut cfg = SstaConfig::date05();
+        cfg.quality_inter = 1;
+        assert!(SstaEngine::new(cfg).run(&c, &p).is_err());
+        let mut cfg = SstaConfig::date05();
+        cfg.max_paths = 0;
+        assert!(SstaEngine::new(cfg).run(&c, &p).is_err());
+    }
+
+    #[test]
+    fn placement_mismatch_rejected() {
+        let c = iscas85::generate(Benchmark::C432);
+        let other = iscas85::generate(Benchmark::C499);
+        let p = Placement::generate(&other, PlacementStyle::Levelized);
+        assert!(matches!(
+            SstaEngine::new(SstaConfig::date05()).run(&c, &p),
+            Err(CoreError::Netlist(_))
+        ));
+    }
+
+    #[test]
+    fn stage_times_cover_runtime() {
+        let r = run(Benchmark::C1355, SstaConfig::date05());
+        let st = &r.stage_times;
+        let sum = st.characterize + st.labels + st.enumerate + st.analyze + st.rank;
+        assert!(sum > 0.0);
+        assert!(sum <= r.runtime * 1.01);
+        // Per-path analysis dominates (κ·QUALITY kernels) — the paper's
+        // run-time discussion.
+        assert!(
+            st.analyze > 0.5 * sum,
+            "analysis {} of total {}",
+            st.analyze,
+            sum
+        );
+    }
+
+    #[test]
+    fn report_paths_sorted_by_prob_rank() {
+        let r = run(Benchmark::C880, SstaConfig::date05().with_confidence(0.2));
+        for (i, p) in r.paths.iter().enumerate() {
+            assert_eq!(p.prob_rank, i + 1);
+        }
+        // Deterministic rank 1 is the deterministic critical path.
+        let det1 = r.paths.iter().find(|p| p.det_rank == 1).unwrap();
+        assert!((det1.analysis.det_delay - r.det_critical_delay).abs() < 1e-12 * r.det_critical_delay);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the SSTA engine.
+
+use statim_netlist::NetlistError;
+use statim_stats::StatsError;
+use std::fmt;
+
+/// Errors produced by the statistical timing flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A numerical (PDF/grid) operation failed.
+    Stats(StatsError),
+    /// A netlist or placement operation failed.
+    Netlist(NetlistError),
+    /// The circuit has no gates or no primary outputs to time.
+    EmptyCircuit,
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Near-critical path enumeration exceeded its budget; results would
+    /// be incomplete. (The paper hits this on c6288 at C = 0.005 and
+    /// lowers C; raise `max_paths` or lower `confidence` likewise.)
+    PathBudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A gate delay evaluated to a non-finite value (operating point
+    /// outside the transistor's active region, e.g. a corner with
+    /// `Vdd ≤ VT`).
+    NonFiniteDelay {
+        /// Index of the offending gate.
+        gate: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CoreError::EmptyCircuit => write!(f, "circuit has no gates or outputs"),
+            CoreError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+            CoreError::PathBudgetExceeded { budget } => {
+                write!(f, "more than {budget} near-critical paths; lower C or raise max_paths")
+            }
+            CoreError::NonFiniteDelay { gate } => {
+                write!(f, "gate {gate} has a non-finite delay at the requested point")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<NetlistError> for CoreError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::EmptyCircuit;
+        assert!(e.to_string().contains("no gates"));
+        let e = CoreError::PathBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+        let e: CoreError = StatsError::ZeroMass.into();
+        assert!(matches!(e, CoreError::Stats(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

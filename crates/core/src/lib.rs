@@ -1,0 +1,74 @@
+//! Path-based statistical static timing analysis with inter- and
+//! intra-die variations — the methodology of Mangassarian & Anis,
+//! DATE 2005.
+//!
+//! The flow (the paper's Fig. 1):
+//!
+//! 1. [`characterize()`] — one-time evaluation of every gate's nominal
+//!    delay and delay gradient (the Taylor coefficients of eq. (12));
+//! 2. [`longest_path`] — Bellman-Ford node labels and the deterministic
+//!    critical path;
+//! 3. [`analyze`] — probabilistic analysis of a path: intra-die variance
+//!    by eq. (14) ([`intra`]), the non-linear inter-die delay PDF computed
+//!    numerically ([`inter`]), and their convolution;
+//! 4. [`enumerate`] — all near-critical paths within `C·σ_C` of the
+//!    deterministic critical delay (the recursive walk of Fig. 2);
+//! 5. [`rank`] — confidence-point (3σ) ranking of every analyzed path and
+//!    the deterministic→probabilistic rank migration;
+//! 6. [`engine`] — [`engine::SstaEngine`] ties it all together and emits a
+//!    Table-2-style [`engine::SstaReport`].
+//!
+//! Supporting modules: [`correlation`] (the layered spatial-correlation
+//! model of eqs. (6)–(7)), [`monte_carlo`] (exact non-linear validation of
+//! the analytic machinery, full-chip and per-path, plus criticality),
+//! [`worst_case`] (the deterministic corner analysis the paper indicts),
+//! [`block_based`] (the independence-assuming baseline of its refs 3–4),
+//! [`bounds`] (the CDF-bounds thread of its refs 2 and 8), [`slack`]
+//! (deterministic timing reports), [`attribution`] (per-parameter and
+//! per-gate variance decomposition), [`timing_yield`] (yield curves and
+//! clock constraints) and [`report`] (text/CSV rendering).
+//!
+//! # Example
+//!
+//! ```
+//! use statim_core::engine::{SstaConfig, SstaEngine};
+//! use statim_netlist::generators::iscas85::{self, Benchmark};
+//! use statim_netlist::{Placement, PlacementStyle};
+//!
+//! let circuit = iscas85::generate(Benchmark::C432);
+//! let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+//! let engine = SstaEngine::new(SstaConfig::date05());
+//! let report = engine.run(&circuit, &placement).unwrap();
+//! assert!(report.overestimation_pct > 20.0); // worst-case is conservative
+//! assert_eq!(report.paths[0].prob_rank, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod attribution;
+pub mod block_based;
+pub mod bounds;
+pub mod characterize;
+pub mod correlation;
+pub mod engine;
+pub mod enumerate;
+pub mod error;
+pub mod inter;
+pub mod intra;
+pub mod longest_path;
+pub mod monte_carlo;
+pub mod rank;
+pub mod report;
+pub mod slack;
+pub mod timing_yield;
+pub mod worst_case;
+
+pub use characterize::{characterize, CircuitTiming, GateTiming};
+pub use correlation::{LayerModel, VarianceSplit};
+pub use engine::{SstaConfig, SstaEngine, SstaReport};
+pub use error::CoreError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,271 @@
+//! Deterministic longest-path analysis.
+//!
+//! The paper uses the Bellman-Ford algorithm on the timing graph, with
+//! each edge weighted by the delay of the gate *before* it (§3.1); the
+//! label of a node is the maximum arrival time at its output. A
+//! topological dynamic program is provided as the textbook single-pass
+//! alternative — the two must agree exactly, and the benchmark harness
+//! compares their run-times (ablation 1 of `DESIGN.md`).
+
+use crate::characterize::CircuitTiming;
+use crate::{CoreError, Result};
+use statim_netlist::{Circuit, GateId, Signal};
+
+/// Arrival-time labels for every gate (seconds at the gate *output*),
+/// plus bookkeeping about how they were computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Labels {
+    /// Max arrival time at each gate's output, gate-id order.
+    pub arrival: Vec<f64>,
+    /// Relaxation sweeps the solver performed (1 for the topological DP).
+    pub sweeps: usize,
+}
+
+impl Labels {
+    /// The critical (maximum) arrival time over the primary outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyCircuit`] if the circuit has no gate-
+    /// driven primary output.
+    pub fn critical_delay(&self, circuit: &Circuit) -> Result<f64> {
+        circuit
+            .outputs()
+            .iter()
+            .filter_map(|&(_, s)| match s {
+                Signal::Gate(g) => Some(self.arrival[g.index()]),
+                Signal::Input(_) => None,
+            })
+            .max_by(|a, b| a.partial_cmp(b).expect("finite arrivals"))
+            .ok_or(CoreError::EmptyCircuit)
+    }
+}
+
+/// Computes labels with the Bellman-Ford algorithm, as the paper does.
+///
+/// Edges are relaxed in a fixed order that is *not* topological (gate-id
+/// descending), so convergence genuinely takes multiple sweeps over the
+/// edge list — the behaviour an implementation without topological
+/// awareness exhibits. Worst-case complexity `O(|N|·|E|)`; the sweep
+/// count is reported in the result.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCircuit`] for a gate-less circuit.
+pub fn bellman_ford(circuit: &Circuit, timing: &CircuitTiming) -> Result<Labels> {
+    let n = circuit.gate_count();
+    if n == 0 {
+        return Err(CoreError::EmptyCircuit);
+    }
+    let mut arrival = vec![f64::NEG_INFINITY; n];
+    // Seed: a gate fed by at least one primary input can start a path.
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if g.inputs.iter().any(|s| matches!(s, Signal::Input(_))) {
+            arrival[i] = timing.gates()[i].nominal;
+        }
+    }
+    let mut sweeps = 0;
+    loop {
+        sweeps += 1;
+        let mut changed = false;
+        // Deliberately anti-topological order (see doc comment).
+        for i in (0..n).rev() {
+            let own = timing.gates()[i].nominal;
+            let mut best = arrival[i];
+            for s in &circuit.gates()[i].inputs {
+                if let Signal::Gate(src) = s {
+                    let a = arrival[src.index()];
+                    if a.is_finite() && a + own > best {
+                        best = a + own;
+                    }
+                }
+            }
+            if best > arrival[i] {
+                arrival[i] = best;
+                changed = true;
+            }
+        }
+        if !changed || sweeps > n {
+            break;
+        }
+    }
+    Ok(Labels { arrival, sweeps })
+}
+
+/// Computes labels with a single topological pass (gates are stored in
+/// topological order, so one forward sweep suffices).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCircuit`] for a gate-less circuit.
+pub fn topo_labels(circuit: &Circuit, timing: &CircuitTiming) -> Result<Labels> {
+    let n = circuit.gate_count();
+    if n == 0 {
+        return Err(CoreError::EmptyCircuit);
+    }
+    let mut arrival = vec![0.0f64; n];
+    for (i, g) in circuit.gates().iter().enumerate() {
+        let mut incoming: f64 = 0.0;
+        for s in &g.inputs {
+            if let Signal::Gate(src) = s {
+                incoming = incoming.max(arrival[src.index()]);
+            }
+        }
+        arrival[i] = incoming + timing.gates()[i].nominal;
+    }
+    Ok(Labels { arrival, sweeps: 1 })
+}
+
+/// Traces the deterministic critical path backward from the latest
+/// primary output: at each step, the fan-in whose label explains the
+/// current arrival. Returns gate ids from first gate to PO driver.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCircuit`] if there is no gate-driven output.
+pub fn critical_path(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    labels: &Labels,
+) -> Result<Vec<GateId>> {
+    let mut end: Option<GateId> = None;
+    let mut best = f64::NEG_INFINITY;
+    for &(_, s) in circuit.outputs() {
+        if let Signal::Gate(g) = s {
+            if labels.arrival[g.index()] > best {
+                best = labels.arrival[g.index()];
+                end = Some(g);
+            }
+        }
+    }
+    let mut node = end.ok_or(CoreError::EmptyCircuit)?;
+    let mut path = vec![node];
+    loop {
+        let own = timing.gates()[node.index()].nominal;
+        let target = labels.arrival[node.index()] - own;
+        let mut pred: Option<GateId> = None;
+        if target.abs() > 1e-24 {
+            let mut best_err = f64::INFINITY;
+            for s in &circuit.gates()[node.index()].inputs {
+                if let Signal::Gate(src) = s {
+                    let err = (labels.arrival[src.index()] - target).abs();
+                    if err < best_err {
+                        best_err = err;
+                        pred = Some(*src);
+                    }
+                }
+            }
+            // The predecessor must explain the label exactly (up to
+            // floating-point noise relative to the path delay).
+            if let Some(p) = pred {
+                if (labels.arrival[p.index()] - target).abs() > 1e-9 * labels.arrival[node.index()]
+                {
+                    pred = None;
+                }
+            }
+        }
+        match pred {
+            Some(p) => {
+                path.push(p);
+                node = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use statim_process::{GateKind, Technology};
+
+    fn diamond() -> (Circuit, CircuitTiming) {
+        // a -> g1(NAND2, slow) -> g3
+        // a -> g2(INV, fast)  -> g3 ; critical path goes through g1.
+        let mut c = Circuit::new("d");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g1 = c.add_gate("g1", GateKind::Nand(4), &[a, b, a, b]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Inv, &[a]).unwrap();
+        let g3 = c.add_gate("g3", GateKind::Nand(2), &[g1, g2]).unwrap();
+        c.mark_output("o", g3).unwrap();
+        let t = characterize(&c, &Technology::cmos130()).unwrap();
+        (c, t)
+    }
+
+    #[test]
+    fn bellman_ford_equals_topo() {
+        let (c, t) = diamond();
+        let bf = bellman_ford(&c, &t).unwrap();
+        let tp = topo_labels(&c, &t).unwrap();
+        for (a, b) in bf.arrival.iter().zip(&tp.arrival) {
+            assert!((a - b).abs() < 1e-18, "{a} vs {b}");
+        }
+        assert!(bf.sweeps >= 1);
+        assert_eq!(tp.sweeps, 1);
+    }
+
+    #[test]
+    fn bellman_ford_equals_topo_on_benchmark() {
+        let c = statim_netlist::generators::iscas85::generate(
+            statim_netlist::generators::iscas85::Benchmark::C880,
+        );
+        let t = characterize(&c, &Technology::cmos130()).unwrap();
+        let bf = bellman_ford(&c, &t).unwrap();
+        let tp = topo_labels(&c, &t).unwrap();
+        for (a, b) in bf.arrival.iter().zip(&tp.arrival) {
+            assert!((a - b).abs() < 1e-15 * b.abs().max(1e-12));
+        }
+        // Anti-topological relaxation takes several sweeps.
+        assert!(bf.sweeps > 1, "sweeps = {}", bf.sweeps);
+    }
+
+    #[test]
+    fn critical_delay_and_path() {
+        let (c, t) = diamond();
+        let labels = topo_labels(&c, &t).unwrap();
+        let d = labels.critical_delay(&c).unwrap();
+        let path = critical_path(&c, &t, &labels).unwrap();
+        // Path g1 -> g3 (the slow branch).
+        assert_eq!(path.len(), 2);
+        assert_eq!(c.gate(path[0]).name, "g1");
+        assert_eq!(c.gate(path[1]).name, "g3");
+        assert!((t.path_delay(&path) - d).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_circuit_errors() {
+        let c = Circuit::new("e");
+        let mut c2 = Circuit::new("x");
+        let a = c2.add_input("a").unwrap();
+        c2.mark_output("o", a).unwrap(); // output driven directly by PI
+        let t_err = characterize(&c, &Technology::cmos130());
+        assert!(t_err.is_err());
+        let g = c2.add_gate("g", GateKind::Inv, &[a]);
+        let _ = g;
+        let t = characterize(&c2, &Technology::cmos130()).unwrap();
+        let labels = topo_labels(&c2, &t).unwrap();
+        // Only PI-driven outputs: no gate-driven PO to time.
+        assert!(labels.critical_delay(&c2).is_err());
+    }
+
+    #[test]
+    fn labels_monotone_along_path() {
+        let c = statim_netlist::generators::iscas85::generate(
+            statim_netlist::generators::iscas85::Benchmark::C432,
+        );
+        let t = characterize(&c, &Technology::cmos130()).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let path = critical_path(&c, &t, &labels).unwrap();
+        assert!(!path.is_empty());
+        for w in path.windows(2) {
+            assert!(labels.arrival[w[0].index()] < labels.arrival[w[1].index()]);
+        }
+        // The traced path's delay equals the critical delay.
+        let d = labels.critical_delay(&c).unwrap();
+        assert!((t.path_delay(&path) - d).abs() < 1e-12 * d);
+    }
+}

@@ -1,0 +1,542 @@
+//! Monte-Carlo validation against the exact non-linear delay model.
+//!
+//! The analytic flow makes two approximations (the paper's §2.4): the
+//! first-order Taylor expansion of the intra-die delay and the
+//! zeroth-order freeze of its coefficients at nominal. This module checks
+//! them by brute force: sample every layer RV, evaluate each gate's delay
+//! *exactly* (eq. (8) — the full non-linear expression at that gate's own
+//! parameter values), and histogram the resulting path delays.
+
+use crate::characterize::CircuitTiming;
+use crate::correlation::LayerModel;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use statim_netlist::{GateId, Placement};
+use statim_process::param::{PerParam, Variations};
+use statim_process::tech::OperatingPoint;
+use statim_process::{gate_delay, Technology};
+use statim_stats::{Grid, Marginal, Pdf};
+use std::collections::HashMap;
+
+/// Result of a Monte-Carlo run over one path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    /// Empirical delay PDF.
+    pub pdf: Pdf,
+    /// Sample mean, seconds.
+    pub mean: f64,
+    /// Sample standard deviation, seconds.
+    pub sigma: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl McResult {
+    /// The empirical `mean + k·σ` confidence point.
+    pub fn sigma_point(&self, k: f64) -> f64 {
+        self.mean + k * self.sigma
+    }
+}
+
+/// Samples the exact non-linear delay distribution of `path`.
+///
+/// Per sample: draw the inter-die value of each parameter (layer 0), one
+/// zero-mean value per (parameter, intra layer, partition) the path
+/// touches, and a per-gate value for the random layer; each gate's delay
+/// is then evaluated with the full eq. (2) at its own summed parameter
+/// vector, exactly as eq. (8) prescribes — no linearization anywhere.
+///
+/// # Errors
+///
+/// Propagates configuration errors (invalid layer weights, empty sample
+/// count or histogram construction).
+#[allow(clippy::too_many_arguments)]
+pub fn mc_path_distribution(
+    path: &[GateId],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+) -> Result<McResult> {
+    mc_path_distribution_with(
+        path, timing, placement, tech, vars, layers, Marginal::Gaussian, samples, quality, seed,
+    )
+}
+
+/// [`mc_path_distribution`] with an explicit input [`Marginal`] shape.
+///
+/// # Errors
+///
+/// Same as [`mc_path_distribution`].
+#[allow(clippy::too_many_arguments)]
+pub fn mc_path_distribution_with(
+    path: &[GateId],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    marginal: Marginal,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+) -> Result<McResult> {
+    let weights = layers.weights()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-gate partition index for each intra spatial layer (1..L).
+    let gate_partitions: Vec<Vec<usize>> = path
+        .iter()
+        .map(|&g| {
+            let xy = placement.normalized(g);
+            (1..layers.spatial_layers).map(|l| layers.partition_of(l, xy)).collect()
+        })
+        .collect();
+    let trunc = vars.trunc_k;
+
+    let mut delays = Vec::with_capacity(samples);
+    let mut draws: HashMap<(usize, usize, usize), f64> = HashMap::new();
+    for _ in 0..samples {
+        // Layer 0: the shared inter-die operating point.
+        let inter = PerParam::from_fn(|p| {
+            let sigma = vars.sigma.get(p) * weights[0].sqrt();
+            if sigma > 0.0 {
+                marginal.sample(&mut rng, tech.nominal(p), sigma, trunc)
+            } else {
+                tech.nominal(p)
+            }
+        });
+        draws.clear();
+        let mut total = 0.0;
+        for (gi, &g) in path.iter().enumerate() {
+            let values = PerParam::from_fn(|p| {
+                let sigma_total = vars.sigma.get(p);
+                let mut v = inter.get(p);
+                for (li, &part) in gate_partitions[gi].iter().enumerate() {
+                    let layer = li + 1;
+                    let sigma = sigma_total * weights[layer].sqrt();
+                    v += *draws.entry((p.index(), layer, part)).or_insert_with(|| {
+                        if sigma > 0.0 {
+                            marginal.sample(&mut rng, 0.0, sigma, trunc)
+                        } else {
+                            0.0
+                        }
+                    });
+                }
+                if let Some(slot) = layers.random_slot() {
+                    let sigma = sigma_total * weights[slot].sqrt();
+                    if sigma > 0.0 {
+                        v += marginal.sample(&mut rng, 0.0, sigma, trunc);
+                    }
+                }
+                v
+            });
+            let pt = OperatingPoint { values };
+            total += gate_delay(tech, &timing.gate(g).ab, &pt);
+        }
+        delays.push(total);
+    }
+
+    let mean = delays.iter().sum::<f64>() / delays.len().max(1) as f64;
+    let var =
+        delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / delays.len().max(1) as f64;
+    let sigma = var.sqrt();
+    let lo = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(mean.abs() * 1e-9);
+    let grid = Grid::over(lo, lo + span * (1.0 + 1e-9), quality)?;
+    let pdf = Pdf::from_samples(grid, &delays)?;
+    Ok(McResult { pdf, mean, sigma, samples })
+}
+
+/// Per-sample drawing of every layer RV for a whole circuit, evaluating
+/// each gate's exact delay. Shared by the full-chip baseline and the
+/// criticality estimator.
+struct CircuitSampler<'a> {
+    timing: &'a CircuitTiming,
+    tech: &'a Technology,
+    vars: &'a Variations,
+    weights: Vec<f64>,
+    /// Per gate, per intra spatial layer (1..L): partition index.
+    gate_partitions: Vec<Vec<usize>>,
+    /// Number of spatial layers (layer 0 = inter-die).
+    spatial_layers: usize,
+    random_layer: bool,
+    marginal: Marginal,
+}
+
+impl<'a> CircuitSampler<'a> {
+    fn new(
+        circuit: &statim_netlist::Circuit,
+        timing: &'a CircuitTiming,
+        placement: &Placement,
+        tech: &'a Technology,
+        vars: &'a Variations,
+        layers: &LayerModel,
+        marginal: Marginal,
+    ) -> Result<Self> {
+        let weights = layers.weights()?;
+        let gate_partitions = circuit
+            .gate_ids()
+            .map(|g| {
+                let xy = placement.normalized(g);
+                (1..layers.spatial_layers).map(|l| layers.partition_of(l, xy)).collect()
+            })
+            .collect();
+        Ok(CircuitSampler {
+            timing,
+            tech,
+            vars,
+            weights,
+            gate_partitions,
+            spatial_layers: layers.spatial_layers,
+            random_layer: layers.random_layer,
+            marginal,
+        })
+    }
+
+    /// Draws one full-circuit sample: the exact delay of every gate.
+    fn sample_gate_delays(
+        &self,
+        rng: &mut StdRng,
+        draws: &mut HashMap<(usize, usize, usize), f64>,
+    ) -> Vec<f64> {
+        let trunc = self.vars.trunc_k;
+        let inter = PerParam::from_fn(|p| {
+            let sigma = self.vars.sigma.get(p) * self.weights[0].sqrt();
+            if sigma > 0.0 {
+                self.marginal.sample(rng, self.tech.nominal(p), sigma, trunc)
+            } else {
+                self.tech.nominal(p)
+            }
+        });
+        draws.clear();
+        let random_slot = self.random_layer.then_some(self.spatial_layers);
+        self.gate_partitions
+            .iter()
+            .enumerate()
+            .map(|(gi, parts)| {
+                let values = PerParam::from_fn(|p| {
+                    let sigma_total = self.vars.sigma.get(p);
+                    let mut v = inter.get(p);
+                    for (li, &part) in parts.iter().enumerate() {
+                        let layer = li + 1;
+                        let sigma = sigma_total * self.weights[layer].sqrt();
+                        v += *draws.entry((p.index(), layer, part)).or_insert_with(|| {
+                            if sigma > 0.0 {
+                                self.marginal.sample(rng, 0.0, sigma, trunc)
+                            } else {
+                                0.0
+                            }
+                        });
+                    }
+                    if let Some(slot) = random_slot {
+                        let sigma = sigma_total * self.weights[slot].sqrt();
+                        if sigma > 0.0 {
+                            v += self.marginal.sample(rng, 0.0, sigma, trunc);
+                        }
+                    }
+                    v
+                });
+                let pt = OperatingPoint { values };
+                gate_delay(self.tech, &self.timing.gates()[gi].ab, &pt)
+            })
+            .collect()
+    }
+}
+
+/// **Full-chip Monte-Carlo baseline**: the competing analysis style the
+/// paper contrasts with. Per sample, every layer RV is drawn, every gate
+/// delay evaluated exactly, and the circuit delay obtained by propagating
+/// arrival times through the whole timing graph (so the maximum over
+/// *all* paths, not just the enumerated ones, is taken with full
+/// correlation).
+///
+/// Path-based SSTA approximates this distribution from the near-critical
+/// set; comparing the two quantifies the coverage error of a given
+/// confidence constant `C`.
+///
+/// # Errors
+///
+/// Propagates configuration errors; returns [`crate::CoreError`] wrapping
+/// histogram failures.
+#[allow(clippy::too_many_arguments)]
+pub fn mc_circuit_distribution(
+    circuit: &statim_netlist::Circuit,
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+) -> Result<McResult> {
+    mc_circuit_distribution_with(
+        circuit, timing, placement, tech, vars, layers, Marginal::Gaussian, samples, quality, seed,
+    )
+}
+
+/// [`mc_circuit_distribution`] with an explicit input [`Marginal`] shape.
+///
+/// # Errors
+///
+/// Same as [`mc_circuit_distribution`].
+#[allow(clippy::too_many_arguments)]
+pub fn mc_circuit_distribution_with(
+    circuit: &statim_netlist::Circuit,
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    marginal: Marginal,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+) -> Result<McResult> {
+    let sampler = CircuitSampler::new(circuit, timing, placement, tech, vars, layers, marginal)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draws = HashMap::new();
+    let mut delays = Vec::with_capacity(samples);
+    let n = circuit.gate_count();
+    let mut arrival = vec![0.0f64; n];
+    for _ in 0..samples {
+        let gate_delays = sampler.sample_gate_delays(&mut rng, &mut draws);
+        // Topological arrival propagation (gates are stored in topo
+        // order).
+        for (i, g) in circuit.gates().iter().enumerate() {
+            let mut incoming: f64 = 0.0;
+            for s in &g.inputs {
+                if let statim_netlist::Signal::Gate(src) = s {
+                    incoming = incoming.max(arrival[src.index()]);
+                }
+            }
+            arrival[i] = incoming + gate_delays[i];
+        }
+        let mut worst: f64 = 0.0;
+        for &(_, s) in circuit.outputs() {
+            if let statim_netlist::Signal::Gate(g) = s {
+                worst = worst.max(arrival[g.index()]);
+            }
+        }
+        delays.push(worst);
+    }
+    summarize(delays, quality)
+}
+
+/// **Path criticality**: the probability that each of `paths` is the
+/// slowest, estimated by correlated sampling — one set of layer RVs per
+/// trial, every path evaluated under it. Returns one probability per
+/// path (summing to 1).
+///
+/// This is the natural "which path limits my clock?" question the
+/// confidence-point ranking approximates; ranking by criticality and by
+/// the 3σ point usually agree on the winner but differ in the tail.
+///
+/// # Errors
+///
+/// Propagates configuration errors. Returns an empty vector for an empty
+/// path set.
+#[allow(clippy::too_many_arguments)]
+pub fn mc_path_criticality(
+    circuit: &statim_netlist::Circuit,
+    paths: &[Vec<GateId>],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    samples: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    if paths.is_empty() {
+        return Ok(Vec::new());
+    }
+    let sampler = CircuitSampler::new(circuit, timing, placement, tech, vars, layers, Marginal::Gaussian)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draws = HashMap::new();
+    let mut wins = vec![0usize; paths.len()];
+    for _ in 0..samples {
+        let gate_delays = sampler.sample_gate_delays(&mut rng, &mut draws);
+        let mut best = f64::NEG_INFINITY;
+        let mut argmax = 0;
+        for (pi, path) in paths.iter().enumerate() {
+            let d: f64 = path.iter().map(|g| gate_delays[g.index()]).sum();
+            if d > best {
+                best = d;
+                argmax = pi;
+            }
+        }
+        wins[argmax] += 1;
+    }
+    Ok(wins.into_iter().map(|w| w as f64 / samples as f64).collect())
+}
+
+fn summarize(delays: Vec<f64>, quality: usize) -> Result<McResult> {
+    let n = delays.len().max(1) as f64;
+    let mean = delays.iter().sum::<f64>() / n;
+    let var = delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n;
+    let sigma = var.sqrt();
+    let lo = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(mean.abs() * 1e-9);
+    let grid = Grid::over(lo, lo + span * (1.0 + 1e-9), quality)?;
+    let pdf = Pdf::from_samples(grid, &delays)?;
+    let samples = delays.len();
+    Ok(McResult { pdf, mean, sigma, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_path, AnalysisSettings};
+    use crate::characterize::{characterize, characterize_placed};
+    use crate::longest_path::{critical_path, topo_labels};
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_netlist::PlacementStyle;
+
+    fn setup(
+        bench: Benchmark,
+    ) -> (CircuitTiming, Placement, Vec<GateId>, Technology) {
+        let c = iscas85::generate(bench);
+        let tech = Technology::cmos130();
+        let t = characterize(&c, &tech).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let cp = critical_path(&c, &t, &labels).unwrap();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        (t, p, cp, tech)
+    }
+
+    #[test]
+    fn mc_validates_analytic_pdf_c432() {
+        // The headline accuracy check: the analytic (linearized,
+        // separable, discretized) total PDF must agree with the exact
+        // non-linear Monte-Carlo on mean, σ and the 3σ point.
+        let (t, p, cp, tech) = setup(Benchmark::C432);
+        let settings = AnalysisSettings::date05();
+        let analytic = analyze_path(&cp, &t, &p, &tech, &settings).unwrap();
+        let mc = mc_path_distribution(
+            &cp,
+            &t,
+            &p,
+            &tech,
+            &settings.vars,
+            &settings.layers,
+            30_000,
+            100,
+            42,
+        )
+        .unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(rel(analytic.mean, mc.mean) < 0.01, "mean {} vs {}", analytic.mean, mc.mean);
+        assert!(rel(analytic.sigma, mc.sigma) < 0.06, "σ {} vs {}", analytic.sigma, mc.sigma);
+        assert!(
+            rel(analytic.confidence_point, mc.sigma_point(3.0)) < 0.02,
+            "3σ point {} vs {}",
+            analytic.confidence_point,
+            mc.sigma_point(3.0)
+        );
+    }
+
+    #[test]
+    fn mc_is_deterministic_per_seed() {
+        let (t, p, cp, tech) = setup(Benchmark::C499);
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let a = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7).unwrap();
+        let b = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7).unwrap();
+        assert_eq!(a.mean, b.mean);
+        let c = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 8).unwrap();
+        assert_ne!(a.mean, c.mean);
+    }
+
+    #[test]
+    fn mc_inter_only_matches_inter_pdf() {
+        // With 100% inter-die variance the exact distribution is the
+        // non-linear inter PDF itself.
+        let (t, p, cp, tech) = setup(Benchmark::C432);
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::with_inter_share(1.0);
+        let mc =
+            mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 30_000, 100, 3).unwrap();
+        let ab = t.path_alpha_beta(&cp);
+        let analytic = crate::inter::inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
+        assert!((mc.mean - analytic.mean()).abs() / analytic.mean() < 0.01);
+        assert!((mc.sigma - analytic.std_dev()).abs() / analytic.std_dev() < 0.05);
+    }
+
+    #[test]
+    fn full_chip_dominates_single_path() {
+        // The circuit delay is the max over all paths, so its
+        // distribution must (weakly) dominate the critical path's.
+        let bench = Benchmark::C432;
+        let c = iscas85::generate(bench);
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let cp = critical_path(&c, &t, &labels).unwrap();
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let chip =
+            mc_circuit_distribution(&c, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
+        let path =
+            mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
+        assert!(chip.mean >= path.mean * 0.999, "{} vs {}", chip.mean, path.mean);
+        // For c432 (few near-critical paths) path-based ≈ full-chip: the
+        // paper's premise that the near-critical set suffices.
+        assert!(
+            (chip.sigma_point(3.0) - path.sigma_point(3.0)).abs() / chip.sigma_point(3.0)
+                < 0.03,
+            "full-chip {} vs path {}",
+            chip.sigma_point(3.0),
+            path.sigma_point(3.0)
+        );
+    }
+
+    #[test]
+    fn criticality_sums_to_one_and_ranks_sensibly() {
+        let bench = Benchmark::C432;
+        let c = iscas85::generate(bench);
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let d = labels.critical_delay(&c).unwrap();
+        let set = crate::enumerate::near_critical_paths(&c, &t, &labels, d * 0.95, 10_000)
+            .unwrap();
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let crit = mc_path_criticality(
+            &c, &set.paths, &t, &p, &tech, &vars, &layers, 4000, 11,
+        )
+        .unwrap();
+        assert_eq!(crit.len(), set.paths.len());
+        let total: f64 = crit.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // The most critical path should carry a substantial share.
+        let max = crit.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 0.05, "max criticality {max}");
+        // Empty path set: empty result.
+        assert!(mc_path_criticality(&c, &[], &t, &p, &tech, &vars, &layers, 10, 1)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn mc_samples_recorded() {
+        let (t, p, cp, tech) = setup(Benchmark::C432);
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let mc = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 500, 30, 1).unwrap();
+        assert_eq!(mc.samples, 500);
+        assert_eq!(mc.pdf.len(), 30);
+        assert!((mc.pdf.mass() - 1.0).abs() < 1e-9);
+        assert!((mc.pdf.mean() - mc.mean).abs() / mc.mean < 0.01);
+    }
+}

@@ -1,0 +1,178 @@
+//! Confidence-point ranking of analyzed paths.
+//!
+//! The paper ranks every near-critical path twice: by deterministic
+//! (nominal) delay and by a confidence point on its delay PDF (the 3σ
+//! point). The path ranked first probabilistically is the *probabilistic
+//! critical path*; the scatter of probabilistic vs. deterministic rank
+//! (Figs. 5 and 6) visualizes how much statistical analysis reorders the
+//! paths.
+
+use crate::analyze::PathAnalysis;
+
+/// One ranked path: the analysis plus both ranks (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedPath {
+    /// The analysis.
+    pub analysis: PathAnalysis,
+    /// Rank by descending deterministic delay (1 = deterministic critical
+    /// path).
+    pub det_rank: usize,
+    /// Rank by descending confidence point (1 = probabilistic critical
+    /// path).
+    pub prob_rank: usize,
+}
+
+/// Ranks `paths` by confidence point (descending). The returned vector is
+/// in probabilistic order: element 0 is the probabilistic critical path.
+///
+/// Ties (exactly equal keys) are broken deterministically by the gate
+/// sequence, so ranking is reproducible.
+pub fn rank_paths(paths: Vec<PathAnalysis>) -> Vec<RankedPath> {
+    let n = paths.len();
+    // Deterministic ranks.
+    let mut det_order: Vec<usize> = (0..n).collect();
+    det_order.sort_by(|&i, &j| {
+        paths[j]
+            .det_delay
+            .partial_cmp(&paths[i].det_delay)
+            .expect("finite delays")
+            .then_with(|| paths[i].gates.cmp(&paths[j].gates))
+    });
+    let mut det_rank = vec![0usize; n];
+    for (rank, &i) in det_order.iter().enumerate() {
+        det_rank[i] = rank + 1;
+    }
+    // Probabilistic ranks.
+    let mut prob_order: Vec<usize> = (0..n).collect();
+    prob_order.sort_by(|&i, &j| {
+        paths[j]
+            .confidence_point
+            .partial_cmp(&paths[i].confidence_point)
+            .expect("finite confidence points")
+            .then_with(|| paths[i].gates.cmp(&paths[j].gates))
+    });
+    let mut prob_rank = vec![0usize; n];
+    for (rank, &i) in prob_order.iter().enumerate() {
+        prob_rank[i] = rank + 1;
+    }
+    // Emit in probabilistic order.
+    let mut indexed: Vec<(usize, PathAnalysis)> = paths.into_iter().enumerate().collect();
+    indexed.sort_by_key(|(i, _)| prob_rank[*i]);
+    indexed
+        .into_iter()
+        .map(|(i, analysis)| RankedPath { analysis, det_rank: det_rank[i], prob_rank: prob_rank[i] })
+        .collect()
+}
+
+/// `(det_rank, prob_rank)` pairs for the first `limit` probabilistic
+/// ranks — the data series of the paper's Figs. 5/6.
+pub fn migration_series(ranked: &[RankedPath], limit: usize) -> Vec<(usize, usize)> {
+    ranked
+        .iter()
+        .take(limit)
+        .map(|r| (r.det_rank, r.prob_rank))
+        .collect()
+}
+
+/// A scalar summary of rank migration: the mean absolute rank change of
+/// the first `limit` probabilistic paths. Near zero for circuits like
+/// c7552; large for bushy circuits like c1355.
+pub fn mean_rank_shift(ranked: &[RankedPath], limit: usize) -> f64 {
+    let take = ranked.iter().take(limit);
+    let n = take.clone().count();
+    if n == 0 {
+        return 0.0;
+    }
+    take.map(|r| r.det_rank.abs_diff(r.prob_rank) as f64).sum::<f64>() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statim_netlist::GateId;
+    use statim_stats::gaussian::gaussian_pdf;
+
+    /// Builds a synthetic analysis with the given deterministic delay and
+    /// sigma (confidence point = mean + 3σ with mean = det).
+    fn fake(det_ps: f64, sigma_ps: f64, tag: u32) -> PathAnalysis {
+        let det = det_ps * 1e-12;
+        let sigma = sigma_ps * 1e-12;
+        let pdf = gaussian_pdf(det, sigma, 6.0, 60);
+        PathAnalysis {
+            gates: vec![GateId(tag)],
+            det_delay: det,
+            worst_case: det * 2.0,
+            mean: det,
+            sigma,
+            inter_sigma: sigma * 0.8,
+            intra_sigma: sigma * 0.6,
+            confidence_point: det + 3.0 * sigma,
+            total_pdf: pdf.clone(),
+            intra_pdf: pdf.clone(),
+            inter_pdf: pdf,
+        }
+    }
+
+    #[test]
+    fn ranking_reorders_by_confidence_point() {
+        // Path B is nominally faster but much more variable: it must win
+        // probabilistically — the paper's core observation.
+        let a = fake(100.0, 2.0, 0); // 3σ point 106
+        let b = fake(98.0, 5.0, 1); // 3σ point 113
+        let ranked = rank_paths(vec![a, b]);
+        assert_eq!(ranked[0].prob_rank, 1);
+        assert_eq!(ranked[0].det_rank, 2, "the nominally slower path is det rank 2");
+        assert_eq!(ranked[0].analysis.gates, vec![GateId(1)]);
+        assert_eq!(ranked[1].det_rank, 1);
+    }
+
+    #[test]
+    fn identical_stats_rank_stably() {
+        let ranked = rank_paths(vec![fake(100.0, 2.0, 5), fake(100.0, 2.0, 3)]);
+        // Tie broken by gate sequence: GateId(3) first.
+        assert_eq!(ranked[0].analysis.gates, vec![GateId(3)]);
+        let again = rank_paths(vec![fake(100.0, 2.0, 5), fake(100.0, 2.0, 3)]);
+        assert_eq!(ranked[0].analysis.gates, again[0].analysis.gates);
+    }
+
+    #[test]
+    fn ranks_are_permutations() {
+        let paths: Vec<PathAnalysis> =
+            (0..20).map(|i| fake(100.0 - i as f64, 1.0 + (i % 5) as f64, i)).collect();
+        let ranked = rank_paths(paths);
+        let mut det: Vec<usize> = ranked.iter().map(|r| r.det_rank).collect();
+        let mut prob: Vec<usize> = ranked.iter().map(|r| r.prob_rank).collect();
+        det.sort();
+        prob.sort();
+        assert_eq!(det, (1..=20).collect::<Vec<_>>());
+        assert_eq!(prob, (1..=20).collect::<Vec<_>>());
+        // Output is in probabilistic order.
+        for (i, r) in ranked.iter().enumerate() {
+            assert_eq!(r.prob_rank, i + 1);
+        }
+    }
+
+    #[test]
+    fn migration_series_and_shift() {
+        let a = fake(100.0, 2.0, 0);
+        let b = fake(98.0, 5.0, 1);
+        let c = fake(96.0, 1.0, 2);
+        let ranked = rank_paths(vec![a, b, c]);
+        let series = migration_series(&ranked, 10);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (2, 1)); // b moved up
+        let shift = mean_rank_shift(&ranked, 10);
+        assert!(shift > 0.0);
+        assert_eq!(mean_rank_shift(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn no_variability_means_no_migration() {
+        let paths: Vec<PathAnalysis> = (0..10).map(|i| fake(100.0 - i as f64, 1.0, i)).collect();
+        let ranked = rank_paths(paths);
+        for r in &ranked {
+            assert_eq!(r.det_rank, r.prob_rank);
+        }
+        assert_eq!(mean_rank_shift(&ranked, 10), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Text rendering of SSTA results — the human-readable views the CLI
+//! and the regeneration binaries share.
+
+use crate::engine::SstaReport;
+use statim_stats::tabulate::format_table;
+use std::fmt::Write as _;
+
+/// Formats seconds as picoseconds with three decimals.
+pub fn ps(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e12)
+}
+
+/// One-paragraph summary: the quantities a designer reads first.
+pub fn summary(report: &SstaReport) -> String {
+    let crit = report.critical();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "circuit {} — {} gates, {} near-critical paths (C = {})",
+        report.circuit, report.gate_count, report.num_paths, report.confidence
+    );
+    let _ = writeln!(
+        out,
+        "  deterministic critical delay : {} ps",
+        ps(report.det_critical_delay)
+    );
+    let _ = writeln!(out, "  worst-case (corner) delay    : {} ps", ps(report.worst_case_delay));
+    let _ = writeln!(out, "  sigma_C                      : {} ps", ps(report.sigma_c));
+    let _ = writeln!(
+        out,
+        "  probabilistic critical path  : mean {} ps, 3σ point {} ps ({} gates, det rank {})",
+        ps(crit.analysis.mean),
+        ps(crit.analysis.confidence_point),
+        crit.analysis.gate_count(),
+        crit.det_rank
+    );
+    let _ = writeln!(
+        out,
+        "  worst-case overestimation    : {:.2} % over the 3σ point",
+        report.overestimation_pct
+    );
+    out
+}
+
+/// The ranked-path table (top `limit` rows): prob/det ranks, moments,
+/// confidence point and path length.
+pub fn path_table(report: &SstaReport, limit: usize) -> String {
+    let header = ["prob rank", "det rank", "det delay (ps)", "mean (ps)", "σ (ps)", "3σ point (ps)", "gates"];
+    let rows: Vec<Vec<String>> = report
+        .paths
+        .iter()
+        .take(limit)
+        .map(|r| {
+            vec![
+                r.prob_rank.to_string(),
+                r.det_rank.to_string(),
+                ps(r.analysis.det_delay),
+                ps(r.analysis.mean),
+                ps(r.analysis.sigma),
+                ps(r.analysis.confidence_point),
+                r.analysis.gate_count().to_string(),
+            ]
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+/// A CSV export of every ranked path (one row per path), for external
+/// analysis and plotting.
+pub fn to_csv(report: &SstaReport) -> String {
+    let mut out = String::from(
+        "prob_rank,det_rank,det_delay_ps,mean_ps,sigma_ps,inter_sigma_ps,intra_sigma_ps,confidence_point_ps,worst_case_ps,gates\n",
+    );
+    for r in &report.paths {
+        let a = &r.analysis;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.prob_rank,
+            r.det_rank,
+            ps(a.det_delay),
+            ps(a.mean),
+            ps(a.sigma),
+            ps(a.inter_sigma),
+            ps(a.intra_sigma),
+            ps(a.confidence_point),
+            ps(a.worst_case),
+            a.gate_count(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SstaConfig, SstaEngine};
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_netlist::{Placement, PlacementStyle};
+
+    fn report() -> SstaReport {
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        SstaEngine::new(SstaConfig::date05().with_confidence(0.2))
+            .run(&c, &p)
+            .expect("flow")
+    }
+
+    #[test]
+    fn summary_contains_key_figures() {
+        let r = report();
+        let s = summary(&r);
+        assert!(s.contains("circuit c432"));
+        assert!(s.contains("160 gates"));
+        assert!(s.contains("overestimation"));
+        assert!(s.contains(&ps(r.det_critical_delay)));
+    }
+
+    #[test]
+    fn path_table_row_count_and_rank_order() {
+        let r = report();
+        let t = path_table(&r, 3);
+        // Header + separators + 3 rows.
+        assert_eq!(t.lines().filter(|l| l.starts_with("| ")).count(), 4);
+        assert!(t.contains("prob rank"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_path() {
+        let r = report();
+        let csv = to_csv(&r);
+        assert_eq!(csv.lines().count(), r.num_paths + 1);
+        assert!(csv.starts_with("prob_rank,"));
+        // The first data row is prob rank 1.
+        assert!(csv.lines().nth(1).unwrap().starts_with("1,"));
+    }
+
+    #[test]
+    fn ps_format() {
+        assert_eq!(ps(123.4564e-12), "123.456");
+        assert_eq!(ps(0.0), "0.000");
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic slack analysis — the standard static-timing report the
+//! probabilistic flow augments.
+//!
+//! Arrival times come from the longest-path labels; required times
+//! propagate backward from a clock period at the primary outputs; slack
+//! is their difference. Gates with zero (minimum) slack form the
+//! deterministic critical path(s), which is exactly the set the
+//! near-critical enumeration starts from when `C = 0`.
+
+use crate::characterize::CircuitTiming;
+use crate::longest_path::Labels;
+use crate::{CoreError, Result};
+use statim_netlist::{Circuit, GateId, Signal};
+
+/// Per-gate slack report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackReport {
+    /// Clock period used, seconds.
+    pub period: f64,
+    /// Arrival time at each gate output, seconds.
+    pub arrival: Vec<f64>,
+    /// Required time at each gate output, seconds.
+    pub required: Vec<f64>,
+    /// Slack = required − arrival per gate, seconds.
+    pub slack: Vec<f64>,
+}
+
+impl SlackReport {
+    /// The worst (smallest) slack and the gate where it occurs.
+    pub fn worst(&self) -> (GateId, f64) {
+        let (i, &s) = self
+            .slack
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite slacks"))
+            .expect("non-empty circuit");
+        (GateId(i as u32), s)
+    }
+
+    /// Gates with slack within `margin` seconds of the worst slack — the
+    /// deterministic critical region.
+    pub fn critical_gates(&self, margin: f64) -> Vec<GateId> {
+        let (_, worst) = self.worst();
+        self.slack
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s <= worst + margin)
+            .map(|(i, _)| GateId(i as u32))
+            .collect()
+    }
+
+    /// True when every endpoint meets the period (worst slack ≥ 0).
+    pub fn meets_timing(&self) -> bool {
+        self.worst().1 >= 0.0
+    }
+}
+
+/// Computes arrival/required/slack for every gate against `period`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCircuit`] for a gate-less circuit.
+pub fn slack_report(
+    circuit: &Circuit,
+    timing: &CircuitTiming,
+    labels: &Labels,
+    period: f64,
+) -> Result<SlackReport> {
+    let n = circuit.gate_count();
+    if n == 0 {
+        return Err(CoreError::EmptyCircuit);
+    }
+    let arrival = labels.arrival.clone();
+    // Required times propagate backward: a PO must settle by `period`;
+    // a gate feeding others must settle early enough for each consumer.
+    // Dangling gates are unconstrained endpoints and get the period too
+    // (the convention timers use), so every net has a defined slack.
+    let mut required = vec![f64::INFINITY; n];
+    for &(_, s) in circuit.outputs() {
+        if let Signal::Gate(g) = s {
+            required[g.index()] = period;
+        }
+    }
+    for g in circuit.dangling_gates() {
+        required[g.index()] = period;
+    }
+    for (i, gate) in circuit.gates().iter().enumerate().rev() {
+        let own_required = required[i];
+        if own_required.is_finite() {
+            let own_delay = timing.gates()[i].nominal;
+            for s in &gate.inputs {
+                if let Signal::Gate(src) = s {
+                    let need = own_required - own_delay;
+                    if need < required[src.index()] {
+                        required[src.index()] = need;
+                    }
+                }
+            }
+        }
+    }
+    debug_assert!(required.iter().all(|r| r.is_finite()));
+    let slack = required.iter().zip(&arrival).map(|(r, a)| r - a).collect();
+    Ok(SlackReport { period, arrival, required, slack })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::characterize;
+    use crate::longest_path::{critical_path, topo_labels};
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_process::Technology;
+
+    fn setup() -> (Circuit, CircuitTiming, Labels) {
+        let c = iscas85::generate(Benchmark::C432);
+        let t = characterize(&c, &Technology::cmos130()).unwrap();
+        let l = topo_labels(&c, &t).unwrap();
+        (c, t, l)
+    }
+
+    #[test]
+    fn critical_path_has_zero_slack_at_exact_period() {
+        let (c, t, l) = setup();
+        let d = l.critical_delay(&c).unwrap();
+        let report = slack_report(&c, &t, &l, d).unwrap();
+        let (g, worst) = report.worst();
+        assert!(worst.abs() < 1e-9 * d, "worst slack {worst}");
+        // Every gate on the deterministic critical path has ~zero slack.
+        let cp = critical_path(&c, &t, &l).unwrap();
+        assert!(cp.contains(&g) || report.slack[g.index()].abs() < 1e-9 * d);
+        for &gate in &cp {
+            assert!(
+                report.slack[gate.index()].abs() < 1e-9 * d,
+                "gate {gate:?} slack {}",
+                report.slack[gate.index()]
+            );
+        }
+        assert!(report.meets_timing());
+    }
+
+    #[test]
+    fn slack_shifts_linearly_with_period() {
+        let (c, t, l) = setup();
+        let d = l.critical_delay(&c).unwrap();
+        let tight = slack_report(&c, &t, &l, d * 0.9).unwrap();
+        let loose = slack_report(&c, &t, &l, d * 1.1).unwrap();
+        assert!(!tight.meets_timing());
+        assert!(loose.meets_timing());
+        for i in 0..c.gate_count() {
+            let delta = loose.slack[i] - tight.slack[i];
+            assert!((delta - d * 0.2).abs() < 1e-9 * d, "gate {i} delta {delta}");
+        }
+    }
+
+    #[test]
+    fn critical_gates_grow_with_margin() {
+        let (c, t, l) = setup();
+        let d = l.critical_delay(&c).unwrap();
+        let report = slack_report(&c, &t, &l, d).unwrap();
+        let tight = report.critical_gates(1e-15);
+        let wide = report.critical_gates(d * 0.1);
+        assert!(!tight.is_empty());
+        assert!(wide.len() >= tight.len());
+        let cp = critical_path(&c, &t, &l).unwrap();
+        assert!(tight.len() >= cp.len());
+    }
+
+    #[test]
+    fn required_never_precedes_possible() {
+        // required(gate) ≥ arrival of the fastest way to need it: slack
+        // computation must be internally consistent — along every edge,
+        // required(src) ≤ required(dst) − delay(dst).
+        let (c, t, l) = setup();
+        let d = l.critical_delay(&c).unwrap();
+        let report = slack_report(&c, &t, &l, d).unwrap();
+        for (i, gate) in c.gates().iter().enumerate() {
+            for s in &gate.inputs {
+                if let Signal::Gate(src) = s {
+                    assert!(
+                        report.required[src.index()]
+                            <= report.required[i] - t.gates()[i].nominal + 1e-20,
+                        "edge {src:?} -> gate {i}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Timing yield estimation — the downstream application of statistical
+//! timing PDFs (cf. Gattiker et al., ISQED'01, reference 11 of the
+//! paper; the paper's confidence-point ranking is the screening step of
+//! such a yield flow).
+//!
+//! Given the delay PDFs of the near-critical paths, the fraction of dies
+//! meeting a clock period `T` is `P(max over paths ≤ T)`. Two estimators
+//! are provided:
+//!
+//! * [`single_path_yield`] — `P(critical ≤ T)` from the probabilistic
+//!   critical path's PDF (optimistic: ignores the other paths);
+//! * [`independent_yield`] — `Π P(pathᵢ ≤ T)` treating paths as
+//!   independent (pessimistic: near-critical paths are positively
+//!   correlated through shared gates and inter-die variations).
+//!
+//! The true yield lies between the two; the Monte-Carlo estimator
+//! [`crate::monte_carlo::mc_circuit_distribution`] gives the correlated
+//! reference.
+
+use crate::engine::SstaReport;
+use crate::rank::RankedPath;
+
+/// `P(critical path delay ≤ period)` from the probabilistic critical
+/// path's total PDF. An optimistic bound on the true timing yield.
+pub fn single_path_yield(report: &SstaReport, period: f64) -> f64 {
+    report.critical().analysis.total_pdf.cdf(period)
+}
+
+/// `Π P(pathᵢ ≤ period)` over all analyzed paths, treating them as
+/// independent. A pessimistic bound (positive correlation raises the
+/// joint probability).
+pub fn independent_yield(paths: &[RankedPath], period: f64) -> f64 {
+    paths
+        .iter()
+        .map(|p| p.analysis.total_pdf.cdf(period))
+        .product()
+}
+
+/// A point on a yield curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldPoint {
+    /// Clock period, seconds.
+    pub period: f64,
+    /// Optimistic (single-path) yield estimate.
+    pub upper: f64,
+    /// Pessimistic (independent-paths) yield estimate.
+    pub lower: f64,
+}
+
+/// Sweeps the yield bounds over `n` periods covering the interesting
+/// range (from the critical mean to past its +4σ point).
+pub fn yield_curve(report: &SstaReport, n: usize) -> Vec<YieldPoint> {
+    let crit = &report.critical().analysis;
+    let lo = crit.mean;
+    let hi = crit.mean + 4.5 * crit.sigma;
+    (0..n.max(2))
+        .map(|i| {
+            let period = lo + (hi - lo) * i as f64 / (n.max(2) - 1) as f64;
+            YieldPoint {
+                period,
+                upper: single_path_yield(report, period),
+                lower: independent_yield(&report.paths, period),
+            }
+        })
+        .collect()
+}
+
+/// The smallest period achieving at least `target` yield under the
+/// pessimistic (independent) model — a conservative clock constraint.
+/// Returns `None` if `target` is not in `(0, 1]`.
+pub fn period_for_yield(report: &SstaReport, target: f64) -> Option<f64> {
+    if !(0.0 < target && target <= 1.0) {
+        return None;
+    }
+    let crit = &report.critical().analysis;
+    let mut lo = crit.mean - 1.0 * crit.sigma;
+    let mut hi = crit.mean + 8.0 * crit.sigma;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if independent_yield(&report.paths, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SstaConfig, SstaEngine};
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_netlist::{Placement, PlacementStyle};
+
+    fn report() -> SstaReport {
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        SstaEngine::new(SstaConfig::date05().with_confidence(0.3))
+            .run(&c, &p)
+            .expect("flow")
+    }
+
+    #[test]
+    fn bounds_ordered_and_monotone() {
+        let r = report();
+        let curve = yield_curve(&r, 12);
+        assert_eq!(curve.len(), 12);
+        let mut prev = YieldPoint { period: 0.0, upper: -1.0, lower: -1.0 };
+        for pt in &curve {
+            // Upper bound dominates lower bound.
+            assert!(pt.upper >= pt.lower - 1e-12);
+            // Both are probabilities and monotone in the period.
+            assert!((0.0..=1.0).contains(&pt.upper));
+            assert!((0.0..=1.0).contains(&pt.lower));
+            assert!(pt.upper >= prev.upper - 1e-12);
+            assert!(pt.lower >= prev.lower - 1e-12);
+            prev = *pt;
+        }
+        // The curve spans a meaningful range.
+        assert!(curve[0].upper < 0.7);
+        assert!(curve.last().unwrap().lower > 0.99);
+    }
+
+    #[test]
+    fn yield_at_3sigma_point_high() {
+        let r = report();
+        let three_sigma = r.critical().analysis.confidence_point;
+        let y = single_path_yield(&r, three_sigma);
+        // P(X ≤ μ+3σ) ≈ 0.9987 for a near-Gaussian total PDF.
+        assert!(y > 0.99, "yield at 3σ point: {y}");
+        // Worst-case period gives essentially full yield — the
+        // overdesign the paper quantifies.
+        assert!(single_path_yield(&r, r.worst_case_delay) > 0.999_99);
+    }
+
+    #[test]
+    fn period_for_yield_inverts() {
+        let r = report();
+        let t = period_for_yield(&r, 0.99).expect("valid target");
+        let y = independent_yield(&r.paths, t);
+        assert!((y - 0.99).abs() < 0.01, "yield at inverted period: {y}");
+        // Higher target needs a longer period.
+        let t999 = period_for_yield(&r, 0.999).unwrap();
+        assert!(t999 > t);
+        assert!(period_for_yield(&r, 0.0).is_none());
+        assert!(period_for_yield(&r, 1.5).is_none());
+    }
+
+    #[test]
+    fn independent_bound_tighter_with_more_paths() {
+        let r = report();
+        let period = r.critical().analysis.confidence_point;
+        let all = independent_yield(&r.paths, period);
+        let first_only = independent_yield(&r.paths[..1], period);
+        assert!(all <= first_only + 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based tests for the SSTA core: enumeration correctness,
+//! variance bounds and ranking invariants over random circuits and
+//! configurations.
+
+use proptest::prelude::*;
+use statim_core::characterize::characterize_placed;
+use statim_core::correlation::{LayerModel, VarianceSplit};
+use statim_core::enumerate::near_critical_paths;
+use statim_core::intra::{intra_variance, path_coefficients};
+use statim_core::longest_path::{bellman_ford, critical_path, topo_labels};
+use statim_netlist::generators::blocks::Builder;
+use statim_netlist::{Circuit, Placement, PlacementStyle, Signal};
+use statim_process::{GateKind, Param, Technology, Variations};
+
+/// Small random DAG (few gates) where exhaustive path enumeration is
+/// cheap enough to be a ground truth.
+fn arb_small_circuit() -> impl Strategy<Value = Circuit> {
+    (
+        1usize..4,
+        proptest::collection::vec((0u8..6, prop::collection::vec(0usize..1000, 3)), 1..14),
+    )
+        .prop_map(|(n_inputs, gate_specs)| build_circuit(n_inputs, gate_specs))
+}
+
+/// Shared random-DAG constructor: per gate a kind selector plus input
+/// selectors resolved modulo the signals available at that point.
+fn build_circuit(n_inputs: usize, gate_specs: Vec<(u8, Vec<usize>)>) -> Circuit {
+    let mut b = Builder::new("random");
+    let mut signals: Vec<Signal> = (0..n_inputs).map(|i| b.input(format!("i{i}"))).collect();
+    let mut gate_sigs = Vec::new();
+    for (kind_sel, input_sels) in gate_specs {
+        let kind = match kind_sel {
+            0 => GateKind::Inv,
+            1 => GateKind::Nand(2),
+            2 => GateKind::Nor(2),
+            3 => GateKind::Xor2,
+            4 => GateKind::And(2),
+            _ => GateKind::Nand(3),
+        };
+        let ins: Vec<Signal> = (0..kind.fan_in())
+            .map(|k| signals[input_sels[k] % signals.len()])
+            .collect();
+        let s = b.gate(kind, &ins);
+        signals.push(s);
+        gate_sigs.push(s);
+    }
+    // Mark the last few gates as outputs so deep logic is visible.
+    let n = gate_sigs.len();
+    for (o, &s) in gate_sigs[n.saturating_sub(3)..].iter().enumerate() {
+        b.output(format!("o{o}"), s);
+    }
+    b.finish()
+}
+
+/// Random DAG circuit with at least one gate and one gate-driven output.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (
+        1usize..6,
+        proptest::collection::vec((0u8..6, prop::collection::vec(0usize..1000, 3)), 1..40),
+    )
+        .prop_map(|(n_inputs, gate_specs)| build_circuit(n_inputs, gate_specs))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bellman_ford_agrees_with_topological(c in arb_circuit()) {
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let bf = bellman_ford(&c, &t).unwrap();
+        let tp = topo_labels(&c, &t).unwrap();
+        for (a, b) in bf.arrival.iter().zip(&tp.arrival) {
+            prop_assert!((a - b).abs() < 1e-15 * b.abs().max(1e-15), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn critical_path_delay_equals_label(c in arb_circuit()) {
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let d = labels.critical_delay(&c).unwrap();
+        let path = critical_path(&c, &t, &labels).unwrap();
+        prop_assert!((t.path_delay(&path) - d).abs() <= 1e-9 * d);
+        // Consecutive gates are connected.
+        for w in path.windows(2) {
+            prop_assert!(c.gates()[w[1].index()].inputs.contains(&Signal::Gate(w[0])));
+        }
+    }
+
+    #[test]
+    fn enumeration_complete_and_sound(c in arb_circuit(), frac in 0.5..1.0f64) {
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let d = labels.critical_delay(&c).unwrap();
+        let thr = d * frac;
+        let set = near_critical_paths(&c, &t, &labels, thr, 500_000).unwrap();
+        // Soundness: every path meets the threshold and ends at a PO.
+        for path in &set.paths {
+            prop_assert!(t.path_delay(path) >= thr - 1e-9 * d);
+        }
+        // Uniqueness.
+        let mut sorted = set.paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), set.paths.len());
+        // Completeness spot check: the critical path is present.
+        let cp = critical_path(&c, &t, &labels).unwrap();
+        prop_assert!(set.paths.contains(&cp));
+        // Ordering: delays are non-increasing.
+        for w in set.paths.windows(2) {
+            prop_assert!(t.path_delay(&w[0]) >= t.path_delay(&w[1]) - 1e-12 * d);
+        }
+    }
+
+    #[test]
+    fn enumeration_monotone_in_threshold(c in arb_circuit()) {
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let d = labels.critical_delay(&c).unwrap();
+        let tight = near_critical_paths(&c, &t, &labels, d * 0.95, 500_000).unwrap();
+        let loose = near_critical_paths(&c, &t, &labels, d * 0.7, 500_000).unwrap();
+        prop_assert!(loose.paths.len() >= tight.paths.len());
+        // Every tight path appears in the loose set.
+        for path in &tight.paths {
+            prop_assert!(loose.paths.contains(path));
+        }
+    }
+
+    #[test]
+    fn intra_variance_between_bounds(c in arb_circuit(), seed in 0u64..30) {
+        // For any path: independent-sum ≤ variance ≤ fully-correlated
+        // bound, scaled by the intra share of the variance.
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Random(seed));
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let path = critical_path(&c, &t, &labels).unwrap();
+        let vars = Variations::date05();
+        let layers = LayerModel::date05();
+        let co = path_coefficients(&path, &t, &p, &layers);
+        let v = intra_variance(&co, &layers, &vars).unwrap();
+        let mut indep = 0.0;
+        let mut corr = 0.0;
+        for param in Param::ALL {
+            let s2 = vars.sigma.get(param).powi(2);
+            let ds: Vec<f64> =
+                path.iter().map(|&g| t.gate(g).gradient.get(param)).collect();
+            indep += ds.iter().map(|d| d * d).sum::<f64>() * s2;
+            let sum: f64 = ds.iter().sum();
+            corr += sum * sum * s2;
+        }
+        // Intra carries 4/5 of the variance in the paper model. All
+        // gradients share signs per param, so corr ≥ indep.
+        let share = 0.8;
+        prop_assert!(v >= indep * share * (1.0 - 1e-9), "v={v} lower={}", indep * share);
+        prop_assert!(v <= corr * share * (1.0 + 1e-9), "v={v} upper={}", corr * share);
+    }
+
+    #[test]
+    fn enumeration_matches_exhaustive_on_small_circuits(c in arb_small_circuit(), frac in 0.3..1.0f64) {
+        // Ground truth by brute force: enumerate EVERY PI→PO gate path
+        // recursively, then filter by the threshold. The Fig. 2 walk must
+        // return exactly that set.
+        let tech = Technology::cmos130();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let t = characterize_placed(&c, &tech, &p).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let d = labels.critical_delay(&c).unwrap();
+        let thr = d * frac;
+        let got = near_critical_paths(&c, &t, &labels, thr, 1_000_000).unwrap();
+
+        // Brute force.
+        let mut truth: Vec<Vec<statim_netlist::GateId>> = Vec::new();
+        let mut po_gates: Vec<statim_netlist::GateId> = c
+            .outputs()
+            .iter()
+            .filter_map(|&(_, s)| match s {
+                Signal::Gate(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        po_gates.sort();
+        po_gates.dedup();
+        fn walk(
+            c: &Circuit,
+            t: &statim_core::CircuitTiming,
+            node: statim_netlist::GateId,
+            suffix: f64,
+            chain: &mut Vec<statim_netlist::GateId>,
+            thr: f64,
+            out: &mut Vec<Vec<statim_netlist::GateId>>,
+        ) {
+            let gate = &c.gates()[node.index()];
+            if gate.inputs.iter().any(|s| matches!(s, Signal::Input(_))) && suffix >= thr {
+                let mut p = chain.clone();
+                p.reverse();
+                out.push(p);
+            }
+            let mut seen: Vec<statim_netlist::GateId> = Vec::new();
+            for s in &gate.inputs {
+                if let Signal::Gate(src) = s {
+                    if seen.contains(src) {
+                        continue;
+                    }
+                    seen.push(*src);
+                    chain.push(*src);
+                    walk(c, t, *src, suffix + t.gates()[src.index()].nominal, chain, thr, out);
+                    chain.pop();
+                }
+            }
+        }
+        for &po in &po_gates {
+            let mut chain = vec![po];
+            walk(&c, &t, po, t.gates()[po.index()].nominal, &mut chain, thr - 1e-9 * d, &mut truth);
+        }
+        let mut got_sorted = got.paths.clone();
+        got_sorted.sort();
+        truth.sort();
+        truth.dedup();
+        prop_assert_eq!(got_sorted, truth);
+    }
+
+    #[test]
+    fn variance_split_invariant_total(c in arb_circuit()) {
+        // Fully-correlated placement: splitting variance across layers
+        // must not change the total when every gate shares all partitions.
+        let tech = Technology::cmos130();
+        let n = c.gate_count();
+        let same = Placement::from_positions(&c, vec![(1.0, 1.0); n], 100.0).unwrap();
+        let t = characterize_placed(&c, &tech, &same).unwrap();
+        let labels = topo_labels(&c, &t).unwrap();
+        let path = critical_path(&c, &t, &labels).unwrap();
+        let vars = Variations::date05();
+        // All intra on one spatial layer vs spread over three: same
+        // variance when gates are co-located (no random layer).
+        let one = LayerModel {
+            spatial_layers: 2,
+            random_layer: false,
+            split: VarianceSplit::Custom(vec![0.5, 0.5]),
+        };
+        let many = LayerModel {
+            spatial_layers: 4,
+            random_layer: false,
+            split: VarianceSplit::Custom(vec![0.5, 0.1666, 0.1667, 0.1667]),
+        };
+        let v1 = intra_variance(&path_coefficients(&path, &t, &same, &one), &one, &vars).unwrap();
+        let v2 =
+            intra_variance(&path_coefficients(&path, &t, &same, &many), &many, &vars).unwrap();
+        prop_assert!((v1 - v2).abs() < 1e-6 * v1.max(v2), "{v1} vs {v2}");
+    }
+}

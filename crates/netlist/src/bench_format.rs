@@ -1,0 +1,301 @@
+//! ISCAS-85 `.bench` format reader and writer.
+//!
+//! The classic benchmark distribution format:
+//!
+//! ```text
+//! # c17 example
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 22 = NAND(10, 16)
+//! ```
+//!
+//! The reader is two-pass (declarations may appear in any order) and maps
+//! each function name through [`GateKind::from_bench`], so any circuit in
+//! the supported gate library round-trips. Gates are emitted in
+//! topological order by the writer.
+
+use crate::circuit::{Circuit, Signal};
+use crate::error::NetlistError;
+use crate::Result;
+use statim_process::GateKind;
+use std::collections::HashMap;
+
+/// Parses `.bench` text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`NetlistError::Parse`] (with line number) for malformed
+/// lines, [`NetlistError::UnsupportedGate`] for functions outside the
+/// delay model's library, and [`NetlistError::UndefinedName`] if a net is
+/// referenced but never defined.
+pub fn parse(name: &str, text: &str) -> Result<Circuit> {
+    // First pass: collect definitions.
+    struct Def<'a> {
+        line: usize,
+        out: &'a str,
+        func: &'a str,
+        args: Vec<&'a str>,
+    }
+    let mut inputs: Vec<(usize, &str)> = Vec::new();
+    let mut outputs: Vec<(usize, &str)> = Vec::new();
+    let mut defs: Vec<Def> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_decl(line, "INPUT") {
+            inputs.push((line_no, rest));
+        } else if let Some(rest) = strip_decl(line, "OUTPUT") {
+            outputs.push((line_no, rest));
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: format!("expected FUNC(args) after `=`, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "missing closing parenthesis".into(),
+                });
+            }
+            let func = rhs[..open].trim();
+            let args: Vec<&str> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if out.is_empty() || func.is_empty() || args.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "empty net name, function or argument list".into(),
+                });
+            }
+            defs.push(Def { line: line_no, out, func, args });
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized line `{line}`"),
+            });
+        }
+    }
+
+    // Build: PIs first, then gates in dependency order (iterate until all
+    // resolve; the format allows forward references).
+    let mut circuit = Circuit::new(name);
+    for (_, pi) in &inputs {
+        circuit.add_input(*pi)?;
+    }
+    let mut pending: Vec<&Def> = defs.iter().collect();
+    let mut resolved: HashMap<&str, Signal> = HashMap::new();
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still = Vec::new();
+        for d in pending {
+            let sigs: Option<Vec<Signal>> = d
+                .args
+                .iter()
+                .map(|a| circuit.find(a).or_else(|| resolved.get(*a).copied()))
+                .collect();
+            match sigs {
+                Some(sigs) => {
+                    let kind = GateKind::from_bench(d.func, sigs.len()).ok_or(
+                        NetlistError::UnsupportedGate {
+                            function: d.func.to_string(),
+                            arity: sigs.len(),
+                            line: d.line,
+                        },
+                    )?;
+                    let s = circuit.add_gate(d.out, kind, &sigs)?;
+                    resolved.insert(d.out, s);
+                }
+                None => still.push(d),
+            }
+        }
+        if still.len() == before {
+            // No progress: an argument is genuinely undefined (or a cycle).
+            let missing = still
+                .iter()
+                .flat_map(|d| d.args.iter())
+                .find(|a| circuit.find(a).is_none())
+                .copied()
+                .unwrap_or("<cyclic definition>");
+            return Err(NetlistError::UndefinedName { name: missing.to_string() });
+        }
+        pending = still;
+    }
+    for (_, po) in &outputs {
+        let s = circuit
+            .find(po)
+            .ok_or_else(|| NetlistError::UndefinedName { name: po.to_string() })?;
+        circuit.mark_output(*po, s)?;
+    }
+    Ok(circuit)
+}
+
+fn strip_decl<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serializes a circuit to `.bench` text.
+pub fn write(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} gates",
+        circuit.input_count(),
+        circuit.output_count(),
+        circuit.gate_count()
+    );
+    for pi in circuit.input_names() {
+        let _ = writeln!(out, "INPUT({pi})");
+    }
+    // .bench outputs are *net* names: emit the driving net of each PO
+    // (output aliases such as "cor0" do not exist as nets).
+    for &(_, sig) in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.signal_name(sig));
+    }
+    for g in circuit.gates() {
+        let args: Vec<&str> = g.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
+        let _ = writeln!(out, "{} = {}({})", g.name, g.kind.bench_name(), args.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 (reduced)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse("c17", C17).unwrap();
+        assert_eq!(c.input_count(), 5);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.path_count(), 11);
+    }
+
+    #[test]
+    fn round_trips() {
+        let c = parse("c17", C17).unwrap();
+        let text = write(&c);
+        let c2 = parse("c17", &text).unwrap();
+        assert_eq!(c.gate_count(), c2.gate_count());
+        assert_eq!(c.depth(), c2.depth());
+        assert_eq!(c.path_count(), c2.path_count());
+        // Same gate names and kinds.
+        for (a, b) in c.gates().iter().zip(c2.gates()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "\
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = NOT(a)
+";
+        let c = parse("fwd", text).unwrap();
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hi\n\nINPUT(a)  # inline\nOUTPUT(b)\nb = NOT(a)\n";
+        let c = parse("t", text).unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_function() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = MAJ(a, a, a)\n";
+        match parse("t", text) {
+            Err(NetlistError::UnsupportedGate { function, arity, line }) => {
+                assert_eq!(function, "MAJ");
+                assert_eq!(arity, 3);
+                assert_eq!(line, 3);
+            }
+            other => panic!("expected UnsupportedGate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_undefined_net() {
+        let text = "INPUT(a)\nOUTPUT(b)\nb = NOT(ghost)\n";
+        assert!(matches!(parse("t", text), Err(NetlistError::UndefinedName { .. })));
+    }
+
+    #[test]
+    fn error_on_malformed_line() {
+        assert!(matches!(
+            parse("t", "INPUT(a)\nwat\n"),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("t", "x = NAND(a, b"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+        assert!(parse("t", "x = (a)").is_err());
+    }
+
+    #[test]
+    fn supports_all_library_gates() {
+        let text = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+c = AND(a, b)
+d = OR(a, c)
+e = XOR(c, d)
+f = XNOR(d, e)
+g = NOR(e, f)
+h = BUFF(g)
+z = NOT(h)
+";
+        let c = parse("all", text).unwrap();
+        assert_eq!(c.gate_count(), 7);
+        let text2 = write(&c);
+        assert!(text2.contains("XNOR"));
+        assert!(text2.contains("BUFF"));
+        assert_eq!(parse("all2", &text2).unwrap().gate_count(), 7);
+    }
+}

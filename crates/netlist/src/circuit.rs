@@ -1,0 +1,446 @@
+//! Combinational circuit netlists.
+//!
+//! A [`Circuit`] is a directed acyclic graph of gates over named primary
+//! inputs and outputs — the object the methodology maps to a timing graph.
+//! Construction is incremental through [`Circuit::add_input`] /
+//! [`Circuit::add_gate`] / [`Circuit::mark_output`]; structural validity
+//! (arity, dangling references, acyclicity by construction) is enforced as
+//! the circuit is built.
+
+use crate::error::NetlistError;
+use crate::Result;
+use statim_process::GateKind;
+use std::collections::HashMap;
+
+/// Identifier of a gate within its circuit (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+impl GateId {
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The driver of a signal: a primary input or a gate output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Primary input by index.
+    Input(u32),
+    /// Output of a gate.
+    Gate(GateId),
+}
+
+/// A gate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Instance name (unique within the circuit).
+    pub name: String,
+    /// Gate type with fan-in.
+    pub kind: GateKind,
+    /// Input connections, length = `kind.fan_in()`.
+    pub inputs: Vec<Signal>,
+}
+
+/// A combinational netlist.
+///
+/// Gates are stored in insertion order, which is guaranteed topological:
+/// a gate may only reference inputs and previously added gates, so the
+/// graph is acyclic by construction.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    name: String,
+    input_names: Vec<String>,
+    gates: Vec<Gate>,
+    outputs: Vec<(String, Signal)>,
+    names: HashMap<String, Signal>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit { name: name.into(), ..Circuit::default() }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input; returns its signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> Result<Signal> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName { name });
+        }
+        let sig = Signal::Input(self.input_names.len() as u32);
+        self.names.insert(name.clone(), sig);
+        self.input_names.push(name);
+        Ok(sig)
+    }
+
+    /// Adds a gate driven by `inputs`; returns its output signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `inputs.len()` differs
+    /// from the gate's fan-in, [`NetlistError::DuplicateName`] for a name
+    /// clash, and [`NetlistError::DanglingSignal`] if an input refers to a
+    /// gate or PI that does not exist yet (which also rules out cycles).
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        inputs: &[Signal],
+    ) -> Result<Signal> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName { name });
+        }
+        if inputs.len() != kind.fan_in() {
+            return Err(NetlistError::ArityMismatch {
+                gate: name,
+                expected: kind.fan_in(),
+                got: inputs.len(),
+            });
+        }
+        for &s in inputs {
+            if !self.signal_exists(s) {
+                return Err(NetlistError::DanglingSignal { gate: name });
+            }
+        }
+        let id = GateId(self.gates.len() as u32);
+        let sig = Signal::Gate(id);
+        self.names.insert(name.clone(), sig);
+        self.gates.push(Gate { name, kind, inputs: inputs.to_vec() });
+        Ok(sig)
+    }
+
+    /// Marks `signal` as a primary output under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DanglingSignal`] if the signal does not
+    /// exist. Output names live in a separate namespace and may alias a
+    /// gate name (as in `.bench`, where outputs are plain net names).
+    pub fn mark_output(&mut self, name: impl Into<String>, signal: Signal) -> Result<()> {
+        let name = name.into();
+        if !self.signal_exists(signal) {
+            return Err(NetlistError::DanglingSignal { gate: name });
+        }
+        self.outputs.push((name, signal));
+        Ok(())
+    }
+
+    fn signal_exists(&self, s: Signal) -> bool {
+        match s {
+            Signal::Input(i) => (i as usize) < self.input_names.len(),
+            Signal::Gate(g) => g.index() < self.gates.len(),
+        }
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.input_names.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Gate by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids are only minted by this
+    /// circuit, so this indicates cross-circuit misuse).
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// All gates in topological (insertion) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Iterator of gate ids in topological order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// Primary input names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Primary outputs as `(name, driver)` pairs.
+    pub fn outputs(&self) -> &[(String, Signal)] {
+        &self.outputs
+    }
+
+    /// Resolves a name to its signal (inputs and gate outputs).
+    pub fn find(&self, name: &str) -> Option<Signal> {
+        self.names.get(name).copied()
+    }
+
+    /// Name of the net driven by `signal`.
+    pub fn signal_name(&self, signal: Signal) -> &str {
+        match signal {
+            Signal::Input(i) => &self.input_names[i as usize],
+            Signal::Gate(g) => &self.gates[g.index()].name,
+        }
+    }
+
+    /// Per-gate fan-out pin counts: how many gate input pins each gate
+    /// output drives. Primary-output connections are *not* counted as
+    /// pins (they contribute wire load only), matching the delay model's
+    /// `Cn` definition.
+    pub fn fanout_pins(&self) -> Vec<usize> {
+        let mut pins = vec![0usize; self.gates.len()];
+        for g in &self.gates {
+            for &s in &g.inputs {
+                if let Signal::Gate(src) = s {
+                    pins[src.index()] += 1;
+                }
+            }
+        }
+        pins
+    }
+
+    /// Ids of gates whose output drives no gate pin and is not a primary
+    /// output (dead logic). A well-formed benchmark has none.
+    pub fn dangling_gates(&self) -> Vec<GateId> {
+        let pins = self.fanout_pins();
+        let mut is_po = vec![false; self.gates.len()];
+        for &(_, s) in &self.outputs {
+            if let Signal::Gate(g) = s {
+                is_po[g.index()] = true;
+            }
+        }
+        self.gate_ids()
+            .filter(|g| pins[g.index()] == 0 && !is_po[g.index()])
+            .collect()
+    }
+
+    /// Logic depth: the maximum number of gates on any input-to-output
+    /// path.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.gates.len()];
+        let mut max = 0;
+        for (i, g) in self.gates.iter().enumerate() {
+            let l = 1 + g
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    Signal::Input(_) => 0,
+                    Signal::Gate(src) => level[src.index()],
+                })
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            max = max.max(l);
+        }
+        max
+    }
+
+    /// Per-gate level (longest gate count from any primary input,
+    /// 1-based).
+    pub fn levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            level[i] = 1 + g
+                .inputs
+                .iter()
+                .map(|s| match s {
+                    Signal::Input(_) => 0,
+                    Signal::Gate(src) => level[src.index()],
+                })
+                .max()
+                .unwrap_or(0);
+        }
+        level
+    }
+
+    /// Number of distinct input→output paths, saturating at `u128::MAX`.
+    /// (c6288 famously has ~10²⁰ paths.)
+    pub fn path_count(&self) -> u128 {
+        let mut paths = vec![0u128; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let mut total: u128 = 0;
+            for s in &g.inputs {
+                let inc = match s {
+                    Signal::Input(_) => 1,
+                    Signal::Gate(src) => paths[src.index()],
+                };
+                total = total.saturating_add(inc);
+            }
+            paths[i] = total;
+        }
+        let mut out: u128 = 0;
+        for &(_, s) in &self.outputs {
+            let inc = match s {
+                Signal::Input(_) => 1,
+                Signal::Gate(g) => paths[g.index()],
+            };
+            out = out.saturating_add(inc);
+        }
+        out
+    }
+
+    /// Histogram of gate kinds, as `(kind, count)` sorted by count
+    /// descending.
+    pub fn kind_histogram(&self) -> Vec<(GateKind, usize)> {
+        let mut map: HashMap<GateKind, usize> = HashMap::new();
+        for g in &self.gates {
+            *map.entry(g.kind).or_insert(0) += 1;
+        }
+        let mut v: Vec<(GateKind, usize)> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0))));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Circuit {
+        // a, b -> n1 = NAND(a,b); n2 = NOT(n1); PO = n2
+        let mut c = Circuit::new("tiny");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let n1 = c.add_gate("n1", GateKind::Nand(2), &[a, b]).unwrap();
+        let n2 = c.add_gate("n2", GateKind::Inv, &[n1]).unwrap();
+        c.mark_output("out", n2).unwrap();
+        c
+    }
+
+    #[test]
+    fn build_and_query() {
+        let c = tiny();
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.input_count(), 2);
+        assert_eq!(c.output_count(), 1);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.path_count(), 2);
+        assert_eq!(c.signal_name(c.find("n1").unwrap()), "n1");
+        assert!(c.find("zzz").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Circuit::new("t");
+        c.add_input("a").unwrap();
+        assert!(matches!(c.add_input("a"), Err(NetlistError::DuplicateName { .. })));
+        let a = c.find("a").unwrap();
+        c.add_gate("g", GateKind::Inv, &[a]).unwrap();
+        assert!(matches!(
+            c.add_gate("g", GateKind::Inv, &[a]),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+        assert!(matches!(
+            c.add_gate("a", GateKind::Inv, &[a]),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        assert!(matches!(
+            c.add_gate("g", GateKind::Nand(2), &[a]),
+            Err(NetlistError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_signal_rejected() {
+        let mut c = Circuit::new("t");
+        let bogus = Signal::Gate(GateId(99));
+        assert!(matches!(
+            c.add_gate("g", GateKind::Inv, &[bogus]),
+            Err(NetlistError::DanglingSignal { .. })
+        ));
+        assert!(c.mark_output("o", bogus).is_err());
+    }
+
+    #[test]
+    fn fanout_pins_counted() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", GateKind::Inv, &[a]).unwrap();
+        let _g2 = c.add_gate("g2", GateKind::Inv, &[g1]).unwrap();
+        let _g3 = c.add_gate("g3", GateKind::Nand(2), &[g1, a]).unwrap();
+        let pins = c.fanout_pins();
+        assert_eq!(pins[0], 2); // g1 feeds g2 and g3
+        assert_eq!(pins[1], 0);
+        assert_eq!(pins[2], 0);
+    }
+
+    #[test]
+    fn dangling_gates_found() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g1 = c.add_gate("g1", GateKind::Inv, &[a]).unwrap();
+        let g2 = c.add_gate("g2", GateKind::Inv, &[g1]).unwrap();
+        let _dead = c.add_gate("dead", GateKind::Inv, &[g1]).unwrap();
+        c.mark_output("o", g2).unwrap();
+        let d = c.dangling_gates();
+        assert_eq!(d.len(), 1);
+        assert_eq!(c.gate(d[0]).name, "dead");
+    }
+
+    #[test]
+    fn levels_monotone_along_edges() {
+        let c = tiny();
+        let lv = c.levels();
+        assert_eq!(lv, vec![1, 2]);
+    }
+
+    #[test]
+    fn path_count_saturates() {
+        // A chain of 2-input gates where both inputs come from the
+        // previous gate doubles the path count each level.
+        let mut c = Circuit::new("exp");
+        let a = c.add_input("a").unwrap();
+        let mut prev = c.add_gate("g0", GateKind::Nand(2), &[a, a]).unwrap();
+        for i in 1..200 {
+            prev = c
+                .add_gate(format!("g{i}"), GateKind::Nand(2), &[prev, prev])
+                .unwrap();
+        }
+        c.mark_output("o", prev).unwrap();
+        assert_eq!(c.path_count(), u128::MAX);
+    }
+
+    #[test]
+    fn kind_histogram_sorted() {
+        let c = tiny();
+        let h = c.kind_histogram();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].1, 1);
+    }
+
+    #[test]
+    fn output_may_alias_gate_name() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("n", GateKind::Inv, &[a]).unwrap();
+        // .bench outputs are net names, so this must be allowed.
+        c.mark_output("n", g).unwrap();
+        assert_eq!(c.output_count(), 1);
+    }
+}

@@ -1,0 +1,683 @@
+//! Reusable structural building blocks for circuit generation.
+//!
+//! A [`Builder`] wraps a [`Circuit`] with auto-named gate insertion and a
+//! library of classic structures: XOR trees (plain or NAND-expanded),
+//! full/half adders (XOR/NAND style and the 9-NOR style of c6288's cells),
+//! ripple and carry-select adders, multiplexers, reduction trees, priority
+//! chains, decoders, equality comparators and seeded random glue logic.
+
+use crate::circuit::{Circuit, Signal};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use statim_process::GateKind;
+
+/// Maximum depth (levels above its input pool) random glue logic may
+/// reach; see [`Builder::random_glue`].
+pub const GLUE_DEPTH_CAP: usize = 10;
+
+/// Incremental circuit builder with auto-generated gate names.
+#[derive(Debug)]
+pub struct Builder {
+    circuit: Circuit,
+    counter: usize,
+}
+
+impl Builder {
+    /// Creates a builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Builder { circuit: Circuit::new(name), counter: 0 }
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names — generator code controls all names, so a
+    /// clash is a programming error.
+    pub fn input(&mut self, name: impl Into<String>) -> Signal {
+        self.circuit.add_input(name).expect("generator input names are unique")
+    }
+
+    /// Adds `n` inputs named `prefix0..prefix{n-1}`.
+    pub fn inputs(&mut self, prefix: &str, n: usize) -> Vec<Signal> {
+        (0..n).map(|i| self.input(format!("{prefix}{i}"))).collect()
+    }
+
+    /// Adds a gate with an auto-generated name.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[Signal]) -> Signal {
+        self.counter += 1;
+        self.circuit
+            .add_gate(format!("g{}", self.counter), kind, inputs)
+            .expect("generator wiring is structurally valid")
+    }
+
+    /// Marks a primary output.
+    pub fn output(&mut self, name: impl Into<String>, sig: Signal) {
+        self.circuit.mark_output(name, sig).expect("generator signals exist");
+    }
+
+    /// Current gate count.
+    pub fn gate_count(&self) -> usize {
+        self.circuit.gate_count()
+    }
+
+    /// Immutable access to the circuit under construction.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Finishes and returns the circuit.
+    pub fn finish(self) -> Circuit {
+        self.circuit
+    }
+
+    // ----- leaf helpers ---------------------------------------------------
+
+    /// NOT gate.
+    pub fn not(&mut self, a: Signal) -> Signal {
+        self.gate(GateKind::Inv, &[a])
+    }
+
+    /// 2-input NAND.
+    pub fn nand2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate(GateKind::Nand(2), &[a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate(GateKind::Nor(2), &[a, b])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate(GateKind::And(2), &[a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate(GateKind::Or(2), &[a, b])
+    }
+
+    /// 2-input XOR as a single library cell.
+    pub fn xor2(&mut self, a: Signal, b: Signal) -> Signal {
+        self.gate(GateKind::Xor2, &[a, b])
+    }
+
+    /// 2-input XOR expanded into four 2-NANDs — the transformation that
+    /// derives c1355 from c499.
+    pub fn xor_nand4(&mut self, a: Signal, b: Signal) -> Signal {
+        let n1 = self.nand2(a, b);
+        let n2 = self.nand2(a, n1);
+        let n3 = self.nand2(n1, b);
+        self.nand2(n2, n3)
+    }
+
+    // ----- trees ----------------------------------------------------------
+
+    /// Balanced XOR reduction of `sigs`. With `expand` each XOR becomes
+    /// four NANDs. Returns the root (for a single signal, the signal
+    /// itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigs` is empty.
+    pub fn xor_tree(&mut self, sigs: &[Signal], expand: bool) -> Signal {
+        assert!(!sigs.is_empty(), "xor_tree needs at least one signal");
+        let mut layer: Vec<Signal> = sigs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(if expand {
+                        self.xor_nand4(pair[0], pair[1])
+                    } else {
+                        self.xor2(pair[0], pair[1])
+                    });
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Balanced reduction tree of 2-input gates of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigs` is empty or `kind` is not 2-input.
+    pub fn reduce_tree(&mut self, kind: GateKind, sigs: &[Signal]) -> Signal {
+        assert!(!sigs.is_empty(), "reduce_tree needs at least one signal");
+        assert_eq!(kind.fan_in(), 2, "reduce_tree takes a 2-input gate kind");
+        let mut layer: Vec<Signal> = sigs.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, pair));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    // ----- arithmetic -----------------------------------------------------
+
+    /// XOR/NAND full adder: 2 XORs for the sum, 3 NANDs for the carry
+    /// (5 gates). Returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+        let axb = self.xor2(a, b);
+        let sum = self.xor2(axb, cin);
+        let n1 = self.nand2(a, b);
+        let n2 = self.nand2(axb, cin);
+        let cout = self.nand2(n1, n2);
+        (sum, cout)
+    }
+
+    /// Half adder: XOR + AND (2 gates). Returns `(sum, carry_out)`.
+    pub fn half_adder(&mut self, a: Signal, b: Signal) -> (Signal, Signal) {
+        let sum = self.xor2(a, b);
+        let cout = self.and2(a, b);
+        (sum, cout)
+    }
+
+    /// The classic 9-gate NOR-only full adder used by c6288's cells.
+    /// Returns `(sum, carry_out)`.
+    ///
+    /// ```text
+    /// n1 = NOR(a, b)      n2 = NOR(a, n1)     n3 = NOR(b, n1)
+    /// n4 = NOR(n2, n3)                        # = XNOR(a, b)
+    /// m1 = NOR(n4, cin)   m2 = NOR(n4, m1)    m3 = NOR(cin, m1)
+    /// sum  = NOR(m2, m3)                      # = a ⊕ b ⊕ cin
+    /// cout = NOR(n1, m1)                      # = majority(a, b, cin)
+    /// ```
+    pub fn full_adder_nor(&mut self, a: Signal, b: Signal, cin: Signal) -> (Signal, Signal) {
+        let n1 = self.nor2(a, b);
+        let n2 = self.nor2(a, n1);
+        let n3 = self.nor2(b, n1);
+        let n4 = self.nor2(n2, n3);
+        let m1 = self.nor2(n4, cin);
+        let m2 = self.nor2(n4, m1);
+        let m3 = self.nor2(cin, m1);
+        let sum = self.nor2(m2, m3);
+        let cout = self.nor2(n1, m1);
+        (sum, cout)
+    }
+
+    /// Ripple-carry adder over equal-width operands. Returns
+    /// `(sum_bits, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ or are zero.
+    pub fn ripple_adder(
+        &mut self,
+        a: &[Signal],
+        b: &[Signal],
+        cin: Signal,
+    ) -> (Vec<Signal>, Signal) {
+        assert_eq!(a.len(), b.len(), "operand widths must match");
+        assert!(!a.is_empty(), "ripple_adder needs at least one bit");
+        let mut carry = cin;
+        let mut sums = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, c) = self.full_adder(x, y, carry);
+            sums.push(s);
+            carry = c;
+        }
+        (sums, carry)
+    }
+
+    /// 2:1 multiplexer out = sel ? b : a, NAND-based (4 gates).
+    pub fn mux2(&mut self, a: Signal, b: Signal, sel: Signal) -> Signal {
+        let ns = self.not(sel);
+        let t0 = self.nand2(a, ns);
+        let t1 = self.nand2(b, sel);
+        self.nand2(t0, t1)
+    }
+
+    /// Carry-select adder: the operand is split into `block` -bit groups;
+    /// each group is computed for both carry-in values and selected by the
+    /// incoming carry. Returns `(sum_bits, carry_out)`. Structurally this
+    /// yields the *well-separated* path-delay profile of adder/comparator
+    /// circuits like c7552.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch, zero width or zero block size.
+    pub fn carry_select_adder(
+        &mut self,
+        a: &[Signal],
+        b: &[Signal],
+        cin: Signal,
+        block: usize,
+    ) -> (Vec<Signal>, Signal) {
+        assert_eq!(a.len(), b.len(), "operand widths must match");
+        assert!(!a.is_empty() && block > 0, "need bits and a positive block size");
+        // "Constant" carry-ins for the speculative blocks are derived
+        // locally (structure matters here, not arithmetic truth).
+        let mut carry = cin;
+        let mut sums = Vec::with_capacity(a.len());
+        let mut lo = 0;
+        while lo < a.len() {
+            let hi = (lo + block).min(a.len());
+            let zero_c = self.and2(a[lo], b[lo]); // stand-in carry-0
+            let one_c = self.or2(a[lo], b[lo]); // stand-in carry-1
+            let (s0, c0) = self.ripple_adder(&a[lo..hi], &b[lo..hi], zero_c);
+            let (s1, c1) = self.ripple_adder(&a[lo..hi], &b[lo..hi], one_c);
+            for (x0, x1) in s0.into_iter().zip(s1) {
+                let m = self.mux2(x0, x1, carry);
+                sums.push(m);
+            }
+            carry = self.mux2(c0, c1, carry);
+            lo = hi;
+        }
+        (sums, carry)
+    }
+
+    /// n×n carry-save array multiplier in the style of c6288: n² partial
+    /// product ANDs and (n−1)·n NOR-cell full adders ([`Self::full_adder_nor`]),
+    /// with boundary cells reusing a neighbouring partial product in
+    /// place of a constant-0 carry (ISCAS netlists have no constants; the
+    /// timing structure is what matters). Returns the 2n product signals
+    /// (bit 0 is exact; see the c6288 notes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands have the same width ≥ 2.
+    pub fn carry_save_multiplier(&mut self, a: &[Signal], b: &[Signal]) -> Vec<Signal> {
+        assert_eq!(a.len(), b.len(), "operand widths must match");
+        let n = a.len();
+        assert!(n >= 2, "multiplier needs at least 2 bits");
+        let pp: Vec<Vec<Signal>> = (0..n)
+            .map(|i| (0..n).map(|j| self.and2(a[i], b[j])).collect())
+            .collect();
+        let mut sums: Vec<Signal> = pp[0].clone();
+        let mut carries: Vec<Signal> = pp[0].clone(); // stand-in zero carries
+        let mut products: Vec<Signal> = vec![pp[0][0]];
+        for row in pp.iter().skip(1) {
+            let mut new_sums = Vec::with_capacity(n);
+            let mut new_carries = Vec::with_capacity(n);
+            for j in 0..n {
+                let s_in = if j + 1 < n { sums[j + 1] } else { row[n - 1] };
+                let (s, c) = self.full_adder_nor(s_in, carries[j], row[j]);
+                new_sums.push(s);
+                new_carries.push(c);
+            }
+            products.push(new_sums[0]);
+            sums = new_sums;
+            carries = new_carries;
+        }
+        products.extend_from_slice(&sums[1..]);
+        products.push(carries[n - 1]);
+        debug_assert_eq!(products.len(), 2 * n);
+        products
+    }
+
+    // ----- control structures ----------------------------------------------
+
+    /// Priority chain: `grants[i] = reqs[i] AND NOT (reqs[0] OR … OR
+    /// reqs[i−1])` — the heart of an interrupt controller like c432.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reqs` is empty.
+    pub fn priority_chain(&mut self, reqs: &[Signal]) -> Vec<Signal> {
+        assert!(!reqs.is_empty(), "priority_chain needs requests");
+        let mut grants = Vec::with_capacity(reqs.len());
+        grants.push(reqs[0]);
+        let mut any_above = reqs[0];
+        for &r in &reqs[1..] {
+            let blocked = self.not(any_above);
+            grants.push(self.and2(r, blocked));
+            any_above = self.or2(any_above, r);
+        }
+        grants
+    }
+
+    /// Binary encoder: OR-trees over the one-hot `lines`, producing
+    /// `ceil(log2(len))` code bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` has fewer than 2 entries.
+    pub fn encoder(&mut self, lines: &[Signal]) -> Vec<Signal> {
+        assert!(lines.len() >= 2, "encoder needs at least two lines");
+        let bits = usize::BITS as usize - (lines.len() - 1).leading_zeros() as usize;
+        (0..bits)
+            .map(|b| {
+                let taps: Vec<Signal> = lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i & (1 << b) != 0)
+                    .map(|(_, &s)| s)
+                    .collect();
+                self.reduce_tree(GateKind::Or(2), &taps)
+            })
+            .collect()
+    }
+
+    /// 2-to-4 / 3-to-8 style decoder from `sel` bits to `2^n` one-hot
+    /// lines (AND of true/complement literals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel` is empty or wider than 8 bits.
+    pub fn decoder(&mut self, sel: &[Signal]) -> Vec<Signal> {
+        assert!(!sel.is_empty() && sel.len() <= 8, "decoder takes 1..=8 select bits");
+        let inv: Vec<Signal> = sel.iter().map(|&s| self.not(s)).collect();
+        (0..1usize << sel.len())
+            .map(|code| {
+                let lits: Vec<Signal> = sel
+                    .iter()
+                    .enumerate()
+                    .map(|(b, &s)| if code & (1 << b) != 0 { s } else { inv[b] })
+                    .collect();
+                self.reduce_tree(GateKind::And(2), &lits)
+            })
+            .collect()
+    }
+
+    /// Equality comparator: per-bit XNOR plus an AND reduction. Returns
+    /// the equality flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or empty operands.
+    pub fn equality(&mut self, a: &[Signal], b: &[Signal]) -> Signal {
+        assert_eq!(a.len(), b.len(), "operand widths must match");
+        assert!(!a.is_empty(), "equality needs at least one bit");
+        let eqs: Vec<Signal> =
+            a.iter().zip(b).map(|(&x, &y)| self.gate(GateKind::Xnor2, &[x, y])).collect();
+        self.reduce_tree(GateKind::And(2), &eqs)
+    }
+
+    /// Seeded random "glue" logic: `count` small gates whose inputs are
+    /// drawn from `pool` plus previously created glue, emulating the
+    /// irregular control logic of the larger benchmarks.
+    ///
+    /// Later gates preferentially consume earlier glue outputs so most of
+    /// the glue stays live, but at least `keep_at_least` outputs are left
+    /// unconsumed (primary-output candidates), and glue never grows deeper
+    /// than [`GLUE_DEPTH_CAP`] levels — it emulates shallow control logic
+    /// and must not compete with a circuit's structural critical paths.
+    /// Returns the unconsumed glue signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn random_glue(
+        &mut self,
+        pool: &[Signal],
+        count: usize,
+        seed: u64,
+        keep_at_least: usize,
+    ) -> Vec<Signal> {
+        assert!(!pool.is_empty(), "random_glue needs a seed pool");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Unconsumed glue outputs with their depth above the pool.
+        let mut unconsumed: Vec<(Signal, usize)> = Vec::new();
+        const KINDS: [GateKind; 6] = [
+            GateKind::Nand(2),
+            GateKind::Nor(2),
+            GateKind::Inv,
+            GateKind::Nand(3),
+            GateKind::And(2),
+            GateKind::Or(2),
+        ];
+        for _ in 0..count {
+            let kind = KINDS[rng.gen_range(0..KINDS.len())];
+            let mut depth = 0usize;
+            let ins: Vec<Signal> = (0..kind.fan_in())
+                .map(|_| {
+                    // Consume a pending glue output ~60% of the time, when
+                    // one is spare and still below the depth cap.
+                    let eligible: Vec<usize> = (0..unconsumed.len())
+                        .filter(|&i| unconsumed[i].1 < GLUE_DEPTH_CAP)
+                        .collect();
+                    if unconsumed.len() > keep_at_least
+                        && !eligible.is_empty()
+                        && rng.gen_bool(0.6)
+                    {
+                        let idx = eligible[rng.gen_range(0..eligible.len())];
+                        let (sig, d) = unconsumed.swap_remove(idx);
+                        depth = depth.max(d);
+                        sig
+                    } else {
+                        pool[rng.gen_range(0..pool.len())]
+                    }
+                })
+                .collect();
+            let out = self.gate(kind, &ins);
+            unconsumed.push((out, depth + 1));
+        }
+        unconsumed.into_iter().map(|(s, _)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_inputs() -> (Builder, Signal, Signal) {
+        let mut b = Builder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        (b, x, y)
+    }
+
+    #[test]
+    fn xor_nand4_uses_four_gates() {
+        let (mut b, x, y) = two_inputs();
+        b.xor_nand4(x, y);
+        assert_eq!(b.gate_count(), 4);
+    }
+
+    #[test]
+    fn xor_tree_counts_and_depth() {
+        let mut b = Builder::new("t");
+        let ins = b.inputs("i", 8);
+        let root = b.xor_tree(&ins, false);
+        b.output("o", root);
+        let c = b.finish();
+        assert_eq!(c.gate_count(), 7); // n-1 XORs
+        assert_eq!(c.depth(), 3); // balanced
+    }
+
+    #[test]
+    fn xor_tree_expanded_quadruples() {
+        let mut b = Builder::new("t");
+        let ins = b.inputs("i", 8);
+        let root = b.xor_tree(&ins, true);
+        b.output("o", root);
+        let c = b.finish();
+        assert_eq!(c.gate_count(), 28); // 7 XORs × 4 NANDs
+        assert_eq!(c.depth(), 9); // each XOR level is 3 NAND levels deep
+    }
+
+    #[test]
+    fn xor_tree_single_signal_is_identity() {
+        let mut b = Builder::new("t");
+        let ins = b.inputs("i", 1);
+        assert_eq!(b.xor_tree(&ins, false), ins[0]);
+        assert_eq!(b.gate_count(), 0);
+    }
+
+    #[test]
+    fn full_adder_gate_counts() {
+        let mut b = Builder::new("t");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        b.full_adder(a, x, c);
+        assert_eq!(b.gate_count(), 5);
+        b.full_adder_nor(a, x, c);
+        assert_eq!(b.gate_count(), 14); // +9
+        b.half_adder(a, x);
+        assert_eq!(b.gate_count(), 16); // +2
+    }
+
+    #[test]
+    fn nor_full_adder_is_all_nor() {
+        let mut b = Builder::new("t");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        b.full_adder_nor(a, x, c);
+        for g in b.circuit().gates() {
+            assert_eq!(g.kind, GateKind::Nor(2));
+        }
+    }
+
+    #[test]
+    fn ripple_adder_width_and_depth() {
+        let mut b = Builder::new("t");
+        let a = b.inputs("a", 8);
+        let x = b.inputs("b", 8);
+        let cin = b.input("cin");
+        let (sums, cout) = b.ripple_adder(&a, &x, cin);
+        assert_eq!(sums.len(), 8);
+        b.output("cout", cout);
+        for (i, s) in sums.iter().enumerate() {
+            b.output(format!("s{i}"), *s);
+        }
+        let c = b.finish();
+        assert_eq!(c.gate_count(), 40);
+        // Carry chain: ~2 gate levels per bit.
+        assert!(c.depth() >= 14 && c.depth() <= 20, "depth {}", c.depth());
+    }
+
+    #[test]
+    fn carry_select_shallower_than_ripple() {
+        let build = |select: bool| {
+            let mut b = Builder::new("t");
+            let a = b.inputs("a", 16);
+            let x = b.inputs("b", 16);
+            let cin = b.input("cin");
+            let (s, c) = if select {
+                b.carry_select_adder(&a, &x, cin, 4)
+            } else {
+                b.ripple_adder(&a, &x, cin)
+            };
+            b.output("c", c);
+            for (i, s) in s.iter().enumerate() {
+                b.output(format!("s{i}"), *s);
+            }
+            b.finish()
+        };
+        let rip = build(false);
+        let sel = build(true);
+        assert!(sel.depth() < rip.depth(), "select {} vs ripple {}", sel.depth(), rip.depth());
+        assert!(sel.gate_count() > rip.gate_count()); // speculation costs gates
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let (mut b, x, y) = two_inputs();
+        let s = b.input("s");
+        b.mux2(x, y, s);
+        assert_eq!(b.gate_count(), 4);
+    }
+
+    #[test]
+    fn priority_chain_structure() {
+        let mut b = Builder::new("t");
+        let reqs = b.inputs("r", 9);
+        let grants = b.priority_chain(&reqs);
+        assert_eq!(grants.len(), 9);
+        // 8 stages × (INV + AND + OR) = 24 gates.
+        assert_eq!(b.gate_count(), 24);
+        // grant0 is the raw request.
+        assert_eq!(grants[0], reqs[0]);
+    }
+
+    #[test]
+    fn encoder_bit_count() {
+        let mut b = Builder::new("t");
+        let lines = b.inputs("l", 9);
+        let code = b.encoder(&lines);
+        assert_eq!(code.len(), 4); // ceil(log2 9)
+    }
+
+    #[test]
+    fn decoder_line_count() {
+        let mut b = Builder::new("t");
+        let sel = b.inputs("s", 3);
+        let lines = b.decoder(&sel);
+        assert_eq!(lines.len(), 8);
+        // 3 INV + 8 × (AND tree over 3 literals = 2 gates) = 19.
+        assert_eq!(b.gate_count(), 19);
+    }
+
+    #[test]
+    fn equality_counts() {
+        let mut b = Builder::new("t");
+        let a = b.inputs("a", 8);
+        let x = b.inputs("b", 8);
+        b.equality(&a, &x);
+        assert_eq!(b.gate_count(), 8 + 7);
+    }
+
+    #[test]
+    fn carry_save_multiplier_counts() {
+        for n in [2usize, 4, 8, 16] {
+            let mut b = Builder::new("m");
+            let a = b.inputs("a", n);
+            let x = b.inputs("b", n);
+            let products = b.carry_save_multiplier(&a, &x);
+            assert_eq!(products.len(), 2 * n, "n={n}");
+            // n² ANDs + (n−1)·n NOR full adders of 9 gates each.
+            assert_eq!(b.gate_count(), n * n + (n - 1) * n * 9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn carry_save_multiplier_depth_linear() {
+        let depth = |n: usize| {
+            let mut b = Builder::new("m");
+            let a = b.inputs("a", n);
+            let x = b.inputs("b", n);
+            let products = b.carry_save_multiplier(&a, &x);
+            for (i, p) in products.iter().enumerate() {
+                b.output(format!("p{i}"), *p);
+            }
+            b.finish().depth()
+        };
+        let (d8, d16) = (depth(8), depth(16));
+        // Diagonal growth: ~6 levels per row.
+        assert!(d16 > d8 + 30, "d8={d8} d16={d16}");
+        assert!(d16 < 2 * d8 + 20);
+    }
+
+    #[test]
+    fn random_glue_deterministic_and_sized() {
+        let mut b = Builder::new("t");
+        let pool = b.inputs("p", 4);
+        let outs = b.random_glue(&pool, 50, 11, 5);
+        assert_eq!(b.gate_count(), 50);
+        assert!(outs.len() >= 5);
+        // Same seed reproduces identical structure.
+        let mut b2 = Builder::new("t");
+        let pool2 = b2.inputs("p", 4);
+        let outs2 = b2.random_glue(&pool2, 50, 11, 5);
+        assert_eq!(outs.len(), outs2.len());
+        for (g1, g2) in b.circuit().gates().iter().zip(b2.circuit().gates()) {
+            assert_eq!(g1.kind, g2.kind);
+            assert_eq!(g1.inputs, g2.inputs);
+        }
+    }
+
+    #[test]
+    fn random_glue_consumes_most_outputs() {
+        let mut b = Builder::new("t");
+        let pool = b.inputs("p", 8);
+        let outs = b.random_glue(&pool, 200, 3, 4);
+        // With consumption biased on, far fewer than half the gates are
+        // left dangling.
+        assert!(outs.len() < 100, "unconsumed: {}", outs.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic circuit generators.
+//!
+//! Real ISCAS85 netlists are not redistributable inside this repository,
+//! so the evaluation runs on *structural equivalents*: circuits generated
+//! from the same building blocks the originals are documented to contain
+//! (array multipliers, error-correction XOR trees, ALUs, priority logic),
+//! sized to the published gate/input/output counts. See `DESIGN.md` §2
+//! for the substitution rationale; genuine `.bench` files can be used
+//! instead via [`crate::bench_format`].
+//!
+//! * [`blocks`] — a [`blocks::Builder`] with reusable structural blocks;
+//! * [`iscas85`] — the ten benchmark equivalents of the paper's Table 2.
+
+pub mod blocks;
+pub mod iscas85;

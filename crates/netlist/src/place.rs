@@ -1,0 +1,245 @@
+//! Gate placement.
+//!
+//! The spatial-correlation model needs an (x, y) coordinate per gate —
+//! the paper extracts them from DEF files. This module synthesizes
+//! placements directly:
+//!
+//! * [`PlacementStyle::Levelized`] — gates are placed in columns by logic
+//!   level and spread vertically within each column. Connected gates land
+//!   in neighbouring columns, giving the spatial locality a real placer
+//!   produces (and which makes the intra-die correlation layers matter).
+//! * [`PlacementStyle::Random`] — seeded uniform scatter, the no-locality
+//!   ablation.
+
+use crate::circuit::{Circuit, GateId};
+use crate::error::NetlistError;
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStyle {
+    /// Column-per-logic-level placement with vertical spreading.
+    Levelized,
+    /// Uniform random placement with the given seed.
+    Random(u64),
+}
+
+/// A full placement: one (x, y) in microns per gate, on a
+/// `die_side × die_side` square die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    positions: Vec<(f64, f64)>,
+    die_side: f64,
+}
+
+/// Default cell pitch (microns) used to size the die: the side is
+/// `pitch · ceil(sqrt(gate_count))`.
+pub const DEFAULT_PITCH_UM: f64 = 10.0;
+
+impl Placement {
+    /// Places `circuit` with the given style and the default die size.
+    pub fn generate(circuit: &Circuit, style: PlacementStyle) -> Placement {
+        let side = DEFAULT_PITCH_UM * (circuit.gate_count().max(1) as f64).sqrt().ceil();
+        Placement::generate_on_die(circuit, style, side)
+            .expect("default die side is positive")
+    }
+
+    /// Places `circuit` on a square die of side `die_side` microns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] if `die_side` is not a
+    /// positive finite number.
+    pub fn generate_on_die(
+        circuit: &Circuit,
+        style: PlacementStyle,
+        die_side: f64,
+    ) -> Result<Placement> {
+        if die_side <= 0.0 || !die_side.is_finite() {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("die side must be positive, got {die_side}"),
+            });
+        }
+        let n = circuit.gate_count();
+        let positions = match style {
+            PlacementStyle::Levelized => {
+                let levels = circuit.levels();
+                let max_level = levels.iter().copied().max().unwrap_or(1);
+                // Count gates per level and assign row slots.
+                let mut per_level = vec![0usize; max_level + 1];
+                for &l in &levels {
+                    per_level[l] += 1;
+                }
+                let mut next_row = vec![0usize; max_level + 1];
+                let mut pos = Vec::with_capacity(n);
+                for &l in &levels {
+                    let rows = per_level[l].max(1);
+                    let row = next_row[l];
+                    next_row[l] += 1;
+                    let x = (l as f64 - 0.5) / max_level as f64 * die_side;
+                    let y = (row as f64 + 0.5) / rows as f64 * die_side;
+                    pos.push((x, y));
+                }
+                pos
+            }
+            PlacementStyle::Random(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n)
+                    .map(|_| (rng.gen::<f64>() * die_side, rng.gen::<f64>() * die_side))
+                    .collect()
+            }
+        };
+        Ok(Placement { positions, die_side })
+    }
+
+    /// Builds a placement from explicit per-gate coordinates (e.g. parsed
+    /// from DEF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::PlacementMismatch`] if the coordinate count
+    /// differs from the circuit's gate count, and
+    /// [`NetlistError::InvalidConfig`] for non-finite coordinates or a
+    /// non-positive die.
+    pub fn from_positions(
+        circuit: &Circuit,
+        positions: Vec<(f64, f64)>,
+        die_side: f64,
+    ) -> Result<Placement> {
+        if positions.len() != circuit.gate_count() {
+            return Err(NetlistError::PlacementMismatch {
+                gates: circuit.gate_count(),
+                placed: positions.len(),
+            });
+        }
+        if die_side <= 0.0 || !die_side.is_finite() {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("die side must be positive, got {die_side}"),
+            });
+        }
+        for &(x, y) in &positions {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(NetlistError::InvalidConfig {
+                    message: "non-finite coordinate".into(),
+                });
+            }
+        }
+        Ok(Placement { positions, die_side })
+    }
+
+    /// Coordinate of a gate in microns.
+    pub fn position(&self, gate: GateId) -> (f64, f64) {
+        self.positions[gate.index()]
+    }
+
+    /// Coordinate of a gate normalized to `[0, 1)²` (used by the
+    /// correlation-layer partition lookup).
+    pub fn normalized(&self, gate: GateId) -> (f64, f64) {
+        let (x, y) = self.positions[gate.index()];
+        let clamp = |v: f64| (v / self.die_side).clamp(0.0, 1.0 - 1e-12);
+        (clamp(x), clamp(y))
+    }
+
+    /// Die side, microns.
+    pub fn die_side(&self) -> f64 {
+        self.die_side
+    }
+
+    /// Number of placed gates.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no gates are placed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// All positions, gate order.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statim_process::GateKind;
+
+    fn chain(n: usize) -> Circuit {
+        let mut c = Circuit::new("chain");
+        let mut s = c.add_input("a").unwrap();
+        for i in 0..n {
+            s = c.add_gate(format!("g{i}"), GateKind::Inv, &[s]).unwrap();
+        }
+        c.mark_output("o", s).unwrap();
+        c
+    }
+
+    #[test]
+    fn levelized_orders_by_level() {
+        let c = chain(10);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        // Each successive gate of the chain moves right.
+        for i in 1..10 {
+            let (x0, _) = p.position(GateId((i - 1) as u32));
+            let (x1, _) = p.position(GateId(i as u32));
+            assert!(x1 > x0, "gate {i} should be right of gate {}", i - 1);
+        }
+    }
+
+    #[test]
+    fn all_positions_inside_die() {
+        let c = chain(50);
+        for style in [PlacementStyle::Levelized, PlacementStyle::Random(3)] {
+            let p = Placement::generate(&c, style);
+            for g in c.gate_ids() {
+                let (x, y) = p.position(g);
+                assert!(x >= 0.0 && x <= p.die_side());
+                assert!(y >= 0.0 && y <= p.die_side());
+                let (nx, ny) = p.normalized(g);
+                assert!((0.0..1.0).contains(&nx));
+                assert!((0.0..1.0).contains(&ny));
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let c = chain(20);
+        let a = Placement::generate(&c, PlacementStyle::Random(7));
+        let b = Placement::generate(&c, PlacementStyle::Random(7));
+        let d = Placement::generate(&c, PlacementStyle::Random(8));
+        assert_eq!(a, b);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn from_positions_validates() {
+        let c = chain(3);
+        assert!(matches!(
+            Placement::from_positions(&c, vec![(0.0, 0.0)], 10.0),
+            Err(NetlistError::PlacementMismatch { gates: 3, placed: 1 })
+        ));
+        let ok = Placement::from_positions(&c, vec![(1.0, 1.0); 3], 10.0).unwrap();
+        assert_eq!(ok.len(), 3);
+        assert!(Placement::from_positions(&c, vec![(f64::NAN, 0.0); 3], 10.0).is_err());
+        assert!(Placement::from_positions(&c, vec![(0.0, 0.0); 3], 0.0).is_err());
+    }
+
+    #[test]
+    fn generate_on_die_rejects_bad_side() {
+        let c = chain(3);
+        assert!(Placement::generate_on_die(&c, PlacementStyle::Levelized, -5.0).is_err());
+        assert!(Placement::generate_on_die(&c, PlacementStyle::Levelized, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn die_scales_with_gate_count() {
+        let small = Placement::generate(&chain(4), PlacementStyle::Levelized);
+        let large = Placement::generate(&chain(400), PlacementStyle::Levelized);
+        assert!(large.die_side() > small.die_side());
+    }
+}

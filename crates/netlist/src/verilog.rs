@@ -1,0 +1,359 @@
+//! Structural Verilog subset: gate-level netlist writer and reader.
+//!
+//! Emits and parses the flat gate-primitive style many academic flows
+//! exchange:
+//!
+//! ```verilog
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11, N16, N19;
+//!   nand g10 (N10, N1, N3);
+//!   ...
+//! endmodule
+//! ```
+//!
+//! Supported primitives: `not`, `buf`, `and`, `nand`, `or`, `nor`,
+//! `xor`, `xnor` — the first terminal is the output, the rest are
+//! inputs, exactly matching [`statim_process::GateKind`]'s library.
+
+use crate::circuit::{Circuit, Signal};
+use crate::error::NetlistError;
+use crate::Result;
+use statim_process::GateKind;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes a circuit as structural Verilog.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    // Port list: inputs then output net names (deduplicated).
+    let mut po_nets: Vec<&str> = circuit
+        .outputs()
+        .iter()
+        .map(|&(_, s)| circuit.signal_name(s))
+        .collect();
+    po_nets.dedup();
+    let ports: Vec<&str> = circuit
+        .input_names()
+        .iter()
+        .map(String::as_str)
+        .chain(po_nets.iter().copied())
+        .collect();
+    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "  input {};",
+        circuit.input_names().iter().map(String::as_str).collect::<Vec<_>>().join(", ")
+    );
+    let _ = writeln!(out, "  output {};", po_nets.join(", "));
+    let wires: Vec<&str> = circuit
+        .gates()
+        .iter()
+        .map(|g| g.name.as_str())
+        .filter(|n| !po_nets.contains(n))
+        .collect();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    for (i, g) in circuit.gates().iter().enumerate() {
+        let prim = primitive_name(g.kind);
+        let args: Vec<&str> = std::iter::once(g.name.as_str())
+            .chain(g.inputs.iter().map(|&s| circuit.signal_name(s)))
+            .collect();
+        let _ = writeln!(out, "  {prim} u{i} ({});", args.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn primitive_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Inv => "not",
+        GateKind::Buf => "buf",
+        GateKind::Nand(_) => "nand",
+        GateKind::Nor(_) => "nor",
+        GateKind::And(_) => "and",
+        GateKind::Or(_) => "or",
+        GateKind::Xor2 => "xor",
+        GateKind::Xnor2 => "xnor",
+    }
+}
+
+fn kind_from_primitive(name: &str, fan_in: usize) -> Option<GateKind> {
+    match name {
+        "not" if fan_in == 1 => Some(GateKind::Inv),
+        "buf" if fan_in == 1 => Some(GateKind::Buf),
+        "nand" => (2..=9).contains(&fan_in).then_some(GateKind::Nand(fan_in as u8)),
+        "nor" => (2..=9).contains(&fan_in).then_some(GateKind::Nor(fan_in as u8)),
+        "and" => (2..=9).contains(&fan_in).then_some(GateKind::And(fan_in as u8)),
+        "or" => (2..=9).contains(&fan_in).then_some(GateKind::Or(fan_in as u8)),
+        "xor" if fan_in == 2 => Some(GateKind::Xor2),
+        "xnor" if fan_in == 2 => Some(GateKind::Xnor2),
+        _ => None,
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'm');
+    }
+    s
+}
+
+/// Parses the structural Verilog subset back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for syntax outside the subset,
+/// [`NetlistError::UnsupportedGate`] for unknown primitives, and
+/// [`NetlistError::UndefinedName`] for unresolvable nets.
+pub fn parse(text: &str) -> Result<Circuit> {
+    // Tokenize into `;`-terminated statements, stripping comments.
+    let mut cleaned = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = match line.find("//") {
+            Some(p) => &line[..p],
+            None => line,
+        };
+        cleaned.push_str(line);
+        cleaned.push(' ');
+    }
+    let mut name = String::from("top");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    struct Inst {
+        line: usize,
+        prim: String,
+        out: String,
+        ins: Vec<String>,
+    }
+    let mut insts: Vec<Inst> = Vec::new();
+
+    for (stmt_no, stmt) in cleaned.split(';').enumerate() {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" || stmt.starts_with("endmodule") {
+            continue;
+        }
+        let head = stmt.split_whitespace().next().unwrap_or("");
+        match head {
+            "module" => {
+                let rest = stmt["module".len()..].trim();
+                let open = rest.find('(').unwrap_or(rest.len());
+                name = rest[..open].trim().to_string();
+            }
+            "input" | "output" | "wire" => {
+                let rest = stmt[head.len()..].trim();
+                let names = rest.split(',').map(|s| s.trim().to_string());
+                match head {
+                    "input" => inputs.extend(names),
+                    "output" => outputs.extend(names),
+                    _ => {} // wires are implied by instances
+                }
+            }
+            prim => {
+                // `<prim> <inst> ( out, in, in ... )`
+                let open = stmt.find('(').ok_or_else(|| NetlistError::Parse {
+                    line: stmt_no + 1,
+                    message: format!("expected instance terminals in `{stmt}`"),
+                })?;
+                let close = stmt.rfind(')').ok_or_else(|| NetlistError::Parse {
+                    line: stmt_no + 1,
+                    message: "missing `)`".into(),
+                })?;
+                let mut terms = stmt[open + 1..close].split(',').map(|s| s.trim().to_string());
+                let out = terms.next().filter(|s| !s.is_empty()).ok_or_else(|| {
+                    NetlistError::Parse {
+                        line: stmt_no + 1,
+                        message: "instance needs an output terminal".into(),
+                    }
+                })?;
+                let ins: Vec<String> = terms.collect();
+                if ins.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: stmt_no + 1,
+                        message: "instance needs input terminals".into(),
+                    });
+                }
+                insts.push(Inst { line: stmt_no + 1, prim: prim.to_string(), out, ins });
+            }
+        }
+    }
+
+    let mut circuit = Circuit::new(name);
+    for pi in &inputs {
+        circuit.add_input(pi)?;
+    }
+    // Resolve instances with the same forward-reference loop as .bench.
+    let mut pending: Vec<&Inst> = insts.iter().collect();
+    let mut resolved: HashMap<&str, Signal> = HashMap::new();
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still = Vec::new();
+        for inst in pending {
+            let sigs: Option<Vec<Signal>> = inst
+                .ins
+                .iter()
+                .map(|n| circuit.find(n).or_else(|| resolved.get(n.as_str()).copied()))
+                .collect();
+            match sigs {
+                Some(sigs) => {
+                    let kind = kind_from_primitive(&inst.prim, sigs.len()).ok_or(
+                        NetlistError::UnsupportedGate {
+                            function: inst.prim.clone(),
+                            arity: sigs.len(),
+                            line: inst.line,
+                        },
+                    )?;
+                    let s = circuit.add_gate(&inst.out, kind, &sigs)?;
+                    resolved.insert(&inst.out, s);
+                }
+                None => still.push(inst),
+            }
+        }
+        if still.len() == before {
+            let missing = still
+                .iter()
+                .flat_map(|i| i.ins.iter())
+                .find(|n| circuit.find(n).is_none())
+                .cloned()
+                .unwrap_or_else(|| "<cyclic>".into());
+            return Err(NetlistError::UndefinedName { name: missing });
+        }
+        pending = still;
+    }
+    for po in &outputs {
+        let s = circuit
+            .find(po)
+            .ok_or_else(|| NetlistError::UndefinedName { name: po.clone() })?;
+        circuit.mark_output(po, s)?;
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::iscas85::{self, Benchmark};
+    use crate::simulate::simulate_once;
+
+    const C17_V: &str = "\
+// c17 in structural verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17_V).unwrap();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.input_count(), 5);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn round_trips_structure_and_function() {
+        let original = iscas85::generate(Benchmark::C432);
+        let text = write(&original);
+        let reread = parse(&text).unwrap();
+        assert_eq!(reread.gate_count(), original.gate_count());
+        assert_eq!(reread.input_count(), original.input_count());
+        assert_eq!(reread.output_count(), original.output_count());
+        assert_eq!(reread.depth(), original.depth());
+        // Function identical on a few random-ish stimulus vectors.
+        for seed in [0u64, 0xDEAD, 0x1234_5678] {
+            let bits: Vec<bool> = (0..original.input_count())
+                .map(|i| (seed >> (i % 64)) & 1 == 1 || (i * 7 + seed as usize) % 3 == 0)
+                .collect();
+            let a = simulate_once(&original, &bits).unwrap();
+            let b = simulate_once(&reread, &bits).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn writer_emits_all_primitives() {
+        use crate::generators::blocks::Builder;
+        let mut b = Builder::new("prims");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.nand2(x, y);
+        let g2 = b.nor2(x, g1);
+        let g3 = b.xor2(g1, g2);
+        let g4 = b.gate(GateKind::Xnor2, &[g2, g3]);
+        let g5 = b.not(g4);
+        let g6 = b.gate(GateKind::Buf, &[g5]);
+        let g7 = b.and2(g5, g6);
+        let g8 = b.or2(g6, g7);
+        b.output("z", g8);
+        let c = b.finish();
+        let text = write(&c);
+        for prim in ["nand", "nor", "xor", "xnor", "not", "buf", "and", "or"] {
+            assert!(text.contains(&format!("\n  {prim} ")), "missing {prim}");
+        }
+        let reread = parse(&text).unwrap();
+        assert_eq!(reread.gate_count(), 8);
+    }
+
+    #[test]
+    fn module_name_sanitized() {
+        let mut c = Circuit::new("8-weird name!");
+        let a = c.add_input("a").unwrap();
+        let g = c.add_gate("g", GateKind::Inv, &[a]).unwrap();
+        c.mark_output("g", g).unwrap();
+        let text = write(&c);
+        assert!(text.starts_with("module m8_weird_name_ ("));
+        assert!(parse(&text).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_primitive() {
+        let text = "module t (a, z);\n input a;\n output z;\n mux2 u0 (z, a, a);\nendmodule\n";
+        assert!(matches!(parse(text), Err(NetlistError::UnsupportedGate { .. })));
+    }
+
+    #[test]
+    fn rejects_undefined_net() {
+        let text = "module t (a, z);\n input a;\n output z;\n not u0 (z, ghost);\nendmodule\n";
+        assert!(matches!(parse(text), Err(NetlistError::UndefinedName { .. })));
+    }
+
+    #[test]
+    fn rejects_malformed_instance() {
+        let text = "module t (a, z);\n input a;\n output z;\n not u0 z a;\nendmodule\n";
+        assert!(parse(text).is_err());
+        let text2 = "module t (a, z);\n input a;\n output z;\n not u0 ();\nendmodule\n";
+        assert!(parse(text2).is_err());
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "\
+module t (a, z);
+  input a;
+  output z;
+  wire w;
+  not u1 (z, w);
+  not u0 (w, a);
+endmodule
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.gate_count(), 2);
+        assert_eq!(c.depth(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! Prints the calibrated nominal delays and one-sigma swings for the
+//! paper's Table 1 gate set — a quick check that the technology constants
+//! reproduce the published sensitivities.
+
+use statim_process::deriv::delay_gradient;
+use statim_process::{gate_delay, to_ps, GateKind, Load, Param, Technology, Variations};
+
+fn main() {
+    let tech = Technology::cmos130();
+    let vars = Variations::date05();
+    let load = Load::fanout(2);
+    println!("gate      tp(ps)   |dtp/dx|*sigma per parameter (ps)");
+    for kind in [GateKind::Nand(2), GateKind::Nor(2), GateKind::Inv, GateKind::Xnor2] {
+        let ab = tech.alpha_beta(kind, &load);
+        let tp = to_ps(gate_delay(&tech, &ab, &tech.nominal_point()));
+        let g = delay_gradient(&tech, &ab, &tech.nominal_point());
+        print!("{:>6}  {tp:7.3}  ", kind.to_string());
+        for p in Param::ALL {
+            print!("  {}={:.3}", p, to_ps((g.get(p) * vars.sigma.get(p)).abs()));
+        }
+        println!();
+    }
+}

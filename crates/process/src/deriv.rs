@@ -1,0 +1,211 @@
+//! Analytic delay derivatives.
+//!
+//! The linearization step of the methodology (the paper's §2.4) expands
+//! each gate delay to first order around the inter-die operating point and
+//! freezes the partial derivatives at the *nominal* point (eq. (11)),
+//! making them the constant Taylor coefficients `aᵢ…eᵢ` of eq. (12). The
+//! convexity analysis (§2.5) bounds the error of that freeze through the
+//! second derivatives. Both are evaluated analytically here, with
+//! finite-difference cross-checks in the tests.
+//!
+//! Writing `tp = K·tox·Leff·H` with `H = α·f(Vdd,VTn) + β·f(Vdd,|VTp|)`
+//! and `f(V,T) = V(V−T)^{−1.3} + (1.5V−2T)^{−1}`:
+//!
+//! ```text
+//! ∂f/∂V  = (V−T)^{−1.3} − 1.3·V·(V−T)^{−2.3} − 1.5·(1.5V−2T)^{−2}
+//! ∂f/∂T  = 1.3·V·(V−T)^{−2.3} + 2·(1.5V−2T)^{−2}
+//! ∂²f/∂V² = −2.6·(V−T)^{−2.3} + 2.99·V·(V−T)^{−3.3} + 4.5·(1.5V−2T)^{−3}
+//! ∂²f/∂T² =  2.99·V·(V−T)^{−3.3} + 8·(1.5V−2T)^{−3}
+//! ```
+
+use crate::delay::voltage_kernel;
+use crate::param::{Param, PerParam};
+use crate::tech::{AlphaBeta, OperatingPoint, Technology, ELMORE_K};
+
+/// ∂f/∂V of the voltage kernel.
+pub fn kernel_dv(v: f64, t: f64) -> f64 {
+    let h = v - t;
+    let q = 1.5 * v - 2.0 * t;
+    h.powf(-1.3) - 1.3 * v * h.powf(-2.3) - 1.5 * q.powi(-2)
+}
+
+/// ∂f/∂T of the voltage kernel.
+pub fn kernel_dt(v: f64, t: f64) -> f64 {
+    let h = v - t;
+    let q = 1.5 * v - 2.0 * t;
+    1.3 * v * h.powf(-2.3) + 2.0 * q.powi(-2)
+}
+
+/// ∂²f/∂V².
+pub fn kernel_dvv(v: f64, t: f64) -> f64 {
+    let h = v - t;
+    let q = 1.5 * v - 2.0 * t;
+    -2.6 * h.powf(-2.3) + 2.99 * v * h.powf(-3.3) + 4.5 * q.powi(-3)
+}
+
+/// ∂²f/∂T².
+pub fn kernel_dtt(v: f64, t: f64) -> f64 {
+    let h = v - t;
+    let q = 1.5 * v - 2.0 * t;
+    2.99 * v * h.powf(-3.3) + 8.0 * q.powi(-3)
+}
+
+/// The gradient `∇tp` at `pt`: the five Taylor coefficients
+/// `(a, b, c, d, e)` of the paper's eq. (12), in [`Param::ALL`] order,
+/// with units of seconds per SI unit of each parameter.
+pub fn delay_gradient(tech: &Technology, ab: &AlphaBeta, pt: &OperatingPoint) -> PerParam {
+    let k = ELMORE_K / tech.eps_ox;
+    let geom = pt.tox() * pt.leff();
+    let fn_ = voltage_kernel(pt.vdd(), pt.vtn());
+    let fp = voltage_kernel(pt.vdd(), pt.vtp());
+    let h = ab.alpha * fn_ + ab.beta * fp;
+    PerParam::from_fn(|p| match p {
+        Param::Tox => k * pt.leff() * h,
+        Param::Leff => k * pt.tox() * h,
+        Param::Vdd => {
+            k * geom
+                * (ab.alpha * kernel_dv(pt.vdd(), pt.vtn()) + ab.beta * kernel_dv(pt.vdd(), pt.vtp()))
+        }
+        Param::Vtn => k * geom * ab.alpha * kernel_dt(pt.vdd(), pt.vtn()),
+        Param::Vtp => k * geom * ab.beta * kernel_dt(pt.vdd(), pt.vtp()),
+    })
+}
+
+/// The diagonal of the Hessian `∂²tp/∂χ²` at `pt`, used by the §2.5
+/// convexity analysis. The geometry parameters enter linearly, so their
+/// second derivatives vanish.
+pub fn delay_hessian_diag(tech: &Technology, ab: &AlphaBeta, pt: &OperatingPoint) -> PerParam {
+    let k = ELMORE_K / tech.eps_ox;
+    let geom = pt.tox() * pt.leff();
+    PerParam::from_fn(|p| match p {
+        Param::Tox | Param::Leff => 0.0,
+        Param::Vdd => {
+            k * geom
+                * (ab.alpha * kernel_dvv(pt.vdd(), pt.vtn())
+                    + ab.beta * kernel_dvv(pt.vdd(), pt.vtp()))
+        }
+        Param::Vtn => k * geom * ab.alpha * kernel_dtt(pt.vdd(), pt.vtn()),
+        Param::Vtp => k * geom * ab.beta * kernel_dtt(pt.vdd(), pt.vtp()),
+    })
+}
+
+/// One row of the §2.5 convexity report: for each parameter, the ratio
+/// `|∂²tp/∂χ²·σχ| / |∂tp/∂χ|` — the relative change of the derivative
+/// over a one-σ move. The paper argues this is ≲ 0.1 for every parameter,
+/// validating the frozen-derivative approximation.
+pub fn convexity_ratios(
+    tech: &Technology,
+    ab: &AlphaBeta,
+    pt: &OperatingPoint,
+    sigma: &PerParam,
+) -> PerParam {
+    let g = delay_gradient(tech, ab, pt);
+    let h = delay_hessian_diag(tech, ab, pt);
+    PerParam::from_fn(|p| {
+        let first = g.get(p).abs();
+        if first == 0.0 {
+            0.0
+        } else {
+            (h.get(p) * sigma.get(p)).abs() / first
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::gate_delay;
+    use crate::gate::{GateKind, Load};
+    use crate::param::Variations;
+
+    fn setup() -> (Technology, AlphaBeta, OperatingPoint) {
+        let tech = Technology::cmos130();
+        let ab = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
+        let pt = tech.nominal_point();
+        (tech, ab, pt)
+    }
+
+    /// Central finite difference of the delay along parameter `p`.
+    fn fd_gradient(tech: &Technology, ab: &AlphaBeta, pt: &OperatingPoint, p: Param) -> f64 {
+        let h = pt.get(p) * 1e-6;
+        let up = gate_delay(tech, ab, &pt.with(p, pt.get(p) + h));
+        let dn = gate_delay(tech, ab, &pt.with(p, pt.get(p) - h));
+        (up - dn) / (2.0 * h)
+    }
+
+    fn fd_hessian(tech: &Technology, ab: &AlphaBeta, pt: &OperatingPoint, p: Param) -> f64 {
+        let h = pt.get(p) * 1e-4;
+        let up = gate_delay(tech, ab, &pt.with(p, pt.get(p) + h));
+        let mid = gate_delay(tech, ab, pt);
+        let dn = gate_delay(tech, ab, &pt.with(p, pt.get(p) - h));
+        (up - 2.0 * mid + dn) / (h * h)
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let (tech, ab, pt) = setup();
+        let g = delay_gradient(&tech, &ab, &pt);
+        for p in Param::ALL {
+            let fd = fd_gradient(&tech, &ab, &pt, p);
+            let an = g.get(p);
+            assert!(
+                (an - fd).abs() <= 1e-5 * fd.abs().max(1e-30),
+                "{p}: analytic {an:e} vs fd {fd:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_difference() {
+        let (tech, ab, pt) = setup();
+        let h = delay_hessian_diag(&tech, &ab, &pt);
+        for p in [Param::Vdd, Param::Vtn, Param::Vtp] {
+            let fd = fd_hessian(&tech, &ab, &pt, p);
+            let an = h.get(p);
+            assert!(
+                (an - fd).abs() <= 1e-3 * fd.abs().max(1e-30),
+                "{p}: analytic {an:e} vs fd {fd:e}"
+            );
+        }
+        assert_eq!(h.get(Param::Tox), 0.0);
+        assert_eq!(h.get(Param::Leff), 0.0);
+    }
+
+    #[test]
+    fn gradient_signs() {
+        let (tech, ab, pt) = setup();
+        let g = delay_gradient(&tech, &ab, &pt);
+        assert!(g.get(Param::Tox) > 0.0);
+        assert!(g.get(Param::Leff) > 0.0);
+        assert!(g.get(Param::Vdd) < 0.0, "higher supply must speed the gate");
+        assert!(g.get(Param::Vtn) > 0.0);
+        assert!(g.get(Param::Vtp) > 0.0);
+    }
+
+    #[test]
+    fn convexity_small_as_paper_argues() {
+        // §2.5: the derivative changes by well under its own magnitude
+        // over a one-sigma move, for every parameter.
+        let (tech, ab, pt) = setup();
+        let vars = Variations::date05();
+        let r = convexity_ratios(&tech, &ab, &pt, &vars.sigma);
+        for p in Param::ALL {
+            assert!(r.get(p) < 0.15, "{p}: convexity ratio {}", r.get(p));
+        }
+    }
+
+    #[test]
+    fn taylor_first_order_accuracy_one_sigma() {
+        // The linearization the whole intra-die analysis rests on: a 1σ
+        // simultaneous move predicted by the gradient stays within ~2% of
+        // the exact delay change.
+        let (tech, ab, pt) = setup();
+        let vars = Variations::date05();
+        let g = delay_gradient(&tech, &ab, &pt);
+        let delta = PerParam::from_fn(|p| p.worst_direction() * vars.sigma.get(p));
+        let exact = gate_delay(&tech, &ab, &pt.shifted(&delta));
+        let lin = gate_delay(&tech, &ab, &pt)
+            + Param::ALL.iter().map(|&p| g.get(p) * delta.get(p)).sum::<f64>();
+        assert!((exact - lin).abs() / exact < 0.02, "exact {exact:e} lin {lin:e}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Gate kinds and output loads.
+//!
+//! The paper derives delay equations for the inverter, n-input NAND,
+//! n-input NOR and 2-input XNOR, "the gates ... which constitute all
+//! ISCAS85 benchmarks". The published ISCAS85 netlists additionally use
+//! AND, OR, XOR and BUF cells; those are modeled as their canonical
+//! two-stage expansions (NAND+INV, NOR+INV, XNOR+INV ≡ XOR, INV+INV),
+//! which keeps every delay in the single functional form of eq. (2).
+
+use crate::tech::Technology;
+use std::fmt;
+
+/// A combinational gate type with its fan-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer (two cascaded inverters).
+    Buf,
+    /// n-input NAND, `n ≥ 2`.
+    Nand(u8),
+    /// n-input NOR, `n ≥ 2`.
+    Nor(u8),
+    /// n-input AND (NAND + INV), `n ≥ 2`.
+    And(u8),
+    /// n-input OR (NOR + INV), `n ≥ 2`.
+    Or(u8),
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+}
+
+impl GateKind {
+    /// Number of logic inputs.
+    pub fn fan_in(&self) -> usize {
+        match *self {
+            GateKind::Inv | GateKind::Buf => 1,
+            GateKind::Nand(n) | GateKind::Nor(n) | GateKind::And(n) | GateKind::Or(n) => {
+                n as usize
+            }
+            GateKind::Xor2 | GateKind::Xnor2 => 2,
+        }
+    }
+
+    /// Number of transistor drains on the output node, which sets the
+    /// self-loading part of `Cn`.
+    pub fn output_drains(&self) -> usize {
+        match *self {
+            GateKind::Inv | GateKind::Buf => 2,
+            // n parallel devices plus the end of the series stack.
+            GateKind::Nand(n) | GateKind::Nor(n) => n as usize + 1,
+            // Composite gates present an inverter output.
+            GateKind::And(_) | GateKind::Or(_) => 2,
+            // Complex CMOS XOR/XNOR: two branch drains per network.
+            GateKind::Xor2 | GateKind::Xnor2 => 4,
+        }
+    }
+
+    /// Whether the cell logically inverts (affects logic value, not
+    /// timing; provided for netlist utilities).
+    pub fn inverting(&self) -> bool {
+        matches!(
+            *self,
+            GateKind::Inv | GateKind::Nand(_) | GateKind::Nor(_) | GateKind::Xnor2
+        )
+    }
+
+    /// Builds a kind from an ISCAS `.bench` function name and a fan-in
+    /// count. Returns `None` for unknown names or unsupported arities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use statim_process::gate::GateKind;
+    /// assert_eq!(GateKind::from_bench("NAND", 3), Some(GateKind::Nand(3)));
+    /// assert_eq!(GateKind::from_bench("not", 1), Some(GateKind::Inv));
+    /// assert_eq!(GateKind::from_bench("XOR", 2), Some(GateKind::Xor2));
+    /// assert_eq!(GateKind::from_bench("XOR", 3), None);
+    /// ```
+    pub fn from_bench(name: &str, fan_in: usize) -> Option<GateKind> {
+        let arity = |k: fn(u8) -> GateKind| {
+            if (2..=9).contains(&fan_in) {
+                Some(k(fan_in as u8))
+            } else {
+                None
+            }
+        };
+        match name.to_ascii_uppercase().as_str() {
+            "NOT" | "INV" if fan_in == 1 => Some(GateKind::Inv),
+            "BUF" | "BUFF" if fan_in == 1 => Some(GateKind::Buf),
+            "NAND" => arity(GateKind::Nand),
+            "NOR" => arity(GateKind::Nor),
+            "AND" => arity(GateKind::And),
+            "OR" => arity(GateKind::Or),
+            "XOR" if fan_in == 2 => Some(GateKind::Xor2),
+            "XNOR" if fan_in == 2 => Some(GateKind::Xnor2),
+            _ => None,
+        }
+    }
+
+    /// The `.bench` function name of this kind.
+    pub fn bench_name(&self) -> &'static str {
+        match *self {
+            GateKind::Inv => "NOT",
+            GateKind::Buf => "BUFF",
+            GateKind::Nand(_) => "NAND",
+            GateKind::Nor(_) => "NOR",
+            GateKind::And(_) => "AND",
+            GateKind::Or(_) => "OR",
+            GateKind::Xor2 => "XOR",
+            GateKind::Xnor2 => "XNOR",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GateKind::Nand(n) | GateKind::Nor(n) | GateKind::And(n) | GateKind::Or(n) => {
+                write!(f, "{}{}", n, self.bench_name())
+            }
+            _ => f.write_str(self.bench_name()),
+        }
+    }
+}
+
+/// The load a gate drives: fan-out pins and wire capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Load {
+    /// Number of downstream gate input pins.
+    pub fanout_pins: usize,
+    /// Explicit wire capacitance in farads, or `None` to use the
+    /// technology default.
+    pub wire_cap_override: Option<f64>,
+}
+
+impl Load {
+    /// A load of `pins` fan-out pins with the default wire capacitance.
+    pub fn fanout(pins: usize) -> Self {
+        Load { fanout_pins: pins, wire_cap_override: None }
+    }
+
+    /// A load with explicit wire capacitance (farads).
+    pub fn with_wire(pins: usize, wire_cap: f64) -> Self {
+        Load { fanout_pins: pins, wire_cap_override: Some(wire_cap) }
+    }
+
+    /// The zero-wire single-pin load of an internal composite-gate node.
+    pub(crate) fn internal() -> Self {
+        Load { fanout_pins: 0, wire_cap_override: Some(0.0) }
+    }
+
+    /// Wire capacitance under `tech`.
+    pub fn wire_cap(&self, tech: &Technology) -> f64 {
+        self.wire_cap_override.unwrap_or(tech.c_wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_in_counts() {
+        assert_eq!(GateKind::Inv.fan_in(), 1);
+        assert_eq!(GateKind::Nand(4).fan_in(), 4);
+        assert_eq!(GateKind::Xnor2.fan_in(), 2);
+        assert_eq!(GateKind::Buf.fan_in(), 1);
+    }
+
+    #[test]
+    fn from_bench_parses_known() {
+        assert_eq!(GateKind::from_bench("nand", 2), Some(GateKind::Nand(2)));
+        assert_eq!(GateKind::from_bench("NOR", 5), Some(GateKind::Nor(5)));
+        assert_eq!(GateKind::from_bench("BUFF", 1), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_bench("XNOR", 2), Some(GateKind::Xnor2));
+        assert_eq!(GateKind::from_bench("AND", 8), Some(GateKind::And(8)));
+    }
+
+    #[test]
+    fn from_bench_rejects_bad_arity() {
+        assert_eq!(GateKind::from_bench("NOT", 2), None);
+        assert_eq!(GateKind::from_bench("NAND", 1), None);
+        assert_eq!(GateKind::from_bench("NAND", 25), None);
+        assert_eq!(GateKind::from_bench("MUX", 3), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(GateKind::Nand(3).to_string(), "3NAND");
+        assert_eq!(GateKind::Inv.to_string(), "NOT");
+        assert_eq!(GateKind::Xor2.to_string(), "XOR");
+    }
+
+    #[test]
+    fn inverting_flags() {
+        assert!(GateKind::Inv.inverting());
+        assert!(GateKind::Nand(2).inverting());
+        assert!(!GateKind::And(2).inverting());
+        assert!(!GateKind::Xor2.inverting());
+        assert!(GateKind::Xnor2.inverting());
+    }
+
+    #[test]
+    fn load_wire_default_and_override() {
+        let t = Technology::cmos130();
+        assert_eq!(Load::fanout(2).wire_cap(&t), t.c_wire);
+        assert_eq!(Load::with_wire(2, 1e-15).wire_cap(&t), 1e-15);
+        assert_eq!(Load::internal().wire_cap(&t), 0.0);
+    }
+
+    #[test]
+    fn output_drains_reasonable() {
+        assert_eq!(GateKind::Inv.output_drains(), 2);
+        assert_eq!(GateKind::Nand(2).output_drains(), 3);
+        assert_eq!(GateKind::Nor(4).output_drains(), 5);
+        assert_eq!(GateKind::Xnor2.output_drains(), 4);
+    }
+}

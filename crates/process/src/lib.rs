@@ -1,0 +1,61 @@
+//! Device models, process variations and delay sensitivities for the
+//! DATE'05 statistical timing methodology.
+//!
+//! The paper models gate delay with an Elmore-based short-channel
+//! expression (its eq. (2)):
+//!
+//! ```text
+//! tp = 0.345 · (tox·Leff / εox) · [ α·f(Vdd, VTn) + β·f(Vdd, |VTp|) ]
+//! f(V, T) = V/(V − T)^1.3 + 1/(1.5·V − 2·T)
+//! ```
+//!
+//! where α and β lump fan-in, capacitances, carrier mobilities and channel
+//! widths (eqs. (3), (4)). Five parameters are treated as Gaussian random
+//! variables truncated at ±6σ: `tox`, `Leff`, `Vdd`, `VTn`, `|VTp|`, with
+//! standard deviations from Nassif (ISSCC 2000) as quoted in the paper's
+//! Table 1: σ = {0.15 nm, 15 nm, 40 mV, 13 mV, 14 mV}.
+//!
+//! Modules:
+//!
+//! * [`param`] — the five random parameters and their variation spec;
+//! * [`tech`] — 130 nm technology constants and the operating point;
+//! * [`gate`] — gate kinds and their α/β coefficients;
+//! * [`delay`] — eq. (2) evaluation and corner analysis;
+//! * [`deriv`] — analytic first and second delay derivatives (the Taylor
+//!   coefficients of the paper's eq. (12) and the §2.5 convexity check);
+//! * [`sensitivity`] — Table 1 (per-gate one-sigma delay sensitivities).
+//!
+//! # Example
+//!
+//! ```
+//! use statim_process::{tech::Technology, gate::{GateKind, Load}, delay::gate_delay};
+//!
+//! let tech = Technology::cmos130();
+//! let ab = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
+//! let tp = gate_delay(&tech, &ab, &tech.nominal_point());
+//! assert!(tp > 5e-12 && tp < 30e-12); // ~12 ps for a FO2 2-NAND
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod deriv;
+pub mod gate;
+pub mod param;
+pub mod sensitivity;
+pub mod tech;
+
+pub use delay::gate_delay;
+pub use gate::{GateKind, Load};
+pub use param::{Param, Variations};
+pub use tech::{OperatingPoint, Technology};
+
+/// Seconds per picosecond; delay values in this workspace are SI seconds
+/// internally and reported in ps.
+pub const PS: f64 = 1e-12;
+
+/// Converts seconds to picoseconds for reporting.
+pub fn to_ps(seconds: f64) -> f64 {
+    seconds / PS
+}

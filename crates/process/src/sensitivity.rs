@@ -1,0 +1,168 @@
+//! First-order sensitivity analysis — the paper's §2.2 and Table 1.
+//!
+//! For each gate type (with a fan-out of 2) and each parameter χ, Table 1
+//! reports the linear delay swing for a one-sigma move,
+//! `|∂tp/∂χ|ₓ_nom · σχ|`. The analysis identifies `Leff` as dominant,
+//! `tox` and `Vdd` as significant, and the thresholds as minor — the
+//! justification for keeping all five RVs but treating the problem to
+//! first order.
+
+use crate::deriv::delay_gradient;
+use crate::gate::{GateKind, Load};
+use crate::param::{Param, PerParam, Variations};
+use crate::tech::Technology;
+use crate::to_ps;
+
+/// One row of the sensitivity table: a gate type and its per-parameter
+/// one-sigma delay swings in picoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityRow {
+    /// Gate type.
+    pub kind: GateKind,
+    /// Nominal delay, ps.
+    pub nominal_ps: f64,
+    /// `|∂tp/∂χ|·σχ` per parameter, ps.
+    pub swing_ps: PerParam,
+}
+
+/// The full sensitivity table for a list of gate kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityTable {
+    /// Rows in the order requested.
+    pub rows: Vec<SensitivityRow>,
+}
+
+/// The gate set of the paper's Table 1, in its column order.
+pub const TABLE1_GATES: [GateKind; 4] =
+    [GateKind::Nand(2), GateKind::Nor(2), GateKind::Inv, GateKind::Xnor2];
+
+/// Computes the sensitivity table for `kinds`, each driving `load`.
+pub fn sensitivity_table(
+    tech: &Technology,
+    vars: &Variations,
+    kinds: &[GateKind],
+    load: &Load,
+) -> SensitivityTable {
+    let pt = tech.nominal_point();
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let ab = tech.alpha_beta(kind, load);
+            let g = delay_gradient(tech, &ab, &pt);
+            let swing_ps =
+                PerParam::from_fn(|p| to_ps((g.get(p) * vars.sigma.get(p)).abs()));
+            SensitivityRow {
+                kind,
+                nominal_ps: to_ps(crate::delay::gate_delay(tech, &ab, &pt)),
+                swing_ps,
+            }
+        })
+        .collect();
+    SensitivityTable { rows }
+}
+
+/// Reproduces the paper's Table 1: the four gate types at fan-out 2 under
+/// the DATE'05 variations.
+pub fn table1(tech: &Technology) -> SensitivityTable {
+    sensitivity_table(tech, &Variations::date05(), &TABLE1_GATES, &Load::fanout(2))
+}
+
+impl SensitivityTable {
+    /// Renders the table as text, parameters as rows and gates as columns
+    /// (the paper's layout).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>8}", "");
+        for row in &self.rows {
+            let _ = write!(out, "{:>10}", row.kind.to_string());
+        }
+        out.push('\n');
+        for p in Param::ALL {
+            let _ = write!(out, "{:>8}", p.symbol());
+            for row in &self.rows {
+                let _ = write!(out, "{:>8.3}ps", row.swing_ps.get(p));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ordering_matches_paper() {
+        // Paper: Leff dominates, then tox, then Vdd, with VTn and VTp an
+        // order of magnitude below Leff — for every gate type.
+        let t = table1(&Technology::cmos130());
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let s = &row.swing_ps;
+            assert!(s.get(Param::Leff) > s.get(Param::Tox), "{}", row.kind);
+            assert!(s.get(Param::Tox) > s.get(Param::Vtn), "{}", row.kind);
+            assert!(s.get(Param::Vdd) > s.get(Param::Vtn), "{}", row.kind);
+            assert!(s.get(Param::Leff) > 8.0 * s.get(Param::Vtn), "{}", row.kind);
+            assert!(s.get(Param::Leff) > 8.0 * s.get(Param::Vtp), "{}", row.kind);
+        }
+    }
+
+    #[test]
+    fn table1_magnitudes_near_paper() {
+        // Paper values for 2-NAND: Leff 2.061 ps, tox 0.587 ps, Vdd
+        // 0.360 ps. Allow a generous band — the exact capacitances differ.
+        let t = table1(&Technology::cmos130());
+        let nand = &t.rows[0];
+        assert_eq!(nand.kind, GateKind::Nand(2));
+        let leff = nand.swing_ps.get(Param::Leff);
+        let tox = nand.swing_ps.get(Param::Tox);
+        let vdd = nand.swing_ps.get(Param::Vdd);
+        assert!((1.4..=2.9).contains(&leff), "Leff swing {leff}");
+        assert!((0.35..=0.9).contains(&tox), "tox swing {tox}");
+        assert!((0.15..=0.75).contains(&vdd), "Vdd swing {vdd}");
+    }
+
+    #[test]
+    fn gate_column_ordering() {
+        // Paper: NAND swings > XNOR > NOR > INV (they track the delays).
+        let t = table1(&Technology::cmos130());
+        let leff = |i: usize| t.rows[i].swing_ps.get(Param::Leff);
+        assert!(leff(0) > leff(1), "NAND > NOR");
+        assert!(leff(1) > leff(2), "NOR > INV");
+        assert!(leff(3) > leff(2), "XNOR > INV");
+    }
+
+    #[test]
+    fn render_contains_all_symbols() {
+        let t = table1(&Technology::cmos130());
+        let s = t.render();
+        for p in Param::ALL {
+            assert!(s.contains(p.symbol()), "missing {p}");
+        }
+        assert!(s.contains("2NAND"));
+    }
+
+    #[test]
+    fn swing_scales_linearly_with_sigma() {
+        let tech = Technology::cmos130();
+        let base = sensitivity_table(
+            &tech,
+            &Variations::date05(),
+            &[GateKind::Inv],
+            &Load::fanout(2),
+        );
+        let doubled = sensitivity_table(
+            &tech,
+            &Variations::date05().scaled(2.0),
+            &[GateKind::Inv],
+            &Load::fanout(2),
+        );
+        for p in Param::ALL {
+            let b = base.rows[0].swing_ps.get(p);
+            let d = doubled.rows[0].swing_ps.get(p);
+            assert!((d - 2.0 * b).abs() < 1e-9 * b.max(1e-12), "{p}");
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Technology constants and operating points.
+//!
+//! The paper evaluates on "130 nm technology nominal values". Exact
+//! nominals are not printed, but they are pinned down by the paper's own
+//! numbers (see `DESIGN.md` §6):
+//!
+//! * Table 1's Leff row gives `tp·σ_Leff/Leff = 2.061 ps` for a FO2 2-NAND,
+//!   and its tox row gives `tp·σ_tox/tox = 0.587 ps`; together with the
+//!   per-path delays of Table 2 these imply `Leff ≈ 90 nm`,
+//!   `tox ≈ 3.2 nm` and `tp(2-NAND, FO2) ≈ 12.4 ps`.
+//! * Table 2's worst-case column is almost exactly 2× the nominal critical
+//!   delay, which the same nominals reproduce at a 3σ corner.
+//!
+//! Capacitances, mobilities and widths below are then calibrated so the
+//! FO2 2-NAND nominal delay lands on 12.4 ps.
+
+use crate::gate::{GateKind, Load};
+use crate::param::{Param, PerParam};
+
+/// Vacuum permittivity times the SiO₂ relative permittivity (F/m).
+pub const EPS_OX: f64 = 3.9 * 8.854e-12;
+
+/// The Elmore prefactor of the paper's eq. (2).
+pub const ELMORE_K: f64 = 0.345;
+
+/// Technology constants: nominal parameter values plus the capacitance,
+/// mobility and width data that enter the α/β coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Nominal gate-oxide thickness (m).
+    pub tox: f64,
+    /// Nominal effective channel length (m).
+    pub leff: f64,
+    /// Nominal supply voltage (V).
+    pub vdd: f64,
+    /// Nominal NMOS threshold voltage (V).
+    pub vtn: f64,
+    /// Nominal PMOS threshold-voltage magnitude (V).
+    pub vtp: f64,
+    /// Oxide permittivity (F/m).
+    pub eps_ox: f64,
+    /// Effective NMOS mobility (m²/V·s).
+    pub mu_n: f64,
+    /// Effective PMOS mobility (m²/V·s).
+    pub mu_p: f64,
+    /// NMOS channel width (m).
+    pub w_n: f64,
+    /// PMOS channel width (m).
+    pub w_p: f64,
+    /// Junction (drain) capacitance per transistor drain at a node (F).
+    pub c_drain: f64,
+    /// Input (gate) capacitance per fan-in pin (F).
+    pub c_gate: f64,
+    /// Default wire capacitance per output net (F).
+    pub c_wire: f64,
+}
+
+impl Technology {
+    /// The calibrated 130 nm technology used throughout the reproduction.
+    pub fn cmos130() -> Self {
+        Technology {
+            tox: 3.2e-9,
+            leff: 90e-9,
+            vdd: 1.5,
+            vtn: 0.40,
+            vtp: 0.42,
+            eps_ox: EPS_OX,
+            // Effective (fitted) transport and capacitance constants; the
+            // products µn·Wn = 1.2e-8 and µp·Wp = 3.0e-8 together with the
+            // capacitances below put tp(2-NAND, FO2) at 12.4 ps and
+            // reproduce the paper's Table 1 gate ratios
+            // (INV/NOR/XNOR ≈ 0.38/0.63/0.90 of the 2-NAND swing).
+            mu_n: 0.030,
+            mu_p: 0.015,
+            w_n: 0.4e-6,
+            w_p: 2.0e-6,
+            c_drain: 1.50e-15,
+            c_gate: 1.97e-15,
+            c_wire: 0.94e-15,
+        }
+    }
+
+    /// Nominal operating point (the paper's `X_nominal`).
+    pub fn nominal_point(&self) -> OperatingPoint {
+        OperatingPoint {
+            values: PerParam([self.tox, self.leff, self.vdd, self.vtn, self.vtp]),
+        }
+    }
+
+    /// Nominal value of one parameter.
+    pub fn nominal(&self, p: Param) -> f64 {
+        match p {
+            Param::Tox => self.tox,
+            Param::Leff => self.leff,
+            Param::Vdd => self.vdd,
+            Param::Vtn => self.vtn,
+            Param::Vtp => self.vtp,
+        }
+    }
+
+    /// Total capacitance at a gate's output node: its own drain diffusion
+    /// plus the fan-out pins' gate capacitance plus wire capacitance
+    /// (the paper's `Cn`).
+    pub fn output_cap(&self, kind: GateKind, load: &Load) -> f64 {
+        let drains = kind.output_drains() as f64;
+        drains * self.c_drain + load.fanout_pins as f64 * self.c_gate + load.wire_cap(self)
+    }
+
+    /// The α and β coefficients of the paper's eqs. (3)–(4) for `kind`
+    /// driving `load`.
+    ///
+    /// * n-NAND (series NMOS stack): α carries the stack term
+    ///   `CdN·FI·(FI−1) + FI·Cn`, β is the parallel-PMOS term `Cn`.
+    /// * n-NOR is the dual (series PMOS stack).
+    /// * Inverter: both terms are `Cn`.
+    /// * XOR/XNOR-2: complex gate with both a series NMOS and a series
+    ///   PMOS pair.
+    /// * Composite kinds (AND, OR, BUF) are modeled as their two-stage
+    ///   expansions; because each stage has the same functional form, the
+    ///   coefficients simply add (the internal node sees one inverter pin).
+    pub fn alpha_beta(&self, kind: GateKind, load: &Load) -> AlphaBeta {
+        let cn = self.output_cap(kind, load);
+        let fi = kind.fan_in() as f64;
+        let (cd, mun_wn, mup_wp) =
+            (self.c_drain, self.mu_n * self.w_n, self.mu_p * self.w_p);
+        match kind {
+            GateKind::Inv => AlphaBeta { alpha: cn / mun_wn, beta: cn / mup_wp },
+            GateKind::Nand(_) => AlphaBeta {
+                alpha: (cd * fi * (fi - 1.0) + fi * cn) / mun_wn,
+                beta: cn / mup_wp,
+            },
+            GateKind::Nor(_) => AlphaBeta {
+                alpha: cn / mun_wn,
+                beta: (cd * fi * (fi - 1.0) + fi * cn) / mup_wp,
+            },
+            // Symmetric complex gate: both networks see series pairs, with
+            // an effective 1.5·Cn Elmore weight (transmission-gate-style
+            // XOR). Calibrated so the XNOR delay is ≈0.90× the 2-NAND's,
+            // the ratio implied by the paper's Table 1.
+            GateKind::Xor2 | GateKind::Xnor2 => AlphaBeta {
+                alpha: 1.5 * cn / mun_wn,
+                beta: 1.5 * cn / mup_wp,
+            },
+            GateKind::Buf => {
+                // Two cascaded inverters; the internal node drives one pin.
+                let internal = self.internal_node_cap();
+                AlphaBeta {
+                    alpha: (internal + cn) / mun_wn,
+                    beta: (internal + cn) / mup_wp,
+                }
+            }
+            GateKind::And(n) => {
+                let inner = self.alpha_beta(GateKind::Nand(n), &Load::internal());
+                let outer = self.alpha_beta(GateKind::Inv, load);
+                AlphaBeta { alpha: inner.alpha + outer.alpha, beta: inner.beta + outer.beta }
+            }
+            GateKind::Or(n) => {
+                let inner = self.alpha_beta(GateKind::Nor(n), &Load::internal());
+                let outer = self.alpha_beta(GateKind::Inv, load);
+                AlphaBeta { alpha: inner.alpha + outer.alpha, beta: inner.beta + outer.beta }
+            }
+        }
+    }
+
+    /// Capacitance of an internal node between the stages of a composite
+    /// gate: two drains plus one inverter input pin.
+    fn internal_node_cap(&self) -> f64 {
+        2.0 * self.c_drain + self.c_gate
+    }
+}
+
+/// The lumped α and β coefficients of eqs. (3)–(4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaBeta {
+    /// NMOS-side coefficient (multiplies `f(Vdd, VTn)`).
+    pub alpha: f64,
+    /// PMOS-side coefficient (multiplies `f(Vdd, |VTp|)`).
+    pub beta: f64,
+}
+
+/// A full assignment of the five varying parameters (the paper's vector
+/// `X`). `vtp` stores the magnitude `|VTp|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Parameter values in canonical order.
+    pub values: PerParam,
+}
+
+impl OperatingPoint {
+    /// Value of one parameter.
+    #[inline]
+    pub fn get(&self, p: Param) -> f64 {
+        self.values.get(p)
+    }
+
+    /// Returns a copy with `p` set to `v`.
+    pub fn with(&self, p: Param, v: f64) -> Self {
+        let mut values = self.values;
+        values.set(p, v);
+        OperatingPoint { values }
+    }
+
+    /// Returns a copy with every parameter shifted by the corresponding
+    /// entry of `delta`.
+    pub fn shifted(&self, delta: &PerParam) -> Self {
+        OperatingPoint { values: PerParam::from_fn(|p| self.values.get(p) + delta.get(p)) }
+    }
+
+    /// Convenience accessors in paper notation.
+    #[inline]
+    pub fn tox(&self) -> f64 {
+        self.get(Param::Tox)
+    }
+    /// Effective channel length.
+    #[inline]
+    pub fn leff(&self) -> f64 {
+        self.get(Param::Leff)
+    }
+    /// Supply voltage.
+    #[inline]
+    pub fn vdd(&self) -> f64 {
+        self.get(Param::Vdd)
+    }
+    /// NMOS threshold.
+    #[inline]
+    pub fn vtn(&self) -> f64 {
+        self.get(Param::Vtn)
+    }
+    /// PMOS threshold magnitude.
+    #[inline]
+    pub fn vtp(&self) -> f64 {
+        self.get(Param::Vtp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_point_matches_tech() {
+        let t = Technology::cmos130();
+        let pt = t.nominal_point();
+        assert_eq!(pt.tox(), t.tox);
+        assert_eq!(pt.leff(), t.leff);
+        assert_eq!(pt.vdd(), t.vdd);
+        for p in Param::ALL {
+            assert_eq!(pt.get(p), t.nominal(p));
+        }
+    }
+
+    #[test]
+    fn with_and_shifted() {
+        let t = Technology::cmos130();
+        let pt = t.nominal_point().with(Param::Vdd, 1.2);
+        assert_eq!(pt.vdd(), 1.2);
+        assert_eq!(pt.tox(), t.tox);
+        let mut d = PerParam::default();
+        d.set(Param::Leff, 1e-9);
+        let pt2 = pt.shifted(&d);
+        assert!((pt2.leff() - (t.leff + 1e-9)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn output_cap_scales_with_fanout() {
+        let t = Technology::cmos130();
+        let c1 = t.output_cap(GateKind::Nand(2), &Load::fanout(1));
+        let c4 = t.output_cap(GateKind::Nand(2), &Load::fanout(4));
+        assert!((c4 - c1 - 3.0 * t.c_gate).abs() < 1e-21);
+    }
+
+    #[test]
+    fn nand_alpha_exceeds_inverter_alpha() {
+        // The NMOS stack penalty makes the NAND pull-down coefficient
+        // larger than the inverter's at equal load.
+        let t = Technology::cmos130();
+        let load = Load::fanout(2);
+        let nand = t.alpha_beta(GateKind::Nand(2), &load);
+        let inv = t.alpha_beta(GateKind::Inv, &load);
+        assert!(nand.alpha > inv.alpha);
+        // NAND output has more drains, so even β grows slightly via Cn.
+        assert!(nand.beta > inv.beta);
+    }
+
+    #[test]
+    fn nor_is_dual_of_nand() {
+        let t = Technology::cmos130();
+        let load = Load::fanout(2);
+        let nand = t.alpha_beta(GateKind::Nand(3), &load);
+        let nor = t.alpha_beta(GateKind::Nor(3), &load);
+        // The stacked side swaps.
+        assert!(nor.beta > nand.beta);
+        assert!(nand.alpha > nor.alpha);
+    }
+
+    #[test]
+    fn composite_gates_add_stages() {
+        let t = Technology::cmos130();
+        let load = Load::fanout(2);
+        let and2 = t.alpha_beta(GateKind::And(2), &load);
+        let nand2 = t.alpha_beta(GateKind::Nand(2), &load);
+        assert!(and2.alpha > nand2.alpha * 0.9); // extra stage adds work
+        let buf = t.alpha_beta(GateKind::Buf, &load);
+        let inv = t.alpha_beta(GateKind::Inv, &load);
+        assert!(buf.alpha > inv.alpha);
+    }
+}

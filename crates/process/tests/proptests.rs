@@ -1,0 +1,157 @@
+//! Property-based tests for the delay model: eq. (2) and its derivatives
+//! over randomized (valid) operating points, loads and gate kinds.
+
+use proptest::prelude::*;
+use statim_process::delay::{gate_delay, voltage_kernel, CornerSpec};
+use statim_process::deriv::{delay_gradient, delay_hessian_diag};
+use statim_process::param::PerParam;
+use statim_process::tech::OperatingPoint;
+use statim_process::{GateKind, Load, Param, Technology, Variations};
+
+fn arb_kind() -> impl Strategy<Value = GateKind> {
+    prop::sample::select(vec![
+        GateKind::Inv,
+        GateKind::Buf,
+        GateKind::Nand(2),
+        GateKind::Nand(3),
+        GateKind::Nand(4),
+        GateKind::Nor(2),
+        GateKind::Nor(3),
+        GateKind::And(2),
+        GateKind::Or(3),
+        GateKind::Xor2,
+        GateKind::Xnor2,
+    ])
+}
+
+fn arb_load() -> impl Strategy<Value = Load> {
+    (0usize..12).prop_map(Load::fanout)
+}
+
+/// A valid operating point: every transistor stays in its active region
+/// (Vdd well above both thresholds).
+fn arb_point() -> impl Strategy<Value = OperatingPoint> {
+    (
+        1.5e-9..6e-9f64,    // tox
+        40e-9..200e-9f64,   // leff
+        1.1..2.0f64,        // vdd
+        0.25..0.55f64,      // vtn
+        0.25..0.55f64,      // vtp
+    )
+        .prop_map(|(tox, leff, vdd, vtn, vtp)| OperatingPoint {
+            values: PerParam([tox, leff, vdd, vtn, vtp]),
+        })
+}
+
+proptest! {
+    #[test]
+    fn delay_positive_and_finite(kind in arb_kind(), load in arb_load(), pt in arb_point()) {
+        let tech = Technology::cmos130();
+        let ab = tech.alpha_beta(kind, &load);
+        let tp = gate_delay(&tech, &ab, &pt);
+        prop_assert!(tp.is_finite());
+        prop_assert!(tp > 0.0);
+        prop_assert!(tp < 1e-9, "a single 130nm gate should be far below 1 ns, got {tp}");
+    }
+
+    #[test]
+    fn delay_monotone_in_worst_directions(kind in arb_kind(), load in arb_load(), pt in arb_point(), frac in 0.001..0.05f64) {
+        let tech = Technology::cmos130();
+        let ab = tech.alpha_beta(kind, &load);
+        let base = gate_delay(&tech, &ab, &pt);
+        for p in Param::ALL {
+            let bump = p.worst_direction() * pt.get(p) * frac;
+            let shifted = pt.with(p, pt.get(p) + bump);
+            let tp = gate_delay(&tech, &ab, &shifted);
+            prop_assert!(tp > base, "{p}: moving in worst direction must slow the gate");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference(kind in arb_kind(), load in arb_load(), pt in arb_point()) {
+        let tech = Technology::cmos130();
+        let ab = tech.alpha_beta(kind, &load);
+        let g = delay_gradient(&tech, &ab, &pt);
+        for p in Param::ALL {
+            let h = pt.get(p) * 1e-6;
+            let up = gate_delay(&tech, &ab, &pt.with(p, pt.get(p) + h));
+            let dn = gate_delay(&tech, &ab, &pt.with(p, pt.get(p) - h));
+            let fd = (up - dn) / (2.0 * h);
+            let an = g.get(p);
+            prop_assert!(
+                (an - fd).abs() <= 1e-4 * fd.abs().max(1e-30),
+                "{p}: analytic {an:e} vs fd {fd:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn hessian_nonnegative_for_thresholds(kind in arb_kind(), pt in arb_point()) {
+        // Delay is convex in both thresholds over the active region.
+        let tech = Technology::cmos130();
+        let ab = tech.alpha_beta(kind, &Load::fanout(2));
+        let h = delay_hessian_diag(&tech, &ab, &pt);
+        prop_assert!(h.get(Param::Vtn) >= 0.0);
+        prop_assert!(h.get(Param::Vtp) >= 0.0);
+        prop_assert_eq!(h.get(Param::Tox), 0.0);
+        prop_assert_eq!(h.get(Param::Leff), 0.0);
+    }
+
+    #[test]
+    fn delay_scales_linearly_in_geometry(kind in arb_kind(), pt in arb_point(), s in 0.5..2.0f64) {
+        // tp ∝ tox·Leff exactly (eq. (2)).
+        let tech = Technology::cmos130();
+        let ab = tech.alpha_beta(kind, &Load::fanout(2));
+        let base = gate_delay(&tech, &ab, &pt);
+        let scaled = pt
+            .with(Param::Tox, pt.tox() * s)
+            .with(Param::Leff, pt.leff() * s);
+        let tp = gate_delay(&tech, &ab, &scaled);
+        prop_assert!((tp - base * s * s).abs() < 1e-9 * base.max(tp));
+    }
+
+    #[test]
+    fn kernel_positive_and_decreasing_in_v(v in 1.0..2.0f64, t in 0.2..0.55f64) {
+        prop_assume!(1.5 * v - 2.0 * t > 0.05);
+        prop_assume!(v - t > 0.05);
+        let f = voltage_kernel(v, t);
+        prop_assert!(f.is_finite() && f > 0.0);
+        let f_up = voltage_kernel(v + 1e-4, t);
+        prop_assert!(f_up < f, "kernel must decrease with supply");
+    }
+
+    #[test]
+    fn corners_bracket_nominal(kind in arb_kind(), load in arb_load(), k in 0.5..4.0f64) {
+        let tech = Technology::cmos130();
+        let vars = Variations::date05();
+        let ab = tech.alpha_beta(kind, &load);
+        let nominal = gate_delay(&tech, &ab, &tech.nominal_point());
+        let corner = CornerSpec::sigma(k);
+        let worst = gate_delay(&tech, &ab, &corner.worst_point(&tech, &vars));
+        let best = gate_delay(&tech, &ab, &corner.best_point(&tech, &vars));
+        prop_assert!(best < nominal);
+        prop_assert!(nominal < worst);
+        // A wider corner widens the bracket.
+        let wider = CornerSpec::sigma(k * 1.5);
+        prop_assert!(gate_delay(&tech, &ab, &wider.worst_point(&tech, &vars)) > worst);
+    }
+
+    #[test]
+    fn fan_in_monotone_for_stacks(n in 2u8..8, load in arb_load(), pt in arb_point()) {
+        // More stacked inputs ⇒ more series resistance ⇒ slower gate.
+        let tech = Technology::cmos130();
+        let small = tech.alpha_beta(GateKind::Nand(n), &load);
+        let big = tech.alpha_beta(GateKind::Nand(n + 1), &load);
+        prop_assert!(
+            gate_delay(&tech, &big, &pt) > gate_delay(&tech, &small, &pt)
+        );
+    }
+
+    #[test]
+    fn heavier_load_is_slower(kind in arb_kind(), pins in 0usize..10, pt in arb_point()) {
+        let tech = Technology::cmos130();
+        let light = tech.alpha_beta(kind, &Load::fanout(pins));
+        let heavy = tech.alpha_beta(kind, &Load::fanout(pins + 2));
+        prop_assert!(gate_delay(&tech, &heavy, &pt) > gate_delay(&tech, &light, &pt));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the statistics engine.
+
+use std::fmt;
+
+/// Errors produced by grid and PDF operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A grid was requested with zero cells or a non-positive step.
+    EmptyGrid {
+        /// Number of cells requested.
+        cells: usize,
+        /// Step requested.
+        step: f64,
+    },
+    /// A grid bound or sample value was NaN or infinite.
+    NonFinite {
+        /// Human-readable description of the offending quantity.
+        what: &'static str,
+    },
+    /// A density vector did not match its grid length.
+    LengthMismatch {
+        /// Cells in the grid.
+        grid: usize,
+        /// Entries in the density vector.
+        density: usize,
+    },
+    /// A PDF carried zero (or negative) total probability mass where a
+    /// proper distribution was required.
+    ZeroMass,
+    /// A density entry was negative.
+    NegativeDensity {
+        /// Index of the offending cell.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two PDFs were combined with incompatible grid steps.
+    StepMismatch {
+        /// Step of the left operand.
+        left: f64,
+        /// Step of the right operand.
+        right: f64,
+    },
+    /// A standard deviation (or other scale parameter) was not positive.
+    NonPositiveScale {
+        /// The offending value.
+        value: f64,
+    },
+    /// A probability argument fell outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyGrid { cells, step } => {
+                write!(f, "invalid grid: {cells} cells with step {step}")
+            }
+            StatsError::NonFinite { what } => write!(f, "non-finite value in {what}"),
+            StatsError::LengthMismatch { grid, density } => {
+                write!(f, "density length {density} does not match grid of {grid} cells")
+            }
+            StatsError::ZeroMass => write!(f, "distribution has no probability mass"),
+            StatsError::NegativeDensity { index, value } => {
+                write!(f, "negative density {value} at cell {index}")
+            }
+            StatsError::StepMismatch { left, right } => {
+                write!(f, "grid steps differ: {left} vs {right}")
+            }
+            StatsError::NonPositiveScale { value } => {
+                write!(f, "scale parameter must be positive, got {value}")
+            }
+            StatsError::InvalidProbability { value } => {
+                write!(f, "probability must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

@@ -1,0 +1,262 @@
+//! Uniform sample grids.
+//!
+//! All densities in this crate live on a [`Grid`]: `n` equal-width cells
+//! covering `[lo, lo + n·step]`. Cell `i` is the interval
+//! `[lo + i·step, lo + (i+1)·step)` and is represented by its center.
+//! This mirrors the paper's fixed `QUALITY`-point discretizations.
+
+use crate::{Result, StatsError};
+
+/// A uniform grid of `n` cells of width `step`, starting at `lo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grid {
+    lo: f64,
+    step: f64,
+    n: usize,
+}
+
+impl Grid {
+    /// Creates a grid of `n` cells of width `step` starting at `lo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyGrid`] if `n == 0` or `step <= 0`, and
+    /// [`StatsError::NonFinite`] if `lo` or `step` is not finite.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use statim_stats::Grid;
+    /// let g = Grid::new(0.0, 0.5, 4).unwrap();
+    /// assert_eq!(g.hi(), 2.0);
+    /// assert_eq!(g.center(0), 0.25);
+    /// ```
+    pub fn new(lo: f64, step: f64, n: usize) -> Result<Self> {
+        if !lo.is_finite() || !step.is_finite() {
+            return Err(StatsError::NonFinite { what: "grid bounds" });
+        }
+        if n == 0 || step <= 0.0 {
+            return Err(StatsError::EmptyGrid { cells: n, step });
+        }
+        Ok(Grid { lo, step, n })
+    }
+
+    /// Creates the grid spanning `[lo, hi]` with exactly `n` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the interval is empty, reversed or non-finite,
+    /// or if `n == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use statim_stats::Grid;
+    /// let g = Grid::over(0.0, 10.0, 100).unwrap();
+    /// assert_eq!(g.len(), 100);
+    /// assert!((g.step() - 0.1).abs() < 1e-12);
+    /// ```
+    pub fn over(lo: f64, hi: f64, n: usize) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::NonFinite { what: "grid bounds" });
+        }
+        if n == 0 || hi <= lo {
+            return Err(StatsError::EmptyGrid { cells: n, step: (hi - lo) / n.max(1) as f64 });
+        }
+        Grid::new(lo, (hi - lo) / n as f64, n)
+    }
+
+    /// Lower bound of the grid.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the grid (`lo + n·step`).
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.lo + self.step * self.n as f64
+    }
+
+    /// Cell width.
+    #[inline]
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the grid has no cells. Construction forbids this,
+    /// so the method always returns `false`; it exists for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Center of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn center(&self, i: usize) -> f64 {
+        assert!(i < self.n, "cell index {i} out of range ({} cells)", self.n);
+        self.lo + (i as f64 + 0.5) * self.step
+    }
+
+    /// Left edge of cell `i` (allows `i == len()`, the right edge of the
+    /// final cell).
+    #[inline]
+    pub fn edge(&self, i: usize) -> f64 {
+        assert!(i <= self.n, "edge index {i} out of range ({} cells)", self.n);
+        self.lo + i as f64 * self.step
+    }
+
+    /// Index of the cell containing `x`, or `None` if `x` lies outside the
+    /// grid. The right boundary is assigned to the final cell.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use statim_stats::Grid;
+    /// let g = Grid::new(0.0, 1.0, 4).unwrap();
+    /// assert_eq!(g.cell_of(2.5), Some(2));
+    /// assert_eq!(g.cell_of(4.0), Some(3));
+    /// assert_eq!(g.cell_of(-0.1), None);
+    /// ```
+    pub fn cell_of(&self, x: f64) -> Option<usize> {
+        if !x.is_finite() || x < self.lo || x > self.hi() {
+            return None;
+        }
+        let i = ((x - self.lo) / self.step) as usize;
+        Some(i.min(self.n - 1))
+    }
+
+    /// Index of the cell containing `x`, clamping out-of-range values to
+    /// the first or last cell. `x` must be finite.
+    pub fn clamp_cell_of(&self, x: f64) -> usize {
+        debug_assert!(x.is_finite());
+        if x <= self.lo {
+            0
+        } else if x >= self.hi() {
+            self.n - 1
+        } else {
+            (((x - self.lo) / self.step) as usize).min(self.n - 1)
+        }
+    }
+
+    /// Iterator over cell centers.
+    pub fn centers(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.n).map(move |i| self.center(i))
+    }
+
+    /// Returns the smallest grid with the same step that covers both
+    /// `self` and `other`. The result is aligned to `self`'s cell edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::StepMismatch`] if the steps differ by more
+    /// than one part in 10⁹.
+    pub fn union(&self, other: &Grid) -> Result<Grid> {
+        if !steps_compatible(self.step, other.step) {
+            return Err(StatsError::StepMismatch { left: self.step, right: other.step });
+        }
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi().max(other.hi());
+        // Align to self's edges.
+        let k = ((self.lo - lo) / self.step).round();
+        let lo = self.lo - k * self.step;
+        let n = ((hi - lo) / self.step).ceil() as usize;
+        Grid::new(lo, self.step, n.max(1))
+    }
+}
+
+/// Returns `true` if two grid steps are equal to within one part in 10⁹.
+pub fn steps_compatible(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_degenerate() {
+        assert!(Grid::new(0.0, 0.0, 4).is_err());
+        assert!(Grid::new(0.0, -1.0, 4).is_err());
+        assert!(Grid::new(0.0, 1.0, 0).is_err());
+        assert!(Grid::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Grid::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn over_spans_interval() {
+        let g = Grid::over(-2.0, 3.0, 10).unwrap();
+        assert_eq!(g.lo(), -2.0);
+        assert!((g.hi() - 3.0).abs() < 1e-12);
+        assert_eq!(g.len(), 10);
+    }
+
+    #[test]
+    fn over_rejects_reversed() {
+        assert!(Grid::over(1.0, 1.0, 10).is_err());
+        assert!(Grid::over(2.0, 1.0, 10).is_err());
+    }
+
+    #[test]
+    fn centers_and_edges() {
+        let g = Grid::new(1.0, 0.5, 3).unwrap();
+        assert_eq!(g.center(0), 1.25);
+        assert_eq!(g.center(2), 2.25);
+        assert_eq!(g.edge(0), 1.0);
+        assert_eq!(g.edge(3), 2.5);
+        let cs: Vec<f64> = g.centers().collect();
+        assert_eq!(cs, vec![1.25, 1.75, 2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn center_out_of_range_panics() {
+        let g = Grid::new(0.0, 1.0, 2).unwrap();
+        let _ = g.center(2);
+    }
+
+    #[test]
+    fn cell_of_boundaries() {
+        let g = Grid::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(g.cell_of(0.0), Some(0));
+        assert_eq!(g.cell_of(0.999), Some(0));
+        assert_eq!(g.cell_of(1.0), Some(1));
+        assert_eq!(g.cell_of(4.0), Some(3));
+        assert_eq!(g.cell_of(4.0001), None);
+        assert_eq!(g.cell_of(f64::NAN), None);
+    }
+
+    #[test]
+    fn clamp_cell_of_clamps() {
+        let g = Grid::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(g.clamp_cell_of(-5.0), 0);
+        assert_eq!(g.clamp_cell_of(9.0), 3);
+        assert_eq!(g.clamp_cell_of(2.5), 2);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Grid::new(0.0, 0.5, 4).unwrap(); // [0,2]
+        let b = Grid::new(1.5, 0.5, 4).unwrap(); // [1.5,3.5]
+        let u = a.union(&b).unwrap();
+        assert!(u.lo() <= 0.0 && u.hi() >= 3.5);
+        assert_eq!(u.step(), 0.5);
+    }
+
+    #[test]
+    fn union_rejects_step_mismatch() {
+        let a = Grid::new(0.0, 0.5, 4).unwrap();
+        let b = Grid::new(0.0, 0.25, 4).unwrap();
+        assert!(a.union(&b).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Input marginal distribution shapes.
+//!
+//! A recurring criticism in the paper (§1) is that statistical timing
+//! methods are often "restricted to a certain kind of input PDF (usually
+//! Gaussian)". Because this engine is fully numerical, any marginal with
+//! a mean and standard deviation drops in; this module provides the
+//! common shapes used in variation modeling.
+
+use crate::gaussian::try_gaussian_pdf;
+use crate::grid::Grid;
+use crate::pdf::Pdf;
+use crate::sample::truncated_normal;
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// A marginal distribution family, parameterized by mean and standard
+/// deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Marginal {
+    /// Normal, truncated at ±`trunc_k`·σ (the paper's model).
+    #[default]
+    Gaussian,
+    /// Uniform on `mean ± σ√3` (matching the requested σ).
+    Uniform,
+    /// Symmetric triangular on `mean ± σ√6`.
+    Triangular,
+}
+
+impl Marginal {
+    /// Discretizes the marginal with the given mean and σ onto `quality`
+    /// cells. `trunc_k` only affects the Gaussian (the others have
+    /// compact support by construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `sigma <= 0` or `quality == 0`.
+    pub fn pdf(&self, mean: f64, sigma: f64, trunc_k: f64, quality: usize) -> Result<Pdf> {
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(StatsError::NonPositiveScale { value: sigma });
+        }
+        match self {
+            Marginal::Gaussian => try_gaussian_pdf(mean, sigma, trunc_k, quality),
+            Marginal::Uniform => {
+                let h = sigma * 3f64.sqrt();
+                let grid = Grid::over(mean - h, mean + h, quality)?;
+                Pdf::new(grid, vec![1.0; quality])
+            }
+            Marginal::Triangular => {
+                let h = sigma * 6f64.sqrt();
+                let grid = Grid::over(mean - h, mean + h, quality)?;
+                Pdf::from_fn(grid, |x| (h - (x - mean).abs()).max(0.0))
+            }
+        }
+    }
+
+    /// Draws one sample with the given mean and σ (`trunc_k` applies to
+    /// the Gaussian only).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mean: f64,
+        sigma: f64,
+        trunc_k: f64,
+    ) -> f64 {
+        match self {
+            Marginal::Gaussian => truncated_normal(rng, mean, sigma, trunc_k),
+            Marginal::Uniform => {
+                let h = sigma * 3f64.sqrt();
+                mean - h + 2.0 * h * rng.gen::<f64>()
+            }
+            Marginal::Triangular => {
+                // Sum of two uniforms on ±h/2 is triangular on ±h.
+                let h = sigma * 6f64.sqrt();
+                let u1: f64 = rng.gen::<f64>() - 0.5;
+                let u2: f64 = rng.gen::<f64>() - 0.5;
+                mean + h * (u1 + u2)
+            }
+        }
+    }
+
+    /// Excess kurtosis of the family (0 for Gaussian, −6/5 for uniform,
+    /// −3/5 for triangular) — used by tests to tell the shapes apart.
+    pub fn excess_kurtosis(&self) -> f64 {
+        match self {
+            Marginal::Gaussian => 0.0,
+            Marginal::Uniform => -1.2,
+            Marginal::Triangular => -0.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_marginals_match_requested_moments() {
+        for m in [Marginal::Gaussian, Marginal::Uniform, Marginal::Triangular] {
+            let pdf = m.pdf(10.0, 2.0, 6.0, 400).unwrap();
+            assert!((pdf.mean() - 10.0).abs() < 1e-6, "{m:?} mean {}", pdf.mean());
+            assert!((pdf.std_dev() - 2.0).abs() < 0.02, "{m:?} σ {}", pdf.std_dev());
+            assert!((pdf.mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_support_is_sqrt3_sigma() {
+        let pdf = Marginal::Uniform.pdf(0.0, 1.0, 6.0, 100).unwrap();
+        assert!((pdf.grid().lo() + 3f64.sqrt()).abs() < 1e-12);
+        assert!((pdf.grid().hi() - 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangular_peaks_at_mean() {
+        let pdf = Marginal::Triangular.pdf(5.0, 1.0, 6.0, 101).unwrap();
+        assert!((pdf.mode() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_sigma() {
+        for m in [Marginal::Gaussian, Marginal::Uniform, Marginal::Triangular] {
+            assert!(m.pdf(0.0, 0.0, 6.0, 10).is_err());
+            assert!(m.pdf(0.0, -1.0, 6.0, 10).is_err());
+        }
+    }
+
+    #[test]
+    fn samples_match_pdf_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [Marginal::Gaussian, Marginal::Uniform, Marginal::Triangular] {
+            let xs: Vec<f64> = (0..40_000).map(|_| m.sample(&mut rng, 3.0, 0.5, 6.0)).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            assert!((mean - 3.0).abs() < 0.01, "{m:?}");
+            assert!((var.sqrt() - 0.5).abs() < 0.01, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn kurtosis_distinguishes_shapes() {
+        for m in [Marginal::Uniform, Marginal::Triangular] {
+            let pdf = m.pdf(0.0, 1.0, 6.0, 800).unwrap();
+            // Empirical kurtosis from the grid.
+            let mu = pdf.mean();
+            let step = pdf.grid().step();
+            let m2: f64 = pdf
+                .grid()
+                .centers()
+                .zip(pdf.density())
+                .map(|(x, d)| (x - mu).powi(2) * d * step)
+                .sum();
+            let m4: f64 = pdf
+                .grid()
+                .centers()
+                .zip(pdf.density())
+                .map(|(x, d)| (x - mu).powi(4) * d * step)
+                .sum();
+            let excess = m4 / (m2 * m2) - 3.0;
+            assert!(
+                (excess - m.excess_kurtosis()).abs() < 0.05,
+                "{m:?}: excess {excess}"
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Plain-text rendering of distributions for reports and figure binaries.
+//!
+//! The benchmark harness regenerates the paper's figures (delay-PDF plots,
+//! rank scatter plots) as text: CSV series for external plotting plus an
+//! ASCII sparkline view for terminals.
+
+use crate::pdf::Pdf;
+use std::fmt::Write as _;
+
+/// One named series for a figure: `(label, points)`.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series from a PDF (cell centers vs. densities).
+    pub fn from_pdf(label: impl Into<String>, pdf: &Pdf) -> Self {
+        let points = pdf
+            .grid()
+            .centers()
+            .zip(pdf.density().iter().copied())
+            .collect();
+        Series { label: label.into(), points }
+    }
+}
+
+/// Renders series as CSV: header `x,<label1>,<label2>,…`, one row per x of
+/// the first series; other series are linearly interpolated at those x.
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::new();
+    if series.is_empty() {
+        return out;
+    }
+    out.push('x');
+    for s in series {
+        let _ = write!(out, ",{}", s.label.replace(',', ";"));
+    }
+    out.push('\n');
+    for &(x, y0) in &series[0].points {
+        let _ = write!(out, "{x:.6},{y0:.9}");
+        for s in &series[1..] {
+            let _ = write!(out, ",{:.9}", interp(&s.points, x));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn interp(points: &[(f64, f64)], x: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    if x <= points[0].0 {
+        return if x == points[0].0 { points[0].1 } else { 0.0 };
+    }
+    if x >= points[points.len() - 1].0 {
+        return if x == points[points.len() - 1].0 {
+            points[points.len() - 1].1
+        } else {
+            0.0
+        };
+    }
+    match points.binary_search_by(|p| p.0.partial_cmp(&x).expect("finite x")) {
+        Ok(i) => points[i].1,
+        Err(i) => {
+            let (x0, y0) = points[i - 1];
+            let (x1, y1) = points[i];
+            y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        }
+    }
+}
+
+/// Renders a PDF as a fixed-width ASCII plot: `rows` lines of `cols`
+/// characters, densities scaled to the peak.
+pub fn ascii_plot(pdf: &Pdf, rows: usize, cols: usize) -> String {
+    let rows = rows.max(1);
+    let cols = cols.max(2);
+    let g = pdf.grid();
+    // Bin densities into `cols` columns.
+    let mut col_val = vec![0.0f64; cols];
+    for (i, &d) in pdf.density().iter().enumerate() {
+        let frac = (g.center(i) - g.lo()) / (g.hi() - g.lo());
+        let c = ((frac * cols as f64) as usize).min(cols - 1);
+        col_val[c] = col_val[c].max(d);
+    }
+    let peak = col_val.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::new();
+    for r in (1..=rows).rev() {
+        let thresh = peak * (r as f64 - 0.5) / rows as f64;
+        for &v in &col_val {
+            out.push(if v >= thresh { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{:-<cols$}", "");
+    let _ = writeln!(out, "{:<12.3}{:>width$.3}", g.lo(), g.hi(), width = cols.saturating_sub(12));
+    out
+}
+
+/// Formats a Markdown-style table given a header and rows of cells.
+/// Column widths adapt to contents.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let hline = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+{:-<width$}", "", width = w + 2);
+        }
+        out.push_str("+\n");
+    };
+    hline(&mut out);
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(out, "| {:width$} ", h, width = widths[i]);
+    }
+    out.push_str("|\n");
+    hline(&mut out);
+    for row in rows {
+        for i in 0..ncols {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+        }
+        out.push_str("|\n");
+    }
+    hline(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::gaussian_pdf;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let p = gaussian_pdf(0.0, 1.0, 3.0, 10);
+        let s = vec![Series::from_pdf("a", &p), Series::from_pdf("b", &p)];
+        let csv = to_csv(&s);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("x,a,b"));
+        assert_eq!(lines.count(), 10);
+    }
+
+    #[test]
+    fn csv_empty_series() {
+        assert_eq!(to_csv(&[]), "");
+    }
+
+    #[test]
+    fn interp_midpoint() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0)];
+        assert!((interp(&pts, 0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(interp(&pts, -1.0), 0.0);
+        assert_eq!(interp(&pts, 2.0), 0.0);
+        assert_eq!(interp(&pts, 1.0), 2.0);
+    }
+
+    #[test]
+    fn ascii_plot_shape() {
+        let p = gaussian_pdf(0.0, 1.0, 4.0, 100);
+        let art = ascii_plot(&p, 5, 40);
+        assert_eq!(art.lines().count(), 7);
+        // Peak row has fewer '#' than base row.
+        let lines: Vec<&str> = art.lines().collect();
+        let count = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert!(count(lines[0]) <= count(lines[4]));
+        assert!(count(lines[4]) > 0);
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = format_table(&["name", "v"], &[vec!["c432".into(), "266.771".into()]]);
+        assert!(t.contains("c432"));
+        assert!(t.contains("266.771"));
+        assert!(t.starts_with('+'));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the PDF engine's core invariants.
+
+use proptest::prelude::*;
+use statim_stats::combine::{map1, map2};
+use statim_stats::convolve::{sum_pdf, sum_pdf_resampled};
+use statim_stats::gaussian::{big_phi, erf, gaussian_pdf, inv_phi, Gaussian};
+use statim_stats::sample::PdfSampler;
+use statim_stats::{Grid, Pdf};
+
+/// Strategy: a valid normalized PDF on a random grid with random
+/// (non-degenerate) densities.
+fn arb_pdf() -> impl Strategy<Value = Pdf> {
+    (
+        -1e3..1e3f64,                       // lo
+        0.01..10.0f64,                      // step
+        4usize..60,                         // cells
+        proptest::collection::vec(0.0..1e3f64, 60),
+    )
+        .prop_filter_map("needs positive mass", |(lo, step, n, raw)| {
+            let grid = Grid::new(lo, step, n).ok()?;
+            let density: Vec<f64> = raw[..n].to_vec();
+            Pdf::new(grid, density).ok()
+        })
+}
+
+fn arb_gaussian() -> impl Strategy<Value = Pdf> {
+    (-1e3..1e3f64, 0.01..100.0f64, 20usize..150)
+        .prop_map(|(mean, sigma, q)| gaussian_pdf(mean, sigma, 6.0, q))
+}
+
+proptest! {
+    #[test]
+    fn pdf_mass_is_one(pdf in arb_pdf()) {
+        prop_assert!((pdf.mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_within_support(pdf in arb_pdf()) {
+        let m = pdf.mean();
+        prop_assert!(m >= pdf.grid().lo() - 1e-9);
+        prop_assert!(m <= pdf.grid().hi() + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_bounded(pdf in arb_pdf()) {
+        let v = pdf.variance();
+        prop_assert!(v >= 0.0);
+        // Popoviciu: var ≤ (range/2)².
+        let half = (pdf.grid().hi() - pdf.grid().lo()) / 2.0;
+        prop_assert!(v <= half * half * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn cdf_monotone(pdf in arb_pdf(), a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let span = pdf.grid().hi() - pdf.grid().lo();
+        let xa = pdf.grid().lo() + a * span;
+        let xb = pdf.grid().lo() + b * span;
+        let (lo, hi) = if xa <= xb { (xa, xb) } else { (xb, xa) };
+        prop_assert!(pdf.cdf(lo) <= pdf.cdf(hi) + 1e-12);
+        prop_assert!(pdf.cdf(pdf.grid().lo()) == 0.0);
+        prop_assert!(pdf.cdf(pdf.grid().hi()) == 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf(pdf in arb_pdf(), p in 0.01..0.99f64) {
+        let x = pdf.quantile(p).unwrap();
+        // cdf(quantile(p)) ≈ p up to one cell of slack.
+        let c = pdf.cdf(x);
+        prop_assert!((c - p).abs() < 0.05 + 1e-9, "p={p} c={c}");
+    }
+
+    #[test]
+    fn affine_transforms_moments(pdf in arb_pdf(), a in prop::sample::select(vec![-3.0, -1.0, 0.5, 2.0]), b in -100.0..100.0f64) {
+        let t = pdf.affine(a, b).unwrap();
+        prop_assert!((t.mass() - 1.0).abs() < 1e-9);
+        prop_assert!((t.mean() - (a * pdf.mean() + b)).abs() < 1e-6 * (1.0 + pdf.mean().abs() * a.abs() + b.abs()));
+        prop_assert!((t.variance() - a * a * pdf.variance()).abs() < 1e-6 * (1.0 + a * a * pdf.variance()));
+    }
+
+    #[test]
+    fn resample_conserves_mass(pdf in arb_pdf(), n in 8usize..200) {
+        let target = Grid::over(pdf.grid().lo() - 1.0, pdf.grid().hi() + 1.0, n).unwrap();
+        let r = pdf.resample(target);
+        prop_assert!((r.mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_adds_moments(a in arb_pdf(), b in arb_pdf()) {
+        // Re-grid b onto a's step first.
+        let cells = ((b.grid().hi() - b.grid().lo()) / a.grid().step()).ceil() as usize;
+        let gb = Grid::new(b.grid().lo(), a.grid().step(), cells.max(1)).unwrap();
+        let b2 = b.resample(gb).normalized().unwrap();
+        let s = sum_pdf(&a, &b2).unwrap();
+        prop_assert!((s.mean() - (a.mean() + b2.mean())).abs() < 1e-6 * (1.0 + s.mean().abs()));
+        let var_sum = a.variance() + b2.variance();
+        prop_assert!((s.variance() - var_sum).abs() < 1e-6 * (1.0 + var_sum));
+    }
+
+    #[test]
+    fn resampled_convolution_matches_gaussian_theory(
+        m1 in -50.0..50.0f64, s1 in 0.5..20.0f64,
+        m2 in -50.0..50.0f64, s2 in 0.5..20.0f64,
+    ) {
+        let a = gaussian_pdf(m1, s1, 6.0, 120);
+        let b = gaussian_pdf(m2, s2, 6.0, 80);
+        let s = sum_pdf_resampled(&a, &b, 150).unwrap();
+        prop_assert!((s.mean() - (m1 + m2)).abs() < 0.02 * (s1 + s2));
+        let sigma = (s1 * s1 + s2 * s2).sqrt();
+        prop_assert!((s.std_dev() - sigma).abs() < 0.03 * sigma);
+    }
+
+    #[test]
+    fn map1_linear_matches_affine(pdf in arb_gaussian(), a in prop::sample::select(vec![-2.0, 0.5, 1.5]), b in -10.0..10.0f64) {
+        let m = map1(&pdf, pdf.len(), |x| a * x + b).unwrap();
+        let t = pdf.affine(a, b).unwrap();
+        let scale = t.std_dev().max(1e-9);
+        prop_assert!((m.mean() - t.mean()).abs() < 0.1 * scale);
+        prop_assert!((m.std_dev() - t.std_dev()).abs() < 0.1 * scale);
+    }
+
+    #[test]
+    fn map2_mass_conserved(a in arb_gaussian(), b in arb_gaussian()) {
+        let m = map2(&a, &b, 60, |x, y| x - 0.3 * y).unwrap();
+        prop_assert!((m.mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_stays_in_support(pdf in arb_pdf(), u in 0.0..1.0f64) {
+        let s = PdfSampler::new(&pdf).unwrap();
+        let x = s.inverse(u);
+        prop_assert!(x >= pdf.grid().lo() - 1e-9);
+        prop_assert!(x <= pdf.grid().hi() + 1e-9);
+    }
+
+    #[test]
+    fn sampler_inverse_monotone(pdf in arb_pdf(), u1 in 0.0..1.0f64, u2 in 0.0..1.0f64) {
+        let s = PdfSampler::new(&pdf).unwrap();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(s.inverse(lo) <= s.inverse(hi) + 1e-12);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -10.0..10.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    #[test]
+    fn phi_round_trip(p in 0.001..0.999f64) {
+        let z = inv_phi(p).unwrap();
+        prop_assert!((big_phi(z) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gaussian_cdf_quantile_roundtrip(mean in -100.0..100.0f64, sigma in 0.01..50.0f64, p in 0.01..0.99f64) {
+        let g = Gaussian::new(mean, sigma).unwrap();
+        let x = g.quantile(p).unwrap();
+        prop_assert!((g.cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn truncated_gaussian_sigma_never_exceeds_nominal(mean in -10.0..10.0f64, sigma in 0.1..10.0f64, k in 2.0..8.0f64) {
+        let pdf = gaussian_pdf(mean, sigma, k, 150);
+        // Truncation shrinks σ; midpoint discretization adds back at most
+        // ~step²/12 of variance.
+        let step = pdf.grid().step();
+        let quantization = (sigma * sigma + step * step / 12.0).sqrt();
+        prop_assert!(pdf.std_dev() <= quantization * (1.0 + 1e-9));
+        prop_assert!((pdf.mean() - mean).abs() < 1e-6 * sigma.max(1.0));
+    }
+
+    #[test]
+    fn mixture_mass_and_mean(a in arb_gaussian(), w in 0.0..1.0f64) {
+        let b = a.affine(1.0, 5.0).unwrap();
+        let m = a.mix(&b, w).unwrap();
+        prop_assert!((m.mass() - 1.0).abs() < 1e-9);
+        let expect = w * a.mean() + (1.0 - w) * b.mean();
+        prop_assert!((m.mean() - expect).abs() < 0.05 * (1.0 + a.std_dev()));
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: run the full DATE'05 statistical timing flow on a built-in
+//! benchmark and print the headline numbers.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use statim::core::engine::{SstaConfig, SstaEngine};
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+
+fn main() {
+    // 1. A circuit: the c432-equivalent interrupt controller (160 gates).
+    let circuit = iscas85::generate(Benchmark::C432);
+
+    // 2. A placement: the spatial-correlation model needs (x, y) per gate.
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+
+    // 3. The engine, configured exactly as the paper's evaluation:
+    //    five Gaussian RVs truncated at ±6σ, a 4-layer + random-layer
+    //    correlation model with equal variance split, QUALITYintra = 100,
+    //    QUALITYinter = 50, C = 0.05, ranking by the 3σ point.
+    let engine = SstaEngine::new(SstaConfig::date05());
+    let report = engine.run(&circuit, &placement).expect("SSTA flow");
+
+    let ps = |s: f64| s * 1e12;
+    println!("circuit {}: {} gates", report.circuit, report.gate_count);
+    println!("deterministic critical delay: {:8.3} ps", ps(report.det_critical_delay));
+    println!("worst-case (3σ corner) delay: {:8.3} ps", ps(report.worst_case_delay));
+
+    let crit = report.critical();
+    println!();
+    println!("probabilistic critical path ({} gates):", crit.analysis.gate_count());
+    println!("  mean      {:8.3} ps", ps(crit.analysis.mean));
+    println!("  sigma     {:8.3} ps", ps(crit.analysis.sigma));
+    println!("  3σ point  {:8.3} ps", ps(crit.analysis.confidence_point));
+    println!("  det. rank {:8}", crit.det_rank);
+    println!();
+    println!(
+        "worst-case analysis overestimates the 3σ point by {:.1}% — \
+         the paper's headline finding.",
+        report.overestimation_pct
+    );
+}

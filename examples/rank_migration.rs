@@ -1,0 +1,51 @@
+//! Rank migration: why a path's probabilistic rank can differ wildly from
+//! its deterministic rank (the paper's Figs. 5/6).
+//!
+//! Compares a "bushy" circuit (c1355: error-correction trees with
+//! near-equal path delays) against a well-separated one (c7552: a single
+//! dominant adder carry chain) and prints the deterministic→probabilistic
+//! rank table for the top paths of each.
+//!
+//! ```text
+//! cargo run --example rank_migration --release
+//! ```
+
+use statim::core::engine::{SstaConfig, SstaEngine};
+use statim::core::rank::mean_rank_shift;
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+
+fn main() {
+    for bench in [Benchmark::C1355, Benchmark::C7552] {
+        let circuit = iscas85::generate(bench);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        // A generous window so both circuits yield a few hundred paths.
+        let mut config = SstaConfig::date05().with_confidence(0.3);
+        config.max_paths = 20_000;
+        let report = match SstaEngine::new(config).run(&circuit, &placement) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{bench}: {e}");
+                continue;
+            }
+        };
+        println!(
+            "== {} — {} near-critical paths, mean |rank shift| of top 100: {:.1} ==",
+            bench.name(),
+            report.num_paths,
+            mean_rank_shift(&report.paths, 100)
+        );
+        println!("prob rank | det rank | 3σ point (ps) | det delay (ps)");
+        for r in report.paths.iter().take(12) {
+            println!(
+                "{:>9} | {:>8} | {:>13.3} | {:>13.3}",
+                r.prob_rank,
+                r.det_rank,
+                r.analysis.confidence_point * 1e12,
+                r.analysis.det_delay * 1e12
+            );
+        }
+        println!();
+    }
+    println!("bushy topology (c1355) reorders heavily; separated delays (c7552) barely move.");
+}

@@ -1,0 +1,42 @@
+//! **statim** — path-based statistical static timing analysis with
+//! inter- and intra-die variations.
+//!
+//! A production-quality reproduction of *"On Statistical Timing Analysis
+//! with Inter- and Intra-die Variations"* (Mangassarian & Anis, DATE
+//! 2005). This facade crate re-exports the workspace:
+//!
+//! * [`stats`] — the discretized-PDF numerical engine;
+//! * [`process`] — 130 nm device models, Elmore short-channel delays,
+//!   variations, sensitivities;
+//! * [`netlist`] — circuits, `.bench`/DEF-lite I/O, placement and the
+//!   synthetic ISCAS85-equivalent generators;
+//! * [`core`] — the SSTA methodology itself (timing graph, Bellman-Ford,
+//!   near-critical enumeration, correlation layering, per-path PDFs,
+//!   ranking, Monte-Carlo validation).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use statim::core::engine::{SstaConfig, SstaEngine};
+//! use statim::netlist::generators::iscas85::{self, Benchmark};
+//! use statim::netlist::{Placement, PlacementStyle};
+//!
+//! let circuit = iscas85::generate(Benchmark::C432);
+//! let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+//! let report = SstaEngine::new(SstaConfig::date05())
+//!     .run(&circuit, &placement)
+//!     .expect("SSTA flow");
+//! println!(
+//!     "critical 3σ point: {:.1} ps ({} near-critical paths)",
+//!     report.critical().analysis.confidence_point * 1e12,
+//!     report.num_paths,
+//! );
+//! assert!(report.overestimation_pct > 25.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use statim_core as core;
+pub use statim_netlist as netlist;
+pub use statim_process as process;
+pub use statim_stats as stats;

@@ -1,0 +1,77 @@
+//! Cross-crate format tests: `.bench` and DEF-lite round trips must
+//! preserve the statistical analysis bit for bit.
+
+use statim::core::engine::{SstaConfig, SstaEngine};
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{bench_format, def_lite, Placement, PlacementStyle};
+
+#[test]
+fn bench_and_def_round_trip_preserves_analysis() {
+    let original = iscas85::generate(Benchmark::C432);
+    let placement = Placement::generate(&original, PlacementStyle::Levelized);
+    let bench_text = bench_format::write(&original);
+    let def_text = def_lite::write(&original, &placement);
+
+    let reread = bench_format::parse("c432", &bench_text).expect("parse .bench");
+    let def = def_lite::parse(&def_text).expect("parse DEF");
+    let replacement = def.placement_for(&reread).expect("placement");
+
+    assert_eq!(reread.gate_count(), original.gate_count());
+    assert_eq!(reread.input_count(), original.input_count());
+    assert_eq!(reread.output_count(), original.output_count());
+
+    let engine = SstaEngine::new(SstaConfig::date05());
+    let a = engine.run(&original, &placement).expect("flow A");
+    let b = engine.run(&reread, &replacement).expect("flow B");
+    assert_eq!(a.num_paths, b.num_paths);
+    // DEF stores coordinates in integer DBU (1 nm at 1000 dbu/µm), so
+    // wire loads can shift delays at the sub-femtosecond level.
+    let rel = (a.critical().analysis.confidence_point
+        - b.critical().analysis.confidence_point)
+        .abs()
+        / a.critical().analysis.confidence_point;
+    assert!(rel < 1e-6, "round trip drift {rel}");
+}
+
+#[test]
+fn every_benchmark_round_trips_structurally() {
+    for bench in [Benchmark::C499, Benchmark::C1355, Benchmark::C6288] {
+        let original = iscas85::generate(bench);
+        let text = bench_format::write(&original);
+        let reread = bench_format::parse(bench.name(), &text).expect("parse");
+        assert_eq!(reread.gate_count(), original.gate_count(), "{bench}");
+        assert_eq!(reread.depth(), original.depth(), "{bench}");
+        assert_eq!(reread.path_count(), original.path_count(), "{bench}");
+    }
+}
+
+#[test]
+fn real_iscas_c17_parses_and_analyzes() {
+    // The genuine c17 netlist, verbatim from the ISCAS85 distribution.
+    let c17 = "\
+# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+    let circuit = bench_format::parse("c17", c17).expect("parse c17");
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let report = SstaEngine::new(SstaConfig::date05().with_confidence(1.0))
+        .run(&circuit, &placement)
+        .expect("flow");
+    // c17 has 11 PI→PO paths, all within one σ_C of the critical delay
+    // at C = 1 except possibly the shortest few.
+    assert!(report.num_paths >= 2);
+    assert!(report.det_critical_delay > 10e-12);
+    assert_eq!(report.critical().analysis.gate_count(), 3);
+}

@@ -1,0 +1,145 @@
+//! End-to-end integration tests across all workspace crates: generator →
+//! placement → characterization → deterministic analysis → probabilistic
+//! analysis → ranking, asserting the *shape* of the paper's findings.
+
+use statim::core::engine::{SstaConfig, SstaEngine, SstaReport};
+use statim::core::LayerModel;
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+
+fn run(bench: Benchmark, config: SstaConfig) -> SstaReport {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    SstaEngine::new(config).run(&circuit, &placement).expect("SSTA flow")
+}
+
+/// The paper's headline: worst-case analysis overestimates the 3σ point
+/// of the probabilistic critical delay by roughly 50% on every circuit
+/// (48–62% in Table 2, 55% average).
+#[test]
+fn worst_case_overestimates_by_about_half() {
+    let mut total = 0.0;
+    let benches = [Benchmark::C432, Benchmark::C499, Benchmark::C880, Benchmark::C1908];
+    for bench in benches {
+        let report = run(bench, SstaConfig::date05());
+        let over = report.overestimation_pct;
+        assert!(
+            (38.0..72.0).contains(&over),
+            "{bench}: overestimation {over}% outside the paper's neighbourhood"
+        );
+        total += over;
+    }
+    let avg = total / benches.len() as f64;
+    assert!((45.0..60.0).contains(&avg), "average overestimation {avg}%");
+}
+
+/// Table 2 consistency invariants that must hold for any circuit.
+#[test]
+fn report_internal_consistency() {
+    let report = run(Benchmark::C432, SstaConfig::date05());
+    let crit = report.critical();
+    // Worst case dominates the 3σ point dominates the mean.
+    assert!(report.worst_case_delay > crit.analysis.confidence_point);
+    assert!(crit.analysis.confidence_point > crit.analysis.mean);
+    // The deterministic critical delay equals the det-rank-1 path delay.
+    let det1 = report.paths.iter().find(|p| p.det_rank == 1).expect("det rank 1");
+    assert!(
+        (det1.analysis.det_delay - report.det_critical_delay).abs()
+            < 1e-12 * report.det_critical_delay
+    );
+    // σ decomposition: total² ≈ inter² + intra².
+    let a = &crit.analysis;
+    let rebuilt = (a.inter_sigma.powi(2) + a.intra_sigma.powi(2)).sqrt();
+    assert!((a.sigma - rebuilt).abs() / rebuilt < 0.05);
+    // Mean differs from the deterministic delay (non-linearity) but only
+    // slightly.
+    assert!(a.mean != a.det_delay);
+    assert!((a.mean - a.det_delay).abs() / a.det_delay < 0.02);
+}
+
+/// The paper's Table 3: more inter-die share ⇒ larger total σ, smaller
+/// intra σ, at the same total variability.
+#[test]
+fn inter_share_scenarios_match_table3_shape() {
+    let shares = [0.0, 0.5, 0.75];
+    let mut prev_total = 0.0;
+    let mut prev_intra = f64::INFINITY;
+    for &share in &shares {
+        let report = run(
+            Benchmark::C432,
+            SstaConfig::date05().with_layers(LayerModel::with_inter_share(share)),
+        );
+        let a = &report.critical().analysis;
+        assert!(a.sigma > prev_total, "total σ must grow with inter share");
+        assert!(a.intra_sigma < prev_intra, "intra σ must shrink with inter share");
+        if share == 0.0 {
+            assert!(a.inter_sigma < 1e-15, "0% inter ⇒ no inter σ");
+        }
+        prev_total = a.sigma;
+        prev_intra = a.intra_sigma;
+    }
+}
+
+/// Figs. 5/6: the bushy c1355 reorders heavily under statistical
+/// ranking, the well-separated c7552 does not.
+#[test]
+fn rank_migration_contrast() {
+    let mut config = SstaConfig::date05().with_confidence(0.3);
+    config.max_paths = 20_000;
+    let bushy = run(Benchmark::C1355, config.clone());
+    let separated = run(Benchmark::C7552, config);
+    let shift = |r: &SstaReport| statim::core::rank::mean_rank_shift(&r.paths, 100);
+    let (s_bushy, s_sep) = (shift(&bushy), shift(&separated));
+    assert!(
+        s_bushy > 5.0 * s_sep.max(0.5),
+        "c1355 shift {s_bushy} must dwarf c7552 shift {s_sep}"
+    );
+    // And c1355 admits far more near-critical paths.
+    assert!(bushy.num_paths > 2 * separated.num_paths);
+}
+
+/// Placement feeds the spatial-correlation model: random vs. levelized
+/// placement must change the intra-die variance (ablation 5).
+#[test]
+fn placement_style_changes_intra_sigma() {
+    let circuit = iscas85::generate(Benchmark::C432);
+    let engine = SstaEngine::new(SstaConfig::date05());
+    let lev = engine
+        .run(&circuit, &Placement::generate(&circuit, PlacementStyle::Levelized))
+        .expect("levelized");
+    let rnd = engine
+        .run(&circuit, &Placement::generate(&circuit, PlacementStyle::Random(1)))
+        .expect("random");
+    let a = lev.critical().analysis.intra_sigma;
+    let b = rnd.critical().analysis.intra_sigma;
+    assert!((a - b).abs() > 1e-4 * a, "placement must matter: {a} vs {b}");
+}
+
+/// The whole flow is deterministic: identical runs, identical reports.
+#[test]
+fn flow_is_deterministic() {
+    let a = run(Benchmark::C499, SstaConfig::date05());
+    let b = run(Benchmark::C499, SstaConfig::date05());
+    assert_eq!(a.num_paths, b.num_paths);
+    assert_eq!(a.det_critical_delay, b.det_critical_delay);
+    assert_eq!(
+        a.critical().analysis.confidence_point,
+        b.critical().analysis.confidence_point
+    );
+    assert_eq!(a.critical().analysis.gates, b.critical().analysis.gates);
+}
+
+/// Every benchmark generates, places and survives at least the
+/// deterministic + critical-path probabilistic analysis.
+#[test]
+fn all_benchmarks_analyzable() {
+    for bench in Benchmark::ALL {
+        // A tiny confidence keeps even c6288 fast.
+        let mut config = SstaConfig::date05().with_confidence(0.0);
+        config.max_paths = 5_000;
+        let report = run(bench, config);
+        assert!(report.num_paths >= 1, "{bench}");
+        assert!(report.det_critical_delay > 50e-12, "{bench}");
+        assert!(report.overestimation_pct > 20.0, "{bench}");
+    }
+}
