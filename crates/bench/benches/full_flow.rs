@@ -22,9 +22,13 @@ fn bench_full_flow(c: &mut Criterion) {
         let circuit = iscas85::generate(bench);
         let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
         let engine = SstaEngine::new(SstaConfig::date05().with_confidence(confidence));
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &circuit, |b, circ| {
-            b.iter(|| engine.run(black_box(circ), &placement).expect("flow"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &circuit,
+            |b, circ| {
+                b.iter(|| engine.run(black_box(circ), &placement).expect("flow"));
+            },
+        );
     }
     group.finish();
 }

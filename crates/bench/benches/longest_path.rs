@@ -12,7 +12,12 @@ use std::hint::black_box;
 fn bench_labels(c: &mut Criterion) {
     let tech = Technology::cmos130();
     let mut group = c.benchmark_group("labels");
-    for bench in [Benchmark::C432, Benchmark::C880, Benchmark::C2670, Benchmark::C7552] {
+    for bench in [
+        Benchmark::C432,
+        Benchmark::C880,
+        Benchmark::C2670,
+        Benchmark::C7552,
+    ] {
         let circuit = iscas85::generate(bench);
         let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
         let timing = characterize_placed(&circuit, &tech, &placement).expect("characterize");

@@ -8,8 +8,8 @@ use statim_core::correlation::LayerModel;
 use statim_core::inter::inter_pdf;
 use statim_process::{GateKind, Load, Technology, Variations};
 use statim_stats::convolve::sum_pdf;
-use statim_stats::Marginal;
 use statim_stats::gaussian::gaussian_pdf;
+use statim_stats::Marginal;
 use std::hint::black_box;
 
 fn bench_convolution(c: &mut Criterion) {
@@ -17,9 +17,13 @@ fn bench_convolution(c: &mut Criterion) {
     for &quality in &[50usize, 100, 200, 400] {
         let a = gaussian_pdf(0.0, 10.0, 6.0, quality);
         let b = gaussian_pdf(250.0, 25.0, 6.0, quality).resample(*a.grid());
-        group.bench_with_input(BenchmarkId::from_parameter(quality), &quality, |bench, _| {
-            bench.iter(|| sum_pdf(black_box(&a), black_box(&b)).expect("convolve"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(quality),
+            &quality,
+            |bench, _| {
+                bench.iter(|| sum_pdf(black_box(&a), black_box(&b)).expect("convolve"));
+            },
+        );
     }
     group.finish();
 }
@@ -29,13 +33,23 @@ fn bench_inter_kernel(c: &mut Criterion) {
     let vars = Variations::date05();
     let layers = LayerModel::date05();
     let one = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
-    let ab = statim_process::tech::AlphaBeta { alpha: one.alpha * 20.0, beta: one.beta * 20.0 };
+    let ab = statim_process::tech::AlphaBeta {
+        alpha: one.alpha * 20.0,
+        beta: one.beta * 20.0,
+    };
     let mut group = c.benchmark_group("inter_pdf_separable");
     group.sample_size(20);
     for &quality in &[25usize, 50, 80] {
-        group.bench_with_input(BenchmarkId::from_parameter(quality), &quality, |bench, &q| {
-            bench.iter(|| inter_pdf(black_box(&ab), &tech, &vars, &layers, Marginal::Gaussian, q).expect("inter"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(quality),
+            &quality,
+            |bench, &q| {
+                bench.iter(|| {
+                    inter_pdf(black_box(&ab), &tech, &vars, &layers, Marginal::Gaussian, q)
+                        .expect("inter")
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -47,20 +61,45 @@ fn bench_direct_vs_separable(c: &mut Criterion) {
     let vars = Variations::date05();
     let layers = LayerModel::date05();
     let one = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
-    let ab = statim_process::tech::AlphaBeta { alpha: one.alpha * 20.0, beta: one.beta * 20.0 };
+    let ab = statim_process::tech::AlphaBeta {
+        alpha: one.alpha * 20.0,
+        beta: one.beta * 20.0,
+    };
     let mut group = c.benchmark_group("inter_pdf_q14");
     group.sample_size(10);
     group.bench_function("separable", |bench| {
-        bench.iter(|| inter_pdf(black_box(&ab), &tech, &vars, &layers, Marginal::Gaussian, 14).expect("sep"));
+        bench.iter(|| {
+            inter_pdf(
+                black_box(&ab),
+                &tech,
+                &vars,
+                &layers,
+                Marginal::Gaussian,
+                14,
+            )
+            .expect("sep")
+        });
     });
     group.bench_function("direct", |bench| {
         bench.iter(|| {
-            statim_core::inter::inter_pdf_direct(black_box(&ab), &tech, &vars, &layers, Marginal::Gaussian, 14)
-                .expect("direct")
+            statim_core::inter::inter_pdf_direct(
+                black_box(&ab),
+                &tech,
+                &vars,
+                &layers,
+                Marginal::Gaussian,
+                14,
+            )
+            .expect("direct")
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_convolution, bench_inter_kernel, bench_direct_vs_separable);
+criterion_group!(
+    benches,
+    bench_convolution,
+    bench_inter_kernel,
+    bench_direct_vs_separable
+);
 criterion_main!(benches);

@@ -20,14 +20,25 @@ use statim_netlist::generators::iscas85::Benchmark;
 use statim_stats::tabulate::format_table;
 
 fn main() {
-    let header =
-        ["circuit", "spatial layers", "random layer", "σ_C (ps)", "#paths", "rank shift"];
+    let header = [
+        "circuit",
+        "spatial layers",
+        "random layer",
+        "σ_C (ps)",
+        "#paths",
+        "rank shift",
+    ];
     let mut rows = Vec::new();
     for bench in [Benchmark::C432, Benchmark::C1355] {
         for (spatial, random) in [(1, false), (2, false), (4, false), (4, true), (2, true)] {
-            let layers =
-                LayerModel { spatial_layers: spatial, random_layer: random, split: VarianceSplit::Equal };
-            let config = SstaConfig::date05().with_layers(layers).with_confidence(0.05);
+            let layers = LayerModel {
+                spatial_layers: spatial,
+                random_layer: random,
+                split: VarianceSplit::Equal,
+            };
+            let config = SstaConfig::date05()
+                .with_layers(layers)
+                .with_confidence(0.05);
             let run = statim_bench::runner::run_benchmark_with(bench, 0.05, config);
             rows.push(vec![
                 bench.name().to_string(),

@@ -31,20 +31,24 @@ fn main() {
         ),
         (
             "one spot".into(),
-            Placement::from_positions(
-                &circuit,
-                vec![(1.0, 1.0); circuit.gate_count()],
-                100.0,
-            )
-            .expect("co-located placement"),
+            Placement::from_positions(&circuit, vec![(1.0, 1.0); circuit.gate_count()], 100.0)
+                .expect("co-located placement"),
         ),
     ];
-    let header = ["placement", "crit σ (ps)", "intra σ (ps)", "#paths", "rank shift"];
+    let header = [
+        "placement",
+        "crit σ (ps)",
+        "intra σ (ps)",
+        "#paths",
+        "rank shift",
+    ];
     let mut rows = Vec::new();
     for (name, placement) in &styles {
         let mut config = SstaConfig::date05().with_confidence(0.05);
         config.max_paths = 50_000;
-        let report = SstaEngine::new(config).run(&circuit, placement).expect("flow");
+        let report = SstaEngine::new(config)
+            .run(&circuit, placement)
+            .expect("flow");
         let a = &report.critical().analysis;
         rows.push(vec![
             name.clone(),

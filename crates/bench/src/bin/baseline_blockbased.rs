@@ -32,7 +32,12 @@ fn main() {
         "3σ pt: MC",
     ];
     let mut rows = Vec::new();
-    for bench in [Benchmark::C432, Benchmark::C499, Benchmark::C880, Benchmark::C1908] {
+    for bench in [
+        Benchmark::C432,
+        Benchmark::C499,
+        Benchmark::C880,
+        Benchmark::C1908,
+    ] {
         eprintln!("running {bench}...");
         let run = run_benchmark(bench);
         let timing =

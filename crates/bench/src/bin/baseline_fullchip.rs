@@ -22,7 +22,11 @@ fn main() {
     let tech = Technology::cmos130();
     let vars = Variations::date05();
     let header = [
-        "circuit", "path-based 3σ (ps)", "full-chip MC 3σ (ps)", "gap %", "paths analyzed",
+        "circuit",
+        "path-based 3σ (ps)",
+        "full-chip MC 3σ (ps)",
+        "gap %",
+        "paths analyzed",
     ];
     let mut rows = Vec::new();
     for bench in [
@@ -35,8 +39,8 @@ fn main() {
     ] {
         eprintln!("running {bench}...");
         let run = run_benchmark(bench);
-        let timing = characterize_placed(&run.circuit, &tech, &run.placement)
-            .expect("characterize");
+        let timing =
+            characterize_placed(&run.circuit, &tech, &run.placement).expect("characterize");
         let mc = mc_circuit_distribution(
             &run.circuit,
             &timing,

@@ -24,9 +24,13 @@ fn main() {
     let tech = Technology::cmos130();
     let vars = Variations::date05();
     let run = run_benchmark_with(Benchmark::C432, 0.5, SstaConfig::date05());
-    let paths: Vec<_> = run.report.paths.iter().map(|p| p.analysis.clone()).collect();
-    let timing =
-        characterize_placed(&run.circuit, &tech, &run.placement).expect("characterize");
+    let paths: Vec<_> = run
+        .report
+        .paths
+        .iter()
+        .map(|p| p.analysis.clone())
+        .collect();
+    let timing = characterize_placed(&run.circuit, &tech, &run.placement).expect("characterize");
     let mc = mc_circuit_distribution(
         &run.circuit,
         &timing,

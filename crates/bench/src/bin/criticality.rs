@@ -23,10 +23,14 @@ fn main() {
     let vars = Variations::date05();
     for bench in [Benchmark::C432, Benchmark::C1355] {
         let run = run_benchmark_with(bench, 0.3, SstaConfig::date05());
-        let timing = characterize_placed(&run.circuit, &tech, &run.placement)
-            .expect("characterize");
-        let paths: Vec<_> =
-            run.report.paths.iter().map(|p| p.analysis.gates.clone()).collect();
+        let timing =
+            characterize_placed(&run.circuit, &tech, &run.placement).expect("characterize");
+        let paths: Vec<_> = run
+            .report
+            .paths
+            .iter()
+            .map(|p| p.analysis.gates.clone())
+            .collect();
         let crit = mc_path_criticality(
             &run.circuit,
             &paths,
@@ -56,7 +60,10 @@ fn main() {
         }
         println!("{}", format_table(&header, &rows));
         let covered: f64 = crit.iter().take(8).sum();
-        println!("top 8 paths cover {:.1}% of the criticality mass", covered * 100.0);
+        println!(
+            "top 8 paths cover {:.1}% of the criticality mass",
+            covered * 100.0
+        );
         // Yield analysis.
         let t99 = period_for_yield(&run.report, 0.99).expect("valid target");
         println!(

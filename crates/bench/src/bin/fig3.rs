@@ -36,9 +36,16 @@ fn main() {
         .collect();
     println!("{}", to_csv(&series));
     for (i, &pick) in picks.iter().enumerate() {
-        let ps_pdf =
-            paths[pick].analysis.total_pdf.affine(1e12, 0.0).expect("scale to ps");
-        eprintln!("-- PDF of pick {} (path {}), axis in ps --", i + 1, pick + 1);
+        let ps_pdf = paths[pick]
+            .analysis
+            .total_pdf
+            .affine(1e12, 0.0)
+            .expect("scale to ps");
+        eprintln!(
+            "-- PDF of pick {} (path {}), axis in ps --",
+            i + 1,
+            pick + 1
+        );
         eprintln!("{}", ascii_plot(&ps_pdf, 8, 64));
     }
     // The headline: first and last PDFs nearly coincide.

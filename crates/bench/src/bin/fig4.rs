@@ -30,12 +30,24 @@ fn main() {
     eprintln!("c432 critical path ({} gates)", crit.gate_count());
     eprintln!("  deterministic delay : {:>9.3} ps", crit.det_delay * 1e12);
     eprintln!("  mean                : {:>9.3} ps", crit.mean * 1e12);
-    eprintln!("  intra sigma         : {:>9.3} ps", crit.intra_sigma * 1e12);
-    eprintln!("  inter sigma         : {:>9.3} ps", crit.inter_sigma * 1e12);
+    eprintln!(
+        "  intra sigma         : {:>9.3} ps",
+        crit.intra_sigma * 1e12
+    );
+    eprintln!(
+        "  inter sigma         : {:>9.3} ps",
+        crit.inter_sigma * 1e12
+    );
     eprintln!("  total sigma         : {:>9.3} ps", crit.sigma * 1e12);
-    eprintln!("  3-sigma point       : {:>9.3} ps", crit.confidence_point * 1e12);
+    eprintln!(
+        "  3-sigma point       : {:>9.3} ps",
+        crit.confidence_point * 1e12
+    );
     eprintln!("  worst-case (3σ all) : {:>9.3} ps", crit.worst_case * 1e12);
-    eprintln!("  overestimation      : {:>9.2} %", crit.overestimation_pct());
+    eprintln!(
+        "  overestimation      : {:>9.2} %",
+        crit.overestimation_pct()
+    );
     eprintln!("-- total PDF (axis in ps) --");
     eprintln!("{}", ascii_plot(&total_ps, 8, 64));
 }

@@ -39,7 +39,10 @@ fn main() {
             let y = ((det - 1) * 20 / max_rank).min(19);
             grid[19 - y][x] = '*';
         }
-        eprintln!("{} det rank (y, up to {max_rank}) vs prob rank (x, 1..100):", bench.name());
+        eprintln!(
+            "{} det rank (y, up to {max_rank}) vs prob rank (x, 1..100):",
+            bench.name()
+        );
         for row in &grid {
             eprintln!("|{}|", row.iter().collect::<String>());
         }

@@ -28,7 +28,12 @@ fn main() {
     let path = critical_path(&circuit, &timing, &labels).expect("critical path");
 
     let header = [
-        "marginal", "mean (ps)", "σ (ps)", "3σ point (ps)", "MC 3σ (ps)", "err %",
+        "marginal",
+        "mean (ps)",
+        "σ (ps)",
+        "3σ point (ps)",
+        "MC 3σ (ps)",
+        "err %",
     ];
     let mut rows = Vec::new();
     for marginal in [Marginal::Gaussian, Marginal::Uniform, Marginal::Triangular] {

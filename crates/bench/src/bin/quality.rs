@@ -32,9 +32,18 @@ fn main() {
     // Reference: the finest discretization in the sweep.
     let (reference, _) = run(400, 120);
     let ref_point = reference.critical().analysis.confidence_point;
-    println!("reference 3σ point (QUALITYintra=400, QUALITYinter=120): {:.4} ps", ref_point * 1e12);
+    println!(
+        "reference 3σ point (QUALITYintra=400, QUALITYinter=120): {:.4} ps",
+        ref_point * 1e12
+    );
 
-    let header = ["Qintra", "Qinter", "3σ point (ps)", "err vs finest (%)", "time (s)"];
+    let header = [
+        "Qintra",
+        "Qinter",
+        "3σ point (ps)",
+        "err vs finest (%)",
+        "time (s)",
+    ];
     let mut rows = Vec::new();
     for (qi, qe) in [
         (10, 6),
@@ -47,7 +56,11 @@ fn main() {
         let (report, secs) = run(qi, qe);
         let pt = report.critical().analysis.confidence_point;
         let err = (pt - ref_point).abs() / ref_point * 100.0;
-        let marker = if (qi, qe) == (100, 50) { " <= paper's choice" } else { "" };
+        let marker = if (qi, qe) == (100, 50) {
+            " <= paper's choice"
+        } else {
+            ""
+        };
         rows.push(vec![
             qi.to_string(),
             qe.to_string(),

@@ -13,7 +13,18 @@ use statim_stats::tabulate::format_table;
 
 fn main() {
     let t = table1(&Technology::cmos130());
-    let header = ["param", "2-NAND", "2-NOR", "INV", "2-XNOR", "", "paper NAND", "paper NOR", "paper INV", "paper XNOR"];
+    let header = [
+        "param",
+        "2-NAND",
+        "2-NOR",
+        "INV",
+        "2-XNOR",
+        "",
+        "paper NAND",
+        "paper NOR",
+        "paper INV",
+        "paper XNOR",
+    ];
     let mut rows = Vec::new();
     for (pi, p) in Param::ALL.iter().enumerate() {
         let mut row = vec![p.symbol().to_string()];
@@ -21,8 +32,8 @@ fn main() {
             row.push(format!("{:.3}ps", gate.swing_ps.get(*p)));
         }
         row.push(String::new());
-        for col in 0..4 {
-            row.push(format!("{:.3}ps", TABLE1_PS[pi][col]));
+        for paper in TABLE1_PS[pi].iter().take(4) {
+            row.push(format!("{paper:.3}ps"));
         }
         rows.push(row);
     }

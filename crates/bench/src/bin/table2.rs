@@ -7,21 +7,34 @@
 //! ```
 
 use statim_bench::paper;
-use statim_bench::runner::{ps, run_benchmark};
+use statim_bench::runner::{ps, run_benchmarks_concurrent, threads_from_args};
 use statim_netlist::generators::iscas85::Benchmark;
 use statim_stats::tabulate::format_table;
 
 fn main() {
     let header = [
-        "circuit", "gates", "det delay", "worst case", "%diff 3σ", "C", "#paths",
-        "crit mean", "crit 3σ", "#g", "det rank", "time(s)",
+        "circuit",
+        "gates",
+        "det delay",
+        "worst case",
+        "%diff 3σ",
+        "C",
+        "#paths",
+        "crit mean",
+        "crit 3σ",
+        "#g",
+        "det rank",
+        "time(s)",
     ];
     let mut ours: Vec<Vec<String>> = Vec::new();
     let mut theirs: Vec<Vec<String>> = Vec::new();
     let mut over_sum = 0.0;
-    for bench in Benchmark::ALL {
-        eprintln!("running {bench}...");
-        let run = run_benchmark(bench);
+    eprintln!(
+        "sweeping {} benchmarks concurrently...",
+        Benchmark::ALL.len()
+    );
+    let runs = run_benchmarks_concurrent(&Benchmark::ALL, threads_from_args());
+    for (bench, run) in Benchmark::ALL.into_iter().zip(&runs) {
         let r = &run.report;
         let crit = r.critical();
         over_sum += r.overestimation_pct;

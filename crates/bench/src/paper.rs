@@ -34,16 +34,146 @@ pub struct Table2Row {
 
 /// The paper's Table 2, verbatim.
 pub const TABLE2: [Table2Row; 10] = [
-    Table2Row { bench: Benchmark::C432, gates: 160, det_delay_ps: 266.771, worst_case_ps: 545.009, overestimation_pct: 56.61, confidence: 0.05, num_paths: 32, crit_mean_ps: 266.640, crit_3sigma_ps: 347.996, crit_gates: 16, det_rank: 1, runtime_s: 0.2 },
-    Table2Row { bench: Benchmark::C499, gates: 202, det_delay_ps: 180.004, worst_case_ps: 358.336, overestimation_pct: 49.94, confidence: 0.05, num_paths: 58, crit_mean_ps: 179.183, crit_3sigma_ps: 238.979, crit_gates: 11, det_rank: 40, runtime_s: 0.6 },
-    Table2Row { bench: Benchmark::C880, gates: 383, det_delay_ps: 205.999, worst_case_ps: 421.535, overestimation_pct: 58.68, confidence: 0.05, num_paths: 3, crit_mean_ps: 206.036, crit_3sigma_ps: 265.655, crit_gates: 23, det_rank: 1, runtime_s: 0.1 },
-    Table2Row { bench: Benchmark::C1355, gates: 546, det_delay_ps: 241.245, worst_case_ps: 486.283, overestimation_pct: 52.46, confidence: 0.05, num_paths: 1596, crit_mean_ps: 240.180, crit_3sigma_ps: 318.963, crit_gates: 24, det_rank: 902, runtime_s: 27.0 },
-    Table2Row { bench: Benchmark::C1908, gates: 880, det_delay_ps: 326.109, worst_case_ps: 675.068, overestimation_pct: 58.07, confidence: 0.05, num_paths: 5, crit_mean_ps: 324.403, crit_3sigma_ps: 427.082, crit_gates: 40, det_rank: 5, runtime_s: 0.1 },
-    Table2Row { bench: Benchmark::C2670, gates: 1269, det_delay_ps: 375.465, worst_case_ps: 762.627, overestimation_pct: 57.26, confidence: 0.1, num_paths: 74, crit_mean_ps: 373.216, crit_3sigma_ps: 484.960, crit_gates: 32, det_rank: 18, runtime_s: 1.5 },
-    Table2Row { bench: Benchmark::C3540, gates: 1669, det_delay_ps: 459.501, worst_case_ps: 903.289, overestimation_pct: 48.32, confidence: 0.05, num_paths: 32, crit_mean_ps: 458.431, crit_3sigma_ps: 609.015, crit_gates: 41, det_rank: 8, runtime_s: 0.5 },
-    Table2Row { bench: Benchmark::C5315, gates: 2307, det_delay_ps: 381.292, worst_case_ps: 775.375, overestimation_pct: 50.69, confidence: 0.05, num_paths: 5, crit_mean_ps: 381.177, crit_3sigma_ps: 514.552, crit_gates: 48, det_rank: 1, runtime_s: 0.4 },
-    Table2Row { bench: Benchmark::C6288, gates: 2416, det_delay_ps: 1033.433, worst_case_ps: 2163.213, overestimation_pct: 62.22, confidence: 0.001, num_paths: 896, crit_mean_ps: 1033.531, crit_3sigma_ps: 1333.470, crit_gates: 124, det_rank: 1, runtime_s: 15.0 },
-    Table2Row { bench: Benchmark::C7552, gates: 3513, det_delay_ps: 383.688, worst_case_ps: 754.628, overestimation_pct: 51.57, confidence: 0.05, num_paths: 5, crit_mean_ps: 383.557, crit_3sigma_ps: 497.886, crit_gates: 21, det_rank: 1, runtime_s: 0.4 },
+    Table2Row {
+        bench: Benchmark::C432,
+        gates: 160,
+        det_delay_ps: 266.771,
+        worst_case_ps: 545.009,
+        overestimation_pct: 56.61,
+        confidence: 0.05,
+        num_paths: 32,
+        crit_mean_ps: 266.640,
+        crit_3sigma_ps: 347.996,
+        crit_gates: 16,
+        det_rank: 1,
+        runtime_s: 0.2,
+    },
+    Table2Row {
+        bench: Benchmark::C499,
+        gates: 202,
+        det_delay_ps: 180.004,
+        worst_case_ps: 358.336,
+        overestimation_pct: 49.94,
+        confidence: 0.05,
+        num_paths: 58,
+        crit_mean_ps: 179.183,
+        crit_3sigma_ps: 238.979,
+        crit_gates: 11,
+        det_rank: 40,
+        runtime_s: 0.6,
+    },
+    Table2Row {
+        bench: Benchmark::C880,
+        gates: 383,
+        det_delay_ps: 205.999,
+        worst_case_ps: 421.535,
+        overestimation_pct: 58.68,
+        confidence: 0.05,
+        num_paths: 3,
+        crit_mean_ps: 206.036,
+        crit_3sigma_ps: 265.655,
+        crit_gates: 23,
+        det_rank: 1,
+        runtime_s: 0.1,
+    },
+    Table2Row {
+        bench: Benchmark::C1355,
+        gates: 546,
+        det_delay_ps: 241.245,
+        worst_case_ps: 486.283,
+        overestimation_pct: 52.46,
+        confidence: 0.05,
+        num_paths: 1596,
+        crit_mean_ps: 240.180,
+        crit_3sigma_ps: 318.963,
+        crit_gates: 24,
+        det_rank: 902,
+        runtime_s: 27.0,
+    },
+    Table2Row {
+        bench: Benchmark::C1908,
+        gates: 880,
+        det_delay_ps: 326.109,
+        worst_case_ps: 675.068,
+        overestimation_pct: 58.07,
+        confidence: 0.05,
+        num_paths: 5,
+        crit_mean_ps: 324.403,
+        crit_3sigma_ps: 427.082,
+        crit_gates: 40,
+        det_rank: 5,
+        runtime_s: 0.1,
+    },
+    Table2Row {
+        bench: Benchmark::C2670,
+        gates: 1269,
+        det_delay_ps: 375.465,
+        worst_case_ps: 762.627,
+        overestimation_pct: 57.26,
+        confidence: 0.1,
+        num_paths: 74,
+        crit_mean_ps: 373.216,
+        crit_3sigma_ps: 484.960,
+        crit_gates: 32,
+        det_rank: 18,
+        runtime_s: 1.5,
+    },
+    Table2Row {
+        bench: Benchmark::C3540,
+        gates: 1669,
+        det_delay_ps: 459.501,
+        worst_case_ps: 903.289,
+        overestimation_pct: 48.32,
+        confidence: 0.05,
+        num_paths: 32,
+        crit_mean_ps: 458.431,
+        crit_3sigma_ps: 609.015,
+        crit_gates: 41,
+        det_rank: 8,
+        runtime_s: 0.5,
+    },
+    Table2Row {
+        bench: Benchmark::C5315,
+        gates: 2307,
+        det_delay_ps: 381.292,
+        worst_case_ps: 775.375,
+        overestimation_pct: 50.69,
+        confidence: 0.05,
+        num_paths: 5,
+        crit_mean_ps: 381.177,
+        crit_3sigma_ps: 514.552,
+        crit_gates: 48,
+        det_rank: 1,
+        runtime_s: 0.4,
+    },
+    Table2Row {
+        bench: Benchmark::C6288,
+        gates: 2416,
+        det_delay_ps: 1033.433,
+        worst_case_ps: 2163.213,
+        overestimation_pct: 62.22,
+        confidence: 0.001,
+        num_paths: 896,
+        crit_mean_ps: 1033.531,
+        crit_3sigma_ps: 1333.470,
+        crit_gates: 124,
+        det_rank: 1,
+        runtime_s: 15.0,
+    },
+    Table2Row {
+        bench: Benchmark::C7552,
+        gates: 3513,
+        det_delay_ps: 383.688,
+        worst_case_ps: 754.628,
+        overestimation_pct: 51.57,
+        confidence: 0.05,
+        num_paths: 5,
+        crit_mean_ps: 383.557,
+        crit_3sigma_ps: 497.886,
+        crit_gates: 21,
+        det_rank: 1,
+        runtime_s: 0.4,
+    },
 ];
 
 /// The paper's Table 2 row for `bench`.
@@ -84,9 +214,30 @@ pub struct Table3Row {
 
 /// The paper's Table 3 (c432, C = 0.05, same total variability).
 pub const TABLE3: [Table3Row; 3] = [
-    Table3Row { inter_share: 0.0, mean_ps: 265.891, total_sigma_ps: 19.950, inter_sigma_ps: 0.0, intra_sigma_ps: 19.950, num_paths: 20 },
-    Table3Row { inter_share: 0.5, mean_ps: 267.074, total_sigma_ps: 35.577, inter_sigma_ps: 32.674, intra_sigma_ps: 14.076, num_paths: 54 },
-    Table3Row { inter_share: 0.75, mean_ps: 266.889, total_sigma_ps: 41.388, inter_sigma_ps: 39.960, intra_sigma_ps: 10.778, num_paths: 76 },
+    Table3Row {
+        inter_share: 0.0,
+        mean_ps: 265.891,
+        total_sigma_ps: 19.950,
+        inter_sigma_ps: 0.0,
+        intra_sigma_ps: 19.950,
+        num_paths: 20,
+    },
+    Table3Row {
+        inter_share: 0.5,
+        mean_ps: 267.074,
+        total_sigma_ps: 35.577,
+        inter_sigma_ps: 32.674,
+        intra_sigma_ps: 14.076,
+        num_paths: 54,
+    },
+    Table3Row {
+        inter_share: 0.75,
+        mean_ps: 266.889,
+        total_sigma_ps: 41.388,
+        inter_sigma_ps: 39.960,
+        intra_sigma_ps: 10.778,
+        num_paths: 76,
+    },
 ];
 
 #[cfg(test)]
@@ -107,8 +258,7 @@ mod tests {
         // Column 5 really is (worst − 3σ)/3σ in percent; verify the
         // transcription against the other columns.
         for row in &TABLE2 {
-            let derived =
-                (row.worst_case_ps - row.crit_3sigma_ps) / row.crit_3sigma_ps * 100.0;
+            let derived = (row.worst_case_ps - row.crit_3sigma_ps) / row.crit_3sigma_ps * 100.0;
             assert!(
                 (derived - row.overestimation_pct).abs() < 0.6,
                 "{}: derived {derived:.2} vs printed {}",

@@ -53,7 +53,12 @@ pub fn run_benchmark_with(bench: Benchmark, confidence: f64, base: SstaConfig) -
         config.max_paths = PATH_CAP;
         match SstaEngine::new(config).run(&circuit, &placement) {
             Ok(report) => {
-                return BenchmarkRun { circuit, placement, report, confidence_used: c };
+                return BenchmarkRun {
+                    circuit,
+                    placement,
+                    report,
+                    confidence_used: c,
+                };
             }
             Err(CoreError::PathBudgetExceeded { .. }) if c > 1e-7 => {
                 c *= 0.2;
@@ -61,6 +66,37 @@ pub fn run_benchmark_with(bench: Benchmark, confidence: f64, base: SstaConfig) -
             Err(e) => panic!("{bench}: SSTA flow failed: {e}"),
         }
     }
+}
+
+/// Runs `benches` concurrently on the worker pool, one benchmark per
+/// worker, returning results in input order.
+///
+/// Each inner engine run is pinned to a single thread — the sweep itself
+/// is the parallel axis, and nesting pools would oversubscribe the
+/// cores. Per-benchmark results are identical to a serial sweep.
+///
+/// # Panics
+///
+/// Panics on non-budget engine failures, like [`run_benchmark`].
+pub fn run_benchmarks_concurrent(
+    benches: &[Benchmark],
+    threads: Option<usize>,
+) -> Vec<BenchmarkRun> {
+    let workers = statim_core::parallel::effective_threads(threads);
+    statim_core::parallel::parallel_map(benches, workers, |_, &bench| {
+        let row = paper::table2_row(bench);
+        let mut base = SstaConfig::date05();
+        base.threads = Some(1);
+        run_benchmark_with(bench, row.confidence, base)
+    })
+}
+
+/// Reads a `--threads <n>` flag from the process arguments (0 ⇒ all
+/// cores); `None` when absent or malformed.
+pub fn threads_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--threads")?;
+    args.get(i + 1)?.parse().ok()
 }
 
 /// Formats seconds as picoseconds with 3 decimals.
@@ -84,5 +120,21 @@ mod tests {
     fn ps_formatting() {
         assert_eq!(ps(266.771e-12), "266.771");
         assert_eq!(ps(0.0), "0.000");
+    }
+
+    #[test]
+    fn concurrent_sweep_matches_serial_order_and_results() {
+        let benches = [Benchmark::C432, Benchmark::C499];
+        let runs = run_benchmarks_concurrent(&benches, Some(2));
+        assert_eq!(runs.len(), 2);
+        for (bench, run) in benches.iter().zip(&runs) {
+            assert_eq!(run.report.circuit, bench.name());
+            let serial = run_benchmark(*bench);
+            assert_eq!(serial.report.num_paths, run.report.num_paths);
+            assert_eq!(
+                serial.report.sigma_c.to_bits(),
+                run.report.sigma_c.to_bits()
+            );
+        }
     }
 }

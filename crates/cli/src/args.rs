@@ -25,7 +25,10 @@ ANALYZE OPTIONS:
     --quality-intra <n>   intra PDF discretization [default: 100]
     --quality-inter <n>   inter PDF discretization [default: 50]
     --random-place <seed> use seeded random placement instead of levelized
-    --max-paths <n>       enumeration budget [default: 1000000]";
+    --max-paths <n>       enumeration budget [default: 1000000]
+    --threads <n>         worker threads for path analysis and Monte-Carlo
+                          (0 = all cores) [default: all cores]; results are
+                          bit-identical for any thread count";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +87,8 @@ pub struct AnalyzeArgs {
     pub random_place: Option<u64>,
     /// Enumeration budget.
     pub max_paths: usize,
+    /// Worker threads (None = all available cores, 0 also means auto).
+    pub threads: Option<usize>,
 }
 
 impl Default for AnalyzeArgs {
@@ -99,6 +104,7 @@ impl Default for AnalyzeArgs {
             quality_inter: 50,
             random_place: None,
             max_paths: 1_000_000,
+            threads: None,
         }
     }
 }
@@ -140,15 +146,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     }
 }
 
-fn value<'a>(
-    flag: &str,
-    it: &mut std::slice::Iter<'a, String>,
-) -> Result<&'a String, String> {
-    it.next().ok_or_else(|| format!("flag {flag} needs a value"))
+fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
+    it.next()
+        .ok_or_else(|| format!("flag {flag} needs a value"))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("invalid value `{s}` for {flag}"))
+    s.parse()
+        .map_err(|_| format!("invalid value `{s}` for {flag}"))
 }
 
 fn parse_analyze(rest: &[String]) -> Result<Command, String> {
@@ -190,6 +195,7 @@ fn parse_analyze_with<'a>(
                 args.random_place = Some(parse_num(tok, value(tok, &mut it)?)?);
             }
             "--max-paths" => args.max_paths = parse_num(tok, value(tok, &mut it)?)?,
+            "--threads" => args.threads = Some(parse_num(tok, value(tok, &mut it)?)?),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if args.bench_file.is_some() {
@@ -243,17 +249,41 @@ mod tests {
 
     #[test]
     fn parses_analyze_benchmark() {
-        let cmd = parse(&v(&["analyze", "--benchmark", "c432", "-C", "0.1", "--top", "5"]))
-            .unwrap();
+        let cmd = parse(&v(&[
+            "analyze",
+            "--benchmark",
+            "c432",
+            "-C",
+            "0.1",
+            "--top",
+            "5",
+        ]))
+        .unwrap();
         match cmd {
             Command::Analyze(a) => {
                 assert_eq!(a.benchmark.as_deref(), Some("c432"));
                 assert_eq!(a.confidence, 0.1);
                 assert_eq!(a.top, 5);
                 assert!(a.bench_file.is_none());
+                assert_eq!(a.threads, None);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        match parse(&v(&["analyze", "--benchmark", "c432", "--threads", "8"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.threads, Some(8)),
+            other => panic!("{other:?}"),
+        }
+        // 0 is accepted (auto); garbage is not.
+        match parse(&v(&["analyze", "--benchmark", "c432", "--threads", "0"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.threads, Some(0)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["analyze", "--benchmark", "c432", "--threads", "many"])).is_err());
+        assert!(parse(&v(&["analyze", "--benchmark", "c432", "--threads"])).is_err());
     }
 
     #[test]
@@ -282,9 +312,15 @@ mod tests {
 
     #[test]
     fn parses_generate() {
-        let cmd =
-            parse(&v(&["generate", "c6288", "--out-bench", "x.bench", "--out-def", "x.def"]))
-                .unwrap();
+        let cmd = parse(&v(&[
+            "generate",
+            "c6288",
+            "--out-bench",
+            "x.bench",
+            "--out-def",
+            "x.def",
+        ]))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate {
@@ -321,7 +357,16 @@ mod tests {
 
     #[test]
     fn parses_mc() {
-        match parse(&v(&["mc", "--benchmark", "c499", "--samples", "500", "-C", "0.1"])).unwrap()
+        match parse(&v(&[
+            "mc",
+            "--benchmark",
+            "c499",
+            "--samples",
+            "500",
+            "-C",
+            "0.1",
+        ]))
+        .unwrap()
         {
             Command::Mc { args, samples } => {
                 assert_eq!(args.benchmark.as_deref(), Some("c499"));

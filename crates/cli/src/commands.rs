@@ -22,7 +22,11 @@ pub fn run(cmd: Command) -> DynResult {
         Command::Analyze(a) => analyze(a),
         Command::Yield { args, target } => timing_yield(args, target),
         Command::Mc { args, samples } => monte_carlo(args, samples),
-        Command::Generate { name, out_bench, out_def } => generate(&name, out_bench, out_def),
+        Command::Generate {
+            name,
+            out_bench,
+            out_def,
+        } => generate(&name, out_bench, out_def),
         Command::Sensitivity => {
             println!("{}", table1(&Technology::cmos130()).render());
             Ok(())
@@ -64,6 +68,14 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
     let (_, _, report) = run_engine(&a)?;
     print!("{}", statim_core::report::summary(&report));
     println!("  run time                     : {:.3} s", report.runtime);
+    let an = report.profile.analyze;
+    println!(
+        "  path analysis                : {:.3} s on {} thread{} ({:.0}% utilized)",
+        an.wall,
+        an.threads,
+        if an.threads == 1 { "" } else { "s" },
+        an.utilization * 100.0
+    );
     println!();
     println!("{}", statim_core::report::path_table(&report, top));
     Ok(())
@@ -73,10 +85,7 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
 /// runs the engine.
 fn run_engine(
     a: &AnalyzeArgs,
-) -> Result<
-    (statim_netlist::Circuit, Placement, statim_core::SstaReport),
-    Box<dyn Error>,
-> {
+) -> Result<(statim_netlist::Circuit, Placement, statim_core::SstaReport), Box<dyn Error>> {
     let circuit = load_circuit(a)?;
     let placement = match (&a.def_file, a.random_place) {
         (Some(def), _) => {
@@ -90,6 +99,7 @@ fn run_engine(
     config.quality_intra = a.quality_intra;
     config.quality_inter = a.quality_inter;
     config.max_paths = a.max_paths;
+    config.threads = a.threads;
     if let Some(share) = a.inter_share {
         config = config.with_layers(LayerModel::with_inter_share(share));
     }
@@ -130,21 +140,23 @@ fn timing_yield(a: AnalyzeArgs, target: f64) -> DynResult {
 
 fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
     use statim_core::characterize::characterize_placed;
-    use statim_core::monte_carlo::mc_path_distribution;
+    use statim_core::monte_carlo::mc_path_distribution_threaded;
     let (circuit, placement, report) = run_engine(&a)?;
     let tech = Technology::cmos130();
     let timing = characterize_placed(&circuit, &tech, &placement)?;
     let crit = &report.critical().analysis;
-    let mc = mc_path_distribution(
+    let mc = mc_path_distribution_threaded(
         &crit.gates,
         &timing,
         &placement,
         &tech,
         &statim_process::Variations::date05(),
         &LayerModel::date05(),
+        statim_stats::Marginal::Gaussian,
         samples,
         150,
         0xC0FFEE,
+        a.threads.unwrap_or(0),
     )?;
     let ps = |s: f64| s * 1e12;
     println!(
@@ -155,7 +167,12 @@ fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
     );
     println!("              analytic        monte-carlo     error");
     let row = |name: &str, a: f64, b: f64| {
-        println!("{name:>10}  {:>10.3} ps   {:>10.3} ps   {:+.3}%", ps(a), ps(b), (a - b) / b * 100.0);
+        println!(
+            "{name:>10}  {:>10.3} ps   {:>10.3} ps   {:+.3}%",
+            ps(a),
+            ps(b),
+            (a - b) / b * 100.0
+        );
     };
     row("mean", crit.mean, mc.mean);
     row("sigma", crit.sigma, mc.sigma);

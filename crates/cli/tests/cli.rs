@@ -1,13 +1,12 @@
 //! End-to-end tests of the `statim` binary: spawn the compiled
 //! executable and check its output and exit codes.
 
-use std::path::PathBuf;
 use std::process::Command;
 
 fn statim() -> Command {
     // Cargo puts integration-test binaries in target/<profile>/deps; the
     // CLI binary lives one directory up.
-    let mut path = PathBuf::from(std::env::current_exe().expect("test exe"));
+    let mut path = std::env::current_exe().expect("test exe");
     path.pop();
     if path.ends_with("deps") {
         path.pop();
@@ -29,10 +28,24 @@ fn list_shows_all_benchmarks() {
 #[test]
 fn analyze_benchmark_prints_report() {
     let out = statim()
-        .args(["analyze", "--benchmark", "c432", "--top", "3", "--quality-intra", "40", "--quality-inter", "20"])
+        .args([
+            "analyze",
+            "--benchmark",
+            "c432",
+            "--top",
+            "3",
+            "--quality-intra",
+            "40",
+            "--quality-inter",
+            "20",
+        ])
         .output()
         .expect("run analyze");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("deterministic critical delay"));
     assert!(text.contains("overestimation"));
@@ -41,7 +54,10 @@ fn analyze_benchmark_prints_report() {
 
 #[test]
 fn sensitivity_prints_table() {
-    let out = statim().arg("sensitivity").output().expect("run sensitivity");
+    let out = statim()
+        .arg("sensitivity")
+        .output()
+        .expect("run sensitivity");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Leff"));
@@ -65,7 +81,11 @@ fn generate_and_reanalyze_round_trip() {
         ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(bench.exists());
     assert!(def.exists());
     let out = statim()
@@ -81,14 +101,21 @@ fn generate_and_reanalyze_round_trip() {
         ])
         .output()
         .expect("run analyze on files");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("near-critical paths"));
 }
 
 #[test]
 fn unknown_command_fails_with_usage() {
-    let out = statim().arg("frobnicate").output().expect("run bad command");
+    let out = statim()
+        .arg("frobnicate")
+        .output()
+        .expect("run bad command");
     assert!(!out.status.success());
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
@@ -121,7 +148,11 @@ fn yield_command_reports_curve() {
         ])
         .output()
         .expect("run yield");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("yield lower bound"));
     assert!(text.contains("period for 99.0% yield"));
@@ -143,7 +174,11 @@ fn mc_command_reports_errors() {
         ])
         .output()
         .expect("run mc");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("monte-carlo"));
     assert!(text.contains("3σ point"));

@@ -109,8 +109,7 @@ pub fn analyze_path(
     settings: &AnalysisSettings,
 ) -> Result<PathAnalysis> {
     let det_delay = timing.path_delay(path);
-    let worst_case =
-        worst_case_path_delay(path, timing, tech, &settings.vars, settings.corner)?;
+    let worst_case = worst_case_path_delay(path, timing, tech, &settings.vars, settings.corner)?;
 
     // Intra: eq. (14) variance (closed form, Gaussian inputs) or the
     // per-RV numerical convolution (any marginal).
@@ -141,7 +140,11 @@ pub fn analyze_path(
     )?;
 
     // Total: convolution (paper: O(QUALITY²)).
-    let total = sum_pdf_resampled(&intra, &inter, settings.quality_intra.max(settings.quality_inter))?;
+    let total = sum_pdf_resampled(
+        &intra,
+        &inter,
+        settings.quality_intra.max(settings.quality_inter),
+    )?;
 
     let mean = total.mean();
     let sigma = total.std_dev();

@@ -40,7 +40,10 @@ impl VarianceAttribution {
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite variances"))
             .expect("five parameters");
-        (Param::from_index(i), v / self.intra_variance.max(f64::MIN_POSITIVE))
+        (
+            Param::from_index(i),
+            v / self.intra_variance.max(f64::MIN_POSITIVE),
+        )
     }
 
     /// Gates ordered by decreasing variance share.
@@ -92,7 +95,12 @@ pub fn attribute_variance(
     for p in Param::ALL {
         let sigma2 = vars.sigma.get(p) * vars.sigma.get(p);
         // Rebuild each gate's (layer, partition) membership on the fly.
-        for layer in 1..layers.spatial_layers {
+        for (layer, &weight) in weights
+            .iter()
+            .enumerate()
+            .take(layers.spatial_layers)
+            .skip(1)
+        {
             // Group gates by partition.
             let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
             for (gi, &g) in path.iter().enumerate() {
@@ -106,7 +114,7 @@ pub fn attribute_variance(
                     .sum();
                 for &gi in members {
                     let d = timing.gate(path[gi]).gradient.get(p);
-                    shares[gi] += d * a * weights[layer] * sigma2;
+                    shares[gi] += d * a * weight * sigma2;
                 }
             }
         }
@@ -123,7 +131,11 @@ pub fn attribute_variance(
         .zip(&shares)
         .map(|(&g, &s)| (g, s / norm))
         .collect();
-    Ok(VarianceAttribution { intra_variance: total, by_param, by_gate })
+    Ok(VarianceAttribution {
+        intra_variance: total,
+        by_param,
+        by_gate,
+    })
 }
 
 #[cfg(test)]
@@ -148,14 +160,8 @@ mod tests {
     #[test]
     fn param_split_sums_to_total() {
         let (path, t, p) = setup();
-        let att = attribute_variance(
-            &path,
-            &t,
-            &p,
-            &LayerModel::date05(),
-            &Variations::date05(),
-        )
-        .unwrap();
+        let att = attribute_variance(&path, &t, &p, &LayerModel::date05(), &Variations::date05())
+            .unwrap();
         let sum: f64 = att.by_param.iter().sum();
         assert!((sum - att.intra_variance).abs() < 1e-9 * att.intra_variance);
     }
@@ -163,14 +169,8 @@ mod tests {
     #[test]
     fn gate_shares_sum_to_one() {
         let (path, t, p) = setup();
-        let att = attribute_variance(
-            &path,
-            &t,
-            &p,
-            &LayerModel::date05(),
-            &Variations::date05(),
-        )
-        .unwrap();
+        let att = attribute_variance(&path, &t, &p, &LayerModel::date05(), &Variations::date05())
+            .unwrap();
         assert_eq!(att.by_gate.len(), path.len());
         let sum: f64 = att.by_gate.iter().map(|(_, s)| s).sum();
         assert!((sum - 1.0).abs() < 1e-9, "shares sum {sum}");
@@ -183,14 +183,8 @@ mod tests {
     #[test]
     fn leff_dominates_as_in_table1() {
         let (path, t, p) = setup();
-        let att = attribute_variance(
-            &path,
-            &t,
-            &p,
-            &LayerModel::date05(),
-            &Variations::date05(),
-        )
-        .unwrap();
+        let att = attribute_variance(&path, &t, &p, &LayerModel::date05(), &Variations::date05())
+            .unwrap();
         let (param, share) = att.dominant_param();
         assert_eq!(param, Param::Leff);
         assert!(share > 0.6, "Leff share {share}");
@@ -199,14 +193,8 @@ mod tests {
     #[test]
     fn hottest_gates_sorted_and_meaningful() {
         let (path, t, p) = setup();
-        let att = attribute_variance(
-            &path,
-            &t,
-            &p,
-            &LayerModel::date05(),
-            &Variations::date05(),
-        )
-        .unwrap();
+        let att = attribute_variance(&path, &t, &p, &LayerModel::date05(), &Variations::date05())
+            .unwrap();
         let hot = att.hottest_gates();
         for w in hot.windows(2) {
             assert!(w[0].1 >= w[1].1);

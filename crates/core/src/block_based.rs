@@ -143,8 +143,9 @@ mod tests {
         let t = characterize(&c, &tech).unwrap();
         let r = block_based_sta(&c, &t, &vars, 200).unwrap();
         let mean_expect: f64 = t.gates().iter().map(|g| g.nominal).sum();
-        let var_expect: f64 =
-            (0..10).map(|i| independent_gate_sigma(&t, i, &vars).powi(2)).sum();
+        let var_expect: f64 = (0..10)
+            .map(|i| independent_gate_sigma(&t, i, &vars).powi(2))
+            .sum();
         assert!((r.circuit_pdf.mean() - mean_expect).abs() / mean_expect < 0.01);
         assert!(
             (r.circuit_pdf.variance() - var_expect).abs() / var_expect < 0.05,

@@ -41,7 +41,10 @@ pub fn delay_cdf_bounds(paths: &[PathAnalysis], t: f64) -> CdfBounds {
         min_cdf = min_cdf.min(f);
         miss_sum += 1.0 - f;
     }
-    CdfBounds { lower: (1.0 - miss_sum).max(0.0), upper: min_cdf }
+    CdfBounds {
+        lower: (1.0 - miss_sum).max(0.0),
+        upper: min_cdf,
+    }
 }
 
 /// Sweeps the bounds over `n` epochs spanning the near-critical set's
@@ -98,7 +101,10 @@ mod tests {
     use statim_netlist::{Placement, PlacementStyle};
     use statim_process::{Technology, Variations};
 
-    fn analyzed_paths(bench: Benchmark, frac: f64) -> (Vec<PathAnalysis>, statim_netlist::Circuit, Placement) {
+    fn analyzed_paths(
+        bench: Benchmark,
+        frac: f64,
+    ) -> (Vec<PathAnalysis>, statim_netlist::Circuit, Placement) {
         let c = iscas85::generate(bench);
         let p = Placement::generate(&c, PlacementStyle::Levelized);
         let tech = Technology::cmos130();
@@ -120,7 +126,10 @@ mod tests {
         let (paths, _, _) = analyzed_paths(Benchmark::C432, 0.9);
         assert!(paths.len() >= 2);
         let curve = bounds_curve(&paths, 20);
-        let mut prev = CdfBounds { lower: -1.0, upper: -1.0 };
+        let mut prev = CdfBounds {
+            lower: -1.0,
+            upper: -1.0,
+        };
         for (_, b) in &curve {
             assert!(b.lower <= b.upper + 1e-12);
             assert!((0.0..=1.0).contains(&b.lower));

@@ -99,10 +99,12 @@ pub fn characterize_placed(
     placement: &statim_netlist::Placement,
 ) -> Result<CircuitTiming> {
     if placement.len() != circuit.gate_count() {
-        return Err(CoreError::Netlist(statim_netlist::NetlistError::PlacementMismatch {
-            gates: circuit.gate_count(),
-            placed: placement.len(),
-        }));
+        return Err(CoreError::Netlist(
+            statim_netlist::NetlistError::PlacementMismatch {
+                gates: circuit.gate_count(),
+                placed: placement.len(),
+            },
+        ));
     }
     characterize_with_wires(circuit, tech, Some(placement))
 }
@@ -128,8 +130,7 @@ fn characterize_with_wires(
                 }
             }
         }
-        let with_fanout: Vec<f64> =
-            length.iter().copied().filter(|&l| l > 0.0).collect();
+        let with_fanout: Vec<f64> = length.iter().copied().filter(|&l| l > 0.0).collect();
         let mean = if with_fanout.is_empty() {
             1.0
         } else {
@@ -153,7 +154,12 @@ fn characterize_with_wires(
             return Err(CoreError::NonFiniteDelay { gate: i });
         }
         let gradient = delay_gradient(tech, &ab, &nominal_pt);
-        gates.push(GateTiming { kind: gate.kind, ab, nominal, gradient });
+        gates.push(GateTiming {
+            kind: gate.kind,
+            ab,
+            nominal,
+            gradient,
+        });
     }
     Ok(CircuitTiming { gates })
 }

@@ -43,7 +43,11 @@ impl LayerModel {
     /// The paper's model: 4 spatial layers plus a fifth random layer,
     /// variance divided equally (each layer gets 1/5 of every σ²).
     pub fn date05() -> Self {
-        LayerModel { spatial_layers: 4, random_layer: true, split: VarianceSplit::Equal }
+        LayerModel {
+            spatial_layers: 4,
+            random_layer: true,
+            split: VarianceSplit::Equal,
+        }
     }
 
     /// A model with the given inter-die variance share (Table 3

@@ -60,6 +60,10 @@ pub struct SstaConfig {
     pub max_paths: usize,
     /// Label solver.
     pub solver: LabelSolver,
+    /// Worker threads for the per-path analysis fan-out. `None` (and
+    /// `Some(0)`) use every available core. Results are bit-identical
+    /// for any value — parallelism only changes wall time.
+    pub threads: Option<usize>,
 }
 
 impl SstaConfig {
@@ -78,6 +82,7 @@ impl SstaConfig {
             corner: CornerSpec::three_sigma(),
             max_paths: 1_000_000,
             solver: LabelSolver::BellmanFord,
+            threads: None,
         }
     }
 
@@ -90,6 +95,13 @@ impl SstaConfig {
     /// Same configuration with a different layer model.
     pub fn with_layers(mut self, layers: LayerModel) -> Self {
         self.layers = layers;
+        self
+    }
+
+    /// Same configuration with an explicit worker-thread count
+    /// (0 ⇒ every available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -107,7 +119,7 @@ impl SstaConfig {
     }
 
     fn validate(&self) -> Result<()> {
-        if !(self.confidence >= 0.0) || !self.confidence.is_finite() {
+        if self.confidence < 0.0 || !self.confidence.is_finite() {
             return Err(CoreError::InvalidConfig {
                 message: format!("confidence C must be ≥ 0, got {}", self.confidence),
             });
@@ -118,27 +130,81 @@ impl SstaConfig {
             });
         }
         if self.max_paths == 0 {
-            return Err(CoreError::InvalidConfig { message: "max_paths must be positive".into() });
+            return Err(CoreError::InvalidConfig {
+                message: "max_paths must be positive".into(),
+            });
         }
         Ok(())
     }
 }
 
-/// Wall-clock time spent in each stage of the flow, seconds — the
-/// breakdown behind the paper's run-time discussion (per-path PDF
-/// analysis dominates; everything deterministic is cheap).
+/// Wall time and thread utilization of one pipeline stage.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct StageTimes {
+pub struct StageProfile {
+    /// Wall-clock time, seconds.
+    pub wall: f64,
+    /// Worker threads the stage ran on (1 for serial stages).
+    pub threads: usize,
+    /// Fraction of `wall · threads` the workers were busy — 1.0 for a
+    /// serial stage, below 1.0 when a pooled stage tails off.
+    pub utilization: f64,
+}
+
+impl StageProfile {
+    /// A stage that ran on the calling thread only.
+    fn serial(wall: f64) -> Self {
+        StageProfile {
+            wall,
+            threads: 1,
+            utilization: 1.0,
+        }
+    }
+
+    /// A stage that ran on the worker pool: `busy` is the summed
+    /// per-worker busy time.
+    fn pooled(wall: f64, busy: f64, threads: usize) -> Self {
+        let capacity = wall * threads as f64;
+        let utilization = if capacity > 0.0 {
+            (busy / capacity).min(1.0)
+        } else {
+            1.0
+        };
+        StageProfile {
+            wall,
+            threads,
+            utilization,
+        }
+    }
+}
+
+/// Per-stage run profile — the breakdown behind the paper's run-time
+/// discussion (per-path PDF analysis dominates; everything deterministic
+/// is cheap), extended with thread-utilization accounting for the
+/// parallel per-path fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunProfile {
     /// Gate characterization (one-time, §3).
-    pub characterize: f64,
+    pub characterize: StageProfile,
     /// Longest-path labels (Bellman-Ford or DP).
-    pub labels: f64,
+    pub labels: StageProfile,
     /// Near-critical path enumeration (Fig. 2).
-    pub enumerate: f64,
-    /// Per-path probabilistic analysis (the κ·QUALITY kernels).
-    pub analyze: f64,
+    pub enumerate: StageProfile,
+    /// Per-path probabilistic analysis (the κ·QUALITY kernels); the one
+    /// stage that fans out across worker threads.
+    pub analyze: StageProfile,
     /// Confidence-point ranking.
-    pub rank: f64,
+    pub rank: StageProfile,
+}
+
+impl RunProfile {
+    /// Summed per-stage wall time, seconds.
+    pub fn total_wall(&self) -> f64 {
+        self.characterize.wall
+            + self.labels.wall
+            + self.enumerate.wall
+            + self.analyze.wall
+            + self.rank.wall
+    }
 }
 
 /// The result of a full run — one row of the paper's Table 2 plus the
@@ -171,8 +237,8 @@ pub struct SstaReport {
     pub label_sweeps: usize,
     /// Wall-clock run time of the whole flow, seconds (col. 12).
     pub runtime: f64,
-    /// Per-stage time breakdown.
-    pub stage_times: StageTimes,
+    /// Per-stage wall time and thread utilization.
+    pub profile: RunProfile,
 }
 
 impl SstaReport {
@@ -211,19 +277,21 @@ impl SstaEngine {
         let start = Instant::now();
         self.config.validate()?;
         if placement.len() != circuit.gate_count() {
-            return Err(CoreError::Netlist(statim_netlist::NetlistError::PlacementMismatch {
-                gates: circuit.gate_count(),
-                placed: placement.len(),
-            }));
+            return Err(CoreError::Netlist(
+                statim_netlist::NetlistError::PlacementMismatch {
+                    gates: circuit.gate_count(),
+                    placed: placement.len(),
+                },
+            ));
         }
         let settings = self.config.settings();
-        let mut stage_times = StageTimes::default();
+        let mut profile = RunProfile::default();
 
         // 1. One-time gate characterization (placement-aware wire loads,
         //    as a DEF-driven flow sees them).
         let t0 = Instant::now();
         let timing = characterize_placed(circuit, &self.config.tech, placement)?;
-        stage_times.characterize = t0.elapsed().as_secs_f64();
+        profile.characterize = StageProfile::serial(t0.elapsed().as_secs_f64());
 
         // 2. Deterministic analysis.
         let t0 = Instant::now();
@@ -233,7 +301,7 @@ impl SstaEngine {
         };
         let det_critical_delay = labels.critical_delay(circuit)?;
         let det_path = critical_path(circuit, &timing, &labels)?;
-        stage_times.labels = t0.elapsed().as_secs_f64();
+        profile.labels = StageProfile::serial(t0.elapsed().as_secs_f64());
 
         // 3. Probabilistic analysis of the deterministic critical path
         //    yields σ_C.
@@ -241,37 +309,38 @@ impl SstaEngine {
         let det_analysis =
             analyze_path(&det_path, &timing, placement, &self.config.tech, &settings)?;
         let sigma_c = det_analysis.sigma;
-        stage_times.analyze += t0.elapsed().as_secs_f64();
+        let det_wall = t0.elapsed().as_secs_f64();
 
         // 4. Enumerate paths within C·σ_C.
         let t0 = Instant::now();
         let threshold = det_critical_delay - self.config.confidence * sigma_c;
-        let set = near_critical_paths(
-            circuit,
-            &timing,
-            &labels,
-            threshold,
-            self.config.max_paths,
-        )?;
-        stage_times.enumerate = t0.elapsed().as_secs_f64();
+        let set = near_critical_paths(circuit, &timing, &labels, threshold, self.config.max_paths)?;
+        profile.enumerate = StageProfile::serial(t0.elapsed().as_secs_f64());
 
-        // 5. Analyze every near-critical path (reusing the critical
-        //    path's analysis).
+        // 5. Analyze every near-critical path on the worker pool,
+        //    reusing the critical path's analysis. Each path is
+        //    independent; results merge in enumeration order, so the
+        //    report is bit-identical for any thread count.
         let t0 = Instant::now();
-        let mut analyses: Vec<PathAnalysis> = Vec::with_capacity(set.paths.len());
-        for p in &set.paths {
+        let threads = crate::parallel::effective_threads(self.config.threads);
+        let pool = crate::parallel::run_pool(&set.paths, threads, |_, p| {
             if *p == det_path {
-                analyses.push(det_analysis.clone());
+                Ok(det_analysis.clone())
             } else {
-                analyses.push(analyze_path(p, &timing, placement, &self.config.tech, &settings)?);
+                analyze_path(p, &timing, placement, &self.config.tech, &settings)
             }
-        }
-        stage_times.analyze += t0.elapsed().as_secs_f64();
+        });
+        let analyses: Vec<PathAnalysis> = pool.results.into_iter().collect::<Result<Vec<_>>>()?;
+        let fan_wall = t0.elapsed().as_secs_f64();
+        // Step 3 (σ_C) is the same per-path kernel, so it books into the
+        // analyze stage as serial time alongside the pooled fan-out.
+        profile.analyze =
+            StageProfile::pooled(det_wall + fan_wall, det_wall + pool.busy, pool.threads);
 
         // 6. Rank by the confidence point.
         let t0 = Instant::now();
         let ranked = rank_paths(analyses);
-        stage_times.rank = t0.elapsed().as_secs_f64();
+        profile.rank = StageProfile::serial(t0.elapsed().as_secs_f64());
         if ranked.is_empty() {
             return Err(CoreError::EmptyCircuit);
         }
@@ -299,7 +368,7 @@ impl SstaEngine {
             paths: ranked,
             label_sweeps: labels.sweeps,
             runtime: start.elapsed().as_secs_f64(),
-            stage_times,
+            profile,
         })
     }
 }
@@ -368,10 +437,14 @@ mod tests {
     fn table3_monotonicity_inter_share() {
         // Larger inter-die share ⇒ larger σ and at least as many
         // near-critical paths (the paper's Table 3).
-        let intra_only =
-            run(Benchmark::C432, SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.0)));
-        let half =
-            run(Benchmark::C432, SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.5)));
+        let intra_only = run(
+            Benchmark::C432,
+            SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.0)),
+        );
+        let half = run(
+            Benchmark::C432,
+            SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.5)),
+        );
         let three_q = run(
             Benchmark::C432,
             SstaConfig::date05().with_layers(LayerModel::with_inter_share(0.75)),
@@ -411,18 +484,41 @@ mod tests {
     #[test]
     fn stage_times_cover_runtime() {
         let r = run(Benchmark::C1355, SstaConfig::date05());
-        let st = &r.stage_times;
-        let sum = st.characterize + st.labels + st.enumerate + st.analyze + st.rank;
+        let p = &r.profile;
+        let sum = p.total_wall();
         assert!(sum > 0.0);
         assert!(sum <= r.runtime * 1.01);
         // Per-path analysis dominates (κ·QUALITY kernels) — the paper's
         // run-time discussion.
         assert!(
-            st.analyze > 0.5 * sum,
+            p.analyze.wall > 0.5 * sum,
             "analysis {} of total {}",
-            st.analyze,
+            p.analyze.wall,
             sum
         );
+        // Serial stages report a single fully-utilized thread; the
+        // pooled stage reports its pool size and a sane utilization.
+        assert_eq!(p.enumerate.threads, 1);
+        assert_eq!(p.enumerate.utilization, 1.0);
+        assert!(p.analyze.threads >= 1);
+        assert!(p.analyze.utilization > 0.0 && p.analyze.utilization <= 1.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let one = run(Benchmark::C432, SstaConfig::date05().with_threads(1));
+        let four = run(Benchmark::C432, SstaConfig::date05().with_threads(4));
+        assert_eq!(one.num_paths, four.num_paths);
+        assert_eq!(one.sigma_c.to_bits(), four.sigma_c.to_bits());
+        for (a, b) in one.paths.iter().zip(&four.paths) {
+            assert_eq!(a.prob_rank, b.prob_rank);
+            assert_eq!(a.det_rank, b.det_rank);
+            assert_eq!(
+                a.analysis.confidence_point.to_bits(),
+                b.analysis.confidence_point.to_bits()
+            );
+        }
+        assert_eq!(four.profile.analyze.threads, 4.min(one.num_paths.max(1)));
     }
 
     #[test]
@@ -433,6 +529,8 @@ mod tests {
         }
         // Deterministic rank 1 is the deterministic critical path.
         let det1 = r.paths.iter().find(|p| p.det_rank == 1).unwrap();
-        assert!((det1.analysis.det_delay - r.det_critical_delay).abs() < 1e-12 * r.det_critical_delay);
+        assert!(
+            (det1.analysis.det_delay - r.det_critical_delay).abs() < 1e-12 * r.det_critical_delay
+        );
     }
 }

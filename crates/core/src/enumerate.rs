@@ -116,7 +116,11 @@ pub fn near_critical_paths(
                     }
                     if qualifies(labels.arrival[src.index()] + suffix) {
                         let child_suffix = suffix + timing.gates()[src.index()].nominal;
-                        stack.push(Frame { gate: src, next_input: 0, suffix: child_suffix });
+                        stack.push(Frame {
+                            gate: src,
+                            next_input: 0,
+                            suffix: child_suffix,
+                        });
                         recorded.push(false);
                         chain.push(src);
                         descended = true;
@@ -132,14 +136,19 @@ pub fn near_critical_paths(
         }
     }
     // Deterministic ordering: by delay descending, ties by gate sequence.
-    let mut keyed: Vec<(f64, Vec<GateId>)> =
-        paths.into_iter().map(|p| (timing.path_delay(&p), p)).collect();
+    let mut keyed: Vec<(f64, Vec<GateId>)> = paths
+        .into_iter()
+        .map(|p| (timing.path_delay(&p), p))
+        .collect();
     keyed.sort_by(|a, b| {
         b.0.partial_cmp(&a.0)
             .expect("finite delays")
             .then_with(|| a.1.cmp(&b.1))
     });
-    Ok(PathSet { paths: keyed.into_iter().map(|(_, p)| p).collect(), threshold })
+    Ok(PathSet {
+        paths: keyed.into_iter().map(|(_, p)| p).collect(),
+        threshold,
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +218,10 @@ mod tests {
                 set.paths.contains(&cp),
                 "{bench}: critical path missing from enumeration"
             );
-            assert_eq!(set.paths[0], cp, "{bench}: first path must be the critical one");
+            assert_eq!(
+                set.paths[0], cp,
+                "{bench}: first path must be the critical one"
+            );
         }
     }
 
@@ -236,8 +248,14 @@ mod tests {
         let c = iscas85::generate(Benchmark::C499);
         let (t, l) = setup(&c);
         let d = l.critical_delay(&c).unwrap();
-        let n_tight = near_critical_paths(&c, &t, &l, d * 0.995, 500_000).unwrap().paths.len();
-        let n_loose = near_critical_paths(&c, &t, &l, d * 0.95, 500_000).unwrap().paths.len();
+        let n_tight = near_critical_paths(&c, &t, &l, d * 0.995, 500_000)
+            .unwrap()
+            .paths
+            .len();
+        let n_loose = near_critical_paths(&c, &t, &l, d * 0.95, 500_000)
+            .unwrap()
+            .paths
+            .len();
         assert!(n_loose >= n_tight);
         assert!(n_tight >= 1);
     }
@@ -276,9 +294,7 @@ mod tests {
                 .any(|s| matches!(s, Signal::Input(_))));
             // Consecutive gates are actually connected.
             for w in p.windows(2) {
-                assert!(c.gates()[w[1].index()]
-                    .inputs
-                    .contains(&Signal::Gate(w[0])));
+                assert!(c.gates()[w[1].index()].inputs.contains(&Signal::Gate(w[0])));
             }
         }
     }

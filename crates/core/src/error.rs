@@ -43,10 +43,16 @@ impl fmt::Display for CoreError {
             CoreError::EmptyCircuit => write!(f, "circuit has no gates or outputs"),
             CoreError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
             CoreError::PathBudgetExceeded { budget } => {
-                write!(f, "more than {budget} near-critical paths; lower C or raise max_paths")
+                write!(
+                    f,
+                    "more than {budget} near-critical paths; lower C or raise max_paths"
+                )
             }
             CoreError::NonFiniteDelay { gate } => {
-                write!(f, "gate {gate} has a non-finite delay at the requested point")
+                write!(
+                    f,
+                    "gate {gate} has a non-finite delay at the requested point"
+                )
             }
         }
     }

@@ -174,7 +174,13 @@ mod tests {
     fn path_ab(n: usize) -> (Technology, AlphaBeta) {
         let tech = Technology::cmos130();
         let one = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
-        (tech, AlphaBeta { alpha: one.alpha * n as f64, beta: one.beta * n as f64 })
+        (
+            tech,
+            AlphaBeta {
+                alpha: one.alpha * n as f64,
+                beta: one.beta * n as f64,
+            },
+        )
     }
 
     #[test]
@@ -220,7 +226,12 @@ mod tests {
         // Both are coarse histograms over the same ±6σ corner span; at 24
         // cells they agree to a percent on the mean and better than 10%
         // on σ (they converge together as quality grows).
-        assert!(rel(sep.mean(), dir.mean()) < 0.01, "{} vs {}", sep.mean(), dir.mean());
+        assert!(
+            rel(sep.mean(), dir.mean()) < 0.01,
+            "{} vs {}",
+            sep.mean(),
+            dir.mean()
+        );
         assert!(
             rel(sep.std_dev(), dir.std_dev()) < 0.10,
             "{} vs {}",
@@ -244,9 +255,33 @@ mod tests {
         // Table 3's monotonicity at the inter level.
         let vars = Variations::date05();
         let (tech, ab) = path_ab(16);
-        let s20 = inter_pdf(&ab, &tech, &vars, &LayerModel::date05(), Marginal::Gaussian, 50).unwrap();
-        let s50 = inter_pdf(&ab, &tech, &vars, &LayerModel::with_inter_share(0.5), Marginal::Gaussian, 50).unwrap();
-        let s75 = inter_pdf(&ab, &tech, &vars, &LayerModel::with_inter_share(0.75), Marginal::Gaussian, 50).unwrap();
+        let s20 = inter_pdf(
+            &ab,
+            &tech,
+            &vars,
+            &LayerModel::date05(),
+            Marginal::Gaussian,
+            50,
+        )
+        .unwrap();
+        let s50 = inter_pdf(
+            &ab,
+            &tech,
+            &vars,
+            &LayerModel::with_inter_share(0.5),
+            Marginal::Gaussian,
+            50,
+        )
+        .unwrap();
+        let s75 = inter_pdf(
+            &ab,
+            &tech,
+            &vars,
+            &LayerModel::with_inter_share(0.75),
+            Marginal::Gaussian,
+            50,
+        )
+        .unwrap();
         assert!(s50.std_dev() > s20.std_dev());
         assert!(s75.std_dev() > s50.std_dev());
     }
@@ -256,7 +291,8 @@ mod tests {
         let tech = Technology::cmos130();
         let vars = Variations::date05();
         let layers = LayerModel::date05(); // w0 = 0.2
-        let p = inter_param_pdf(Param::Leff, &tech, &vars, &layers, Marginal::Gaussian, 200).unwrap();
+        let p =
+            inter_param_pdf(Param::Leff, &tech, &vars, &layers, Marginal::Gaussian, 200).unwrap();
         let expect = 15e-9 * 0.2f64.sqrt();
         assert!((p.std_dev() - expect).abs() / expect < 0.02);
         assert!((p.mean() - tech.leff).abs() < 1e-12);

@@ -188,7 +188,9 @@ pub fn intra_pdf_numerical(
     // support can be much wider but carries negligible tail mass).
     let body = 2.0 * vars.trunc_k * sigma_total;
     let lo = acc.mean() - body / 2.0;
-    Ok(acc.resample(Grid::over(lo, lo + body, quality)?).normalized()?)
+    Ok(acc
+        .resample(Grid::over(lo, lo + body, quality)?)
+        .normalized()?)
 }
 
 #[cfg(test)]
@@ -222,7 +224,10 @@ mod tests {
         // param has ≤ 4 entries on layer 1, and the coefficient sums must
         // equal the total gradient sum.
         let leff = Param::Leff.index();
-        let total: f64 = path.iter().map(|&g| t.gate(g).gradient.get(Param::Leff)).sum();
+        let total: f64 = path
+            .iter()
+            .map(|&g| t.gate(g).gradient.get(Param::Leff))
+            .sum();
         for layer in 1..layers.spatial_layers {
             let s: f64 = co.spatial[leff]
                 .iter()
@@ -262,8 +267,11 @@ mod tests {
         let co = path_coefficients(&path, &t, &same_spot, &correlated_model);
         let v_corr = intra_variance(&co, &correlated_model, &vars).unwrap();
 
-        let independent_model =
-            LayerModel { spatial_layers: 1, random_layer: true, split: VarianceSplit::InterShare(0.0) };
+        let independent_model = LayerModel {
+            spatial_layers: 1,
+            random_layer: true,
+            split: VarianceSplit::InterShare(0.0),
+        };
         let co_i = path_coefficients(&path, &t, &same_spot, &independent_model);
         let v_ind = intra_variance(&co_i, &independent_model, &vars).unwrap();
 
@@ -323,8 +331,7 @@ mod tests {
         let co = path_coefficients(&path, &t, &p, &layers);
         let var = intra_variance(&co, &layers, &vars).unwrap();
         let closed = intra_pdf(var, vars.trunc_k, 100).unwrap();
-        let numerical =
-            intra_pdf_numerical(&co, &layers, &vars, Marginal::Gaussian, 100).unwrap();
+        let numerical = intra_pdf_numerical(&co, &layers, &vars, Marginal::Gaussian, 100).unwrap();
         assert!(numerical.mean().abs() < 0.01 * closed.std_dev());
         let rel = (numerical.std_dev() - closed.std_dev()).abs() / closed.std_dev();
         assert!(rel < 0.02, "σ mismatch {rel}");
@@ -368,7 +375,11 @@ mod tests {
     #[test]
     fn no_random_layer_means_no_random_coeffs() {
         let (_, t, p, path) = chain(4);
-        let m = LayerModel { spatial_layers: 3, random_layer: false, split: VarianceSplit::Equal };
+        let m = LayerModel {
+            spatial_layers: 3,
+            random_layer: false,
+            split: VarianceSplit::Equal,
+        };
         let co = path_coefficients(&path, &t, &p, &m);
         for param in Param::ALL {
             assert!(co.random[param.index()].is_empty());

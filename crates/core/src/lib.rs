@@ -59,6 +59,7 @@ pub mod inter;
 pub mod intra;
 pub mod longest_path;
 pub mod monte_carlo;
+pub mod parallel;
 pub mod rank;
 pub mod report;
 pub mod slack;

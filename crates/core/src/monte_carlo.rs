@@ -6,6 +6,16 @@
 //! them by brute force: sample every layer RV, evaluate each gate's delay
 //! *exactly* (eq. (8) — the full non-linear expression at that gate's own
 //! parameter values), and histogram the resulting path delays.
+//!
+//! # Parallelism and seeding
+//!
+//! The sample budget is split into fixed-size chunks of
+//! [`crate::parallel::MC_CHUNK`] samples. Chunk `i` draws from its own
+//! `StdRng` seeded with `seed + i` ([`crate::parallel::chunk_seed`]) and
+//! chunk results are concatenated in chunk order, so every estimate is
+//! **bit-identical for any thread count** — parallelism only changes
+//! wall time. The `*_threaded` variants take an explicit worker count
+//! (0 ⇒ all cores); the plain variants use every available core.
 
 use crate::characterize::CircuitTiming;
 use crate::correlation::LayerModel;
@@ -64,7 +74,16 @@ pub fn mc_path_distribution(
     seed: u64,
 ) -> Result<McResult> {
     mc_path_distribution_with(
-        path, timing, placement, tech, vars, layers, Marginal::Gaussian, samples, quality, seed,
+        path,
+        timing,
+        placement,
+        tech,
+        vars,
+        layers,
+        Marginal::Gaussian,
+        samples,
+        quality,
+        seed,
     )
 }
 
@@ -86,26 +105,51 @@ pub fn mc_path_distribution_with(
     quality: usize,
     seed: u64,
 ) -> Result<McResult> {
+    mc_path_distribution_threaded(
+        path, timing, placement, tech, vars, layers, marginal, samples, quality, seed, 0,
+    )
+}
+
+/// [`mc_path_distribution_with`] on an explicit number of worker threads
+/// (0 ⇒ every available core). The result is bit-identical for any
+/// `threads` value — see the module docs on chunked seeding.
+///
+/// # Errors
+///
+/// Same as [`mc_path_distribution`].
+#[allow(clippy::too_many_arguments)]
+pub fn mc_path_distribution_threaded(
+    path: &[GateId],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    marginal: Marginal,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<McResult> {
     let weights = layers.weights()?;
-    let mut rng = StdRng::seed_from_u64(seed);
     // Per-gate partition index for each intra spatial layer (1..L).
     let gate_partitions: Vec<Vec<usize>> = path
         .iter()
         .map(|&g| {
             let xy = placement.normalized(g);
-            (1..layers.spatial_layers).map(|l| layers.partition_of(l, xy)).collect()
+            (1..layers.spatial_layers)
+                .map(|l| layers.partition_of(l, xy))
+                .collect()
         })
         .collect();
     let trunc = vars.trunc_k;
 
-    let mut delays = Vec::with_capacity(samples);
-    let mut draws: HashMap<(usize, usize, usize), f64> = HashMap::new();
-    for _ in 0..samples {
+    let sample_once = |rng: &mut StdRng, draws: &mut HashMap<(usize, usize, usize), f64>| -> f64 {
         // Layer 0: the shared inter-die operating point.
         let inter = PerParam::from_fn(|p| {
             let sigma = vars.sigma.get(p) * weights[0].sqrt();
             if sigma > 0.0 {
-                marginal.sample(&mut rng, tech.nominal(p), sigma, trunc)
+                marginal.sample(rng, tech.nominal(p), sigma, trunc)
             } else {
                 tech.nominal(p)
             }
@@ -121,7 +165,7 @@ pub fn mc_path_distribution_with(
                     let sigma = sigma_total * weights[layer].sqrt();
                     v += *draws.entry((p.index(), layer, part)).or_insert_with(|| {
                         if sigma > 0.0 {
-                            marginal.sample(&mut rng, 0.0, sigma, trunc)
+                            marginal.sample(rng, 0.0, sigma, trunc)
                         } else {
                             0.0
                         }
@@ -130,7 +174,7 @@ pub fn mc_path_distribution_with(
                 if let Some(slot) = layers.random_slot() {
                     let sigma = sigma_total * weights[slot].sqrt();
                     if sigma > 0.0 {
-                        v += marginal.sample(&mut rng, 0.0, sigma, trunc);
+                        v += marginal.sample(rng, 0.0, sigma, trunc);
                     }
                 }
                 v
@@ -138,19 +182,20 @@ pub fn mc_path_distribution_with(
             let pt = OperatingPoint { values };
             total += gate_delay(tech, &timing.gate(g).ab, &pt);
         }
-        delays.push(total);
-    }
+        total
+    };
 
-    let mean = delays.iter().sum::<f64>() / delays.len().max(1) as f64;
-    let var =
-        delays.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / delays.len().max(1) as f64;
-    let sigma = var.sqrt();
-    let lo = delays.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = (hi - lo).max(mean.abs() * 1e-9);
-    let grid = Grid::over(lo, lo + span * (1.0 + 1e-9), quality)?;
-    let pdf = Pdf::from_samples(grid, &delays)?;
-    Ok(McResult { pdf, mean, sigma, samples })
+    let chunks = crate::parallel::mc_chunks(samples);
+    let workers = crate::parallel::effective_threads(Some(threads));
+    let runs = crate::parallel::parallel_map(&chunks, workers, |_, &(ci, n)| {
+        let mut rng = StdRng::seed_from_u64(crate::parallel::chunk_seed(seed, ci));
+        let mut draws: HashMap<(usize, usize, usize), f64> = HashMap::new();
+        (0..n)
+            .map(|_| sample_once(&mut rng, &mut draws))
+            .collect::<Vec<f64>>()
+    });
+    let delays: Vec<f64> = runs.into_iter().flatten().collect();
+    summarize(delays, quality)
 }
 
 /// Per-sample drawing of every layer RV for a whole circuit, evaluating
@@ -184,7 +229,9 @@ impl<'a> CircuitSampler<'a> {
             .gate_ids()
             .map(|g| {
                 let xy = placement.normalized(g);
-                (1..layers.spatial_layers).map(|l| layers.partition_of(l, xy)).collect()
+                (1..layers.spatial_layers)
+                    .map(|l| layers.partition_of(l, xy))
+                    .collect()
             })
             .collect();
         Ok(CircuitSampler {
@@ -209,7 +256,8 @@ impl<'a> CircuitSampler<'a> {
         let inter = PerParam::from_fn(|p| {
             let sigma = self.vars.sigma.get(p) * self.weights[0].sqrt();
             if sigma > 0.0 {
-                self.marginal.sample(rng, self.tech.nominal(p), sigma, trunc)
+                self.marginal
+                    .sample(rng, self.tech.nominal(p), sigma, trunc)
             } else {
                 self.tech.nominal(p)
             }
@@ -277,7 +325,16 @@ pub fn mc_circuit_distribution(
     seed: u64,
 ) -> Result<McResult> {
     mc_circuit_distribution_with(
-        circuit, timing, placement, tech, vars, layers, Marginal::Gaussian, samples, quality, seed,
+        circuit,
+        timing,
+        placement,
+        tech,
+        vars,
+        layers,
+        Marginal::Gaussian,
+        samples,
+        quality,
+        seed,
     )
 }
 
@@ -299,33 +356,64 @@ pub fn mc_circuit_distribution_with(
     quality: usize,
     seed: u64,
 ) -> Result<McResult> {
+    mc_circuit_distribution_threaded(
+        circuit, timing, placement, tech, vars, layers, marginal, samples, quality, seed, 0,
+    )
+}
+
+/// [`mc_circuit_distribution_with`] on an explicit number of worker
+/// threads (0 ⇒ every available core); bit-identical for any `threads`.
+///
+/// # Errors
+///
+/// Same as [`mc_circuit_distribution`].
+#[allow(clippy::too_many_arguments)]
+pub fn mc_circuit_distribution_threaded(
+    circuit: &statim_netlist::Circuit,
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    marginal: Marginal,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<McResult> {
     let sampler = CircuitSampler::new(circuit, timing, placement, tech, vars, layers, marginal)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut draws = HashMap::new();
-    let mut delays = Vec::with_capacity(samples);
     let n = circuit.gate_count();
-    let mut arrival = vec![0.0f64; n];
-    for _ in 0..samples {
-        let gate_delays = sampler.sample_gate_delays(&mut rng, &mut draws);
-        // Topological arrival propagation (gates are stored in topo
-        // order).
-        for (i, g) in circuit.gates().iter().enumerate() {
-            let mut incoming: f64 = 0.0;
-            for s in &g.inputs {
-                if let statim_netlist::Signal::Gate(src) = s {
-                    incoming = incoming.max(arrival[src.index()]);
+    let chunks = crate::parallel::mc_chunks(samples);
+    let workers = crate::parallel::effective_threads(Some(threads));
+    let runs = crate::parallel::parallel_map(&chunks, workers, |_, &(ci, count)| {
+        let mut rng = StdRng::seed_from_u64(crate::parallel::chunk_seed(seed, ci));
+        let mut draws = HashMap::new();
+        let mut arrival = vec![0.0f64; n];
+        (0..count)
+            .map(|_| {
+                let gate_delays = sampler.sample_gate_delays(&mut rng, &mut draws);
+                // Topological arrival propagation (gates are stored in
+                // topo order).
+                for (i, g) in circuit.gates().iter().enumerate() {
+                    let mut incoming: f64 = 0.0;
+                    for s in &g.inputs {
+                        if let statim_netlist::Signal::Gate(src) = s {
+                            incoming = incoming.max(arrival[src.index()]);
+                        }
+                    }
+                    arrival[i] = incoming + gate_delays[i];
                 }
-            }
-            arrival[i] = incoming + gate_delays[i];
-        }
-        let mut worst: f64 = 0.0;
-        for &(_, s) in circuit.outputs() {
-            if let statim_netlist::Signal::Gate(g) = s {
-                worst = worst.max(arrival[g.index()]);
-            }
-        }
-        delays.push(worst);
-    }
+                let mut worst: f64 = 0.0;
+                for &(_, s) in circuit.outputs() {
+                    if let statim_netlist::Signal::Gate(g) = s {
+                        worst = worst.max(arrival[g.index()]);
+                    }
+                }
+                worst
+            })
+            .collect::<Vec<f64>>()
+    });
+    let delays: Vec<f64> = runs.into_iter().flatten().collect();
     summarize(delays, quality)
 }
 
@@ -354,27 +442,75 @@ pub fn mc_path_criticality(
     samples: usize,
     seed: u64,
 ) -> Result<Vec<f64>> {
+    mc_path_criticality_threaded(
+        circuit, paths, timing, placement, tech, vars, layers, samples, seed, 0,
+    )
+}
+
+/// [`mc_path_criticality`] on an explicit number of worker threads
+/// (0 ⇒ every available core); bit-identical for any `threads`.
+///
+/// # Errors
+///
+/// Same as [`mc_path_criticality`].
+#[allow(clippy::too_many_arguments)]
+pub fn mc_path_criticality_threaded(
+    circuit: &statim_netlist::Circuit,
+    paths: &[Vec<GateId>],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<f64>> {
     if paths.is_empty() {
         return Ok(Vec::new());
     }
-    let sampler = CircuitSampler::new(circuit, timing, placement, tech, vars, layers, Marginal::Gaussian)?;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut draws = HashMap::new();
-    let mut wins = vec![0usize; paths.len()];
-    for _ in 0..samples {
-        let gate_delays = sampler.sample_gate_delays(&mut rng, &mut draws);
-        let mut best = f64::NEG_INFINITY;
-        let mut argmax = 0;
-        for (pi, path) in paths.iter().enumerate() {
-            let d: f64 = path.iter().map(|g| gate_delays[g.index()]).sum();
-            if d > best {
-                best = d;
-                argmax = pi;
+    let sampler = CircuitSampler::new(
+        circuit,
+        timing,
+        placement,
+        tech,
+        vars,
+        layers,
+        Marginal::Gaussian,
+    )?;
+    let chunks = crate::parallel::mc_chunks(samples);
+    let workers = crate::parallel::effective_threads(Some(threads));
+    let runs = crate::parallel::parallel_map(&chunks, workers, |_, &(ci, count)| {
+        let mut rng = StdRng::seed_from_u64(crate::parallel::chunk_seed(seed, ci));
+        let mut draws = HashMap::new();
+        let mut wins = vec![0usize; paths.len()];
+        for _ in 0..count {
+            let gate_delays = sampler.sample_gate_delays(&mut rng, &mut draws);
+            let mut best = f64::NEG_INFINITY;
+            let mut argmax = 0;
+            for (pi, path) in paths.iter().enumerate() {
+                let d: f64 = path.iter().map(|g| gate_delays[g.index()]).sum();
+                if d > best {
+                    best = d;
+                    argmax = pi;
+                }
             }
+            wins[argmax] += 1;
         }
-        wins[argmax] += 1;
+        wins
+    });
+    // Win counts are integers, so the chunk-order sum is exact and
+    // independent of the thread count.
+    let mut wins = vec![0usize; paths.len()];
+    for chunk_wins in runs {
+        for (total, w) in wins.iter_mut().zip(chunk_wins) {
+            *total += w;
+        }
     }
-    Ok(wins.into_iter().map(|w| w as f64 / samples as f64).collect())
+    Ok(wins
+        .into_iter()
+        .map(|w| w as f64 / samples as f64)
+        .collect())
 }
 
 fn summarize(delays: Vec<f64>, quality: usize) -> Result<McResult> {
@@ -388,7 +524,12 @@ fn summarize(delays: Vec<f64>, quality: usize) -> Result<McResult> {
     let grid = Grid::over(lo, lo + span * (1.0 + 1e-9), quality)?;
     let pdf = Pdf::from_samples(grid, &delays)?;
     let samples = delays.len();
-    Ok(McResult { pdf, mean, sigma, samples })
+    Ok(McResult {
+        pdf,
+        mean,
+        sigma,
+        samples,
+    })
 }
 
 #[cfg(test)]
@@ -400,9 +541,7 @@ mod tests {
     use statim_netlist::generators::iscas85::{self, Benchmark};
     use statim_netlist::PlacementStyle;
 
-    fn setup(
-        bench: Benchmark,
-    ) -> (CircuitTiming, Placement, Vec<GateId>, Technology) {
+    fn setup(bench: Benchmark) -> (CircuitTiming, Placement, Vec<GateId>, Technology) {
         let c = iscas85::generate(bench);
         let tech = Technology::cmos130();
         let t = characterize(&c, &tech).unwrap();
@@ -433,8 +572,18 @@ mod tests {
         )
         .unwrap();
         let rel = |a: f64, b: f64| (a - b).abs() / b;
-        assert!(rel(analytic.mean, mc.mean) < 0.01, "mean {} vs {}", analytic.mean, mc.mean);
-        assert!(rel(analytic.sigma, mc.sigma) < 0.06, "σ {} vs {}", analytic.sigma, mc.sigma);
+        assert!(
+            rel(analytic.mean, mc.mean) < 0.01,
+            "mean {} vs {}",
+            analytic.mean,
+            mc.mean
+        );
+        assert!(
+            rel(analytic.sigma, mc.sigma) < 0.06,
+            "σ {} vs {}",
+            analytic.sigma,
+            mc.sigma
+        );
         assert!(
             rel(analytic.confidence_point, mc.sigma_point(3.0)) < 0.02,
             "3σ point {} vs {}",
@@ -462,10 +611,10 @@ mod tests {
         let (t, p, cp, tech) = setup(Benchmark::C432);
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::with_inter_share(1.0);
-        let mc =
-            mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 30_000, 100, 3).unwrap();
+        let mc = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 30_000, 100, 3).unwrap();
         let ab = t.path_alpha_beta(&cp);
-        let analytic = crate::inter::inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
+        let analytic =
+            crate::inter::inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
         assert!((mc.mean - analytic.mean()).abs() / analytic.mean() < 0.01);
         assert!((mc.sigma - analytic.std_dev()).abs() / analytic.std_dev() < 0.05);
     }
@@ -485,14 +634,17 @@ mod tests {
         let layers = crate::correlation::LayerModel::date05();
         let chip =
             mc_circuit_distribution(&c, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
-        let path =
-            mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
-        assert!(chip.mean >= path.mean * 0.999, "{} vs {}", chip.mean, path.mean);
+        let path = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
+        assert!(
+            chip.mean >= path.mean * 0.999,
+            "{} vs {}",
+            chip.mean,
+            path.mean
+        );
         // For c432 (few near-critical paths) path-based ≈ full-chip: the
         // paper's premise that the near-critical set suffices.
         assert!(
-            (chip.sigma_point(3.0) - path.sigma_point(3.0)).abs() / chip.sigma_point(3.0)
-                < 0.03,
+            (chip.sigma_point(3.0) - path.sigma_point(3.0)).abs() / chip.sigma_point(3.0) < 0.03,
             "full-chip {} vs path {}",
             chip.sigma_point(3.0),
             path.sigma_point(3.0)
@@ -508,14 +660,11 @@ mod tests {
         let t = characterize_placed(&c, &tech, &p).unwrap();
         let labels = topo_labels(&c, &t).unwrap();
         let d = labels.critical_delay(&c).unwrap();
-        let set = crate::enumerate::near_critical_paths(&c, &t, &labels, d * 0.95, 10_000)
-            .unwrap();
+        let set = crate::enumerate::near_critical_paths(&c, &t, &labels, d * 0.95, 10_000).unwrap();
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::date05();
-        let crit = mc_path_criticality(
-            &c, &set.paths, &t, &p, &tech, &vars, &layers, 4000, 11,
-        )
-        .unwrap();
+        let crit =
+            mc_path_criticality(&c, &set.paths, &t, &p, &tech, &vars, &layers, 4000, 11).unwrap();
         assert_eq!(crit.len(), set.paths.len());
         let total: f64 = crit.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -523,9 +672,11 @@ mod tests {
         let max = crit.iter().cloned().fold(0.0, f64::max);
         assert!(max > 0.05, "max criticality {max}");
         // Empty path set: empty result.
-        assert!(mc_path_criticality(&c, &[], &t, &p, &tech, &vars, &layers, 10, 1)
-            .unwrap()
-            .is_empty());
+        assert!(
+            mc_path_criticality(&c, &[], &t, &p, &tech, &vars, &layers, 10, 1)
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]

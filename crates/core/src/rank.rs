@@ -60,7 +60,11 @@ pub fn rank_paths(paths: Vec<PathAnalysis>) -> Vec<RankedPath> {
     indexed.sort_by_key(|(i, _)| prob_rank[*i]);
     indexed
         .into_iter()
-        .map(|(i, analysis)| RankedPath { analysis, det_rank: det_rank[i], prob_rank: prob_rank[i] })
+        .map(|(i, analysis)| RankedPath {
+            analysis,
+            det_rank: det_rank[i],
+            prob_rank: prob_rank[i],
+        })
         .collect()
 }
 
@@ -83,7 +87,9 @@ pub fn mean_rank_shift(ranked: &[RankedPath], limit: usize) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    take.map(|r| r.det_rank.abs_diff(r.prob_rank) as f64).sum::<f64>() / n as f64
+    take.map(|r| r.det_rank.abs_diff(r.prob_rank) as f64)
+        .sum::<f64>()
+        / n as f64
 }
 
 #[cfg(test)]
@@ -121,7 +127,10 @@ mod tests {
         let b = fake(98.0, 5.0, 1); // 3σ point 113
         let ranked = rank_paths(vec![a, b]);
         assert_eq!(ranked[0].prob_rank, 1);
-        assert_eq!(ranked[0].det_rank, 2, "the nominally slower path is det rank 2");
+        assert_eq!(
+            ranked[0].det_rank, 2,
+            "the nominally slower path is det rank 2"
+        );
         assert_eq!(ranked[0].analysis.gates, vec![GateId(1)]);
         assert_eq!(ranked[1].det_rank, 1);
     }
@@ -137,8 +146,9 @@ mod tests {
 
     #[test]
     fn ranks_are_permutations() {
-        let paths: Vec<PathAnalysis> =
-            (0..20).map(|i| fake(100.0 - i as f64, 1.0 + (i % 5) as f64, i)).collect();
+        let paths: Vec<PathAnalysis> = (0..20)
+            .map(|i| fake(100.0 - i as f64, 1.0 + (i % 5) as f64, i))
+            .collect();
         let ranked = rank_paths(paths);
         let mut det: Vec<usize> = ranked.iter().map(|r| r.det_rank).collect();
         let mut prob: Vec<usize> = ranked.iter().map(|r| r.prob_rank).collect();

@@ -24,8 +24,16 @@ pub fn summary(report: &SstaReport) -> String {
         "  deterministic critical delay : {} ps",
         ps(report.det_critical_delay)
     );
-    let _ = writeln!(out, "  worst-case (corner) delay    : {} ps", ps(report.worst_case_delay));
-    let _ = writeln!(out, "  sigma_C                      : {} ps", ps(report.sigma_c));
+    let _ = writeln!(
+        out,
+        "  worst-case (corner) delay    : {} ps",
+        ps(report.worst_case_delay)
+    );
+    let _ = writeln!(
+        out,
+        "  sigma_C                      : {} ps",
+        ps(report.sigma_c)
+    );
     let _ = writeln!(
         out,
         "  probabilistic critical path  : mean {} ps, 3σ point {} ps ({} gates, det rank {})",
@@ -45,7 +53,15 @@ pub fn summary(report: &SstaReport) -> String {
 /// The ranked-path table (top `limit` rows): prob/det ranks, moments,
 /// confidence point and path length.
 pub fn path_table(report: &SstaReport, limit: usize) -> String {
-    let header = ["prob rank", "det rank", "det delay (ps)", "mean (ps)", "σ (ps)", "3σ point (ps)", "gates"];
+    let header = [
+        "prob rank",
+        "det rank",
+        "det delay (ps)",
+        "mean (ps)",
+        "σ (ps)",
+        "3σ point (ps)",
+        "gates",
+    ];
     let rows: Vec<Vec<String>> = report
         .paths
         .iter()

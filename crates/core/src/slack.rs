@@ -100,7 +100,12 @@ pub fn slack_report(
     }
     debug_assert!(required.iter().all(|r| r.is_finite()));
     let slack = required.iter().zip(&arrival).map(|(r, a)| r - a).collect();
-    Ok(SlackReport { period, arrival, required, slack })
+    Ok(SlackReport {
+        period,
+        arrival,
+        required,
+        slack,
+    })
 }
 
 #[cfg(test)]

@@ -106,7 +106,11 @@ mod tests {
         let r = report();
         let curve = yield_curve(&r, 12);
         assert_eq!(curve.len(), 12);
-        let mut prev = YieldPoint { period: 0.0, upper: -1.0, lower: -1.0 };
+        let mut prev = YieldPoint {
+            period: 0.0,
+            upper: -1.0,
+            lower: -1.0,
+        };
         for pt in &curve {
             // Upper bound dominates lower bound.
             assert!(pt.upper >= pt.lower - 1e-12);

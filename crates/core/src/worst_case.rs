@@ -119,12 +119,10 @@ mod tests {
         let labels = topo_labels(&c, &t).unwrap();
         let cp = critical_path(&c, &t, &labels).unwrap();
         let nominal = t.path_delay(&cp);
-        let wc =
-            worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::three_sigma()).unwrap();
+        let wc = worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::three_sigma()).unwrap();
         assert!(wc > nominal * 1.5);
         // Zero-σ corner reproduces the nominal delay exactly.
-        let zero =
-            worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::sigma(0.0)).unwrap();
+        let zero = worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::sigma(0.0)).unwrap();
         assert!((zero - nominal).abs() < 1e-12 * nominal);
     }
 

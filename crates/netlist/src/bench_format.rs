@@ -81,7 +81,12 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
                     message: "empty net name, function or argument list".into(),
                 });
             }
-            defs.push(Def { line: line_no, out, func, args });
+            defs.push(Def {
+                line: line_no,
+                out,
+                func,
+                args,
+            });
         } else {
             return Err(NetlistError::Parse {
                 line: line_no,
@@ -130,14 +135,18 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
                 .find(|a| circuit.find(a).is_none())
                 .copied()
                 .unwrap_or("<cyclic definition>");
-            return Err(NetlistError::UndefinedName { name: missing.to_string() });
+            return Err(NetlistError::UndefinedName {
+                name: missing.to_string(),
+            });
         }
         pending = still;
     }
     for (_, po) in &outputs {
         let s = circuit
             .find(po)
-            .ok_or_else(|| NetlistError::UndefinedName { name: po.to_string() })?;
+            .ok_or_else(|| NetlistError::UndefinedName {
+                name: po.to_string(),
+            })?;
         circuit.mark_output(*po, s)?;
     }
     Ok(circuit)
@@ -172,7 +181,13 @@ pub fn write(circuit: &Circuit) -> String {
     }
     for g in circuit.gates() {
         let args: Vec<&str> = g.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
-        let _ = writeln!(out, "{} = {}({})", g.name, g.kind.bench_name(), args.join(", "));
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            g.name,
+            g.kind.bench_name(),
+            args.join(", ")
+        );
     }
     out
 }
@@ -249,7 +264,11 @@ y = NOT(a)
     fn error_on_unknown_function() {
         let text = "INPUT(a)\nOUTPUT(b)\nb = MAJ(a, a, a)\n";
         match parse("t", text) {
-            Err(NetlistError::UnsupportedGate { function, arity, line }) => {
+            Err(NetlistError::UnsupportedGate {
+                function,
+                arity,
+                line,
+            }) => {
                 assert_eq!(function, "MAJ");
                 assert_eq!(arity, 3);
                 assert_eq!(line, 3);
@@ -261,7 +280,10 @@ y = NOT(a)
     #[test]
     fn error_on_undefined_net() {
         let text = "INPUT(a)\nOUTPUT(b)\nb = NOT(ghost)\n";
-        assert!(matches!(parse("t", text), Err(NetlistError::UndefinedName { .. })));
+        assert!(matches!(
+            parse("t", text),
+            Err(NetlistError::UndefinedName { .. })
+        ));
     }
 
     #[test]

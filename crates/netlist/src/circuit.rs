@@ -61,7 +61,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit.
     pub fn new(name: impl Into<String>) -> Self {
-        Circuit { name: name.into(), ..Circuit::default() }
+        Circuit {
+            name: name.into(),
+            ..Circuit::default()
+        }
     }
 
     /// Circuit name.
@@ -118,7 +121,11 @@ impl Circuit {
         let id = GateId(self.gates.len() as u32);
         let sig = Signal::Gate(id);
         self.names.insert(name.clone(), sig);
-        self.gates.push(Gate { name, kind, inputs: inputs.to_vec() });
+        self.gates.push(Gate {
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+        });
         Ok(sig)
     }
 
@@ -307,7 +314,10 @@ impl Circuit {
             *map.entry(g.kind).or_insert(0) += 1;
         }
         let mut v: Vec<(GateKind, usize)> = map.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0))));
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| format!("{}", a.0).cmp(&format!("{}", b.0)))
+        });
         v
     }
 }
@@ -343,7 +353,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut c = Circuit::new("t");
         c.add_input("a").unwrap();
-        assert!(matches!(c.add_input("a"), Err(NetlistError::DuplicateName { .. })));
+        assert!(matches!(
+            c.add_input("a"),
+            Err(NetlistError::DuplicateName { .. })
+        ));
         let a = c.find("a").unwrap();
         c.add_gate("g", GateKind::Inv, &[a]).unwrap();
         assert!(matches!(
@@ -362,7 +375,11 @@ mod tests {
         let a = c.add_input("a").unwrap();
         assert!(matches!(
             c.add_gate("g", GateKind::Nand(2), &[a]),
-            Err(NetlistError::ArityMismatch { expected: 2, got: 1, .. })
+            Err(NetlistError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 

@@ -48,9 +48,12 @@ impl DefDesign {
     pub fn placement_for(&self, circuit: &Circuit) -> Result<Placement> {
         let mut positions = Vec::with_capacity(circuit.gate_count());
         for g in circuit.gates() {
-            let &(x, y) = self.components.get(&g.name).ok_or_else(|| {
-                NetlistError::UndefinedName { name: g.name.clone() }
-            })?;
+            let &(x, y) =
+                self.components
+                    .get(&g.name)
+                    .ok_or_else(|| NetlistError::UndefinedName {
+                        name: g.name.clone(),
+                    })?;
             positions.push((x, y));
         }
         Placement::from_positions(circuit, positions, self.die_side)
@@ -93,8 +96,7 @@ pub fn parse(text: &str) -> Result<DefDesign> {
                 }
             }
             "DIEAREA" => {
-                let nums: Vec<f64> =
-                    toks.iter().filter_map(|t| t.parse::<f64>().ok()).collect();
+                let nums: Vec<f64> = toks.iter().filter_map(|t| t.parse::<f64>().ok()).collect();
                 if nums.len() != 4 {
                     return Err(NetlistError::Parse {
                         line: line_no,
@@ -115,8 +117,7 @@ pub fn parse(text: &str) -> Result<DefDesign> {
                     line: line_no,
                     message: "component line missing name".into(),
                 })?;
-                let nums: Vec<f64> =
-                    toks.iter().filter_map(|t| t.parse::<f64>().ok()).collect();
+                let nums: Vec<f64> = toks.iter().filter_map(|t| t.parse::<f64>().ok()).collect();
                 if nums.len() < 2 {
                     return Err(NetlistError::Parse {
                         line: line_no,
@@ -141,9 +142,16 @@ pub fn parse(text: &str) -> Result<DefDesign> {
         }
     }
     if die_side <= 0.0 {
-        return Err(NetlistError::Parse { line: 0, message: "missing DIEAREA".into() });
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: "missing DIEAREA".into(),
+        });
     }
-    Ok(DefDesign { name, die_side: die_side / dbu_per_micron, components })
+    Ok(DefDesign {
+        name,
+        die_side: die_side / dbu_per_micron,
+        components,
+    })
 }
 
 /// Serializes a circuit + placement as DEF-lite (1000 DBU per micron).

@@ -66,19 +66,30 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
-            NetlistError::ArityMismatch { gate, expected, got } => {
+            NetlistError::ArityMismatch {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate `{gate}` expects {expected} inputs, got {got}")
             }
             NetlistError::DanglingSignal { gate } => {
                 write!(f, "`{gate}` references a signal that does not exist")
             }
             NetlistError::Parse { line, message } => write!(f, "line {line}: {message}"),
-            NetlistError::UnsupportedGate { function, arity, line } => {
+            NetlistError::UnsupportedGate {
+                function,
+                arity,
+                line,
+            } => {
                 write!(f, "line {line}: unsupported gate {function}/{arity}")
             }
             NetlistError::UndefinedName { name } => write!(f, "undefined name `{name}`"),
             NetlistError::PlacementMismatch { gates, placed } => {
-                write!(f, "placement covers {placed} components but circuit has {gates} gates")
+                write!(
+                    f,
+                    "placement covers {placed} components but circuit has {gates} gates"
+                )
             }
             NetlistError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
         }

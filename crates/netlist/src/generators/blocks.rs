@@ -25,7 +25,10 @@ pub struct Builder {
 impl Builder {
     /// Creates a builder for a circuit called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Builder { circuit: Circuit::new(name), counter: 0 }
+        Builder {
+            circuit: Circuit::new(name),
+            counter: 0,
+        }
     }
 
     /// Adds a primary input.
@@ -35,7 +38,9 @@ impl Builder {
     /// Panics on duplicate names — generator code controls all names, so a
     /// clash is a programming error.
     pub fn input(&mut self, name: impl Into<String>) -> Signal {
-        self.circuit.add_input(name).expect("generator input names are unique")
+        self.circuit
+            .add_input(name)
+            .expect("generator input names are unique")
     }
 
     /// Adds `n` inputs named `prefix0..prefix{n-1}`.
@@ -53,7 +58,9 @@ impl Builder {
 
     /// Marks a primary output.
     pub fn output(&mut self, name: impl Into<String>, sig: Signal) {
-        self.circuit.mark_output(name, sig).expect("generator signals exist");
+        self.circuit
+            .mark_output(name, sig)
+            .expect("generator signals exist");
     }
 
     /// Current gate count.
@@ -257,7 +264,10 @@ impl Builder {
         block: usize,
     ) -> (Vec<Signal>, Signal) {
         assert_eq!(a.len(), b.len(), "operand widths must match");
-        assert!(!a.is_empty() && block > 0, "need bits and a positive block size");
+        assert!(
+            !a.is_empty() && block > 0,
+            "need bits and a positive block size"
+        );
         // "Constant" carry-ins for the speculative blocks are derived
         // locally (structure matters here, not arithmetic truth).
         let mut carry = cin;
@@ -368,7 +378,10 @@ impl Builder {
     ///
     /// Panics if `sel` is empty or wider than 8 bits.
     pub fn decoder(&mut self, sel: &[Signal]) -> Vec<Signal> {
-        assert!(!sel.is_empty() && sel.len() <= 8, "decoder takes 1..=8 select bits");
+        assert!(
+            !sel.is_empty() && sel.len() <= 8,
+            "decoder takes 1..=8 select bits"
+        );
         let inv: Vec<Signal> = sel.iter().map(|&s| self.not(s)).collect();
         (0..1usize << sel.len())
             .map(|code| {
@@ -391,8 +404,11 @@ impl Builder {
     pub fn equality(&mut self, a: &[Signal], b: &[Signal]) -> Signal {
         assert_eq!(a.len(), b.len(), "operand widths must match");
         assert!(!a.is_empty(), "equality needs at least one bit");
-        let eqs: Vec<Signal> =
-            a.iter().zip(b).map(|(&x, &y)| self.gate(GateKind::Xnor2, &[x, y])).collect();
+        let eqs: Vec<Signal> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| self.gate(GateKind::Xnor2, &[x, y]))
+            .collect();
         self.reduce_tree(GateKind::And(2), &eqs)
     }
 
@@ -439,9 +455,7 @@ impl Builder {
                     let eligible: Vec<usize> = (0..unconsumed.len())
                         .filter(|&i| unconsumed[i].1 < GLUE_DEPTH_CAP)
                         .collect();
-                    if unconsumed.len() > keep_at_least
-                        && !eligible.is_empty()
-                        && rng.gen_bool(0.6)
+                    if unconsumed.len() > keep_at_least && !eligible.is_empty() && rng.gen_bool(0.6)
                     {
                         let idx = eligible[rng.gen_range(0..eligible.len())];
                         let (sig, d) = unconsumed.swap_remove(idx);
@@ -455,6 +469,10 @@ impl Builder {
             let out = self.gate(kind, &ins);
             unconsumed.push((out, depth + 1));
         }
+        // Deepest outputs first: callers mark the leading entries as
+        // primary outputs, and the deepest glue must land in a PO cone
+        // so that only shallow glue can ever dangle.
+        unconsumed.sort_by_key(|&(_, depth)| std::cmp::Reverse(depth));
         unconsumed.into_iter().map(|(s, _)| s).collect()
     }
 }
@@ -571,7 +589,12 @@ mod tests {
         };
         let rip = build(false);
         let sel = build(true);
-        assert!(sel.depth() < rip.depth(), "select {} vs ripple {}", sel.depth(), rip.depth());
+        assert!(
+            sel.depth() < rip.depth(),
+            "select {} vs ripple {}",
+            sel.depth(),
+            rip.depth()
+        );
         assert!(sel.gate_count() > rip.gate_count()); // speculation costs gates
     }
 

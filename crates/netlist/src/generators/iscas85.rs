@@ -184,7 +184,12 @@ fn pad_and_finish(
     );
     let po_need = bench.output_count().saturating_sub(core_pos.len());
     let glue_outs = if core < bench.gate_count() {
-        b.random_glue(glue_pool, bench.gate_count() - core, seed_for(bench), po_need)
+        b.random_glue(
+            glue_pool,
+            bench.gate_count() - core,
+            seed_for(bench),
+            po_need,
+        )
     } else {
         Vec::new()
     };
@@ -223,8 +228,11 @@ fn c432() -> Circuit {
     let reqs = b.inputs("req", 27);
     let ens = b.inputs("en", 9);
     // Enable-gated requests (27 AND gates).
-    let gated: Vec<Signal> =
-        reqs.iter().enumerate().map(|(i, &r)| b.and2(r, ens[i % 9])).collect();
+    let gated: Vec<Signal> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| b.and2(r, ens[i % 9]))
+        .collect();
     // Priority chain (26 × 3 = 78 gates).
     let grants = b.priority_chain(&gated);
     // Encode the 16 highest-priority grants into 4 code bits (≈28 gates).
@@ -233,8 +241,11 @@ fn c432() -> Circuit {
     // chain stages observable (they are the circuit's critical region).
     let any = b.reduce_tree(statim_process::GateKind::Or(2), &grants[16..]);
     let par = b.xor_tree(&code, false);
-    let mut core_pos: Vec<(String, Signal)> =
-        code.iter().enumerate().map(|(i, &s)| (format!("code{i}"), s)).collect();
+    let mut core_pos: Vec<(String, Signal)> = code
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("code{i}"), s))
+        .collect();
     core_pos.push(("any".into(), any));
     core_pos.push(("par".into(), par));
     let backup: Vec<Signal> = grants[16..20].to_vec();
@@ -255,8 +266,10 @@ fn sec32(bench: Benchmark, expand: bool) -> Circuit {
     // (11 XORs each, 88 total).
     let mut syndromes = Vec::with_capacity(8);
     for (j, &chk) in check.iter().enumerate() {
-        let mut taps: Vec<Signal> =
-            (0..32).filter(|i| (i * 7 + j * 3) % 8 < 3).map(|i| data[i]).collect();
+        let mut taps: Vec<Signal> = (0..32)
+            .filter(|i| (i * 7 + j * 3) % 8 < 3)
+            .map(|i| data[i])
+            .collect();
         taps.truncate(10);
         taps.push(chk);
         syndromes.push(b.xor_tree(&taps, expand));
@@ -306,15 +319,24 @@ fn c880() -> Circuit {
     let ands: Vec<Signal> = a.iter().zip(&x).map(|(&p, &q)| b.and2(p, q)).collect();
     let xors: Vec<Signal> = a.iter().zip(&c).map(|(&p, &q)| b.xor2(p, q)).collect();
     // Result mux: sum vs AND, then vs XOR (8 × 2 muxes = 64 gates).
-    let stage1: Vec<Signal> =
-        sums.iter().zip(&ands).map(|(&s, &t)| b.mux2(s, t, sel[0])).collect();
-    let result: Vec<Signal> =
-        stage1.iter().zip(&xors).map(|(&s, &t)| b.mux2(s, t, sel[1])).collect();
+    let stage1: Vec<Signal> = sums
+        .iter()
+        .zip(&ands)
+        .map(|(&s, &t)| b.mux2(s, t, sel[0]))
+        .collect();
+    let result: Vec<Signal> = stage1
+        .iter()
+        .zip(&xors)
+        .map(|(&s, &t)| b.mux2(s, t, sel[1]))
+        .collect();
     // Comparator (15) and parity (7).
     let eq = b.equality(&a, &c);
     let parity = b.xor_tree(&result, false);
-    let mut core_pos: Vec<(String, Signal)> =
-        result.iter().enumerate().map(|(i, &s)| (format!("r{i}"), s)).collect();
+    let mut core_pos: Vec<(String, Signal)> = result
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("r{i}"), s))
+        .collect();
     core_pos.push(("cout".into(), cout));
     core_pos.push(("eq".into(), eq));
     core_pos.push(("par".into(), parity));
@@ -339,8 +361,10 @@ fn c1908() -> Circuit {
     // Six syndrome trees over the encoded bits + checks (6 × 15 = 90).
     let mut syn = Vec::with_capacity(6);
     for j in 0..6 {
-        let mut taps: Vec<Signal> =
-            (0..16).filter(|i| (i + j) % 3 != 0).map(|i| enc[i]).collect();
+        let mut taps: Vec<Signal> = (0..16)
+            .filter(|i| (i + j) % 3 != 0)
+            .map(|i| enc[i])
+            .collect();
         taps.push(chk[j]);
         taps.push(chk[(j + 1) % 8]);
         syn.push(b.xor_tree(&taps, false));
@@ -355,10 +379,16 @@ fn c1908() -> Circuit {
         .collect();
     // Select decoder (4→16) and output gating.
     let lines = b.decoder(&sel);
-    let gated: Vec<Signal> =
-        corrected.iter().zip(&lines).map(|(&c, &l)| b.and2(c, l)).collect();
-    let mut core_pos: Vec<(String, Signal)> =
-        gated.iter().enumerate().map(|(i, &s)| (format!("q{i}"), s)).collect();
+    let gated: Vec<Signal> = corrected
+        .iter()
+        .zip(&lines)
+        .map(|(&c, &l)| b.and2(c, l))
+        .collect();
+    let mut core_pos: Vec<(String, Signal)> = gated
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("q{i}"), s))
+        .collect();
     core_pos.push(("cout".into(), cout));
     let pool: Vec<Signal> = d.iter().chain(&chk).chain(&misc).copied().collect();
     let backup = syn.clone();
@@ -382,8 +412,11 @@ fn c2670() -> Circuit {
     let eq = b.equality(&sums2, &y);
     let grants = b.priority_chain(&reqs);
     let code = b.encoder(&grants);
-    let mut core_pos: Vec<(String, Signal)> =
-        sums2.iter().enumerate().map(|(i, &s)| (format!("s{i}"), s)).collect();
+    let mut core_pos: Vec<(String, Signal)> = sums2
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("s{i}"), s))
+        .collect();
     core_pos.push(("cout".into(), cout2));
     core_pos.push(("eq".into(), eq));
     for (i, s) in code.into_iter().enumerate() {
@@ -413,8 +446,11 @@ fn c3540() -> Circuit {
         let (s1, c1) = b.ripple_adder(&ar, &xr, cin);
         let (s2, c2) = b.ripple_adder(&s1, &y, c1);
         let ands: Vec<Signal> = s2.iter().zip(&ar).map(|(&p, &q)| b.and2(p, q)).collect();
-        let muxed: Vec<Signal> =
-            s2.iter().zip(&ands).map(|(&p, &q)| b.mux2(p, q, sel[s % 3])).collect();
+        let muxed: Vec<Signal> = s2
+            .iter()
+            .zip(&ands)
+            .map(|(&p, &q)| b.mux2(p, q, sel[s % 3]))
+            .collect();
         slice_outs.push(b.xor_tree(&muxed, false));
         carries.push(c2);
     }
@@ -452,8 +488,11 @@ fn c5315() -> Circuit {
         let (s1, c1) = b.ripple_adder(&a, &x, cin);
         let xr: Vec<Signal> = (0..9).map(|i| x[(i + 3) % 9]).collect();
         let (s2, c2) = b.ripple_adder(&s1, &xr, c1);
-        let muxed: Vec<Signal> =
-            s2.iter().zip(&s1).map(|(&p, &q)| b.mux2(p, q, sel[s % 3])).collect();
+        let muxed: Vec<Signal> = s2
+            .iter()
+            .zip(&s1)
+            .map(|(&p, &q)| b.mux2(p, q, sel[s % 3]))
+            .collect();
         let eq = b.equality(&s2, &a);
         for (i, &m) in muxed.iter().enumerate() {
             core_pos.push((format!("r{s}_{i}"), m));
@@ -538,10 +577,16 @@ fn c7552() -> Circuit {
     let par_a = b.xor_tree(&a, false);
     let par_b = b.xor_tree(&x, false);
     // Output select stage: sum vs. third operand.
-    let result: Vec<Signal> =
-        sums.iter().zip(&y).map(|(&s, &t)| b.mux2(s, t, gt)).collect();
-    let mut core_pos: Vec<(String, Signal)> =
-        result.iter().enumerate().map(|(i, &s)| (format!("s{i}"), s)).collect();
+    let result: Vec<Signal> = sums
+        .iter()
+        .zip(&y)
+        .map(|(&s, &t)| b.mux2(s, t, gt))
+        .collect();
+    let mut core_pos: Vec<(String, Signal)> = result
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (format!("s{i}"), s))
+        .collect();
     core_pos.push(("cout".into(), cout));
     core_pos.push(("eq".into(), eq));
     core_pos.push(("gt".into(), gt));
@@ -651,7 +696,10 @@ mod tests {
     fn from_name_round_trips() {
         for bench in Benchmark::ALL {
             assert_eq!(Benchmark::from_name(bench.name()), Some(bench));
-            assert_eq!(Benchmark::from_name(&bench.name().to_uppercase()), Some(bench));
+            assert_eq!(
+                Benchmark::from_name(&bench.name().to_uppercase()),
+                Some(bench)
+            );
         }
         assert_eq!(Benchmark::from_name("c17"), None);
     }

@@ -42,8 +42,7 @@ impl Placement {
     /// Places `circuit` with the given style and the default die size.
     pub fn generate(circuit: &Circuit, style: PlacementStyle) -> Placement {
         let side = DEFAULT_PITCH_UM * (circuit.gate_count().max(1) as f64).sqrt().ceil();
-        Placement::generate_on_die(circuit, style, side)
-            .expect("default die side is positive")
+        Placement::generate_on_die(circuit, style, side).expect("default die side is positive")
     }
 
     /// Places `circuit` on a square die of side `die_side` microns.
@@ -91,7 +90,10 @@ impl Placement {
                     .collect()
             }
         };
-        Ok(Placement { positions, die_side })
+        Ok(Placement {
+            positions,
+            die_side,
+        })
     }
 
     /// Builds a placement from explicit per-gate coordinates (e.g. parsed
@@ -126,7 +128,10 @@ impl Placement {
                 });
             }
         }
-        Ok(Placement { positions, die_side })
+        Ok(Placement {
+            positions,
+            die_side,
+        })
     }
 
     /// Coordinate of a gate in microns.
@@ -221,7 +226,10 @@ mod tests {
         let c = chain(3);
         assert!(matches!(
             Placement::from_positions(&c, vec![(0.0, 0.0)], 10.0),
-            Err(NetlistError::PlacementMismatch { gates: 3, placed: 1 })
+            Err(NetlistError::PlacementMismatch {
+                gates: 3,
+                placed: 1
+            })
         ));
         let ok = Placement::from_positions(&c, vec![(1.0, 1.0); 3], 10.0).unwrap();
         assert_eq!(ok.len(), 3);

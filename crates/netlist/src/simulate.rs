@@ -205,8 +205,8 @@ mod tests {
             ins.push(cv == 1);
             let out = simulate_once(&c, &ins).unwrap();
             let mut got = 0u16;
-            for i in 0..8 {
-                if out[i] {
+            for (i, &bit) in out.iter().enumerate().take(8) {
+                if bit {
                     got |= 1 << i;
                 }
             }
@@ -227,9 +227,9 @@ mod tests {
         b.output("m", m);
         let c = b.finish();
         // sel=0 → a, sel=1 → b.
-        assert_eq!(simulate_once(&c, &[true, false, false]).unwrap()[0], true);
-        assert_eq!(simulate_once(&c, &[true, false, true]).unwrap()[0], false);
-        assert_eq!(simulate_once(&c, &[false, true, true]).unwrap()[0], true);
+        assert!(simulate_once(&c, &[true, false, false]).unwrap()[0]);
+        assert!(!simulate_once(&c, &[true, false, true]).unwrap()[0]);
+        assert!(simulate_once(&c, &[false, true, true]).unwrap()[0]);
     }
 
     #[test]
@@ -305,7 +305,11 @@ mod tests {
             for pattern in 0..128u32 {
                 let bits: Vec<bool> = (0..7).map(|i| (pattern >> i) & 1 == 1).collect();
                 let out = simulate_once(&c, &bits).unwrap();
-                assert_eq!(out[0], pattern.count_ones() % 2 == 1, "pattern {pattern:07b}");
+                assert_eq!(
+                    out[0],
+                    pattern.count_ones() % 2 == 1,
+                    "pattern {pattern:07b}"
+                );
             }
         }
     }

@@ -40,11 +40,21 @@ pub fn write(circuit: &Circuit) -> String {
         .map(String::as_str)
         .chain(po_nets.iter().copied())
         .collect();
-    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    );
     let _ = writeln!(
         out,
         "  input {};",
-        circuit.input_names().iter().map(String::as_str).collect::<Vec<_>>().join(", ")
+        circuit
+            .input_names()
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     let _ = writeln!(out, "  output {};", po_nets.join(", "));
     let wires: Vec<&str> = circuit
@@ -84,10 +94,18 @@ fn kind_from_primitive(name: &str, fan_in: usize) -> Option<GateKind> {
     match name {
         "not" if fan_in == 1 => Some(GateKind::Inv),
         "buf" if fan_in == 1 => Some(GateKind::Buf),
-        "nand" => (2..=9).contains(&fan_in).then_some(GateKind::Nand(fan_in as u8)),
-        "nor" => (2..=9).contains(&fan_in).then_some(GateKind::Nor(fan_in as u8)),
-        "and" => (2..=9).contains(&fan_in).then_some(GateKind::And(fan_in as u8)),
-        "or" => (2..=9).contains(&fan_in).then_some(GateKind::Or(fan_in as u8)),
+        "nand" => (2..=9)
+            .contains(&fan_in)
+            .then_some(GateKind::Nand(fan_in as u8)),
+        "nor" => (2..=9)
+            .contains(&fan_in)
+            .then_some(GateKind::Nor(fan_in as u8)),
+        "and" => (2..=9)
+            .contains(&fan_in)
+            .then_some(GateKind::And(fan_in as u8)),
+        "or" => (2..=9)
+            .contains(&fan_in)
+            .then_some(GateKind::Or(fan_in as u8)),
         "xor" if fan_in == 2 => Some(GateKind::Xor2),
         "xnor" if fan_in == 2 => Some(GateKind::Xnor2),
         _ => None,
@@ -97,7 +115,13 @@ fn kind_from_primitive(name: &str, fan_in: usize) -> Option<GateKind> {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'm');
@@ -165,13 +189,17 @@ pub fn parse(text: &str) -> Result<Circuit> {
                     line: stmt_no + 1,
                     message: "missing `)`".into(),
                 })?;
-                let mut terms = stmt[open + 1..close].split(',').map(|s| s.trim().to_string());
-                let out = terms.next().filter(|s| !s.is_empty()).ok_or_else(|| {
-                    NetlistError::Parse {
-                        line: stmt_no + 1,
-                        message: "instance needs an output terminal".into(),
-                    }
-                })?;
+                let mut terms = stmt[open + 1..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string());
+                let out =
+                    terms
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| NetlistError::Parse {
+                            line: stmt_no + 1,
+                            message: "instance needs an output terminal".into(),
+                        })?;
                 let ins: Vec<String> = terms.collect();
                 if ins.is_empty() {
                     return Err(NetlistError::Parse {
@@ -179,7 +207,12 @@ pub fn parse(text: &str) -> Result<Circuit> {
                         message: "instance needs input terminals".into(),
                     });
                 }
-                insts.push(Inst { line: stmt_no + 1, prim: prim.to_string(), out, ins });
+                insts.push(Inst {
+                    line: stmt_no + 1,
+                    prim: prim.to_string(),
+                    out,
+                    ins,
+                });
             }
         }
     }
@@ -198,7 +231,11 @@ pub fn parse(text: &str) -> Result<Circuit> {
             let sigs: Option<Vec<Signal>> = inst
                 .ins
                 .iter()
-                .map(|n| circuit.find(n).or_else(|| resolved.get(n.as_str()).copied()))
+                .map(|n| {
+                    circuit
+                        .find(n)
+                        .or_else(|| resolved.get(n.as_str()).copied())
+                })
                 .collect();
             match sigs {
                 Some(sigs) => {
@@ -278,7 +315,7 @@ endmodule
         // Function identical on a few random-ish stimulus vectors.
         for seed in [0u64, 0xDEAD, 0x1234_5678] {
             let bits: Vec<bool> = (0..original.input_count())
-                .map(|i| (seed >> (i % 64)) & 1 == 1 || (i * 7 + seed as usize) % 3 == 0)
+                .map(|i| (seed >> (i % 64)) & 1 == 1 || (i * 7 + seed as usize).is_multiple_of(3))
                 .collect();
             let a = simulate_once(&original, &bits).unwrap();
             let b = simulate_once(&reread, &bits).unwrap();
@@ -324,13 +361,19 @@ endmodule
     #[test]
     fn rejects_unknown_primitive() {
         let text = "module t (a, z);\n input a;\n output z;\n mux2 u0 (z, a, a);\nendmodule\n";
-        assert!(matches!(parse(text), Err(NetlistError::UnsupportedGate { .. })));
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::UnsupportedGate { .. })
+        ));
     }
 
     #[test]
     fn rejects_undefined_net() {
         let text = "module t (a, z);\n input a;\n output z;\n not u0 (z, ghost);\nendmodule\n";
-        assert!(matches!(parse(text), Err(NetlistError::UndefinedName { .. })));
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::UndefinedName { .. })
+        ));
     }
 
     #[test]

@@ -11,15 +11,14 @@ use statim_process::GateKind;
 /// that point, so construction is always valid).
 fn arb_circuit() -> impl Strategy<Value = Circuit> {
     (
-        1usize..8,                                          // inputs
+        1usize..8, // inputs
         proptest::collection::vec((0u8..8, prop::collection::vec(0usize..1000, 4)), 1..60),
-        1usize..5,                                          // outputs
+        1usize..5, // outputs
     )
         .prop_map(|(n_inputs, gate_specs, n_outputs)| {
             let mut b = Builder::new("random");
-            let mut signals: Vec<Signal> = (0..n_inputs)
-                .map(|i| b.input(format!("i{i}")))
-                .collect();
+            let mut signals: Vec<Signal> =
+                (0..n_inputs).map(|i| b.input(format!("i{i}"))).collect();
             for (kind_sel, input_sels) in gate_specs {
                 let kind = match kind_sel {
                     0 => GateKind::Inv,

@@ -10,7 +10,12 @@ fn main() {
     let vars = Variations::date05();
     let load = Load::fanout(2);
     println!("gate      tp(ps)   |dtp/dx|*sigma per parameter (ps)");
-    for kind in [GateKind::Nand(2), GateKind::Nor(2), GateKind::Inv, GateKind::Xnor2] {
+    for kind in [
+        GateKind::Nand(2),
+        GateKind::Nor(2),
+        GateKind::Inv,
+        GateKind::Xnor2,
+    ] {
         let ab = tech.alpha_beta(kind, &load);
         let tp = to_ps(gate_delay(&tech, &ab, &tech.nominal_point()));
         let g = delay_gradient(&tech, &ab, &tech.nominal_point());

@@ -69,15 +69,13 @@ impl CornerSpec {
     /// The slowest ("worst-case") operating point: every parameter moved
     /// `k·σ` in its delay-increasing direction.
     pub fn worst_point(&self, tech: &Technology, vars: &Variations) -> OperatingPoint {
-        let delta =
-            PerParam::from_fn(|p| p.worst_direction() * self.k * vars.sigma.get(p));
+        let delta = PerParam::from_fn(|p| p.worst_direction() * self.k * vars.sigma.get(p));
         tech.nominal_point().shifted(&delta)
     }
 
     /// The fastest ("best-case") operating point.
     pub fn best_point(&self, tech: &Technology, vars: &Variations) -> OperatingPoint {
-        let delta =
-            PerParam::from_fn(|p| -p.worst_direction() * self.k * vars.sigma.get(p));
+        let delta = PerParam::from_fn(|p| -p.worst_direction() * self.k * vars.sigma.get(p));
         tech.nominal_point().shifted(&delta)
     }
 }
@@ -129,7 +127,13 @@ mod tests {
         // 2-NAND > 2-XNOR > 2-NOR > INV.
         let tech = Technology::cmos130();
         let load = Load::fanout(2);
-        let tp = |k| to_ps(gate_delay(&tech, &tech.alpha_beta(k, &load), &tech.nominal_point()));
+        let tp = |k| {
+            to_ps(gate_delay(
+                &tech,
+                &tech.alpha_beta(k, &load),
+                &tech.nominal_point(),
+            ))
+        };
         let (nand, nor, inv, xnor) = (
             tp(GateKind::Nand(2)),
             tp(GateKind::Nor(2)),
@@ -148,7 +152,11 @@ mod tests {
         let ab = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
         let nom = gate_delay(&tech, &ab, &tech.nominal_point());
         let worst = worst_case_delay(&tech, &ab, &vars, CornerSpec::three_sigma());
-        let best = gate_delay(&tech, &ab, &CornerSpec::three_sigma().best_point(&tech, &vars));
+        let best = gate_delay(
+            &tech,
+            &ab,
+            &CornerSpec::three_sigma().best_point(&tech, &vars),
+        );
         assert!(worst > nom);
         assert!(best < nom);
         // The paper's Table 2 shows worst-case ≈ 2× nominal at this corner.

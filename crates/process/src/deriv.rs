@@ -64,7 +64,8 @@ pub fn delay_gradient(tech: &Technology, ab: &AlphaBeta, pt: &OperatingPoint) ->
         Param::Leff => k * pt.tox() * h,
         Param::Vdd => {
             k * geom
-                * (ab.alpha * kernel_dv(pt.vdd(), pt.vtn()) + ab.beta * kernel_dv(pt.vdd(), pt.vtp()))
+                * (ab.alpha * kernel_dv(pt.vdd(), pt.vtn())
+                    + ab.beta * kernel_dv(pt.vdd(), pt.vtp()))
         }
         Param::Vtn => k * geom * ab.alpha * kernel_dt(pt.vdd(), pt.vtn()),
         Param::Vtp => k * geom * ab.beta * kernel_dt(pt.vdd(), pt.vtp()),
@@ -205,7 +206,13 @@ mod tests {
         let delta = PerParam::from_fn(|p| p.worst_direction() * vars.sigma.get(p));
         let exact = gate_delay(&tech, &ab, &pt.shifted(&delta));
         let lin = gate_delay(&tech, &ab, &pt)
-            + Param::ALL.iter().map(|&p| g.get(p) * delta.get(p)).sum::<f64>();
-        assert!((exact - lin).abs() / exact < 0.02, "exact {exact:e} lin {lin:e}");
+            + Param::ALL
+                .iter()
+                .map(|&p| g.get(p) * delta.get(p))
+                .sum::<f64>();
+        assert!(
+            (exact - lin).abs() / exact < 0.02,
+            "exact {exact:e} lin {lin:e}"
+        );
     }
 }

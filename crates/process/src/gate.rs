@@ -36,9 +36,7 @@ impl GateKind {
     pub fn fan_in(&self) -> usize {
         match *self {
             GateKind::Inv | GateKind::Buf => 1,
-            GateKind::Nand(n) | GateKind::Nor(n) | GateKind::And(n) | GateKind::Or(n) => {
-                n as usize
-            }
+            GateKind::Nand(n) | GateKind::Nor(n) | GateKind::And(n) | GateKind::Or(n) => n as usize,
             GateKind::Xor2 | GateKind::Xnor2 => 2,
         }
     }
@@ -138,17 +136,26 @@ pub struct Load {
 impl Load {
     /// A load of `pins` fan-out pins with the default wire capacitance.
     pub fn fanout(pins: usize) -> Self {
-        Load { fanout_pins: pins, wire_cap_override: None }
+        Load {
+            fanout_pins: pins,
+            wire_cap_override: None,
+        }
     }
 
     /// A load with explicit wire capacitance (farads).
     pub fn with_wire(pins: usize, wire_cap: f64) -> Self {
-        Load { fanout_pins: pins, wire_cap_override: Some(wire_cap) }
+        Load {
+            fanout_pins: pins,
+            wire_cap_override: Some(wire_cap),
+        }
     }
 
     /// The zero-wire single-pin load of an internal composite-gate node.
     pub(crate) fn internal() -> Self {
-        Load { fanout_pins: 0, wire_cap_override: Some(0.0) }
+        Load {
+            fanout_pins: 0,
+            wire_cap_override: Some(0.0),
+        }
     }
 
     /// Wire capacitance under `tech`.

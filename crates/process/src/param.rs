@@ -166,13 +166,19 @@ impl Variations {
         sigma.set(Param::Vdd, 40e-3);
         sigma.set(Param::Vtn, 13e-3);
         sigma.set(Param::Vtp, 14e-3);
-        Variations { sigma, trunc_k: 6.0 }
+        Variations {
+            sigma,
+            trunc_k: 6.0,
+        }
     }
 
     /// Returns a copy with every σ scaled by `factor` (used by variability
     /// sweeps and ablations).
     pub fn scaled(&self, factor: f64) -> Self {
-        Variations { sigma: self.sigma.map(|_, s| s * factor), trunc_k: self.trunc_k }
+        Variations {
+            sigma: self.sigma.map(|_, s| s * factor),
+            trunc_k: self.trunc_k,
+        }
     }
 }
 

@@ -33,8 +33,12 @@ pub struct SensitivityTable {
 }
 
 /// The gate set of the paper's Table 1, in its column order.
-pub const TABLE1_GATES: [GateKind; 4] =
-    [GateKind::Nand(2), GateKind::Nor(2), GateKind::Inv, GateKind::Xnor2];
+pub const TABLE1_GATES: [GateKind; 4] = [
+    GateKind::Nand(2),
+    GateKind::Nor(2),
+    GateKind::Inv,
+    GateKind::Xnor2,
+];
 
 /// Computes the sensitivity table for `kinds`, each driving `load`.
 pub fn sensitivity_table(
@@ -49,8 +53,7 @@ pub fn sensitivity_table(
         .map(|&kind| {
             let ab = tech.alpha_beta(kind, load);
             let g = delay_gradient(tech, &ab, &pt);
-            let swing_ps =
-                PerParam::from_fn(|p| to_ps((g.get(p) * vars.sigma.get(p)).abs()));
+            let swing_ps = PerParam::from_fn(|p| to_ps((g.get(p) * vars.sigma.get(p)).abs()));
             SensitivityRow {
                 kind,
                 nominal_ps: to_ps(crate::delay::gate_delay(tech, &ab, &pt)),

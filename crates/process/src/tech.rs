@@ -121,10 +121,12 @@ impl Technology {
     pub fn alpha_beta(&self, kind: GateKind, load: &Load) -> AlphaBeta {
         let cn = self.output_cap(kind, load);
         let fi = kind.fan_in() as f64;
-        let (cd, mun_wn, mup_wp) =
-            (self.c_drain, self.mu_n * self.w_n, self.mu_p * self.w_p);
+        let (cd, mun_wn, mup_wp) = (self.c_drain, self.mu_n * self.w_n, self.mu_p * self.w_p);
         match kind {
-            GateKind::Inv => AlphaBeta { alpha: cn / mun_wn, beta: cn / mup_wp },
+            GateKind::Inv => AlphaBeta {
+                alpha: cn / mun_wn,
+                beta: cn / mup_wp,
+            },
             GateKind::Nand(_) => AlphaBeta {
                 alpha: (cd * fi * (fi - 1.0) + fi * cn) / mun_wn,
                 beta: cn / mup_wp,
@@ -152,12 +154,18 @@ impl Technology {
             GateKind::And(n) => {
                 let inner = self.alpha_beta(GateKind::Nand(n), &Load::internal());
                 let outer = self.alpha_beta(GateKind::Inv, load);
-                AlphaBeta { alpha: inner.alpha + outer.alpha, beta: inner.beta + outer.beta }
+                AlphaBeta {
+                    alpha: inner.alpha + outer.alpha,
+                    beta: inner.beta + outer.beta,
+                }
             }
             GateKind::Or(n) => {
                 let inner = self.alpha_beta(GateKind::Nor(n), &Load::internal());
                 let outer = self.alpha_beta(GateKind::Inv, load);
-                AlphaBeta { alpha: inner.alpha + outer.alpha, beta: inner.beta + outer.beta }
+                AlphaBeta {
+                    alpha: inner.alpha + outer.alpha,
+                    beta: inner.beta + outer.beta,
+                }
             }
         }
     }
@@ -203,7 +211,9 @@ impl OperatingPoint {
     /// Returns a copy with every parameter shifted by the corresponding
     /// entry of `delta`.
     pub fn shifted(&self, delta: &PerParam) -> Self {
-        OperatingPoint { values: PerParam::from_fn(|p| self.values.get(p) + delta.get(p)) }
+        OperatingPoint {
+            values: PerParam::from_fn(|p| self.values.get(p) + delta.get(p)),
+        }
     }
 
     /// Convenience accessors in paper notation.

@@ -32,11 +32,11 @@ fn arb_load() -> impl Strategy<Value = Load> {
 /// (Vdd well above both thresholds).
 fn arb_point() -> impl Strategy<Value = OperatingPoint> {
     (
-        1.5e-9..6e-9f64,    // tox
-        40e-9..200e-9f64,   // leff
-        1.1..2.0f64,        // vdd
-        0.25..0.55f64,      // vtn
-        0.25..0.55f64,      // vtp
+        1.5e-9..6e-9f64,  // tox
+        40e-9..200e-9f64, // leff
+        1.1..2.0f64,      // vdd
+        0.25..0.55f64,    // vtn
+        0.25..0.55f64,    // vtp
     )
         .prop_map(|(tox, leff, vdd, vtn, vtp)| OperatingPoint {
             values: PerParam([tox, leff, vdd, vtn, vtp]),

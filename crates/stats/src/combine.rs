@@ -20,7 +20,9 @@ use crate::{Result, StatsError};
 /// cells, padding degenerate ranges so the grid is valid.
 fn output_grid(lo: f64, hi: f64, quality: usize) -> Result<Grid> {
     if !lo.is_finite() || !hi.is_finite() {
-        return Err(StatsError::NonFinite { what: "mapped values" });
+        return Err(StatsError::NonFinite {
+            what: "mapped values",
+        });
     }
     let (lo, hi) = if hi - lo > 0.0 {
         (lo, hi)
@@ -53,7 +55,9 @@ pub fn map1(p: &Pdf, quality: usize, mut f: impl FnMut(f64) -> f64) -> Result<Pd
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in &vals {
         if !v.is_finite() {
-            return Err(StatsError::NonFinite { what: "map1 output" });
+            return Err(StatsError::NonFinite {
+                what: "map1 output",
+            });
         }
         lo = lo.min(v);
         hi = hi.max(v);
@@ -83,7 +87,9 @@ pub fn map2(a: &Pdf, b: &Pdf, quality: usize, mut f: impl FnMut(f64, f64) -> f64
         for &y in &ys {
             let v = f(x, y);
             if !v.is_finite() {
-                return Err(StatsError::NonFinite { what: "map2 output" });
+                return Err(StatsError::NonFinite {
+                    what: "map2 output",
+                });
             }
             lo = lo.min(v);
             hi = hi.max(v);
@@ -132,7 +138,9 @@ pub fn map3(
             for &z in &zs {
                 let v = f(x, y, z);
                 if !v.is_finite() {
-                    return Err(StatsError::NonFinite { what: "map3 output" });
+                    return Err(StatsError::NonFinite {
+                        what: "map3 output",
+                    });
                 }
                 lo = lo.min(v);
                 hi = hi.max(v);
@@ -319,7 +327,7 @@ mod tests {
         assert!(m4.mean() > m2.mean());
         assert!(max_pdf_many(&[], 10).is_err());
         // Single operand: unchanged.
-        let m1 = max_pdf_many(&[a.clone()], 150).unwrap();
+        let m1 = max_pdf_many(std::slice::from_ref(&a), 150).unwrap();
         assert!((m1.mean() - a.mean()).abs() < 1e-9);
     }
 }

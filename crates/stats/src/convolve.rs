@@ -35,7 +35,10 @@ use crate::{Result, StatsError};
 pub fn sum_pdf(a: &Pdf, b: &Pdf) -> Result<Pdf> {
     let (ga, gb) = (a.grid(), b.grid());
     if !steps_compatible(ga.step(), gb.step()) {
-        return Err(StatsError::StepMismatch { left: ga.step(), right: gb.step() });
+        return Err(StatsError::StepMismatch {
+            left: ga.step(),
+            right: gb.step(),
+        });
     }
     let step = ga.step();
     let n = ga.len() + gb.len() - 1;
@@ -91,8 +94,11 @@ pub fn sum_pdf_many(pdfs: &[Pdf]) -> Result<Pdf> {
 ///
 /// Propagates grid-construction failures.
 pub fn sum_pdf_resampled(a: &Pdf, b: &Pdf, quality: usize) -> Result<Pdf> {
-    let (fine, coarse) =
-        if a.grid().step() <= b.grid().step() { (a, b) } else { (b, a) };
+    let (fine, coarse) = if a.grid().step() <= b.grid().step() {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let coarse_span = coarse.grid().hi() - coarse.grid().lo();
     let cells_on_fine = coarse_span / fine.grid().step();
     let (base, other) = if cells_on_fine <= (quality.max(64) * 64) as f64 {
@@ -138,7 +144,10 @@ mod tests {
     fn step_mismatch_rejected() {
         let a = Pdf::new(Grid::new(0.0, 0.1, 10).unwrap(), vec![1.0; 10]).unwrap();
         let b = Pdf::new(Grid::new(0.0, 0.2, 10).unwrap(), vec![1.0; 10]).unwrap();
-        assert!(matches!(sum_pdf(&a, &b), Err(StatsError::StepMismatch { .. })));
+        assert!(matches!(
+            sum_pdf(&a, &b),
+            Err(StatsError::StepMismatch { .. })
+        ));
     }
 
     #[test]

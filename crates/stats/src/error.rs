@@ -62,7 +62,10 @@ impl fmt::Display for StatsError {
             }
             StatsError::NonFinite { what } => write!(f, "non-finite value in {what}"),
             StatsError::LengthMismatch { grid, density } => {
-                write!(f, "density length {density} does not match grid of {grid} cells")
+                write!(
+                    f,
+                    "density length {density} does not match grid of {grid} cells"
+                )
             }
             StatsError::ZeroMass => write!(f, "distribution has no probability mass"),
             StatsError::NegativeDensity { index, value } => {

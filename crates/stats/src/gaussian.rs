@@ -43,7 +43,7 @@ pub fn erfc(x: f64) -> f64 {
 /// Maclaurin series `erf(x) = 2/√π · Σ (−1)ⁿ x^{2n+1} / (n!(2n+1))`,
 /// adequate for `0 ≤ x < 3` in double precision.
 fn erf_series(x: f64) -> f64 {
-    const FRAC_2_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+    use std::f64::consts::FRAC_2_SQRT_PI;
     let x2 = x * x;
     let mut term = x;
     let mut sum = x;
@@ -96,7 +96,7 @@ pub fn inv_phi(p: f64) -> Result<f64> {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -159,7 +159,9 @@ impl Gaussian {
     /// Returns an error if `sigma <= 0` or either parameter is non-finite.
     pub fn new(mean: f64, sigma: f64) -> Result<Self> {
         if !mean.is_finite() || !sigma.is_finite() {
-            return Err(StatsError::NonFinite { what: "gaussian parameters" });
+            return Err(StatsError::NonFinite {
+                what: "gaussian parameters",
+            });
         }
         if sigma <= 0.0 {
             return Err(StatsError::NonPositiveScale { value: sigma });

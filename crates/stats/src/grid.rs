@@ -33,7 +33,9 @@ impl Grid {
     /// ```
     pub fn new(lo: f64, step: f64, n: usize) -> Result<Self> {
         if !lo.is_finite() || !step.is_finite() {
-            return Err(StatsError::NonFinite { what: "grid bounds" });
+            return Err(StatsError::NonFinite {
+                what: "grid bounds",
+            });
         }
         if n == 0 || step <= 0.0 {
             return Err(StatsError::EmptyGrid { cells: n, step });
@@ -58,10 +60,15 @@ impl Grid {
     /// ```
     pub fn over(lo: f64, hi: f64, n: usize) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() {
-            return Err(StatsError::NonFinite { what: "grid bounds" });
+            return Err(StatsError::NonFinite {
+                what: "grid bounds",
+            });
         }
         if n == 0 || hi <= lo {
-            return Err(StatsError::EmptyGrid { cells: n, step: (hi - lo) / n.max(1) as f64 });
+            return Err(StatsError::EmptyGrid {
+                cells: n,
+                step: (hi - lo) / n.max(1) as f64,
+            });
         }
         Grid::new(lo, (hi - lo) / n as f64, n)
     }
@@ -112,7 +119,11 @@ impl Grid {
     /// final cell).
     #[inline]
     pub fn edge(&self, i: usize) -> f64 {
-        assert!(i <= self.n, "edge index {i} out of range ({} cells)", self.n);
+        assert!(
+            i <= self.n,
+            "edge index {i} out of range ({} cells)",
+            self.n
+        );
         self.lo + i as f64 * self.step
     }
 
@@ -163,7 +174,10 @@ impl Grid {
     /// than one part in 10⁹.
     pub fn union(&self, other: &Grid) -> Result<Grid> {
         if !steps_compatible(self.step, other.step) {
-            return Err(StatsError::StepMismatch { left: self.step, right: other.step });
+            return Err(StatsError::StepMismatch {
+                left: self.step,
+                right: other.step,
+            });
         }
         let lo = self.lo.min(other.lo);
         let hi = self.hi().max(other.hi());

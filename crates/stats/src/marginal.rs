@@ -55,13 +55,7 @@ impl Marginal {
 
     /// Draws one sample with the given mean and σ (`trunc_k` applies to
     /// the Gaussian only).
-    pub fn sample<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        mean: f64,
-        sigma: f64,
-        trunc_k: f64,
-    ) -> f64 {
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, mean: f64, sigma: f64, trunc_k: f64) -> f64 {
         match self {
             Marginal::Gaussian => truncated_normal(rng, mean, sigma, trunc_k),
             Marginal::Uniform => {
@@ -99,8 +93,16 @@ mod tests {
     fn all_marginals_match_requested_moments() {
         for m in [Marginal::Gaussian, Marginal::Uniform, Marginal::Triangular] {
             let pdf = m.pdf(10.0, 2.0, 6.0, 400).unwrap();
-            assert!((pdf.mean() - 10.0).abs() < 1e-6, "{m:?} mean {}", pdf.mean());
-            assert!((pdf.std_dev() - 2.0).abs() < 0.02, "{m:?} σ {}", pdf.std_dev());
+            assert!(
+                (pdf.mean() - 10.0).abs() < 1e-6,
+                "{m:?} mean {}",
+                pdf.mean()
+            );
+            assert!(
+                (pdf.std_dev() - 2.0).abs() < 0.02,
+                "{m:?} σ {}",
+                pdf.std_dev()
+            );
             assert!((pdf.mass() - 1.0).abs() < 1e-9);
         }
     }
@@ -130,7 +132,9 @@ mod tests {
     fn samples_match_pdf_moments() {
         let mut rng = StdRng::seed_from_u64(1);
         for m in [Marginal::Gaussian, Marginal::Uniform, Marginal::Triangular] {
-            let xs: Vec<f64> = (0..40_000).map(|_| m.sample(&mut rng, 3.0, 0.5, 6.0)).collect();
+            let xs: Vec<f64> = (0..40_000)
+                .map(|_| m.sample(&mut rng, 3.0, 0.5, 6.0))
+                .collect();
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
             assert!((mean - 3.0).abs() < 0.01, "{m:?}");

@@ -48,7 +48,10 @@ impl Pdf {
     /// Returns an error on length mismatch, negative or non-finite density.
     pub fn unnormalized(grid: Grid, density: Vec<f64>) -> Result<Self> {
         if density.len() != grid.len() {
-            return Err(StatsError::LengthMismatch { grid: grid.len(), density: density.len() });
+            return Err(StatsError::LengthMismatch {
+                grid: grid.len(),
+                density: density.len(),
+            });
         }
         for (i, &d) in density.iter().enumerate() {
             if !d.is_finite() {
@@ -103,7 +106,9 @@ impl Pdf {
     /// Returns an error if `x` is not finite.
     pub fn delta(grid: Grid, x: f64) -> Result<Self> {
         if !x.is_finite() {
-            return Err(StatsError::NonFinite { what: "delta location" });
+            return Err(StatsError::NonFinite {
+                what: "delta location",
+            });
         }
         let mut density = vec![0.0; grid.len()];
         density[grid.clamp_cell_of(x)] = 1.0;
@@ -150,7 +155,10 @@ impl Pdf {
             return Err(StatsError::ZeroMass);
         }
         let density = self.density.iter().map(|d| d / m).collect();
-        Ok(Pdf { grid: self.grid, density })
+        Ok(Pdf {
+            grid: self.grid,
+            density,
+        })
     }
 
     /// Mean `E[X]`, computed from cell centers.
@@ -300,7 +308,9 @@ impl Pdf {
     /// Returns an error if `a == 0` or either coefficient is non-finite.
     pub fn affine(&self, a: f64, b: f64) -> Result<Pdf> {
         if !a.is_finite() || !b.is_finite() {
-            return Err(StatsError::NonFinite { what: "affine coefficients" });
+            return Err(StatsError::NonFinite {
+                what: "affine coefficients",
+            });
         }
         if a == 0.0 {
             return Err(StatsError::NonPositiveScale { value: a });
@@ -308,7 +318,10 @@ impl Pdf {
         let n = self.grid.len();
         let step = self.grid.step() * a.abs();
         let (lo, density) = if a > 0.0 {
-            (a * self.grid.lo() + b, self.density.iter().map(|d| d / a).collect())
+            (
+                a * self.grid.lo() + b,
+                self.density.iter().map(|d| d / a).collect(),
+            )
         } else {
             (
                 a * self.grid.hi() + b,
@@ -356,16 +369,19 @@ impl Pdf {
             if i0 == i1 {
                 density[i0] += in_mass / tgt_step;
             } else {
-                for j in i0..=i1 {
+                for (j, cell) in density.iter_mut().enumerate().take(i1 + 1).skip(i0) {
                     let ja = target.edge(j).max(ca);
                     let jb = target.edge(j + 1).min(cb);
                     if jb > ja {
-                        density[j] += in_mass * (jb - ja) / (cb - ca) / tgt_step;
+                        *cell += in_mass * (jb - ja) / (cb - ca) / tgt_step;
                     }
                 }
             }
         }
-        Pdf { grid: target, density }
+        Pdf {
+            grid: target,
+            density,
+        }
     }
 
     /// Returns a copy resampled to exactly `n` cells over the current span.
@@ -389,7 +405,10 @@ impl Pdf {
             .density
             .iter()
             .enumerate()
-            .fold((0, f64::MIN), |best, (i, &d)| if d > best.1 { (i, d) } else { best });
+            .fold(
+                (0, f64::MIN),
+                |best, (i, &d)| if d > best.1 { (i, d) } else { best },
+            );
         self.grid.center(i)
     }
 
@@ -463,7 +482,10 @@ mod tests {
             Pdf::new(g, vec![1.0, -0.5]),
             Err(StatsError::NegativeDensity { index: 1, .. })
         ));
-        assert!(matches!(Pdf::new(g, vec![0.0, 0.0]), Err(StatsError::ZeroMass)));
+        assert!(matches!(
+            Pdf::new(g, vec![0.0, 0.0]),
+            Err(StatsError::ZeroMass)
+        ));
         assert!(Pdf::new(g, vec![f64::NAN, 1.0]).is_err());
     }
 

@@ -155,7 +155,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10_000 {
             let x = truncated_normal(&mut rng, 10.0, 2.0, 3.0);
-            assert!(x >= 4.0 && x <= 16.0);
+            assert!((4.0..=16.0).contains(&x));
         }
     }
 }

@@ -24,7 +24,10 @@ impl Series {
             .centers()
             .zip(pdf.density().iter().copied())
             .collect();
-        Series { label: label.into(), points }
+        Series {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -97,7 +100,13 @@ pub fn ascii_plot(pdf: &Pdf, rows: usize, cols: usize) -> String {
         out.push('\n');
     }
     let _ = writeln!(out, "{:-<cols$}", "");
-    let _ = writeln!(out, "{:<12.3}{:>width$.3}", g.lo(), g.hi(), width = cols.saturating_sub(12));
+    let _ = writeln!(
+        out,
+        "{:<12.3}{:>width$.3}",
+        g.lo(),
+        g.hi(),
+        width = cols.saturating_sub(12)
+    );
     out
 }
 
@@ -125,10 +134,10 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out.push_str("|\n");
     hline(&mut out);
     for row in rows {
-        for i in 0..ncols {
+        for (i, width) in widths.iter().enumerate().take(ncols) {
             let empty = String::new();
             let cell = row.get(i).unwrap_or(&empty);
-            let _ = write!(out, "| {:width$} ", cell, width = widths[i]);
+            let _ = write!(out, "| {:width$} ", cell, width = width);
         }
         out.push_str("|\n");
     }

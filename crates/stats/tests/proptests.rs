@@ -11,9 +11,9 @@ use statim_stats::{Grid, Pdf};
 /// (non-degenerate) densities.
 fn arb_pdf() -> impl Strategy<Value = Pdf> {
     (
-        -1e3..1e3f64,                       // lo
-        0.01..10.0f64,                      // step
-        4usize..60,                         // cells
+        -1e3..1e3f64,  // lo
+        0.01..10.0f64, // step
+        4usize..60,    // cells
         proptest::collection::vec(0.0..1e3f64, 60),
     )
         .prop_filter_map("needs positive mass", |(lo, step, n, raw)| {

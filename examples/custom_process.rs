@@ -32,7 +32,9 @@ fn main() {
     let mut config = SstaConfig::date05();
     config.tech = tech;
     config.vars = vars;
-    let report = SstaEngine::new(config).run(&circuit, &placement).expect("flow");
+    let report = SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("flow");
     println!(
         "scaled process: critical mean {:.1} ps, 3σ point {:.1} ps, overestimation {:.1}%",
         report.critical().analysis.mean * 1e12,
@@ -47,7 +49,9 @@ fn main() {
     for scale in [0.25, 0.5, 1.0, 1.5, 2.0] {
         let mut config = SstaConfig::date05();
         config.vars = Variations::date05().scaled(scale);
-        let report = SstaEngine::new(config).run(&circuit, &placement).expect("flow");
+        let report = SstaEngine::new(config)
+            .run(&circuit, &placement)
+            .expect("flow");
         println!(
             "{scale:>5} | {:>12.3} | {:>6} | {:>7.2}",
             report.sigma_c * 1e12,

@@ -39,7 +39,10 @@ fn main() {
         .run(&circuit, &placement)
         .expect("SSTA flow at C = 0.001");
     let ps = |x: f64| x * 1e12;
-    println!("C = 0.001: {} near-critical paths analyzed in {:.2} s", report.num_paths, report.runtime);
+    println!(
+        "C = 0.001: {} near-critical paths analyzed in {:.2} s",
+        report.num_paths, report.runtime
+    );
     let crit = report.critical();
     println!(
         "probabilistic critical path: {} gates, mean {:.1} ps, 3σ point {:.1} ps (det rank {})",

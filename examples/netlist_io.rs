@@ -43,6 +43,9 @@ fn main() {
     let pa = a.critical().analysis.confidence_point * 1e12;
     let pb = b.critical().analysis.confidence_point * 1e12;
     println!("3σ point original: {pa:.3} ps, after round trip: {pb:.3} ps");
-    assert!((pa - pb).abs() < 0.01, "round trip must not change the analysis");
+    assert!(
+        (pa - pb).abs() < 0.01,
+        "round trip must not change the analysis"
+    );
     println!("round trip OK");
 }

@@ -37,11 +37,19 @@ fn main() {
     b.output("eq", eq);
     b.output("par", par);
     let circuit = b.finish();
-    println!("STEP 0 — the circuit: {} gates, depth {}", circuit.gate_count(), circuit.depth());
+    println!(
+        "STEP 0 — the circuit: {} gates, depth {}",
+        circuit.gate_count(),
+        circuit.depth()
+    );
 
     // Placement: the correlation model needs coordinates.
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
-    println!("         placed on a {:.0}×{:.0} µm die\n", placement.die_side(), placement.die_side());
+    println!(
+        "         placed on a {:.0}×{:.0} µm die\n",
+        placement.die_side(),
+        placement.die_side()
+    );
 
     // STEP 1 — one-time characterization (nominal delays + gradients).
     let tech = Technology::cmos130();
@@ -51,7 +59,11 @@ fn main() {
         .iter()
         .map(|g| g.nominal)
         .fold(0.0f64, f64::max);
-    println!("STEP 1 — characterized {} gates; slowest nominal gate delay {:.2} ps", timing.gates().len(), to_ps(slowest));
+    println!(
+        "STEP 1 — characterized {} gates; slowest nominal gate delay {:.2} ps",
+        timing.gates().len(),
+        to_ps(slowest)
+    );
 
     // STEP 2 — Bellman-Ford labels and the deterministic critical path.
     let labels = bellman_ford(&circuit, &timing).expect("labels");
@@ -64,7 +76,10 @@ fn main() {
         det_path.len()
     );
     let slack = slack_report(&circuit, &timing, &labels, d).expect("slack");
-    println!("         {} gates sit at zero slack", slack.critical_gates(1e-15).len());
+    println!(
+        "         {} gates sit at zero slack",
+        slack.critical_gates(1e-15).len()
+    );
 
     // STEP 3 — probabilistic analysis of that path gives σ_C.
     let settings = AnalysisSettings::date05();
@@ -117,11 +132,10 @@ fn main() {
     );
     println!("\n(see `report::summary` for the packaged view)");
     // The same figures via the report module, on a full engine run.
-    let report = statim::core::SstaEngine::new(
-        statim::core::SstaConfig::date05().with_confidence(c_const),
-    )
-    .run(&circuit, &placement)
-    .expect("engine");
+    let report =
+        statim::core::SstaEngine::new(statim::core::SstaConfig::date05().with_confidence(c_const))
+            .run(&circuit, &placement)
+            .expect("engine");
     print!("{}", report::summary(&report));
     print!("{}", report::path_table(&report, 5));
 }

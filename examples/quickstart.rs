@@ -25,12 +25,21 @@ fn main() {
 
     let ps = |s: f64| s * 1e12;
     println!("circuit {}: {} gates", report.circuit, report.gate_count);
-    println!("deterministic critical delay: {:8.3} ps", ps(report.det_critical_delay));
-    println!("worst-case (3σ corner) delay: {:8.3} ps", ps(report.worst_case_delay));
+    println!(
+        "deterministic critical delay: {:8.3} ps",
+        ps(report.det_critical_delay)
+    );
+    println!(
+        "worst-case (3σ corner) delay: {:8.3} ps",
+        ps(report.worst_case_delay)
+    );
 
     let crit = report.critical();
     println!();
-    println!("probabilistic critical path ({} gates):", crit.analysis.gate_count());
+    println!(
+        "probabilistic critical path ({} gates):",
+        crit.analysis.gate_count()
+    );
     println!("  mean      {:8.3} ps", ps(crit.analysis.mean));
     println!("  sigma     {:8.3} ps", ps(crit.analysis.sigma));
     println!("  3σ point  {:8.3} ps", ps(crit.analysis.confidence_point));

@@ -66,7 +66,10 @@ fn quality_discretization_converges() {
     let medium = (point(50, 25) - finest).abs() / finest;
     let paper_choice = (point(100, 50) - finest).abs() / finest;
     assert!(coarse > medium, "coarse err {coarse} vs medium {medium}");
-    assert!(medium > paper_choice, "medium {medium} vs (100,50) {paper_choice}");
+    assert!(
+        medium > paper_choice,
+        "medium {medium} vs (100,50) {paper_choice}"
+    );
     // The paper's operating point is accurate to well under a percent.
     assert!(paper_choice < 0.01, "(100,50) error {paper_choice}");
 }
@@ -86,7 +89,9 @@ fn sensitivity_table_feeds_variance_ordering() {
     let mut vars = Variations::date05();
     vars.sigma.set(Param::Leff, 1e-15); // effectively zero
     config.vars = vars;
-    let no_leff = SstaEngine::new(config).run(&circuit, &placement).expect("no leff");
+    let no_leff = SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("no leff");
     let s_full = full.critical().analysis.sigma;
     let s_cut = no_leff.critical().analysis.sigma;
     assert!(

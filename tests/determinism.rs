@@ -1,0 +1,184 @@
+//! Determinism regression tests for the parallel execution layer.
+//!
+//! The engine's per-path fan-out and the Monte-Carlo chunking are both
+//! specified to be **bit-identical for any thread count** — parallelism
+//! may only change wall time. These tests pin that contract on C432 and
+//! C499 for `threads ∈ {1, 2, 8}`.
+
+use statim::core::characterize::characterize_placed;
+use statim::core::engine::{SstaConfig, SstaEngine, SstaReport};
+use statim::core::longest_path::{critical_path, topo_labels};
+use statim::core::monte_carlo::{mc_path_criticality_threaded, mc_path_distribution_threaded};
+use statim::core::LayerModel;
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+use statim::process::{Technology, Variations};
+use statim::stats::Marginal;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn run_with_threads(bench: Benchmark, threads: usize) -> SstaReport {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let config = SstaConfig::date05().with_threads(threads);
+    SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("SSTA flow")
+}
+
+/// Every numeric field of the report (timing fields excluded — those
+/// legitimately vary run to run) must match to the bit.
+fn assert_reports_identical(a: &SstaReport, b: &SstaReport, label: &str) {
+    assert_eq!(a.circuit, b.circuit, "{label}: circuit");
+    assert_eq!(a.gate_count, b.gate_count, "{label}: gate_count");
+    assert_eq!(
+        a.det_critical_delay.to_bits(),
+        b.det_critical_delay.to_bits(),
+        "{label}: det_critical_delay"
+    );
+    assert_eq!(
+        a.worst_case_delay.to_bits(),
+        b.worst_case_delay.to_bits(),
+        "{label}: worst_case_delay"
+    );
+    assert_eq!(
+        a.overestimation_pct.to_bits(),
+        b.overestimation_pct.to_bits(),
+        "{label}: overestimation_pct"
+    );
+    assert_eq!(a.sigma_c.to_bits(), b.sigma_c.to_bits(), "{label}: sigma_c");
+    assert_eq!(a.num_paths, b.num_paths, "{label}: num_paths");
+    assert_eq!(a.label_sweeps, b.label_sweeps, "{label}: label_sweeps");
+    assert_eq!(a.paths.len(), b.paths.len(), "{label}: path count");
+    for (i, (pa, pb)) in a.paths.iter().zip(&b.paths).enumerate() {
+        assert_eq!(pa.prob_rank, pb.prob_rank, "{label}: path {i} prob_rank");
+        assert_eq!(pa.det_rank, pb.det_rank, "{label}: path {i} det_rank");
+        assert_eq!(
+            pa.analysis.gates, pb.analysis.gates,
+            "{label}: path {i} gates"
+        );
+        for (name, x, y) in [
+            ("det_delay", pa.analysis.det_delay, pb.analysis.det_delay),
+            ("mean", pa.analysis.mean, pb.analysis.mean),
+            ("sigma", pa.analysis.sigma, pb.analysis.sigma),
+            (
+                "inter_sigma",
+                pa.analysis.inter_sigma,
+                pb.analysis.inter_sigma,
+            ),
+            (
+                "intra_sigma",
+                pa.analysis.intra_sigma,
+                pb.analysis.intra_sigma,
+            ),
+            (
+                "confidence_point",
+                pa.analysis.confidence_point,
+                pb.analysis.confidence_point,
+            ),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: path {i} {name}");
+        }
+    }
+}
+
+#[test]
+fn engine_report_bit_identical_across_thread_counts_c432() {
+    let base = run_with_threads(Benchmark::C432, THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let r = run_with_threads(Benchmark::C432, threads);
+        assert_reports_identical(&base, &r, &format!("c432 threads={threads}"));
+    }
+}
+
+#[test]
+fn engine_report_bit_identical_across_thread_counts_c499() {
+    let base = run_with_threads(Benchmark::C499, THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let r = run_with_threads(Benchmark::C499, threads);
+        assert_reports_identical(&base, &r, &format!("c499 threads={threads}"));
+    }
+}
+
+#[test]
+fn mc_results_bit_identical_across_thread_counts() {
+    for bench in [Benchmark::C432, Benchmark::C499] {
+        let circuit = iscas85::generate(bench);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        let tech = Technology::cmos130();
+        let timing = characterize_placed(&circuit, &tech, &placement).expect("characterize");
+        let labels = topo_labels(&circuit, &timing).expect("labels");
+        let path = critical_path(&circuit, &timing, &labels).expect("critical path");
+        let vars = Variations::date05();
+        let layers = LayerModel::date05();
+        // 2.5 chunks' worth of samples: exercises both full and partial
+        // chunks.
+        let samples = 10_000;
+        let base = mc_path_distribution_threaded(
+            &path,
+            &timing,
+            &placement,
+            &tech,
+            &vars,
+            &layers,
+            Marginal::Gaussian,
+            samples,
+            80,
+            42,
+            1,
+        )
+        .expect("mc");
+        for &threads in &THREAD_COUNTS[1..] {
+            let mc = mc_path_distribution_threaded(
+                &path,
+                &timing,
+                &placement,
+                &tech,
+                &vars,
+                &layers,
+                Marginal::Gaussian,
+                samples,
+                80,
+                42,
+                threads,
+            )
+            .expect("mc");
+            // McResult derives PartialEq over pdf + moments, no timing
+            // fields — exact equality is the contract.
+            assert_eq!(base, mc, "{bench}: threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn mc_criticality_bit_identical_across_thread_counts() {
+    let circuit = iscas85::generate(Benchmark::C432);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let tech = Technology::cmos130();
+    let timing = characterize_placed(&circuit, &tech, &placement).expect("characterize");
+    let labels = topo_labels(&circuit, &timing).expect("labels");
+    let delay = labels.critical_delay(&circuit).expect("delay");
+    let set = statim::core::enumerate::near_critical_paths(
+        &circuit,
+        &timing,
+        &labels,
+        delay * 0.97,
+        10_000,
+    )
+    .expect("enumerate");
+    let vars = Variations::date05();
+    let layers = LayerModel::date05();
+    let base = mc_path_criticality_threaded(
+        &circuit, &set.paths, &timing, &placement, &tech, &vars, &layers, 6_000, 9, 1,
+    )
+    .expect("criticality");
+    for &threads in &THREAD_COUNTS[1..] {
+        let crit = mc_path_criticality_threaded(
+            &circuit, &set.paths, &timing, &placement, &tech, &vars, &layers, 6_000, 9, threads,
+        )
+        .expect("criticality");
+        for (i, (a, b)) in base.iter().zip(&crit).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "path {i} threads={threads}");
+        }
+    }
+}

@@ -28,20 +28,17 @@ fn one_run_feeds_every_downstream_analysis() {
 
     // Slack at the worst-case period: everything meets timing (by a lot).
     let labels = topo_labels(&circuit, &timing).expect("labels");
-    let slack = slack_report(&circuit, &timing, &labels, report.worst_case_delay)
-        .expect("slack");
+    let slack = slack_report(&circuit, &timing, &labels, report.worst_case_delay).expect("slack");
     assert!(slack.meets_timing());
     // At the deterministic delay the critical gates are at zero slack.
-    let at_d = slack_report(&circuit, &timing, &labels, report.det_critical_delay)
-        .expect("slack");
+    let at_d = slack_report(&circuit, &timing, &labels, report.det_critical_delay).expect("slack");
     assert!(at_d.worst().1.abs() < 1e-9 * report.det_critical_delay);
 
     // Yield: the 3σ point carries ≈Φ(3) single-path yield and the
     // independent bound is below it.
     let t3 = report.critical().analysis.confidence_point;
     let y_single = single_path_yield(&report, t3);
-    let y_indep =
-        independent_yield(&report.paths, t3);
+    let y_indep = independent_yield(&report.paths, t3);
     assert!(y_single > 0.99);
     assert!(y_indep <= y_single + 1e-12);
 
@@ -83,7 +80,9 @@ fn numerical_intra_and_marginals_through_the_engine() {
     let mut config = SstaConfig::date05();
     config.marginal = Marginal::Uniform;
     config.intra_model = IntraModel::Numerical;
-    let uniform = SstaEngine::new(config).run(&circuit, &placement).expect("uniform run");
+    let uniform = SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("uniform run");
     let g = &gaussian.critical().analysis;
     let u = &uniform.critical().analysis;
     // Same variance budget ⇒ same σ scale; bounded-support inputs trim
@@ -102,8 +101,10 @@ fn stage_times_and_report_rendering() {
     let report = SstaEngine::new(SstaConfig::date05().with_confidence(0.3))
         .run(&circuit, &placement)
         .expect("engine");
-    let st = &report.stage_times;
-    assert!(st.characterize >= 0.0 && st.analyze > 0.0);
+    let st = &report.profile;
+    assert!(st.characterize.wall >= 0.0 && st.analyze.wall > 0.0);
+    assert!(st.analyze.threads >= 1);
+    assert!(st.analyze.utilization > 0.0 && st.analyze.utilization <= 1.0);
     let text = statim::core::report::summary(&report);
     assert!(text.contains("c880"));
     let csv = statim::core::report::to_csv(&report);

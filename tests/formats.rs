@@ -26,8 +26,7 @@ fn bench_and_def_round_trip_preserves_analysis() {
     assert_eq!(a.num_paths, b.num_paths);
     // DEF stores coordinates in integer DBU (1 nm at 1000 dbu/µm), so
     // wire loads can shift delays at the sub-femtosecond level.
-    let rel = (a.critical().analysis.confidence_point
-        - b.critical().analysis.confidence_point)
+    let rel = (a.critical().analysis.confidence_point - b.critical().analysis.confidence_point)
         .abs()
         / a.critical().analysis.confidence_point;
     assert!(rel < 1e-6, "round trip drift {rel}");

@@ -10,7 +10,9 @@ use statim::netlist::{Placement, PlacementStyle};
 fn run(bench: Benchmark, config: SstaConfig) -> SstaReport {
     let circuit = iscas85::generate(bench);
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
-    SstaEngine::new(config).run(&circuit, &placement).expect("SSTA flow")
+    SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("SSTA flow")
 }
 
 /// The paper's headline: worst-case analysis overestimates the 3σ point
@@ -19,7 +21,12 @@ fn run(bench: Benchmark, config: SstaConfig) -> SstaReport {
 #[test]
 fn worst_case_overestimates_by_about_half() {
     let mut total = 0.0;
-    let benches = [Benchmark::C432, Benchmark::C499, Benchmark::C880, Benchmark::C1908];
+    let benches = [
+        Benchmark::C432,
+        Benchmark::C499,
+        Benchmark::C880,
+        Benchmark::C1908,
+    ];
     for bench in benches {
         let report = run(bench, SstaConfig::date05());
         let over = report.overestimation_pct;
@@ -42,7 +49,11 @@ fn report_internal_consistency() {
     assert!(report.worst_case_delay > crit.analysis.confidence_point);
     assert!(crit.analysis.confidence_point > crit.analysis.mean);
     // The deterministic critical delay equals the det-rank-1 path delay.
-    let det1 = report.paths.iter().find(|p| p.det_rank == 1).expect("det rank 1");
+    let det1 = report
+        .paths
+        .iter()
+        .find(|p| p.det_rank == 1)
+        .expect("det rank 1");
     assert!(
         (det1.analysis.det_delay - report.det_critical_delay).abs()
             < 1e-12 * report.det_critical_delay
@@ -71,7 +82,10 @@ fn inter_share_scenarios_match_table3_shape() {
         );
         let a = &report.critical().analysis;
         assert!(a.sigma > prev_total, "total σ must grow with inter share");
-        assert!(a.intra_sigma < prev_intra, "intra σ must shrink with inter share");
+        assert!(
+            a.intra_sigma < prev_intra,
+            "intra σ must shrink with inter share"
+        );
         if share == 0.0 {
             assert!(a.inter_sigma < 1e-15, "0% inter ⇒ no inter σ");
         }
@@ -105,14 +119,23 @@ fn placement_style_changes_intra_sigma() {
     let circuit = iscas85::generate(Benchmark::C432);
     let engine = SstaEngine::new(SstaConfig::date05());
     let lev = engine
-        .run(&circuit, &Placement::generate(&circuit, PlacementStyle::Levelized))
+        .run(
+            &circuit,
+            &Placement::generate(&circuit, PlacementStyle::Levelized),
+        )
         .expect("levelized");
     let rnd = engine
-        .run(&circuit, &Placement::generate(&circuit, PlacementStyle::Random(1)))
+        .run(
+            &circuit,
+            &Placement::generate(&circuit, PlacementStyle::Random(1)),
+        )
         .expect("random");
     let a = lev.critical().analysis.intra_sigma;
     let b = rnd.critical().analysis.intra_sigma;
-    assert!((a - b).abs() > 1e-4 * a, "placement must matter: {a} vs {b}");
+    assert!(
+        (a - b).abs() > 1e-4 * a,
+        "placement must matter: {a} vs {b}"
+    );
 }
 
 /// The whole flow is deterministic: identical runs, identical reports.

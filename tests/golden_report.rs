@@ -1,0 +1,149 @@
+//! Golden-file regression test: Table-2-style report fields for C432 and
+//! C499 at the paper configuration, compared against checked-in JSON
+//! snapshots with per-field tolerances.
+//!
+//! The snapshots live in `tests/golden/*.json` (flat JSON written and
+//! parsed by this file — no serde in the offline dependency set). To
+//! regenerate after an intentional model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_report
+//! ```
+
+use statim::core::engine::{SstaConfig, SstaEngine, SstaReport};
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The snapshotted fields, all in display units (ps / percent / counts).
+fn report_fields(r: &SstaReport) -> BTreeMap<String, f64> {
+    let crit = r.critical();
+    BTreeMap::from([
+        ("gate_count".to_string(), r.gate_count as f64),
+        ("num_paths".to_string(), r.num_paths as f64),
+        (
+            "det_critical_delay_ps".to_string(),
+            r.det_critical_delay * 1e12,
+        ),
+        ("worst_case_delay_ps".to_string(), r.worst_case_delay * 1e12),
+        ("overestimation_pct".to_string(), r.overestimation_pct),
+        ("sigma_c_ps".to_string(), r.sigma_c * 1e12),
+        ("crit_mean_ps".to_string(), crit.analysis.mean * 1e12),
+        ("crit_sigma_ps".to_string(), crit.analysis.sigma * 1e12),
+        (
+            "crit_3sigma_point_ps".to_string(),
+            crit.analysis.confidence_point * 1e12,
+        ),
+        ("crit_gates".to_string(), crit.analysis.gates.len() as f64),
+        ("crit_det_rank".to_string(), crit.det_rank as f64),
+    ])
+}
+
+/// Per-field tolerance: `(relative, absolute)` — a comparison passes if
+/// either bound holds. Structural fields are exact.
+fn tolerance(field: &str) -> (f64, f64) {
+    match field {
+        "gate_count" | "num_paths" | "crit_gates" | "crit_det_rank" => (0.0, 0.0),
+        // Percent field: absolute band of half a point.
+        "overestimation_pct" => (0.0, 0.5),
+        // σ-like quantities carry discretization error.
+        "sigma_c_ps" | "crit_sigma_ps" => (0.02, 1e-6),
+        // Means and delay points are tight.
+        _ => (0.005, 1e-6),
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn write_golden(name: &str, fields: &BTreeMap<String, f64>) {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.9}"))
+        .collect();
+    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
+    let path = golden_path(name);
+    std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+    std::fs::write(&path, text).expect("write golden");
+}
+
+/// Parses the flat `{"key": number, ...}` JSON this file writes.
+fn read_golden(name: &str) -> BTreeMap<String, f64> {
+    let path = golden_path(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test --test golden_report",
+            path.display()
+        )
+    });
+    let mut fields = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\":") else {
+            continue;
+        };
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("bad number for {key} in {}: {e}", path.display()));
+        fields.insert(key.to_string(), value);
+    }
+    fields
+}
+
+fn check(bench: Benchmark) {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let report = SstaEngine::new(SstaConfig::date05())
+        .run(&circuit, &placement)
+        .expect("SSTA flow");
+    let got = report_fields(&report);
+    let name = bench.name();
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        write_golden(name, &got);
+        eprintln!("updated {}", golden_path(name).display());
+        return;
+    }
+
+    let want = read_golden(name);
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>(),
+        "{name}: snapshot fields drifted — regenerate with UPDATE_GOLDEN=1"
+    );
+    let mut failures = Vec::new();
+    for (field, &expect) in &want {
+        let actual = got[field];
+        let (rel, abs) = tolerance(field);
+        let diff = (actual - expect).abs();
+        let ok = diff <= abs || diff <= rel * expect.abs();
+        if !ok {
+            failures.push(format!(
+                "  {field}: got {actual}, golden {expect} (tol rel {rel}, abs {abs})"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{name}: report drifted from golden snapshot:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn c432_report_matches_golden() {
+    check(Benchmark::C432);
+}
+
+#[test]
+fn c499_report_matches_golden() {
+    check(Benchmark::C499);
+}
