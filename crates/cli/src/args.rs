@@ -28,7 +28,10 @@ ANALYZE OPTIONS:
     --max-paths <n>       enumeration budget [default: 1000000]
     --threads <n>         worker threads for path analysis and Monte-Carlo
                           (0 = all cores) [default: all cores]; results are
-                          bit-identical for any thread count";
+                          bit-identical for any thread count
+    --no-cache            disable the analysis-kernel cache (inter/intra
+                          PDFs, corner point); results are bit-identical
+                          with or without it — only wall time changes";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +92,8 @@ pub struct AnalyzeArgs {
     pub max_paths: usize,
     /// Worker threads (None = all available cores, 0 also means auto).
     pub threads: Option<usize>,
+    /// Disable the analysis-kernel memoization cache.
+    pub no_cache: bool,
 }
 
 impl Default for AnalyzeArgs {
@@ -105,6 +110,7 @@ impl Default for AnalyzeArgs {
             random_place: None,
             max_paths: 1_000_000,
             threads: None,
+            no_cache: false,
         }
     }
 }
@@ -196,6 +202,7 @@ fn parse_analyze_with<'a>(
             }
             "--max-paths" => args.max_paths = parse_num(tok, value(tok, &mut it)?)?,
             "--threads" => args.threads = Some(parse_num(tok, value(tok, &mut it)?)?),
+            "--no-cache" => args.no_cache = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if args.bench_file.is_some() {
@@ -284,6 +291,26 @@ mod tests {
         }
         assert!(parse(&v(&["analyze", "--benchmark", "c432", "--threads", "many"])).is_err());
         assert!(parse(&v(&["analyze", "--benchmark", "c432", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn parses_no_cache_flag() {
+        match parse(&v(&["analyze", "--benchmark", "c432", "--no-cache"])).unwrap() {
+            Command::Analyze(a) => assert!(a.no_cache),
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["analyze", "--benchmark", "c432"])).unwrap() {
+            Command::Analyze(a) => assert!(!a.no_cache),
+            other => panic!("{other:?}"),
+        }
+        // The flag takes no value: the next token is still parsed.
+        match parse(&v(&["analyze", "--no-cache", "--benchmark", "c432"])).unwrap() {
+            Command::Analyze(a) => {
+                assert!(a.no_cache);
+                assert_eq!(a.benchmark.as_deref(), Some("c432"));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

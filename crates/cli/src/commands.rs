@@ -76,6 +76,7 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
         if an.threads == 1 { "" } else { "s" },
         an.utilization * 100.0
     );
+    print!("{}", statim_core::report::cache_summary(&report));
     println!();
     println!("{}", statim_core::report::path_table(&report, top));
     Ok(())
@@ -100,6 +101,7 @@ fn run_engine(
     config.quality_inter = a.quality_inter;
     config.max_paths = a.max_paths;
     config.threads = a.threads;
+    config.cache = !a.no_cache;
     if let Some(share) = a.inter_share {
         config = config.with_layers(LayerModel::with_inter_share(share));
     }

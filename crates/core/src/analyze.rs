@@ -1,10 +1,11 @@
 //! Per-path probabilistic analysis: intra PDF ⊛ inter PDF → total delay
 //! PDF, plus the scalar summary the ranking uses.
 
+use crate::cache::AnalysisCache;
 use crate::characterize::CircuitTiming;
 use crate::correlation::LayerModel;
 use crate::intra::{intra_pdf, intra_pdf_numerical, intra_variance, path_coefficients};
-use crate::worst_case::worst_case_path_delay;
+use crate::worst_case::worst_case_path_delay_at;
 use crate::{inter, Result};
 use statim_netlist::{GateId, Placement};
 use statim_process::delay::CornerSpec;
@@ -108,8 +109,38 @@ pub fn analyze_path(
     tech: &Technology,
     settings: &AnalysisSettings,
 ) -> Result<PathAnalysis> {
+    analyze_path_cached(path, timing, placement, tech, settings, None)
+}
+
+/// [`analyze_path`] with an optional shared memoization cache.
+///
+/// With `Some(cache)` the three pure per-path kernels — the corner
+/// operating point, the closed-form intra PDF (keyed by the eq. (14)
+/// variance bits) and the inter PDF (keyed by the exact bits of the
+/// summed `(A, B)` coefficients) — are looked up before computing. The
+/// keys carry the *exact* f64 bit patterns of every varying input, so a
+/// hit returns precisely what a recompute would: results are
+/// bit-identical with the cache on or off. The `Numerical` intra model
+/// depends on the full per-RV coefficient set, not just the total
+/// variance, and is never cached.
+///
+/// # Errors
+///
+/// Propagates numerical and configuration failures.
+pub fn analyze_path_cached(
+    path: &[GateId],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    settings: &AnalysisSettings,
+    cache: Option<&AnalysisCache>,
+) -> Result<PathAnalysis> {
     let det_delay = timing.path_delay(path);
-    let worst_case = worst_case_path_delay(path, timing, tech, &settings.vars, settings.corner)?;
+    let corner_pt = match cache {
+        Some(c) => c.corner_point(|| settings.corner.worst_point(tech, &settings.vars)),
+        None => settings.corner.worst_point(tech, &settings.vars),
+    };
+    let worst_case = worst_case_path_delay_at(path, timing, tech, &corner_pt)?;
 
     // Intra: eq. (14) variance (closed form, Gaussian inputs) or the
     // per-RV numerical convolution (any marginal).
@@ -117,7 +148,11 @@ pub fn analyze_path(
     let intra = match settings.intra_model {
         IntraModel::GaussianClosedForm => {
             let var_intra = intra_variance(&coeffs, &settings.layers, &settings.vars)?;
-            intra_pdf(var_intra, settings.vars.trunc_k, settings.quality_intra)?
+            let compute = || intra_pdf(var_intra, settings.vars.trunc_k, settings.quality_intra);
+            match cache {
+                Some(c) => c.intra_pdf(var_intra, compute)?,
+                None => compute()?,
+            }
         }
         IntraModel::Numerical => intra_pdf_numerical(
             &coeffs,
@@ -130,14 +165,20 @@ pub fn analyze_path(
 
     // Inter: numerical non-linear PDF.
     let ab = timing.path_alpha_beta(path);
-    let inter = inter::inter_pdf(
-        &ab,
-        tech,
-        &settings.vars,
-        &settings.layers,
-        settings.marginal,
-        settings.quality_inter,
-    )?;
+    let compute_inter = || {
+        inter::inter_pdf(
+            &ab,
+            tech,
+            &settings.vars,
+            &settings.layers,
+            settings.marginal,
+            settings.quality_inter,
+        )
+    };
+    let inter = match cache {
+        Some(c) => c.inter_pdf(&ab, compute_inter)?,
+        None => compute_inter()?,
+    };
 
     // Total: convolution (paper: O(QUALITY²)).
     let total = sum_pdf_resampled(

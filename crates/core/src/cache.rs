@@ -1,0 +1,564 @@
+//! Shared, thread-safe memoization of the per-path analysis kernels.
+//!
+//! The paper's run-time discussion (and our own [`RunProfile`]) shows the
+//! per-path probabilistic analysis dominating the flow: κ near-critical
+//! paths each pay an `O(QUALITYinter³)` inter-die kernel. Yet by eq. (13)
+//! the inter-die delay of a path depends **only** on its summed
+//! coefficients `A = Σαᵢ, B = Σβᵢ`, and by eq. (14) the closed-form intra
+//! PDF depends only on the path variance — so structurally similar paths
+//! (the bushy c499/c1355 path sets especially) recompute bit-identical
+//! PDFs thousands of times. This module caches those kernels:
+//!
+//! * **inter-die PDFs**, keyed by the exact f64 bit patterns of
+//!   `(A, B)` plus the settings fingerprint;
+//! * **closed-form intra PDFs**, keyed by the eq. (14) variance bits;
+//! * **the corner worst-case operating point**, computed once per run
+//!   instead of once per path.
+//!
+//! # Determinism
+//!
+//! The cache is *bit-identical by construction*. Keys carry the exact bit
+//! patterns of every input that varies between paths; every input that
+//! does not vary (technology nominals, variation σs, layer weights,
+//! marginal shape, QUALITY discretizations, truncation, corner) is pinned
+//! by the settings [fingerprint]. The kernels are pure functions, so a
+//! hit returns precisely the `Pdf` a fresh recompute would produce —
+//! which is why the PR-1 determinism contract ("the same report for any
+//! thread count") extends to "cache on or off" and is tested as such in
+//! `tests/determinism.rs`.
+//!
+//! # Concurrency
+//!
+//! Maps are sharded and lock-striped on the key hash so the
+//! [`parallel::run_pool`] fan-out scales: concurrent lookups of different
+//! keys almost never contend, and the `O(Q³)` kernel itself always runs
+//! *outside* any lock. Two workers racing on the same missing key may
+//! both compute it; both results are bit-identical, the first insert
+//! wins, and the hit/miss counters still satisfy `hits + misses =
+//! lookups`. The hit/miss *split* is therefore a diagnostic (it can shift
+//! with scheduling), never an input to any result.
+//!
+//! [`RunProfile`]: crate::engine::RunProfile
+//! [`parallel::run_pool`]: crate::parallel::run_pool
+//! [fingerprint]: AnalysisCache::fingerprint
+
+use crate::analyze::AnalysisSettings;
+use crate::correlation::VarianceSplit;
+use crate::Result;
+use statim_process::tech::{AlphaBeta, OperatingPoint};
+use statim_process::{Param, Technology};
+use statim_stats::{Marginal, Pdf};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of lock stripes per kernel map. A power of two so the shard
+/// index is a mask; 16 stripes keep contention negligible for any pool
+/// size `run_pool` will realistically spawn.
+const SHARD_COUNT: usize = 16;
+
+/// 64-bit FNV-1a over a byte stream — a small, deterministic hash used
+/// for the settings fingerprint and shard selection (the std `HashMap`
+/// hasher is randomized per process, which is fine for bucketing but
+/// useless for a stable fingerprint).
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Folds an `f64`'s exact bit pattern into a running FNV-1a hash.
+fn fold_f64(seed: u64, v: f64) -> u64 {
+    fnv1a(seed, &v.to_bits().to_le_bytes())
+}
+
+fn fold_u64(seed: u64, v: u64) -> u64 {
+    fnv1a(seed, &v.to_le_bytes())
+}
+
+/// Fingerprint of everything the kernels read besides their per-path
+/// key: technology nominals, variation σs and truncation, layer-weight
+/// split, marginal shape, QUALITY discretizations and the corner. Two
+/// runs with equal fingerprints compute identical kernels for identical
+/// keys.
+pub fn settings_fingerprint(tech: &Technology, settings: &AnalysisSettings) -> u64 {
+    let mut h = 0u64;
+    // Technology: the inter kernel reads the nominal point and ε_ox.
+    for p in Param::ALL {
+        h = fold_f64(h, tech.nominal(p));
+    }
+    h = fold_f64(h, tech.eps_ox);
+    // Variations: per-parameter σ and the truncation multiple.
+    for p in Param::ALL {
+        h = fold_f64(h, settings.vars.sigma.get(p));
+    }
+    h = fold_f64(h, settings.vars.trunc_k);
+    // Layer model: structure plus the exact split.
+    h = fold_u64(h, settings.layers.spatial_layers as u64);
+    h = fold_u64(h, u64::from(settings.layers.random_layer));
+    match &settings.layers.split {
+        VarianceSplit::Equal => h = fold_u64(h, 1),
+        VarianceSplit::InterShare(s) => {
+            h = fold_u64(h, 2);
+            h = fold_f64(h, *s);
+        }
+        VarianceSplit::Custom(w) => {
+            h = fold_u64(h, 3);
+            for &x in w {
+                h = fold_f64(h, x);
+            }
+        }
+    }
+    // Marginal shape, discretizations, corner.
+    h = fold_u64(
+        h,
+        match settings.marginal {
+            Marginal::Gaussian => 0,
+            Marginal::Uniform => 1,
+            Marginal::Triangular => 2,
+        },
+    );
+    h = fold_u64(h, settings.quality_intra as u64);
+    h = fold_u64(h, settings.quality_inter as u64);
+    h = fold_f64(h, settings.corner.k);
+    h
+}
+
+/// Inter-die kernel key: the exact bits of the path's summed α/β
+/// coefficients plus the settings fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct InterKey {
+    fingerprint: u64,
+    alpha_bits: u64,
+    beta_bits: u64,
+}
+
+impl InterKey {
+    fn shard(&self) -> usize {
+        let h = fold_u64(fold_u64(self.fingerprint, self.alpha_bits), self.beta_bits);
+        (h as usize) & (SHARD_COUNT - 1)
+    }
+}
+
+/// Intra-die closed-form kernel key: the exact bits of the eq. (14)
+/// variance plus the settings fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct IntraKey {
+    fingerprint: u64,
+    variance_bits: u64,
+}
+
+impl IntraKey {
+    fn shard(&self) -> usize {
+        (fold_u64(self.fingerprint, self.variance_bits) as usize) & (SHARD_COUNT - 1)
+    }
+}
+
+/// One lock-striped PDF map with hit/miss accounting.
+struct ShardedPdfMap<K> {
+    shards: Vec<Mutex<HashMap<K, Pdf>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
+    fn new() -> Self {
+        ShardedPdfMap {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached PDF for `key`, or computes, stores and returns
+    /// it. `compute` runs outside the shard lock.
+    fn get_or_compute(
+        &self,
+        key: K,
+        shard: usize,
+        compute: impl FnOnce() -> Result<Pdf>,
+    ) -> Result<Pdf> {
+        let stripe = &self.shards[shard];
+        if let Some(hit) = stripe.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let pdf = compute()?;
+        stripe
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert_with(|| pdf.clone());
+        Ok(pdf)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+}
+
+/// Hit/miss/occupancy counters of one run's [`AnalysisCache`], carried
+/// through [`RunProfile`] into [`SstaReport`].
+///
+/// Invariant: `hits() + misses() == lookups()` per kernel and in total.
+/// The hit/miss split is diagnostic — concurrent workers racing on the
+/// same cold key may each count a miss — but never affects any report
+/// number.
+///
+/// [`RunProfile`]: crate::engine::RunProfile
+/// [`SstaReport`]: crate::engine::SstaReport
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Inter-die PDF lookups served from the cache.
+    pub inter_hits: u64,
+    /// Inter-die PDF lookups that computed the kernel.
+    pub inter_misses: u64,
+    /// Closed-form intra PDF lookups served from the cache.
+    pub intra_hits: u64,
+    /// Closed-form intra PDF lookups that computed the kernel.
+    pub intra_misses: u64,
+    /// Corner-point lookups served from the once-per-run value.
+    pub corner_hits: u64,
+    /// Corner-point lookups that computed the point (at most 1 except
+    /// under a benign startup race).
+    pub corner_misses: u64,
+    /// Distinct PDFs held (inter + intra maps).
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inter_hits + self.intra_hits + self.corner_hits
+    }
+
+    /// Total lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.inter_misses + self.intra_misses + self.corner_misses
+    }
+
+    /// Total lookups (`hits() + misses()` by construction).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
+}
+
+/// The shared per-run kernel cache. Create one per [`SstaEngine::run`]
+/// (or share across runs — the settings fingerprint inside every key
+/// keeps entries from different configurations apart).
+///
+/// [`SstaEngine::run`]: crate::engine::SstaEngine::run
+pub struct AnalysisCache {
+    fingerprint: u64,
+    inter: ShardedPdfMap<InterKey>,
+    intra: ShardedPdfMap<IntraKey>,
+    corner: OnceLock<OperatingPoint>,
+    corner_hits: AtomicU64,
+    corner_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCache")
+            .field("fingerprint", &self.fingerprint)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl AnalysisCache {
+    /// An empty cache for the given technology and analysis settings.
+    pub fn new(tech: &Technology, settings: &AnalysisSettings) -> Self {
+        AnalysisCache {
+            fingerprint: settings_fingerprint(tech, settings),
+            inter: ShardedPdfMap::new(),
+            intra: ShardedPdfMap::new(),
+            corner: OnceLock::new(),
+            corner_hits: AtomicU64::new(0),
+            corner_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The settings fingerprint baked into every key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The inter-die PDF for coefficient sums `ab`: cached by the exact
+    /// bits of `(A, B)`, computed by `compute` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (nothing is stored in that case).
+    pub fn inter_pdf(&self, ab: &AlphaBeta, compute: impl FnOnce() -> Result<Pdf>) -> Result<Pdf> {
+        let key = InterKey {
+            fingerprint: self.fingerprint,
+            alpha_bits: ab.alpha.to_bits(),
+            beta_bits: ab.beta.to_bits(),
+        };
+        self.inter.get_or_compute(key, key.shard(), compute)
+    }
+
+    /// The closed-form intra-die PDF for the eq. (14) `variance`: cached
+    /// by the exact variance bits, computed by `compute` on a miss.
+    ///
+    /// Only valid for the closed-form Gaussian model — the numerical
+    /// intra PDF depends on the full per-RV coefficient set, not on the
+    /// total variance alone, and must not be cached under this key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute`'s error (nothing is stored in that case).
+    pub fn intra_pdf(&self, variance: f64, compute: impl FnOnce() -> Result<Pdf>) -> Result<Pdf> {
+        let key = IntraKey {
+            fingerprint: self.fingerprint,
+            variance_bits: variance.to_bits(),
+        };
+        self.intra.get_or_compute(key, key.shard(), compute)
+    }
+
+    /// The worst-case corner operating point, computed once per cache
+    /// lifetime (i.e. once per run) instead of once per path.
+    pub fn corner_point(&self, compute: impl FnOnce() -> OperatingPoint) -> OperatingPoint {
+        if let Some(pt) = self.corner.get() {
+            self.corner_hits.fetch_add(1, Ordering::Relaxed);
+            return *pt;
+        }
+        self.corner_misses.fetch_add(1, Ordering::Relaxed);
+        *self.corner.get_or_init(compute)
+    }
+
+    /// A snapshot of the hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            inter_hits: self.inter.hits.load(Ordering::Relaxed),
+            inter_misses: self.inter.misses.load(Ordering::Relaxed),
+            intra_hits: self.intra.hits.load(Ordering::Relaxed),
+            intra_misses: self.intra.misses.load(Ordering::Relaxed),
+            corner_hits: self.corner_hits.load(Ordering::Relaxed),
+            corner_misses: self.corner_misses.load(Ordering::Relaxed),
+            entries: self.inter.len() + self.intra.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intra::intra_pdf;
+    use crate::{inter, LayerModel};
+    use statim_process::param::Variations;
+    use statim_process::{GateKind, Load};
+
+    fn settings() -> AnalysisSettings {
+        AnalysisSettings::date05()
+    }
+
+    fn cache() -> AnalysisCache {
+        AnalysisCache::new(&Technology::cmos130(), &settings())
+    }
+
+    fn compute_inter(ab: &AlphaBeta, s: &AnalysisSettings) -> Pdf {
+        inter::inter_pdf(
+            ab,
+            &Technology::cmos130(),
+            &s.vars,
+            &s.layers,
+            s.marginal,
+            s.quality_inter,
+        )
+        .expect("inter kernel")
+    }
+
+    #[test]
+    fn inter_hit_is_bit_identical_to_recompute() {
+        let c = cache();
+        let s = settings();
+        let tech = Technology::cmos130();
+        let one = tech.alpha_beta(GateKind::Nand(2), &Load::fanout(2));
+        for n in 1..=12 {
+            let ab = AlphaBeta {
+                alpha: one.alpha * n as f64,
+                beta: one.beta * n as f64,
+            };
+            let miss = c.inter_pdf(&ab, || Ok(compute_inter(&ab, &s))).unwrap();
+            let hit = c
+                .inter_pdf(&ab, || panic!("must not recompute on a hit"))
+                .unwrap();
+            let fresh = compute_inter(&ab, &s);
+            assert_eq!(hit, miss);
+            assert_eq!(hit.grid().lo().to_bits(), fresh.grid().lo().to_bits());
+            assert_eq!(hit.grid().step().to_bits(), fresh.grid().step().to_bits());
+            for (a, b) in hit.density().iter().zip(fresh.density()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = c.stats();
+        assert_eq!(stats.inter_hits, 12);
+        assert_eq!(stats.inter_misses, 12);
+        assert_eq!(stats.entries, 12);
+    }
+
+    #[test]
+    fn intra_hit_is_bit_identical_to_recompute() {
+        let c = cache();
+        let vars = Variations::date05();
+        for i in 1..=8 {
+            let variance = 1e-24 * i as f64 * 3.7;
+            let miss = c
+                .intra_pdf(variance, || intra_pdf(variance, vars.trunc_k, 100))
+                .unwrap();
+            let hit = c
+                .intra_pdf(variance, || panic!("must not recompute on a hit"))
+                .unwrap();
+            let fresh = intra_pdf(variance, vars.trunc_k, 100).unwrap();
+            assert_eq!(hit, miss);
+            for (a, b) in hit.density().iter().zip(fresh.density()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let s = c.stats();
+        assert_eq!((s.intra_hits, s.intra_misses), (8, 8));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let c = cache();
+        // Two nearly identical (but bit-different) coefficient pairs must
+        // map to distinct entries.
+        let a1 = AlphaBeta {
+            alpha: 1.0,
+            beta: 2.0,
+        };
+        let a2 = AlphaBeta {
+            alpha: 1.0 + f64::EPSILON,
+            beta: 2.0,
+        };
+        let s = settings();
+        let p1 = c.inter_pdf(&a1, || Ok(compute_inter(&a1, &s))).unwrap();
+        let p2 = c.inter_pdf(&a2, || Ok(compute_inter(&a2, &s))).unwrap();
+        assert_eq!(c.stats().inter_misses, 2);
+        assert_eq!(c.stats().entries, 2);
+        // And a repeat lookup of each returns its own PDF.
+        assert_eq!(c.inter_pdf(&a1, || unreachable!()).unwrap(), p1);
+        assert_eq!(c.inter_pdf(&a2, || unreachable!()).unwrap(), p2);
+    }
+
+    #[test]
+    fn corner_point_computed_once() {
+        let c = cache();
+        let s = settings();
+        let tech = Technology::cmos130();
+        let mut computes = 0usize;
+        for _ in 0..5 {
+            let pt = c.corner_point(|| {
+                computes += 1;
+                s.corner.worst_point(&tech, &s.vars)
+            });
+            let direct = s.corner.worst_point(&tech, &s.vars);
+            for p in Param::ALL {
+                assert_eq!(pt.get(p).to_bits(), direct.get(p).to_bits());
+            }
+        }
+        assert_eq!(computes, 1);
+        let stats = c.stats();
+        assert_eq!(stats.corner_misses, 1);
+        assert_eq!(stats.corner_hits, 4);
+    }
+
+    #[test]
+    fn fingerprint_separates_settings() {
+        let tech = Technology::cmos130();
+        let base = settings();
+        let fp0 = settings_fingerprint(&tech, &base);
+        // Same settings → same fingerprint (stable across instances).
+        assert_eq!(fp0, settings_fingerprint(&tech, &settings()));
+        // Any kernel-relevant knob shifts it.
+        let mut q = settings();
+        q.quality_inter = 51;
+        assert_ne!(fp0, settings_fingerprint(&tech, &q));
+        let mut l = settings();
+        l.layers = LayerModel::with_inter_share(0.5);
+        assert_ne!(fp0, settings_fingerprint(&tech, &l));
+        let mut m = settings();
+        m.marginal = Marginal::Uniform;
+        assert_ne!(fp0, settings_fingerprint(&tech, &m));
+        let mut t = settings();
+        t.vars = Variations::date05().scaled(1.1);
+        assert_ne!(fp0, settings_fingerprint(&tech, &t));
+    }
+
+    #[test]
+    fn stats_counters_consistent() {
+        let c = cache();
+        let s = settings();
+        let tech = Technology::cmos130();
+        let one = tech.alpha_beta(GateKind::Inv, &Load::fanout(1));
+        for i in 0..20 {
+            // 4 distinct keys looked up 5× each.
+            let ab = AlphaBeta {
+                alpha: one.alpha * (1 + i % 4) as f64,
+                beta: one.beta * (1 + i % 4) as f64,
+            };
+            c.inter_pdf(&ab, || Ok(compute_inter(&ab, &s))).unwrap();
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits() + stats.misses(), stats.lookups());
+        assert_eq!(stats.lookups(), 20);
+        assert_eq!(stats.inter_misses, 4);
+        assert_eq!(stats.inter_hits, 16);
+        assert_eq!(stats.entries, 4);
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_compute_stores_nothing() {
+        let c = cache();
+        let ab = AlphaBeta {
+            alpha: 1.0,
+            beta: 1.0,
+        };
+        let err = c.inter_pdf(&ab, || {
+            Err(crate::CoreError::Stats(statim_stats::StatsError::ZeroMass))
+        });
+        assert!(err.is_err());
+        assert_eq!(c.stats().entries, 0);
+        // The next lookup recomputes (a second miss, not a poisoned hit).
+        let s = settings();
+        assert!(c.inter_pdf(&ab, || Ok(compute_inter(&ab, &s))).is_ok());
+        assert_eq!(c.stats().inter_misses, 2);
+    }
+
+    #[test]
+    fn empty_cache_stats_are_zero() {
+        let stats = cache().stats();
+        assert_eq!(stats.lookups(), 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.entries, 0);
+    }
+}

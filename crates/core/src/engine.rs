@@ -8,7 +8,8 @@
 //!   → report (probabilistic critical path, overestimation, migration)
 //! ```
 
-use crate::analyze::{analyze_path, AnalysisSettings, PathAnalysis};
+use crate::analyze::{analyze_path_cached, AnalysisSettings, PathAnalysis};
+use crate::cache::{AnalysisCache, CacheStats};
 use crate::characterize::characterize_placed;
 use crate::correlation::LayerModel;
 use crate::enumerate::near_critical_paths;
@@ -64,6 +65,10 @@ pub struct SstaConfig {
     /// `Some(0)`) use every available core. Results are bit-identical
     /// for any value — parallelism only changes wall time.
     pub threads: Option<usize>,
+    /// Memoize the per-path analysis kernels (inter/intra PDFs, corner
+    /// point) across paths. Exact-bits keys make hits bit-identical to
+    /// recomputes, so this only changes wall time, never results.
+    pub cache: bool,
 }
 
 impl SstaConfig {
@@ -83,6 +88,7 @@ impl SstaConfig {
             max_paths: 1_000_000,
             solver: LabelSolver::BellmanFord,
             threads: None,
+            cache: true,
         }
     }
 
@@ -102,6 +108,12 @@ impl SstaConfig {
     /// (0 ⇒ every available core).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Same configuration with the kernel cache enabled or disabled.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -160,17 +172,26 @@ impl StageProfile {
         }
     }
 
-    /// A stage that ran on the worker pool: `busy` is the summed
-    /// per-worker busy time.
-    fn pooled(wall: f64, busy: f64, threads: usize) -> Self {
-        let capacity = wall * threads as f64;
+    /// A stage with a serial prefix followed by a pooled fan-out. The
+    /// serial prefix runs on the calling thread alone, so it contributes
+    /// capacity at 1 thread — not `threads` — keeping `utilization`
+    /// honest on multi-core hosts: capacity = `serial_wall · 1 +
+    /// pooled_wall · threads`.
+    fn pooled_with_serial(
+        serial_wall: f64,
+        pooled_wall: f64,
+        pooled_busy: f64,
+        threads: usize,
+    ) -> Self {
+        let capacity = serial_wall + pooled_wall * threads as f64;
+        let busy = serial_wall + pooled_busy;
         let utilization = if capacity > 0.0 {
             (busy / capacity).min(1.0)
         } else {
             1.0
         };
         StageProfile {
-            wall,
+            wall: serial_wall + pooled_wall,
             threads,
             utilization,
         }
@@ -194,6 +215,11 @@ pub struct RunProfile {
     pub analyze: StageProfile,
     /// Confidence-point ranking.
     pub rank: StageProfile,
+    /// Kernel-cache hit/miss/occupancy counters for the analyze stage;
+    /// `None` when the cache is disabled. The hit/miss *split* between
+    /// threads is scheduling-dependent and diagnostic only — totals
+    /// (hits + misses = lookups) and results are deterministic.
+    pub cache: Option<CacheStats>,
 }
 
 impl RunProfile {
@@ -304,10 +330,21 @@ impl SstaEngine {
         profile.labels = StageProfile::serial(t0.elapsed().as_secs_f64());
 
         // 3. Probabilistic analysis of the deterministic critical path
-        //    yields σ_C.
+        //    yields σ_C. The kernel cache (when enabled) is shared with
+        //    the step-5 fan-out, so anything computed here is a hit there.
         let t0 = Instant::now();
-        let det_analysis =
-            analyze_path(&det_path, &timing, placement, &self.config.tech, &settings)?;
+        let cache = self
+            .config
+            .cache
+            .then(|| AnalysisCache::new(&self.config.tech, &settings));
+        let det_analysis = analyze_path_cached(
+            &det_path,
+            &timing,
+            placement,
+            &self.config.tech,
+            &settings,
+            cache.as_ref(),
+        )?;
         let sigma_c = det_analysis.sigma;
         let det_wall = t0.elapsed().as_secs_f64();
 
@@ -320,22 +357,37 @@ impl SstaEngine {
         // 5. Analyze every near-critical path on the worker pool,
         //    reusing the critical path's analysis. Each path is
         //    independent; results merge in enumeration order, so the
-        //    report is bit-identical for any thread count.
+        //    report is bit-identical for any thread count. The det path's
+        //    position is found once (lengths-first comparison) so the
+        //    per-path closure compares indices, not O(|path|) gate lists.
+        let det_idx = set
+            .paths
+            .iter()
+            .position(|p| p.len() == det_path.len() && *p == det_path);
         let t0 = Instant::now();
         let threads = crate::parallel::effective_threads(self.config.threads);
-        let pool = crate::parallel::run_pool(&set.paths, threads, |_, p| {
-            if *p == det_path {
+        let pool = crate::parallel::run_pool(&set.paths, threads, |i, p| {
+            if Some(i) == det_idx {
                 Ok(det_analysis.clone())
             } else {
-                analyze_path(p, &timing, placement, &self.config.tech, &settings)
+                analyze_path_cached(
+                    p,
+                    &timing,
+                    placement,
+                    &self.config.tech,
+                    &settings,
+                    cache.as_ref(),
+                )
             }
         });
         let analyses: Vec<PathAnalysis> = pool.results.into_iter().collect::<Result<Vec<_>>>()?;
         let fan_wall = t0.elapsed().as_secs_f64();
         // Step 3 (σ_C) is the same per-path kernel, so it books into the
-        // analyze stage as serial time alongside the pooled fan-out.
+        // analyze stage as a serial prefix (1-thread capacity) ahead of
+        // the pooled fan-out.
         profile.analyze =
-            StageProfile::pooled(det_wall + fan_wall, det_wall + pool.busy, pool.threads);
+            StageProfile::pooled_with_serial(det_wall, fan_wall, pool.busy, pool.threads);
+        profile.cache = cache.as_ref().map(AnalysisCache::stats);
 
         // 6. Rank by the confidence point.
         let t0 = Instant::now();

@@ -26,7 +26,8 @@
 //! [`bounds`] (the CDF-bounds thread of its refs 2 and 8), [`slack`]
 //! (deterministic timing reports), [`attribution`] (per-parameter and
 //! per-gate variance decomposition), [`timing_yield`] (yield curves and
-//! clock constraints) and [`report`] (text/CSV rendering).
+//! clock constraints), [`cache`] (bit-identical memoization of the
+//! per-path kernels) and [`report`] (text/CSV rendering).
 //!
 //! # Example
 //!
@@ -50,6 +51,7 @@ pub mod analyze;
 pub mod attribution;
 pub mod block_based;
 pub mod bounds;
+pub mod cache;
 pub mod characterize;
 pub mod correlation;
 pub mod engine;
@@ -66,6 +68,7 @@ pub mod slack;
 pub mod timing_yield;
 pub mod worst_case;
 
+pub use cache::{AnalysisCache, CacheStats};
 pub use characterize::{characterize, CircuitTiming, GateTiming};
 pub use correlation::{LayerModel, VarianceSplit};
 pub use engine::{SstaConfig, SstaEngine, SstaReport};

@@ -50,6 +50,34 @@ pub fn summary(report: &SstaReport) -> String {
     out
 }
 
+/// One-line kernel-cache summary: hit rate, per-kernel hit/miss counts
+/// and occupancy. Empty string when the run had the cache disabled.
+pub fn cache_summary(report: &SstaReport) -> String {
+    let Some(stats) = report.profile.cache else {
+        return String::new();
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  kernel cache                 : {:.1} % hit rate ({} hits / {} lookups), {} entries",
+        stats.hit_rate() * 100.0,
+        stats.hits(),
+        stats.lookups(),
+        stats.entries
+    );
+    let _ = writeln!(
+        out,
+        "    inter {} / {}  ·  intra {} / {}  ·  corner {} / {}  (hits / misses)",
+        stats.inter_hits,
+        stats.inter_misses,
+        stats.intra_hits,
+        stats.intra_misses,
+        stats.corner_hits,
+        stats.corner_misses
+    );
+    out
+}
+
 /// The ranked-path table (top `limit` rows): prob/det ranks, moments,
 /// confidence point and path length.
 pub fn path_table(report: &SstaReport, limit: usize) -> String {
@@ -130,6 +158,20 @@ mod tests {
         assert!(s.contains("160 gates"));
         assert!(s.contains("overestimation"));
         assert!(s.contains(&ps(r.det_critical_delay)));
+    }
+
+    #[test]
+    fn cache_summary_present_only_with_cache() {
+        let r = report();
+        let s = cache_summary(&r);
+        assert!(s.contains("kernel cache"), "{s}");
+        assert!(s.contains("hit rate"));
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let off = SstaEngine::new(SstaConfig::date05().with_cache(false))
+            .run(&c, &p)
+            .expect("flow");
+        assert!(cache_summary(&off).is_empty());
     }
 
     #[test]

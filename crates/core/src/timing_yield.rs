@@ -67,14 +67,53 @@ pub fn yield_curve(report: &SstaReport, n: usize) -> Vec<YieldPoint> {
 
 /// The smallest period achieving at least `target` yield under the
 /// pessimistic (independent) model — a conservative clock constraint.
-/// Returns `None` if `target` is not in `(0, 1]`.
+/// Returns `None` if `target` is not in `(0, 1]` or the target cannot be
+/// met at any period (which cannot happen for truncated path PDFs, whose
+/// CDFs reach exactly 1 at the top of their support).
 pub fn period_for_yield(report: &SstaReport, target: f64) -> Option<f64> {
     if !(0.0 < target && target <= 1.0) {
         return None;
     }
     let crit = &report.critical().analysis;
-    let mut lo = crit.mean - 1.0 * crit.sigma;
+    let step0 = crit
+        .sigma
+        .max(crit.mean.abs() * 1e-6)
+        .max(f64::MIN_POSITIVE);
+    let mut lo = crit.mean - crit.sigma;
     let mut hi = crit.mean + 8.0 * crit.sigma;
+
+    // Validate the bracket before bisecting: the bisection below keeps
+    // the invariant `yield(lo) < target ≤ yield(hi)`, which the initial
+    // guesses do not guarantee.
+    //
+    // Grow `hi` until the target is met there; if even an enormous
+    // period cannot meet it, report failure instead of silently
+    // returning the bracket edge.
+    let mut step = step0;
+    let mut growths = 0;
+    while independent_yield(&report.paths, hi) < target {
+        hi += step;
+        step *= 2.0;
+        growths += 1;
+        if growths > 64 {
+            return None;
+        }
+    }
+
+    // Grow `lo` downward while the target is already met there, so the
+    // search converges to the *smallest* satisfying period rather than
+    // to the arbitrary initial lower edge. Truncated PDFs have CDF
+    // exactly 0 below their support, so this terminates.
+    let mut step = step0;
+    for _ in 0..128 {
+        if independent_yield(&report.paths, lo) < target {
+            break;
+        }
+        hi = lo;
+        lo -= step;
+        step *= 2.0;
+    }
+
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
         if independent_yield(&report.paths, mid) >= target {
@@ -149,6 +188,41 @@ mod tests {
         assert!(t999 > t);
         assert!(period_for_yield(&r, 0.0).is_none());
         assert!(period_for_yield(&r, 1.5).is_none());
+    }
+
+    #[test]
+    fn low_target_finds_smallest_period_not_bracket_edge() {
+        // Regression: a target already met at the initial lower bracket
+        // edge (mean − σ) used to converge to that edge instead of the
+        // smallest satisfying period.
+        let r = report();
+        let crit = &r.critical().analysis;
+        let edge = crit.mean - crit.sigma;
+        let y_edge = independent_yield(&r.paths, edge);
+        assert!(y_edge > 0.0, "edge yield must be positive for this test");
+        let target = y_edge * 0.5;
+        let t = period_for_yield(&r, target).expect("reachable target");
+        // The true smallest period lies strictly below the old edge.
+        assert!(t < edge, "period {t} not below bracket edge {edge}");
+        // It satisfies the target…
+        assert!(independent_yield(&r.paths, t) >= target);
+        // …and is minimal: a slightly smaller period does not.
+        let eps = crit.sigma * 1e-6;
+        assert!(independent_yield(&r.paths, t - eps) < target);
+    }
+
+    #[test]
+    fn full_yield_target_met_beyond_initial_bracket() {
+        // Regression: a target unmet at the initial upper bracket edge
+        // (mean + 8σ) used to silently return that edge. Truncated PDFs
+        // reach CDF = 1 at the top of their support, so target = 1.0 is
+        // reachable — but possibly only past the initial bracket.
+        let r = report();
+        let t = period_for_yield(&r, 1.0).expect("full yield is reachable");
+        assert_eq!(independent_yield(&r.paths, t), 1.0);
+        // Minimality, up to bisection resolution.
+        let eps = r.critical().analysis.sigma * 1e-6;
+        assert!(independent_yield(&r.paths, t - eps) < 1.0);
     }
 
     #[test]

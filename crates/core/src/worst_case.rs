@@ -12,6 +12,7 @@ use crate::{CoreError, Result};
 use statim_netlist::{Circuit, GateId};
 use statim_process::delay::{gate_delay, CornerSpec};
 use statim_process::param::Variations;
+use statim_process::tech::OperatingPoint;
 use statim_process::Technology;
 
 /// Worst-case delay of a path: every gate evaluated at the slow corner
@@ -29,10 +30,27 @@ pub fn worst_case_path_delay(
     vars: &Variations,
     corner: CornerSpec,
 ) -> Result<f64> {
-    let pt = corner.worst_point(tech, vars);
+    worst_case_path_delay_at(path, timing, tech, &corner.worst_point(tech, vars))
+}
+
+/// [`worst_case_path_delay`] at a precomputed corner operating point.
+/// The point depends only on technology, variations and the corner spec
+/// — never on the path — so callers analyzing many paths compute it once
+/// (see [`crate::cache::AnalysisCache::corner_point`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::NonFiniteDelay`] if the corner leaves a
+/// transistor's operating region (e.g. a corner with `Vdd ≤ VT`).
+pub fn worst_case_path_delay_at(
+    path: &[GateId],
+    timing: &CircuitTiming,
+    tech: &Technology,
+    pt: &OperatingPoint,
+) -> Result<f64> {
     let mut total = 0.0;
     for &g in path {
-        let d = gate_delay(tech, &timing.gate(g).ab, &pt);
+        let d = gate_delay(tech, &timing.gate(g).ab, pt);
         if !d.is_finite() {
             return Err(CoreError::NonFiniteDelay { gate: g.index() });
         }

@@ -2,8 +2,11 @@
 //!
 //! The engine's per-path fan-out and the Monte-Carlo chunking are both
 //! specified to be **bit-identical for any thread count** — parallelism
-//! may only change wall time. These tests pin that contract on C432 and
-//! C499 for `threads ∈ {1, 2, 8}`.
+//! may only change wall time. The kernel cache extends the contract:
+//! exact-bits keys mean a hit returns precisely what a recompute would,
+//! so reports are also bit-identical with the cache on or off. These
+//! tests pin both contracts on C432 and C499 for
+//! `threads ∈ {1, 2, 4, 8}` × `cache ∈ {off, on}`.
 
 use statim::core::characterize::characterize_placed;
 use statim::core::engine::{SstaConfig, SstaEngine, SstaReport};
@@ -15,12 +18,12 @@ use statim::netlist::{Placement, PlacementStyle};
 use statim::process::{Technology, Variations};
 use statim::stats::Marginal;
 
-const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
-fn run_with_threads(bench: Benchmark, threads: usize) -> SstaReport {
+fn run_with(bench: Benchmark, threads: usize, cache: bool) -> SstaReport {
     let circuit = iscas85::generate(bench);
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
-    let config = SstaConfig::date05().with_threads(threads);
+    let config = SstaConfig::date05().with_threads(threads).with_cache(cache);
     SstaEngine::new(config)
         .run(&circuit, &placement)
         .expect("SSTA flow")
@@ -83,20 +86,30 @@ fn assert_reports_identical(a: &SstaReport, b: &SstaReport, label: &str) {
 }
 
 #[test]
-fn engine_report_bit_identical_across_thread_counts_c432() {
-    let base = run_with_threads(Benchmark::C432, THREAD_COUNTS[0]);
-    for &threads in &THREAD_COUNTS[1..] {
-        let r = run_with_threads(Benchmark::C432, threads);
-        assert_reports_identical(&base, &r, &format!("c432 threads={threads}"));
+fn engine_report_bit_identical_across_thread_counts_and_cache_c432() {
+    let base = run_with(Benchmark::C432, THREAD_COUNTS[0], false);
+    for &threads in &THREAD_COUNTS {
+        for cache in [false, true] {
+            if threads == THREAD_COUNTS[0] && !cache {
+                continue;
+            }
+            let r = run_with(Benchmark::C432, threads, cache);
+            assert_reports_identical(&base, &r, &format!("c432 threads={threads} cache={cache}"));
+        }
     }
 }
 
 #[test]
-fn engine_report_bit_identical_across_thread_counts_c499() {
-    let base = run_with_threads(Benchmark::C499, THREAD_COUNTS[0]);
-    for &threads in &THREAD_COUNTS[1..] {
-        let r = run_with_threads(Benchmark::C499, threads);
-        assert_reports_identical(&base, &r, &format!("c499 threads={threads}"));
+fn engine_report_bit_identical_across_thread_counts_and_cache_c499() {
+    let base = run_with(Benchmark::C499, THREAD_COUNTS[0], false);
+    for &threads in &THREAD_COUNTS {
+        for cache in [false, true] {
+            if threads == THREAD_COUNTS[0] && !cache {
+                continue;
+            }
+            let r = run_with(Benchmark::C499, threads, cache);
+            assert_reports_identical(&base, &r, &format!("c499 threads={threads} cache={cache}"));
+        }
     }
 }
 
