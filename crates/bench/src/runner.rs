@@ -45,6 +45,7 @@ pub fn run_benchmark(bench: Benchmark) -> BenchmarkRun {
 ///
 /// Panics on non-budget engine failures.
 pub fn run_benchmark_with(bench: Benchmark, confidence: f64, base: SstaConfig) -> BenchmarkRun {
+    let base = config_with_fault_plan_from_args(base);
     let circuit = iscas85::generate(bench);
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
     let mut c = confidence;
@@ -97,6 +98,30 @@ pub fn threads_from_args() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
     let i = args.iter().position(|a| a == "--threads")?;
     args.get(i + 1)?.parse().ok()
+}
+
+/// Reads and parses a `--fault-plan <spec>` flag from the process
+/// arguments; `None` when absent. Only meaningful in fault-injection
+/// builds — see `statim_core::faults`.
+#[cfg(feature = "fault-injection")]
+pub fn fault_plan_from_args() -> Option<statim_core::FaultPlan> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--fault-plan")?;
+    match args.get(i + 1)?.parse() {
+        Ok(plan) => Some(plan),
+        Err(e) => panic!("--fault-plan: {e}"),
+    }
+}
+
+/// Installs the `--fault-plan` flag's plan (if any) on a config. A
+/// no-op in builds without the fault-injection feature, so every
+/// regeneration binary picks the flag up for free.
+pub fn config_with_fault_plan_from_args(config: SstaConfig) -> SstaConfig {
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = fault_plan_from_args() {
+        return config.with_faults(plan);
+    }
+    config
 }
 
 /// Formats seconds as picoseconds with 3 decimals.

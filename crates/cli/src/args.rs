@@ -31,7 +31,11 @@ ANALYZE OPTIONS:
                           bit-identical for any thread count
     --no-cache            disable the analysis-kernel cache (inter/intra
                           PDFs, corner point); results are bit-identical
-                          with or without it — only wall time changes";
+                          with or without it — only wall time changes
+    --fault-plan <spec>   inject deterministic faults for robustness
+                          testing (needs a fault-injection build); spec is
+                          [seed=N;]fault[@args][;fault...], e.g.
+                          nan-path@1,3,5 or zero-variance";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +98,9 @@ pub struct AnalyzeArgs {
     pub threads: Option<usize>,
     /// Disable the analysis-kernel memoization cache.
     pub no_cache: bool,
+    /// Fault-injection plan spec (only honoured by fault-injection
+    /// builds; other builds reject it with a config error).
+    pub fault_plan: Option<String>,
 }
 
 impl Default for AnalyzeArgs {
@@ -111,6 +118,7 @@ impl Default for AnalyzeArgs {
             max_paths: 1_000_000,
             threads: None,
             no_cache: false,
+            fault_plan: None,
         }
     }
 }
@@ -203,6 +211,7 @@ fn parse_analyze_with<'a>(
             "--max-paths" => args.max_paths = parse_num(tok, value(tok, &mut it)?)?,
             "--threads" => args.threads = Some(parse_num(tok, value(tok, &mut it)?)?),
             "--no-cache" => args.no_cache = true,
+            "--fault-plan" => args.fault_plan = Some(value(tok, &mut it)?.clone()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if args.bench_file.is_some() {
@@ -311,6 +320,29 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_fault_plan_flag() {
+        match parse(&v(&[
+            "analyze",
+            "--benchmark",
+            "c432",
+            "--fault-plan",
+            "seed=7;nan-path@1,3",
+        ]))
+        .unwrap()
+        {
+            Command::Analyze(a) => {
+                assert_eq!(a.fault_plan.as_deref(), Some("seed=7;nan-path@1,3"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["analyze", "--benchmark", "c432"])).unwrap() {
+            Command::Analyze(a) => assert!(a.fault_plan.is_none()),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["analyze", "--benchmark", "c432", "--fault-plan"])).is_err());
     }
 
     #[test]

@@ -2,15 +2,14 @@
 
 use crate::args::{AnalyzeArgs, Command};
 use statim_core::engine::{SstaConfig, SstaEngine};
-use statim_core::LayerModel;
+use statim_core::{ErrorClass, LayerModel, StatimError};
 use statim_netlist::generators::iscas85::{self, Benchmark};
 use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle};
 use statim_process::sensitivity::table1;
 use statim_process::Technology;
-use std::error::Error;
 use std::fs;
 
-type DynResult = Result<(), Box<dyn Error>>;
+type DynResult = Result<(), StatimError>;
 
 /// Runs a parsed command.
 ///
@@ -47,19 +46,35 @@ pub fn run(cmd: Command) -> DynResult {
     }
 }
 
-fn load_circuit(a: &AnalyzeArgs) -> Result<Circuit, Box<dyn Error>> {
+fn unknown_benchmark(name: &str) -> StatimError {
+    StatimError::new(
+        ErrorClass::Config,
+        format!("unknown benchmark `{name}` (try `statim list`)"),
+    )
+}
+
+fn load_circuit(a: &AnalyzeArgs) -> Result<Circuit, StatimError> {
     if let Some(name) = &a.benchmark {
-        let bench = Benchmark::from_name(name)
-            .ok_or_else(|| format!("unknown benchmark `{name}` (try `statim list`)"))?;
+        let bench = Benchmark::from_name(name).ok_or_else(|| unknown_benchmark(name))?;
         Ok(iscas85::generate(bench))
     } else {
         let path = a.bench_file.as_deref().expect("validated by the parser");
-        let text = fs::read_to_string(path)?;
+        let text = fs::read_to_string(path).map_err(|e| StatimError::from(e).with_file(path))?;
+        // Ingestion faults (truncate-bench) corrupt the text before the
+        // parser sees it, proving the parser fails typed, not panicking.
+        #[cfg(feature = "fault-injection")]
+        let text = match &a.fault_plan {
+            Some(spec) => {
+                let plan: statim_core::FaultPlan = spec.parse()?;
+                plan.apply_to_text(&text).to_string()
+            }
+            None => text,
+        };
         let name = std::path::Path::new(path)
             .file_stem()
             .and_then(|s| s.to_str())
             .unwrap_or("circuit");
-        Ok(bench_format::parse(name, &text)?)
+        bench_format::parse(name, &text).map_err(|e| StatimError::from(e).with_file(path))
     }
 }
 
@@ -77,6 +92,7 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
         an.utilization * 100.0
     );
     print!("{}", statim_core::report::cache_summary(&report));
+    print!("{}", statim_core::report::degraded_summary(&report));
     println!();
     println!("{}", statim_core::report::path_table(&report, top));
     Ok(())
@@ -86,12 +102,25 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
 /// runs the engine.
 fn run_engine(
     a: &AnalyzeArgs,
-) -> Result<(statim_netlist::Circuit, Placement, statim_core::SstaReport), Box<dyn Error>> {
+) -> Result<(statim_netlist::Circuit, Placement, statim_core::SstaReport), StatimError> {
+    // Reject a fault plan up front when this binary cannot honour it —
+    // silently ignoring it would report fault-free results as faulty.
+    #[cfg(not(feature = "fault-injection"))]
+    if a.fault_plan.is_some() {
+        return Err(StatimError::new(
+            ErrorClass::Config,
+            "--fault-plan needs a fault-injection build \
+             (cargo build --features fault-injection)",
+        ));
+    }
     let circuit = load_circuit(a)?;
     let placement = match (&a.def_file, a.random_place) {
         (Some(def), _) => {
-            let text = fs::read_to_string(def)?;
-            def_lite::parse(&text)?.placement_for(&circuit)?
+            let text = fs::read_to_string(def).map_err(|e| StatimError::from(e).with_file(def))?;
+            def_lite::parse(&text)
+                .map_err(|e| StatimError::from(e).with_file(def))?
+                .placement_for(&circuit)
+                .map_err(|e| StatimError::from(e).with_file(def))?
         }
         (None, Some(seed)) => Placement::generate(&circuit, PlacementStyle::Random(seed)),
         (None, None) => Placement::generate(&circuit, PlacementStyle::Levelized),
@@ -104,6 +133,10 @@ fn run_engine(
     config.cache = !a.no_cache;
     if let Some(share) = a.inter_share {
         config = config.with_layers(LayerModel::with_inter_share(share));
+    }
+    #[cfg(feature = "fault-injection")]
+    if let Some(spec) = &a.fault_plan {
+        config = config.with_faults(spec.parse()?);
     }
     let report = SstaEngine::new(config).run(&circuit, &placement)?;
     Ok((circuit, placement, report))
@@ -183,8 +216,7 @@ fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
 }
 
 fn generate(name: &str, out_bench: Option<String>, out_def: Option<String>) -> DynResult {
-    let bench = Benchmark::from_name(name)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (try `statim list`)"))?;
+    let bench = Benchmark::from_name(name).ok_or_else(|| unknown_benchmark(name))?;
     let circuit = iscas85::generate(bench);
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
     match &out_bench {

@@ -96,6 +96,27 @@ pub struct PathAnalysis {
     pub inter_pdf: Pdf,
 }
 
+impl PathAnalysis {
+    /// Whether every kernel result — the scalar summary and every cell
+    /// of the three delay PDFs — is finite. Paths failing this are
+    /// quarantined by the engine's graceful-degradation logic rather
+    /// than ranked. (Scanning the densities matters: a single poisoned
+    /// PDF cell can leave the moments finite while the distribution is
+    /// garbage.)
+    pub fn kernel_is_finite(&self) -> bool {
+        self.det_delay.is_finite()
+            && self.worst_case.is_finite()
+            && self.mean.is_finite()
+            && self.sigma.is_finite()
+            && self.inter_sigma.is_finite()
+            && self.intra_sigma.is_finite()
+            && self.confidence_point.is_finite()
+            && [&self.total_pdf, &self.intra_pdf, &self.inter_pdf]
+                .iter()
+                .all(|p| p.density().iter().all(|d| d.is_finite()))
+    }
+}
+
 /// Analyzes one path end-to-end (the "probabilistic timing analysis"
 /// block of the paper's Fig. 1).
 ///
@@ -288,6 +309,24 @@ mod tests {
         assert!(full.mean > half.mean);
         assert!(full.sigma > half.sigma);
         assert_eq!(full.gate_count(), cp.len());
+    }
+
+    #[test]
+    fn kernel_finiteness_covers_scalars_and_densities() {
+        let a = critical_analysis(Benchmark::C432);
+        assert!(a.kernel_is_finite());
+        let mut poisoned_scalar = a.clone();
+        poisoned_scalar.sigma = f64::NAN;
+        assert!(!poisoned_scalar.kernel_is_finite());
+        // A poisoned density cell must fail the check even when every
+        // scalar is still finite. No public constructor can build such a
+        // PDF, so this leg needs the fault-injection backdoor.
+        #[cfg(feature = "fault-injection")]
+        {
+            let mut poisoned_cell = a;
+            poisoned_cell.total_pdf = poisoned_cell.total_pdf.with_poisoned_cell(17);
+            assert!(!poisoned_cell.kernel_is_finite());
+        }
     }
 
     #[test]

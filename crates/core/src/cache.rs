@@ -280,6 +280,12 @@ pub struct AnalysisCache {
     corner: OnceLock<OperatingPoint>,
     corner_hits: AtomicU64,
     corner_misses: AtomicU64,
+    /// Fault-injection: inter-map shard index whose lookups fail
+    /// (`usize::MAX` = none). Checked before the lock, unconditionally on
+    /// every lookup of that shard, so behavior is key-derived and
+    /// deterministic for any thread count.
+    #[cfg(any(test, feature = "fault-injection"))]
+    poisoned_inter: std::sync::atomic::AtomicUsize,
 }
 
 impl std::fmt::Debug for AnalysisCache {
@@ -301,7 +307,25 @@ impl AnalysisCache {
             corner: OnceLock::new(),
             corner_hits: AtomicU64::new(0),
             corner_misses: AtomicU64::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            poisoned_inter: std::sync::atomic::AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// Number of lock stripes per kernel map (the valid range for
+    /// [`AnalysisCache::poison_inter_shard`] is `0..shard_count()`).
+    pub fn shard_count() -> usize {
+        SHARD_COUNT
+    }
+
+    /// Fault-injection: makes every inter-PDF lookup that maps to
+    /// `shard` fail with a `Numeric` error, simulating a corrupted cache
+    /// stripe. Keys select shards deterministically, so the same paths
+    /// degrade for any thread count.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn poison_inter_shard(&self, shard: usize) {
+        self.poisoned_inter
+            .store(shard % SHARD_COUNT, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The settings fingerprint baked into every key.
@@ -321,6 +345,18 @@ impl AnalysisCache {
             alpha_bits: ab.alpha.to_bits(),
             beta_bits: ab.beta.to_bits(),
         };
+        #[cfg(any(test, feature = "fault-injection"))]
+        if key.shard()
+            == self
+                .poisoned_inter
+                .load(std::sync::atomic::Ordering::Relaxed)
+        {
+            return Err(crate::CoreError::Stats(
+                statim_stats::StatsError::NonFinite {
+                    what: "poisoned inter-PDF cache shard",
+                },
+            ));
+        }
         self.inter.get_or_compute(key, key.shard(), compute)
     }
 

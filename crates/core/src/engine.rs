@@ -13,10 +13,12 @@ use crate::cache::{AnalysisCache, CacheStats};
 use crate::characterize::characterize_placed;
 use crate::correlation::LayerModel;
 use crate::enumerate::near_critical_paths;
+use crate::error::ErrorClass;
 use crate::longest_path::{bellman_ford, critical_path, topo_labels};
 use crate::rank::{rank_paths, RankedPath};
 use crate::worst_case::worst_case_critical_delay;
 use crate::{CoreError, Result};
+use statim_netlist::GateId;
 use statim_netlist::{Circuit, Placement};
 use statim_process::delay::CornerSpec;
 use statim_process::param::Variations;
@@ -69,6 +71,11 @@ pub struct SstaConfig {
     /// point) across paths. Exact-bits keys make hits bit-identical to
     /// recomputes, so this only changes wall time, never results.
     pub cache: bool,
+    /// Fault-injection plan for adversarial testing. Faults target
+    /// enumeration indices, so injection is bit-identical for any thread
+    /// count or cache state. `None` (the default) injects nothing.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub faults: Option<std::sync::Arc<crate::faults::FaultPlan>>,
 }
 
 impl SstaConfig {
@@ -89,6 +96,8 @@ impl SstaConfig {
             solver: LabelSolver::BellmanFord,
             threads: None,
             cache: true,
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: None,
         }
     }
 
@@ -114,6 +123,13 @@ impl SstaConfig {
     /// Same configuration with the kernel cache enabled or disabled.
     pub fn with_cache(mut self, cache: bool) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Same configuration with a fault-injection plan installed.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn with_faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.faults = Some(std::sync::Arc::new(plan));
         self
     }
 
@@ -220,6 +236,10 @@ pub struct RunProfile {
     /// threads is scheduling-dependent and diagnostic only — totals
     /// (hits + misses = lookups) and results are deterministic.
     pub cache: Option<CacheStats>,
+    /// Paths quarantined by graceful degradation during the analyze
+    /// stage (0 in a healthy run). Details are in
+    /// [`SstaReport::degraded`].
+    pub degraded: usize,
 }
 
 impl RunProfile {
@@ -231,6 +251,22 @@ impl RunProfile {
             + self.analyze.wall
             + self.rank.wall
     }
+}
+
+/// A near-critical path that was quarantined instead of ranked: its
+/// kernel produced a non-finite value or a recoverable error, so the run
+/// completed without it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedPath {
+    /// Position of the path in enumeration order (stable across thread
+    /// counts and cache states).
+    pub index: usize,
+    /// The gates on the quarantined path.
+    pub gates: Vec<GateId>,
+    /// Failure class that triggered the quarantine.
+    pub class: ErrorClass,
+    /// Human-readable reason.
+    pub reason: String,
 }
 
 /// The result of a full run — one row of the paper's Table 2 plus the
@@ -265,6 +301,10 @@ pub struct SstaReport {
     pub runtime: f64,
     /// Per-stage wall time and thread utilization.
     pub profile: RunProfile,
+    /// Paths quarantined by graceful degradation (empty in a healthy
+    /// run): the run completed, but these paths' kernels went non-finite
+    /// or errored and are excluded from `paths` and `num_paths`.
+    pub degraded: Vec<DegradedPath>,
 }
 
 impl SstaReport {
@@ -348,6 +388,17 @@ impl SstaEngine {
         let sigma_c = det_analysis.sigma;
         let det_wall = t0.elapsed().as_secs_f64();
 
+        // Arm cache poisoning only after the deterministic path's own
+        // analysis: σ_C must stay finite so enumeration (and the rest of
+        // the run) can proceed, which is exactly the graceful-degradation
+        // contract the fault exercises.
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let (Some(plan), Some(c)) = (&self.config.faults, cache.as_ref()) {
+            if let Some(shard) = plan.poisoned_inter_shard() {
+                c.poison_inter_shard(shard);
+            }
+        }
+
         // 4. Enumerate paths within C·σ_C.
         let t0 = Instant::now();
         let threshold = det_critical_delay - self.config.confidence * sigma_c;
@@ -366,9 +417,9 @@ impl SstaEngine {
             .position(|p| p.len() == det_path.len() && *p == det_path);
         let t0 = Instant::now();
         let threads = crate::parallel::effective_threads(self.config.threads);
-        let pool = crate::parallel::run_pool(&set.paths, threads, |i, p| {
-            if Some(i) == det_idx {
-                Ok(det_analysis.clone())
+        let pool = crate::parallel::run_pool(&set.paths, threads, |i, p| -> Result<PathAnalysis> {
+            let analysis = if Some(i) == det_idx {
+                det_analysis.clone()
             } else {
                 analyze_path_cached(
                     p,
@@ -377,10 +428,38 @@ impl SstaEngine {
                     &self.config.tech,
                     &settings,
                     cache.as_ref(),
-                )
-            }
+                )?
+            };
+            #[cfg(any(test, feature = "fault-injection"))]
+            let analysis = match &self.config.faults {
+                Some(plan) => plan.apply_to_path(i, analysis, &settings)?,
+                None => analysis,
+            };
+            Ok(analysis)
         });
-        let analyses: Vec<PathAnalysis> = pool.results.into_iter().collect::<Result<Vec<_>>>()?;
+        // Graceful degradation: a path whose kernel errored or went
+        // non-finite is quarantined, not fatal — the run completes on
+        // the surviving paths. Quarantine order follows enumeration
+        // order, so it is bit-identical for any thread count.
+        let mut analyses: Vec<PathAnalysis> = Vec::with_capacity(pool.results.len());
+        let mut degraded: Vec<DegradedPath> = Vec::new();
+        for (i, res) in pool.results.into_iter().enumerate() {
+            match res {
+                Ok(a) if a.kernel_is_finite() => analyses.push(a),
+                Ok(a) => degraded.push(DegradedPath {
+                    index: i,
+                    gates: a.gates,
+                    class: ErrorClass::Numeric,
+                    reason: "non-finite kernel result (mean, σ or confidence point)".into(),
+                }),
+                Err(e) => degraded.push(DegradedPath {
+                    index: i,
+                    gates: set.paths[i].clone(),
+                    class: e.classify(),
+                    reason: e.to_string(),
+                }),
+            }
+        }
         let fan_wall = t0.elapsed().as_secs_f64();
         // Step 3 (σ_C) is the same per-path kernel, so it books into the
         // analyze stage as a serial prefix (1-thread capacity) ahead of
@@ -388,6 +467,12 @@ impl SstaEngine {
         profile.analyze =
             StageProfile::pooled_with_serial(det_wall, fan_wall, pool.busy, pool.threads);
         profile.cache = cache.as_ref().map(AnalysisCache::stats);
+        profile.degraded = degraded.len();
+        if analyses.is_empty() && !degraded.is_empty() {
+            return Err(CoreError::AllPathsDegraded {
+                total: degraded.len(),
+            });
+        }
 
         // 6. Rank by the confidence point.
         let t0 = Instant::now();
@@ -421,6 +506,7 @@ impl SstaEngine {
             label_sweeps: labels.sweeps,
             runtime: start.elapsed().as_secs_f64(),
             profile,
+            degraded,
         })
     }
 }

@@ -32,7 +32,11 @@ pub struct PathSet {
 /// Returns [`CoreError::PathBudgetExceeded`] once more than `max_paths`
 /// qualifying paths exist — results would otherwise silently be
 /// incomplete. The paper's response on c6288 is to shrink `C`; callers
-/// can equally raise the budget.
+/// can equally raise the budget. Returns
+/// [`CoreError::InvalidConfig`] when `labels` or `timing` was built for
+/// a different circuit (their per-gate tables would be indexed out of
+/// range), and [`CoreError::NonFiniteDelay`] naming the first gate whose
+/// nominal delay is non-finite.
 pub fn near_critical_paths(
     circuit: &Circuit,
     timing: &CircuitTiming,
@@ -40,6 +44,33 @@ pub fn near_critical_paths(
     threshold: f64,
     max_paths: usize,
 ) -> Result<PathSet> {
+    // The walk indexes labels.arrival and timing.gates() by GateId, so a
+    // mismatched circuit must be rejected up front, not discovered as a
+    // panic mid-traversal.
+    if labels.arrival.len() != circuit.gate_count() {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "labels cover {} gates but circuit `{}` has {}",
+                labels.arrival.len(),
+                circuit.name(),
+                circuit.gate_count()
+            ),
+        });
+    }
+    if timing.gates().len() != circuit.gate_count() {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "timing covers {} gates but circuit `{}` has {}",
+                timing.gates().len(),
+                circuit.name(),
+                circuit.gate_count()
+            ),
+        });
+    }
+    if let Some(gate) = (0..circuit.gate_count()).find(|&i| !timing.gates()[i].nominal.is_finite())
+    {
+        return Err(CoreError::NonFiniteDelay { gate });
+    }
     // Tolerance: enumeration must not drop the critical path itself to
     // floating-point noise.
     let eps = 1e-9 * threshold.abs().max(1e-12);
@@ -140,11 +171,9 @@ pub fn near_critical_paths(
         .into_iter()
         .map(|p| (timing.path_delay(&p), p))
         .collect();
-    keyed.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("finite delays")
-            .then_with(|| a.1.cmp(&b.1))
-    });
+    // total_cmp orders identically to partial_cmp for the finite delays
+    // guaranteed by the up-front check, without a panic path.
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
     Ok(PathSet {
         paths: keyed.into_iter().map(|(_, p)| p).collect(),
         threshold,
@@ -258,6 +287,29 @@ mod tests {
             .len();
         assert!(n_loose >= n_tight);
         assert!(n_tight >= 1);
+    }
+
+    #[test]
+    fn mismatched_circuit_rejected_not_panicking() {
+        // Labels/timing from a different (smaller) circuit used to panic
+        // on an out-of-range gate index; now it is a typed Config error.
+        let small = chain_pair();
+        let (t_small, l_small) = setup(&small);
+        let big = iscas85::generate(Benchmark::C432);
+        let (t_big, _) = setup(&big);
+        match near_critical_paths(&big, &t_big, &l_small, 0.0, 1000) {
+            Err(CoreError::InvalidConfig { message }) => {
+                assert!(message.contains("labels"), "{message}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let (_, l_big) = setup(&big);
+        match near_critical_paths(&big, &t_small, &l_big, 0.0, 1000) {
+            Err(CoreError::InvalidConfig { message }) => {
+                assert!(message.contains("timing"), "{message}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

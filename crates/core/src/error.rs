@@ -1,4 +1,13 @@
-//! Error type for the SSTA engine.
+//! Error types for the SSTA engine.
+//!
+//! Two layers:
+//!
+//! * [`CoreError`] — the precise, matchable error enum the engine and its
+//!   callers work with (wrapping [`StatsError`] / [`NetlistError`]);
+//! * [`StatimError`] — the flat, classified form ([`ErrorClass`] +
+//!   message + optional `file:line:col` context) that crosses the CLI
+//!   boundary and feeds degraded-path reporting. Any `CoreError` converts
+//!   losslessly enough for diagnosis via [`CoreError::classify`].
 
 use statim_netlist::NetlistError;
 use statim_stats::StatsError;
@@ -33,6 +42,162 @@ pub enum CoreError {
         /// Index of the offending gate.
         gate: usize,
     },
+    /// Every enumerated near-critical path was quarantined; there is no
+    /// finite kernel left to rank, so the run cannot produce a result.
+    AllPathsDegraded {
+        /// Number of paths that were enumerated (and all degraded).
+        total: usize,
+    },
+}
+
+/// Coarse classification of a failure, for degraded-path accounting and
+/// operator-facing reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Malformed input text (netlist, DEF, fault-plan spec, ...).
+    Parse,
+    /// A numerical kernel produced or detected a non-finite /
+    /// out-of-domain value.
+    Numeric,
+    /// A configuration value or structural mismatch (wrong circuit,
+    /// placement, settings out of range).
+    Config,
+    /// An exhausted budget or environment failure (I/O, path budget).
+    Resource,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Parse => "parse",
+            ErrorClass::Numeric => "numeric",
+            ErrorClass::Config => "config",
+            ErrorClass::Resource => "resource",
+        })
+    }
+}
+
+impl CoreError {
+    /// Classifies this error into the four-way taxonomy.
+    pub fn classify(&self) -> ErrorClass {
+        match self {
+            CoreError::Stats(_) => ErrorClass::Numeric,
+            CoreError::Netlist(e) => match e {
+                NetlistError::Parse { .. }
+                | NetlistError::UnsupportedGate { .. }
+                | NetlistError::UndefinedName { .. }
+                | NetlistError::DuplicateName { .. }
+                | NetlistError::ArityMismatch { .. }
+                | NetlistError::DanglingSignal { .. } => ErrorClass::Parse,
+                _ => ErrorClass::Config,
+            },
+            CoreError::EmptyCircuit | CoreError::InvalidConfig { .. } => ErrorClass::Config,
+            CoreError::PathBudgetExceeded { .. } => ErrorClass::Resource,
+            CoreError::NonFiniteDelay { .. } | CoreError::AllPathsDegraded { .. } => {
+                ErrorClass::Numeric
+            }
+        }
+    }
+}
+
+/// The flat, classified error that crosses tool boundaries: an
+/// [`ErrorClass`], a human-readable message, and optional source context
+/// (`file:line:col`) preserved from parser errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatimError {
+    /// Coarse failure class.
+    pub class: ErrorClass,
+    /// Human-readable description (the wrapped error's `Display` text).
+    pub message: String,
+    /// Input file the error came from, when known.
+    pub file: Option<String>,
+    /// 1-based source line, when known.
+    pub line: Option<usize>,
+    /// 1-based source column, when known.
+    pub col: Option<usize>,
+}
+
+impl StatimError {
+    /// Builds an error from a class and message with no source context.
+    pub fn new(class: ErrorClass, message: impl Into<String>) -> Self {
+        StatimError {
+            class,
+            message: message.into(),
+            file: None,
+            line: None,
+            col: None,
+        }
+    }
+
+    /// Attaches the input file the error came from.
+    #[must_use]
+    pub fn with_file(mut self, path: impl Into<String>) -> Self {
+        self.file = Some(path.into());
+        self
+    }
+}
+
+impl fmt::Display for StatimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error", self.class)?;
+        match (&self.file, self.line) {
+            (Some(file), Some(line)) => {
+                write!(f, " at {file}:{line}")?;
+                if let Some(col) = self.col.filter(|&c| c > 0) {
+                    write!(f, ":{col}")?;
+                }
+            }
+            (Some(file), None) => write!(f, " in {file}")?,
+            (None, Some(line)) => {
+                write!(f, " at line {line}")?;
+                if let Some(col) = self.col.filter(|&c| c > 0) {
+                    write!(f, ", col {col}")?;
+                }
+            }
+            (None, None) => {}
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for StatimError {}
+
+impl From<CoreError> for StatimError {
+    fn from(e: CoreError) -> Self {
+        let class = e.classify();
+        let (line, col) = match &e {
+            CoreError::Netlist(ne) => match ne.location() {
+                Some((l, c)) => (Some(l).filter(|&l| l > 0), Some(c).filter(|&c| c > 0)),
+                None => (None, None),
+            },
+            _ => (None, None),
+        };
+        StatimError {
+            class,
+            message: e.to_string(),
+            file: None,
+            line,
+            col,
+        }
+    }
+}
+
+impl From<NetlistError> for StatimError {
+    fn from(e: NetlistError) -> Self {
+        CoreError::Netlist(e).into()
+    }
+}
+
+impl From<StatsError> for StatimError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e).into()
+    }
+}
+
+impl From<std::io::Error> for StatimError {
+    fn from(e: std::io::Error) -> Self {
+        StatimError::new(ErrorClass::Resource, e.to_string())
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +217,12 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "gate {gate} has a non-finite delay at the requested point"
+                )
+            }
+            CoreError::AllPathsDegraded { total } => {
+                write!(
+                    f,
+                    "all {total} near-critical paths degraded; no finite kernel to rank"
                 )
             }
         }
@@ -93,5 +264,62 @@ mod tests {
         let e: CoreError = StatsError::ZeroMass.into();
         assert!(matches!(e, CoreError::Stats(_)));
         assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::AllPathsDegraded { total: 4 };
+        assert!(e.to_string().contains("all 4"));
+    }
+
+    #[test]
+    fn classification_covers_all_classes() {
+        assert_eq!(
+            CoreError::Stats(StatsError::ZeroMass).classify(),
+            ErrorClass::Numeric
+        );
+        assert_eq!(
+            CoreError::Netlist(NetlistError::Parse {
+                line: 3,
+                col: 7,
+                message: "bad".into(),
+            })
+            .classify(),
+            ErrorClass::Parse
+        );
+        assert_eq!(
+            CoreError::Netlist(NetlistError::PlacementMismatch {
+                gates: 2,
+                placed: 1,
+            })
+            .classify(),
+            ErrorClass::Config
+        );
+        assert_eq!(CoreError::EmptyCircuit.classify(), ErrorClass::Config);
+        assert_eq!(
+            CoreError::PathBudgetExceeded { budget: 8 }.classify(),
+            ErrorClass::Resource
+        );
+        assert_eq!(
+            CoreError::AllPathsDegraded { total: 1 }.classify(),
+            ErrorClass::Numeric
+        );
+    }
+
+    #[test]
+    fn statim_error_carries_location_and_file() {
+        let e: StatimError = NetlistError::Parse {
+            line: 3,
+            col: 7,
+            message: "bad token".into(),
+        }
+        .into();
+        assert_eq!(e.class, ErrorClass::Parse);
+        assert_eq!(e.line, Some(3));
+        assert_eq!(e.col, Some(7));
+        let shown = e.clone().with_file("c432.bench").to_string();
+        assert!(shown.contains("c432.bench:3:7"), "{shown}");
+        let no_file = e.to_string();
+        assert!(no_file.contains("line 3, col 7"), "{no_file}");
+
+        let io: StatimError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert_eq!(io.class, ErrorClass::Resource);
+        assert!(io.to_string().starts_with("resource error"));
     }
 }

@@ -57,6 +57,8 @@ pub mod correlation;
 pub mod engine;
 pub mod enumerate;
 pub mod error;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod faults;
 pub mod inter;
 pub mod intra;
 pub mod longest_path;
@@ -71,8 +73,10 @@ pub mod worst_case;
 pub use cache::{AnalysisCache, CacheStats};
 pub use characterize::{characterize, CircuitTiming, GateTiming};
 pub use correlation::{LayerModel, VarianceSplit};
-pub use engine::{SstaConfig, SstaEngine, SstaReport};
-pub use error::CoreError;
+pub use engine::{DegradedPath, SstaConfig, SstaEngine, SstaReport};
+pub use error::{CoreError, ErrorClass, StatimError};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use faults::{Fault, FaultPlan};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -31,11 +31,12 @@ pub fn rank_paths(paths: Vec<PathAnalysis>) -> Vec<RankedPath> {
     let n = paths.len();
     // Deterministic ranks.
     let mut det_order: Vec<usize> = (0..n).collect();
+    // total_cmp: ranking must stay panic-free even if a caller feeds
+    // kernels that slipped past quarantine (NaN sorts below -inf here).
     det_order.sort_by(|&i, &j| {
         paths[j]
             .det_delay
-            .partial_cmp(&paths[i].det_delay)
-            .expect("finite delays")
+            .total_cmp(&paths[i].det_delay)
             .then_with(|| paths[i].gates.cmp(&paths[j].gates))
     });
     let mut det_rank = vec![0usize; n];
@@ -47,8 +48,7 @@ pub fn rank_paths(paths: Vec<PathAnalysis>) -> Vec<RankedPath> {
     prob_order.sort_by(|&i, &j| {
         paths[j]
             .confidence_point
-            .partial_cmp(&paths[i].confidence_point)
-            .expect("finite confidence points")
+            .total_cmp(&paths[i].confidence_point)
             .then_with(|| paths[i].gates.cmp(&paths[j].gates))
     });
     let mut prob_rank = vec![0usize; n];

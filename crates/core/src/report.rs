@@ -78,6 +78,40 @@ pub fn cache_summary(report: &SstaReport) -> String {
     out
 }
 
+/// One-line quarantine summary: how many enumerated paths were degraded
+/// (kernel errored or went non-finite) and why, grouped by error class.
+/// Empty string for a healthy run, so fault-free output is unchanged.
+pub fn degraded_summary(report: &SstaReport) -> String {
+    if report.degraded.is_empty() {
+        return String::new();
+    }
+    // Count per class, rendered in a fixed order for determinism.
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for d in &report.degraded {
+        let class = d.class.to_string();
+        match counts.iter_mut().find(|(c, _)| *c == class) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((class, 1)),
+        }
+    }
+    counts.sort();
+    let breakdown = counts
+        .iter()
+        .map(|(c, n)| format!("{n} {c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let total = report.num_paths + report.degraded.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  degraded paths               : {} of {} quarantined ({})",
+        report.degraded.len(),
+        total,
+        breakdown
+    );
+    out
+}
+
 /// The ranked-path table (top `limit` rows): prob/det ranks, moments,
 /// confidence point and path length.
 pub fn path_table(report: &SstaReport, limit: usize) -> String {
@@ -191,6 +225,27 @@ mod tests {
         assert!(csv.starts_with("prob_rank,"));
         // The first data row is prob rank 1.
         assert!(csv.lines().nth(1).unwrap().starts_with("1,"));
+    }
+
+    #[test]
+    fn degraded_summary_empty_for_healthy_run() {
+        let r = report();
+        assert!(degraded_summary(&r).is_empty());
+    }
+
+    #[test]
+    fn degraded_summary_reports_quarantine() {
+        use crate::faults::FaultPlan;
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let plan: FaultPlan = "nan-path@1,2".parse().expect("plan");
+        let r = SstaEngine::new(SstaConfig::date05().with_confidence(0.2).with_faults(plan))
+            .run(&c, &p)
+            .expect("degraded run still completes");
+        assert_eq!(r.degraded.len(), 2);
+        let s = degraded_summary(&r);
+        assert!(s.contains("2 of"), "{s}");
+        assert!(s.contains("numeric"), "{s}");
     }
 
     #[test]

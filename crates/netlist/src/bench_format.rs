@@ -61,11 +61,13 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
             let rhs = line[eq + 1..].trim();
             let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
                 line: line_no,
+                col: crate::col_in(raw, rhs),
                 message: format!("expected FUNC(args) after `=`, got `{rhs}`"),
             })?;
             if !rhs.ends_with(')') {
                 return Err(NetlistError::Parse {
                     line: line_no,
+                    col: crate::col_in(raw, rhs) + rhs.len(),
                     message: "missing closing parenthesis".into(),
                 });
             }
@@ -78,6 +80,7 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
             if out.is_empty() || func.is_empty() || args.is_empty() {
                 return Err(NetlistError::Parse {
                     line: line_no,
+                    col: crate::col_in(raw, line),
                     message: "empty net name, function or argument list".into(),
                 });
             }
@@ -90,9 +93,17 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
         } else {
             return Err(NetlistError::Parse {
                 line: line_no,
+                col: crate::col_in(raw, line),
                 message: format!("unrecognized line `{line}`"),
             });
         }
+    }
+    if inputs.is_empty() && defs.is_empty() {
+        return Err(NetlistError::Parse {
+            line: 1,
+            col: 1,
+            message: "empty netlist: no INPUT or gate definitions".into(),
+        });
     }
 
     // Build: PIs first, then gates in dependency order (iterate until all
@@ -297,6 +308,26 @@ y = NOT(a)
             Err(NetlistError::Parse { line: 1, .. })
         ));
         assert!(parse("t", "x = (a)").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        match parse("t", "") {
+            Err(NetlistError::Parse {
+                line: 1, col: 1, ..
+            }) => {}
+            other => panic!("expected empty-netlist error, got {other:?}"),
+        }
+        match parse("t", "INPUT(a)\nx = NAND(a, b") {
+            Err(NetlistError::Parse { line: 2, col, .. }) => assert!(col > 1, "col {col}"),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        match parse("t", "INPUT(a)\n   wat") {
+            Err(NetlistError::Parse {
+                line: 2, col: 4, ..
+            }) => {}
+            other => panic!("expected Parse at col 4, got {other:?}"),
+        }
     }
 
     #[test]

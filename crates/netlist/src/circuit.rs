@@ -172,9 +172,29 @@ impl Circuit {
     /// # Panics
     ///
     /// Panics if the id is out of range (ids are only minted by this
-    /// circuit, so this indicates cross-circuit misuse).
+    /// circuit, so this indicates cross-circuit misuse). Use
+    /// [`Circuit::try_gate`] when the id may come from another circuit.
     pub fn gate(&self, id: GateId) -> &Gate {
         &self.gates[id.index()]
+    }
+
+    /// Gate by id, rejecting ids minted by a different circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] naming the offending id
+    /// when it is out of range for this circuit.
+    pub fn try_gate(&self, id: GateId) -> Result<&Gate> {
+        self.gates
+            .get(id.index())
+            .ok_or_else(|| NetlistError::InvalidConfig {
+                message: format!(
+                    "gate id {} out of range for circuit `{}` with {} gates",
+                    id.index(),
+                    self.name,
+                    self.gates.len()
+                ),
+            })
     }
 
     /// All gates in topological (insertion) order.
@@ -203,11 +223,36 @@ impl Circuit {
     }
 
     /// Name of the net driven by `signal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal refers past this circuit's inputs or gates.
+    /// Use [`Circuit::try_signal_name`] for signals of uncertain origin.
     pub fn signal_name(&self, signal: Signal) -> &str {
         match signal {
             Signal::Input(i) => &self.input_names[i as usize],
             Signal::Gate(g) => &self.gates[g.index()].name,
         }
+    }
+
+    /// Name of the net driven by `signal`, rejecting signals that do not
+    /// exist in this circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DanglingSignal`] naming the offending
+    /// reference when the signal is out of range.
+    pub fn try_signal_name(&self, signal: Signal) -> Result<&str> {
+        let name = match signal {
+            Signal::Input(i) => self.input_names.get(i as usize).map(String::as_str),
+            Signal::Gate(g) => self.gates.get(g.index()).map(|g| g.name.as_str()),
+        };
+        name.ok_or_else(|| NetlistError::DanglingSignal {
+            gate: match signal {
+                Signal::Input(i) => format!("<input {i}>"),
+                Signal::Gate(g) => format!("<gate {}>", g.index()),
+            },
+        })
     }
 
     /// Per-gate fan-out pin counts: how many gate input pins each gate
@@ -326,39 +371,42 @@ impl Circuit {
 mod tests {
     use super::*;
 
-    fn tiny() -> Circuit {
+    fn tiny() -> Result<Circuit> {
         // a, b -> n1 = NAND(a,b); n2 = NOT(n1); PO = n2
         let mut c = Circuit::new("tiny");
-        let a = c.add_input("a").unwrap();
-        let b = c.add_input("b").unwrap();
-        let n1 = c.add_gate("n1", GateKind::Nand(2), &[a, b]).unwrap();
-        let n2 = c.add_gate("n2", GateKind::Inv, &[n1]).unwrap();
-        c.mark_output("out", n2).unwrap();
-        c
+        let a = c.add_input("a")?;
+        let b = c.add_input("b")?;
+        let n1 = c.add_gate("n1", GateKind::Nand(2), &[a, b])?;
+        let n2 = c.add_gate("n2", GateKind::Inv, &[n1])?;
+        c.mark_output("out", n2)?;
+        Ok(c)
     }
 
     #[test]
-    fn build_and_query() {
-        let c = tiny();
+    fn build_and_query() -> Result<()> {
+        let c = tiny()?;
         assert_eq!(c.gate_count(), 2);
         assert_eq!(c.input_count(), 2);
         assert_eq!(c.output_count(), 1);
         assert_eq!(c.depth(), 2);
         assert_eq!(c.path_count(), 2);
-        assert_eq!(c.signal_name(c.find("n1").unwrap()), "n1");
+        let n1 = c
+            .find("n1")
+            .ok_or(NetlistError::UndefinedName { name: "n1".into() })?;
+        assert_eq!(c.signal_name(n1), "n1");
         assert!(c.find("zzz").is_none());
+        Ok(())
     }
 
     #[test]
-    fn duplicate_names_rejected() {
+    fn duplicate_names_rejected() -> Result<()> {
         let mut c = Circuit::new("t");
-        c.add_input("a").unwrap();
+        let a = c.add_input("a")?;
         assert!(matches!(
             c.add_input("a"),
             Err(NetlistError::DuplicateName { .. })
         ));
-        let a = c.find("a").unwrap();
-        c.add_gate("g", GateKind::Inv, &[a]).unwrap();
+        c.add_gate("g", GateKind::Inv, &[a])?;
         assert!(matches!(
             c.add_gate("g", GateKind::Inv, &[a]),
             Err(NetlistError::DuplicateName { .. })
@@ -367,12 +415,13 @@ mod tests {
             c.add_gate("a", GateKind::Inv, &[a]),
             Err(NetlistError::DuplicateName { .. })
         ));
+        Ok(())
     }
 
     #[test]
-    fn arity_checked() {
+    fn arity_checked() -> Result<()> {
         let mut c = Circuit::new("t");
-        let a = c.add_input("a").unwrap();
+        let a = c.add_input("a")?;
         assert!(matches!(
             c.add_gate("g", GateKind::Nand(2), &[a]),
             Err(NetlistError::ArityMismatch {
@@ -381,6 +430,7 @@ mod tests {
                 ..
             })
         ));
+        Ok(())
     }
 
     #[test]
@@ -395,69 +445,90 @@ mod tests {
     }
 
     #[test]
-    fn fanout_pins_counted() {
+    fn try_accessors_reject_foreign_ids() -> Result<()> {
+        let c = tiny()?;
+        assert!(c.try_gate(GateId(0)).is_ok());
+        assert!(matches!(
+            c.try_gate(GateId(99)),
+            Err(NetlistError::InvalidConfig { .. })
+        ));
+        assert_eq!(c.try_signal_name(Signal::Input(0))?, "a");
+        assert!(matches!(
+            c.try_signal_name(Signal::Gate(GateId(99))),
+            Err(NetlistError::DanglingSignal { .. })
+        ));
+        assert!(c.try_signal_name(Signal::Input(17)).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn fanout_pins_counted() -> Result<()> {
         let mut c = Circuit::new("t");
-        let a = c.add_input("a").unwrap();
-        let g1 = c.add_gate("g1", GateKind::Inv, &[a]).unwrap();
-        let _g2 = c.add_gate("g2", GateKind::Inv, &[g1]).unwrap();
-        let _g3 = c.add_gate("g3", GateKind::Nand(2), &[g1, a]).unwrap();
+        let a = c.add_input("a")?;
+        let g1 = c.add_gate("g1", GateKind::Inv, &[a])?;
+        let _g2 = c.add_gate("g2", GateKind::Inv, &[g1])?;
+        let _g3 = c.add_gate("g3", GateKind::Nand(2), &[g1, a])?;
         let pins = c.fanout_pins();
         assert_eq!(pins[0], 2); // g1 feeds g2 and g3
         assert_eq!(pins[1], 0);
         assert_eq!(pins[2], 0);
+        Ok(())
     }
 
     #[test]
-    fn dangling_gates_found() {
+    fn dangling_gates_found() -> Result<()> {
         let mut c = Circuit::new("t");
-        let a = c.add_input("a").unwrap();
-        let g1 = c.add_gate("g1", GateKind::Inv, &[a]).unwrap();
-        let g2 = c.add_gate("g2", GateKind::Inv, &[g1]).unwrap();
-        let _dead = c.add_gate("dead", GateKind::Inv, &[g1]).unwrap();
-        c.mark_output("o", g2).unwrap();
+        let a = c.add_input("a")?;
+        let g1 = c.add_gate("g1", GateKind::Inv, &[a])?;
+        let g2 = c.add_gate("g2", GateKind::Inv, &[g1])?;
+        let _dead = c.add_gate("dead", GateKind::Inv, &[g1])?;
+        c.mark_output("o", g2)?;
         let d = c.dangling_gates();
         assert_eq!(d.len(), 1);
-        assert_eq!(c.gate(d[0]).name, "dead");
+        assert_eq!(c.try_gate(d[0])?.name, "dead");
+        Ok(())
     }
 
     #[test]
-    fn levels_monotone_along_edges() {
-        let c = tiny();
+    fn levels_monotone_along_edges() -> Result<()> {
+        let c = tiny()?;
         let lv = c.levels();
         assert_eq!(lv, vec![1, 2]);
+        Ok(())
     }
 
     #[test]
-    fn path_count_saturates() {
+    fn path_count_saturates() -> Result<()> {
         // A chain of 2-input gates where both inputs come from the
         // previous gate doubles the path count each level.
         let mut c = Circuit::new("exp");
-        let a = c.add_input("a").unwrap();
-        let mut prev = c.add_gate("g0", GateKind::Nand(2), &[a, a]).unwrap();
+        let a = c.add_input("a")?;
+        let mut prev = c.add_gate("g0", GateKind::Nand(2), &[a, a])?;
         for i in 1..200 {
-            prev = c
-                .add_gate(format!("g{i}"), GateKind::Nand(2), &[prev, prev])
-                .unwrap();
+            prev = c.add_gate(format!("g{i}"), GateKind::Nand(2), &[prev, prev])?;
         }
-        c.mark_output("o", prev).unwrap();
+        c.mark_output("o", prev)?;
         assert_eq!(c.path_count(), u128::MAX);
+        Ok(())
     }
 
     #[test]
-    fn kind_histogram_sorted() {
-        let c = tiny();
+    fn kind_histogram_sorted() -> Result<()> {
+        let c = tiny()?;
         let h = c.kind_histogram();
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].1, 1);
+        Ok(())
     }
 
     #[test]
-    fn output_may_alias_gate_name() {
+    fn output_may_alias_gate_name() -> Result<()> {
         let mut c = Circuit::new("t");
-        let a = c.add_input("a").unwrap();
-        let g = c.add_gate("n", GateKind::Inv, &[a]).unwrap();
+        let a = c.add_input("a")?;
+        let g = c.add_gate("n", GateKind::Inv, &[a])?;
         // .bench outputs are net names, so this must be allowed.
-        c.mark_output("n", g).unwrap();
+        c.mark_output("n", g)?;
         assert_eq!(c.output_count(), 1);
+        Ok(())
     }
 }

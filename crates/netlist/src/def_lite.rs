@@ -89,6 +89,7 @@ pub fn parse(text: &str) -> Result<DefDesign> {
                     if v <= 0.0 {
                         return Err(NetlistError::Parse {
                             line: line_no,
+                            col: crate::col_in(raw, line),
                             message: format!("non-positive DBU {v}"),
                         });
                     }
@@ -100,6 +101,7 @@ pub fn parse(text: &str) -> Result<DefDesign> {
                 if nums.len() != 4 {
                     return Err(NetlistError::Parse {
                         line: line_no,
+                        col: crate::col_in(raw, line),
                         message: "DIEAREA needs two coordinate pairs".into(),
                     });
                 }
@@ -115,12 +117,14 @@ pub fn parse(text: &str) -> Result<DefDesign> {
                 // - <name> <cell> + PLACED ( x y ) N ;
                 let comp = toks.get(1).ok_or_else(|| NetlistError::Parse {
                     line: line_no,
+                    col: crate::col_in(raw, line),
                     message: "component line missing name".into(),
                 })?;
                 let nums: Vec<f64> = toks.iter().filter_map(|t| t.parse::<f64>().ok()).collect();
                 if nums.len() < 2 {
                     return Err(NetlistError::Parse {
                         line: line_no,
+                        col: crate::col_in(raw, comp),
                         message: format!("component `{comp}` has no placed coordinates"),
                     });
                 }
@@ -135,6 +139,7 @@ pub fn parse(text: &str) -> Result<DefDesign> {
                 if in_components {
                     return Err(NetlistError::Parse {
                         line: line_no,
+                        col: crate::col_in(raw, line),
                         message: format!("unrecognized component line `{line}`"),
                     });
                 }
@@ -144,6 +149,7 @@ pub fn parse(text: &str) -> Result<DefDesign> {
     if die_side <= 0.0 {
         return Err(NetlistError::Parse {
             line: 0,
+            col: 0,
             message: "missing DIEAREA".into(),
         });
     }
@@ -187,25 +193,25 @@ mod tests {
     use crate::place::PlacementStyle;
     use statim_process::GateKind;
 
-    fn tiny() -> Circuit {
+    fn tiny() -> Result<Circuit> {
         let mut c = Circuit::new("tiny");
-        let a = c.add_input("a").unwrap();
-        let b = c.add_input("b").unwrap();
-        let g = c.add_gate("u1", GateKind::Nand(2), &[a, b]).unwrap();
-        let h = c.add_gate("u2", GateKind::Inv, &[g]).unwrap();
-        c.mark_output("z", h).unwrap();
-        c
+        let a = c.add_input("a")?;
+        let b = c.add_input("b")?;
+        let g = c.add_gate("u1", GateKind::Nand(2), &[a, b])?;
+        let h = c.add_gate("u2", GateKind::Inv, &[g])?;
+        c.mark_output("z", h)?;
+        Ok(c)
     }
 
     #[test]
-    fn round_trip_preserves_positions() {
-        let c = tiny();
+    fn round_trip_preserves_positions() -> Result<()> {
+        let c = tiny()?;
         let p = Placement::generate(&c, PlacementStyle::Levelized);
         let text = write(&c, &p);
-        let def = parse(&text).unwrap();
+        let def = parse(&text)?;
         assert_eq!(def.name, "tiny");
         assert_eq!(def.components.len(), 2);
-        let p2 = def.placement_for(&c).unwrap();
+        let p2 = def.placement_for(&c)?;
         for id in c.gate_ids() {
             let (x1, y1) = p.position(id);
             let (x2, y2) = p2.position(id);
@@ -213,10 +219,11 @@ mod tests {
             assert!((y1 - y2).abs() < 0.01);
         }
         assert!((p.die_side() - p2.die_side()).abs() < 0.01);
+        Ok(())
     }
 
     #[test]
-    fn parse_handles_dbu_conversion() {
+    fn parse_handles_dbu_conversion() -> Result<()> {
         let text = "\
 DESIGN t ;
 UNITS DISTANCE MICRONS 2000 ;
@@ -226,9 +233,10 @@ COMPONENTS 1 ;
 END COMPONENTS
 END DESIGN
 ";
-        let def = parse(text).unwrap();
+        let def = parse(text)?;
         assert!((def.die_side - 100.0).abs() < 1e-9);
         assert_eq!(def.components["u1"], (50.0, 25.0));
+        Ok(())
     }
 
     #[test]
@@ -252,8 +260,8 @@ END COMPONENTS
     }
 
     #[test]
-    fn placement_for_missing_gate_errors() {
-        let c = tiny();
+    fn placement_for_missing_gate_errors() -> Result<()> {
+        let c = tiny()?;
         let text = "\
 DESIGN tiny ;
 DIEAREA ( 0 0 ) ( 10000 10000 ) ;
@@ -261,11 +269,12 @@ COMPONENTS 1 ;
 - u1 NAND2 + PLACED ( 100 100 ) N ;
 END COMPONENTS
 ";
-        let def = parse(text).unwrap();
+        let def = parse(text)?;
         assert!(matches!(
             def.placement_for(&c),
             Err(NetlistError::UndefinedName { .. })
         ));
+        Ok(())
     }
 
     #[test]

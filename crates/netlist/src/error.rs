@@ -27,10 +27,12 @@ pub enum NetlistError {
         /// Gate (or output) being connected.
         gate: String,
     },
-    /// A `.bench` or DEF line could not be parsed.
+    /// A `.bench`, Verilog or DEF line could not be parsed.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// 1-based column of the offending token (0 when unknown).
+        col: usize,
         /// Description of the problem.
         message: String,
     },
@@ -62,6 +64,19 @@ pub enum NetlistError {
     },
 }
 
+impl NetlistError {
+    /// The source location carried by this error as `(line, col)`, both
+    /// 1-based (`col` 0 when only the line is known). `None` when the
+    /// variant has no positional context.
+    pub fn location(&self) -> Option<(usize, usize)> {
+        match self {
+            NetlistError::Parse { line, col, .. } => Some((*line, *col)),
+            NetlistError::UnsupportedGate { line, .. } if *line > 0 => Some((*line, 0)),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -76,7 +91,13 @@ impl fmt::Display for NetlistError {
             NetlistError::DanglingSignal { gate } => {
                 write!(f, "`{gate}` references a signal that does not exist")
             }
-            NetlistError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            NetlistError::Parse { line, col, message } => {
+                if *col > 0 {
+                    write!(f, "line {line}, col {col}: {message}")
+                } else {
+                    write!(f, "line {line}: {message}")
+                }
+            }
             NetlistError::UnsupportedGate {
                 function,
                 arity,

@@ -48,3 +48,16 @@ pub use place::{Placement, PlacementStyle};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NetlistError>;
+
+/// 1-based column of `part` within the raw line it was sliced from, for
+/// error reporting. Falls back to column 1 if `part` is not a subslice
+/// of `raw` (it always is for the parsers in this crate).
+pub(crate) fn col_in(raw: &str, part: &str) -> usize {
+    let raw_start = raw.as_ptr() as usize;
+    let part_start = part.as_ptr() as usize;
+    if (raw_start..=raw_start + raw.len()).contains(&part_start) {
+        part_start - raw_start + 1
+    } else {
+        1
+    }
+}

@@ -99,7 +99,7 @@ mod tests {
     use crate::generators::blocks::Builder;
 
     #[test]
-    fn gate_primitives_truth_tables() {
+    fn gate_primitives_truth_tables() -> Result<()> {
         let mut b = Builder::new("prims");
         let x = b.input("x");
         let y = b.input("y");
@@ -116,7 +116,7 @@ mod tests {
         }
         let c = b.finish();
         // Patterns: x = 0101, y = 0011 (low 4 bits).
-        let out = simulate_outputs(&c, &[0b0101, 0b0011]).unwrap();
+        let out = simulate_outputs(&c, &[0b0101, 0b0011])?;
         let low4 = |w: Word| w & 0xF;
         assert_eq!(low4(out[0]), 0b1110, "NAND");
         assert_eq!(low4(out[1]), 0b1000, "NOR");
@@ -126,10 +126,11 @@ mod tests {
         assert_eq!(low4(out[5]), 0b1001, "XNOR");
         assert_eq!(low4(out[6]), 0b1010, "INV");
         assert_eq!(low4(out[7]), 0b0101, "BUF");
+        Ok(())
     }
 
     #[test]
-    fn full_adder_truth_table() {
+    fn full_adder_truth_table() -> Result<()> {
         let mut b = Builder::new("fa");
         let a = b.input("a");
         let x = b.input("b");
@@ -140,15 +141,16 @@ mod tests {
         let c = b.finish();
         for bits in 0..8u8 {
             let ins = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
-            let out = simulate_once(&c, &ins).unwrap();
+            let out = simulate_once(&c, &ins)?;
             let total = ins.iter().filter(|&&v| v).count();
             assert_eq!(out[0], total % 2 == 1, "sum for {bits:03b}");
             assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn nor_full_adder_matches_xor_full_adder() {
+    fn nor_full_adder_matches_xor_full_adder() -> Result<()> {
         let mut b = Builder::new("fa2");
         let a = b.input("a");
         let x = b.input("b");
@@ -162,14 +164,15 @@ mod tests {
         let c = b.finish();
         for bits in 0..8u8 {
             let ins = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
-            let out = simulate_once(&c, &ins).unwrap();
+            let out = simulate_once(&c, &ins)?;
             assert_eq!(out[0], out[2], "sums differ at {bits:03b}");
             assert_eq!(out[1], out[3], "carries differ at {bits:03b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn xor_nand4_expansion_is_xor() {
+    fn xor_nand4_expansion_is_xor() -> Result<()> {
         let mut b = Builder::new("x4");
         let x = b.input("x");
         let y = b.input("y");
@@ -178,12 +181,13 @@ mod tests {
         b.output("d", direct);
         b.output("e", expanded);
         let c = b.finish();
-        let out = simulate_outputs(&c, &[0b0101, 0b0011]).unwrap();
+        let out = simulate_outputs(&c, &[0b0101, 0b0011])?;
         assert_eq!(out[0] & 0xF, out[1] & 0xF);
+        Ok(())
     }
 
     #[test]
-    fn ripple_adder_adds() {
+    fn ripple_adder_adds() -> Result<()> {
         let mut b = Builder::new("add");
         let a = b.inputs("a", 8);
         let x = b.inputs("b", 8);
@@ -203,7 +207,7 @@ mod tests {
                 ins.push((bv >> i) & 1 == 1);
             }
             ins.push(cv == 1);
-            let out = simulate_once(&c, &ins).unwrap();
+            let out = simulate_once(&c, &ins)?;
             let mut got = 0u16;
             for (i, &bit) in out.iter().enumerate().take(8) {
                 if bit {
@@ -215,10 +219,11 @@ mod tests {
             }
             assert_eq!(got, av + bv + cv, "{av}+{bv}+{cv}");
         }
+        Ok(())
     }
 
     #[test]
-    fn mux2_selects_correctly() {
+    fn mux2_selects_correctly() -> Result<()> {
         let mut b = Builder::new("mux");
         let a = b.input("a");
         let x = b.input("b");
@@ -227,13 +232,14 @@ mod tests {
         b.output("m", m);
         let c = b.finish();
         // sel=0 → a, sel=1 → b.
-        assert!(simulate_once(&c, &[true, false, false]).unwrap()[0]);
-        assert!(!simulate_once(&c, &[true, false, true]).unwrap()[0]);
-        assert!(simulate_once(&c, &[false, true, true]).unwrap()[0]);
+        assert!(simulate_once(&c, &[true, false, false])?[0]);
+        assert!(!simulate_once(&c, &[true, false, true])?[0]);
+        assert!(simulate_once(&c, &[false, true, true])?[0]);
+        Ok(())
     }
 
     #[test]
-    fn priority_chain_grants_highest_only() {
+    fn priority_chain_grants_highest_only() -> Result<()> {
         let mut b = Builder::new("prio");
         let reqs = b.inputs("r", 4);
         let grants = b.priority_chain(&reqs);
@@ -242,18 +248,19 @@ mod tests {
         }
         let c = b.finish();
         // Requests 1 and 3 active: only grant 1 fires.
-        let out = simulate_once(&c, &[false, true, false, true]).unwrap();
+        let out = simulate_once(&c, &[false, true, false, true])?;
         assert_eq!(out, vec![false, true, false, false]);
         // No requests: no grants.
-        let out = simulate_once(&c, &[false; 4]).unwrap();
+        let out = simulate_once(&c, &[false; 4])?;
         assert_eq!(out, vec![false; 4]);
         // All requests: grant 0 only.
-        let out = simulate_once(&c, &[true; 4]).unwrap();
+        let out = simulate_once(&c, &[true; 4])?;
         assert_eq!(out, vec![true, false, false, false]);
+        Ok(())
     }
 
     #[test]
-    fn decoder_one_hot() {
+    fn decoder_one_hot() -> Result<()> {
         let mut b = Builder::new("dec");
         let sel = b.inputs("s", 2);
         let lines = b.decoder(&sel);
@@ -263,22 +270,23 @@ mod tests {
         let c = b.finish();
         for code in 0..4usize {
             let ins = [(code & 1) != 0, (code & 2) != 0];
-            let out = simulate_once(&c, &ins).unwrap();
+            let out = simulate_once(&c, &ins)?;
             for (i, &bit) in out.iter().enumerate() {
                 assert_eq!(bit, i == code, "code {code}, line {i}");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn equality_comparator_works() {
+    fn equality_comparator_works() -> Result<()> {
         let mut b = Builder::new("eq");
         let a = b.inputs("a", 4);
         let x = b.inputs("b", 4);
         let eq = b.equality(&a, &x);
         b.output("eq", eq);
         let c = b.finish();
-        let run = |av: u8, bv: u8| {
+        let run = |av: u8, bv: u8| -> Result<bool> {
             let mut ins = Vec::new();
             for i in 0..4 {
                 ins.push((av >> i) & 1 == 1);
@@ -286,16 +294,17 @@ mod tests {
             for i in 0..4 {
                 ins.push((bv >> i) & 1 == 1);
             }
-            simulate_once(&c, &ins).unwrap()[0]
+            Ok(simulate_once(&c, &ins)?[0])
         };
-        assert!(run(9, 9));
-        assert!(!run(9, 8));
-        assert!(run(0, 0));
-        assert!(!run(15, 0));
+        assert!(run(9, 9)?);
+        assert!(!run(9, 8)?);
+        assert!(run(0, 0)?);
+        assert!(!run(15, 0)?);
+        Ok(())
     }
 
     #[test]
-    fn xor_tree_computes_parity_expanded_and_plain() {
+    fn xor_tree_computes_parity_expanded_and_plain() -> Result<()> {
         for expand in [false, true] {
             let mut b = Builder::new("par");
             let ins = b.inputs("i", 7);
@@ -304,7 +313,7 @@ mod tests {
             let c = b.finish();
             for pattern in 0..128u32 {
                 let bits: Vec<bool> = (0..7).map(|i| (pattern >> i) & 1 == 1).collect();
-                let out = simulate_once(&c, &bits).unwrap();
+                let out = simulate_once(&c, &bits)?;
                 assert_eq!(
                     out[0],
                     pattern.count_ones() % 2 == 1,
@@ -312,10 +321,11 @@ mod tests {
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn c6288_product_bit_zero_exact() {
+    fn c6288_product_bit_zero_exact() -> Result<()> {
         // The array's boundary cells use stand-in carries (the documented
         // substitution), so only product bit 0 — which bypasses the adder
         // array — is arithmetically exact: p0 = a0·b0.
@@ -329,25 +339,27 @@ mod tests {
             for i in 0..16 {
                 ins.push((bv >> i) & 1 == 1);
             }
-            let out = simulate_once(&c, &ins).unwrap();
+            let out = simulate_once(&c, &ins)?;
             assert_eq!(out[0], (av & 1 == 1) && (bv & 1 == 1), "{av}×{bv} bit 0");
         }
+        Ok(())
     }
 
     #[test]
-    fn c6288_outputs_depend_on_inputs() {
+    fn c6288_outputs_depend_on_inputs() -> Result<()> {
         // Structural liveness: toggling an operand bit must flip at least
         // one product bit.
         use crate::generators::iscas85::{self, Benchmark};
         let c = iscas85::generate(Benchmark::C6288);
         let base = vec![true; 32];
-        let out_base = simulate_once(&c, &base).unwrap();
+        let out_base = simulate_once(&c, &base)?;
         for flip in [0usize, 7, 15, 16, 25, 31] {
             let mut ins = base.clone();
             ins[flip] = false;
-            let out = simulate_once(&c, &ins).unwrap();
+            let out = simulate_once(&c, &ins)?;
             assert_ne!(out, out_base, "input {flip} has no observable effect");
         }
+        Ok(())
     }
 
     #[test]

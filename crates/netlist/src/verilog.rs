@@ -129,6 +129,36 @@ fn sanitize(name: &str) -> String {
     s
 }
 
+/// One `;`-terminated statement with the source position of its first
+/// non-whitespace character.
+struct Stmt {
+    line: usize,
+    col: usize,
+    text: String,
+}
+
+/// Appends `piece` (a comment-stripped slice of source line `raw`,
+/// 1-based number `line_no`) to the statement under construction,
+/// opening a new one at the first non-whitespace character if none is
+/// open. Whitespace-only pieces never open a statement.
+fn push_stmt_text(cur: &mut Option<Stmt>, raw: &str, piece: &str, line_no: usize) {
+    match cur {
+        Some(s) => {
+            s.text.push(' ');
+            s.text.push_str(piece);
+        }
+        None => {
+            if let Some((off, _)) = piece.char_indices().find(|(_, c)| !c.is_whitespace()) {
+                *cur = Some(Stmt {
+                    line: line_no,
+                    col: crate::col_in(raw, piece) + off,
+                    text: piece.to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Parses the structural Verilog subset back into a [`Circuit`].
 ///
 /// # Errors
@@ -137,16 +167,37 @@ fn sanitize(name: &str) -> String {
 /// [`NetlistError::UnsupportedGate`] for unknown primitives, and
 /// [`NetlistError::UndefinedName`] for unresolvable nets.
 pub fn parse(text: &str) -> Result<Circuit> {
-    // Tokenize into `;`-terminated statements, stripping comments.
-    let mut cleaned = String::with_capacity(text.len());
-    for line in text.lines() {
-        let line = match line.find("//") {
-            Some(p) => &line[..p],
-            None => line,
+    // Tokenize into `;`-terminated statements, stripping comments and
+    // recording the source line/column where each statement starts so
+    // errors point at the file, not at a flattened statement index.
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut cur: Option<Stmt> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
         };
-        cleaned.push_str(line);
-        cleaned.push(' ');
+        let mut rest = line;
+        loop {
+            match rest.split_once(';') {
+                Some((before, after)) => {
+                    push_stmt_text(&mut cur, raw, before, idx + 1);
+                    if let Some(s) = cur.take() {
+                        stmts.push(s);
+                    }
+                    rest = after;
+                }
+                None => {
+                    push_stmt_text(&mut cur, raw, rest, idx + 1);
+                    break;
+                }
+            }
+        }
     }
+    if let Some(s) = cur.take() {
+        stmts.push(s);
+    }
+
     let mut name = String::from("top");
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
@@ -158,8 +209,8 @@ pub fn parse(text: &str) -> Result<Circuit> {
     }
     let mut insts: Vec<Inst> = Vec::new();
 
-    for (stmt_no, stmt) in cleaned.split(';').enumerate() {
-        let stmt = stmt.trim();
+    for s in &stmts {
+        let stmt = s.text.trim();
         if stmt.is_empty() || stmt == "endmodule" || stmt.starts_with("endmodule") {
             continue;
         }
@@ -182,11 +233,13 @@ pub fn parse(text: &str) -> Result<Circuit> {
             prim => {
                 // `<prim> <inst> ( out, in, in ... )`
                 let open = stmt.find('(').ok_or_else(|| NetlistError::Parse {
-                    line: stmt_no + 1,
+                    line: s.line,
+                    col: s.col,
                     message: format!("expected instance terminals in `{stmt}`"),
                 })?;
                 let close = stmt.rfind(')').ok_or_else(|| NetlistError::Parse {
-                    line: stmt_no + 1,
+                    line: s.line,
+                    col: s.col,
                     message: "missing `)`".into(),
                 })?;
                 let mut terms = stmt[open + 1..close]
@@ -197,24 +250,33 @@ pub fn parse(text: &str) -> Result<Circuit> {
                         .next()
                         .filter(|s| !s.is_empty())
                         .ok_or_else(|| NetlistError::Parse {
-                            line: stmt_no + 1,
+                            line: s.line,
+                            col: s.col,
                             message: "instance needs an output terminal".into(),
                         })?;
                 let ins: Vec<String> = terms.collect();
                 if ins.is_empty() {
                     return Err(NetlistError::Parse {
-                        line: stmt_no + 1,
+                        line: s.line,
+                        col: s.col,
                         message: "instance needs input terminals".into(),
                     });
                 }
                 insts.push(Inst {
-                    line: stmt_no + 1,
+                    line: s.line,
                     prim: prim.to_string(),
                     out,
                     ins,
                 });
             }
         }
+    }
+    if inputs.is_empty() && insts.is_empty() {
+        return Err(NetlistError::Parse {
+            line: 1,
+            col: 1,
+            message: "empty module: no input or instance statements".into(),
+        });
     }
 
     let mut circuit = Circuit::new(name);

@@ -121,6 +121,20 @@ impl Pdf {
         &self.grid
     }
 
+    /// Deliberately corrupts cell `i % len` of the density with a NaN —
+    /// the fault-injection port proving that no public constructor path
+    /// can produce such a PDF and that downstream consumers quarantine
+    /// it. Compiled only with the `fault-injection` feature.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_poisoned_cell(mut self, i: usize) -> Pdf {
+        let n = self.density.len();
+        if n > 0 {
+            self.density[i % n] = f64::NAN;
+        }
+        self
+    }
+
     /// Per-cell density values.
     #[inline]
     pub fn density(&self) -> &[f64] {

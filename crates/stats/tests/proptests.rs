@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use statim_stats::combine::{map1, map2};
 use statim_stats::convolve::{sum_pdf, sum_pdf_resampled};
-use statim_stats::gaussian::{big_phi, erf, gaussian_pdf, inv_phi, Gaussian};
+use statim_stats::gaussian::{big_phi, erf, gaussian_pdf, inv_phi, try_gaussian_pdf, Gaussian};
 use statim_stats::sample::PdfSampler;
 use statim_stats::{Grid, Pdf};
 
@@ -176,5 +176,70 @@ proptest! {
         prop_assert!((m.mass() - 1.0).abs() < 1e-9);
         let expect = w * a.mean() + (1.0 - w) * b.mean();
         prop_assert!((m.mean() - expect).abs() < 0.05 * (1.0 + a.std_dev()));
+    }
+
+    // ---- Degenerate regimes: the robustness layer's contract is that
+    // ---- no NaN escapes the public statim-stats API — degenerate
+    // ---- inputs either produce a finite PDF or a typed error.
+
+    #[test]
+    fn zero_and_negative_sigma_are_typed_errors(mean in -100.0..100.0f64, sigma in 0.0..10.0f64) {
+        prop_assert!(try_gaussian_pdf(mean, 0.0, 6.0, 100).is_err());
+        prop_assert!(try_gaussian_pdf(mean, -sigma.max(1e-300), 6.0, 100).is_err());
+        prop_assert!(try_gaussian_pdf(mean, f64::NAN, 6.0, 100).is_err());
+        prop_assert!(Gaussian::new(mean, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_cell_grid_stays_finite(lo in -1e3..1e3f64, step in 0.01..10.0f64, d in 0.1..1e3f64) {
+        let grid = Grid::new(lo, step, 1).unwrap();
+        let pdf = Pdf::new(grid, vec![d]).unwrap();
+        prop_assert!((pdf.mass() - 1.0).abs() < 1e-9);
+        prop_assert!(pdf.mean().is_finite());
+        prop_assert!(pdf.variance().is_finite());
+        prop_assert!(pdf.variance() >= 0.0);
+        prop_assert!(pdf.std_dev().is_finite());
+        prop_assert!(pdf.cdf(pdf.grid().lo()) == 0.0);
+        prop_assert!(pdf.cdf(pdf.grid().hi()) == 1.0);
+    }
+
+    #[test]
+    fn truncation_boundaries_pin_the_cdf(mean in -50.0..50.0f64, sigma in 0.1..20.0f64, k in 2.0..6.0f64) {
+        // The paper truncates at ±kσ: all mass lives strictly inside
+        // [mean − kσ, mean + kσ] and the CDF saturates exactly at the
+        // grid edges — no leakage, no NaN at the boundary.
+        let pdf = gaussian_pdf(mean, sigma, k, 120);
+        prop_assert!(pdf.grid().lo() >= mean - k * sigma - 1e-6 * sigma);
+        prop_assert!(pdf.grid().hi() <= mean + k * sigma + 1e-6 * sigma);
+        prop_assert!(pdf.cdf(pdf.grid().lo()) == 0.0);
+        prop_assert!(pdf.cdf(pdf.grid().hi()) == 1.0);
+        prop_assert!(pdf.cdf(mean - (k + 1.0) * sigma) == 0.0);
+        prop_assert!(pdf.cdf(mean + (k + 1.0) * sigma) == 1.0);
+        prop_assert!(pdf.density().iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn delta_like_convolution_stays_finite(x in -50.0..50.0f64, m in -50.0..50.0f64, s in 0.5..10.0f64) {
+        // A Dirac-like spike (σ = 0 component, e.g. a zero-variance
+        // intra kernel) convolved with a smooth PDF must shift, not
+        // corrupt, the distribution.
+        let g = gaussian_pdf(m, s, 6.0, 100);
+        let spike = Pdf::delta(Grid::new(x - 1.0, 0.02, 100).unwrap(), x).unwrap();
+        let total = sum_pdf_resampled(&spike, &g, 120).unwrap();
+        prop_assert!((total.mass() - 1.0).abs() < 1e-9);
+        prop_assert!(total.density().iter().all(|d| d.is_finite()));
+        prop_assert!((total.mean() - (spike.mean() + m)).abs() < 0.05 * s + 0.05);
+        prop_assert!((total.std_dev() - s).abs() < 0.1 * s);
+    }
+
+    #[test]
+    fn no_nan_escapes_derived_quantities(pdf in arb_pdf(), p in 0.01..0.99f64, t in 0.0..1.0f64) {
+        prop_assert!(pdf.density().iter().all(|d| d.is_finite()));
+        prop_assert!(pdf.mean().is_finite());
+        prop_assert!(pdf.variance().is_finite());
+        prop_assert!(pdf.std_dev().is_finite());
+        let x = pdf.grid().lo() + t * (pdf.grid().hi() - pdf.grid().lo());
+        prop_assert!(pdf.cdf(x).is_finite());
+        prop_assert!(pdf.quantile(p).unwrap().is_finite());
     }
 }

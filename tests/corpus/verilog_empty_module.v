@@ -1,0 +1,2 @@
+module nothing ();
+endmodule

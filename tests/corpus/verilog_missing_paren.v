@@ -1,0 +1,5 @@
+module broken (a, b, x);
+  input a, b;
+  output x;
+  nand g1 (x, a, b;
+endmodule

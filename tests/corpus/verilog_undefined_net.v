@@ -1,0 +1,5 @@
+module broken (a, x);
+  input a;
+  output x;
+  nand g1 (x, a, phantom);
+endmodule

@@ -1,0 +1,5 @@
+module broken (a, b, c, x);
+  input a, b, c;
+  output x;
+  majority g1 (x, a, b, c);
+endmodule

@@ -1,0 +1,108 @@
+//! Hardened-ingestion corpus: every file under `tests/corpus/` is a
+//! deliberately malformed netlist or placement. Each must come back as
+//! a **typed** error — classified `Parse` through the [`StatimError`]
+//! taxonomy, with source line/column where the table says the parser
+//! can know one — and must never panic.
+
+use statim::core::{ErrorClass, StatimError};
+use statim::netlist::{bench_format, def_lite, verilog, NetlistError};
+use std::fs;
+use std::path::Path;
+
+#[derive(Clone, Copy)]
+enum Format {
+    Bench,
+    Verilog,
+    Def,
+}
+
+/// filename → (format, expects a source location, message fragment).
+/// Errors raised while *resolving* names (undefined nets, cycles) have
+/// no single offending character, so they carry no line/col.
+const CORPUS: &[(&str, Format, bool, &str)] = &[
+    ("bench_truncated_gate.bench", Format::Bench, true, ""),
+    ("bench_unknown_gate.bench", Format::Bench, false, "MAJ"),
+    ("bench_undefined_net.bench", Format::Bench, false, "ghost"),
+    ("bench_duplicate_gate.bench", Format::Bench, false, "x"),
+    ("bench_empty.bench", Format::Bench, true, "empty"),
+    ("bench_cyclic.bench", Format::Bench, false, ""),
+    ("bench_garbage_line.bench", Format::Bench, true, ""),
+    ("bench_missing_rhs.bench", Format::Bench, true, ""),
+    ("verilog_missing_paren.v", Format::Verilog, true, ""),
+    ("verilog_unknown_prim.v", Format::Verilog, false, "majority"),
+    ("verilog_empty_module.v", Format::Verilog, true, "empty"),
+    ("verilog_undefined_net.v", Format::Verilog, false, "phantom"),
+    ("def_missing_diearea.def", Format::Def, false, "DIEAREA"),
+    ("def_unplaced_component.def", Format::Def, true, ""),
+    ("def_bad_coordinate.def", Format::Def, true, ""),
+];
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn parse_file(format: Format, name: &str, text: &str) -> Result<(), NetlistError> {
+    match format {
+        Format::Bench => bench_format::parse(name, text).map(|_| ()),
+        Format::Verilog => verilog::parse(text).map(|_| ()),
+        Format::Def => def_lite::parse(text).map(|_| ()),
+    }
+}
+
+#[test]
+fn every_corpus_file_fails_with_a_typed_parse_error() {
+    for &(file, format, wants_location, fragment) in CORPUS {
+        let path = corpus_dir().join(file);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let err = parse_file(format, file, &text)
+            .expect_err(&format!("{file}: malformed input must not parse"));
+        let flat: StatimError = StatimError::from(err.clone()).with_file(file);
+        assert_eq!(flat.class, ErrorClass::Parse, "{file}: {err:?}");
+        if wants_location {
+            let (line, col) = (flat.line, flat.col);
+            assert!(
+                line.is_some_and(|l| l >= 1),
+                "{file}: expected a source line, got {err:?}"
+            );
+            assert!(
+                col.is_some_and(|c| c >= 1),
+                "{file}: expected a source column, got {err:?}"
+            );
+            // The rendered form points at file:line:col.
+            let shown = flat.to_string();
+            assert!(shown.contains(&format!("{file}:")), "{file}: {shown}");
+        }
+        if !fragment.is_empty() {
+            assert!(
+                err.to_string().contains(fragment),
+                "{file}: `{err}` should name `{fragment}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_and_table_stay_in_sync() {
+    // Every corpus file is listed, and every listed file exists — a new
+    // bad input can't silently skip classification.
+    let mut on_disk: Vec<String> = fs::read_dir(corpus_dir())
+        .expect("corpus dir")
+        .map(|e| e.expect("entry").file_name().into_string().expect("utf-8"))
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = CORPUS.iter().map(|&(f, ..)| f.to_string()).collect();
+    listed.sort();
+    assert_eq!(on_disk, listed);
+    assert!(listed.len() >= 15, "corpus shrank below 15 files");
+}
+
+#[test]
+fn well_formed_inputs_still_parse() {
+    // Control: the hardened parsers haven't become over-strict.
+    let bench = "INPUT(a)\nINPUT(b)\nx = NAND(a, b)\nOUTPUT(x)\n";
+    assert!(bench_format::parse("ok", bench).is_ok());
+    let v = "module ok (a, x);\n  input a;\n  output x;\n  not g1 (x, a);\nendmodule\n";
+    assert!(verilog::parse(v).is_ok());
+    let def = "DESIGN ok ;\nDIEAREA ( 0 0 ) ( 1000 1000 ) ;\nCOMPONENTS 0 ;\nEND COMPONENTS\n";
+    assert!(def_lite::parse(def).is_ok());
+}
