@@ -1,0 +1,159 @@
+//! **Robustness-cost study** — what does supervised retry actually cost?
+//!
+//! The PR-4 supervision layer promises that a Monte-Carlo chunk retried
+//! after a panic is bit-identical to a clean run (the chunk re-derives
+//! its RNG from `chunk_seed(seed, chunk_index)`). This experiment prices
+//! that promise: the same supervised MC run with 0, 1 and 3 *forced*
+//! retries (a `panic-chunk@0:n` fault that fires `n` times, then
+//! disarms), reporting wall time, observed retry counts and the overhead
+//! relative to the fault-free run — while asserting the statistics stay
+//! bit-identical in every configuration.
+//!
+//! Results append to the `BENCH_robustness.json` series at the repo
+//! root (overwritten each run; the JSON is hand-rendered, no serde).
+//!
+//! ```text
+//! cargo run -p statim-bench --release --features fault-injection \
+//!     --bin robustness [-- --samples 24576]
+//! ```
+
+use statim_core::engine::{SstaConfig, SstaEngine};
+use statim_core::monte_carlo::{mc_path_distribution_supervised, McOutcome, McSupervision};
+use statim_core::supervise::{RunBudget, Supervisor};
+use statim_core::{FaultPlan, LayerModel};
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Placement, PlacementStyle};
+use statim_process::{Technology, Variations};
+use statim_stats::tabulate::format_table;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const QUALITY: usize = 150;
+const SEED: u64 = 0xC0FFEE;
+
+fn samples_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6 * statim_core::parallel::MC_CHUNK)
+}
+
+struct Point {
+    forced: usize,
+    out: McOutcome,
+    wall: f64,
+}
+
+fn main() {
+    let samples = samples_from_args();
+    let circuit = iscas85::generate(Benchmark::C432);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let tech = Technology::cmos130();
+    let timing = statim_core::characterize::characterize_placed(&circuit, &tech, &placement)
+        .expect("characterization");
+    let report = SstaEngine::new(SstaConfig::date05())
+        .run(&circuit, &placement)
+        .expect("flow");
+    let gates = report.critical().analysis.gates.clone();
+    let vars = Variations::date05();
+    let layers = LayerModel::date05();
+
+    let run = |forced: usize| -> Point {
+        let plan: Option<FaultPlan> =
+            (forced > 0).then(|| format!("panic-chunk@0:{forced}").parse().expect("plan"));
+        // retries = forced so the last allowed attempt succeeds: the
+        // fault fires `forced` times, then disarms.
+        let sup = Supervisor::new(RunBudget::none(), forced);
+        let mut ctx = McSupervision::new(&sup);
+        if let Some(plan) = &plan {
+            ctx = ctx.with_faults(plan);
+        }
+        let start = Instant::now();
+        let out = mc_path_distribution_supervised(
+            &gates,
+            &timing,
+            &placement,
+            &tech,
+            &vars,
+            &layers,
+            statim_stats::Marginal::Gaussian,
+            samples,
+            QUALITY,
+            SEED,
+            1,
+            ctx,
+        )
+        .expect("supervised mc");
+        Point {
+            forced,
+            out,
+            wall: start.elapsed().as_secs_f64(),
+        }
+    };
+
+    let points: Vec<Point> = [0usize, 1, 3].iter().map(|&f| run(f)).collect();
+    let clean = points[0].out.result.as_ref().expect("clean run summarizes");
+    let base_wall = points[0].wall.max(1e-9);
+
+    let header = [
+        "forced retries",
+        "observed",
+        "quarantined",
+        "wall (s)",
+        "overhead",
+        "bit-identical",
+    ];
+    let mut rows = Vec::new();
+    let mut series = String::new();
+    for p in &points {
+        let r = p.out.result.as_ref().expect("run summarizes");
+        let identical =
+            r.mean.to_bits() == clean.mean.to_bits() && r.sigma.to_bits() == clean.sigma.to_bits();
+        assert!(
+            identical,
+            "retried run diverged from clean run at forced={}",
+            p.forced
+        );
+        assert_eq!(p.out.retries, p.forced as u64, "retry count mismatch");
+        assert_eq!(p.out.quarantined_chunks, 0, "nothing may be quarantined");
+        let overhead = (p.wall / base_wall - 1.0) * 100.0;
+        rows.push(vec![
+            p.forced.to_string(),
+            p.out.retries.to_string(),
+            p.out.quarantined_chunks.to_string(),
+            format!("{:.4}", p.wall),
+            format!("{overhead:+.1}%"),
+            identical.to_string(),
+        ]);
+        if !series.is_empty() {
+            series.push_str(",\n");
+        }
+        let _ = write!(
+            series,
+            "    {{\"forced_retries\": {}, \"retries_observed\": {}, \"quarantined_chunks\": {}, \
+             \"wall_secs\": {:.6}, \"overhead_pct\": {:.3}, \"mean_ps\": {:.6}, \
+             \"sigma_ps\": {:.6}, \"bit_identical_to_clean\": {}}}",
+            p.forced,
+            p.out.retries,
+            p.out.quarantined_chunks,
+            p.wall,
+            overhead,
+            r.mean * 1e12,
+            r.sigma * 1e12,
+            identical
+        );
+    }
+
+    println!("== Supervised retry overhead (c432 critical path, {samples} MC samples) ==");
+    println!("{}", format_table(&header, &rows));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"robustness-cost\",\n  \"benchmark\": \"c432\",\n  \
+         \"samples\": {samples},\n  \"chunks\": {},\n  \"series\": [\n{series}\n  ]\n}}\n",
+        points[0].out.chunks_total
+    );
+    std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
+    println!("wrote BENCH_robustness.json");
+}

@@ -35,7 +35,27 @@ ANALYZE OPTIONS:
     --fault-plan <spec>   inject deterministic faults for robustness
                           testing (needs a fault-injection build); spec is
                           [seed=N;]fault[@args][;fault...], e.g.
-                          nan-path@1,3,5 or zero-variance";
+                          nan-path@1,3,5 or panic-chunk@2:1
+    --max-wall-secs <f>   wall-clock budget; on expiry the run stops at
+                          the next work-item boundary and emits a partial
+                          report flagged budget_exhausted
+    --max-analyzed-paths <n>
+                          analyze at most n near-critical paths (a
+                          deterministic prefix of the enumeration order);
+                          distinct from --max-paths, which bounds the
+                          enumeration itself and errors when exceeded
+    --max-mc-samples <n>  Monte-Carlo sample budget, rounded up to whole
+                          chunks; the mc run stops there with a partial
+                          (deterministic-prefix) result
+    --retries <n>         panic-retries per supervised work item
+                          [default: 1]; retried items recompute from
+                          scratch, so results stay bit-identical
+
+MC OPTIONS:
+    --checkpoint <file>   persist completed Monte-Carlo chunks to <file>
+                          (versioned sidecar, atomically rewritten)
+    --resume <file>       resume a Monte-Carlo run from <file>; the final
+                          report is bit-identical to an uninterrupted run";
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +121,18 @@ pub struct AnalyzeArgs {
     /// Fault-injection plan spec (only honoured by fault-injection
     /// builds; other builds reject it with a config error).
     pub fault_plan: Option<String>,
+    /// Wall-clock budget, seconds.
+    pub max_wall_secs: Option<f64>,
+    /// Budget on analyzed near-critical paths (deterministic prefix).
+    pub max_analyzed_paths: Option<usize>,
+    /// Monte-Carlo sample budget (rounded up to whole chunks).
+    pub max_mc_samples: Option<usize>,
+    /// Panic-retries per supervised work item (None = engine default).
+    pub retries: Option<usize>,
+    /// Monte-Carlo checkpoint sidecar to write (mc command only).
+    pub checkpoint: Option<String>,
+    /// Monte-Carlo checkpoint to resume from (mc command only).
+    pub resume: Option<String>,
 }
 
 impl Default for AnalyzeArgs {
@@ -119,6 +151,12 @@ impl Default for AnalyzeArgs {
             threads: None,
             no_cache: false,
             fault_plan: None,
+            max_wall_secs: None,
+            max_analyzed_paths: None,
+            max_mc_samples: None,
+            retries: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -212,6 +250,18 @@ fn parse_analyze_with<'a>(
             "--threads" => args.threads = Some(parse_num(tok, value(tok, &mut it)?)?),
             "--no-cache" => args.no_cache = true,
             "--fault-plan" => args.fault_plan = Some(value(tok, &mut it)?.clone()),
+            "--max-wall-secs" => {
+                args.max_wall_secs = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--max-analyzed-paths" => {
+                args.max_analyzed_paths = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--max-mc-samples" => {
+                args.max_mc_samples = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--retries" => args.retries = Some(parse_num(tok, value(tok, &mut it)?)?),
+            "--checkpoint" => args.checkpoint = Some(value(tok, &mut it)?.clone()),
+            "--resume" => args.resume = Some(value(tok, &mut it)?.clone()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if args.bench_file.is_some() {
@@ -343,6 +393,59 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&v(&["analyze", "--benchmark", "c432", "--fault-plan"])).is_err());
+    }
+
+    #[test]
+    fn parses_budget_and_checkpoint_flags() {
+        match parse(&v(&[
+            "mc",
+            "--benchmark",
+            "c432",
+            "--max-wall-secs",
+            "1.5",
+            "--max-analyzed-paths",
+            "3",
+            "--max-mc-samples",
+            "8192",
+            "--retries",
+            "2",
+            "--checkpoint",
+            "run.ckpt",
+            "--resume",
+            "old.ckpt",
+        ]))
+        .unwrap()
+        {
+            Command::Mc { args, .. } => {
+                assert_eq!(args.max_wall_secs, Some(1.5));
+                assert_eq!(args.max_analyzed_paths, Some(3));
+                assert_eq!(args.max_mc_samples, Some(8192));
+                assert_eq!(args.retries, Some(2));
+                assert_eq!(args.checkpoint.as_deref(), Some("run.ckpt"));
+                assert_eq!(args.resume.as_deref(), Some("old.ckpt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: everything unlimited, no sidecars.
+        match parse(&v(&["analyze", "--benchmark", "c432"])).unwrap() {
+            Command::Analyze(a) => {
+                assert_eq!(a.max_wall_secs, None);
+                assert_eq!(a.max_analyzed_paths, None);
+                assert_eq!(a.max_mc_samples, None);
+                assert_eq!(a.retries, None);
+                assert!(a.checkpoint.is_none() && a.resume.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&[
+            "analyze",
+            "--benchmark",
+            "c432",
+            "--max-wall-secs",
+            "x"
+        ]))
+        .is_err());
+        assert!(parse(&v(&["mc", "--benchmark", "c432", "--resume"])).is_err());
     }
 
     #[test]

@@ -78,7 +78,20 @@ fn load_circuit(a: &AnalyzeArgs) -> Result<Circuit, StatimError> {
     }
 }
 
+/// `--checkpoint` / `--resume` only make sense for the mc command;
+/// silently ignoring them elsewhere would fake durability.
+fn reject_mc_only_flags(a: &AnalyzeArgs, cmd: &str) -> DynResult {
+    if a.checkpoint.is_some() || a.resume.is_some() {
+        return Err(StatimError::new(
+            ErrorClass::Config,
+            format!("--checkpoint/--resume only apply to `statim mc`, not `statim {cmd}`"),
+        ));
+    }
+    Ok(())
+}
+
 fn analyze(a: AnalyzeArgs) -> DynResult {
+    reject_mc_only_flags(&a, "analyze")?;
     let top = a.top;
     let (_, _, report) = run_engine(&a)?;
     print!("{}", statim_core::report::summary(&report));
@@ -93,6 +106,7 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
     );
     print!("{}", statim_core::report::cache_summary(&report));
     print!("{}", statim_core::report::degraded_summary(&report));
+    print!("{}", statim_core::report::supervision_summary(&report));
     println!();
     println!("{}", statim_core::report::path_table(&report, top));
     Ok(())
@@ -131,6 +145,14 @@ fn run_engine(
     config.max_paths = a.max_paths;
     config.threads = a.threads;
     config.cache = !a.no_cache;
+    config.budget = statim_core::RunBudget {
+        max_wall_secs: a.max_wall_secs,
+        max_paths: a.max_analyzed_paths,
+        max_mc_samples: a.max_mc_samples,
+    };
+    if let Some(r) = a.retries {
+        config.retries = r;
+    }
     if let Some(share) = a.inter_share {
         config = config.with_layers(LayerModel::with_inter_share(share));
     }
@@ -144,6 +166,7 @@ fn run_engine(
 
 fn timing_yield(a: AnalyzeArgs, target: f64) -> DynResult {
     use statim_core::timing_yield::{period_for_yield, yield_curve};
+    reject_mc_only_flags(&a, "yield")?;
     let (_, _, report) = run_engine(&a)?;
     println!(
         "circuit {} — {} near-critical paths, critical 3σ point {:.3} ps",
@@ -173,26 +196,96 @@ fn timing_yield(a: AnalyzeArgs, target: f64) -> DynResult {
     Ok(())
 }
 
+/// MC sampling seed and kernel quality — fixed so every `statim mc`
+/// invocation (and every checkpoint it writes) is comparable.
+const MC_SEED: u64 = 0xC0FFEE;
+const MC_QUALITY: usize = 150;
+
 fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
     use statim_core::characterize::characterize_placed;
-    use statim_core::monte_carlo::mc_path_distribution_threaded;
-    let (circuit, placement, report) = run_engine(&a)?;
+    use statim_core::monte_carlo::{
+        mc_fingerprint, mc_path_distribution_supervised, McSupervision,
+    };
+    use statim_core::{McCheckpoint, McCheckpointer, RunBudget, Supervisor};
+
+    // Budgets are scoped per phase: the engine run gets the path budget,
+    // the MC phase gets the wall and sample budgets with a fresh clock.
+    // Otherwise a slow engine phase would silently eat the MC wall budget.
+    let mut engine_args = a.clone();
+    engine_args.max_wall_secs = None;
+    engine_args.max_mc_samples = None;
+    engine_args.checkpoint = None;
+    engine_args.resume = None;
+    let (circuit, placement, report) = run_engine(&engine_args)?;
     let tech = Technology::cmos130();
     let timing = characterize_placed(&circuit, &tech, &placement)?;
     let crit = &report.critical().analysis;
-    let mc = mc_path_distribution_threaded(
+
+    let vars = statim_process::Variations::date05();
+    let layers = LayerModel::date05();
+    let marginal = statim_stats::Marginal::Gaussian;
+    let fingerprint = mc_fingerprint(&crit.gates, &vars, &layers, marginal, MC_QUALITY)?;
+
+    let budget = RunBudget {
+        max_wall_secs: a.max_wall_secs,
+        max_paths: None,
+        max_mc_samples: a.max_mc_samples,
+    };
+    let sup = Supervisor::new(budget, a.retries.unwrap_or(1));
+    let mut ctx = McSupervision::new(&sup);
+
+    // Resume: reload completed chunks, refusing checkpoints written by a
+    // different configuration (fingerprint), seed or sample count.
+    let resumed = match &a.resume {
+        Some(path) => {
+            let ckpt = McCheckpoint::load(std::path::Path::new(path))
+                .map_err(|e| StatimError::from(e).with_file(path))?;
+            ckpt.validate_for(fingerprint, MC_SEED, samples)
+                .map_err(|e| StatimError::from(e).with_file(path))?;
+            Some(ckpt)
+        }
+        None => None,
+    };
+    if let Some(ckpt) = &resumed {
+        ctx = ctx.with_resume(ckpt);
+    }
+    // Checkpoint: persist completed chunks as we go. When resuming, seed
+    // the new sidecar with the already-completed chunks so an interrupted
+    // resume does not lose them.
+    let checkpointer = a.checkpoint.as_ref().map(|path| {
+        let base = resumed
+            .clone()
+            .unwrap_or_else(|| McCheckpoint::new(fingerprint, MC_SEED, samples));
+        McCheckpointer::new(path, base, 1)
+    });
+    if let Some(ck) = &checkpointer {
+        ctx = ctx.with_checkpoint(ck);
+    }
+    #[cfg(feature = "fault-injection")]
+    let plan = match &a.fault_plan {
+        Some(spec) => Some(spec.parse::<statim_core::FaultPlan>()?),
+        None => None,
+    };
+    #[cfg(feature = "fault-injection")]
+    if let Some(plan) = &plan {
+        ctx = ctx.with_faults(plan);
+    }
+
+    let out = mc_path_distribution_supervised(
         &crit.gates,
         &timing,
         &placement,
         &tech,
-        &statim_process::Variations::date05(),
-        &LayerModel::date05(),
-        statim_stats::Marginal::Gaussian,
+        &vars,
+        &layers,
+        marginal,
         samples,
-        150,
-        0xC0FFEE,
+        MC_QUALITY,
+        MC_SEED,
         a.threads.unwrap_or(0),
+        ctx,
     )?;
+
     let ps = |s: f64| s * 1e12;
     println!(
         "critical path of {} ({} gates), {} exact non-linear samples:",
@@ -200,6 +293,28 @@ fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
         crit.gate_count(),
         samples
     );
+    if out.chunks_resumed > 0 {
+        println!(
+            "  resumed                      : {} of {} chunks restored from checkpoint",
+            out.chunks_resumed, out.chunks_total
+        );
+    }
+    if out.retries > 0 || out.quarantined_chunks > 0 {
+        println!(
+            "  supervised retries           : {} retries, {} chunks quarantined",
+            out.retries, out.quarantined_chunks
+        );
+    }
+    if let Some(kind) = out.exhausted {
+        println!(
+            "  budget_exhausted             : {} budget tripped — partial Monte-Carlo ({} of {} chunks sampled)",
+            kind, out.chunks_done, out.chunks_total
+        );
+    }
+    let Some(mc) = out.result else {
+        println!("  no Monte-Carlo chunks completed; nothing to compare");
+        return Ok(());
+    };
     println!("              analytic        monte-carlo     error");
     let row = |name: &str, a: f64, b: f64| {
         println!(

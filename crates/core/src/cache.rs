@@ -189,8 +189,15 @@ impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
         shard: usize,
         compute: impl FnOnce() -> Result<Pdf>,
     ) -> Result<Pdf> {
+        // A poisoned shard means some worker panicked mid-insert; the
+        // map itself is still a valid cache (worst case a missing
+        // entry), so recover the guard instead of cascading the panic.
         let stripe = &self.shards[shard];
-        if let Some(hit) = stripe.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(hit) = stripe
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit.clone());
         }
@@ -198,7 +205,7 @@ impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
         let pdf = compute()?;
         stripe
             .lock()
-            .expect("cache shard poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| pdf.clone());
         Ok(pdf)
@@ -207,7 +214,11 @@ impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 }

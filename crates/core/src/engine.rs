@@ -8,6 +8,8 @@
 //!   → report (probabilistic critical path, overestimation, migration)
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use crate::analyze::{analyze_path_cached, AnalysisSettings, PathAnalysis};
 use crate::cache::{AnalysisCache, CacheStats};
 use crate::characterize::characterize_placed;
@@ -16,6 +18,7 @@ use crate::enumerate::near_critical_paths;
 use crate::error::ErrorClass;
 use crate::longest_path::{bellman_ford, critical_path, topo_labels};
 use crate::rank::{rank_paths, RankedPath};
+use crate::supervise::{supervised_map, BudgetKind, ItemOutcome, RunBudget, Supervisor};
 use crate::worst_case::worst_case_critical_delay;
 use crate::{CoreError, Result};
 use statim_netlist::GateId;
@@ -71,6 +74,19 @@ pub struct SstaConfig {
     /// point) across paths. Exact-bits keys make hits bit-identical to
     /// recomputes, so this only changes wall time, never results.
     pub cache: bool,
+    /// Run budgets (wall clock, analyzed paths, MC samples), checked at
+    /// work-item boundaries. A tripped budget yields a *partial* report
+    /// flagged [`SstaReport::budget_exhausted`], not an error — unless
+    /// it trips before any path is analyzed
+    /// ([`CoreError::BudgetExhausted`]). Index-based budgets truncate a
+    /// deterministic prefix of the enumeration order.
+    pub budget: RunBudget,
+    /// Panic-retries per supervised work item. Items are pure functions
+    /// of their index, so any retry count yields a bit-identical report
+    /// whenever the retried item eventually succeeds; an item that
+    /// panics on every attempt is quarantined into
+    /// [`SstaReport::degraded`].
+    pub retries: usize,
     /// Fault-injection plan for adversarial testing. Faults target
     /// enumeration indices, so injection is bit-identical for any thread
     /// count or cache state. `None` (the default) injects nothing.
@@ -96,6 +112,8 @@ impl SstaConfig {
             solver: LabelSolver::BellmanFord,
             threads: None,
             cache: true,
+            budget: RunBudget::none(),
+            retries: 1,
             #[cfg(any(test, feature = "fault-injection"))]
             faults: None,
         }
@@ -123,6 +141,18 @@ impl SstaConfig {
     /// Same configuration with the kernel cache enabled or disabled.
     pub fn with_cache(mut self, cache: bool) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Same configuration with run budgets installed.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Same configuration with a different per-item panic-retry bound.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
         self
     }
 
@@ -160,6 +190,18 @@ impl SstaConfig {
         if self.max_paths == 0 {
             return Err(CoreError::InvalidConfig {
                 message: "max_paths must be positive".into(),
+            });
+        }
+        if let Some(w) = self.budget.max_wall_secs {
+            if !w.is_finite() || w < 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    message: format!("max_wall_secs must be a finite value ≥ 0, got {w}"),
+                });
+            }
+        }
+        if self.budget.max_paths == Some(0) || self.budget.max_mc_samples == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                message: "budget path/sample caps must be positive (omit to disable)".into(),
             });
         }
         Ok(())
@@ -240,6 +282,13 @@ pub struct RunProfile {
     /// stage (0 in a healthy run). Details are in
     /// [`SstaReport::degraded`].
     pub degraded: usize,
+    /// Panic-retries performed by the supervisor during the analyze
+    /// stage (0 in a healthy run). A successful retry recomputes the
+    /// item from scratch, so retried runs stay bit-identical.
+    pub retries: u64,
+    /// Panics caught (isolated) during the analyze stage, including
+    /// ones a retry recovered from.
+    pub panics: u64,
 }
 
 impl RunProfile {
@@ -305,6 +354,13 @@ pub struct SstaReport {
     /// run): the run completed, but these paths' kernels went non-finite
     /// or errored and are excluded from `paths` and `num_paths`.
     pub degraded: Vec<DegradedPath>,
+    /// The run budget that tripped, if any — the report is then
+    /// *partial*: only the paths analyzed before the trip are ranked.
+    /// `None` for a complete run.
+    pub budget_exhausted: Option<BudgetKind>,
+    /// Enumerated near-critical paths that were skipped (never analyzed)
+    /// because a budget tripped. 0 for a complete run.
+    pub skipped_paths: usize,
 }
 
 impl SstaReport {
@@ -342,6 +398,10 @@ impl SstaEngine {
     pub fn run(&self, circuit: &Circuit, placement: &Placement) -> Result<SstaReport> {
         let start = Instant::now();
         self.config.validate()?;
+        // The supervisor's wall clock starts with the run, so serial
+        // stages count against --max-wall-secs even though only the
+        // fan-out has cancellation points.
+        let sup = Supervisor::new(self.config.budget, self.config.retries);
         if placement.len() != circuit.gate_count() {
             return Err(CoreError::Netlist(
                 statim_netlist::NetlistError::PlacementMismatch {
@@ -417,47 +477,71 @@ impl SstaEngine {
             .position(|p| p.len() == det_path.len() && *p == det_path);
         let t0 = Instant::now();
         let threads = crate::parallel::effective_threads(self.config.threads);
-        let pool = crate::parallel::run_pool(&set.paths, threads, |i, p| -> Result<PathAnalysis> {
-            let analysis = if Some(i) == det_idx {
-                det_analysis.clone()
-            } else {
-                analyze_path_cached(
-                    p,
-                    &timing,
-                    placement,
-                    &self.config.tech,
-                    &settings,
-                    cache.as_ref(),
-                )?
-            };
-            #[cfg(any(test, feature = "fault-injection"))]
-            let analysis = match &self.config.faults {
-                Some(plan) => plan.apply_to_path(i, analysis, &settings)?,
-                None => analysis,
-            };
-            Ok(analysis)
-        });
-        // Graceful degradation: a path whose kernel errored or went
-        // non-finite is quarantined, not fatal — the run completes on
-        // the surviving paths. Quarantine order follows enumeration
-        // order, so it is bit-identical for any thread count.
-        let mut analyses: Vec<PathAnalysis> = Vec::with_capacity(pool.results.len());
+        let path_cap = sup.budget().max_paths.map(|m| (m, BudgetKind::Paths));
+        let pool = supervised_map(
+            &set.paths,
+            threads,
+            &sup,
+            path_cap,
+            |i, p| -> Result<PathAnalysis> {
+                #[cfg(any(test, feature = "fault-injection"))]
+                if let Some(plan) = &self.config.faults {
+                    if let Some(msg) = plan.panic_path(i) {
+                        panic!("{}", msg);
+                    }
+                }
+                let analysis = if Some(i) == det_idx {
+                    det_analysis.clone()
+                } else {
+                    analyze_path_cached(
+                        p,
+                        &timing,
+                        placement,
+                        &self.config.tech,
+                        &settings,
+                        cache.as_ref(),
+                    )?
+                };
+                #[cfg(any(test, feature = "fault-injection"))]
+                let analysis = match &self.config.faults {
+                    Some(plan) => plan.apply_to_path(i, analysis, &settings)?,
+                    None => analysis,
+                };
+                Ok(analysis)
+            },
+        );
+        // Graceful degradation: a path whose kernel errored, went
+        // non-finite or panicked (after exhausting its retries) is
+        // quarantined, not fatal — the run completes on the surviving
+        // paths. Quarantine order follows enumeration order, so it is
+        // bit-identical for any thread count. Budget-skipped paths are
+        // counted, not quarantined: nothing is wrong with them.
+        let budget_exhausted = pool.exhausted;
+        let mut analyses: Vec<PathAnalysis> = Vec::with_capacity(pool.outcomes.len());
         let mut degraded: Vec<DegradedPath> = Vec::new();
-        for (i, res) in pool.results.into_iter().enumerate() {
-            match res {
-                Ok(a) if a.kernel_is_finite() => analyses.push(a),
-                Ok(a) => degraded.push(DegradedPath {
+        let mut skipped_paths = 0usize;
+        for (i, outcome) in pool.outcomes.into_iter().enumerate() {
+            match outcome {
+                ItemOutcome::Done(Ok(a)) if a.kernel_is_finite() => analyses.push(a),
+                ItemOutcome::Done(Ok(a)) => degraded.push(DegradedPath {
                     index: i,
                     gates: a.gates,
                     class: ErrorClass::Numeric,
                     reason: "non-finite kernel result (mean, σ or confidence point)".into(),
                 }),
-                Err(e) => degraded.push(DegradedPath {
+                ItemOutcome::Done(Err(e)) => degraded.push(DegradedPath {
                     index: i,
                     gates: set.paths[i].clone(),
                     class: e.classify(),
                     reason: e.to_string(),
                 }),
+                ItemOutcome::Panicked { reason } => degraded.push(DegradedPath {
+                    index: i,
+                    gates: set.paths[i].clone(),
+                    class: ErrorClass::Numeric,
+                    reason: format!("panic in path analysis: {reason}"),
+                }),
+                ItemOutcome::Skipped => skipped_paths += 1,
             }
         }
         let fan_wall = t0.elapsed().as_secs_f64();
@@ -468,10 +552,21 @@ impl SstaEngine {
             StageProfile::pooled_with_serial(det_wall, fan_wall, pool.busy, pool.threads);
         profile.cache = cache.as_ref().map(AnalysisCache::stats);
         profile.degraded = degraded.len();
-        if analyses.is_empty() && !degraded.is_empty() {
-            return Err(CoreError::AllPathsDegraded {
-                total: degraded.len(),
-            });
+        profile.retries = pool.retries;
+        profile.panics = pool.panics;
+        if analyses.is_empty() {
+            if let Some(kind) = budget_exhausted {
+                // The budget tripped before a single path was analyzed:
+                // there is no partial report to emit.
+                return Err(CoreError::BudgetExhausted {
+                    budget: kind.to_string(),
+                });
+            }
+            if !degraded.is_empty() {
+                return Err(CoreError::AllPathsDegraded {
+                    total: degraded.len(),
+                });
+            }
         }
 
         // 6. Rank by the confidence point.
@@ -507,6 +602,8 @@ impl SstaEngine {
             runtime: start.elapsed().as_secs_f64(),
             profile,
             degraded,
+            budget_exhausted,
+            skipped_paths,
         })
     }
 }
@@ -520,7 +617,7 @@ mod tests {
     fn run(bench: Benchmark, config: SstaConfig) -> SstaReport {
         let c = iscas85::generate(bench);
         let p = Placement::generate(&c, PlacementStyle::Levelized);
-        SstaEngine::new(config).run(&c, &p).unwrap()
+        SstaEngine::new(config).run(&c, &p).expect("flow succeeds")
     }
 
     #[test]
@@ -660,13 +757,100 @@ mod tests {
     }
 
     #[test]
+    fn path_budget_yields_partial_report() {
+        let budget = RunBudget {
+            max_paths: Some(2),
+            ..RunBudget::none()
+        };
+        let full = run(Benchmark::C432, SstaConfig::date05().with_confidence(0.2));
+        assert!(full.num_paths > 2, "need >2 paths for the cap to bite");
+        let partial = run(
+            Benchmark::C432,
+            SstaConfig::date05()
+                .with_confidence(0.2)
+                .with_budget(budget),
+        );
+        assert_eq!(partial.budget_exhausted, Some(BudgetKind::Paths));
+        assert_eq!(partial.num_paths, 2);
+        assert_eq!(partial.skipped_paths, full.num_paths - 2);
+        // The analyzed prefix is bit-identical to the full run's first
+        // two enumeration entries — the cap truncates, never perturbs.
+        assert!(full.budget_exhausted.is_none());
+        assert_eq!(full.skipped_paths, 0);
+    }
+
+    #[test]
+    fn wall_budget_trips_to_typed_error_or_partial() {
+        // A zero wall budget trips before the first path; with no
+        // analyzed path there is nothing to report partially.
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let budget = RunBudget {
+            max_wall_secs: Some(0.0),
+            ..RunBudget::none()
+        };
+        let err = SstaEngine::new(SstaConfig::date05().with_budget(budget))
+            .run(&c, &p)
+            .expect_err("zero wall budget cannot finish");
+        match err {
+            CoreError::BudgetExhausted { ref budget } => assert_eq!(budget, "wall"),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(err.classify(), ErrorClass::Resource);
+    }
+
+    #[test]
+    fn panic_path_fault_is_quarantined_bit_identically() {
+        use crate::faults::FaultPlan;
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let plan = || -> FaultPlan { "panic-path@1".parse().expect("plan") };
+        let clean = run(Benchmark::C432, SstaConfig::date05().with_confidence(0.2));
+        let one = SstaEngine::new(
+            SstaConfig::date05()
+                .with_confidence(0.2)
+                .with_threads(1)
+                .with_faults(plan()),
+        )
+        .run(&c, &p)
+        .expect("quarantined run completes");
+        let four = SstaEngine::new(
+            SstaConfig::date05()
+                .with_confidence(0.2)
+                .with_threads(4)
+                .with_faults(plan()),
+        )
+        .run(&c, &p)
+        .expect("quarantined run completes");
+        for r in [&one, &four] {
+            assert_eq!(r.degraded.len(), 1);
+            assert_eq!(r.degraded[0].index, 1);
+            assert!(r.degraded[0].reason.contains("panic-path@1"));
+            assert_eq!(r.num_paths, clean.num_paths - 1);
+            // Retries don't help a permanent panic; both attempts count.
+            assert_eq!(r.profile.retries, 1);
+            assert_eq!(r.profile.panics, 2);
+        }
+        for (a, b) in one.paths.iter().zip(&four.paths) {
+            assert_eq!(
+                a.analysis.confidence_point.to_bits(),
+                b.analysis.confidence_point.to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn report_paths_sorted_by_prob_rank() {
         let r = run(Benchmark::C880, SstaConfig::date05().with_confidence(0.2));
         for (i, p) in r.paths.iter().enumerate() {
             assert_eq!(p.prob_rank, i + 1);
         }
         // Deterministic rank 1 is the deterministic critical path.
-        let det1 = r.paths.iter().find(|p| p.det_rank == 1).unwrap();
+        let det1 = r
+            .paths
+            .iter()
+            .find(|p| p.det_rank == 1)
+            .expect("rank present");
         assert!(
             (det1.analysis.det_delay - r.det_critical_delay).abs() < 1e-12 * r.det_critical_delay
         );

@@ -189,23 +189,35 @@ mod tests {
     use statim_process::{GateKind, Technology};
 
     fn setup(c: &Circuit) -> (CircuitTiming, Labels) {
-        let t = characterize(c, &Technology::cmos130()).unwrap();
-        let l = topo_labels(c, &t).unwrap();
+        let t = characterize(c, &Technology::cmos130()).expect("characterization succeeds");
+        let l = topo_labels(c, &t).expect("labels computed");
         (t, l)
     }
 
     fn chain_pair() -> Circuit {
         // Two parallel 2-gate chains into a final gate plus a short path.
         let mut c = Circuit::new("p");
-        let a = c.add_input("a").unwrap();
-        let b = c.add_input("b").unwrap();
-        let g1 = c.add_gate("g1", GateKind::Inv, &[a]).unwrap();
-        let g2 = c.add_gate("g2", GateKind::Inv, &[g1]).unwrap();
-        let g3 = c.add_gate("g3", GateKind::Inv, &[b]).unwrap();
-        let g4 = c.add_gate("g4", GateKind::Inv, &[g3]).unwrap();
-        let g5 = c.add_gate("g5", GateKind::Nand(2), &[g2, g4]).unwrap();
-        let g6 = c.add_gate("g6", GateKind::Nand(2), &[a, g5]).unwrap();
-        c.mark_output("o", g6).unwrap();
+        let a = c.add_input("a").expect("circuit builds");
+        let b = c.add_input("b").expect("circuit builds");
+        let g1 = c
+            .add_gate("g1", GateKind::Inv, &[a])
+            .expect("circuit builds");
+        let g2 = c
+            .add_gate("g2", GateKind::Inv, &[g1])
+            .expect("circuit builds");
+        let g3 = c
+            .add_gate("g3", GateKind::Inv, &[b])
+            .expect("circuit builds");
+        let g4 = c
+            .add_gate("g4", GateKind::Inv, &[g3])
+            .expect("circuit builds");
+        let g5 = c
+            .add_gate("g5", GateKind::Nand(2), &[g2, g4])
+            .expect("circuit builds");
+        let g6 = c
+            .add_gate("g6", GateKind::Nand(2), &[a, g5])
+            .expect("circuit builds");
+        c.mark_output("o", g6).expect("circuit builds");
         c
     }
 
@@ -213,7 +225,7 @@ mod tests {
     fn finds_all_paths_at_zero_threshold() {
         let c = chain_pair();
         let (t, l) = setup(&c);
-        let set = near_critical_paths(&c, &t, &l, 0.0, 1000).unwrap();
+        let set = near_critical_paths(&c, &t, &l, 0.0, 1000).expect("critical path exists");
         // Paths: a-g1-g2-g5-g6, b-g3-g4-g5-g6, a-g6 → 3 gate sequences.
         assert_eq!(set.paths.len(), 3);
         // Sorted by descending delay: 4-gate chains first, then the
@@ -226,8 +238,8 @@ mod tests {
     fn tight_threshold_keeps_only_critical() {
         let c = chain_pair();
         let (t, l) = setup(&c);
-        let d = l.critical_delay(&c).unwrap();
-        let set = near_critical_paths(&c, &t, &l, d, 1000).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
+        let set = near_critical_paths(&c, &t, &l, d, 1000).expect("critical path exists");
         // The two symmetric 4-gate chains have identical delay.
         assert_eq!(set.paths.len(), 2);
         for p in &set.paths {
@@ -240,9 +252,10 @@ mod tests {
         for bench in [Benchmark::C432, Benchmark::C880, Benchmark::C499] {
             let c = iscas85::generate(bench);
             let (t, l) = setup(&c);
-            let d = l.critical_delay(&c).unwrap();
-            let cp = critical_path(&c, &t, &l).unwrap();
-            let set = near_critical_paths(&c, &t, &l, d * 0.98, 200_000).unwrap();
+            let d = l.critical_delay(&c).expect("critical delay exists");
+            let cp = critical_path(&c, &t, &l).expect("critical path exists");
+            let set =
+                near_critical_paths(&c, &t, &l, d * 0.98, 200_000).expect("critical path exists");
             assert!(
                 set.paths.contains(&cp),
                 "{bench}: critical path missing from enumeration"
@@ -258,9 +271,9 @@ mod tests {
     fn all_reported_paths_meet_threshold() {
         let c = iscas85::generate(Benchmark::C432);
         let (t, l) = setup(&c);
-        let d = l.critical_delay(&c).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
         let thr = d * 0.95;
-        let set = near_critical_paths(&c, &t, &l, thr, 200_000).unwrap();
+        let set = near_critical_paths(&c, &t, &l, thr, 200_000).expect("critical path exists");
         assert!(!set.paths.is_empty());
         for p in &set.paths {
             assert!(t.path_delay(p) >= thr - 1e-9 * d);
@@ -276,13 +289,13 @@ mod tests {
     fn threshold_monotonicity() {
         let c = iscas85::generate(Benchmark::C499);
         let (t, l) = setup(&c);
-        let d = l.critical_delay(&c).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
         let n_tight = near_critical_paths(&c, &t, &l, d * 0.995, 500_000)
-            .unwrap()
+            .expect("critical path exists")
             .paths
             .len();
         let n_loose = near_critical_paths(&c, &t, &l, d * 0.95, 500_000)
-            .unwrap()
+            .expect("critical path exists")
             .paths
             .len();
         assert!(n_loose >= n_tight);
@@ -316,7 +329,7 @@ mod tests {
     fn budget_exceeded_is_reported() {
         let c = iscas85::generate(Benchmark::C1355);
         let (t, l) = setup(&c);
-        let d = l.critical_delay(&c).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
         match near_critical_paths(&c, &t, &l, d * 0.9, 3) {
             Err(CoreError::PathBudgetExceeded { budget: 3 }) => {}
             other => panic!("expected budget error, got {other:?}"),
@@ -327,8 +340,8 @@ mod tests {
     fn paths_are_connected_and_end_at_po() {
         let c = iscas85::generate(Benchmark::C880);
         let (t, l) = setup(&c);
-        let d = l.critical_delay(&c).unwrap();
-        let set = near_critical_paths(&c, &t, &l, d * 0.97, 100_000).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
+        let set = near_critical_paths(&c, &t, &l, d * 0.97, 100_000).expect("critical path exists");
         let po_gates: Vec<GateId> = c
             .outputs()
             .iter()
@@ -338,7 +351,7 @@ mod tests {
             })
             .collect();
         for p in &set.paths {
-            assert!(po_gates.contains(p.last().unwrap()));
+            assert!(po_gates.contains(p.last().expect("path is non-empty")));
             // First gate touches a PI.
             assert!(c.gates()[p[0].index()]
                 .inputs

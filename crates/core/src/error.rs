@@ -48,6 +48,27 @@ pub enum CoreError {
         /// Number of paths that were enumerated (and all degraded).
         total: usize,
     },
+    /// A checkpoint sidecar file is corrupted or carries an unsupported
+    /// format version.
+    CheckpointParse {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A checkpoint sidecar file could not be read or written.
+    CheckpointIo {
+        /// Description of the I/O failure.
+        message: String,
+    },
+    /// A run budget tripped before *any* result was produced; there is
+    /// nothing to emit even partially. (Budgets that trip mid-run yield
+    /// a partial report instead of this error.)
+    BudgetExhausted {
+        /// The budget that tripped (see
+        /// [`BudgetKind`](crate::supervise::BudgetKind)), as text.
+        budget: String,
+    },
 }
 
 /// Coarse classification of a failure, for degraded-path accounting and
@@ -95,6 +116,10 @@ impl CoreError {
             CoreError::PathBudgetExceeded { .. } => ErrorClass::Resource,
             CoreError::NonFiniteDelay { .. } | CoreError::AllPathsDegraded { .. } => {
                 ErrorClass::Numeric
+            }
+            CoreError::CheckpointParse { .. } => ErrorClass::Parse,
+            CoreError::CheckpointIo { .. } | CoreError::BudgetExhausted { .. } => {
+                ErrorClass::Resource
             }
         }
     }
@@ -170,6 +195,7 @@ impl From<CoreError> for StatimError {
                 Some((l, c)) => (Some(l).filter(|&l| l > 0), Some(c).filter(|&c| c > 0)),
                 None => (None, None),
             },
+            CoreError::CheckpointParse { line, .. } => (Some(*line).filter(|&l| l > 0), None),
             _ => (None, None),
         };
         StatimError {
@@ -223,6 +249,18 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "all {total} near-critical paths degraded; no finite kernel to rank"
+                )
+            }
+            CoreError::CheckpointParse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
+            CoreError::CheckpointIo { message } => {
+                write!(f, "checkpoint I/O error: {message}")
+            }
+            CoreError::BudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "{budget} budget exhausted before any result was produced"
                 )
             }
         }
@@ -300,6 +338,44 @@ mod tests {
             CoreError::AllPathsDegraded { total: 1 }.classify(),
             ErrorClass::Numeric
         );
+        assert_eq!(
+            CoreError::CheckpointParse {
+                line: 3,
+                message: "bad".into(),
+            }
+            .classify(),
+            ErrorClass::Parse
+        );
+        assert_eq!(
+            CoreError::CheckpointIo {
+                message: "disk full".into(),
+            }
+            .classify(),
+            ErrorClass::Resource
+        );
+        assert_eq!(
+            CoreError::BudgetExhausted {
+                budget: "wall".into(),
+            }
+            .classify(),
+            ErrorClass::Resource
+        );
+    }
+
+    #[test]
+    fn checkpoint_parse_carries_line_into_statim_error() {
+        let e: StatimError = CoreError::CheckpointParse {
+            line: 5,
+            message: "duplicate chunk".into(),
+        }
+        .into();
+        assert_eq!(e.class, ErrorClass::Parse);
+        assert_eq!(e.line, Some(5));
+        assert!(e.to_string().contains("line 5"), "{e}");
+        let b = CoreError::BudgetExhausted {
+            budget: "mc-samples".into(),
+        };
+        assert!(b.to_string().contains("mc-samples budget exhausted"));
     }
 
     #[test]

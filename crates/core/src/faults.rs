@@ -72,6 +72,35 @@ pub enum Fault {
         /// Byte budget (clamped to a char boundary).
         bytes: usize,
     },
+    /// Panic inside the per-path analysis of these enumeration indices,
+    /// on every attempt — the supervisor must quarantine them into
+    /// `SstaReport::degraded`.
+    PanicPath {
+        /// Targeted enumeration indices.
+        paths: Vec<usize>,
+    },
+    /// Panic inside the Monte-Carlo chunk at this chunk index. With
+    /// `times = Some(n)` the fault disarms after `n` firings (so a
+    /// retried chunk succeeds and the run stays bit-identical to a clean
+    /// one); `None` panics on every attempt (quarantine). Single-target
+    /// by construction: the per-fault fire counter is only ever advanced
+    /// by one chunk, and retries run on the same worker, so the
+    /// count-based disarm cannot race across threads.
+    PanicChunk {
+        /// Targeted chunk index.
+        chunk: u64,
+        /// Firing budget; `None` = always.
+        times: Option<u64>,
+    },
+    /// Sleep this many milliseconds before computing the Monte-Carlo
+    /// chunk at this chunk index — the deterministic way to make a wall
+    /// budget trip in tests and CI smokes.
+    SlowChunk {
+        /// Targeted chunk index.
+        chunk: u64,
+        /// Delay in milliseconds.
+        ms: u64,
+    },
 }
 
 /// A seeded, thread-safe set of faults plus per-fault fire counters.
@@ -90,6 +119,9 @@ pub enum Fault {
 /// | `zero-variance` / `zero-variance@0,4` | [`Fault::ZeroVariance`] (bare = index 0) |
 /// | `poison-cache-shard@3` | [`Fault::PoisonCacheShard`] |
 /// | `truncate-bench@64` | [`Fault::TruncateBenchFile`] |
+/// | `panic-path@1,3` | [`Fault::PanicPath`] on indices 1, 3 |
+/// | `panic-chunk@2` / `panic-chunk@2:3` | [`Fault::PanicChunk`] chunk 2 (bare = every attempt; `:3` = first 3) |
+/// | `slow-chunk@0:1500` | [`Fault::SlowChunk`] chunk 0, 1500 ms |
 #[derive(Debug)]
 pub struct FaultPlan {
     seed: u64,
@@ -224,6 +256,55 @@ impl FaultPlan {
             }
         }
         Ok(analysis)
+    }
+
+    /// Whether a [`Fault::PanicPath`] targets enumeration `index`.
+    /// Fires the counter and returns the panic message to raise; the
+    /// caller panics *inside* its supervised closure so the supervisor
+    /// quarantines the path.
+    pub fn panic_path(&self, index: usize) -> Option<String> {
+        self.faults.iter().enumerate().find_map(|(fi, f)| match f {
+            Fault::PanicPath { paths } if paths.contains(&index) => {
+                self.fire(fi);
+                Some(format!("injected panic-path@{index}"))
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether a [`Fault::PanicChunk`] should fire for Monte-Carlo
+    /// chunk `chunk` on this attempt. Honours the `times` budget via the
+    /// fault's fire counter (previous count < times → fire), so a
+    /// `panic-chunk@c:1` panics exactly once and the retry succeeds.
+    pub fn panic_chunk(&self, chunk: u64) -> Option<String> {
+        self.faults.iter().enumerate().find_map(|(fi, f)| match f {
+            Fault::PanicChunk { chunk: c, times } if *c == chunk => {
+                let prior = self.fired[fi].fetch_add(1, Ordering::Relaxed);
+                match times {
+                    Some(t) if prior >= *t => {
+                        // Disarmed: undo the probe so `fired()` keeps
+                        // reporting actual firings.
+                        self.fired[fi].fetch_sub(1, Ordering::Relaxed);
+                        None
+                    }
+                    _ => Some(format!("injected panic-chunk@{chunk}")),
+                }
+            }
+            _ => None,
+        })
+    }
+
+    /// The injected delay for Monte-Carlo chunk `chunk`, if a
+    /// [`Fault::SlowChunk`] targets it. Fires the counter; the caller
+    /// sleeps before computing the chunk.
+    pub fn slow_chunk_ms(&self, chunk: u64) -> Option<u64> {
+        self.faults.iter().enumerate().find_map(|(fi, f)| match f {
+            Fault::SlowChunk { chunk: c, ms } if *c == chunk => {
+                self.fire(fi);
+                Some(*ms)
+            }
+            _ => None,
+        })
     }
 
     /// The shard index a [`Fault::PoisonCacheShard`] targets, if any
@@ -365,6 +446,51 @@ impl FromStr for FaultPlan {
                         .map_err(|_| bad(format!("`{a}` is not a byte count")))?;
                     Fault::TruncateBenchFile { bytes }
                 }
+                "panic-path" => {
+                    let paths = indices(args.ok_or_else(|| bad("panic-path needs @indices"))?)?;
+                    if paths.is_empty() {
+                        return Err(bad("panic-path needs at least one index"));
+                    }
+                    Fault::PanicPath { paths }
+                }
+                "panic-chunk" => {
+                    let a = args.ok_or_else(|| bad("panic-chunk needs @chunk[:times]"))?;
+                    let (c, t) = match a.split_once(':') {
+                        Some((c, t)) => (c.trim(), Some(t.trim())),
+                        None => (a, None),
+                    };
+                    let chunk = c
+                        .parse::<u64>()
+                        .map_err(|_| bad(format!("`{c}` is not a chunk index")))?;
+                    let times = match t {
+                        Some(t) => {
+                            let n = t
+                                .parse::<u64>()
+                                .map_err(|_| bad(format!("`{t}` is not a firing count")))?;
+                            if n == 0 {
+                                return Err(bad("panic-chunk :times must be at least 1"));
+                            }
+                            Some(n)
+                        }
+                        None => None,
+                    };
+                    Fault::PanicChunk { chunk, times }
+                }
+                "slow-chunk" => {
+                    let a = args.ok_or_else(|| bad("slow-chunk needs @chunk:ms"))?;
+                    let (c, m) = a
+                        .split_once(':')
+                        .ok_or_else(|| bad("slow-chunk args are chunk:ms"))?;
+                    let chunk = c
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| bad(format!("`{c}` is not a chunk index")))?;
+                    let ms = m
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| bad(format!("`{m}` is not a millisecond count")))?;
+                    Fault::SlowChunk { chunk, ms }
+                }
                 other => return Err(bad(format!("unknown fault `{other}`"))),
             };
             faults.push(fault);
@@ -400,6 +526,73 @@ mod tests {
     }
 
     #[test]
+    fn parses_supervision_faults() -> Result<()> {
+        let plan: FaultPlan = "panic-path@1,3;panic-chunk@2:3;slow-chunk@0:1500".parse()?;
+        assert_eq!(plan.faults()[0], Fault::PanicPath { paths: vec![1, 3] });
+        assert_eq!(
+            plan.faults()[1],
+            Fault::PanicChunk {
+                chunk: 2,
+                times: Some(3),
+            }
+        );
+        assert_eq!(plan.faults()[2], Fault::SlowChunk { chunk: 0, ms: 1500 });
+        let bare: FaultPlan = "panic-chunk@2".parse()?;
+        assert_eq!(
+            bare.faults()[0],
+            Fault::PanicChunk {
+                chunk: 2,
+                times: None,
+            }
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn panic_chunk_disarms_after_times() {
+        let plan = FaultPlan::new(
+            0,
+            vec![Fault::PanicChunk {
+                chunk: 2,
+                times: Some(2),
+            }],
+        );
+        assert!(plan.panic_chunk(0).is_none(), "untargeted chunk");
+        assert!(plan.panic_chunk(2).is_some());
+        assert!(plan.panic_chunk(2).is_some());
+        assert!(plan.panic_chunk(2).is_none(), "disarmed after 2 firings");
+        assert_eq!(plan.fired(), vec![2]);
+        let always = FaultPlan::new(
+            0,
+            vec![Fault::PanicChunk {
+                chunk: 1,
+                times: None,
+            }],
+        );
+        for _ in 0..5 {
+            assert!(always.panic_chunk(1).is_some());
+        }
+        assert_eq!(always.fired(), vec![5]);
+    }
+
+    #[test]
+    fn panic_path_and_slow_chunk_target_by_index() {
+        let plan = FaultPlan::new(
+            0,
+            vec![
+                Fault::PanicPath { paths: vec![4] },
+                Fault::SlowChunk { chunk: 3, ms: 250 },
+            ],
+        );
+        assert!(plan.panic_path(0).is_none());
+        let msg = plan.panic_path(4).expect("targeted");
+        assert!(msg.contains("panic-path@4"));
+        assert_eq!(plan.slow_chunk_ms(0), None);
+        assert_eq!(plan.slow_chunk_ms(3), Some(250));
+        assert_eq!(plan.fired(), vec![1, 1]);
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         for spec in [
             "",
@@ -411,6 +604,11 @@ mod tests {
             "poison-cache-shard@99",
             "truncate-bench@many",
             "nan-path@1;seed=3",
+            "panic-path",
+            "panic-chunk@x",
+            "panic-chunk@2:0",
+            "slow-chunk@2",
+            "slow-chunk@2:fast",
         ] {
             assert!(
                 spec.parse::<FaultPlan>().is_err(),

@@ -15,6 +15,8 @@
 //! kernel), then combine the two factors — `O(Q³)` total. The direct
 //! `O(Q⁵)` enumeration is retained for validation (ablation 2).
 
+#![warn(clippy::unwrap_used)]
+
 use crate::correlation::LayerModel;
 use crate::Result;
 use statim_process::delay::voltage_kernel;
@@ -189,8 +191,10 @@ mod tests {
         let layers = LayerModel::date05();
         let (tech, ab1) = path_ab(1);
         let (_, ab10) = path_ab(10);
-        let p1 = inter_pdf(&ab1, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
-        let p10 = inter_pdf(&ab10, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
+        let p1 = inter_pdf(&ab1, &tech, &vars, &layers, Marginal::Gaussian, 50)
+            .expect("inter pdf computed");
+        let p10 = inter_pdf(&ab10, &tech, &vars, &layers, Marginal::Gaussian, 50)
+            .expect("inter pdf computed");
         assert!((p10.mean() / p1.mean() - 10.0).abs() < 0.01);
         assert!((p10.std_dev() / p1.std_dev() - 10.0).abs() < 0.05);
     }
@@ -208,7 +212,8 @@ mod tests {
             * pt.leff()
             * (ab.alpha * voltage_kernel(pt.vdd(), pt.vtn())
                 + ab.beta * voltage_kernel(pt.vdd(), pt.vtp()));
-        let pdf = inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
+        let pdf = inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50)
+            .expect("inter pdf computed");
         let gap = (pdf.mean() - nominal).abs() / nominal;
         assert!(gap < 0.01, "gap {gap}");
         assert!(gap > 1e-7, "the non-linearity should leave a visible gap");
@@ -220,8 +225,10 @@ mod tests {
         let vars = Variations::date05();
         let layers = LayerModel::date05();
         let (tech, ab) = path_ab(8);
-        let sep = inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 24).unwrap();
-        let dir = inter_pdf_direct(&ab, &tech, &vars, &layers, Marginal::Gaussian, 24).unwrap();
+        let sep = inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 24)
+            .expect("inter pdf computed");
+        let dir = inter_pdf_direct(&ab, &tech, &vars, &layers, Marginal::Gaussian, 24)
+            .expect("inter pdf computed");
         let rel = |a: f64, b: f64| (a - b).abs() / b.abs();
         // Both are coarse histograms over the same ±6σ corner span; at 24
         // cells they agree to a percent on the mean and better than 10%
@@ -245,7 +252,8 @@ mod tests {
         let vars = Variations::date05();
         let layers = LayerModel::with_inter_share(0.0);
         let (tech, ab) = path_ab(5);
-        let pdf = inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
+        let pdf = inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50)
+            .expect("inter pdf computed");
         assert!(pdf.std_dev() < 1e-17);
         assert!(pdf.mean() > 0.0);
     }
@@ -263,7 +271,7 @@ mod tests {
             Marginal::Gaussian,
             50,
         )
-        .unwrap();
+        .expect("test setup succeeds");
         let s50 = inter_pdf(
             &ab,
             &tech,
@@ -272,7 +280,7 @@ mod tests {
             Marginal::Gaussian,
             50,
         )
-        .unwrap();
+        .expect("test setup succeeds");
         let s75 = inter_pdf(
             &ab,
             &tech,
@@ -281,7 +289,7 @@ mod tests {
             Marginal::Gaussian,
             50,
         )
-        .unwrap();
+        .expect("test setup succeeds");
         assert!(s50.std_dev() > s20.std_dev());
         assert!(s75.std_dev() > s50.std_dev());
     }
@@ -291,8 +299,8 @@ mod tests {
         let tech = Technology::cmos130();
         let vars = Variations::date05();
         let layers = LayerModel::date05(); // w0 = 0.2
-        let p =
-            inter_param_pdf(Param::Leff, &tech, &vars, &layers, Marginal::Gaussian, 200).unwrap();
+        let p = inter_param_pdf(Param::Leff, &tech, &vars, &layers, Marginal::Gaussian, 200)
+            .expect("inter pdf computed");
         let expect = 15e-9 * 0.2f64.sqrt();
         assert!((p.std_dev() - expect).abs() / expect < 0.02);
         assert!((p.mean() - tech.leff).abs() < 1e-12);

@@ -9,6 +9,8 @@
 //! correlation enters. With Gaussian inputs the intra PDF is the
 //! zero-mean Gaussian of variance (14), discretized at `QUALITYintra`.
 
+#![warn(clippy::unwrap_used)]
+
 use crate::characterize::CircuitTiming;
 use crate::correlation::LayerModel;
 use crate::Result;
@@ -204,12 +206,14 @@ mod tests {
     /// A chain of `n` inverters with both a placement.
     fn chain(n: usize) -> (Circuit, CircuitTiming, Placement, Vec<GateId>) {
         let mut c = Circuit::new("chain");
-        let mut s = c.add_input("a").unwrap();
+        let mut s = c.add_input("a").expect("circuit builds");
         for i in 0..n {
-            s = c.add_gate(format!("g{i}"), GateKind::Inv, &[s]).unwrap();
+            s = c
+                .add_gate(format!("g{i}"), GateKind::Inv, &[s])
+                .expect("circuit builds");
         }
-        c.mark_output("o", s).unwrap();
-        let t = characterize(&c, &Technology::cmos130()).unwrap();
+        c.mark_output("o", s).expect("circuit builds");
+        let t = characterize(&c, &Technology::cmos130()).expect("characterization succeeds");
         let p = Placement::generate(&c, PlacementStyle::Levelized);
         let path: Vec<GateId> = c.gate_ids().collect();
         (c, t, p, path)
@@ -249,14 +253,17 @@ mod tests {
         // Force every gate into the same cell with a custom placement.
         let c2 = {
             let mut c = Circuit::new("c");
-            let mut s = c.add_input("a").unwrap();
+            let mut s = c.add_input("a").expect("circuit builds");
             for i in 0..6 {
-                s = c.add_gate(format!("g{i}"), GateKind::Inv, &[s]).unwrap();
+                s = c
+                    .add_gate(format!("g{i}"), GateKind::Inv, &[s])
+                    .expect("circuit builds");
             }
-            c.mark_output("o", s).unwrap();
+            c.mark_output("o", s).expect("circuit builds");
             c
         };
-        let same_spot = Placement::from_positions(&c2, vec![(1.0, 1.0); 6], 100.0).unwrap();
+        let same_spot =
+            Placement::from_positions(&c2, vec![(1.0, 1.0); 6], 100.0).expect("placement builds");
         let vars = Variations::date05();
 
         let correlated_model = LayerModel {
@@ -265,7 +272,7 @@ mod tests {
             split: VarianceSplit::Custom(vec![0.0, 1.0]),
         };
         let co = path_coefficients(&path, &t, &same_spot, &correlated_model);
-        let v_corr = intra_variance(&co, &correlated_model, &vars).unwrap();
+        let v_corr = intra_variance(&co, &correlated_model, &vars).expect("intra pdf computed");
 
         let independent_model = LayerModel {
             spatial_layers: 1,
@@ -273,7 +280,7 @@ mod tests {
             split: VarianceSplit::InterShare(0.0),
         };
         let co_i = path_coefficients(&path, &t, &same_spot, &independent_model);
-        let v_ind = intra_variance(&co_i, &independent_model, &vars).unwrap();
+        let v_ind = intra_variance(&co_i, &independent_model, &vars).expect("intra pdf computed");
 
         // With identical gates the ratio would be exactly (Σd)²/Σd² = 6;
         // the final inverter's lighter load (no fan-out pin) pulls it
@@ -288,7 +295,7 @@ mod tests {
         let vars = Variations::date05();
         let paper = LayerModel::date05();
         let co = path_coefficients(&path, &t, &p, &paper);
-        let v = intra_variance(&co, &paper, &vars).unwrap();
+        let v = intra_variance(&co, &paper, &vars).expect("intra pdf computed");
 
         // Independent bound (every RV per gate): Σ d² σ² × (intra share).
         let mut indep = 0.0;
@@ -312,12 +319,12 @@ mod tests {
 
     #[test]
     fn intra_pdf_matches_variance() {
-        let pdf = intra_pdf(25e-24, 6.0, 100).unwrap();
+        let pdf = intra_pdf(25e-24, 6.0, 100).expect("intra pdf computed");
         assert!((pdf.mean()).abs() < 1e-15);
         assert!((pdf.std_dev() - 5e-12).abs() < 0.05e-12);
         assert_eq!(pdf.len(), 100);
         // Zero variance degenerates to a delta at zero.
-        let delta = intra_pdf(0.0, 6.0, 100).unwrap();
+        let delta = intra_pdf(0.0, 6.0, 100).expect("intra pdf computed");
         assert!(delta.std_dev() < 1e-15);
         assert!(delta.mean().abs() < 1e-15);
         assert!(intra_pdf(-1.0, 6.0, 100).is_err());
@@ -329,9 +336,10 @@ mod tests {
         let layers = LayerModel::date05();
         let vars = Variations::date05();
         let co = path_coefficients(&path, &t, &p, &layers);
-        let var = intra_variance(&co, &layers, &vars).unwrap();
-        let closed = intra_pdf(var, vars.trunc_k, 100).unwrap();
-        let numerical = intra_pdf_numerical(&co, &layers, &vars, Marginal::Gaussian, 100).unwrap();
+        let var = intra_variance(&co, &layers, &vars).expect("intra pdf computed");
+        let closed = intra_pdf(var, vars.trunc_k, 100).expect("intra pdf computed");
+        let numerical = intra_pdf_numerical(&co, &layers, &vars, Marginal::Gaussian, 100)
+            .expect("intra pdf computed");
         assert!(numerical.mean().abs() < 0.01 * closed.std_dev());
         let rel = (numerical.std_dev() - closed.std_dev()).abs() / closed.std_dev();
         assert!(rel < 0.02, "σ mismatch {rel}");
@@ -346,9 +354,9 @@ mod tests {
         let layers = LayerModel::date05();
         let vars = Variations::date05();
         let co = path_coefficients(&path, &t, &p, &layers);
-        let var = intra_variance(&co, &layers, &vars).unwrap();
+        let var = intra_variance(&co, &layers, &vars).expect("intra pdf computed");
         for m in [Marginal::Uniform, Marginal::Triangular] {
-            let pdf = intra_pdf_numerical(&co, &layers, &vars, m, 100).unwrap();
+            let pdf = intra_pdf_numerical(&co, &layers, &vars, m, 100).expect("intra pdf computed");
             let rel = (pdf.variance() - var).abs() / var;
             assert!(rel < 0.05, "{m:?}: variance off by {rel}");
             assert!(pdf.mean().abs() < 0.01 * pdf.std_dev());
@@ -364,11 +372,12 @@ mod tests {
         let layers = LayerModel::date05();
         let vars = Variations::date05();
         let co = path_coefficients(&path, &t, &p, &layers);
-        let var = intra_variance(&co, &layers, &vars).unwrap();
-        let gauss = intra_pdf(var, vars.trunc_k, 150).unwrap();
-        let unif = intra_pdf_numerical(&co, &layers, &vars, Marginal::Uniform, 150).unwrap();
-        let g3 = gauss.quantile(0.9987).unwrap();
-        let u3 = unif.quantile(0.9987).unwrap();
+        let var = intra_variance(&co, &layers, &vars).expect("intra pdf computed");
+        let gauss = intra_pdf(var, vars.trunc_k, 150).expect("intra pdf computed");
+        let unif = intra_pdf_numerical(&co, &layers, &vars, Marginal::Uniform, 150)
+            .expect("intra pdf computed");
+        let g3 = gauss.quantile(0.9987).expect("quantile defined");
+        let u3 = unif.quantile(0.9987).expect("quantile defined");
         assert!((g3 - u3).abs() / g3 < 0.1, "3σ quantile {g3} vs {u3}");
     }
 

@@ -27,7 +27,9 @@
 //! (deterministic timing reports), [`attribution`] (per-parameter and
 //! per-gate variance decomposition), [`timing_yield`] (yield curves and
 //! clock constraints), [`cache`] (bit-identical memoization of the
-//! per-path kernels) and [`report`] (text/CSV rendering).
+//! per-path kernels), [`supervise`] (panic isolation, deterministic
+//! retry, run budgets and Monte-Carlo checkpoint/resume) and [`report`]
+//! (text/CSV rendering).
 //!
 //! # Example
 //!
@@ -67,6 +69,7 @@ pub mod parallel;
 pub mod rank;
 pub mod report;
 pub mod slack;
+pub mod supervise;
 pub mod timing_yield;
 pub mod worst_case;
 
@@ -77,6 +80,9 @@ pub use engine::{DegradedPath, SstaConfig, SstaEngine, SstaReport};
 pub use error::{CoreError, ErrorClass, StatimError};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use faults::{Fault, FaultPlan};
+pub use supervise::{
+    BudgetKind, CancelToken, ItemOutcome, McCheckpoint, McCheckpointer, RunBudget, Supervisor,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

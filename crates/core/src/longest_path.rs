@@ -186,21 +186,27 @@ mod tests {
         // a -> g1(NAND2, slow) -> g3
         // a -> g2(INV, fast)  -> g3 ; critical path goes through g1.
         let mut c = Circuit::new("d");
-        let a = c.add_input("a").unwrap();
-        let b = c.add_input("b").unwrap();
-        let g1 = c.add_gate("g1", GateKind::Nand(4), &[a, b, a, b]).unwrap();
-        let g2 = c.add_gate("g2", GateKind::Inv, &[a]).unwrap();
-        let g3 = c.add_gate("g3", GateKind::Nand(2), &[g1, g2]).unwrap();
-        c.mark_output("o", g3).unwrap();
-        let t = characterize(&c, &Technology::cmos130()).unwrap();
+        let a = c.add_input("a").expect("circuit builds");
+        let b = c.add_input("b").expect("circuit builds");
+        let g1 = c
+            .add_gate("g1", GateKind::Nand(4), &[a, b, a, b])
+            .expect("circuit builds");
+        let g2 = c
+            .add_gate("g2", GateKind::Inv, &[a])
+            .expect("circuit builds");
+        let g3 = c
+            .add_gate("g3", GateKind::Nand(2), &[g1, g2])
+            .expect("circuit builds");
+        c.mark_output("o", g3).expect("circuit builds");
+        let t = characterize(&c, &Technology::cmos130()).expect("characterization succeeds");
         (c, t)
     }
 
     #[test]
     fn bellman_ford_equals_topo() {
         let (c, t) = diamond();
-        let bf = bellman_ford(&c, &t).unwrap();
-        let tp = topo_labels(&c, &t).unwrap();
+        let bf = bellman_ford(&c, &t).expect("labels computed");
+        let tp = topo_labels(&c, &t).expect("labels computed");
         for (a, b) in bf.arrival.iter().zip(&tp.arrival) {
             assert!((a - b).abs() < 1e-18, "{a} vs {b}");
         }
@@ -213,9 +219,9 @@ mod tests {
         let c = statim_netlist::generators::iscas85::generate(
             statim_netlist::generators::iscas85::Benchmark::C880,
         );
-        let t = characterize(&c, &Technology::cmos130()).unwrap();
-        let bf = bellman_ford(&c, &t).unwrap();
-        let tp = topo_labels(&c, &t).unwrap();
+        let t = characterize(&c, &Technology::cmos130()).expect("characterization succeeds");
+        let bf = bellman_ford(&c, &t).expect("labels computed");
+        let tp = topo_labels(&c, &t).expect("labels computed");
         for (a, b) in bf.arrival.iter().zip(&tp.arrival) {
             assert!((a - b).abs() < 1e-15 * b.abs().max(1e-12));
         }
@@ -226,9 +232,9 @@ mod tests {
     #[test]
     fn critical_delay_and_path() {
         let (c, t) = diamond();
-        let labels = topo_labels(&c, &t).unwrap();
-        let d = labels.critical_delay(&c).unwrap();
-        let path = critical_path(&c, &t, &labels).unwrap();
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let d = labels.critical_delay(&c).expect("critical delay exists");
+        let path = critical_path(&c, &t, &labels).expect("critical path exists");
         // Path g1 -> g3 (the slow branch).
         assert_eq!(path.len(), 2);
         assert_eq!(c.gate(path[0]).name, "g1");
@@ -240,14 +246,14 @@ mod tests {
     fn empty_circuit_errors() {
         let c = Circuit::new("e");
         let mut c2 = Circuit::new("x");
-        let a = c2.add_input("a").unwrap();
-        c2.mark_output("o", a).unwrap(); // output driven directly by PI
+        let a = c2.add_input("a").expect("circuit builds");
+        c2.mark_output("o", a).expect("circuit builds"); // output driven directly by PI
         let t_err = characterize(&c, &Technology::cmos130());
         assert!(t_err.is_err());
         let g = c2.add_gate("g", GateKind::Inv, &[a]);
         let _ = g;
-        let t = characterize(&c2, &Technology::cmos130()).unwrap();
-        let labels = topo_labels(&c2, &t).unwrap();
+        let t = characterize(&c2, &Technology::cmos130()).expect("characterization succeeds");
+        let labels = topo_labels(&c2, &t).expect("labels computed");
         // Only PI-driven outputs: no gate-driven PO to time.
         assert!(labels.critical_delay(&c2).is_err());
     }
@@ -257,15 +263,15 @@ mod tests {
         let c = statim_netlist::generators::iscas85::generate(
             statim_netlist::generators::iscas85::Benchmark::C432,
         );
-        let t = characterize(&c, &Technology::cmos130()).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let path = critical_path(&c, &t, &labels).unwrap();
+        let t = characterize(&c, &Technology::cmos130()).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let path = critical_path(&c, &t, &labels).expect("critical path exists");
         assert!(!path.is_empty());
         for w in path.windows(2) {
             assert!(labels.arrival[w[0].index()] < labels.arrival[w[1].index()]);
         }
         // The traced path's delay equals the critical delay.
-        let d = labels.critical_delay(&c).unwrap();
+        let d = labels.critical_delay(&c).expect("critical delay exists");
         assert!((t.path_delay(&path) - d).abs() < 1e-12 * d);
     }
 }

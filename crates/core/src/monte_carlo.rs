@@ -17,8 +17,13 @@
 //! wall time. The `*_threaded` variants take an explicit worker count
 //! (0 ⇒ all cores); the plain variants use every available core.
 
+#![warn(clippy::unwrap_used)]
+
 use crate::characterize::CircuitTiming;
 use crate::correlation::LayerModel;
+use crate::supervise::{
+    fnv1a64, supervised_map, BudgetKind, ItemOutcome, McCheckpoint, McCheckpointer, Supervisor,
+};
 use crate::Result;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,71 +136,331 @@ pub fn mc_path_distribution_threaded(
     seed: u64,
     threads: usize,
 ) -> Result<McResult> {
-    let weights = layers.weights()?;
-    // Per-gate partition index for each intra spatial layer (1..L).
-    let gate_partitions: Vec<Vec<usize>> = path
-        .iter()
-        .map(|&g| {
-            let xy = placement.normalized(g);
-            (1..layers.spatial_layers)
-                .map(|l| layers.partition_of(l, xy))
-                .collect()
-        })
-        .collect();
-    let trunc = vars.trunc_k;
+    let sampler = PathSampler::new(path, timing, placement, tech, vars, layers, marginal)?;
+    let chunks = crate::parallel::mc_chunks(samples);
+    let workers = crate::parallel::effective_threads(Some(threads));
+    let runs = crate::parallel::parallel_map(&chunks, workers, |_, &(ci, n)| {
+        sampler.sample_chunk(seed, ci, n)
+    });
+    let delays: Vec<f64> = runs.into_iter().flatten().collect();
+    summarize(delays, quality)
+}
 
-    let sample_once = |rng: &mut StdRng, draws: &mut HashMap<(usize, usize, usize), f64>| -> f64 {
+/// Per-sample drawing of every layer RV along one path, evaluating each
+/// gate's exact delay — the state shared by the plain and supervised
+/// path drivers. A chunk is a pure function of `(seed, chunk_index)`
+/// through [`PathSampler::sample_chunk`], which is what makes retries
+/// and resumes bit-identical.
+struct PathSampler<'a> {
+    path: &'a [GateId],
+    timing: &'a CircuitTiming,
+    tech: &'a Technology,
+    vars: &'a Variations,
+    layers: &'a LayerModel,
+    weights: Vec<f64>,
+    /// Per path gate, per intra spatial layer (1..L): partition index.
+    gate_partitions: Vec<Vec<usize>>,
+    marginal: Marginal,
+}
+
+impl<'a> PathSampler<'a> {
+    fn new(
+        path: &'a [GateId],
+        timing: &'a CircuitTiming,
+        placement: &Placement,
+        tech: &'a Technology,
+        vars: &'a Variations,
+        layers: &'a LayerModel,
+        marginal: Marginal,
+    ) -> Result<Self> {
+        let weights = layers.weights()?;
+        // Per-gate partition index for each intra spatial layer (1..L).
+        let gate_partitions = path
+            .iter()
+            .map(|&g| {
+                let xy = placement.normalized(g);
+                (1..layers.spatial_layers)
+                    .map(|l| layers.partition_of(l, xy))
+                    .collect()
+            })
+            .collect();
+        Ok(PathSampler {
+            path,
+            timing,
+            tech,
+            vars,
+            layers,
+            weights,
+            gate_partitions,
+            marginal,
+        })
+    }
+
+    /// Draws one exact path-delay sample.
+    fn sample_once(
+        &self,
+        rng: &mut StdRng,
+        draws: &mut HashMap<(usize, usize, usize), f64>,
+    ) -> f64 {
+        let trunc = self.vars.trunc_k;
         // Layer 0: the shared inter-die operating point.
         let inter = PerParam::from_fn(|p| {
-            let sigma = vars.sigma.get(p) * weights[0].sqrt();
+            let sigma = self.vars.sigma.get(p) * self.weights[0].sqrt();
             if sigma > 0.0 {
-                marginal.sample(rng, tech.nominal(p), sigma, trunc)
+                self.marginal
+                    .sample(rng, self.tech.nominal(p), sigma, trunc)
             } else {
-                tech.nominal(p)
+                self.tech.nominal(p)
             }
         });
         draws.clear();
         let mut total = 0.0;
-        for (gi, &g) in path.iter().enumerate() {
+        for (gi, &g) in self.path.iter().enumerate() {
             let values = PerParam::from_fn(|p| {
-                let sigma_total = vars.sigma.get(p);
+                let sigma_total = self.vars.sigma.get(p);
                 let mut v = inter.get(p);
-                for (li, &part) in gate_partitions[gi].iter().enumerate() {
+                for (li, &part) in self.gate_partitions[gi].iter().enumerate() {
                     let layer = li + 1;
-                    let sigma = sigma_total * weights[layer].sqrt();
+                    let sigma = sigma_total * self.weights[layer].sqrt();
                     v += *draws.entry((p.index(), layer, part)).or_insert_with(|| {
                         if sigma > 0.0 {
-                            marginal.sample(rng, 0.0, sigma, trunc)
+                            self.marginal.sample(rng, 0.0, sigma, trunc)
                         } else {
                             0.0
                         }
                     });
                 }
-                if let Some(slot) = layers.random_slot() {
-                    let sigma = sigma_total * weights[slot].sqrt();
+                if let Some(slot) = self.layers.random_slot() {
+                    let sigma = sigma_total * self.weights[slot].sqrt();
                     if sigma > 0.0 {
-                        v += marginal.sample(rng, 0.0, sigma, trunc);
+                        v += self.marginal.sample(rng, 0.0, sigma, trunc);
                     }
                 }
                 v
             });
             let pt = OperatingPoint { values };
-            total += gate_delay(tech, &timing.gate(g).ab, &pt);
+            total += gate_delay(self.tech, &self.timing.gate(g).ab, &pt);
         }
         total
-    };
+    }
 
-    let chunks = crate::parallel::mc_chunks(samples);
-    let workers = crate::parallel::effective_threads(Some(threads));
-    let runs = crate::parallel::parallel_map(&chunks, workers, |_, &(ci, n)| {
+    /// Draws one whole chunk from scratch: a fresh `StdRng` seeded with
+    /// `chunk_seed(seed, ci)` and fresh shared-draw state. Calling this
+    /// twice for the same `(seed, ci, n)` returns bit-identical samples
+    /// — the retry/resume determinism anchor.
+    fn sample_chunk(&self, seed: u64, ci: u64, n: usize) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(crate::parallel::chunk_seed(seed, ci));
         let mut draws: HashMap<(usize, usize, usize), f64> = HashMap::new();
         (0..n)
-            .map(|_| sample_once(&mut rng, &mut draws))
-            .collect::<Vec<f64>>()
+            .map(|_| self.sample_once(&mut rng, &mut draws))
+            .collect()
+    }
+}
+
+/// Identity fingerprint of a path Monte-Carlo configuration — what a
+/// checkpoint binds to besides the seed and sample budget: the path
+/// (gate indices), histogram quality, marginal shape, and the exact bits
+/// of every variation σ, truncation and layer weight. Resuming under
+/// any other configuration is rejected.
+pub fn mc_fingerprint(
+    path: &[GateId],
+    vars: &Variations,
+    layers: &LayerModel,
+    marginal: Marginal,
+    quality: usize,
+) -> Result<u64> {
+    let mut words: Vec<u64> = Vec::with_capacity(path.len() + 16);
+    words.push(path.len() as u64);
+    words.extend(path.iter().map(|g| g.index() as u64));
+    words.push(quality as u64);
+    words.push(match marginal {
+        Marginal::Gaussian => 1,
+        Marginal::Uniform => 2,
+        Marginal::Triangular => 3,
     });
-    let delays: Vec<f64> = runs.into_iter().flatten().collect();
-    summarize(delays, quality)
+    words.push(vars.trunc_k.to_bits());
+    for (_, sigma) in vars.sigma.iter() {
+        words.push(sigma.to_bits());
+    }
+    for w in layers.weights()? {
+        words.push(w.to_bits());
+    }
+    words.push(layers.spatial_layers as u64);
+    Ok(fnv1a64(words))
+}
+
+/// Supervision context for [`mc_path_distribution_supervised`]: the
+/// supervisor (budgets + retry policy), optional checkpoint writer and
+/// optional checkpoint to resume from.
+#[derive(Debug, Clone, Copy)]
+pub struct McSupervision<'a> {
+    /// Budget/retry supervisor; its wall clock and cancel token are
+    /// shared with whatever else the caller is supervising.
+    pub sup: &'a Supervisor,
+    /// Records completed chunks for crash recovery, when present.
+    pub checkpoint: Option<&'a McCheckpointer>,
+    /// A previously persisted checkpoint: its chunks are reused verbatim
+    /// (exact bits) instead of re-sampled. Must be validated with
+    /// [`McCheckpoint::validate_for`] before the call.
+    pub resume: Option<&'a McCheckpoint>,
+    /// Fault plan driving `panic-chunk` / `slow-chunk` injection.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub faults: Option<&'a crate::faults::FaultPlan>,
+}
+
+impl<'a> McSupervision<'a> {
+    /// Plain supervision: budgets and retries only.
+    pub fn new(sup: &'a Supervisor) -> Self {
+        McSupervision {
+            sup,
+            checkpoint: None,
+            resume: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: None,
+        }
+    }
+
+    /// Adds a checkpoint writer.
+    #[must_use]
+    pub fn with_checkpoint(mut self, ck: &'a McCheckpointer) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// Adds a checkpoint to resume from.
+    #[must_use]
+    pub fn with_resume(mut self, ckpt: &'a McCheckpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
+    }
+
+    /// Adds a fault plan.
+    #[cfg(any(test, feature = "fault-injection"))]
+    #[must_use]
+    pub fn with_faults(mut self, plan: &'a crate::faults::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// Outcome of a supervised Monte-Carlo run: possibly-partial statistics
+/// plus the supervision record.
+#[derive(Debug)]
+pub struct McOutcome {
+    /// The summary over every completed chunk, in chunk order. `None`
+    /// when no chunk completed (budget tripped immediately).
+    pub result: Option<McResult>,
+    /// The budget that cut the run short, if any.
+    pub exhausted: Option<BudgetKind>,
+    /// Chunk retries performed.
+    pub retries: u64,
+    /// Chunks whose final attempt panicked (quarantined — their samples
+    /// are excluded deterministically).
+    pub quarantined_chunks: usize,
+    /// Chunks completed (including resumed ones).
+    pub chunks_done: usize,
+    /// Chunks in the full grid.
+    pub chunks_total: usize,
+    /// Chunks reused verbatim from the resume checkpoint.
+    pub chunks_resumed: usize,
+}
+
+/// [`mc_path_distribution_threaded`] under supervision: panic-isolated
+/// chunks with bounded deterministic retry, budget checks at every chunk
+/// boundary, periodic checkpointing and bit-identical resume.
+///
+/// Completed chunks merge in chunk order whether they were computed
+/// now, retried, or restored from `ctx.resume` — so an interrupted run
+/// resumed from its checkpoint ends bit-identical to an uninterrupted
+/// one, at any thread count.
+///
+/// # Errors
+///
+/// Propagates configuration errors, histogram failures and
+/// [`crate::CoreError::CheckpointIo`] from a failing checkpoint writer.
+/// A tripped budget is *not* an error: it is reported in
+/// [`McOutcome::exhausted`] with `result: None` when nothing completed.
+#[allow(clippy::too_many_arguments)]
+pub fn mc_path_distribution_supervised(
+    path: &[GateId],
+    timing: &CircuitTiming,
+    placement: &Placement,
+    tech: &Technology,
+    vars: &Variations,
+    layers: &LayerModel,
+    marginal: Marginal,
+    samples: usize,
+    quality: usize,
+    seed: u64,
+    threads: usize,
+    ctx: McSupervision<'_>,
+) -> Result<McOutcome> {
+    let sampler = PathSampler::new(path, timing, placement, tech, vars, layers, marginal)?;
+    let chunks = crate::parallel::mc_chunks(samples);
+    let workers = crate::parallel::effective_threads(Some(threads));
+    // The sample budget is chunk-aligned (checked at chunk boundaries),
+    // so the cap rounds up to whole chunks — a deterministic prefix of
+    // the chunk grid.
+    let chunk_cap = ctx.sup.budget().max_mc_samples.map(|s| {
+        (
+            s.div_ceil(crate::parallel::MC_CHUNK).max(1),
+            BudgetKind::McSamples,
+        )
+    });
+    let run = supervised_map(&chunks, workers, ctx.sup, chunk_cap, |_, &(ci, n)| {
+        if let Some(stored) = ctx.resume.and_then(|r| r.chunks.get(&ci)) {
+            // Restored verbatim: the checkpoint holds exact f64 bits.
+            return stored.clone();
+        }
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = ctx.faults {
+            if let Some(ms) = plan.slow_chunk_ms(ci) {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            if let Some(msg) = plan.panic_chunk(ci) {
+                panic!("{}", msg);
+            }
+        }
+        sampler.sample_chunk(seed, ci, n)
+    });
+
+    let mut delays: Vec<f64> = Vec::new();
+    let mut chunks_done = 0usize;
+    let mut chunks_resumed = 0usize;
+    let mut quarantined_chunks = 0usize;
+    for (&(ci, _), outcome) in chunks.iter().zip(run.outcomes) {
+        match outcome {
+            ItemOutcome::Done(chunk_delays) => {
+                chunks_done += 1;
+                if ctx.resume.is_some_and(|r| r.chunks.contains_key(&ci)) {
+                    chunks_resumed += 1;
+                }
+                if let Some(ck) = ctx.checkpoint {
+                    ck.record(ci, &chunk_delays);
+                }
+                delays.extend(chunk_delays);
+            }
+            ItemOutcome::Panicked { .. } => quarantined_chunks += 1,
+            ItemOutcome::Skipped => {}
+        }
+    }
+    if let Some(ck) = ctx.checkpoint {
+        ck.finish()?;
+    }
+    let result = if delays.is_empty() {
+        None
+    } else {
+        Some(summarize(delays, quality)?)
+    };
+    Ok(McOutcome {
+        result,
+        exhausted: run.exhausted,
+        retries: run.retries,
+        quarantined_chunks,
+        chunks_done,
+        chunks_total: chunks.len(),
+        chunks_resumed,
+    })
 }
 
 /// Per-sample drawing of every layer RV for a whole circuit, evaluating
@@ -544,9 +809,9 @@ mod tests {
     fn setup(bench: Benchmark) -> (CircuitTiming, Placement, Vec<GateId>, Technology) {
         let c = iscas85::generate(bench);
         let tech = Technology::cmos130();
-        let t = characterize(&c, &tech).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let cp = critical_path(&c, &t, &labels).unwrap();
+        let t = characterize(&c, &tech).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let cp = critical_path(&c, &t, &labels).expect("critical path exists");
         let p = Placement::generate(&c, PlacementStyle::Levelized);
         (t, p, cp, tech)
     }
@@ -558,7 +823,7 @@ mod tests {
         // non-linear Monte-Carlo on mean, σ and the 3σ point.
         let (t, p, cp, tech) = setup(Benchmark::C432);
         let settings = AnalysisSettings::date05();
-        let analytic = analyze_path(&cp, &t, &p, &tech, &settings).unwrap();
+        let analytic = analyze_path(&cp, &t, &p, &tech, &settings).expect("path analysis succeeds");
         let mc = mc_path_distribution(
             &cp,
             &t,
@@ -570,7 +835,7 @@ mod tests {
             100,
             42,
         )
-        .unwrap();
+        .expect("test setup succeeds");
         let rel = |a: f64, b: f64| (a - b).abs() / b;
         assert!(
             rel(analytic.mean, mc.mean) < 0.01,
@@ -597,10 +862,13 @@ mod tests {
         let (t, p, cp, tech) = setup(Benchmark::C499);
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::date05();
-        let a = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7).unwrap();
-        let b = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7).unwrap();
+        let a = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7)
+            .expect("mc run succeeds");
+        let b = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7)
+            .expect("mc run succeeds");
         assert_eq!(a.mean, b.mean);
-        let c = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 8).unwrap();
+        let c = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 8)
+            .expect("mc run succeeds");
         assert_ne!(a.mean, c.mean);
     }
 
@@ -611,10 +879,11 @@ mod tests {
         let (t, p, cp, tech) = setup(Benchmark::C432);
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::with_inter_share(1.0);
-        let mc = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 30_000, 100, 3).unwrap();
+        let mc = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 30_000, 100, 3)
+            .expect("mc run succeeds");
         let ab = t.path_alpha_beta(&cp);
-        let analytic =
-            crate::inter::inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50).unwrap();
+        let analytic = crate::inter::inter_pdf(&ab, &tech, &vars, &layers, Marginal::Gaussian, 50)
+            .expect("inter pdf computed");
         assert!((mc.mean - analytic.mean()).abs() / analytic.mean() < 0.01);
         assert!((mc.sigma - analytic.std_dev()).abs() / analytic.std_dev() < 0.05);
     }
@@ -627,14 +896,15 @@ mod tests {
         let c = iscas85::generate(bench);
         let tech = Technology::cmos130();
         let p = Placement::generate(&c, PlacementStyle::Levelized);
-        let t = characterize_placed(&c, &tech, &p).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let cp = critical_path(&c, &t, &labels).unwrap();
+        let t = characterize_placed(&c, &tech, &p).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let cp = critical_path(&c, &t, &labels).expect("critical path exists");
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::date05();
-        let chip =
-            mc_circuit_distribution(&c, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
-        let path = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 8000, 100, 5).unwrap();
+        let chip = mc_circuit_distribution(&c, &t, &p, &tech, &vars, &layers, 8000, 100, 5)
+            .expect("mc run succeeds");
+        let path = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 8000, 100, 5)
+            .expect("mc run succeeds");
         assert!(
             chip.mean >= path.mean * 0.999,
             "{} vs {}",
@@ -657,14 +927,15 @@ mod tests {
         let c = iscas85::generate(bench);
         let tech = Technology::cmos130();
         let p = Placement::generate(&c, PlacementStyle::Levelized);
-        let t = characterize_placed(&c, &tech, &p).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let d = labels.critical_delay(&c).unwrap();
-        let set = crate::enumerate::near_critical_paths(&c, &t, &labels, d * 0.95, 10_000).unwrap();
+        let t = characterize_placed(&c, &tech, &p).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let d = labels.critical_delay(&c).expect("critical delay exists");
+        let set = crate::enumerate::near_critical_paths(&c, &t, &labels, d * 0.95, 10_000)
+            .expect("critical path exists");
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::date05();
-        let crit =
-            mc_path_criticality(&c, &set.paths, &t, &p, &tech, &vars, &layers, 4000, 11).unwrap();
+        let crit = mc_path_criticality(&c, &set.paths, &t, &p, &tech, &vars, &layers, 4000, 11)
+            .expect("mc run succeeds");
         assert_eq!(crit.len(), set.paths.len());
         let total: f64 = crit.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
@@ -674,9 +945,110 @@ mod tests {
         // Empty path set: empty result.
         assert!(
             mc_path_criticality(&c, &[], &t, &p, &tech, &vars, &layers, 10, 1)
-                .unwrap()
+                .expect("mc run succeeds")
                 .is_empty()
         );
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_plain_bitwise() {
+        let (t, p, cp, tech) = setup(Benchmark::C499);
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let plain = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 2000, 50, 7)
+            .expect("plain run");
+        for threads in [1, 4] {
+            let sup = Supervisor::unlimited();
+            let out = mc_path_distribution_supervised(
+                &cp,
+                &t,
+                &p,
+                &tech,
+                &vars,
+                &layers,
+                Marginal::Gaussian,
+                2000,
+                50,
+                7,
+                threads,
+                McSupervision::new(&sup),
+            )
+            .expect("supervised run");
+            assert_eq!(out.exhausted, None);
+            assert_eq!(out.retries, 0);
+            assert_eq!(out.chunks_done, out.chunks_total);
+            let r = out.result.expect("complete run has a result");
+            assert_eq!(r.mean.to_bits(), plain.mean.to_bits(), "threads {threads}");
+            assert_eq!(r.sigma.to_bits(), plain.sigma.to_bits());
+            assert_eq!(r.samples, plain.samples);
+        }
+    }
+
+    #[test]
+    fn mc_sample_budget_truncates_chunk_prefix() {
+        use crate::supervise::RunBudget;
+        let (t, p, cp, tech) = setup(Benchmark::C432);
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let samples = 2 * crate::parallel::MC_CHUNK + 100;
+        let budget = RunBudget {
+            max_mc_samples: Some(crate::parallel::MC_CHUNK),
+            ..RunBudget::none()
+        };
+        let sup = Supervisor::new(budget, 0);
+        let out = mc_path_distribution_supervised(
+            &cp,
+            &t,
+            &p,
+            &tech,
+            &vars,
+            &layers,
+            Marginal::Gaussian,
+            samples,
+            50,
+            3,
+            2,
+            McSupervision::new(&sup),
+        )
+        .expect("budgeted run");
+        assert_eq!(out.exhausted, Some(BudgetKind::McSamples));
+        assert_eq!(out.chunks_done, 1);
+        assert_eq!(out.chunks_total, 3);
+        let partial = out.result.expect("one chunk completed");
+        assert_eq!(partial.samples, crate::parallel::MC_CHUNK);
+        // The partial result is the deterministic prefix: bit-identical
+        // to a clean run over exactly that many samples.
+        let prefix = mc_path_distribution(
+            &cp,
+            &t,
+            &p,
+            &tech,
+            &vars,
+            &layers,
+            crate::parallel::MC_CHUNK,
+            50,
+            3,
+        )
+        .expect("prefix run");
+        assert_eq!(partial.mean.to_bits(), prefix.mean.to_bits());
+    }
+
+    #[test]
+    fn mc_fingerprint_distinguishes_configurations() {
+        let (t, _p, cp, _tech) = setup(Benchmark::C432);
+        let _ = &t;
+        let vars = statim_process::Variations::date05();
+        let layers = crate::correlation::LayerModel::date05();
+        let a = mc_fingerprint(&cp, &vars, &layers, Marginal::Gaussian, 150).expect("fp");
+        let b = mc_fingerprint(&cp, &vars, &layers, Marginal::Gaussian, 150).expect("fp");
+        assert_eq!(a, b, "fingerprint is a pure function");
+        let q = mc_fingerprint(&cp, &vars, &layers, Marginal::Gaussian, 100).expect("fp");
+        assert_ne!(a, q, "quality changes the fingerprint");
+        let m = mc_fingerprint(&cp, &vars, &layers, Marginal::Uniform, 150).expect("fp");
+        assert_ne!(a, m, "marginal changes the fingerprint");
+        let shorter =
+            mc_fingerprint(&cp[1..], &vars, &layers, Marginal::Gaussian, 150).expect("fp");
+        assert_ne!(a, shorter, "path identity changes the fingerprint");
     }
 
     #[test]
@@ -684,7 +1056,8 @@ mod tests {
         let (t, p, cp, tech) = setup(Benchmark::C432);
         let vars = statim_process::Variations::date05();
         let layers = crate::correlation::LayerModel::date05();
-        let mc = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 500, 30, 1).unwrap();
+        let mc = mc_path_distribution(&cp, &t, &p, &tech, &vars, &layers, 500, 30, 1)
+            .expect("mc run succeeds");
         assert_eq!(mc.samples, 500);
         assert_eq!(mc.pdf.len(), 30);
         assert!((mc.pdf.mass() - 1.0).abs() < 1e-9);

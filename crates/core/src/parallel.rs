@@ -7,17 +7,28 @@
 //!    about the output depends on the thread count or on scheduling.
 //!    Work is handed out through an atomic cursor purely as a load
 //!    balancing device; each item's result lands in its own slot.
-//! 2. **Independent randomness.** Monte-Carlo work is split into
+//! 2. **Panic isolation.** A panic in `f` no longer aborts the run:
+//!    every item executes under [`supervise::isolate`], and a panicking
+//!    item becomes [`ItemOutcome::Panicked`] in its result slot while
+//!    every other item completes normally. The caller decides what
+//!    quarantine means (the engine degrades the path, the Monte-Carlo
+//!    driver retries the chunk). Genuinely fatal payloads — allocation
+//!    failure, out of memory, stack overflow — take the
+//!    [`supervise::escalate`] escape hatch and abort the run as before.
+//! 3. **Independent randomness.** Monte-Carlo work is split into
 //!    fixed-size chunks ([`MC_CHUNK`] samples) and every chunk seeds its
 //!    own [`rand::rngs::StdRng`] from `seed + chunk_index`. The chunk
 //!    grid never moves with the thread count, so a 1-thread and an
 //!    8-thread run draw bit-identical streams.
-//! 3. **Utilization accounting.** [`run_pool`] reports how long each
+//! 4. **Utilization accounting.** [`run_pool`] reports how long each
 //!    worker was busy so the engine's [`RunProfile`] can show per-stage
 //!    thread utilization (`busy / (wall · threads)`).
 //!
 //! [`RunProfile`]: crate::engine::RunProfile
+//! [`supervise::isolate`]: crate::supervise::isolate
+//! [`supervise::escalate`]: crate::supervise::escalate
 
+use crate::supervise::{self, ItemOutcome};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -45,16 +56,20 @@ pub fn effective_threads(requested: Option<usize>) -> usize {
 /// Outcome of a [`run_pool`] call.
 #[derive(Debug)]
 pub struct PoolRun<U> {
-    /// Per-item results in input order.
-    pub results: Vec<U>,
+    /// Per-item outcomes in input order. An item that panicked is
+    /// [`ItemOutcome::Panicked`] in its slot; the rest are unaffected.
+    pub results: Vec<ItemOutcome<U>>,
     /// Total worker busy time, seconds (sum over workers).
     pub busy: f64,
     /// Workers actually spawned.
     pub threads: usize,
 }
 
-/// Maps `f` over `items` on `threads` workers, returning results in
-/// input order plus busy-time accounting.
+/// One worker's `(index, outcome)` pairs plus its busy seconds.
+type WorkerOut<U> = (Vec<(usize, ItemOutcome<U>)>, f64);
+
+/// Maps `f` over `items` on `threads` workers, returning per-item
+/// outcomes in input order plus busy-time accounting.
 ///
 /// `f` receives `(index, &item)`. Work is dealt in contiguous chunks via
 /// an atomic cursor; chunk size adapts to the item count so the tail
@@ -63,17 +78,31 @@ pub struct PoolRun<U> {
 ///
 /// # Panics
 ///
-/// A panic in `f` on any worker is propagated to the caller.
+/// An ordinary panic in `f` is *isolated*: it lands as
+/// [`ItemOutcome::Panicked`] in that item's slot and the pool keeps
+/// running. Fatal payloads (allocation failure, out of memory, stack
+/// overflow) are re-raised via [`supervise::escalate`].
 pub fn run_pool<T, U, F>(items: &[T], threads: usize, f: F) -> PoolRun<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    let run_item = |i: usize, item: &T| -> ItemOutcome<U> {
+        match supervise::isolate(|| f(i, item)) {
+            Ok(u) => ItemOutcome::Done(u),
+            Err(reason) => ItemOutcome::Panicked { reason },
+        }
+    };
+
     let threads = threads.max(1).min(items.len().max(1));
     if threads == 1 {
         let t0 = Instant::now();
-        let results = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let results = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_item(i, t))
+            .collect();
         return PoolRun {
             results,
             busy: t0.elapsed().as_secs_f64(),
@@ -86,9 +115,9 @@ where
     // atomic traffic.
     let chunk = (items.len() / (threads * 8)).max(1);
     let cursor = AtomicUsize::new(0);
-    let f = &f;
+    let run_item = &run_item;
 
-    let per_worker: Vec<(Vec<(usize, U)>, f64)> = std::thread::scope(|scope| {
+    let per_worker: Vec<WorkerOut<U>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
@@ -101,7 +130,7 @@ where
                         }
                         let end = (start + chunk).min(items.len());
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                            out.push((i, f(i, item)));
+                            out.push((i, run_item(i, item)));
                         }
                     }
                     (out, t0.elapsed().as_secs_f64())
@@ -112,13 +141,15 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(v) => v,
+                // Only escalated (fatal) payloads reach here; ordinary
+                // panics were isolated into their item slots.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
 
     let mut busy = 0.0;
-    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<ItemOutcome<U>>> = (0..items.len()).map(|_| None).collect();
     for (results, worker_busy) in per_worker {
         busy += worker_busy;
         for (i, v) in results {
@@ -137,13 +168,31 @@ where
 }
 
 /// Maps `f` over `items` on `threads` workers; results in input order.
+///
+/// The *unsupervised* convenience: a panicking item is re-raised on the
+/// caller (there is no quarantine slot to put it in). Fan-outs that want
+/// isolation and budgets use
+/// [`supervise::supervised_map`](crate::supervise::supervised_map).
+///
+/// # Panics
+///
+/// Re-raises the first (by input order) item panic.
 pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    run_pool(items, threads, f).results
+    run_pool(items, threads, f)
+        .results
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            ItemOutcome::Done(u) => u,
+            ItemOutcome::Panicked { reason } => panic!("worker panic on item {i}: {reason}"),
+            ItemOutcome::Skipped => unreachable!("run_pool never skips items"),
+        })
+        .collect()
 }
 
 /// The fixed Monte-Carlo chunk grid for a sample budget: `(chunk_index,
@@ -164,7 +213,9 @@ pub fn mc_chunks(samples: usize) -> Vec<(u64, usize)> {
 
 /// The seed of an MC chunk: the run seed advanced by the chunk index.
 /// [`rand::rngs::StdRng`] expands the 64-bit value through SplitMix64,
-/// so adjacent seeds yield decorrelated streams.
+/// so adjacent seeds yield decorrelated streams. A *retried* chunk
+/// re-derives exactly this seed, which is why a run with retries is
+/// bit-identical to a clean one.
 pub fn chunk_seed(seed: u64, chunk_index: u64) -> u64 {
     seed.wrapping_add(chunk_index)
 }
@@ -248,8 +299,39 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_is_quarantined_not_propagated() {
+        // The isolation contract: one poisoned item, 99 healthy ones —
+        // the pool completes and the panic lands in its own slot, at any
+        // thread count.
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4] {
+            let run = run_pool(&items, threads, |_, &x| {
+                if x == 50 {
+                    panic!("worker boom");
+                }
+                x
+            });
+            assert_eq!(run.results.len(), 100, "threads = {threads}");
+            for (i, o) in run.results.iter().enumerate() {
+                if i == 50 {
+                    match o {
+                        ItemOutcome::Panicked { reason } => {
+                            assert!(reason.contains("worker boom"))
+                        }
+                        other => panic!("expected quarantine, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*o, ItemOutcome::Done(i));
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "worker boom")]
-    fn worker_panic_propagates() {
+    fn unsupervised_map_still_propagates() {
+        // parallel_map is the documented unsupervised convenience: with
+        // no quarantine slot to fill, the item panic re-raises.
         let items: Vec<usize> = (0..100).collect();
         parallel_map(&items, 4, |_, &x| {
             if x == 50 {

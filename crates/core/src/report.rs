@@ -112,6 +112,29 @@ pub fn degraded_summary(report: &SstaReport) -> String {
     out
 }
 
+/// One-line supervision summary: the `budget_exhausted` flag (with
+/// which budget tripped and how partial the report is) and the panic
+/// retry counters. Empty string for a complete, retry-free run, so
+/// healthy output is unchanged.
+pub fn supervision_summary(report: &SstaReport) -> String {
+    let mut out = String::new();
+    if let Some(kind) = report.budget_exhausted {
+        let _ = writeln!(
+            out,
+            "  budget_exhausted             : {} budget tripped — partial report ({} paths analyzed, {} skipped)",
+            kind, report.num_paths, report.skipped_paths
+        );
+    }
+    if report.profile.panics > 0 {
+        let _ = writeln!(
+            out,
+            "  supervised retries           : {} retries, {} panics isolated",
+            report.profile.retries, report.profile.panics
+        );
+    }
+    out
+}
+
 /// The ranked-path table (top `limit` rows): prob/det ranks, moments,
 /// confidence point and path length.
 pub fn path_table(report: &SstaReport, limit: usize) -> String {
@@ -231,6 +254,44 @@ mod tests {
     fn degraded_summary_empty_for_healthy_run() {
         let r = report();
         assert!(degraded_summary(&r).is_empty());
+    }
+
+    #[test]
+    fn supervision_summary_flags_budget_and_retries() {
+        let healthy = report();
+        assert!(supervision_summary(&healthy).is_empty());
+        use crate::supervise::RunBudget;
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let budget = RunBudget {
+            max_paths: Some(1),
+            ..RunBudget::none()
+        };
+        let partial = SstaEngine::new(
+            SstaConfig::date05()
+                .with_confidence(0.2)
+                .with_budget(budget),
+        )
+        .run(&c, &p)
+        .expect("partial run completes");
+        let s = supervision_summary(&partial);
+        assert!(s.contains("budget_exhausted"), "{s}");
+        assert!(s.contains("paths budget tripped"), "{s}");
+        assert!(s.contains("1 paths analyzed"), "{s}");
+    }
+
+    #[test]
+    fn supervision_summary_counts_retries() {
+        use crate::faults::FaultPlan;
+        let c = iscas85::generate(Benchmark::C432);
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let plan: FaultPlan = "panic-path@0".parse().expect("plan");
+        let r = SstaEngine::new(SstaConfig::date05().with_confidence(0.2).with_faults(plan))
+            .run(&c, &p)
+            .expect("quarantined run completes");
+        let s = supervision_summary(&r);
+        assert!(s.contains("supervised retries"), "{s}");
+        assert!(s.contains("2 panics isolated"), "{s}");
     }
 
     #[test]

@@ -118,20 +118,20 @@ mod tests {
 
     fn setup() -> (Circuit, CircuitTiming, Labels) {
         let c = iscas85::generate(Benchmark::C432);
-        let t = characterize(&c, &Technology::cmos130()).unwrap();
-        let l = topo_labels(&c, &t).unwrap();
+        let t = characterize(&c, &Technology::cmos130()).expect("characterization succeeds");
+        let l = topo_labels(&c, &t).expect("labels computed");
         (c, t, l)
     }
 
     #[test]
     fn critical_path_has_zero_slack_at_exact_period() {
         let (c, t, l) = setup();
-        let d = l.critical_delay(&c).unwrap();
-        let report = slack_report(&c, &t, &l, d).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
+        let report = slack_report(&c, &t, &l, d).expect("slack report computed");
         let (g, worst) = report.worst();
         assert!(worst.abs() < 1e-9 * d, "worst slack {worst}");
         // Every gate on the deterministic critical path has ~zero slack.
-        let cp = critical_path(&c, &t, &l).unwrap();
+        let cp = critical_path(&c, &t, &l).expect("critical path exists");
         assert!(cp.contains(&g) || report.slack[g.index()].abs() < 1e-9 * d);
         for &gate in &cp {
             assert!(
@@ -146,9 +146,9 @@ mod tests {
     #[test]
     fn slack_shifts_linearly_with_period() {
         let (c, t, l) = setup();
-        let d = l.critical_delay(&c).unwrap();
-        let tight = slack_report(&c, &t, &l, d * 0.9).unwrap();
-        let loose = slack_report(&c, &t, &l, d * 1.1).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
+        let tight = slack_report(&c, &t, &l, d * 0.9).expect("slack report computed");
+        let loose = slack_report(&c, &t, &l, d * 1.1).expect("slack report computed");
         assert!(!tight.meets_timing());
         assert!(loose.meets_timing());
         for i in 0..c.gate_count() {
@@ -160,13 +160,13 @@ mod tests {
     #[test]
     fn critical_gates_grow_with_margin() {
         let (c, t, l) = setup();
-        let d = l.critical_delay(&c).unwrap();
-        let report = slack_report(&c, &t, &l, d).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
+        let report = slack_report(&c, &t, &l, d).expect("slack report computed");
         let tight = report.critical_gates(1e-15);
         let wide = report.critical_gates(d * 0.1);
         assert!(!tight.is_empty());
         assert!(wide.len() >= tight.len());
-        let cp = critical_path(&c, &t, &l).unwrap();
+        let cp = critical_path(&c, &t, &l).expect("critical path exists");
         assert!(tight.len() >= cp.len());
     }
 
@@ -176,8 +176,8 @@ mod tests {
         // computation must be internally consistent — along every edge,
         // required(src) ≤ required(dst) − delay(dst).
         let (c, t, l) = setup();
-        let d = l.critical_delay(&c).unwrap();
-        let report = slack_report(&c, &t, &l, d).unwrap();
+        let d = l.critical_delay(&c).expect("critical delay exists");
+        let report = slack_report(&c, &t, &l, d).expect("slack report computed");
         for (i, gate) in c.gates().iter().enumerate() {
             for s in &gate.inputs {
                 if let Signal::Gate(src) = s {

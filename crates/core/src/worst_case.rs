@@ -119,11 +119,11 @@ mod tests {
         let c = iscas85::generate(Benchmark::C432);
         let tech = Technology::cmos130();
         let vars = Variations::date05();
-        let t = characterize(&c, &tech).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let d = labels.critical_delay(&c).unwrap();
-        let wc =
-            worst_case_critical_delay(&c, &t, &tech, &vars, CornerSpec::three_sigma()).unwrap();
+        let t = characterize(&c, &tech).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let d = labels.critical_delay(&c).expect("critical delay exists");
+        let wc = worst_case_critical_delay(&c, &t, &tech, &vars, CornerSpec::three_sigma())
+            .expect("critical delay exists");
         let ratio = wc / d;
         assert!((1.7..2.4).contains(&ratio), "ratio {ratio}");
     }
@@ -133,14 +133,16 @@ mod tests {
         let c = iscas85::generate(Benchmark::C880);
         let tech = Technology::cmos130();
         let vars = Variations::date05();
-        let t = characterize(&c, &tech).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let cp = critical_path(&c, &t, &labels).unwrap();
+        let t = characterize(&c, &tech).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let cp = critical_path(&c, &t, &labels).expect("critical path exists");
         let nominal = t.path_delay(&cp);
-        let wc = worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::three_sigma()).unwrap();
+        let wc = worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::three_sigma())
+            .expect("corner delay computed");
         assert!(wc > nominal * 1.5);
         // Zero-σ corner reproduces the nominal delay exactly.
-        let zero = worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::sigma(0.0)).unwrap();
+        let zero = worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::sigma(0.0))
+            .expect("corner delay computed");
         assert!((zero - nominal).abs() < 1e-12 * nominal);
     }
 
@@ -149,12 +151,14 @@ mod tests {
         let c = iscas85::generate(Benchmark::C499);
         let tech = Technology::cmos130();
         let vars = Variations::date05();
-        let t = characterize(&c, &tech).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let cp = critical_path(&c, &t, &labels).unwrap();
+        let t = characterize(&c, &tech).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let cp = critical_path(&c, &t, &labels).expect("critical path exists");
         let corner = CornerSpec::three_sigma();
-        let path_wc = worst_case_path_delay(&cp, &t, &tech, &vars, corner).unwrap();
-        let circ_wc = worst_case_critical_delay(&c, &t, &tech, &vars, corner).unwrap();
+        let path_wc =
+            worst_case_path_delay(&cp, &t, &tech, &vars, corner).expect("corner delay computed");
+        let circ_wc =
+            worst_case_critical_delay(&c, &t, &tech, &vars, corner).expect("critical delay exists");
         assert!(circ_wc >= path_wc * (1.0 - 1e-12));
     }
 
@@ -165,9 +169,9 @@ mod tests {
         let c = iscas85::generate(Benchmark::C432);
         let tech = Technology::cmos130();
         let vars = Variations::date05();
-        let t = characterize(&c, &tech).unwrap();
-        let labels = topo_labels(&c, &t).unwrap();
-        let cp = critical_path(&c, &t, &labels).unwrap();
+        let t = characterize(&c, &tech).expect("characterization succeeds");
+        let labels = topo_labels(&c, &t).expect("labels computed");
+        let cp = critical_path(&c, &t, &labels).expect("critical path exists");
         assert!(matches!(
             worst_case_path_delay(&cp, &t, &tech, &vars, CornerSpec::sigma(40.0)),
             Err(CoreError::NonFiniteDelay { .. })
