@@ -1,0 +1,188 @@
+//! **Serving-mode throughput study** — what does the resident daemon
+//! buy over one-shot runs?
+//!
+//! Drives a real `statim serve` daemon (ephemeral port, in-process)
+//! through the blocking client with three passes over the same job mix:
+//!
+//! 1. **cold** — distinct jobs against an empty kernel store;
+//! 2. **warm-kernel** — the same circuits at shifted confidences, so
+//!    every job re-runs but shares the process-wide kernel cache the
+//!    cold pass populated;
+//! 3. **store-hit** — exact resubmissions of pass 1, answered from the
+//!    fingerprint-keyed result store without touching the engine.
+//!
+//! Reports per-pass wall time, jobs/second and the daemon's own
+//! counters, and asserts the serving-mode determinism contract: the
+//! store-hit pass returns byte-identical reports to the cold pass.
+//!
+//! Results overwrite `BENCH_server.json` at the repo root (hand-rendered
+//! JSON, no serde).
+//!
+//! ```text
+//! cargo run -p statim-bench --release --bin server_throughput \
+//!     [-- --repeats 4]
+//! ```
+
+use statim_core::service::ServiceConfig;
+use statim_server::{daemon, Client};
+use statim_stats::tabulate::format_table;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Coarse kernels keep the run quick; both passes use the same values
+/// so cross-pass cache sharing is real.
+const QUALITY: &[(&str, &str)] = &[("quality-intra", "60"), ("quality-inter", "30")];
+
+const WAIT: Duration = Duration::from_secs(600);
+
+fn repeats_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--repeats")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+}
+
+/// The job mix: each entry is (source, confidence).
+fn mix(repeats: usize, confidence_shift: f64) -> Vec<(String, f64)> {
+    let mut jobs = Vec::new();
+    for r in 0..repeats {
+        for source in ["@c432", "@c499"] {
+            jobs.push((
+                source.to_string(),
+                0.05 + 0.01 * r as f64 + confidence_shift,
+            ));
+        }
+    }
+    jobs
+}
+
+struct Pass {
+    name: &'static str,
+    jobs: usize,
+    wall: f64,
+    store_hits_delta: u64,
+    reports: Vec<String>,
+}
+
+fn run_pass(
+    client: &mut Client,
+    name: &'static str,
+    jobs: &[(String, f64)],
+    hits_before: u64,
+) -> Pass {
+    let start = Instant::now();
+    let mut ids = Vec::new();
+    for (source, confidence) in jobs {
+        let mut options: Vec<(String, String)> = QUALITY
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        options.push(("confidence".to_string(), format!("{confidence}")));
+        let (id, _) = client.submit(source, &options).expect("submit");
+        ids.push(id);
+    }
+    let mut reports = Vec::new();
+    for id in ids {
+        let state = client.wait(id, WAIT).expect("wait");
+        assert_eq!(state, "done", "benchmark jobs must finish clean");
+        reports.push(client.result(id, Some(5)).expect("result"));
+    }
+    Pass {
+        name,
+        jobs: jobs.len(),
+        wall: start.elapsed().as_secs_f64(),
+        store_hits_delta: store_hits(client) - hits_before,
+        reports,
+    }
+}
+
+/// Scrapes the `store-hits:` counter out of the STATS payload.
+fn store_hits(client: &mut Client) -> u64 {
+    client
+        .stats()
+        .expect("stats")
+        .lines()
+        .find_map(|l| l.strip_prefix("store-hits: ").and_then(|v| v.parse().ok()))
+        .expect("store-hits counter")
+}
+
+fn main() {
+    let repeats = repeats_from_args();
+    let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+
+    let cold_jobs = mix(repeats, 0.0);
+    let warm_jobs = mix(repeats, 0.001);
+
+    let cold = run_pass(&mut client, "cold", &cold_jobs, 0);
+    let warm = run_pass(
+        &mut client,
+        "warm-kernel",
+        &warm_jobs,
+        cold.store_hits_delta,
+    );
+    let hits_so_far = cold.store_hits_delta + warm.store_hits_delta;
+    let stored = run_pass(&mut client, "store-hit", &cold_jobs, hits_so_far);
+
+    // The contract the daemon sells: a store-served report is the very
+    // bytes the cold run produced.
+    assert_eq!(stored.store_hits_delta as usize, stored.reports.len());
+    for (a, b) in cold.reports.iter().zip(&stored.reports) {
+        assert_eq!(a, b, "store-served report must be byte-identical");
+    }
+
+    let final_stats = client.stats().expect("final stats");
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    let passes = [&cold, &warm, &stored];
+    let header = [
+        "pass",
+        "jobs",
+        "wall (s)",
+        "jobs/s",
+        "speedup vs cold",
+        "store hits",
+    ];
+    let mut rows = Vec::new();
+    let mut series = String::new();
+    for p in passes {
+        let jps = p.jobs as f64 / p.wall;
+        let speedup = cold.wall / p.wall;
+        rows.push(vec![
+            p.name.to_string(),
+            p.jobs.to_string(),
+            format!("{:.4}", p.wall),
+            format!("{jps:.2}"),
+            format!("{speedup:.2}x"),
+            p.store_hits_delta.to_string(),
+        ]);
+        if !series.is_empty() {
+            series.push_str(",\n");
+        }
+        let _ = write!(
+            series,
+            "    {{\"pass\": \"{}\", \"jobs\": {}, \"wall_secs\": {:.6}, \
+             \"jobs_per_sec\": {jps:.3}, \"speedup_vs_cold\": {speedup:.3}, \
+             \"store_hits\": {}}}",
+            p.name, p.jobs, p.wall, p.store_hits_delta
+        );
+    }
+
+    println!(
+        "== Serving-mode throughput ({} jobs per pass) ==",
+        cold.jobs
+    );
+    println!("{}", format_table(&header, &rows));
+    println!("daemon counters after the run:\n{final_stats}");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"server-throughput\",\n  \"job_mix\": \"c432+c499\",\n  \
+         \"jobs_per_pass\": {},\n  \"passes\": [\n{series}\n  ]\n}}\n",
+        cold.jobs
+    );
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("wrote BENCH_server.json");
+}

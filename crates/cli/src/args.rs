@@ -16,6 +16,10 @@ USAGE:
                                                emit a synthetic benchmark
     statim sensitivity                         print the Table-1 sensitivity analysis
     statim list                                list built-in benchmarks
+    statim serve [--addr <host:port>] [SERVE OPTIONS]
+                                               run the resident analysis daemon
+    statim client [--addr <host:port>] <verb> [...]
+                                               talk to a running daemon
 
 ANALYZE OPTIONS:
     --def <file>          read gate placement from a DEF(-lite) file
@@ -50,6 +54,34 @@ ANALYZE OPTIONS:
     --retries <n>         panic-retries per supervised work item
                           [default: 1]; retried items recompute from
                           scratch, so results stay bit-identical
+    --cache-capacity <n>  bound the analysis-kernel cache to n entries
+                          (second-chance eviction; n > 0); default is
+                          unbounded — results stay bit-identical either
+                          way
+
+SERVE OPTIONS:
+    --addr <host:port>    listen address [default: 127.0.0.1:7411]
+    --max-queue <n>       bounded job queue; submits beyond it get
+                          ERR BUSY [default: 16]
+    --cache-capacity <n>  bound the process-wide kernel cache shared by
+                          all jobs
+    --max-wall-secs <f>   default per-job wall budget (jobs may override
+                          with max-wall-secs=<f> at submit time)
+
+CLIENT COMMANDS (all take --addr <host:port> [default: 127.0.0.1:7411]):
+    submit <source> [key=value ...] [--wait]
+                          queue a job; <source> is a .bench path on the
+                          daemon host or @name for a built-in benchmark;
+                          options mirror SUBMIT (confidence=0.1
+                          threads=4 solver=topological ...); --wait
+                          polls until the job finishes and prints the
+                          report
+    status <job-id>       poll one job's state
+    result <job-id> [--top <n>]
+                          fetch a finished job's report
+    cancel <job-id>       cancel a queued or running job
+    stats                 print the daemon's counters
+    shutdown              ask the daemon to drain and exit
 
 MC OPTIONS:
     --checkpoint <file>   persist completed Monte-Carlo chunks to <file>
@@ -89,6 +121,77 @@ pub enum Command {
     Sensitivity,
     /// List built-in benchmarks.
     List,
+    /// Run the analysis daemon.
+    Serve(ServeArgs),
+    /// Drive a running daemon.
+    Client {
+        /// Daemon address.
+        addr: String,
+        /// What to ask the daemon.
+        action: ClientAction,
+    },
+}
+
+/// The default daemon address (`statim serve` and `statim client`).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+/// Options for `statim serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address.
+    pub addr: String,
+    /// Queue bound (None = service default).
+    pub max_queue: Option<usize>,
+    /// Kernel-store entry cap shared by all jobs.
+    pub cache_capacity: Option<usize>,
+    /// Default per-job wall budget, seconds.
+    pub max_wall_secs: Option<f64>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: DEFAULT_ADDR.to_string(),
+            max_queue: None,
+            cache_capacity: None,
+            max_wall_secs: None,
+        }
+    }
+}
+
+/// One `statim client` verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Queue a job.
+    Submit {
+        /// Netlist source (`@name` or a path on the daemon host).
+        source: String,
+        /// `key=value` submit options, in order.
+        options: Vec<(String, String)>,
+        /// Poll until terminal and print the report.
+        wait: bool,
+    },
+    /// Poll one job.
+    Status {
+        /// The job id (`job-N`).
+        id: String,
+    },
+    /// Fetch a finished job's report.
+    Result {
+        /// The job id.
+        id: String,
+        /// Path-table row limit.
+        top: Option<usize>,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// The job id.
+        id: String,
+    },
+    /// Print daemon counters.
+    Stats,
+    /// Drain the daemon.
+    Shutdown,
 }
 
 /// Options for `statim analyze`.
@@ -129,6 +232,8 @@ pub struct AnalyzeArgs {
     pub max_mc_samples: Option<usize>,
     /// Panic-retries per supervised work item (None = engine default).
     pub retries: Option<usize>,
+    /// Kernel-cache entry cap (None = unbounded).
+    pub cache_capacity: Option<usize>,
     /// Monte-Carlo checkpoint sidecar to write (mc command only).
     pub checkpoint: Option<String>,
     /// Monte-Carlo checkpoint to resume from (mc command only).
@@ -155,6 +260,7 @@ impl Default for AnalyzeArgs {
             max_analyzed_paths: None,
             max_mc_samples: None,
             retries: None,
+            cache_capacity: None,
             checkpoint: None,
             resume: None,
         }
@@ -193,6 +299,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "generate" => parse_generate(it.as_slice()),
         "sensitivity" => Ok(Command::Sensitivity),
         "list" => Ok(Command::List),
+        "serve" => parse_serve(it.as_slice()),
+        "client" => parse_client(it.as_slice()),
         "-h" | "--help" | "help" => Err("help requested".into()),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -260,6 +368,9 @@ fn parse_analyze_with<'a>(
                 args.max_mc_samples = Some(parse_num(tok, value(tok, &mut it)?)?);
             }
             "--retries" => args.retries = Some(parse_num(tok, value(tok, &mut it)?)?),
+            "--cache-capacity" => {
+                args.cache_capacity = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
             "--checkpoint" => args.checkpoint = Some(value(tok, &mut it)?.clone()),
             "--resume" => args.resume = Some(value(tok, &mut it)?.clone()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
@@ -278,6 +389,84 @@ fn parse_analyze_with<'a>(
         return Err("give either a .bench file or --benchmark, not both".into());
     }
     Ok((args, extra))
+}
+
+fn parse_serve(rest: &[String]) -> Result<Command, String> {
+    let mut args = ServeArgs::default();
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--addr" => args.addr = value(tok, &mut it)?.clone(),
+            "--max-queue" => args.max_queue = Some(parse_num(tok, value(tok, &mut it)?)?),
+            "--cache-capacity" => {
+                args.cache_capacity = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--max-wall-secs" => {
+                args.max_wall_secs = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            other => return Err(format!("unknown serve argument `{other}`")),
+        }
+    }
+    Ok(Command::Serve(args))
+}
+
+fn parse_client(rest: &[String]) -> Result<Command, String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut toks = Vec::new();
+    let mut wait = false;
+    let mut top = None;
+    let mut it = rest.iter();
+    while let Some(tok) = it.next() {
+        match tok.as_str() {
+            "--addr" => addr = value(tok, &mut it)?.clone(),
+            "--wait" => wait = true,
+            "--top" => top = Some(parse_num(tok, value(tok, &mut it)?)?),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown client flag `{flag}`"));
+            }
+            other => toks.push(other.to_string()),
+        }
+    }
+    let mut toks = toks.into_iter();
+    let verb = toks
+        .next()
+        .ok_or("client needs a verb (try submit/status/result/cancel/stats/shutdown)")?;
+    let action = match verb.as_str() {
+        "submit" => {
+            let source = toks
+                .next()
+                .ok_or("client submit needs a netlist source (@name or path)")?;
+            let mut options = Vec::new();
+            for opt in toks.by_ref() {
+                let (k, v) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("submit option `{opt}` is not key=value"))?;
+                options.push((k.to_string(), v.to_string()));
+            }
+            ClientAction::Submit {
+                source,
+                options,
+                wait,
+            }
+        }
+        "status" => ClientAction::Status {
+            id: toks.next().ok_or("client status needs a job id")?,
+        },
+        "result" => ClientAction::Result {
+            id: toks.next().ok_or("client result needs a job id")?,
+            top,
+        },
+        "cancel" => ClientAction::Cancel {
+            id: toks.next().ok_or("client cancel needs a job id")?,
+        },
+        "stats" => ClientAction::Stats,
+        "shutdown" => ClientAction::Shutdown,
+        other => return Err(format!("unknown client verb `{other}`")),
+    };
+    if let Some(extra) = toks.next() {
+        return Err(format!("unexpected extra argument `{extra}`"));
+    }
+    Ok(Command::Client { addr, action })
 }
 
 fn parse_generate(rest: &[String]) -> Result<Command, String> {
@@ -492,6 +681,125 @@ mod tests {
             }
         );
         assert!(parse(&v(&["generate"])).is_err());
+    }
+
+    #[test]
+    fn parses_cache_capacity_flag() {
+        match parse(&v(&[
+            "analyze",
+            "--benchmark",
+            "c432",
+            "--cache-capacity",
+            "64",
+        ]))
+        .unwrap()
+        {
+            Command::Analyze(a) => assert_eq!(a.cache_capacity, Some(64)),
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["analyze", "--benchmark", "c432"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.cache_capacity, None),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&[
+            "analyze",
+            "--benchmark",
+            "c432",
+            "--cache-capacity",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        match parse(&v(&["serve"])).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, DEFAULT_ADDR);
+                assert_eq!(s.max_queue, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--max-queue",
+            "4",
+            "--cache-capacity",
+            "128",
+            "--max-wall-secs",
+            "2.5",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.addr, "127.0.0.1:0");
+                assert_eq!(s.max_queue, Some(4));
+                assert_eq!(s.cache_capacity, Some(128));
+                assert_eq!(s.max_wall_secs, Some(2.5));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["serve", "positional"])).is_err());
+        assert!(parse(&v(&["serve", "--max-queue", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_client() {
+        match parse(&v(&[
+            "client",
+            "--addr",
+            "127.0.0.1:7411",
+            "submit",
+            "@c432",
+            "confidence=0.1",
+            "threads=2",
+            "--wait",
+        ]))
+        .unwrap()
+        {
+            Command::Client { addr, action } => {
+                assert_eq!(addr, "127.0.0.1:7411");
+                assert_eq!(
+                    action,
+                    ClientAction::Submit {
+                        source: "@c432".into(),
+                        options: vec![
+                            ("confidence".into(), "0.1".into()),
+                            ("threads".into(), "2".into()),
+                        ],
+                        wait: true,
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["client", "result", "job-3", "--top", "5"])).unwrap() {
+            Command::Client { addr, action } => {
+                assert_eq!(addr, DEFAULT_ADDR);
+                assert_eq!(
+                    action,
+                    ClientAction::Result {
+                        id: "job-3".into(),
+                        top: Some(5),
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse(&v(&["client", "stats"])).unwrap(),
+            Command::Client {
+                addr: DEFAULT_ADDR.into(),
+                action: ClientAction::Stats
+            }
+        );
+        assert!(parse(&v(&["client"])).is_err());
+        assert!(parse(&v(&["client", "frobnicate"])).is_err());
+        assert!(parse(&v(&["client", "status"])).is_err());
+        assert!(parse(&v(&["client", "submit", "@c432", "notkeyvalue"])).is_err());
+        assert!(parse(&v(&["client", "status", "job-1", "extra"])).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{AnalyzeArgs, Command};
+use crate::args::{AnalyzeArgs, ClientAction, Command, ServeArgs};
 use statim_core::engine::{SstaConfig, SstaEngine};
 use statim_core::{ErrorClass, LayerModel, StatimError};
 use statim_netlist::generators::iscas85::{self, Benchmark};
@@ -43,6 +43,8 @@ pub fn run(cmd: Command) -> DynResult {
             }
             Ok(())
         }
+        Command::Serve(s) => serve(s),
+        Command::Client { addr, action } => client(&addr, action),
     }
 }
 
@@ -153,6 +155,7 @@ fn run_engine(
     if let Some(r) = a.retries {
         config.retries = r;
     }
+    config.cache_capacity = a.cache_capacity;
     if let Some(share) = a.inter_share {
         config = config.with_layers(LayerModel::with_inter_share(share));
     }
@@ -327,6 +330,107 @@ fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
     row("mean", crit.mean, mc.mean);
     row("sigma", crit.sigma, mc.sigma);
     row("3σ point", crit.confidence_point, mc.sigma_point(3.0));
+    Ok(())
+}
+
+fn serve(s: ServeArgs) -> DynResult {
+    use statim_server::daemon::{self, DaemonOptions};
+    let config = DaemonOptions {
+        max_queue: s.max_queue,
+        cache_capacity: s.cache_capacity,
+        max_wall_secs: s.max_wall_secs,
+    }
+    .into_service_config();
+    let max_queue = config.max_queue;
+    let handle =
+        daemon::spawn(&s.addr, config).map_err(|e| StatimError::from(e).with_file(&s.addr))?;
+    println!(
+        "statim daemon listening on {} (queue bound {max_queue})",
+        handle.addr()
+    );
+    handle.join();
+    println!("statim daemon drained, exiting");
+    Ok(())
+}
+
+/// Lowers client-side failures onto the CLI error taxonomy so daemon
+/// replies map to the same exit codes local runs produce.
+fn client_error(e: statim_server::ClientError) -> StatimError {
+    use statim_server::{ClientError, ErrorCode};
+    let class = match &e {
+        ClientError::Io(_) => ErrorClass::Resource,
+        ClientError::Protocol(_) => ErrorClass::Parse,
+        ClientError::Server { code, .. } => match code {
+            ErrorCode::Parse | ErrorCode::Protocol => ErrorClass::Parse,
+            ErrorCode::Config | ErrorCode::NotFound | ErrorCode::Finished => ErrorClass::Config,
+            ErrorCode::Numeric => ErrorClass::Numeric,
+            ErrorCode::Resource | ErrorCode::Busy | ErrorCode::Pending | ErrorCode::Shutdown => {
+                ErrorClass::Resource
+            }
+        },
+    };
+    StatimError::new(class, e.to_string())
+}
+
+fn parse_job_id(id: &str) -> Result<statim_core::JobId, StatimError> {
+    id.parse()
+        .map_err(|msg: String| StatimError::new(ErrorClass::Config, msg))
+}
+
+fn client(addr: &str, action: ClientAction) -> DynResult {
+    use statim_server::Client;
+    let mut client = Client::connect(addr).map_err(client_error)?;
+    match action {
+        ClientAction::Submit {
+            source,
+            options,
+            wait,
+        } => {
+            let (id, from_store) = client.submit(&source, &options).map_err(client_error)?;
+            println!(
+                "{id} {}",
+                if from_store {
+                    "served from result store"
+                } else {
+                    "queued"
+                }
+            );
+            if wait {
+                // No deadline: an interactive --wait should outlast any
+                // job the daemon accepts; ^C is the escape hatch.
+                let state = client
+                    .wait(id, std::time::Duration::from_secs(u64::MAX / 4))
+                    .map_err(client_error)?;
+                println!("{id} {state}");
+                print!("{}", client.result(id, None).map_err(client_error)?);
+            }
+        }
+        ClientAction::Status { id } => {
+            let id = parse_job_id(&id)?;
+            let (state, circuit, from_store) = client.status(id).map_err(client_error)?;
+            println!(
+                "{id} {state} circuit={circuit} from-store={}",
+                u8::from(from_store)
+            );
+        }
+        ClientAction::Result { id, top } => {
+            let id = parse_job_id(&id)?;
+            print!("{}", client.result(id, top).map_err(client_error)?);
+        }
+        ClientAction::Cancel { id } => {
+            let id = parse_job_id(&id)?;
+            let immediate = client.cancel(id).map_err(client_error)?;
+            println!(
+                "{id} {}",
+                if immediate { "cancelled" } else { "cancelling" }
+            );
+        }
+        ClientAction::Stats => print!("{}", client.stats().map_err(client_error)?),
+        ClientAction::Shutdown => {
+            client.shutdown().map_err(client_error)?;
+            println!("daemon draining");
+        }
+    }
     Ok(())
 }
 

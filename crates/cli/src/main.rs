@@ -12,7 +12,19 @@
 mod args;
 mod commands;
 
+use statim_core::ErrorClass;
 use std::process::ExitCode;
+
+/// Exit codes by error class, so scripts and CI can branch on failure
+/// kind without parsing stderr. Usage errors share the Parse code.
+fn exit_code(class: ErrorClass) -> ExitCode {
+    ExitCode::from(match class {
+        ErrorClass::Parse => 2,
+        ErrorClass::Config => 3,
+        ErrorClass::Resource => 4,
+        ErrorClass::Numeric => 5,
+    })
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +33,7 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
-                ExitCode::FAILURE
+                exit_code(e.class)
             }
         },
         Err(msg) => {

@@ -129,9 +129,40 @@ fn unknown_benchmark_fails_cleanly() {
         .output()
         .expect("run bad benchmark");
     assert!(!out.status.success());
-    assert_eq!(out.status.code(), Some(1));
+    // Config errors exit 3 (see main.rs exit_code).
+    assert_eq!(out.status.code(), Some(3));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown benchmark"));
+}
+
+#[test]
+fn exit_codes_reflect_error_class() {
+    // Resource (4): the netlist file does not exist.
+    let out = statim()
+        .args(["analyze", "/nonexistent/statim-no-such-file.bench"])
+        .output()
+        .expect("run missing file");
+    assert_eq!(out.status.code(), Some(4), "{:?}", out);
+
+    // Parse (2): the netlist file exists but is malformed.
+    let dir = std::env::temp_dir().join("statim_cli_exit_codes");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.bench");
+    std::fs::write(&bad, "this is { not a bench file\n").expect("write bad bench");
+    let out = statim()
+        .args(["analyze", bad.to_str().unwrap()])
+        .output()
+        .expect("run malformed file");
+    assert_eq!(out.status.code(), Some(2), "{:?}", out);
+
+    // Config (3): a well-formed invocation with an invalid setting.
+    let out = statim()
+        .args(["analyze", "--benchmark", "c432", "--confidence", "-0.5"])
+        .output()
+        .expect("run bad confidence");
+    assert_eq!(out.status.code(), Some(3), "{:?}", out);
+    // Numeric (5) needs an injected kernel fault; tests/faults.rs
+    // exercises that class in fault-injection builds.
 }
 
 #[test]

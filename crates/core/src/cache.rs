@@ -12,8 +12,20 @@
 //! * **inter-die PDFs**, keyed by the exact f64 bit patterns of
 //!   `(A, B)` plus the settings fingerprint;
 //! * **closed-form intra PDFs**, keyed by the eq. (14) variance bits;
-//! * **the corner worst-case operating point**, computed once per run
-//!   instead of once per path.
+//! * **the corner worst-case operating point**, computed once per
+//!   settings fingerprint instead of once per path.
+//!
+//! # Store vs. view
+//!
+//! The entries live in a [`KernelStore`] — an `Arc`-shareable,
+//! optionally capacity-bounded container that outlives any single run.
+//! An [`AnalysisCache`] is a cheap *view* of a store scoped to one
+//! `(technology, settings)` fingerprint; [`AnalysisCache::new`] wraps a
+//! private store (the one-shot CLI path), while a resident daemon keeps
+//! one process-wide store and scopes a view per job
+//! ([`AnalysisCache::with_store`]), so the kernels stay warm across
+//! jobs. Keys always embed the fingerprint, so views with different
+//! settings never collide inside a shared store.
 //!
 //! # Determinism
 //!
@@ -25,7 +37,17 @@
 //! hit returns precisely the `Pdf` a fresh recompute would produce —
 //! which is why the PR-1 determinism contract ("the same report for any
 //! thread count") extends to "cache on or off" and is tested as such in
-//! `tests/determinism.rs`.
+//! `tests/determinism.rs`. Capacity bounding preserves this: an evicted
+//! entry is simply recomputed on the next lookup, bit-identically.
+//!
+//! # Eviction
+//!
+//! A resident process must not let the maps grow without bound, so each
+//! shard optionally enforces a capacity with a **second-chance (clock)**
+//! policy: every hit sets a referenced bit; when a full shard needs
+//! room, the clock hand sweeps its FIFO ring, clearing referenced bits
+//! and evicting the first entry found clear. O(1) amortized, no
+//! timestamps, and recently re-used kernels survive a sweep.
 //!
 //! # Concurrency
 //!
@@ -48,10 +70,10 @@ use crate::Result;
 use statim_process::tech::{AlphaBeta, OperatingPoint};
 use statim_process::{Param, Technology};
 use statim_stats::{Marginal, Pdf};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 /// Number of lock stripes per kernel map. A power of two so the shard
 /// index is a mask; 16 stripes keep contention negligible for any pool
@@ -62,7 +84,7 @@ const SHARD_COUNT: usize = 16;
 /// for the settings fingerprint and shard selection (the std `HashMap`
 /// hasher is randomized per process, which is fine for bucketing but
 /// useless for a stable fingerprint).
-fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = if seed == 0 {
         0xcbf2_9ce4_8422_2325
@@ -77,11 +99,11 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
 }
 
 /// Folds an `f64`'s exact bit pattern into a running FNV-1a hash.
-fn fold_f64(seed: u64, v: f64) -> u64 {
+pub(crate) fn fold_f64(seed: u64, v: f64) -> u64 {
     fnv1a(seed, &v.to_bits().to_le_bytes())
 }
 
-fn fold_u64(seed: u64, v: u64) -> u64 {
+pub(crate) fn fold_u64(seed: u64, v: u64) -> u64 {
     fnv1a(seed, &v.to_le_bytes())
 }
 
@@ -163,21 +185,69 @@ impl IntraKey {
     }
 }
 
-/// One lock-striped PDF map with hit/miss accounting.
+/// One cached PDF plus its second-chance referenced bit.
+struct Slot {
+    pdf: Pdf,
+    referenced: bool,
+}
+
+/// One lock stripe of a kernel map: the entries plus the clock ring the
+/// second-chance hand sweeps. `ring` holds exactly the keys of `map`
+/// (entries are inserted and removed from both together).
+struct Shard<K> {
+    map: HashMap<K, Slot>,
+    ring: VecDeque<K>,
+}
+
+impl<K: Eq + Hash + Copy> Shard<K> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            ring: VecDeque::new(),
+        }
+    }
+
+    /// Evicts entries until there is room for one more under `cap`,
+    /// second-chance style: referenced entries get their bit cleared and
+    /// a trip to the back of the ring; the first unreferenced entry goes.
+    fn make_room(&mut self, cap: usize, evictions: &AtomicU64) {
+        while self.map.len() >= cap {
+            let Some(key) = self.ring.pop_front() else {
+                return; // ring empty ⇒ map empty ⇒ nothing to evict
+            };
+            match self.map.get_mut(&key) {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    self.ring.push_back(key);
+                }
+                _ => {
+                    self.map.remove(&key);
+                    evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// One lock-striped PDF map with hit/miss/eviction accounting and an
+/// optional per-shard capacity.
 struct ShardedPdfMap<K> {
-    shards: Vec<Mutex<HashMap<K, Pdf>>>,
+    shards: Vec<Mutex<Shard<K>>>,
+    /// Maximum entries per shard (`None` = unbounded).
+    shard_cap: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
-    fn new() -> Self {
+    fn new(shard_cap: Option<usize>) -> Self {
         ShardedPdfMap {
-            shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -193,21 +263,34 @@ impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
         // map itself is still a valid cache (worst case a missing
         // entry), so recover the guard instead of cascading the panic.
         let stripe = &self.shards[shard];
-        if let Some(hit) = stripe
+        if let Some(slot) = stripe
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key)
+            .map
+            .get_mut(&key)
         {
+            slot.referenced = true;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit.clone());
+            return Ok(slot.pdf.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let pdf = compute()?;
-        stripe
+        let mut guard = stripe
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry(key)
-            .or_insert_with(|| pdf.clone());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !guard.map.contains_key(&key) {
+            if let Some(cap) = self.shard_cap {
+                guard.make_room(cap, &self.evictions);
+            }
+            guard.map.insert(
+                key,
+                Slot {
+                    pdf: pdf.clone(),
+                    referenced: false,
+                },
+            );
+            guard.ring.push_back(key);
+        }
         Ok(pdf)
     }
 
@@ -217,19 +300,22 @@ impl<K: Eq + Hash + Copy> ShardedPdfMap<K> {
             .map(|s| {
                 s.lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
                     .len()
             })
             .sum()
     }
 }
 
-/// Hit/miss/occupancy counters of one run's [`AnalysisCache`], carried
-/// through [`RunProfile`] into [`SstaReport`].
+/// Hit/miss/occupancy counters of a [`KernelStore`], carried through
+/// [`RunProfile`] into [`SstaReport`].
 ///
 /// Invariant: `hits() + misses() == lookups()` per kernel and in total.
 /// The hit/miss split is diagnostic — concurrent workers racing on the
 /// same cold key may each count a miss — but never affects any report
-/// number.
+/// number. When the store is shared across runs (daemon mode), the
+/// engine reports the per-run *delta* of these counters
+/// ([`CacheStats::since`]); `entries` is always the absolute occupancy.
 ///
 /// [`RunProfile`]: crate::engine::RunProfile
 /// [`SstaReport`]: crate::engine::SstaReport
@@ -243,11 +329,14 @@ pub struct CacheStats {
     pub intra_hits: u64,
     /// Closed-form intra PDF lookups that computed the kernel.
     pub intra_misses: u64,
-    /// Corner-point lookups served from the once-per-run value.
+    /// Corner-point lookups served from the once-per-fingerprint value.
     pub corner_hits: u64,
-    /// Corner-point lookups that computed the point (at most 1 except
-    /// under a benign startup race).
+    /// Corner-point lookups that computed the point (at most 1 per
+    /// settings fingerprint except under a benign startup race).
     pub corner_misses: u64,
+    /// Entries removed by the second-chance capacity policy (0 for an
+    /// unbounded store).
+    pub evictions: u64,
     /// Distinct PDFs held (inter + intra maps).
     pub entries: usize,
 }
@@ -277,26 +366,135 @@ impl CacheStats {
             self.hits() as f64 / lookups as f64
         }
     }
+
+    /// The counter deltas accumulated since `earlier` (a snapshot of the
+    /// same store). `entries` stays absolute — occupancy is a state, not
+    /// a flow. This is how a run against a shared, long-lived store
+    /// reports *its own* hits and misses.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            inter_hits: self.inter_hits.saturating_sub(earlier.inter_hits),
+            inter_misses: self.inter_misses.saturating_sub(earlier.inter_misses),
+            intra_hits: self.intra_hits.saturating_sub(earlier.intra_hits),
+            intra_misses: self.intra_misses.saturating_sub(earlier.intra_misses),
+            corner_hits: self.corner_hits.saturating_sub(earlier.corner_hits),
+            corner_misses: self.corner_misses.saturating_sub(earlier.corner_misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
 }
 
-/// The shared per-run kernel cache. Create one per [`SstaEngine::run`]
-/// (or share across runs — the settings fingerprint inside every key
-/// keeps entries from different configurations apart).
+/// The shareable kernel container: sharded inter/intra PDF maps, the
+/// per-fingerprint corner points, and the hit/miss/eviction counters.
 ///
-/// [`SstaEngine::run`]: crate::engine::SstaEngine::run
-pub struct AnalysisCache {
-    fingerprint: u64,
+/// One-shot runs wrap a private store via [`AnalysisCache::new`]; a
+/// resident daemon creates one `Arc<KernelStore>` at startup and scopes
+/// an [`AnalysisCache`] view per job, which is what keeps kernels warm
+/// across submissions. Entries computed under different settings never
+/// mix: every key embeds its settings fingerprint.
+pub struct KernelStore {
     inter: ShardedPdfMap<InterKey>,
     intra: ShardedPdfMap<IntraKey>,
-    corner: OnceLock<OperatingPoint>,
+    /// Corner operating points, one per settings fingerprint (replaces
+    /// the old once-per-run `OnceLock` so a shared store can serve
+    /// differently-configured jobs).
+    corner: Mutex<HashMap<u64, OperatingPoint>>,
     corner_hits: AtomicU64,
     corner_misses: AtomicU64,
+    /// Total capacity per kernel map, as configured (`None` =
+    /// unbounded).
+    capacity: Option<usize>,
     /// Fault-injection: inter-map shard index whose lookups fail
     /// (`usize::MAX` = none). Checked before the lock, unconditionally on
     /// every lookup of that shard, so behavior is key-derived and
     /// deterministic for any thread count.
     #[cfg(any(test, feature = "fault-injection"))]
     poisoned_inter: std::sync::atomic::AtomicUsize,
+}
+
+impl std::fmt::Debug for KernelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelStore")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for KernelStore {
+    fn default() -> Self {
+        KernelStore::unbounded()
+    }
+}
+
+impl KernelStore {
+    /// A store with no capacity limit (the one-shot run default).
+    pub fn unbounded() -> Self {
+        KernelStore::with_capacity(None)
+    }
+
+    /// A store holding at most `capacity` entries **per kernel map**
+    /// (inter and intra each), enforced per shard as
+    /// `ceil(capacity / shard_count)` with second-chance eviction.
+    /// `None` means unbounded; `Some(0)` is clamped to 1 entry per
+    /// shard.
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        let shard_cap = capacity.map(|c| c.div_ceil(SHARD_COUNT).max(1));
+        KernelStore {
+            inter: ShardedPdfMap::new(shard_cap),
+            intra: ShardedPdfMap::new(shard_cap),
+            corner: Mutex::new(HashMap::new()),
+            corner_hits: AtomicU64::new(0),
+            corner_misses: AtomicU64::new(0),
+            capacity,
+            #[cfg(any(test, feature = "fault-injection"))]
+            poisoned_inter: std::sync::atomic::AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    /// The configured per-map capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// A snapshot of the hit/miss/eviction/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            inter_hits: self.inter.hits.load(Ordering::Relaxed),
+            inter_misses: self.inter.misses.load(Ordering::Relaxed),
+            intra_hits: self.intra.hits.load(Ordering::Relaxed),
+            intra_misses: self.intra.misses.load(Ordering::Relaxed),
+            corner_hits: self.corner_hits.load(Ordering::Relaxed),
+            corner_misses: self.corner_misses.load(Ordering::Relaxed),
+            evictions: self.inter.evictions.load(Ordering::Relaxed)
+                + self.intra.evictions.load(Ordering::Relaxed),
+            entries: self.inter.len() + self.intra.len(),
+        }
+    }
+
+    /// Fault-injection: makes every inter-PDF lookup that maps to
+    /// `shard` fail with a `Numeric` error, simulating a corrupted cache
+    /// stripe. Keys select shards deterministically, so the same paths
+    /// degrade for any thread count.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn poison_inter_shard(&self, shard: usize) {
+        self.poisoned_inter
+            .store(shard % SHARD_COUNT, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// A per-settings view of a [`KernelStore`]: the store plus the
+/// settings fingerprint baked into every key. Create one per
+/// [`SstaEngine::run`] over a private store, or share one store across
+/// runs — the fingerprint keeps entries from different configurations
+/// apart.
+///
+/// [`SstaEngine::run`]: crate::engine::SstaEngine::run
+pub struct AnalysisCache {
+    fingerprint: u64,
+    store: Arc<KernelStore>,
 }
 
 impl std::fmt::Debug for AnalysisCache {
@@ -309,39 +507,47 @@ impl std::fmt::Debug for AnalysisCache {
 }
 
 impl AnalysisCache {
-    /// An empty cache for the given technology and analysis settings.
+    /// A view over a fresh, private, unbounded store — the one-shot run
+    /// configuration.
     pub fn new(tech: &Technology, settings: &AnalysisSettings) -> Self {
+        AnalysisCache::with_store(Arc::new(KernelStore::unbounded()), tech, settings)
+    }
+
+    /// A view of `store` scoped to the fingerprint of
+    /// `(tech, settings)` — the daemon configuration, where `store` is
+    /// process-wide and stays warm across jobs.
+    pub fn with_store(
+        store: Arc<KernelStore>,
+        tech: &Technology,
+        settings: &AnalysisSettings,
+    ) -> Self {
         AnalysisCache {
             fingerprint: settings_fingerprint(tech, settings),
-            inter: ShardedPdfMap::new(),
-            intra: ShardedPdfMap::new(),
-            corner: OnceLock::new(),
-            corner_hits: AtomicU64::new(0),
-            corner_misses: AtomicU64::new(0),
-            #[cfg(any(test, feature = "fault-injection"))]
-            poisoned_inter: std::sync::atomic::AtomicUsize::new(usize::MAX),
+            store,
         }
     }
 
     /// Number of lock stripes per kernel map (the valid range for
-    /// [`AnalysisCache::poison_inter_shard`] is `0..shard_count()`).
+    /// [`KernelStore::poison_inter_shard`] is `0..shard_count()`).
     pub fn shard_count() -> usize {
         SHARD_COUNT
     }
 
-    /// Fault-injection: makes every inter-PDF lookup that maps to
-    /// `shard` fail with a `Numeric` error, simulating a corrupted cache
-    /// stripe. Keys select shards deterministically, so the same paths
-    /// degrade for any thread count.
+    /// Fault-injection: poisons an inter-map shard of the underlying
+    /// store (see [`KernelStore::poison_inter_shard`]).
     #[cfg(any(test, feature = "fault-injection"))]
     pub fn poison_inter_shard(&self, shard: usize) {
-        self.poisoned_inter
-            .store(shard % SHARD_COUNT, std::sync::atomic::Ordering::Relaxed);
+        self.store.poison_inter_shard(shard);
     }
 
     /// The settings fingerprint baked into every key.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<KernelStore> {
+        &self.store
     }
 
     /// The inter-die PDF for coefficient sums `ab`: cached by the exact
@@ -359,6 +565,7 @@ impl AnalysisCache {
         #[cfg(any(test, feature = "fault-injection"))]
         if key.shard()
             == self
+                .store
                 .poisoned_inter
                 .load(std::sync::atomic::Ordering::Relaxed)
         {
@@ -368,7 +575,7 @@ impl AnalysisCache {
                 },
             ));
         }
-        self.inter.get_or_compute(key, key.shard(), compute)
+        self.store.inter.get_or_compute(key, key.shard(), compute)
     }
 
     /// The closed-form intra-die PDF for the eq. (14) `variance`: cached
@@ -386,31 +593,40 @@ impl AnalysisCache {
             fingerprint: self.fingerprint,
             variance_bits: variance.to_bits(),
         };
-        self.intra.get_or_compute(key, key.shard(), compute)
+        self.store.intra.get_or_compute(key, key.shard(), compute)
     }
 
-    /// The worst-case corner operating point, computed once per cache
-    /// lifetime (i.e. once per run) instead of once per path.
+    /// The worst-case corner operating point for this view's settings,
+    /// computed once per fingerprint per store lifetime instead of once
+    /// per path.
     pub fn corner_point(&self, compute: impl FnOnce() -> OperatingPoint) -> OperatingPoint {
-        if let Some(pt) = self.corner.get() {
-            self.corner_hits.fetch_add(1, Ordering::Relaxed);
-            return *pt;
+        {
+            let map = self
+                .store
+                .corner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(pt) = map.get(&self.fingerprint) {
+                self.store.corner_hits.fetch_add(1, Ordering::Relaxed);
+                return *pt;
+            }
         }
-        self.corner_misses.fetch_add(1, Ordering::Relaxed);
-        *self.corner.get_or_init(compute)
+        // Compute outside the lock; a racing duplicate is benign (both
+        // results are bit-identical, the first insert wins).
+        self.store.corner_misses.fetch_add(1, Ordering::Relaxed);
+        let pt = compute();
+        *self
+            .store
+            .corner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(self.fingerprint)
+            .or_insert(pt)
     }
 
-    /// A snapshot of the hit/miss/occupancy counters.
+    /// A snapshot of the underlying store's counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            inter_hits: self.inter.hits.load(Ordering::Relaxed),
-            inter_misses: self.inter.misses.load(Ordering::Relaxed),
-            intra_hits: self.intra.hits.load(Ordering::Relaxed),
-            intra_misses: self.intra.misses.load(Ordering::Relaxed),
-            corner_hits: self.corner_hits.load(Ordering::Relaxed),
-            corner_misses: self.corner_misses.load(Ordering::Relaxed),
-            entries: self.inter.len() + self.intra.len(),
-        }
+        self.store.stats()
     }
 }
 
@@ -469,6 +685,7 @@ mod tests {
         assert_eq!(stats.inter_hits, 12);
         assert_eq!(stats.inter_misses, 12);
         assert_eq!(stats.entries, 12);
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -607,5 +824,128 @@ mod tests {
         assert_eq!(stats.lookups(), 0);
         assert_eq!(stats.hit_rate(), 0.0);
         assert_eq!(stats.entries, 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    // --- capacity & eviction -----------------------------------------
+
+    /// Intra lookups with synthetic tiny PDFs: cheap way to fill shards.
+    fn fill_intra(c: &AnalysisCache, variances: impl IntoIterator<Item = f64>) {
+        let vars = Variations::date05();
+        for v in variances {
+            c.intra_pdf(v, || intra_pdf(v, vars.trunc_k, 8)).unwrap();
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy_and_counts_evictions() {
+        let store = Arc::new(KernelStore::with_capacity(Some(16)));
+        let c = AnalysisCache::with_store(store.clone(), &Technology::cmos130(), &settings());
+        // 200 distinct variances against a 16-entry budget (1 per
+        // shard): occupancy must stay at or below shard_count × cap.
+        fill_intra(&c, (1..=200).map(|i| 1e-24 * i as f64));
+        let stats = c.stats();
+        assert!(
+            stats.entries <= 16,
+            "occupancy {} exceeds capacity",
+            stats.entries
+        );
+        assert!(stats.evictions > 0, "evictions must be counted");
+        assert_eq!(stats.intra_misses, 200);
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let c = cache();
+        fill_intra(&c, (1..=64).map(|i| 1e-24 * i as f64));
+        let stats = c.stats();
+        assert_eq!(stats.entries, 64);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn second_chance_keeps_rereferenced_entries() {
+        // One shard of capacity 2: hit entry A repeatedly, then insert
+        // new keys that land in the same shard. A's referenced bit must
+        // save it from the first sweep.
+        let store = Arc::new(KernelStore::with_capacity(Some(SHARD_COUNT * 2)));
+        let c = AnalysisCache::with_store(store.clone(), &Technology::cmos130(), &settings());
+        let vars = Variations::date05();
+        // Find three variances that share a shard.
+        let fp = c.fingerprint();
+        let shard_of = |v: f64| {
+            IntraKey {
+                fingerprint: fp,
+                variance_bits: v.to_bits(),
+            }
+            .shard()
+        };
+        let mut same: Vec<f64> = Vec::new();
+        let mut i = 1u64;
+        let target = shard_of(1e-24);
+        while same.len() < 2 {
+            let v = 1e-24 * (1 + i) as f64;
+            if shard_of(v) == target {
+                same.push(v);
+            }
+            i += 1;
+        }
+        let a = 1e-24;
+        c.intra_pdf(a, || intra_pdf(a, vars.trunc_k, 8)).unwrap();
+        // Re-reference A so its second-chance bit is set.
+        c.intra_pdf(a, || panic!("hit expected")).unwrap();
+        // Fill the shard past capacity: the sweep spares A (clearing its
+        // bit, one reprieve per re-reference) and evicts the unreferenced
+        // newcomer instead.
+        for &v in &same {
+            c.intra_pdf(v, || intra_pdf(v, vars.trunc_k, 8)).unwrap();
+        }
+        // A is still resident (no recompute).
+        c.intra_pdf(a, || panic!("A must have survived the sweep"))
+            .unwrap();
+        assert!(c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn shared_store_serves_two_settings_without_mixing() {
+        let store = Arc::new(KernelStore::unbounded());
+        let tech = Technology::cmos130();
+        let s1 = settings();
+        let mut s2 = settings();
+        s2.quality_inter = 24;
+        let c1 = AnalysisCache::with_store(store.clone(), &tech, &s1);
+        let c2 = AnalysisCache::with_store(store.clone(), &tech, &s2);
+        assert_ne!(c1.fingerprint(), c2.fingerprint());
+        let ab = AlphaBeta {
+            alpha: 2.0,
+            beta: 3.0,
+        };
+        let p1 = c1.inter_pdf(&ab, || Ok(compute_inter(&ab, &s1))).unwrap();
+        // Same (A, B) under different settings misses — no cross-talk.
+        let p2 = c2.inter_pdf(&ab, || Ok(compute_inter(&ab, &s2))).unwrap();
+        assert_ne!(p1.len(), p2.len());
+        assert_eq!(store.stats().inter_misses, 2);
+        // Each view still hits its own entry.
+        assert_eq!(c1.inter_pdf(&ab, || unreachable!()).unwrap(), p1);
+        assert_eq!(c2.inter_pdf(&ab, || unreachable!()).unwrap(), p2);
+        // Corner points are per-fingerprint too.
+        let pt1 = c1.corner_point(|| s1.corner.worst_point(&tech, &s1.vars));
+        let pt2 = c2.corner_point(|| s2.corner.worst_point(&tech, &s2.vars));
+        for p in Param::ALL {
+            assert_eq!(pt1.get(p).to_bits(), pt2.get(p).to_bits());
+        }
+        assert_eq!(store.stats().corner_misses, 2);
+    }
+
+    #[test]
+    fn stats_since_subtracts_counters_but_not_entries() {
+        let c = cache();
+        fill_intra(&c, [1e-24, 2e-24]);
+        let before = c.stats();
+        fill_intra(&c, [1e-24, 3e-24]); // one hit, one miss
+        let delta = c.stats().since(&before);
+        assert_eq!(delta.intra_hits, 1);
+        assert_eq!(delta.intra_misses, 1);
+        assert_eq!(delta.entries, 3, "entries stay absolute");
     }
 }

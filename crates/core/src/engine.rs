@@ -11,7 +11,7 @@
 #![warn(clippy::unwrap_used)]
 
 use crate::analyze::{analyze_path_cached, AnalysisSettings, PathAnalysis};
-use crate::cache::{AnalysisCache, CacheStats};
+use crate::cache::{AnalysisCache, CacheStats, KernelStore};
 use crate::characterize::characterize_placed;
 use crate::correlation::LayerModel;
 use crate::enumerate::near_critical_paths;
@@ -26,6 +26,7 @@ use statim_netlist::{Circuit, Placement};
 use statim_process::delay::CornerSpec;
 use statim_process::param::Variations;
 use statim_process::Technology;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which longest-path solver computes the node labels.
@@ -74,6 +75,11 @@ pub struct SstaConfig {
     /// point) across paths. Exact-bits keys make hits bit-identical to
     /// recomputes, so this only changes wall time, never results.
     pub cache: bool,
+    /// Upper bound on resident kernel-cache entries (`None` = unbounded).
+    /// Only consulted when the run creates its own store; a store handed
+    /// in through [`RunContext`] keeps whatever capacity it was built
+    /// with. Eviction never changes results — only hit rates.
+    pub cache_capacity: Option<usize>,
     /// Run budgets (wall clock, analyzed paths, MC samples), checked at
     /// work-item boundaries. A tripped budget yields a *partial* report
     /// flagged [`SstaReport::budget_exhausted`], not an error — unless
@@ -112,6 +118,7 @@ impl SstaConfig {
             solver: LabelSolver::BellmanFord,
             threads: None,
             cache: true,
+            cache_capacity: None,
             budget: RunBudget::none(),
             retries: 1,
             #[cfg(any(test, feature = "fault-injection"))]
@@ -144,6 +151,13 @@ impl SstaConfig {
         self
     }
 
+    /// Same configuration with a kernel-cache entry cap
+    /// (`None` = unbounded).
+    pub fn with_cache_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
     /// Same configuration with run budgets installed.
     pub fn with_budget(mut self, budget: RunBudget) -> Self {
         self.budget = budget;
@@ -163,7 +177,7 @@ impl SstaConfig {
         self
     }
 
-    fn settings(&self) -> AnalysisSettings {
+    pub(crate) fn settings(&self) -> AnalysisSettings {
         AnalysisSettings {
             vars: self.vars,
             layers: self.layers.clone(),
@@ -202,6 +216,11 @@ impl SstaConfig {
         if self.budget.max_paths == Some(0) || self.budget.max_mc_samples == Some(0) {
             return Err(CoreError::InvalidConfig {
                 message: "budget path/sample caps must be positive (omit to disable)".into(),
+            });
+        }
+        if self.cache_capacity == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                message: "cache capacity must be positive (omit to leave unbounded)".into(),
             });
         }
         Ok(())
@@ -370,6 +389,24 @@ impl SstaReport {
     }
 }
 
+/// External resources a caller can thread into a run. A one-shot CLI
+/// invocation uses [`RunContext::default`] (fresh cache, internal
+/// supervisor); a resident daemon hands every job the same
+/// [`KernelStore`] so kernels stay warm across jobs, and its own
+/// [`Supervisor`] so a `CANCEL` request can trip the run's
+/// [`CancelToken`](crate::supervise::CancelToken) from another thread.
+#[derive(Default)]
+pub struct RunContext<'a> {
+    /// Process-wide kernel store shared across runs. `None` gives the
+    /// run a private store sized by [`SstaConfig::cache_capacity`].
+    /// Sharing never changes results — keys embed the settings
+    /// fingerprint, so differently-configured runs cannot collide.
+    pub store: Option<Arc<KernelStore>>,
+    /// Externally-owned supervisor. `None` builds one from the config's
+    /// budget/retries; `Some` lets the caller keep the cancel token.
+    pub supervisor: Option<&'a Supervisor>,
+}
+
 /// The statistical timing engine.
 #[derive(Debug, Clone)]
 pub struct SstaEngine {
@@ -396,12 +433,38 @@ impl SstaEngine {
     /// [`CoreError::PathBudgetExceeded`] when `C` admits more paths than
     /// `max_paths` (lower `C`, as the paper did for c6288).
     pub fn run(&self, circuit: &Circuit, placement: &Placement) -> Result<SstaReport> {
+        self.run_with(circuit, placement, RunContext::default())
+    }
+
+    /// Runs the full methodology with caller-supplied resources — a
+    /// shared kernel store and/or an external supervisor. Equivalent to
+    /// [`SstaEngine::run`] when `ctx` is [`RunContext::default`]; the
+    /// report is bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// As [`SstaEngine::run`].
+    pub fn run_with(
+        &self,
+        circuit: &Circuit,
+        placement: &Placement,
+        ctx: RunContext<'_>,
+    ) -> Result<SstaReport> {
         let start = Instant::now();
         self.config.validate()?;
         // The supervisor's wall clock starts with the run, so serial
         // stages count against --max-wall-secs even though only the
-        // fan-out has cancellation points.
-        let sup = Supervisor::new(self.config.budget, self.config.retries);
+        // fan-out has cancellation points. An external supervisor keeps
+        // its caller's clock (the service starts it at dequeue time, so
+        // queue wait does not eat a job's wall budget).
+        let local_sup;
+        let sup = match ctx.supervisor {
+            Some(s) => s,
+            None => {
+                local_sup = Supervisor::new(self.config.budget, self.config.retries);
+                &local_sup
+            }
+        };
         if placement.len() != circuit.gate_count() {
             return Err(CoreError::Netlist(
                 statim_netlist::NetlistError::PlacementMismatch {
@@ -433,10 +496,17 @@ impl SstaEngine {
         //    yields σ_C. The kernel cache (when enabled) is shared with
         //    the step-5 fan-out, so anything computed here is a hit there.
         let t0 = Instant::now();
-        let cache = self
-            .config
-            .cache
-            .then(|| AnalysisCache::new(&self.config.tech, &settings));
+        let cache = self.config.cache.then(|| {
+            let store = match &ctx.store {
+                Some(store) => Arc::clone(store),
+                None => Arc::new(KernelStore::with_capacity(self.config.cache_capacity)),
+            };
+            AnalysisCache::with_store(store, &self.config.tech, &settings)
+        });
+        // Snapshot the (possibly shared, already-warm) store so the
+        // profile reports this run's own hits/misses/evictions, not the
+        // store's lifetime totals. Occupancy stays absolute.
+        let cache_before = cache.as_ref().map(AnalysisCache::stats);
         let det_analysis = analyze_path_cached(
             &det_path,
             &timing,
@@ -481,7 +551,7 @@ impl SstaEngine {
         let pool = supervised_map(
             &set.paths,
             threads,
-            &sup,
+            sup,
             path_cap,
             |i, p| -> Result<PathAnalysis> {
                 #[cfg(any(test, feature = "fault-injection"))]
@@ -550,7 +620,10 @@ impl SstaEngine {
         // the pooled fan-out.
         profile.analyze =
             StageProfile::pooled_with_serial(det_wall, fan_wall, pool.busy, pool.threads);
-        profile.cache = cache.as_ref().map(AnalysisCache::stats);
+        profile.cache = cache
+            .as_ref()
+            .zip(cache_before.as_ref())
+            .map(|(c, before)| c.stats().since(before));
         profile.degraded = degraded.len();
         profile.retries = pool.retries;
         profile.panics = pool.panics;

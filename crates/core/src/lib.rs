@@ -68,18 +68,23 @@ pub mod monte_carlo;
 pub mod parallel;
 pub mod rank;
 pub mod report;
+pub mod service;
 pub mod slack;
 pub mod supervise;
 pub mod timing_yield;
 pub mod worst_case;
 
-pub use cache::{AnalysisCache, CacheStats};
+pub use cache::{AnalysisCache, CacheStats, KernelStore};
 pub use characterize::{characterize, CircuitTiming, GateTiming};
 pub use correlation::{LayerModel, VarianceSplit};
-pub use engine::{DegradedPath, SstaConfig, SstaEngine, SstaReport};
+pub use engine::{DegradedPath, RunContext, SstaConfig, SstaEngine, SstaReport};
 pub use error::{CoreError, ErrorClass, StatimError};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use faults::{Fault, FaultPlan};
+pub use service::{
+    AnalysisService, CancelOutcome, JobId, JobSpec, JobState, JobStatus, ServiceConfig,
+    ServiceError, ServiceStats, SubmitReceipt,
+};
 pub use supervise::{
     BudgetKind, CancelToken, ItemOutcome, McCheckpoint, McCheckpointer, RunBudget, Supervisor,
 };

@@ -135,6 +135,22 @@ pub fn supervision_summary(report: &SstaReport) -> String {
     out
 }
 
+/// The serving payload: every report line that is a pure function of the
+/// inputs — [`summary`], [`degraded_summary`], [`supervision_summary`]
+/// and the [`path_table`] — and none of the wall-clock/profile lines.
+/// The daemon's `RESULT` replies render through this, so a report served
+/// from the warm result store is bit-identical to a fresh run's, and CI
+/// can diff it against a timing-line-filtered batch run.
+pub fn deterministic_report(report: &SstaReport, limit: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&summary(report));
+    out.push_str(&degraded_summary(report));
+    out.push_str(&supervision_summary(report));
+    out.push('\n');
+    out.push_str(&path_table(report, limit));
+    out
+}
+
 /// The ranked-path table (top `limit` rows): prob/det ranks, moments,
 /// confidence point and path length.
 pub fn path_table(report: &SstaReport, limit: usize) -> String {

@@ -1,0 +1,954 @@
+//! The resident analysis service: a job queue, a job table and a
+//! fingerprint-keyed result store around the [`SstaEngine`].
+//!
+//! A one-shot CLI run pays the full cost of every invocation: parse the
+//! netlist, warm the kernel cache, tear the pool down. A resident
+//! service amortizes all of that — the [`KernelStore`] stays warm across
+//! jobs, and identical re-submissions are served straight from the
+//! result store without re-analysis. This module is transport-agnostic:
+//! the TCP daemon in `crates/server` is one front-end; tests drive the
+//! service directly.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//!            ┌────────── result-store hit ──────────┐
+//!            │                                      ▼
+//! SUBMIT ─► Queued ─► Running ─► Done / Degraded / Failed
+//!            │           │
+//!            └── CANCEL ─┴─► Cancelled
+//! ```
+//!
+//! * **Queued** — admitted past the bounded FIFO queue
+//!   ([`ServiceError::Busy`] beyond [`ServiceConfig::max_queue`]).
+//! * **Running** — picked up by the single executor thread; a `CANCEL`
+//!   now trips the job's [`CancelToken`](crate::supervise::CancelToken)
+//!   with [`BudgetKind::Cancelled`], stopping at the next item boundary.
+//! * **Done** — clean report; stored in the result store by fingerprint.
+//! * **Degraded** — completed with quarantined paths or a tripped
+//!   budget; the (partial) report is served but never cached.
+//! * **Failed** — the engine returned an error, or the job panicked
+//!   outside supervised code; the daemon keeps serving either way.
+//! * **Cancelled** — cancelled while queued, or the token tripped
+//!   mid-run.
+//!
+//! # Determinism
+//!
+//! The result store only holds *clean* reports, and serves them keyed by
+//! an FNV fingerprint over everything that determines report content:
+//! the serialized netlist and placement, the kernel settings fingerprint
+//! ([`settings_fingerprint`]), the confidence constant, path budget and
+//! solver. Knobs that change wall time but never results — thread count,
+//! cache capacity, retry bound, run budgets — are deliberately excluded,
+//! so a re-submission with a different thread count still hits. A served
+//! report is the same `SstaReport` value a fresh run would produce, so
+//! its deterministic rendering
+//! ([`report::deterministic_report`](crate::report::deterministic_report))
+//! is bit-identical.
+
+use crate::cache::{fnv1a, fold_f64, fold_u64, settings_fingerprint, CacheStats, KernelStore};
+use crate::engine::{LabelSolver, RunContext, SstaConfig, SstaEngine, SstaReport};
+use crate::error::{ErrorClass, StatimError};
+use crate::supervise::{isolate, BudgetKind, RunBudget, Supervisor};
+use crate::CoreError;
+use statim_netlist::{bench_format, def_lite, Circuit, Placement};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+
+/// Opaque job identifier, rendered and parsed as `job-<n>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl FromStr for JobId {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let digits = s.strip_prefix("job-").unwrap_or(s);
+        digits
+            .parse::<u64>()
+            .map(JobId)
+            .map_err(|_| format!("invalid job id `{s}` (expected job-<n>)"))
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for the executor.
+    Queued,
+    /// Being analyzed by the executor thread.
+    Running,
+    /// Completed cleanly; the report is in the result store.
+    Done,
+    /// Completed with quarantined paths or a tripped budget — the
+    /// partial report is served but not cached.
+    Degraded,
+    /// The engine errored or the job panicked; the typed error is kept.
+    Failed,
+    /// Cancelled while queued, or the cancel token tripped mid-run.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job can still change state.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Degraded => "degraded",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// Everything one job needs: the placed circuit and the run
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The circuit to analyze.
+    pub circuit: Circuit,
+    /// Its placement.
+    pub placement: Placement,
+    /// The run configuration.
+    pub config: SstaConfig,
+}
+
+impl JobSpec {
+    /// Builds a job spec.
+    pub fn new(circuit: Circuit, placement: Placement, config: SstaConfig) -> Self {
+        JobSpec {
+            circuit,
+            placement,
+            config,
+        }
+    }
+
+    /// FNV fingerprint over everything that determines report content:
+    /// serialized netlist + placement, kernel settings, confidence,
+    /// enumeration budget and solver. Wall-time-only knobs (threads,
+    /// cache, retries, run budgets) are excluded so equivalent
+    /// submissions share a result-store entry.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(0, bench_format::write(&self.circuit).as_bytes());
+        h = fnv1a(
+            h,
+            def_lite::write(&self.circuit, &self.placement).as_bytes(),
+        );
+        h = fold_u64(
+            h,
+            settings_fingerprint(&self.config.tech, &self.config.settings()),
+        );
+        h = fold_f64(h, self.config.confidence);
+        h = fold_u64(h, self.config.max_paths as u64);
+        h = fold_u64(
+            h,
+            match self.config.solver {
+                LabelSolver::BellmanFord => 0,
+                LabelSolver::Topological => 1,
+            },
+        );
+        h
+    }
+}
+
+/// Service-level configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum queued (not yet running) jobs; submissions beyond this
+    /// are rejected with [`ServiceError::Busy`].
+    pub max_queue: usize,
+    /// Budget applied to jobs that did not set one of their own
+    /// (protection against a single job hogging the daemon forever).
+    pub default_budget: RunBudget,
+    /// Kernel-store entry cap (`None` = unbounded) — a resident process
+    /// must not grow without limit.
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_queue: 16,
+            default_budget: RunBudget::none(),
+            cache_capacity: None,
+        }
+    }
+}
+
+/// Why a service request could not be satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The queue is full; resubmit later.
+    Busy {
+        /// Jobs currently queued.
+        queued: usize,
+        /// The admission limit.
+        max_queue: usize,
+    },
+    /// The service is draining after a shutdown request.
+    Draining,
+    /// No such job.
+    UnknownJob(JobId),
+    /// The job has not reached a terminal state yet.
+    NotFinished {
+        /// The job.
+        id: JobId,
+        /// Its current state.
+        state: JobState,
+    },
+    /// A cancel arrived after the job already reached a terminal state.
+    AlreadyFinished {
+        /// The job.
+        id: JobId,
+        /// Its terminal state.
+        state: JobState,
+    },
+    /// The job itself failed (or was cancelled); the typed error is the
+    /// one its run produced.
+    JobFailed {
+        /// The job.
+        id: JobId,
+        /// The run's error.
+        error: StatimError,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Busy { queued, max_queue } => {
+                write!(f, "queue full ({queued} of {max_queue}); resubmit later")
+            }
+            ServiceError::Draining => write!(f, "service is draining; no new jobs accepted"),
+            ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServiceError::NotFinished { id, state } => {
+                write!(f, "{id} is still {state}; poll STATUS until it finishes")
+            }
+            ServiceError::AlreadyFinished { id, state } => {
+                write!(f, "{id} already finished ({state}); nothing to cancel")
+            }
+            ServiceError::JobFailed { id, error } => write!(f, "{id} failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Receipt for an accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// The assigned job id.
+    pub id: JobId,
+    /// Whether the job was answered from the result store (already
+    /// terminal — no analysis will run).
+    pub from_store: bool,
+}
+
+/// How a cancel request landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued and is now terminally cancelled.
+    Immediate,
+    /// The job is running; its cancel token tripped and the run stops at
+    /// the next item boundary.
+    Requested,
+}
+
+/// Point-in-time view of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job.
+    pub id: JobId,
+    /// Current state.
+    pub state: JobState,
+    /// Circuit name, for humans.
+    pub circuit: String,
+    /// The job's result-store fingerprint.
+    pub fingerprint: u64,
+    /// Whether the result came from the result store.
+    pub from_store: bool,
+    /// The failure, for Failed/Cancelled jobs.
+    pub error: Option<StatimError>,
+}
+
+/// Service-wide counters, served by `STATS`.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted (including result-store hits).
+    pub submitted: u64,
+    /// Jobs completed cleanly (Done).
+    pub completed: u64,
+    /// Jobs completed partially (Degraded).
+    pub degraded: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Submissions answered from the result store.
+    pub store_hits: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Jobs currently running (0 or 1 — single executor).
+    pub running: usize,
+    /// Distinct reports held by the result store.
+    pub store_entries: usize,
+    /// Kernel-store counters (process lifetime).
+    pub cache: CacheStats,
+}
+
+/// One job-table entry.
+struct Job {
+    state: JobState,
+    circuit: String,
+    fingerprint: u64,
+    from_store: bool,
+    /// Present while Queued; taken by the executor.
+    spec: Option<JobSpec>,
+    /// Present while Running, so `cancel` can reach the token.
+    supervisor: Option<Arc<Supervisor>>,
+    report: Option<Arc<SstaReport>>,
+    error: Option<StatimError>,
+}
+
+#[derive(Default)]
+struct State {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    results: HashMap<u64, Arc<SstaReport>>,
+    next_id: u64,
+    draining: bool,
+    stats: ServiceStats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    store: Arc<KernelStore>,
+    max_queue: usize,
+    default_budget: RunBudget,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // A panic inside the executor is caught by `isolate` before any
+        // lock is held across it; recover anyway rather than cascade.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The resident analysis service: owns the process-wide [`KernelStore`],
+/// the job table and the single executor thread. Dropping the service
+/// drains and joins the executor.
+pub struct AnalysisService {
+    shared: Arc<Shared>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl AnalysisService {
+    /// Starts the service (spawns the executor thread).
+    pub fn start(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            store: Arc::new(KernelStore::with_capacity(config.cache_capacity)),
+            max_queue: config.max_queue,
+            default_budget: config.default_budget,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("statim-executor".into())
+            .spawn(move || run_executor(&worker_shared))
+            .expect("spawn executor thread");
+        AnalysisService {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// The process-wide kernel store (shared across all jobs).
+    pub fn store(&self) -> Arc<KernelStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Submits a job. A fingerprint already in the result store returns
+    /// a terminally-Done job immediately (`from_store`); otherwise the
+    /// job is queued, subject to admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Busy`] beyond the queue bound,
+    /// [`ServiceError::Draining`] after shutdown.
+    pub fn submit(&self, mut spec: JobSpec) -> std::result::Result<SubmitReceipt, ServiceError> {
+        let fingerprint = spec.fingerprint();
+        if spec.config.budget == RunBudget::none() {
+            spec.config.budget = self.shared.default_budget;
+        }
+        let mut st = self.shared.lock();
+        if st.draining {
+            return Err(ServiceError::Draining);
+        }
+        if let Some(report) = st.results.get(&fingerprint).cloned() {
+            let id = st.alloc_id();
+            st.stats.submitted += 1;
+            st.stats.store_hits += 1;
+            st.jobs.insert(
+                id,
+                Job {
+                    state: JobState::Done,
+                    circuit: report.circuit.clone(),
+                    fingerprint,
+                    from_store: true,
+                    spec: None,
+                    supervisor: None,
+                    report: Some(report),
+                    error: None,
+                },
+            );
+            return Ok(SubmitReceipt {
+                id: JobId(id),
+                from_store: true,
+            });
+        }
+        if st.queue.len() >= self.shared.max_queue {
+            st.stats.rejected += 1;
+            return Err(ServiceError::Busy {
+                queued: st.queue.len(),
+                max_queue: self.shared.max_queue,
+            });
+        }
+        let id = st.alloc_id();
+        st.stats.submitted += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                state: JobState::Queued,
+                circuit: spec.circuit.name().to_string(),
+                fingerprint,
+                from_store: false,
+                spec: Some(spec),
+                supervisor: None,
+                report: None,
+                error: None,
+            },
+        );
+        st.queue.push_back(id);
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(SubmitReceipt {
+            id: JobId(id),
+            from_store: false,
+        })
+    }
+
+    /// A snapshot of one job's state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for an id the table never issued.
+    pub fn status(&self, id: JobId) -> std::result::Result<JobStatus, ServiceError> {
+        let st = self.shared.lock();
+        let job = st.jobs.get(&id.0).ok_or(ServiceError::UnknownJob(id))?;
+        Ok(JobStatus {
+            id,
+            state: job.state,
+            circuit: job.circuit.clone(),
+            fingerprint: job.fingerprint,
+            from_store: job.from_store,
+            error: job.error.clone(),
+        })
+    }
+
+    /// The finished job's report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`], [`ServiceError::NotFinished`] while
+    /// queued/running, [`ServiceError::JobFailed`] for failed or
+    /// cancelled jobs (carrying the run's typed error).
+    pub fn result(&self, id: JobId) -> std::result::Result<Arc<SstaReport>, ServiceError> {
+        let st = self.shared.lock();
+        let job = st.jobs.get(&id.0).ok_or(ServiceError::UnknownJob(id))?;
+        match job.state {
+            JobState::Queued | JobState::Running => Err(ServiceError::NotFinished {
+                id,
+                state: job.state,
+            }),
+            JobState::Done | JobState::Degraded => Ok(job
+                .report
+                .clone()
+                .expect("terminal Done/Degraded job carries a report")),
+            JobState::Failed | JobState::Cancelled => Err(ServiceError::JobFailed {
+                id,
+                error: job.error.clone().unwrap_or_else(|| {
+                    StatimError::new(ErrorClass::Resource, "job failed without a recorded error")
+                }),
+            }),
+        }
+    }
+
+    /// Cancels a job: queued jobs cancel immediately, running jobs get
+    /// their token tripped ([`BudgetKind::Cancelled`]) and stop at the
+    /// next item boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`], [`ServiceError::AlreadyFinished`]
+    /// for terminal jobs.
+    pub fn cancel(&self, id: JobId) -> std::result::Result<CancelOutcome, ServiceError> {
+        let mut st = self.shared.lock();
+        let job = st.jobs.get_mut(&id.0).ok_or(ServiceError::UnknownJob(id))?;
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.spec = None;
+                job.error = Some(cancelled_error());
+                st.stats.cancelled += 1;
+                Ok(CancelOutcome::Immediate)
+            }
+            JobState::Running => {
+                job.supervisor
+                    .as_ref()
+                    .expect("running job holds its supervisor")
+                    .token()
+                    .cancel(BudgetKind::Cancelled);
+                Ok(CancelOutcome::Requested)
+            }
+            state => Err(ServiceError::AlreadyFinished { id, state }),
+        }
+    }
+
+    /// Service-wide counters plus the kernel store's lifetime stats.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.shared.lock();
+        let mut stats = st.stats.clone();
+        stats.queued = st.queue.len();
+        stats.running = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count();
+        stats.store_entries = st.results.len();
+        stats.cache = self.shared.store.stats();
+        stats
+    }
+
+    /// Begins draining: no new submissions are accepted, queued and
+    /// running jobs complete. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.lock().draining = true;
+        self.shared.cv.notify_all();
+    }
+
+    /// Whether a requested drain has completed (shutdown was called and
+    /// no job is queued or running). A daemon front-end polls this to
+    /// decide when it may stop serving `STATUS`/`RESULT` and exit.
+    pub fn drained(&self) -> bool {
+        let st = self.shared.lock();
+        st.draining
+            && st.queue.is_empty()
+            && st
+                .jobs
+                .values()
+                .all(|j| !matches!(j.state, JobState::Queued | JobState::Running))
+    }
+
+    /// Drains and waits for the executor to exit (implies
+    /// [`AnalysisService::shutdown`]).
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for AnalysisService {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl State {
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+}
+
+/// The typed error recorded for cancelled jobs.
+fn cancelled_error() -> StatimError {
+    StatimError::new(ErrorClass::Resource, "job cancelled before completion")
+}
+
+/// The executor loop: pop → run under panic isolation → record. Exits
+/// when draining and the queue is empty (running jobs always finish
+/// first — that *is* the drain).
+fn run_executor(shared: &Shared) {
+    loop {
+        // Dequeue the next runnable job, or exit on drained shutdown.
+        let (id, spec, sup) = {
+            let mut st = shared.lock();
+            let picked = loop {
+                if let Some(id) = st.queue.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("queued id is in the table");
+                    if job.state != JobState::Queued {
+                        continue; // cancelled while queued
+                    }
+                    job.state = JobState::Running;
+                    let spec = job.spec.take().expect("queued job carries its spec");
+                    let sup = Arc::new(Supervisor::new(spec.config.budget, spec.config.retries));
+                    job.supervisor = Some(Arc::clone(&sup));
+                    break Some((id, spec, sup));
+                }
+                if st.draining {
+                    break None;
+                }
+                st = shared
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            };
+            match picked {
+                Some(t) => t,
+                None => return,
+            }
+        };
+
+        // Run outside the lock. `isolate` turns any panic that escapes
+        // the engine's own per-path supervision into a typed failure of
+        // *this job only* — the executor (and the daemon) keep serving.
+        let engine = SstaEngine::new(spec.config.clone());
+        let outcome = isolate(|| {
+            engine.run_with(
+                &spec.circuit,
+                &spec.placement,
+                RunContext {
+                    store: Some(Arc::clone(&shared.store)),
+                    supervisor: Some(&sup),
+                },
+            )
+        });
+
+        let mut st = shared.lock();
+        let job = st.jobs.get_mut(&id).expect("running id is in the table");
+        job.supervisor = None;
+        match outcome {
+            Ok(Ok(report)) => {
+                if report.budget_exhausted == Some(BudgetKind::Cancelled) {
+                    job.state = JobState::Cancelled;
+                    job.error = Some(cancelled_error());
+                    st.stats.cancelled += 1;
+                } else {
+                    let clean = report.degraded.is_empty()
+                        && report.budget_exhausted.is_none()
+                        && report.skipped_paths == 0;
+                    let report = Arc::new(report);
+                    job.state = if clean {
+                        JobState::Done
+                    } else {
+                        JobState::Degraded
+                    };
+                    job.report = Some(Arc::clone(&report));
+                    if clean {
+                        let fingerprint = job.fingerprint;
+                        st.results.insert(fingerprint, report);
+                        st.stats.completed += 1;
+                    } else {
+                        st.stats.degraded += 1;
+                    }
+                }
+            }
+            Ok(Err(CoreError::BudgetExhausted { ref budget }))
+                if budget == &BudgetKind::Cancelled.to_string() =>
+            {
+                job.state = JobState::Cancelled;
+                job.error = Some(cancelled_error());
+                st.stats.cancelled += 1;
+            }
+            Ok(Err(e)) => {
+                job.state = JobState::Failed;
+                job.error = Some(e.into());
+                st.stats.failed += 1;
+            }
+            Err(message) => {
+                job.state = JobState::Failed;
+                job.error = Some(StatimError::new(
+                    ErrorClass::Numeric,
+                    format!("panic in job execution: {message}"),
+                ));
+                st.stats.failed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_netlist::PlacementStyle;
+    use std::time::{Duration, Instant};
+
+    fn spec(bench: Benchmark, config: SstaConfig) -> JobSpec {
+        let circuit = iscas85::generate(bench);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        JobSpec::new(circuit, placement, config)
+    }
+
+    fn wait_terminal(service: &AnalysisService, id: JobId) -> JobStatus {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let status = service.status(id).expect("job exists");
+            if status.state.is_terminal() {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished");
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn submit_run_result_roundtrip() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        let receipt = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        assert!(!receipt.from_store);
+        let status = wait_terminal(&service, receipt.id);
+        assert_eq!(status.state, JobState::Done);
+        let report = service.result(receipt.id).expect("report available");
+        assert_eq!(report.circuit, "c432");
+        assert!(report.num_paths >= 1);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.store_entries, 1);
+        service.join();
+    }
+
+    #[test]
+    fn duplicate_submission_served_from_store_bit_identically() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        let first = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        wait_terminal(&service, first.id);
+        let fresh = service.result(first.id).expect("first report");
+        // Different thread count, same fingerprint: the knob is
+        // wall-time-only, so the store must hit.
+        let second = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05().with_threads(1)))
+            .expect("admitted");
+        assert!(second.from_store);
+        let served = service.result(second.id).expect("served report");
+        assert!(Arc::ptr_eq(&fresh, &served), "served from the store");
+        let rendered_fresh = crate::report::deterministic_report(&fresh, 5);
+        let rendered_served = crate::report::deterministic_report(&served, 5);
+        assert_eq!(rendered_fresh, rendered_served);
+        assert_eq!(service.stats().store_hits, 1);
+        service.join();
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_busy() {
+        let service = AnalysisService::start(ServiceConfig {
+            max_queue: 0,
+            ..ServiceConfig::default()
+        });
+        let err = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect_err("queue of 0 admits nothing");
+        assert!(matches!(err, ServiceError::Busy { max_queue: 0, .. }));
+        assert_eq!(service.stats().rejected, 1);
+        service.join();
+    }
+
+    #[test]
+    fn cancel_queued_job_is_immediate() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        // A heavy first job keeps the single executor busy long enough
+        // for the second to be reliably cancelled while queued.
+        let heavy = service
+            .submit(spec(
+                Benchmark::C1355,
+                SstaConfig::date05().with_confidence(0.3),
+            ))
+            .expect("admitted");
+        let victim = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        let outcome = service.cancel(victim.id).expect("cancellable");
+        assert_eq!(outcome, CancelOutcome::Immediate);
+        let status = service.status(victim.id).expect("job exists");
+        assert_eq!(status.state, JobState::Cancelled);
+        match service.result(victim.id) {
+            Err(ServiceError::JobFailed { error, .. }) => {
+                assert_eq!(error.class, ErrorClass::Resource);
+                assert!(error.message.contains("cancelled"));
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
+        // Double-cancel is a typed error, and the heavy job still runs
+        // to completion (drain proves the executor survived).
+        assert!(matches!(
+            service.cancel(victim.id),
+            Err(ServiceError::AlreadyFinished { .. })
+        ));
+        wait_terminal(&service, heavy.id);
+        service.join();
+    }
+
+    #[test]
+    fn failed_job_keeps_service_alive() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        // An invalid config fails typed (Config) without touching the
+        // executor's health.
+        let mut bad = SstaConfig::date05();
+        bad.confidence = -1.0;
+        let failed = service
+            .submit(spec(Benchmark::C432, bad))
+            .expect("admitted");
+        let status = wait_terminal(&service, failed.id);
+        assert_eq!(status.state, JobState::Failed);
+        match service.result(failed.id) {
+            Err(ServiceError::JobFailed { error, .. }) => {
+                assert_eq!(error.class, ErrorClass::Config)
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
+        // The next job completes normally.
+        let ok = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        assert_eq!(wait_terminal(&service, ok.id).state, JobState::Done);
+        assert_eq!(service.stats().failed, 1);
+        service.join();
+    }
+
+    #[test]
+    fn degraded_job_not_cached_in_result_store() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        let budget = RunBudget {
+            max_paths: Some(1),
+            ..RunBudget::none()
+        };
+        let partial = service
+            .submit(spec(
+                Benchmark::C432,
+                SstaConfig::date05()
+                    .with_confidence(0.2)
+                    .with_budget(budget),
+            ))
+            .expect("admitted");
+        let status = wait_terminal(&service, partial.id);
+        assert_eq!(status.state, JobState::Degraded);
+        let report = service.result(partial.id).expect("partial report served");
+        assert_eq!(report.budget_exhausted, Some(BudgetKind::Paths));
+        assert_eq!(service.stats().store_entries, 0, "partials never cached");
+        service.join();
+    }
+
+    #[test]
+    fn draining_rejects_new_submissions_and_finishes_queued() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        let queued = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        service.shutdown();
+        assert!(matches!(
+            service.submit(spec(Benchmark::C499, SstaConfig::date05())),
+            Err(ServiceError::Draining)
+        ));
+        // join() returns only after the drain — so the queued job must
+        // be terminal afterwards.
+        let shared = Arc::clone(&service.shared);
+        service.join();
+        let st = shared.lock();
+        let job = st.jobs.get(&queued.id.0).expect("job exists");
+        assert_eq!(job.state, JobState::Done);
+    }
+
+    #[test]
+    fn unknown_and_unfinished_jobs_are_typed_errors() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        let missing = JobId(999);
+        assert!(matches!(
+            service.status(missing),
+            Err(ServiceError::UnknownJob(_))
+        ));
+        assert!(matches!(
+            service.result(missing),
+            Err(ServiceError::UnknownJob(_))
+        ));
+        let receipt = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        // Immediately after submit the job is queued or running — its
+        // result is a NotFinished error either way.
+        match service.result(receipt.id) {
+            Err(ServiceError::NotFinished { .. }) => {}
+            Ok(_) => panic!("result before completion"),
+            Err(other) => panic!("expected NotFinished, got {other}"),
+        }
+        wait_terminal(&service, receipt.id);
+        service.join();
+    }
+
+    #[test]
+    fn job_id_display_parse_roundtrip() {
+        let id = JobId(42);
+        assert_eq!(id.to_string(), "job-42");
+        assert_eq!("job-42".parse::<JobId>().expect("parses"), id);
+        assert_eq!("42".parse::<JobId>().expect("parses"), id);
+        assert!("job-x".parse::<JobId>().is_err());
+    }
+
+    #[test]
+    fn shared_store_warm_across_jobs() {
+        let service = AnalysisService::start(ServiceConfig::default());
+        let a = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        wait_terminal(&service, a.id);
+        let cold = service.stats().cache;
+        // A different circuit with the same settings shares the corner
+        // point (and any coincident kernels) — the store must already be
+        // warm, not rebuilt per job.
+        let b = service
+            .submit(spec(Benchmark::C499, SstaConfig::date05()))
+            .expect("admitted");
+        wait_terminal(&service, b.id);
+        let warm = service.stats().cache;
+        assert!(warm.entries >= cold.entries);
+        assert!(
+            warm.corner_misses == cold.corner_misses,
+            "second job must reuse the corner point, not recompute it"
+        );
+        service.join();
+    }
+}

@@ -64,6 +64,10 @@ pub enum BudgetKind {
     Paths,
     /// The Monte-Carlo sample budget (`--max-mc-samples`).
     McSamples,
+    /// An explicit external cancellation (a daemon `CANCEL` request, not
+    /// a resource limit) delivered through the same token so the run
+    /// stops at the next item boundary.
+    Cancelled,
 }
 
 impl fmt::Display for BudgetKind {
@@ -72,6 +76,7 @@ impl fmt::Display for BudgetKind {
             BudgetKind::Wall => "wall",
             BudgetKind::Paths => "paths",
             BudgetKind::McSamples => "mc-samples",
+            BudgetKind::Cancelled => "cancelled",
         })
     }
 }
@@ -129,7 +134,8 @@ impl CancelToken {
             0 => None,
             1 => Some(BudgetKind::Wall),
             2 => Some(BudgetKind::Paths),
-            _ => Some(BudgetKind::McSamples),
+            3 => Some(BudgetKind::McSamples),
+            _ => Some(BudgetKind::Cancelled),
         }
     }
 }

@@ -1,0 +1,260 @@
+//! A small blocking client for the daemon protocol — the library behind
+//! `statim client`, also used by tests and CI to drive a daemon.
+
+use crate::protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_VERSION};
+use statim_core::JobId;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The daemon sent something the protocol does not allow.
+    Protocol(String),
+    /// The daemon replied with a typed error.
+    Server {
+        /// The wire code.
+        code: ErrorCode,
+        /// The daemon's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A reply: the parsed header plus any counted payload lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The header line.
+    pub response: Response,
+    /// The payload (`RESULT`/`STATS`), empty otherwise.
+    pub payload: Vec<String>,
+}
+
+impl Reply {
+    /// The payload joined back into the exact text the daemon rendered
+    /// (one trailing newline, as the report renderers emit).
+    pub fn payload_text(&self) -> String {
+        let mut out = self.payload.join("\n");
+        out.push('\n');
+        out
+    }
+}
+
+/// One connection to a daemon, past the versioned handshake.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects, checks the greeting and performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, a non-daemon greeting, or a handshake
+    /// rejection.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+        };
+        let greeting = client.read_line()?;
+        if greeting != GREETING {
+            return Err(ClientError::Protocol(format!(
+                "unexpected greeting `{greeting}`"
+            )));
+        }
+        let reply = client.request(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match reply.response {
+            Response::Hello { .. } => Ok(client),
+            other => Err(ClientError::Protocol(format!(
+                "handshake rejected: {}",
+                other.render()
+            ))),
+        }
+    }
+
+    /// Sends one request and reads the full reply (header + counted
+    /// payload). Typed `ERR` replies become [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, malformed replies, server-side errors.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let header = self.read_line()?;
+        let response = Response::parse(&header).map_err(ClientError::Protocol)?;
+        if let Response::Error { code, message } = response {
+            return Err(ClientError::Server { code, message });
+        }
+        let payload_lines = match response {
+            Response::Result { lines, .. } | Response::Stats { lines } => lines,
+            _ => 0,
+        };
+        let mut payload = Vec::with_capacity(payload_lines);
+        for _ in 0..payload_lines {
+            payload.push(self.read_line()?);
+        }
+        Ok(Reply { response, payload })
+    }
+
+    /// Submits a job; returns `(id, from_store)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`] (`BUSY`, `SHUTDOWN`, config/parse errors).
+    pub fn submit(
+        &mut self,
+        source: &str,
+        options: &[(String, String)],
+    ) -> Result<(JobId, bool), ClientError> {
+        let reply = self.request(&Request::Submit {
+            source: source.to_string(),
+            options: options.to_vec(),
+        })?;
+        match reply.response {
+            Response::Submitted { id, from_store } => Ok((id, from_store)),
+            other => Err(unexpected("SUBMIT", &other)),
+        }
+    }
+
+    /// Polls one job's state; returns `(state, circuit, from_store)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`] (`NOTFOUND`).
+    pub fn status(&mut self, id: JobId) -> Result<(String, String, bool), ClientError> {
+        let reply = self.request(&Request::Status { id })?;
+        match reply.response {
+            Response::Status {
+                state,
+                circuit,
+                from_store,
+                ..
+            } => Ok((state, circuit, from_store)),
+            other => Err(unexpected("STATUS", &other)),
+        }
+    }
+
+    /// Fetches a finished job's rendered report.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`] (`PENDING` while unfinished, the job's
+    /// typed error class for failed jobs).
+    pub fn result(&mut self, id: JobId, top: Option<usize>) -> Result<String, ClientError> {
+        let reply = self.request(&Request::Result { id, top })?;
+        match reply.response {
+            Response::Result { .. } => Ok(reply.payload_text()),
+            other => Err(unexpected("RESULT", &other)),
+        }
+    }
+
+    /// Cancels a job; returns `true` when it was still queued.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`] (`NOTFOUND`, `FINISHED`).
+    pub fn cancel(&mut self, id: JobId) -> Result<bool, ClientError> {
+        let reply = self.request(&Request::Cancel { id })?;
+        match reply.response {
+            Response::Cancelled { immediate, .. } => Ok(immediate),
+            other => Err(unexpected("CANCEL", &other)),
+        }
+    }
+
+    /// Fetches the service counters as rendered text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let reply = self.request(&Request::Stats)?;
+        match reply.response {
+            Response::Stats { .. } => Ok(reply.payload_text()),
+            other => Err(unexpected("STATS", &other)),
+        }
+    }
+
+    /// Requests a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let reply = self.request(&Request::Shutdown)?;
+        match reply.response {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("SHUTDOWN", &other)),
+        }
+    }
+
+    /// Polls `STATUS` until the job reaches a terminal state (10 ms
+    /// cadence); returns the final state.
+    ///
+    /// # Errors
+    ///
+    /// Polling errors, or [`ClientError::Protocol`] on timeout.
+    pub fn wait(&mut self, id: JobId, timeout: Duration) -> Result<String, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (state, _, _) = self.status(id)?;
+            if matches!(state.as_str(), "done" | "degraded" | "failed" | "cancelled") {
+                return Ok(state);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Protocol(format!(
+                    "timed out waiting for {id} (last state {state})"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "daemon closed the connection".to_string(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn unexpected(verb: &str, response: &Response) -> ClientError {
+    ClientError::Protocol(format!("unexpected reply to {verb}: {}", response.render()))
+}

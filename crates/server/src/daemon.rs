@@ -1,0 +1,471 @@
+//! The TCP front-end: a std-only accept loop over the
+//! [`AnalysisService`].
+//!
+//! One thread accepts connections (non-blocking, 10 ms poll so shutdown
+//! is responsive), one thread per connection speaks the protocol, and
+//! the single executor thread inside [`AnalysisService`] runs jobs — so
+//! a slow analysis never blocks `STATUS`/`STATS`/`CANCEL` traffic.
+//!
+//! # Graceful shutdown
+//!
+//! `SHUTDOWN` (or [`DaemonHandle::shutdown`], the SIGTERM-equivalent
+//! test hook) flips the stop flag and starts the service drain: new
+//! submissions get `ERR SHUTDOWN`, while queued and running jobs finish
+//! and stay pollable. The accept loop exits once the service is drained
+//! and every connection has closed (lingering idle connections are
+//! closed server-side at that point); [`DaemonHandle::join`] returns
+//! when it is all over.
+
+use crate::protocol::{error_reply, ErrorCode, Request, Response, GREETING, PROTOCOL_VERSION};
+use statim_core::engine::{LabelSolver, SstaConfig};
+use statim_core::service::{AnalysisService, CancelOutcome, JobSpec, ServiceConfig, ServiceStats};
+use statim_core::{ErrorClass, RunBudget, StatimError};
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How often the accept loop polls for connections and shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Default path-table row limit for `RESULT` replies without `top=`.
+const DEFAULT_TOP: usize = 10;
+
+/// A running daemon: the bound address plus the handles needed to stop
+/// it. Dropping the handle abandons the daemon (it keeps serving);
+/// call [`DaemonHandle::shutdown`] + [`DaemonHandle::join`] to stop it.
+pub struct DaemonHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The address the daemon actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain without a client connection — the
+    /// SIGTERM-equivalent hook tests and process supervisors use.
+    /// Idempotent; equivalent to a `SHUTDOWN` request.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits until the drain completes and the accept loop exits.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` and starts serving in background threads.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission).
+pub fn spawn(addr: &str, config: ServiceConfig) -> io::Result<DaemonHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let service = Arc::new(AnalysisService::start(config));
+    let loop_stop = Arc::clone(&stop);
+    let accept_thread = thread::Builder::new()
+        .name("statim-accept".into())
+        .spawn(move || accept_loop(&listener, &service, &loop_stop))
+        .map_err(io::Error::other)?;
+    Ok(DaemonHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Binds `addr` and serves until a `SHUTDOWN` request drains the
+/// daemon — the blocking entry point `statim serve` uses.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve(addr: &str, config: ServiceConfig) -> io::Result<SocketAddr> {
+    let handle = spawn(addr, config)?;
+    let bound = handle.addr();
+    handle.join();
+    Ok(bound)
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<AnalysisService>, stop: &Arc<AtomicBool>) {
+    let active = Arc::new(AtomicUsize::new(0));
+    // Cloned read-halves of every accepted stream, so a drained
+    // shutdown can unblock handlers stuck in `read_line`.
+    let conns: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            service.shutdown();
+            if service.drained() {
+                for s in conns
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .drain(..)
+                {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                if active.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Ok(clone) = stream.try_clone() {
+                    conns
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(clone);
+                }
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                let conn_active = Arc::clone(&active);
+                active.fetch_add(1, Ordering::SeqCst);
+                let spawned = thread::Builder::new()
+                    .name("statim-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &service, &stop);
+                        conn_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, service: &AnalysisService, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    if writeln!(writer, "{GREETING}").is_err() {
+        return;
+    }
+    let mut greeted = false;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let request = line.trim_end_matches(['\r', '\n']);
+                if request.is_empty() {
+                    continue;
+                }
+                let (reply, payload) = respond(request, &mut greeted, service);
+                let shutting_down = matches!(reply, Response::ShuttingDown);
+                let mut out = reply.render();
+                out.push('\n');
+                for l in payload {
+                    out.push_str(&l);
+                    out.push('\n');
+                }
+                if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+                if shutting_down {
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+            Err(_) => return, // force-closed during drain, or broken pipe
+        }
+    }
+}
+
+/// Executes one request line against the service. Returns the reply
+/// header plus any counted payload lines.
+fn respond(line: &str, greeted: &mut bool, service: &AnalysisService) -> (Response, Vec<String>) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(message) => {
+            return (
+                Response::Error {
+                    code: ErrorCode::Protocol,
+                    message,
+                },
+                Vec::new(),
+            )
+        }
+    };
+    if !*greeted && !matches!(request, Request::Hello { .. }) {
+        return (
+            Response::Error {
+                code: ErrorCode::Protocol,
+                message: format!("handshake required (send HELLO {PROTOCOL_VERSION} first)"),
+            },
+            Vec::new(),
+        );
+    }
+    match request {
+        Request::Hello { version } => {
+            if version != PROTOCOL_VERSION {
+                return (
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!(
+                            "unsupported protocol version {version} (daemon speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                    Vec::new(),
+                );
+            }
+            *greeted = true;
+            (
+                Response::Hello {
+                    version: PROTOCOL_VERSION,
+                },
+                Vec::new(),
+            )
+        }
+        Request::Submit { source, options } => match build_spec(&source, &options) {
+            Ok(spec) => match service.submit(spec) {
+                Ok(receipt) => (
+                    Response::Submitted {
+                        id: receipt.id,
+                        from_store: receipt.from_store,
+                    },
+                    Vec::new(),
+                ),
+                Err(e) => (error_reply(&e), Vec::new()),
+            },
+            Err(e) => (
+                Response::Error {
+                    code: ErrorCode::from(e.class),
+                    message: e.to_string(),
+                },
+                Vec::new(),
+            ),
+        },
+        Request::Status { id } => match service.status(id) {
+            Ok(s) => (
+                Response::Status {
+                    id,
+                    state: s.state.to_string(),
+                    circuit: s.circuit,
+                    from_store: s.from_store,
+                },
+                Vec::new(),
+            ),
+            Err(e) => (error_reply(&e), Vec::new()),
+        },
+        Request::Result { id, top } => match service.result(id) {
+            Ok(report) => {
+                let rendered =
+                    statim_core::report::deterministic_report(&report, top.unwrap_or(DEFAULT_TOP));
+                let payload: Vec<String> = rendered.lines().map(str::to_string).collect();
+                (
+                    Response::Result {
+                        id,
+                        lines: payload.len(),
+                    },
+                    payload,
+                )
+            }
+            Err(e) => (error_reply(&e), Vec::new()),
+        },
+        Request::Cancel { id } => match service.cancel(id) {
+            Ok(outcome) => (
+                Response::Cancelled {
+                    id,
+                    immediate: outcome == CancelOutcome::Immediate,
+                },
+                Vec::new(),
+            ),
+            Err(e) => (error_reply(&e), Vec::new()),
+        },
+        Request::Stats => {
+            let payload = render_stats(&service.stats());
+            (
+                Response::Stats {
+                    lines: payload.len(),
+                },
+                payload,
+            )
+        }
+        Request::Shutdown => {
+            service.shutdown();
+            (Response::ShuttingDown, Vec::new())
+        }
+    }
+}
+
+fn render_stats(stats: &ServiceStats) -> Vec<String> {
+    let c = &stats.cache;
+    vec![
+        format!("submitted: {}", stats.submitted),
+        format!("completed: {}", stats.completed),
+        format!("degraded: {}", stats.degraded),
+        format!("failed: {}", stats.failed),
+        format!("cancelled: {}", stats.cancelled),
+        format!("store-hits: {}", stats.store_hits),
+        format!("rejected: {}", stats.rejected),
+        format!("queued: {}", stats.queued),
+        format!("running: {}", stats.running),
+        format!("store-entries: {}", stats.store_entries),
+        format!(
+            "kernel-cache: {} hits / {} lookups, {} entries, {} evictions",
+            c.hits(),
+            c.lookups(),
+            c.entries,
+            c.evictions
+        ),
+    ]
+}
+
+/// Builds the job spec a `SUBMIT` line describes: resolve the netlist
+/// source, the placement and the run options.
+fn build_spec(source: &str, options: &[(String, String)]) -> Result<JobSpec, StatimError> {
+    let circuit = load_source(source)?;
+    let mut config = SstaConfig::date05();
+    let mut placement_style = PlacementStyle::Levelized;
+    let mut def_path: Option<&str> = None;
+    for (key, value) in options {
+        match key.as_str() {
+            "confidence" => config.confidence = parse_opt(key, value)?,
+            "quality-intra" => config.quality_intra = parse_opt(key, value)?,
+            "quality-inter" => config.quality_inter = parse_opt(key, value)?,
+            "max-paths" => config.max_paths = parse_opt(key, value)?,
+            "threads" => config.threads = Some(parse_opt(key, value)?),
+            "retries" => config.retries = parse_opt(key, value)?,
+            "cache" => {
+                config.cache = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(StatimError::new(
+                            ErrorClass::Config,
+                            format!("cache must be on or off, got `{other}`"),
+                        ))
+                    }
+                }
+            }
+            "solver" => {
+                config.solver = match value.as_str() {
+                    "bellman-ford" => LabelSolver::BellmanFord,
+                    "topological" => LabelSolver::Topological,
+                    other => {
+                        return Err(StatimError::new(
+                            ErrorClass::Config,
+                            format!("unknown solver `{other}` (bellman-ford or topological)"),
+                        ))
+                    }
+                }
+            }
+            "inter-share" => {
+                config = config.with_layers(statim_core::LayerModel::with_inter_share(parse_opt(
+                    key, value,
+                )?));
+            }
+            "max-wall-secs" => config.budget.max_wall_secs = Some(parse_opt(key, value)?),
+            "max-analyzed-paths" => config.budget.max_paths = Some(parse_opt(key, value)?),
+            "max-mc-samples" => config.budget.max_mc_samples = Some(parse_opt(key, value)?),
+            "random-place" => {
+                placement_style = PlacementStyle::Random(parse_opt(key, value)?);
+            }
+            "def" => def_path = Some(value),
+            "fault-plan" => {
+                #[cfg(feature = "fault-injection")]
+                {
+                    config = config.with_faults(value.parse::<statim_core::FaultPlan>()?);
+                }
+                #[cfg(not(feature = "fault-injection"))]
+                return Err(StatimError::new(
+                    ErrorClass::Config,
+                    "fault-plan needs a fault-injection build of the daemon",
+                ));
+            }
+            other => {
+                return Err(StatimError::new(
+                    ErrorClass::Config,
+                    format!("unknown submit option `{other}`"),
+                ))
+            }
+        }
+    }
+    let placement = match def_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| StatimError::from(e).with_file(path))?;
+            def_lite::parse(&text)
+                .map_err(|e| StatimError::from(e).with_file(path))?
+                .placement_for(&circuit)
+                .map_err(|e| StatimError::from(e).with_file(path))?
+        }
+        None => Placement::generate(&circuit, placement_style),
+    };
+    Ok(JobSpec::new(circuit, placement, config))
+}
+
+fn load_source(source: &str) -> Result<Circuit, StatimError> {
+    if let Some(name) = source.strip_prefix('@') {
+        let bench = Benchmark::from_name(name).ok_or_else(|| {
+            StatimError::new(
+                ErrorClass::Config,
+                format!("unknown built-in benchmark `@{name}`"),
+            )
+        })?;
+        return Ok(iscas85::generate(bench));
+    }
+    let text =
+        std::fs::read_to_string(source).map_err(|e| StatimError::from(e).with_file(source))?;
+    let name = std::path::Path::new(source)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    bench_format::parse(name, &text).map_err(|e| StatimError::from(e).with_file(source))
+}
+
+fn parse_opt<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, StatimError> {
+    value.parse().map_err(|_| {
+        StatimError::new(
+            ErrorClass::Config,
+            format!("invalid value `{value}` for option `{key}`"),
+        )
+    })
+}
+
+/// The daemon-side [`ServiceConfig`] knobs `statim serve` exposes.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Queue bound (`--max-queue`); `None` keeps the service default.
+    pub max_queue: Option<usize>,
+    /// Kernel-store entry cap (`--cache-capacity`).
+    pub cache_capacity: Option<usize>,
+    /// Default per-job wall budget (`--max-wall-secs`).
+    pub max_wall_secs: Option<f64>,
+}
+
+impl DaemonOptions {
+    /// Lowers the options onto a service configuration.
+    pub fn into_service_config(self) -> ServiceConfig {
+        let mut config = ServiceConfig::default();
+        if let Some(q) = self.max_queue {
+            config.max_queue = q;
+        }
+        config.cache_capacity = self.cache_capacity;
+        config.default_budget = RunBudget {
+            max_wall_secs: self.max_wall_secs,
+            ..RunBudget::none()
+        };
+        config
+    }
+}

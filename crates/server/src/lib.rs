@@ -1,0 +1,46 @@
+//! TCP front-end for the resident analysis service — the `statim serve`
+//! daemon and the `statim client` library.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — the line-delimited wire protocol (versioned
+//!   handshake, typed `ERR` codes, counted multi-line payloads), with
+//!   round-trippable [`protocol::Request`]/[`protocol::Response`] types;
+//! * [`daemon`] — a std-only `TcpListener` accept loop over
+//!   [`statim_core::AnalysisService`]: thread-per-connection protocol
+//!   handling, a single analysis executor behind a bounded queue, and
+//!   graceful drain on `SHUTDOWN` (or the [`daemon::DaemonHandle`]
+//!   test hook);
+//! * [`client`] — a small blocking client used by `statim client`,
+//!   tests and CI.
+//!
+//! No external dependencies: the whole stack is `std::net` + the
+//! workspace crates, per the repo's no-new-deps rule.
+//!
+//! # Example
+//!
+//! ```
+//! use statim_server::{client::Client, daemon};
+//! use statim_core::service::ServiceConfig;
+//!
+//! let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+//! let (id, from_store) = client.submit("@c432", &[]).unwrap();
+//! assert!(!from_store);
+//! client.wait(id, std::time::Duration::from_secs(120)).unwrap();
+//! let report = client.result(id, None).unwrap();
+//! assert!(report.contains("circuit c432"));
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::{Client, ClientError, Reply};
+pub use daemon::{serve, spawn, DaemonHandle, DaemonOptions};
+pub use protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_VERSION};

@@ -1,0 +1,609 @@
+//! The line-delimited wire protocol.
+//!
+//! # Grammar
+//!
+//! One request per line, ASCII, fields separated by single spaces:
+//!
+//! ```text
+//! request  = "HELLO" SP version
+//!          | "SUBMIT" SP source *(SP key "=" value)
+//!          | "STATUS" SP job-id
+//!          | "RESULT" SP job-id [SP "top=" n]
+//!          | "CANCEL" SP job-id
+//!          | "STATS"
+//!          | "SHUTDOWN"
+//! source   = "@" benchmark-name | path          ; no spaces
+//! job-id   = "job-" n
+//! ```
+//!
+//! On connect the daemon sends a greeting (`STATIM/1 ready`); the first
+//! request must be `HELLO 1` (the versioned handshake) — anything else
+//! is `ERR PROTOCOL`. Replies are one line, except `RESULT` and `STATS`
+//! whose `OK` line carries a payload line count (`OK RESULT job-3 17`
+//! means 17 payload lines follow), so a client never needs to sniff for
+//! an end marker:
+//!
+//! ```text
+//! reply    = "OK HELLO" SP version
+//!          | "OK SUBMIT" SP job-id SP ("queued" | "stored")
+//!          | "OK STATUS" SP job-id SP state SP "circuit=" name SP "from-store=" bit
+//!          | "OK RESULT" SP job-id SP nlines CRLF *payload-line
+//!          | "OK CANCEL" SP job-id SP ("cancelled" | "cancelling")
+//!          | "OK STATS" SP nlines CRLF *payload-line
+//!          | "OK SHUTDOWN draining"
+//!          | "ERR" SP code SP message
+//! ```
+//!
+//! Error codes: the four [`ErrorClass`] classes (`PARSE`, `CONFIG`,
+//! `RESOURCE`, `NUMERIC`) for failures of the job or its inputs, plus
+//! service codes `BUSY` (admission control), `NOTFOUND` (unknown job),
+//! `PENDING` (result requested before the job finished), `FINISHED`
+//! (cancel after completion), `PROTOCOL` (malformed request or broken
+//! handshake) and `SHUTDOWN` (submission while draining).
+//!
+//! Both [`Request`] and [`Response`] round-trip through
+//! `render`/`parse`; `tests/server.rs` asserts `parse ∘ render == id`
+//! with the vendored proptest.
+
+use statim_core::{ErrorClass, JobId, ServiceError};
+use std::fmt;
+
+/// The protocol version the daemon speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The greeting the daemon sends on connect, before any request.
+pub const GREETING: &str = "STATIM/1 ready";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// The versioned handshake; must be the first request.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u32,
+    },
+    /// Submit a job: a netlist source plus `key=value` options.
+    Submit {
+        /// `@name` for a built-in benchmark, otherwise a `.bench` path.
+        source: String,
+        /// Run options (`confidence=0.1 threads=4 ...`), in order.
+        options: Vec<(String, String)>,
+    },
+    /// Poll one job's state.
+    Status {
+        /// The job.
+        id: JobId,
+    },
+    /// Fetch a finished job's report.
+    Result {
+        /// The job.
+        id: JobId,
+        /// Path-table row limit (`top=<n>`), default 10.
+        top: Option<usize>,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job.
+        id: JobId,
+    },
+    /// Service-wide counters.
+    Stats,
+    /// Begin a graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request as its wire line (no terminator).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Hello { version } => format!("HELLO {version}"),
+            Request::Submit { source, options } => {
+                let mut line = format!("SUBMIT {source}");
+                for (k, v) in options {
+                    line.push(' ');
+                    line.push_str(k);
+                    line.push('=');
+                    line.push_str(v);
+                }
+                line
+            }
+            Request::Status { id } => format!("STATUS {id}"),
+            Request::Result { id, top: None } => format!("RESULT {id}"),
+            Request::Result { id, top: Some(n) } => format!("RESULT {id} top={n}"),
+            Request::Cancel { id } => format!("CANCEL {id}"),
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violation; the daemon wraps
+    /// it in `ERR PROTOCOL`.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut fields = line.split(' ');
+        let verb = fields.next().unwrap_or("");
+        let req = match verb {
+            "HELLO" => {
+                let version = required(&mut fields, "HELLO", "version")?;
+                let version: u32 = version
+                    .parse()
+                    .map_err(|_| format!("invalid version `{version}` (expected an integer)"))?;
+                Request::Hello { version }
+            }
+            "SUBMIT" => {
+                let source = required(&mut fields, "SUBMIT", "source")?.to_string();
+                let mut options = Vec::new();
+                for field in fields.by_ref() {
+                    let (k, v) = field.split_once('=').ok_or_else(|| {
+                        format!("malformed option `{field}` (expected key=value)")
+                    })?;
+                    if k.is_empty() {
+                        return Err(format!("malformed option `{field}` (empty key)"));
+                    }
+                    options.push((k.to_string(), v.to_string()));
+                }
+                return Ok(Request::Submit { source, options });
+            }
+            "STATUS" => Request::Status {
+                id: job_id(&mut fields, "STATUS")?,
+            },
+            "RESULT" => {
+                let id = job_id(&mut fields, "RESULT")?;
+                let top = match fields.next() {
+                    None => None,
+                    Some(opt) => {
+                        let n = opt
+                            .strip_prefix("top=")
+                            .ok_or_else(|| format!("unexpected RESULT option `{opt}`"))?;
+                        Some(n.parse::<usize>().map_err(|_| {
+                            format!("invalid top `{n}` (expected an integer)")
+                        })?)
+                    }
+                };
+                Request::Result { id, top }
+            }
+            "CANCEL" => Request::Cancel {
+                id: job_id(&mut fields, "CANCEL")?,
+            },
+            "STATS" => Request::Stats,
+            "SHUTDOWN" => Request::Shutdown,
+            "" => return Err("empty request".to_string()),
+            other => {
+                return Err(format!(
+                    "unknown verb `{other}` (expected HELLO, SUBMIT, STATUS, RESULT, CANCEL, STATS or SHUTDOWN)"
+                ))
+            }
+        };
+        if let Some(extra) = fields.next() {
+            return Err(format!("trailing field `{extra}` after {verb}"));
+        }
+        Ok(req)
+    }
+}
+
+fn required<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    verb: &str,
+    what: &str,
+) -> Result<&'a str, String> {
+    match fields.next() {
+        Some(f) if !f.is_empty() => Ok(f),
+        _ => Err(format!("{verb} needs a {what}")),
+    }
+}
+
+fn job_id<'a>(fields: &mut impl Iterator<Item = &'a str>, verb: &str) -> Result<JobId, String> {
+    required(fields, verb, "job id")?.parse()
+}
+
+/// A typed reply code for the `ERR` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed input text ([`ErrorClass::Parse`]).
+    Parse,
+    /// Bad configuration or structural mismatch ([`ErrorClass::Config`]).
+    Config,
+    /// Exhausted budget or environment failure
+    /// ([`ErrorClass::Resource`]).
+    Resource,
+    /// A numerical kernel failure ([`ErrorClass::Numeric`]).
+    Numeric,
+    /// Admission control rejected the submission; resubmit later.
+    Busy,
+    /// Unknown job id.
+    NotFound,
+    /// The job has not reached a terminal state yet.
+    Pending,
+    /// Cancel arrived after the job already finished.
+    Finished,
+    /// Malformed request line or broken handshake.
+    Protocol,
+    /// The service is draining.
+    Shutdown,
+}
+
+impl ErrorCode {
+    /// All codes, for table-driven tests.
+    pub const ALL: [ErrorCode; 10] = [
+        ErrorCode::Parse,
+        ErrorCode::Config,
+        ErrorCode::Resource,
+        ErrorCode::Numeric,
+        ErrorCode::Busy,
+        ErrorCode::NotFound,
+        ErrorCode::Pending,
+        ErrorCode::Finished,
+        ErrorCode::Protocol,
+        ErrorCode::Shutdown,
+    ];
+
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "PARSE",
+            ErrorCode::Config => "CONFIG",
+            ErrorCode::Resource => "RESOURCE",
+            ErrorCode::Numeric => "NUMERIC",
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::NotFound => "NOTFOUND",
+            ErrorCode::Pending => "PENDING",
+            ErrorCode::Finished => "FINISHED",
+            ErrorCode::Protocol => "PROTOCOL",
+            ErrorCode::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<ErrorClass> for ErrorCode {
+    fn from(class: ErrorClass) -> Self {
+        match class {
+            ErrorClass::Parse => ErrorCode::Parse,
+            ErrorClass::Config => ErrorCode::Config,
+            ErrorClass::Resource => ErrorCode::Resource,
+            ErrorClass::Numeric => ErrorCode::Numeric,
+        }
+    }
+}
+
+/// Maps a service-layer failure to its wire code and message.
+pub fn error_reply(err: &ServiceError) -> Response {
+    let code = match err {
+        ServiceError::Busy { .. } => ErrorCode::Busy,
+        ServiceError::Draining => ErrorCode::Shutdown,
+        ServiceError::UnknownJob(_) => ErrorCode::NotFound,
+        ServiceError::NotFinished { .. } => ErrorCode::Pending,
+        ServiceError::AlreadyFinished { .. } => ErrorCode::Finished,
+        ServiceError::JobFailed { error, .. } => ErrorCode::from(error.class),
+    };
+    Response::Error {
+        code,
+        message: err.to_string(),
+    }
+}
+
+/// A parsed daemon reply (the header line; `Result`/`Stats` payload
+/// lines follow separately, counted by the header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Handshake accepted.
+    Hello {
+        /// Protocol version the daemon speaks.
+        version: u32,
+    },
+    /// Submission accepted.
+    Submitted {
+        /// The assigned job.
+        id: JobId,
+        /// Whether the result store answered directly.
+        from_store: bool,
+    },
+    /// One job's state.
+    Status {
+        /// The job.
+        id: JobId,
+        /// Its lifecycle state (`queued`, `running`, `done`, ...).
+        state: String,
+        /// Circuit name.
+        circuit: String,
+        /// Whether the result came from the result store.
+        from_store: bool,
+    },
+    /// Report header; `lines` payload lines follow.
+    Result {
+        /// The job.
+        id: JobId,
+        /// Number of payload lines that follow.
+        lines: usize,
+    },
+    /// Cancel acknowledged.
+    Cancelled {
+        /// The job.
+        id: JobId,
+        /// `true` when the job was still queued (terminal immediately);
+        /// `false` when a running job's token was tripped.
+        immediate: bool,
+    },
+    /// Stats header; `lines` payload lines follow.
+    Stats {
+        /// Number of payload lines that follow.
+        lines: usize,
+    },
+    /// Drain started.
+    ShuttingDown,
+    /// A typed failure.
+    Error {
+        /// The wire code.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the reply header as its wire line (no terminator).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Hello { version } => format!("OK HELLO {version}"),
+            Response::Submitted { id, from_store } => {
+                let how = if *from_store { "stored" } else { "queued" };
+                format!("OK SUBMIT {id} {how}")
+            }
+            Response::Status {
+                id,
+                state,
+                circuit,
+                from_store,
+            } => format!(
+                "OK STATUS {id} {state} circuit={circuit} from-store={}",
+                u8::from(*from_store)
+            ),
+            Response::Result { id, lines } => format!("OK RESULT {id} {lines}"),
+            Response::Cancelled { id, immediate } => {
+                let how = if *immediate {
+                    "cancelled"
+                } else {
+                    "cancelling"
+                };
+                format!("OK CANCEL {id} {how}")
+            }
+            Response::Stats { lines } => format!("OK STATS {lines}"),
+            Response::ShuttingDown => "OK SHUTDOWN draining".to_string(),
+            Response::Error { code, message } => format!("ERR {code} {message}"),
+        }
+    }
+
+    /// Parses one reply header line.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed line (client-side diagnostics).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code, message) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("malformed ERR line `{line}`"))?;
+            let code =
+                ErrorCode::from_str(code).ok_or_else(|| format!("unknown error code `{code}`"))?;
+            return Ok(Response::Error {
+                code,
+                message: message.to_string(),
+            });
+        }
+        let rest = line
+            .strip_prefix("OK ")
+            .ok_or_else(|| format!("malformed reply `{line}` (expected OK or ERR)"))?;
+        let mut fields = rest.split(' ');
+        let verb = fields.next().unwrap_or("");
+        let parsed = match verb {
+            "HELLO" => Response::Hello {
+                version: next_parsed(&mut fields, line)?,
+            },
+            "SUBMIT" => {
+                let id = next_parsed(&mut fields, line)?;
+                let from_store = match fields.next() {
+                    Some("stored") => true,
+                    Some("queued") => false,
+                    _ => return Err(format!("malformed SUBMIT reply `{line}`")),
+                };
+                Response::Submitted { id, from_store }
+            }
+            "STATUS" => {
+                let id = next_parsed(&mut fields, line)?;
+                let state = fields
+                    .next()
+                    .ok_or_else(|| format!("malformed STATUS reply `{line}`"))?
+                    .to_string();
+                let circuit = fields
+                    .next()
+                    .and_then(|f| f.strip_prefix("circuit="))
+                    .ok_or_else(|| format!("malformed STATUS reply `{line}`"))?
+                    .to_string();
+                let from_store = match fields.next().and_then(|f| f.strip_prefix("from-store=")) {
+                    Some("1") => true,
+                    Some("0") => false,
+                    _ => return Err(format!("malformed STATUS reply `{line}`")),
+                };
+                Response::Status {
+                    id,
+                    state,
+                    circuit,
+                    from_store,
+                }
+            }
+            "RESULT" => Response::Result {
+                id: next_parsed(&mut fields, line)?,
+                lines: next_parsed(&mut fields, line)?,
+            },
+            "CANCEL" => {
+                let id = next_parsed(&mut fields, line)?;
+                let immediate = match fields.next() {
+                    Some("cancelled") => true,
+                    Some("cancelling") => false,
+                    _ => return Err(format!("malformed CANCEL reply `{line}`")),
+                };
+                Response::Cancelled { id, immediate }
+            }
+            "STATS" => Response::Stats {
+                lines: next_parsed(&mut fields, line)?,
+            },
+            "SHUTDOWN" => Response::ShuttingDown,
+            _ => return Err(format!("unknown reply verb in `{line}`")),
+        };
+        if verb == "SHUTDOWN" {
+            return Ok(Response::ShuttingDown);
+        }
+        if let Some(extra) = fields.next() {
+            return Err(format!("trailing field `{extra}` in reply `{line}`"));
+        }
+        Ok(parsed)
+    }
+}
+
+fn next_parsed<'a, T: std::str::FromStr>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    line: &str,
+) -> Result<T, String> {
+    fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| format!("malformed reply `{line}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let line = req.render();
+        assert_eq!(Request::parse(&line).expect("parses"), req, "{line}");
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let line = resp.render();
+        assert_eq!(Response::parse(&line).expect("parses"), resp, "{line}");
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Hello { version: 1 });
+        roundtrip_request(Request::Submit {
+            source: "@c432".into(),
+            options: vec![
+                ("confidence".into(), "0.2".into()),
+                ("threads".into(), "4".into()),
+            ],
+        });
+        roundtrip_request(Request::Status {
+            id: "job-7".parse().expect("id"),
+        });
+        roundtrip_request(Request::Result {
+            id: "job-7".parse().expect("id"),
+            top: Some(3),
+        });
+        roundtrip_request(Request::Result {
+            id: "job-7".parse().expect("id"),
+            top: None,
+        });
+        roundtrip_request(Request::Cancel {
+            id: "job-0".parse().expect("id"),
+        });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let id: JobId = "job-3".parse().expect("id");
+        roundtrip_response(Response::Hello { version: 1 });
+        roundtrip_response(Response::Submitted {
+            id,
+            from_store: true,
+        });
+        roundtrip_response(Response::Submitted {
+            id,
+            from_store: false,
+        });
+        roundtrip_response(Response::Status {
+            id,
+            state: "running".into(),
+            circuit: "c432".into(),
+            from_store: false,
+        });
+        roundtrip_response(Response::Result { id, lines: 17 });
+        roundtrip_response(Response::Cancelled {
+            id,
+            immediate: true,
+        });
+        roundtrip_response(Response::Stats { lines: 12 });
+        roundtrip_response(Response::ShuttingDown);
+        for code in ErrorCode::ALL {
+            roundtrip_response(Response::Error {
+                code,
+                message: "something broke here".into(),
+            });
+        }
+    }
+
+    #[test]
+    fn malformed_requests_fail_typed() {
+        for bad in [
+            "",
+            "FROBNICATE job-1",
+            "HELLO",
+            "HELLO one",
+            "STATUS",
+            "STATUS job-x",
+            "STATUS job-1 extra",
+            "SUBMIT",
+            "SUBMIT @c432 noequals",
+            "SUBMIT @c432 =v",
+            "RESULT job-1 bottom=3",
+            "RESULT job-1 top=many",
+            "CANCEL jub-1",
+        ] {
+            assert!(Request::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn service_errors_map_to_codes() {
+        use statim_core::StatimError;
+        let id: JobId = "job-1".parse().expect("id");
+        let cases: Vec<(ServiceError, ErrorCode)> = vec![
+            (
+                ServiceError::Busy {
+                    queued: 4,
+                    max_queue: 4,
+                },
+                ErrorCode::Busy,
+            ),
+            (ServiceError::Draining, ErrorCode::Shutdown),
+            (ServiceError::UnknownJob(id), ErrorCode::NotFound),
+            (
+                ServiceError::JobFailed {
+                    id,
+                    error: StatimError::new(ErrorClass::Parse, "bad netlist"),
+                },
+                ErrorCode::Parse,
+            ),
+        ];
+        for (err, want) in cases {
+            match error_reply(&err) {
+                Response::Error { code, .. } => assert_eq!(code, want),
+                other => panic!("expected Error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -12,7 +12,9 @@
 //!   synthetic ISCAS85-equivalent generators;
 //! * [`core`] — the SSTA methodology itself (timing graph, Bellman-Ford,
 //!   near-critical enumeration, correlation layering, per-path PDFs,
-//!   ranking, Monte-Carlo validation).
+//!   ranking, Monte-Carlo validation);
+//! * [`server`] — the `statim serve` TCP daemon and client library over
+//!   [`core::service::AnalysisService`].
 //!
 //! # Quickstart
 //!
@@ -39,4 +41,5 @@
 pub use statim_core as core;
 pub use statim_netlist as netlist;
 pub use statim_process as process;
+pub use statim_server as server;
 pub use statim_stats as stats;

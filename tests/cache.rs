@@ -91,6 +91,10 @@ proptest! {
 }
 
 fn run_c499(cache: bool) -> SstaReport {
+    run_c499_capped(cache, None)
+}
+
+fn run_c499_capped(cache: bool, capacity: Option<usize>) -> SstaReport {
     let circuit = iscas85::generate(Benchmark::C499);
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
     // A wide window pulls in hundreds of structurally similar paths
@@ -99,6 +103,7 @@ fn run_c499(cache: bool) -> SstaReport {
     let mut config = SstaConfig::date05().with_confidence(10.0).with_cache(cache);
     config.quality_intra = 40;
     config.quality_inter = 20;
+    config.cache_capacity = capacity;
     SstaEngine::new(config)
         .run(&circuit, &placement)
         .expect("SSTA flow")
@@ -129,6 +134,52 @@ fn c499_cache_counters_sane() {
     assert!((stats.entries as u64) < stats.lookups());
     // The corner point is computed once per run.
     assert_eq!(stats.corner_misses, 1);
+}
+
+#[test]
+fn c499_bounded_cache_evicts_but_stays_bit_identical() {
+    let unbounded = run_c499(true);
+    let bounded = run_c499_capped(true, Some(16));
+
+    // The tiny cap forces real second-chance evictions on c499's
+    // hundreds of distinct kernels...
+    let stats = bounded.profile.cache.expect("cache enabled");
+    assert!(stats.evictions > 0, "cap 16 must evict, stats: {stats:?}");
+    // The cap is per kernel map (inter and intra each hold ≤ 16), plus
+    // the one corner point per settings fingerprint.
+    assert!(
+        stats.entries <= 2 * 16 + 1,
+        "entries must respect the cap, stats: {stats:?}"
+    );
+    assert_eq!(
+        run_c499(true).profile.cache.expect("cache").evictions,
+        0,
+        "unbounded runs never evict"
+    );
+
+    // ...and eviction is invisible in the results: every ranked path is
+    // bit-for-bit the unbounded run's.
+    assert_eq!(unbounded.num_paths, bounded.num_paths);
+    assert_eq!(unbounded.sigma_c.to_bits(), bounded.sigma_c.to_bits());
+    for (a, b) in unbounded.paths.iter().zip(&bounded.paths) {
+        assert_eq!(a.prob_rank, b.prob_rank);
+        assert_eq!(
+            a.analysis.confidence_point.to_bits(),
+            b.analysis.confidence_point.to_bits()
+        );
+        assert_bits_identical(&a.analysis.total_pdf, &b.analysis.total_pdf, "total pdf");
+    }
+}
+
+#[test]
+fn zero_cache_capacity_is_a_config_error() {
+    let circuit = iscas85::generate(Benchmark::C432);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let config = SstaConfig::date05().with_cache_capacity(Some(0));
+    let err = SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect_err("capacity 0 must be rejected");
+    assert!(err.to_string().contains("cache"), "{err}");
 }
 
 #[test]

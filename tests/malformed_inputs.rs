@@ -85,9 +85,13 @@ fn every_corpus_file_fails_with_a_typed_parse_error() {
 fn corpus_and_table_stay_in_sync() {
     // Every corpus file is listed, and every listed file exists — a new
     // bad input can't silently skip classification.
+    // Subdirectories hold other corpora (e.g. protocol/ for the wire
+    // protocol); only the netlist files at the top level are ours.
     let mut on_disk: Vec<String> = fs::read_dir(corpus_dir())
         .expect("corpus dir")
-        .map(|e| e.expect("entry").file_name().into_string().expect("utf-8"))
+        .map(|e| e.expect("entry"))
+        .filter(|e| e.file_type().expect("file type").is_file())
+        .map(|e| e.file_name().into_string().expect("utf-8"))
         .collect();
     on_disk.sort();
     let mut listed: Vec<String> = CORPUS.iter().map(|&(f, ..)| f.to_string()).collect();

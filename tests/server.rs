@@ -1,0 +1,377 @@
+//! End-to-end tests of the analysis daemon: a real `TcpListener` bound
+//! to an ephemeral port, driven through the blocking client (and, for
+//! the protocol corpus, a raw socket).
+//!
+//! The central claim is the serving-mode determinism contract: a report
+//! served over the wire — fresh, from the result store, or at a
+//! different thread count — is **bit-for-bit identical** to the same
+//! analysis run in one shot.
+
+use statim::core::engine::{SstaConfig, SstaEngine};
+use statim::core::report::deterministic_report;
+use statim::core::service::ServiceConfig;
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+use statim::server::{daemon, Client, ClientError, DaemonHandle, ErrorCode, Request, GREETING};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Keep the tests quick: coarse kernels, same on both sides of every
+/// comparison.
+const QUALITY: &[(&str, &str)] = &[("quality-intra", "40"), ("quality-inter", "20")];
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn spawn_daemon(config: ServiceConfig) -> DaemonHandle {
+    daemon::spawn("127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+fn connect(handle: &DaemonHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("connect")
+}
+
+fn opts(extra: &[(&str, &str)]) -> Vec<(String, String)> {
+    QUALITY
+        .iter()
+        .chain(extra)
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// The one-shot reference: the same engine run the daemon performs,
+/// rendered through the same deterministic report.
+fn batch_report(bench: Benchmark, top: usize) -> String {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let mut config = SstaConfig::date05();
+    config.quality_intra = 40;
+    config.quality_inter = 20;
+    let report = SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("batch run");
+    deterministic_report(&report, top)
+}
+
+#[test]
+fn served_reports_are_bit_identical_to_batch() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    for (bench, source) in [(Benchmark::C432, "@c432"), (Benchmark::C499, "@c499")] {
+        let (id, from_store) = client.submit(source, &opts(&[])).expect("submit");
+        assert!(
+            !from_store,
+            "{source}: first submission cannot hit the store"
+        );
+        let state = client.wait(id, WAIT).expect("wait");
+        assert_eq!(state, "done", "{source}");
+        let served = client.result(id, Some(5)).expect("result");
+        assert_eq!(
+            served,
+            batch_report(bench, 5),
+            "{source}: served report differs from the one-shot run"
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn duplicate_submission_is_served_from_the_result_store() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    let (first, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    client.wait(first, WAIT).expect("wait");
+    let fresh = client.result(first, None).expect("result");
+
+    // Identical submission: answered from the store, no second run.
+    let (second, from_store) = client.submit("@c432", &opts(&[])).expect("resubmit");
+    assert!(
+        from_store,
+        "identical resubmission must hit the result store"
+    );
+    assert_ne!(first, second, "store hits still get their own job id");
+    let stored = client.result(second, None).expect("stored result");
+    assert_eq!(stored, fresh, "store must serve the identical bytes");
+
+    // Wall-time-only knobs (threads here) are excluded from the job
+    // fingerprint: a resubmission that only changes them hits too, and
+    // the bytes still match — the thread-count determinism contract.
+    let (third, from_store) = client
+        .submit("@c432", &opts(&[("threads", "2")]))
+        .expect("resubmit threads=2");
+    assert!(from_store, "thread count must not defeat the result store");
+    assert_eq!(client.result(third, None).expect("result"), fresh);
+
+    // A semantically different run (other confidence) must NOT hit.
+    let (fourth, from_store) = client
+        .submit("@c432", &opts(&[("confidence", "0.2")]))
+        .expect("submit confidence=0.2");
+    assert!(!from_store, "different settings must miss the result store");
+    client.wait(fourth, WAIT).expect("wait");
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("store-hits: 2"), "stats:\n{stats}");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn full_queue_rejects_with_busy() {
+    // A zero-capacity queue turns admission control all the way up:
+    // every submission bounces with BUSY and the daemon stays healthy.
+    let config = ServiceConfig {
+        max_queue: 0,
+        ..ServiceConfig::default()
+    };
+    let handle = spawn_daemon(config);
+    let mut client = connect(&handle);
+
+    match client.submit("@c432", &opts(&[])) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Busy),
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+    // The connection survives the rejection.
+    let stats = client.stats().expect("stats after BUSY");
+    assert!(stats.contains("rejected: 1"), "stats:\n{stats}");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn cancel_mid_run_leaves_the_daemon_serving() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // A heavy job (wide window on the larger c1355) so the cancel has a
+    // running target; if it is still queued the cancel is just
+    // immediate instead, and the assertions below hold either way.
+    let heavy = opts(&[("confidence", "0.3")]);
+    let (id, _) = client.submit("@c1355", &heavy).expect("submit heavy");
+    client.cancel(id).expect("cancel");
+    let state = client.wait(id, WAIT).expect("wait");
+    assert_eq!(state, "cancelled");
+
+    // Cancelled jobs never reach the result store, and asking for
+    // their result surfaces the recorded cancellation (a Resource-class
+    // failure), not a hang.
+    match client.result(id, None) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Resource, "{message}");
+            assert!(message.contains("cancelled"), "{message}");
+        }
+        other => panic!("expected RESOURCE error, got {other:?}"),
+    }
+
+    // The daemon keeps serving clean work afterwards.
+    let (next, _) = client
+        .submit("@c432", &opts(&[]))
+        .expect("submit after cancel");
+    assert_eq!(client.wait(next, WAIT).expect("wait"), "done");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[cfg(feature = "fault-injection")]
+#[test]
+fn panicking_job_leaves_the_daemon_serving() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // Inject a panic into path 0 with no retries: the supervised run
+    // degrades that path and the job lands `degraded`, while the daemon
+    // itself never notices.
+    let (id, _) = client
+        .submit(
+            "@c432",
+            &opts(&[("fault-plan", "panic-path@0"), ("retries", "0")]),
+        )
+        .expect("submit faulted");
+    let state = client.wait(id, WAIT).expect("wait");
+    assert_eq!(
+        state, "degraded",
+        "panicking path must only degrade its job"
+    );
+
+    // Degraded results are poll-able but never cached: resubmitting the
+    // clean variant runs fresh and comes back bit-identical to batch.
+    let (clean, from_store) = client.submit("@c432", &opts(&[])).expect("submit clean");
+    assert!(!from_store, "degraded run must not seed the result store");
+    assert_eq!(client.wait(clean, WAIT).expect("wait"), "done");
+    assert_eq!(
+        client.result(clean, Some(5)).expect("result"),
+        batch_report(Benchmark::C432, 5)
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_queued_work_and_closes() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    let (id, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    client.shutdown().expect("shutdown");
+
+    // Draining: new submissions bounce with a typed SHUTDOWN error.
+    match client.submit("@c499", &opts(&[])) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Shutdown),
+        other => panic!("expected SHUTDOWN error, got {other:?}"),
+    }
+
+    // The queued job stays pollable while the drain lasts; once it
+    // completes the daemon force-closes lingering connections and
+    // exits, so the poll ends in `done` or in a clean close — never in
+    // a dropped job or a hang. (`AnalysisService` unit tests pin down
+    // that draining always finishes queued work.)
+    match client.wait(id, WAIT) {
+        Ok(state) => assert_eq!(state, "done"),
+        Err(ClientError::Protocol(m)) => assert!(m.contains("closed"), "{m}"),
+        Err(ClientError::Io(_)) => {}
+        Err(other) => panic!("unexpected wait failure: {other}"),
+    }
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
+// Protocol corpus: every malformed request line is a typed PROTOCOL
+// error — parse-level and against a live daemon — and never kills the
+// connection.
+// ---------------------------------------------------------------------
+
+fn protocol_corpus() -> Vec<String> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/protocol");
+    let mut lines = Vec::new();
+    for entry in std::fs::read_dir(&path).expect("corpus dir") {
+        let file = entry.expect("corpus entry").path();
+        let text = std::fs::read_to_string(&file).expect("corpus file");
+        lines.extend(text.lines().filter(|l| !l.is_empty()).map(str::to_string));
+    }
+    assert!(lines.len() >= 20, "corpus unexpectedly small");
+    lines
+}
+
+#[test]
+fn corpus_lines_fail_request_parse() {
+    for line in protocol_corpus() {
+        assert!(
+            Request::parse(&line).is_err(),
+            "`{line}` must not parse as a request"
+        );
+    }
+}
+
+#[test]
+fn corpus_lines_get_err_replies_and_the_connection_survives() {
+    let handle = spawn_daemon(ServiceConfig::default());
+
+    // Raw socket: greeting, handshake, then the whole corpus.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut read_line = move || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+
+    assert_eq!(read_line(), GREETING);
+
+    // Requests before the handshake are themselves protocol errors.
+    writeln!(writer, "STATS").expect("write");
+    assert!(read_line().starts_with("ERR PROTOCOL"), "handshake gate");
+    writeln!(writer, "HELLO 99").expect("write");
+    assert!(read_line().starts_with("ERR PROTOCOL"), "version gate");
+    writeln!(writer, "HELLO 1").expect("write");
+    assert_eq!(read_line(), "OK HELLO 1");
+
+    for line in protocol_corpus() {
+        writeln!(writer, "{line}").expect("write");
+        let reply = read_line();
+        assert!(
+            reply.starts_with("ERR PROTOCOL"),
+            "`{line}` must get ERR PROTOCOL, got `{reply}`"
+        );
+    }
+
+    // After all that abuse the connection still works.
+    writeln!(writer, "STATS").expect("write");
+    let header = read_line();
+    let n: usize = header
+        .strip_prefix("OK STATS ")
+        .expect("stats header")
+        .parse()
+        .expect("stats count");
+    for _ in 0..n {
+        read_line();
+    }
+    writeln!(writer, "SHUTDOWN").expect("write");
+    assert_eq!(read_line(), "OK SHUTDOWN draining");
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
+// Property: parse ∘ render == id over the request grammar.
+// ---------------------------------------------------------------------
+
+mod roundtrip {
+    use super::*;
+    use proptest::prelude::*;
+    use statim::core::JobId;
+
+    /// A wire-safe token: no spaces (the field separator), nonempty.
+    fn token(with_eq: bool) -> impl Strategy<Value = String> {
+        let mut chars: Vec<char> = "abcXYZ019@._/-,".chars().collect();
+        if with_eq {
+            chars.push('=');
+        }
+        proptest::collection::vec(proptest::sample::select(chars), 1..10)
+            .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        (
+            0usize..7,
+            0u32..1000,
+            0u64..10_000,
+            proptest::collection::vec((token(false), token(true)), 0..4),
+            token(false),
+            // Encodes Option<usize>: values past 99 mean `top` absent.
+            0usize..200,
+        )
+            .prop_map(|(variant, version, id, options, source, top)| {
+                let id: JobId = format!("job-{id}").parse().expect("job id");
+                match variant {
+                    0 => Request::Hello { version },
+                    1 => Request::Submit { source, options },
+                    2 => Request::Status { id },
+                    3 => Request::Result {
+                        id,
+                        top: (top < 100).then_some(top),
+                    },
+                    4 => Request::Cancel { id },
+                    5 => Request::Stats,
+                    _ => Request::Shutdown,
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn request_parse_render_roundtrips(req in arb_request()) {
+            let line = req.render();
+            prop_assert_eq!(Request::parse(&line).expect("rendered requests parse"), req);
+        }
+    }
+}
