@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use statim_core::correlation::LayerModel;
 use statim_core::inter::inter_pdf;
 use statim_process::{GateKind, Load, Technology, Variations};
-use statim_stats::convolve::sum_pdf;
+use statim_stats::convolve::{sum_pdf, sum_pdf_with, ConvolveBackend};
 use statim_stats::gaussian::gaussian_pdf;
 use statim_stats::Marginal;
 use std::hint::black_box;
@@ -24,6 +24,29 @@ fn bench_convolution(c: &mut Criterion) {
                 bench.iter(|| sum_pdf(black_box(&a), black_box(&b)).expect("convolve"));
             },
         );
+    }
+    group.finish();
+}
+
+fn bench_convolution_backends(c: &mut Criterion) {
+    // Grid (O(Q²) cell pairs) vs FFT (O(Q log Q) spectral) on identical
+    // operands; `kernel_backends` records the same sweep into
+    // BENCH_kernels.json.
+    let mut group = c.benchmark_group("convolution_backend");
+    for &quality in &[50usize, 100, 200, 400, 800] {
+        let a = gaussian_pdf(0.0, 10.0, 6.0, quality);
+        let b = gaussian_pdf(250.0, 25.0, 6.0, quality).resample(*a.grid());
+        for backend in [ConvolveBackend::Grid, ConvolveBackend::Fft] {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), quality),
+                &backend,
+                |bench, &backend| {
+                    bench.iter(|| {
+                        sum_pdf_with(backend, black_box(&a), black_box(&b)).expect("convolve")
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -99,6 +122,7 @@ fn bench_direct_vs_separable(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_convolution,
+    bench_convolution_backends,
     bench_inter_kernel,
     bench_direct_vs_separable
 );

@@ -1,0 +1,112 @@
+//! **Convolution backend study** — grid vs FFT on the §3.2 PDF-sum
+//! kernel across the paper's QUALITY range.
+//!
+//! For each QUALITY the two backends convolve identical Gaussian
+//! operands (the `pdf_kernels` bench pair). The grid backend is the
+//! exact O(Q²) cell-pair sum; the FFT backend is the O(Q log Q)
+//! spectral path. Before timing, the FFT result is checked against the
+//! grid result (sup-norm ≤ 1e-10 of the peak density) so a speedup can
+//! never be bought with a wrong answer.
+//!
+//! Results overwrite `BENCH_kernels.json` at the repo root
+//! (hand-rendered JSON, no serde).
+//!
+//! ```text
+//! cargo run -p statim-bench --release --bin kernel_backends \
+//!     [-- --repeats 5]
+//! ```
+
+use statim_stats::convolve::{sum_pdf_with, ConvolveBackend};
+use statim_stats::gaussian::gaussian_pdf;
+use statim_stats::tabulate::format_table;
+use statim_stats::Pdf;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const QUALITIES: &[usize] = &[50, 100, 200, 400, 800];
+
+fn repeats_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--repeats")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Per-call wall time in nanoseconds: best of `repeats` timed blocks,
+/// each block sized to run ≥ 50 ms so the clock resolution is noise.
+fn time_ns(repeats: usize, f: &dyn Fn() -> Pdf) -> f64 {
+    let probe = Instant::now();
+    let _ = f();
+    let once = probe.elapsed().as_secs_f64();
+    let per_block = ((0.05 / once.max(1e-9)) as usize).clamp(1, 100_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for _ in 0..per_block {
+            std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64() / per_block as f64);
+    }
+    best * 1e9
+}
+
+fn main() {
+    let repeats = repeats_from_args();
+    let header = ["QUALITY", "cells", "grid (µs)", "fft (µs)", "fft speedup"];
+    let mut rows = Vec::new();
+    let mut series = String::new();
+
+    for &quality in QUALITIES {
+        let a = gaussian_pdf(0.0, 10.0, 6.0, quality);
+        let b = gaussian_pdf(250.0, 25.0, 6.0, quality).resample(*a.grid());
+
+        // Accuracy gate before any timing.
+        let grid = sum_pdf_with(ConvolveBackend::Grid, &a, &b).expect("grid");
+        let fft = sum_pdf_with(ConvolveBackend::Fft, &a, &b).expect("fft");
+        let peak = grid.density().iter().cloned().fold(0.0f64, f64::max);
+        for (x, y) in grid.density().iter().zip(fft.density()) {
+            assert!(
+                (x - y).abs() <= 1e-10 * peak,
+                "Q={quality}: fft diverged from grid ({x} vs {y})"
+            );
+        }
+
+        let grid_ns = time_ns(repeats, &|| {
+            sum_pdf_with(ConvolveBackend::Grid, &a, &b).expect("grid")
+        });
+        let fft_ns = time_ns(repeats, &|| {
+            sum_pdf_with(ConvolveBackend::Fft, &a, &b).expect("fft")
+        });
+        let speedup = grid_ns / fft_ns;
+
+        rows.push(vec![
+            quality.to_string(),
+            a.len().to_string(),
+            format!("{:.2}", grid_ns / 1e3),
+            format!("{:.2}", fft_ns / 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+        if !series.is_empty() {
+            series.push_str(",\n");
+        }
+        let _ = write!(
+            series,
+            "    {{\"quality\": {quality}, \"cells\": {}, \"grid_ns\": {grid_ns:.0}, \
+             \"fft_ns\": {fft_ns:.0}, \"fft_speedup\": {speedup:.3}}}",
+            a.len()
+        );
+    }
+
+    println!("== Convolution backends: grid vs FFT (best of {repeats}) ==");
+    println!("{}", format_table(&header, &rows));
+
+    let json = format!(
+        "{{\n  \"experiment\": \"kernel-backends\",\n  \
+         \"kernel\": \"sum_pdf gaussian x gaussian\",\n  \
+         \"repeats\": {repeats},\n  \"points\": [\n{series}\n  ]\n}}\n",
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

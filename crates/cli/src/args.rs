@@ -23,6 +23,10 @@ USAGE:
 
 ANALYZE OPTIONS:
     --def <file>          read gate placement from a DEF(-lite) file
+    --backend <name>      PDF convolution backend: grid (exact cell-pair
+                          accumulation, bit-identical baseline) or fft
+                          (spectral, faster at high quality, agrees with
+                          grid to ~1e-9) [default: grid]
     -C, --confidence <f>  near-critical window in units of sigma_C [default: 0.05]
     --top <n>             print the top n ranked paths [default: 10]
     --inter-share <f>     inter-die variance share (0..=1) [default: equal split]
@@ -67,6 +71,9 @@ SERVE OPTIONS:
                           all jobs
     --max-wall-secs <f>   default per-job wall budget (jobs may override
                           with max-wall-secs=<f> at submit time)
+    --backend <name>      default convolution backend for submitted jobs,
+                          grid or fft (jobs may override with
+                          backend=<name> at submit time) [default: grid]
 
 CLIENT COMMANDS (all take --addr <host:port> [default: 127.0.0.1:7411]):
     submit <source> [key=value ...] [--wait]
@@ -146,6 +153,8 @@ pub struct ServeArgs {
     pub cache_capacity: Option<usize>,
     /// Default per-job wall budget, seconds.
     pub max_wall_secs: Option<f64>,
+    /// Default convolution backend for submitted jobs (None = grid).
+    pub backend: Option<String>,
 }
 
 impl Default for ServeArgs {
@@ -155,6 +164,7 @@ impl Default for ServeArgs {
             max_queue: None,
             cache_capacity: None,
             max_wall_secs: None,
+            backend: None,
         }
     }
 }
@@ -238,6 +248,8 @@ pub struct AnalyzeArgs {
     pub checkpoint: Option<String>,
     /// Monte-Carlo checkpoint to resume from (mc command only).
     pub resume: Option<String>,
+    /// Convolution backend name (None = engine default, i.e. grid).
+    pub backend: Option<String>,
 }
 
 impl Default for AnalyzeArgs {
@@ -263,6 +275,7 @@ impl Default for AnalyzeArgs {
             cache_capacity: None,
             checkpoint: None,
             resume: None,
+            backend: None,
         }
     }
 }
@@ -373,6 +386,7 @@ fn parse_analyze_with<'a>(
             }
             "--checkpoint" => args.checkpoint = Some(value(tok, &mut it)?.clone()),
             "--resume" => args.resume = Some(value(tok, &mut it)?.clone()),
+            "--backend" => args.backend = Some(value(tok, &mut it)?.clone()),
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             file => {
                 if args.bench_file.is_some() {
@@ -404,6 +418,7 @@ fn parse_serve(rest: &[String]) -> Result<Command, String> {
             "--max-wall-secs" => {
                 args.max_wall_secs = Some(parse_num(tok, value(tok, &mut it)?)?);
             }
+            "--backend" => args.backend = Some(value(tok, &mut it)?.clone()),
             other => return Err(format!("unknown serve argument `{other}`")),
         }
     }
@@ -712,6 +727,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_backend_flag() {
+        match parse(&v(&["analyze", "--benchmark", "c432", "--backend", "fft"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.backend.as_deref(), Some("fft")),
+            other => panic!("{other:?}"),
+        }
+        // The parser keeps the raw string; validation (and the typed
+        // Config error for junk) happens when the engine is configured.
+        match parse(&v(&["analyze", "--benchmark", "c432", "--backend", "warp"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.backend.as_deref(), Some("warp")),
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["analyze", "--benchmark", "c432"])).unwrap() {
+            Command::Analyze(a) => assert_eq!(a.backend, None),
+            other => panic!("{other:?}"),
+        }
+        match parse(&v(&["mc", "--benchmark", "c499", "--backend", "grid"])).unwrap() {
+            Command::Mc { args, .. } => assert_eq!(args.backend.as_deref(), Some("grid")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["analyze", "--benchmark", "c432", "--backend"])).is_err());
+    }
+
+    #[test]
     fn parses_serve() {
         match parse(&v(&["serve"])).unwrap() {
             Command::Serve(s) => {
@@ -730,6 +768,8 @@ mod tests {
             "128",
             "--max-wall-secs",
             "2.5",
+            "--backend",
+            "fft",
         ]))
         .unwrap()
         {
@@ -738,6 +778,7 @@ mod tests {
                 assert_eq!(s.max_queue, Some(4));
                 assert_eq!(s.cache_capacity, Some(128));
                 assert_eq!(s.max_wall_secs, Some(2.5));
+                assert_eq!(s.backend.as_deref(), Some("fft"));
             }
             other => panic!("{other:?}"),
         }

@@ -114,6 +114,13 @@ fn analyze(a: AnalyzeArgs) -> DynResult {
     Ok(())
 }
 
+/// Maps a `--backend` value onto the typed enum; junk is a config error
+/// (exit code 3), not a panic or a silent grid fallback.
+fn parse_backend(name: &str) -> Result<statim_core::ConvolveBackend, StatimError> {
+    name.parse()
+        .map_err(|e: String| StatimError::new(ErrorClass::Config, e))
+}
+
 /// Builds circuit, placement and config from analyze-style args, then
 /// runs the engine.
 fn run_engine(
@@ -156,6 +163,9 @@ fn run_engine(
         config.retries = r;
     }
     config.cache_capacity = a.cache_capacity;
+    if let Some(name) = &a.backend {
+        config.backend = parse_backend(name)?;
+    }
     if let Some(share) = a.inter_share {
         config = config.with_layers(LayerModel::with_inter_share(share));
     }
@@ -335,10 +345,12 @@ fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
 
 fn serve(s: ServeArgs) -> DynResult {
     use statim_server::daemon::{self, DaemonOptions};
+    let backend = s.backend.as_deref().map(parse_backend).transpose()?;
     let config = DaemonOptions {
         max_queue: s.max_queue,
         cache_capacity: s.cache_capacity,
         max_wall_secs: s.max_wall_secs,
+        backend,
     }
     .into_service_config();
     let max_queue = config.max_queue;

@@ -140,7 +140,11 @@ pub fn settings_fingerprint(tech: &Technology, settings: &AnalysisSettings) -> u
             }
         }
     }
-    // Marginal shape, discretizations, corner.
+    // Marginal shape, convolution backend, discretizations, corner.
+    // The backend tag keeps grid- and FFT-computed kernels apart in a
+    // shared store: the densities differ at round-off level, and a
+    // cache hit must return exactly what the active backend would
+    // compute.
     h = fold_u64(
         h,
         match settings.marginal {
@@ -149,6 +153,7 @@ pub fn settings_fingerprint(tech: &Technology, settings: &AnalysisSettings) -> u
             Marginal::Triangular => 2,
         },
     );
+    h = fold_u64(h, settings.backend.tag());
     h = fold_u64(h, settings.quality_intra as u64);
     h = fold_u64(h, settings.quality_inter as u64);
     h = fold_f64(h, settings.corner.k);

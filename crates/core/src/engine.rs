@@ -51,6 +51,14 @@ pub struct SstaConfig {
     pub marginal: statim_stats::Marginal,
     /// Intra-die PDF computation model.
     pub intra_model: crate::analyze::IntraModel,
+    /// Convolution kernel for the intra- and total-delay PDFs. `Grid`
+    /// (the default) is the bit-identical reference; `Fft` computes the
+    /// same densities in `O(Q log Q)`, equal to the grid backend up to
+    /// floating-point round-off (run-to-run deterministic, validated to
+    /// tolerance). The choice is folded into the kernel-cache
+    /// fingerprint, so grid- and FFT-computed kernels never collide in
+    /// a shared store.
+    pub backend: statim_stats::ConvolveBackend,
     /// The confidence constant `C`: paths within `C·σ_C` of the
     /// deterministic critical delay are analyzed (paper: 0.05 for most
     /// circuits, 0.001 for c6288).
@@ -109,6 +117,7 @@ impl SstaConfig {
             layers: LayerModel::date05(),
             marginal: statim_stats::Marginal::Gaussian,
             intra_model: crate::analyze::IntraModel::GaussianClosedForm,
+            backend: statim_stats::ConvolveBackend::Grid,
             confidence: 0.05,
             quality_intra: 100,
             quality_inter: 50,
@@ -135,6 +144,12 @@ impl SstaConfig {
     /// Same configuration with a different layer model.
     pub fn with_layers(mut self, layers: LayerModel) -> Self {
         self.layers = layers;
+        self
+    }
+
+    /// Same configuration with a different convolution backend.
+    pub fn with_backend(mut self, backend: statim_stats::ConvolveBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -183,6 +198,7 @@ impl SstaConfig {
             layers: self.layers.clone(),
             marginal: self.marginal,
             intra_model: self.intra_model,
+            backend: self.backend,
             quality_intra: self.quality_intra,
             quality_inter: self.quality_inter,
             sigma_rank: self.sigma_rank,

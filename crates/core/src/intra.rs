@@ -18,7 +18,7 @@ use statim_netlist::{GateId, Placement};
 use statim_process::param::Variations;
 use statim_process::Param;
 use statim_stats::gaussian::try_gaussian_pdf;
-use statim_stats::{Marginal, Pdf};
+use statim_stats::{ConvolveBackend, Marginal, Pdf};
 use std::collections::BTreeMap;
 
 /// The per-(layer, partition) Taylor coefficients of one path, per
@@ -122,7 +122,10 @@ pub fn intra_pdf(variance: f64, trunc_k: f64, quality: usize) -> Result<Pdf> {
 /// paper criticizes in related work.
 ///
 /// With [`Marginal::Gaussian`] the result matches [`intra_pdf`] up to
-/// discretization error.
+/// discretization error. `backend` selects the per-term convolution
+/// kernel ([`ConvolveBackend::Grid`] is the bit-identical reference;
+/// every term pair shares one grid step, so the FFT route needs no
+/// resampling either).
 ///
 /// # Errors
 ///
@@ -134,8 +137,9 @@ pub fn intra_pdf_numerical(
     vars: &Variations,
     marginal: Marginal,
     quality: usize,
+    backend: ConvolveBackend,
 ) -> Result<Pdf> {
-    use statim_stats::convolve::sum_pdf;
+    use statim_stats::convolve::sum_pdf_with;
     use statim_stats::Grid;
     let weights = layers.weights()?;
     // Eq. (14) gives the exact total variance for *any* zero-mean
@@ -182,7 +186,7 @@ pub fn intra_pdf_numerical(
         let term = raw.resample(Grid::new(-half, step, cells)?).normalized()?;
         acc = Some(match acc.take() {
             None => term,
-            Some(prev) => sum_pdf(&prev, &term)?,
+            Some(prev) => sum_pdf_with(backend, &prev, &term)?,
         });
     }
     let acc = acc.expect("at least one term");
@@ -338,11 +342,53 @@ mod tests {
         let co = path_coefficients(&path, &t, &p, &layers);
         let var = intra_variance(&co, &layers, &vars).expect("intra pdf computed");
         let closed = intra_pdf(var, vars.trunc_k, 100).expect("intra pdf computed");
-        let numerical = intra_pdf_numerical(&co, &layers, &vars, Marginal::Gaussian, 100)
-            .expect("intra pdf computed");
+        let numerical = intra_pdf_numerical(
+            &co,
+            &layers,
+            &vars,
+            Marginal::Gaussian,
+            100,
+            Default::default(),
+        )
+        .expect("intra pdf computed");
         assert!(numerical.mean().abs() < 0.01 * closed.std_dev());
         let rel = (numerical.std_dev() - closed.std_dev()).abs() / closed.std_dev();
         assert!(rel < 0.02, "σ mismatch {rel}");
+    }
+
+    #[test]
+    fn numerical_backends_agree_to_tolerance() {
+        let (_, t, p, path) = chain(10);
+        let layers = LayerModel::date05();
+        let vars = Variations::date05();
+        let co = path_coefficients(&path, &t, &p, &layers);
+        let grid = intra_pdf_numerical(
+            &co,
+            &layers,
+            &vars,
+            Marginal::Uniform,
+            100,
+            ConvolveBackend::Grid,
+        )
+        .expect("intra pdf computed");
+        let fft = intra_pdf_numerical(
+            &co,
+            &layers,
+            &vars,
+            Marginal::Uniform,
+            100,
+            ConvolveBackend::Fft,
+        )
+        .expect("intra pdf computed");
+        // The output grid's origin is centered on the accumulated mean, so
+        // backend round-off moves `lo` by a sub-ulp-of-step amount; the
+        // step and cell count must match exactly.
+        assert_eq!(grid.grid().step().to_bits(), fft.grid().step().to_bits());
+        assert_eq!(grid.grid().len(), fft.grid().len());
+        let scale = grid.std_dev();
+        assert!((grid.grid().lo() - fft.grid().lo()).abs() < 1e-9 * scale);
+        assert!((grid.mean() - fft.mean()).abs() < 1e-9 * scale);
+        assert!((grid.std_dev() - fft.std_dev()).abs() < 1e-9 * scale);
     }
 
     #[test]
@@ -356,7 +402,8 @@ mod tests {
         let co = path_coefficients(&path, &t, &p, &layers);
         let var = intra_variance(&co, &layers, &vars).expect("intra pdf computed");
         for m in [Marginal::Uniform, Marginal::Triangular] {
-            let pdf = intra_pdf_numerical(&co, &layers, &vars, m, 100).expect("intra pdf computed");
+            let pdf = intra_pdf_numerical(&co, &layers, &vars, m, 100, Default::default())
+                .expect("intra pdf computed");
             let rel = (pdf.variance() - var).abs() / var;
             assert!(rel < 0.05, "{m:?}: variance off by {rel}");
             assert!(pdf.mean().abs() < 0.01 * pdf.std_dev());
@@ -374,8 +421,15 @@ mod tests {
         let co = path_coefficients(&path, &t, &p, &layers);
         let var = intra_variance(&co, &layers, &vars).expect("intra pdf computed");
         let gauss = intra_pdf(var, vars.trunc_k, 150).expect("intra pdf computed");
-        let unif = intra_pdf_numerical(&co, &layers, &vars, Marginal::Uniform, 150)
-            .expect("intra pdf computed");
+        let unif = intra_pdf_numerical(
+            &co,
+            &layers,
+            &vars,
+            Marginal::Uniform,
+            150,
+            Default::default(),
+        )
+        .expect("intra pdf computed");
         let g3 = gauss.quantile(0.9987).expect("quantile defined");
         let u3 = unif.quantile(0.9987).expect("quantile defined");
         assert!((g3 - u3).abs() / g3 < 0.1, "3σ quantile {g3} vs {u3}");

@@ -85,6 +85,7 @@ pub use service::{
     AnalysisService, CancelOutcome, JobId, JobSpec, JobState, JobStatus, ServiceConfig,
     ServiceError, ServiceStats, SubmitReceipt,
 };
+pub use statim_stats::ConvolveBackend;
 pub use supervise::{
     BudgetKind, CancelToken, ItemOutcome, McCheckpoint, McCheckpointer, RunBudget, Supervisor,
 };

@@ -180,6 +180,9 @@ pub struct ServiceConfig {
     /// Kernel-store entry cap (`None` = unbounded) — a resident process
     /// must not grow without limit.
     pub cache_capacity: Option<usize>,
+    /// Convolution backend applied to jobs that did not pick one at
+    /// submit time (`backend=` overrides per job).
+    pub default_backend: statim_stats::ConvolveBackend,
 }
 
 impl Default for ServiceConfig {
@@ -188,6 +191,7 @@ impl Default for ServiceConfig {
             max_queue: 16,
             default_budget: RunBudget::none(),
             cache_capacity: None,
+            default_backend: statim_stats::ConvolveBackend::Grid,
         }
     }
 }
@@ -345,6 +349,7 @@ struct Shared {
     store: Arc<KernelStore>,
     max_queue: usize,
     default_budget: RunBudget,
+    default_backend: statim_stats::ConvolveBackend,
 }
 
 impl Shared {
@@ -374,6 +379,7 @@ impl AnalysisService {
             store: Arc::new(KernelStore::with_capacity(config.cache_capacity)),
             max_queue: config.max_queue,
             default_budget: config.default_budget,
+            default_backend: config.default_backend,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
@@ -389,6 +395,14 @@ impl AnalysisService {
     /// The process-wide kernel store (shared across all jobs).
     pub fn store(&self) -> Arc<KernelStore> {
         Arc::clone(&self.shared.store)
+    }
+
+    /// The convolution backend jobs get unless they pick one at submit
+    /// time. The front end must seed job configs with this *before*
+    /// fingerprinting — a `SstaConfig` carries no "unset" marker, so the
+    /// service cannot apply it late without corrupting store keys.
+    pub fn default_backend(&self) -> statim_stats::ConvolveBackend {
+        self.shared.default_backend
     }
 
     /// Submits a job. A fingerprint already in the result store returns

@@ -236,25 +236,27 @@ fn respond(line: &str, greeted: &mut bool, service: &AnalysisService) -> (Respon
                 Vec::new(),
             )
         }
-        Request::Submit { source, options } => match build_spec(&source, &options) {
-            Ok(spec) => match service.submit(spec) {
-                Ok(receipt) => (
-                    Response::Submitted {
-                        id: receipt.id,
-                        from_store: receipt.from_store,
+        Request::Submit { source, options } => {
+            match build_spec(&source, &options, service.default_backend()) {
+                Ok(spec) => match service.submit(spec) {
+                    Ok(receipt) => (
+                        Response::Submitted {
+                            id: receipt.id,
+                            from_store: receipt.from_store,
+                        },
+                        Vec::new(),
+                    ),
+                    Err(e) => (error_reply(&e), Vec::new()),
+                },
+                Err(e) => (
+                    Response::Error {
+                        code: ErrorCode::from(e.class),
+                        message: e.to_string(),
                     },
                     Vec::new(),
                 ),
-                Err(e) => (error_reply(&e), Vec::new()),
-            },
-            Err(e) => (
-                Response::Error {
-                    code: ErrorCode::from(e.class),
-                    message: e.to_string(),
-                },
-                Vec::new(),
-            ),
-        },
+            }
+        }
         Request::Status { id } => match service.status(id) {
             Ok(s) => (
                 Response::Status {
@@ -333,9 +335,16 @@ fn render_stats(stats: &ServiceStats) -> Vec<String> {
 
 /// Builds the job spec a `SUBMIT` line describes: resolve the netlist
 /// source, the placement and the run options.
-fn build_spec(source: &str, options: &[(String, String)]) -> Result<JobSpec, StatimError> {
+fn build_spec(
+    source: &str,
+    options: &[(String, String)],
+    default_backend: statim_core::ConvolveBackend,
+) -> Result<JobSpec, StatimError> {
     let circuit = load_source(source)?;
     let mut config = SstaConfig::date05();
+    // Seeded before the option scan so an explicit `backend=` wins and
+    // the daemon-wide default still lands in the job fingerprint.
+    config.backend = default_backend;
     let mut placement_style = PlacementStyle::Levelized;
     let mut def_path: Option<&str> = None;
     for (key, value) in options {
@@ -357,6 +366,11 @@ fn build_spec(source: &str, options: &[(String, String)]) -> Result<JobSpec, Sta
                         ))
                     }
                 }
+            }
+            "backend" => {
+                config.backend = value
+                    .parse()
+                    .map_err(|e: String| StatimError::new(ErrorClass::Config, e))?;
             }
             "solver" => {
                 config.solver = match value.as_str() {
@@ -452,6 +466,9 @@ pub struct DaemonOptions {
     pub cache_capacity: Option<usize>,
     /// Default per-job wall budget (`--max-wall-secs`).
     pub max_wall_secs: Option<f64>,
+    /// Default convolution backend for jobs (`--backend`); `None` keeps
+    /// the service default (grid).
+    pub backend: Option<statim_core::ConvolveBackend>,
 }
 
 impl DaemonOptions {
@@ -466,6 +483,9 @@ impl DaemonOptions {
             max_wall_secs: self.max_wall_secs,
             ..RunBudget::none()
         };
+        if let Some(b) = self.backend {
+            config.default_backend = b;
+        }
         config
     }
 }

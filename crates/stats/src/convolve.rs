@@ -3,11 +3,70 @@
 //! The paper evaluates the total path delay as the **convolution** of the
 //! intra-die and inter-die delay PDFs, at a cost of `O(QUALITY²)` for
 //! QUALITY-point discretizations (their §3.2). This module implements that
-//! kernel for piecewise-constant densities on uniform grids.
+//! kernel for piecewise-constant densities on uniform grids, with a
+//! selectable [`ConvolveBackend`]: the direct grid accumulation (the
+//! bit-identical reference) or the `O(Q log Q)` spectral kernel of
+//! [`fft`](crate::fft), which lands on the same output grid and is
+//! validated against the grid backend to tolerance.
 
 use crate::grid::{steps_compatible, Grid};
 use crate::pdf::Pdf;
 use crate::{Result, StatsError};
+
+/// Which numerical kernel computes a convolution.
+///
+/// Both backends share the same contract — identical output grid,
+/// identical normalization — and differ only in arithmetic route:
+/// `Grid` accumulates cell products directly and is the bitwise-stable
+/// reference; `Fft` multiplies spectra in `O(n log n)` and agrees with
+/// `Grid` up to floating-point round-off (it is deterministic
+/// run-to-run, but not bit-identical to `Grid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConvolveBackend {
+    /// Direct `O(nₐ·n_b)` grid accumulation (the default).
+    #[default]
+    Grid,
+    /// Radix-2 real-FFT spectral convolution, `O(n log n)`.
+    Fft,
+}
+
+impl ConvolveBackend {
+    /// Stable numeric tag, folded into kernel-cache fingerprints so
+    /// grid- and FFT-computed kernels can never collide in a shared
+    /// store.
+    pub fn tag(self) -> u64 {
+        match self {
+            ConvolveBackend::Grid => 0,
+            ConvolveBackend::Fft => 1,
+        }
+    }
+
+    /// The lowercase name used by CLI flags and protocol options.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConvolveBackend::Grid => "grid",
+            ConvolveBackend::Fft => "fft",
+        }
+    }
+}
+
+impl std::fmt::Display for ConvolveBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ConvolveBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "grid" => Ok(ConvolveBackend::Grid),
+            "fft" => Ok(ConvolveBackend::Fft),
+            other => Err(format!("unknown backend `{other}` (grid or fft)")),
+        }
+    }
+}
 
 /// Density of `X + Y` for independent `X ~ a`, `Y ~ b`.
 ///
@@ -16,7 +75,8 @@ use crate::{Result, StatsError};
 /// span is the Minkowski sum of the input spans, with `nₐ + n_b − 1` cells,
 /// and is normalized.
 ///
-/// Complexity is `O(nₐ · n_b)`, the paper's `O(QUALITY²)`.
+/// Complexity is `O(nₐ · n_b)`, the paper's `O(QUALITY²)`. Equivalent to
+/// [`sum_pdf_with`] on [`ConvolveBackend::Grid`].
 ///
 /// # Errors
 ///
@@ -33,6 +93,22 @@ use crate::{Result, StatsError};
 /// assert!((tri.mode() - 1.0).abs() < 0.03);
 /// ```
 pub fn sum_pdf(a: &Pdf, b: &Pdf) -> Result<Pdf> {
+    sum_pdf_with(ConvolveBackend::Grid, a, b)
+}
+
+/// [`sum_pdf`] with an explicit [`ConvolveBackend`].
+///
+/// Both backends produce a density on the *same* output grid
+/// (`lo = loₐ + lo_b + step/2`, `nₐ + n_b − 1` cells) and normalize it;
+/// midpoint assignment keeps mean and variance exact either way. The
+/// FFT route clamps the (round-off-level) negative excursions spectral
+/// evaluation can produce back to zero before normalizing.
+///
+/// # Errors
+///
+/// Returns [`StatsError::StepMismatch`] when the grid steps differ —
+/// for every backend, checked before any kernel work.
+pub fn sum_pdf_with(backend: ConvolveBackend, a: &Pdf, b: &Pdf) -> Result<Pdf> {
     let (ga, gb) = (a.grid(), b.grid());
     if !steps_compatible(ga.step(), gb.step()) {
         return Err(StatsError::StepMismatch {
@@ -48,33 +124,74 @@ pub fn sum_pdf(a: &Pdf, b: &Pdf) -> Result<Pdf> {
     // assignment keeps mean and variance exact, matching what a
     // QUALITY-point numerical convolution does.
     let grid = Grid::new(ga.lo() + gb.lo() + 0.5 * step, step, n)?;
-    let mut density = vec![0.0f64; n];
     let da = a.density();
     let db = b.density();
-    for (i, &x) in da.iter().enumerate() {
-        if x == 0.0 {
-            continue;
+    let density = match backend {
+        ConvolveBackend::Grid => {
+            let mut density = vec![0.0f64; n];
+            for (i, &x) in da.iter().enumerate() {
+                if x == 0.0 {
+                    continue;
+                }
+                let xm = x * step;
+                for (j, &y) in db.iter().enumerate() {
+                    density[i + j] += xm * y;
+                }
+            }
+            density
         }
-        let xm = x * step;
-        for (j, &y) in db.iter().enumerate() {
-            density[i + j] += xm * y;
+        ConvolveBackend::Fft => {
+            let scaled: Vec<f64> = da.iter().map(|&x| x * step).collect();
+            let mut density = crate::fft::convolve_series(&scaled, db);
+            // Spectral round-off can push exact zeros a few ulps below
+            // zero; a density must be non-negative.
+            for d in &mut density {
+                if *d < 0.0 {
+                    *d = 0.0;
+                }
+            }
+            density
         }
-    }
+    };
     Pdf::new(grid, density)
 }
 
 /// Density of `X₁ + X₂ + …` for independent summands.
+///
+/// Operands are folded smallest-first (stable by input order among equal
+/// sizes): the accumulator grows by `nᵢ − 1` cells per convolution no
+/// matter the order, but step `i` costs `|acc|·nᵢ`, which ascending
+/// sizes minimize. Summation is commutative and associative, so the
+/// result is the same distribution regardless of order.
 ///
 /// # Errors
 ///
 /// Returns [`StatsError::ZeroMass`] for an empty slice and propagates step
 /// mismatches from [`sum_pdf`].
 pub fn sum_pdf_many(pdfs: &[Pdf]) -> Result<Pdf> {
-    let mut iter = pdfs.iter();
-    let first = iter.next().ok_or(StatsError::ZeroMass)?;
-    let mut acc = first.clone();
-    for p in iter {
-        acc = sum_pdf(&acc, p)?;
+    sum_pdf_many_with(ConvolveBackend::Grid, pdfs)
+}
+
+/// [`sum_pdf_many`] with an explicit [`ConvolveBackend`].
+///
+/// # Errors
+///
+/// As [`sum_pdf_many`].
+pub fn sum_pdf_many_with(backend: ConvolveBackend, pdfs: &[Pdf]) -> Result<Pdf> {
+    if pdfs.is_empty() {
+        return Err(StatsError::ZeroMass);
+    }
+    let mut order: Vec<&Pdf> = pdfs.iter().collect();
+    order.sort_by_key(|p| p.len());
+    let mut it = order.into_iter();
+    let first = it.next().expect("slice is non-empty");
+    let mut acc = match it.next() {
+        // A single summand is already its own sum.
+        None => return Ok(first.clone()),
+        Some(second) => sum_pdf_with(backend, first, second)?,
+    };
+    for p in it {
+        acc = sum_pdf_with(backend, &acc, p)?;
     }
     Ok(acc)
 }
@@ -94,6 +211,23 @@ pub fn sum_pdf_many(pdfs: &[Pdf]) -> Result<Pdf> {
 ///
 /// Propagates grid-construction failures.
 pub fn sum_pdf_resampled(a: &Pdf, b: &Pdf, quality: usize) -> Result<Pdf> {
+    sum_pdf_resampled_with(ConvolveBackend::Grid, a, b, quality)
+}
+
+/// [`sum_pdf_resampled`] with an explicit [`ConvolveBackend`]. The
+/// resampling policy (which operand moves onto which step, and the final
+/// trim to `quality` cells) is backend-independent; only the inner
+/// convolution kernel changes.
+///
+/// # Errors
+///
+/// Propagates grid-construction failures.
+pub fn sum_pdf_resampled_with(
+    backend: ConvolveBackend,
+    a: &Pdf,
+    b: &Pdf,
+    quality: usize,
+) -> Result<Pdf> {
     let (fine, coarse) = if a.grid().step() <= b.grid().step() {
         (a, b)
     } else {
@@ -110,7 +244,7 @@ pub fn sum_pdf_resampled(a: &Pdf, b: &Pdf, quality: usize) -> Result<Pdf> {
     let cells = ((span / base.grid().step()).ceil() as usize).max(1);
     let go = Grid::new(other.grid().lo(), base.grid().step(), cells)?;
     let o2 = other.resample(go);
-    let full = sum_pdf(base, &o2)?;
+    let full = sum_pdf_with(backend, base, &o2)?;
     full.with_quality(quality)
 }
 
@@ -121,12 +255,17 @@ mod tests {
 
     #[test]
     fn gaussian_sum_adds_moments() {
+        // σ·QUALITY matched: span 12σ over 200·σ cells gives both grids
+        // the step 0.06, so they convolve directly — no resampling. On
+        // matched steps the half-step output alignment makes the result
+        // exactly the distribution of the sum of the two discrete cell
+        // RVs, so both moments are additive to round-off.
         let a = gaussian_pdf(3.0, 1.0, 6.0, 200);
         let b = gaussian_pdf(5.0, 2.0, 6.0, 400);
-        // Equal steps by construction? No — make them equal.
-        let b = b.resample(*a.grid()).normalized().unwrap();
+        assert_eq!(a.grid().step().to_bits(), b.grid().step().to_bits());
         let s = sum_pdf(&a, &b).unwrap();
-        assert!((s.mean() - (3.0 + b.mean())).abs() < 1e-6);
+        assert!((s.mean() - (a.mean() + b.mean())).abs() < 1e-9);
+        assert!((s.variance() - (a.variance() + b.variance())).abs() < 1e-9);
     }
 
     #[test]
@@ -151,6 +290,49 @@ mod tests {
     }
 
     #[test]
+    fn step_mismatch_rejected_by_every_backend() {
+        // The compatibility gate runs before any kernel work, so both
+        // backends fail the same way with the same typed error.
+        let a = Pdf::new(Grid::new(0.0, 0.1, 10).unwrap(), vec![1.0; 10]).unwrap();
+        let b = Pdf::new(Grid::new(0.0, 0.2, 10).unwrap(), vec![1.0; 10]).unwrap();
+        for backend in [ConvolveBackend::Grid, ConvolveBackend::Fft] {
+            match sum_pdf_with(backend, &a, &b) {
+                Err(StatsError::StepMismatch { left, right }) => {
+                    assert_eq!(left, 0.1);
+                    assert_eq!(right, 0.2);
+                }
+                other => panic!("{backend}: expected StepMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fft_backend_matches_grid_backend() {
+        let a = gaussian_pdf(0.0, 10.0, 6.0, 173); // non-power-of-two sizes
+        let b = gaussian_pdf(250.0, 25.0, 6.0, 100).resample(*a.grid());
+        let g = sum_pdf_with(ConvolveBackend::Grid, &a, &b).unwrap();
+        let f = sum_pdf_with(ConvolveBackend::Fft, &a, &b).unwrap();
+        assert_eq!(g.grid(), f.grid());
+        let peak = g.density().iter().fold(0.0f64, |m, &v| m.max(v));
+        for (x, y) in g.density().iter().zip(f.density()) {
+            assert!((x - y).abs() < 1e-12 * peak, "{x} vs {y}");
+        }
+        assert!((g.mean() - f.mean()).abs() < 1e-9 * g.mean().abs().max(1.0));
+        assert!((g.variance() - f.variance()).abs() < 1e-9 * g.variance());
+    }
+
+    #[test]
+    fn fft_resampled_matches_grid_resampled() {
+        let intra = gaussian_pdf(0.0, 10.0, 6.0, 100);
+        let inter = gaussian_pdf(250.0, 25.0, 6.0, 50);
+        let g = sum_pdf_resampled_with(ConvolveBackend::Grid, &intra, &inter, 200).unwrap();
+        let f = sum_pdf_resampled_with(ConvolveBackend::Fft, &intra, &inter, 200).unwrap();
+        assert_eq!(g.grid(), f.grid());
+        assert!((g.mean() - f.mean()).abs() < 1e-9 * g.mean());
+        assert!((g.std_dev() - f.std_dev()).abs() < 1e-9 * g.std_dev());
+    }
+
+    #[test]
     fn many_sums_match_pairwise() {
         let g = Grid::over(0.0, 1.0, 20).unwrap();
         let u = Pdf::new(g, vec![1.0; 20]).unwrap();
@@ -159,6 +341,39 @@ mod tests {
         // Var(U) = 1/12 each.
         assert!((s3.variance() - 3.0 / 12.0).abs() < 1e-3);
         assert!(sum_pdf_many(&[]).is_err());
+    }
+
+    #[test]
+    fn sixteen_way_sum_matches_pairwise_fold() {
+        // Mixed sizes, so the size-ascending accumulation really
+        // reorders relative to the naive input-order fold — the moments
+        // must agree to round-off regardless.
+        let step = 0.05;
+        let pdfs: Vec<Pdf> = (0..16)
+            .map(|i| {
+                let n = 8 + 3 * (i % 5);
+                let g = Grid::new(-0.1 * i as f64, step, n).unwrap();
+                let d = (0..n).map(|j| 1.0 + ((i + j) % 4) as f64).collect();
+                Pdf::new(g, d).unwrap()
+            })
+            .collect();
+        let many = sum_pdf_many(&pdfs).unwrap();
+        let mut fold = pdfs[0].clone();
+        for p in &pdfs[1..] {
+            fold = sum_pdf(&fold, p).unwrap();
+        }
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-300);
+        assert!(rel(many.mean(), fold.mean()) < 1e-12);
+        assert!(rel(many.variance(), fold.variance()) < 1e-12);
+        assert_eq!(many.len(), fold.len());
+    }
+
+    #[test]
+    fn single_summand_is_returned_unchanged() {
+        let g = Grid::over(0.0, 1.0, 12).unwrap();
+        let u = Pdf::new(g, vec![1.0; 12]).unwrap();
+        let s = sum_pdf_many(std::slice::from_ref(&u)).unwrap();
+        assert_eq!(s, u);
     }
 
     #[test]
@@ -171,5 +386,16 @@ mod tests {
         let sigma = (10.0f64 * 10.0 + 25.0 * 25.0).sqrt();
         assert!((total.std_dev() - sigma).abs() < 0.5);
         assert_eq!(total.len(), 200);
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        assert_eq!("grid".parse::<ConvolveBackend>(), Ok(ConvolveBackend::Grid));
+        assert_eq!("fft".parse::<ConvolveBackend>(), Ok(ConvolveBackend::Fft));
+        assert_eq!(ConvolveBackend::Grid.to_string(), "grid");
+        assert_eq!(ConvolveBackend::Fft.to_string(), "fft");
+        assert_ne!(ConvolveBackend::Grid.tag(), ConvolveBackend::Fft.tag());
+        assert!("spectral".parse::<ConvolveBackend>().is_err());
+        assert_eq!(ConvolveBackend::default(), ConvolveBackend::Grid);
     }
 }

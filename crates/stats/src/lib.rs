@@ -15,7 +15,11 @@
 //!   (the paper truncates every input PDF at ±6σ);
 //! * [`marginal`] — input distribution families (Gaussian, uniform,
 //!   triangular) with matched mean and σ;
-//! * [`convolve`] — the density of a **sum** of independent variables;
+//! * [`convolve`] — the density of a **sum** of independent variables,
+//!   with a selectable backend ([`ConvolveBackend`]): direct grid
+//!   accumulation or the spectral kernel;
+//! * [`fft`] — the in-crate radix-2 FFT powering
+//!   [`ConvolveBackend::Fft`];
 //! * [`combine`] — the density of an arbitrary function of one, two or
 //!   three independent variables by exhaustive grid enumeration (used for
 //!   the non-linear inter-die delay), plus the independent-**max** kernel;
@@ -42,6 +46,7 @@
 pub mod combine;
 pub mod convolve;
 pub mod error;
+pub mod fft;
 pub mod gaussian;
 pub mod grid;
 pub mod marginal;
@@ -49,6 +54,7 @@ pub mod pdf;
 pub mod sample;
 pub mod tabulate;
 
+pub use convolve::ConvolveBackend;
 pub use error::StatsError;
 pub use grid::Grid;
 pub use marginal::Marginal;

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use statim_stats::combine::{map1, map2};
-use statim_stats::convolve::{sum_pdf, sum_pdf_resampled};
+use statim_stats::convolve::{sum_pdf, sum_pdf_resampled, sum_pdf_with, ConvolveBackend};
 use statim_stats::gaussian::{big_phi, erf, gaussian_pdf, inv_phi, try_gaussian_pdf, Gaussian};
 use statim_stats::sample::PdfSampler;
 use statim_stats::{Grid, Pdf};
@@ -241,5 +241,67 @@ proptest! {
         let x = pdf.grid().lo() + t * (pdf.grid().hi() - pdf.grid().lo());
         prop_assert!(pdf.cdf(x).is_finite());
         prop_assert!(pdf.quantile(p).unwrap().is_finite());
+    }
+
+    #[test]
+    fn fft_backend_matches_grid_pointwise(a in arb_pdf(), b in arb_pdf()) {
+        // The spectral path must reproduce the direct cell-pair sum to
+        // round-off on *arbitrary* operands, not just smooth ones.
+        let cells = ((b.grid().hi() - b.grid().lo()) / a.grid().step()).ceil() as usize;
+        let gb = Grid::new(b.grid().lo(), a.grid().step(), cells.max(1)).unwrap();
+        let b = b.resample(gb).normalized().unwrap();
+        let grid = sum_pdf_with(ConvolveBackend::Grid, &a, &b).unwrap();
+        let fft = sum_pdf_with(ConvolveBackend::Fft, &a, &b).unwrap();
+        prop_assert_eq!(grid.grid(), fft.grid());
+        let peak = grid.density().iter().cloned().fold(0.0f64, f64::max);
+        for (x, y) in grid.density().iter().zip(fft.density()) {
+            prop_assert!((x - y).abs() <= 1e-10 * peak, "{x} vs {y} (peak {peak})");
+        }
+    }
+
+    #[test]
+    fn fft_impulse_is_an_identity_shift(pdf in arb_pdf(), offset in -50.0..50.0f64) {
+        // Convolving with a single-cell operand must reproduce the other
+        // operand's shape exactly, shifted by the impulse position.
+        let impulse = Pdf::new(
+            Grid::new(offset, pdf.grid().step(), 1).unwrap(),
+            vec![1.0],
+        ).unwrap();
+        let out = sum_pdf_with(ConvolveBackend::Fft, &pdf, &impulse).unwrap();
+        prop_assert_eq!(out.grid().len(), pdf.grid().len());
+        let peak = pdf.density().iter().cloned().fold(0.0f64, f64::max);
+        for (x, y) in pdf.density().iter().zip(out.density()) {
+            prop_assert!((x - y).abs() <= 1e-10 * peak);
+        }
+        let shift = impulse.mean();
+        prop_assert!((out.mean() - (pdf.mean() + shift)).abs() < 1e-9 * (1.0 + pdf.mean().abs() + shift.abs()));
+    }
+
+    #[test]
+    fn fft_backend_preserves_mass_and_adds_moments(a in arb_pdf(), b in arb_pdf()) {
+        let cells = ((b.grid().hi() - b.grid().lo()) / a.grid().step()).ceil() as usize;
+        let gb = Grid::new(b.grid().lo(), a.grid().step(), cells.max(1)).unwrap();
+        let b = b.resample(gb).normalized().unwrap();
+        let c = sum_pdf_with(ConvolveBackend::Fft, &a, &b).unwrap();
+        prop_assert!((c.mass() - 1.0).abs() < 1e-9);
+        let mean_scale = 1.0 + a.mean().abs() + b.mean().abs();
+        prop_assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-9 * mean_scale);
+        let var_scale = 1.0 + a.variance() + b.variance();
+        prop_assert!((c.variance() - (a.variance() + b.variance())).abs() < 1e-8 * var_scale);
+    }
+
+    #[test]
+    fn fft_padding_round_trips_at_any_length(pdf in arb_pdf()) {
+        // Output lengths here are n (impulse case) — rarely a power of
+        // two — so the internal pad-to-2^k and truncate must be lossless.
+        let impulse = Pdf::new(
+            Grid::new(0.0, pdf.grid().step(), 1).unwrap(),
+            vec![1.0],
+        ).unwrap();
+        let out = sum_pdf_with(ConvolveBackend::Fft, &impulse, &pdf).unwrap();
+        prop_assert_eq!(out.grid().len(), pdf.grid().len());
+        for (x, y) in pdf.density().iter().zip(out.density()) {
+            prop_assert!((x - y).abs() <= 1e-12 * (1.0 + x.abs()));
+        }
     }
 }

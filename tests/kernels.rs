@@ -1,0 +1,157 @@
+//! Cross-backend accuracy suite: the FFT convolution backend against
+//! the exact grid backend, end-to-end through the engine.
+//!
+//! The contract under test: `--backend fft` is a *numerical* fast path.
+//! It is validated to tolerance against the grid backend (per-path
+//! moments and quantiles within 1e-9 relative), against closed-form
+//! moment addition, and against the exact Monte-Carlo model — while
+//! remaining run-to-run and thread-count deterministic on its own.
+
+use statim::core::analyze::{analyze_path, AnalysisSettings};
+use statim::core::characterize::characterize_placed;
+use statim::core::engine::{SstaConfig, SstaEngine, SstaReport};
+use statim::core::longest_path::{critical_path, topo_labels};
+use statim::core::monte_carlo::mc_path_distribution;
+use statim::core::report::deterministic_report;
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+use statim::process::Technology;
+use statim::stats::ConvolveBackend;
+
+/// The benchmarks the suite sweeps (the smallest built-ins).
+const BENCHES: &[Benchmark] = &[Benchmark::C432, Benchmark::C499, Benchmark::C880];
+
+fn run(bench: Benchmark, backend: ConvolveBackend, threads: Option<usize>) -> SstaReport {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let mut config = SstaConfig::date05().with_backend(backend);
+    config.threads = threads;
+    SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("engine run")
+}
+
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(f64::MIN_POSITIVE)
+}
+
+#[test]
+fn backends_agree_per_path_to_1e9() {
+    for &bench in BENCHES {
+        let grid = run(bench, ConvolveBackend::Grid, None);
+        let fft = run(bench, ConvolveBackend::Fft, None);
+        assert_eq!(grid.num_paths, fft.num_paths, "{bench:?}");
+        // Match paths by their gate sequence: a 1e-9 agreement means the
+        // ranking cannot differ, but the pairing must not assume it.
+        let by_gates: std::collections::HashMap<_, _> = fft
+            .paths
+            .iter()
+            .map(|p| (p.analysis.gates.clone(), &p.analysis))
+            .collect();
+        for p in &grid.paths {
+            let g = &p.analysis;
+            let f = by_gates[&g.gates];
+            assert!(rel(g.mean, f.mean) < 1e-9, "{bench:?} mean");
+            assert!(rel(g.sigma, f.sigma) < 1e-9, "{bench:?} sigma");
+            assert!(
+                rel(g.confidence_point, f.confidence_point) < 1e-9,
+                "{bench:?} confidence point"
+            );
+            for p in [0.001, 0.5, 0.999] {
+                let qg = g.total_pdf.quantile(p).expect("quantile");
+                let qf = f.total_pdf.quantile(p).expect("quantile");
+                assert!(rel(qg, qf) < 1e-9, "{bench:?} quantile({p}): {qg} vs {qf}");
+            }
+        }
+    }
+}
+
+#[test]
+fn both_backends_match_closed_form_moment_addition() {
+    // total = intra ⊛ inter, so the closed-form Gaussian ⊕ Gaussian
+    // rules apply to the moments. The convolution itself adds means
+    // exactly; the final resample onto the output grid leaks ~1e-6
+    // relative (measured ~6e-7 on c432), so the gate sits at 1e-5.
+    // Variances add up to the quantization leakage of the resample.
+    for backend in [ConvolveBackend::Grid, ConvolveBackend::Fft] {
+        let report = run(Benchmark::C432, backend, None);
+        for p in &report.paths {
+            let a = &p.analysis;
+            let mean_sum = a.intra_pdf.mean() + a.inter_pdf.mean();
+            assert!(
+                (a.total_pdf.mean() - mean_sum).abs() < 1e-5 * a.mean.abs(),
+                "{backend}: mean not additive"
+            );
+            let var_sum = a.intra_sigma.powi(2) + a.inter_sigma.powi(2);
+            assert!(
+                rel(a.sigma.powi(2), var_sum) < 0.05,
+                "{backend}: sigma² {} vs intra²+inter² {}",
+                a.sigma.powi(2),
+                var_sum
+            );
+        }
+    }
+}
+
+#[test]
+fn fft_backend_matches_monte_carlo_on_c499() {
+    // The accuracy.rs Monte-Carlo cross-check, re-run with the spectral
+    // kernel: the exact non-linear MC model neither knows nor cares how
+    // the analytic convolution was computed.
+    let circuit = iscas85::generate(Benchmark::C499);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let tech = Technology::cmos130();
+    let timing = characterize_placed(&circuit, &tech, &placement).expect("characterize");
+    let labels = topo_labels(&circuit, &timing).expect("labels");
+    let path = critical_path(&circuit, &timing, &labels).expect("critical path");
+    let mut settings = AnalysisSettings::date05();
+    settings.backend = ConvolveBackend::Fft;
+    let analytic = analyze_path(&path, &timing, &placement, &tech, &settings).expect("analyze");
+    let mc = mc_path_distribution(
+        &path,
+        &timing,
+        &placement,
+        &tech,
+        &settings.vars,
+        &settings.layers,
+        15_000,
+        100,
+        99,
+    )
+    .expect("mc");
+    assert!(rel(analytic.mean, mc.mean) < 0.01);
+    assert!(rel(analytic.sigma, mc.sigma) < 0.08);
+    assert!(rel(analytic.confidence_point, mc.sigma_point(3.0)) < 0.02);
+    let ks = analytic.total_pdf.ks_distance(&mc.pdf);
+    assert!(ks < 0.05, "KS distance {ks}");
+}
+
+#[test]
+fn fft_reports_are_run_to_run_deterministic() {
+    // Tolerance-validated does not mean noisy: the FFT backend is a
+    // pure function with a fixed evaluation order, so two runs must be
+    // bytewise equal, down to the confidence-point bit pattern.
+    let first = run(Benchmark::C432, ConvolveBackend::Fft, None);
+    let second = run(Benchmark::C432, ConvolveBackend::Fft, None);
+    assert_eq!(
+        deterministic_report(&first, 10),
+        deterministic_report(&second, 10)
+    );
+    for (a, b) in first.paths.iter().zip(&second.paths) {
+        assert_eq!(
+            a.analysis.confidence_point.to_bits(),
+            b.analysis.confidence_point.to_bits()
+        );
+    }
+}
+
+#[test]
+fn both_backends_are_thread_count_invariant() {
+    for backend in [ConvolveBackend::Grid, ConvolveBackend::Fft] {
+        let reference = deterministic_report(&run(Benchmark::C432, backend, Some(1)), 10);
+        for threads in [2usize, 4] {
+            let got = deterministic_report(&run(Benchmark::C432, backend, Some(threads)), 10);
+            assert_eq!(got, reference, "{backend} at {threads} threads");
+        }
+    }
+}

@@ -122,6 +122,81 @@ fn duplicate_submission_is_served_from_the_result_store() {
 }
 
 #[test]
+fn backend_option_selects_kernel_and_keys_the_store() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // backend=grid is the default spelled out: same fingerprint, store hit.
+    let (grid, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    client.wait(grid, WAIT).expect("wait");
+    let grid_bytes = client.result(grid, None).expect("result");
+    let (explicit, from_store) = client
+        .submit("@c432", &opts(&[("backend", "grid")]))
+        .expect("submit backend=grid");
+    assert!(from_store, "backend=grid must fingerprint like the default");
+    assert_eq!(client.result(explicit, None).expect("result"), grid_bytes);
+
+    // backend=fft is a different kernel: distinct fingerprint, own run.
+    let (fft, from_store) = client
+        .submit("@c432", &opts(&[("backend", "fft")]))
+        .expect("submit backend=fft");
+    assert!(!from_store, "fft must not reuse grid results");
+    client.wait(fft, WAIT).expect("wait");
+
+    // Junk gets a typed CONFIG error, and the connection survives.
+    let err = client
+        .submit("@c432", &opts(&[("backend", "warp")]))
+        .expect_err("unknown backend");
+    match err {
+        ClientError::Server { code, message } => {
+            assert_eq!(code, ErrorCode::Config);
+            assert!(message.contains("warp"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = client.stats().expect("stats after rejected submit");
+    assert!(stats.contains("store-hits: 1"), "stats:\n{stats}");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn daemon_default_backend_applies_to_bare_submissions() {
+    let config = ServiceConfig {
+        default_backend: statim::stats::ConvolveBackend::Fft,
+        ..ServiceConfig::default()
+    };
+    let handle = spawn_daemon(config);
+    let mut client = connect(&handle);
+
+    // A bare submit runs under the daemon default (fft)…
+    let (bare, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    client.wait(bare, WAIT).expect("wait");
+    // …so an explicit backend=fft resubmission is the same job.
+    let (explicit, from_store) = client
+        .submit("@c432", &opts(&[("backend", "fft")]))
+        .expect("submit backend=fft");
+    assert!(
+        from_store,
+        "daemon default must land in the job fingerprint"
+    );
+    assert_eq!(
+        client.result(explicit, None).expect("result"),
+        client.result(bare, None).expect("result")
+    );
+    // …and backend=grid is a different job.
+    let (grid, from_store) = client
+        .submit("@c432", &opts(&[("backend", "grid")]))
+        .expect("submit backend=grid");
+    assert!(!from_store, "grid must not reuse the fft default's result");
+    client.wait(grid, WAIT).expect("wait");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
 fn full_queue_rejects_with_busy() {
     // A zero-capacity queue turns admission control all the way up:
     // every submission bounces with BUSY and the daemon stays healthy.
