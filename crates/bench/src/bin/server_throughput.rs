@@ -1,19 +1,27 @@
 //! **Serving-mode throughput study** — what does the resident daemon
 //! buy over one-shot runs?
 //!
-//! Drives a real `statim serve` daemon (ephemeral port, in-process)
-//! through the blocking client with three passes over the same job mix:
+//! Drives a real `statim serve` daemon (ephemeral port, in-process,
+//! persistent result store in a temp directory) through the blocking
+//! client with five passes over the same job mix:
 //!
 //! 1. **cold** — distinct jobs against an empty kernel store;
 //! 2. **warm-kernel** — the same circuits at shifted confidences, so
 //!    every job re-runs but shares the process-wide kernel cache the
 //!    cold pass populated;
 //! 3. **store-hit** — exact resubmissions of pass 1, answered from the
-//!    fingerprint-keyed result store without touching the engine.
+//!    fingerprint-keyed result store without touching the engine;
+//! 4. **concurrent** — several client threads pipelining the store-hit
+//!    mix at once (`submit_batch`), exercising the multiplexed
+//!    connection pool rather than the engine;
+//! 5. **restart-hit** — the daemon is stopped, a fresh one is started
+//!    over the same store directory, and the mix is resubmitted: every
+//!    job is answered from disk.
 //!
 //! Reports per-pass wall time, jobs/second and the daemon's own
 //! counters, and asserts the serving-mode determinism contract: the
-//! store-hit pass returns byte-identical reports to the cold pass.
+//! store-hit, concurrent and restart-hit passes all return
+//! byte-identical reports to the cold pass.
 //!
 //! Results overwrite `BENCH_server.json` at the repo root (hand-rendered
 //! JSON, no serde).
@@ -34,6 +42,9 @@ use std::time::{Duration, Instant};
 const QUALITY: &[(&str, &str)] = &[("quality-intra", "60"), ("quality-inter", "30")];
 
 const WAIT: Duration = Duration::from_secs(600);
+
+/// Client threads in the concurrent pass.
+const CONCURRENT_CLIENTS: usize = 4;
 
 fn repeats_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -58,9 +69,19 @@ fn mix(repeats: usize, confidence_shift: f64) -> Vec<(String, f64)> {
     jobs
 }
 
+fn options_for(confidence: f64) -> Vec<(String, String)> {
+    let mut options: Vec<(String, String)> = QUALITY
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    options.push(("confidence".to_string(), format!("{confidence}")));
+    options
+}
+
 struct Pass {
     name: &'static str,
     jobs: usize,
+    clients: usize,
     wall: f64,
     store_hits_delta: u64,
     reports: Vec<String>,
@@ -75,12 +96,9 @@ fn run_pass(
     let start = Instant::now();
     let mut ids = Vec::new();
     for (source, confidence) in jobs {
-        let mut options: Vec<(String, String)> = QUALITY
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
-        options.push(("confidence".to_string(), format!("{confidence}")));
-        let (id, _) = client.submit(source, &options).expect("submit");
+        let (id, _) = client
+            .submit(source, &options_for(*confidence))
+            .expect("submit");
         ids.push(id);
     }
     let mut reports = Vec::new();
@@ -92,8 +110,62 @@ fn run_pass(
     Pass {
         name,
         jobs: jobs.len(),
+        clients: 1,
         wall: start.elapsed().as_secs_f64(),
         store_hits_delta: store_hits(client) - hits_before,
+        reports,
+    }
+}
+
+/// The concurrent pass: `CONCURRENT_CLIENTS` threads, each with its own
+/// connection, pipelining the whole mix in one `submit_batch` burst and
+/// then collecting results. Returns one thread's reports (all threads
+/// assert equality against the expected bytes themselves).
+fn run_concurrent(
+    addr: &str,
+    jobs: &[(String, f64)],
+    expected: &[String],
+    hits_before: u64,
+    monitor: &mut Client,
+) -> Pass {
+    let start = Instant::now();
+    let threads: Vec<_> = (0..CONCURRENT_CLIENTS)
+        .map(|_| {
+            let addr = addr.to_string();
+            let jobs = jobs.to_vec();
+            let expected = expected.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let batch: Vec<(String, Vec<(String, String)>)> = jobs
+                    .iter()
+                    .map(|(s, c)| (s.clone(), options_for(*c)))
+                    .collect();
+                let receipts = client.submit_batch(&batch).expect("batch");
+                let mut reports = Vec::new();
+                for receipt in receipts {
+                    let (id, _) = receipt.expect("batch submit");
+                    let state = client.wait(id, WAIT).expect("wait");
+                    assert_eq!(state, "done");
+                    reports.push(client.result(id, Some(5)).expect("result"));
+                }
+                assert_eq!(
+                    reports, expected,
+                    "concurrent clients must see the cold pass's bytes"
+                );
+                reports
+            })
+        })
+        .collect();
+    let mut reports = Vec::new();
+    for t in threads {
+        reports = t.join().expect("client thread");
+    }
+    Pass {
+        name: "concurrent",
+        jobs: jobs.len() * CONCURRENT_CLIENTS,
+        clients: CONCURRENT_CLIENTS,
+        wall: start.elapsed().as_secs_f64(),
+        store_hits_delta: store_hits(monitor) - hits_before,
         reports,
     }
 }
@@ -110,8 +182,16 @@ fn store_hits(client: &mut Client) -> u64 {
 
 fn main() {
     let repeats = repeats_from_args();
-    let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).expect("bind");
-    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let store_dir = std::env::temp_dir().join(format!("statim-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let config = || ServiceConfig {
+        store_dir: Some(store_dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let handle = daemon::spawn("127.0.0.1:0", config()).expect("bind");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
 
     let cold_jobs = mix(repeats, 0.0);
     let warm_jobs = mix(repeats, 0.001);
@@ -123,8 +203,9 @@ fn main() {
         &warm_jobs,
         cold.store_hits_delta,
     );
-    let hits_so_far = cold.store_hits_delta + warm.store_hits_delta;
+    let mut hits_so_far = cold.store_hits_delta + warm.store_hits_delta;
     let stored = run_pass(&mut client, "store-hit", &cold_jobs, hits_so_far);
+    hits_so_far += stored.store_hits_delta;
 
     // The contract the daemon sells: a store-served report is the very
     // bytes the cold run produced.
@@ -133,13 +214,33 @@ fn main() {
         assert_eq!(a, b, "store-served report must be byte-identical");
     }
 
+    let concurrent = run_concurrent(&addr, &cold_jobs, &cold.reports, hits_so_far, &mut client);
+    assert_eq!(
+        concurrent.store_hits_delta as usize, concurrent.jobs,
+        "every concurrent job must be a store hit"
+    );
+
+    // Stop the daemon and start a fresh one over the same store
+    // directory: the restart-hit pass measures replay-from-disk serving.
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let handle = daemon::spawn("127.0.0.1:0", config()).expect("rebind");
+    let mut client = Client::connect(&handle.addr().to_string()).expect("reconnect");
+    let restart = run_pass(&mut client, "restart-hit", &cold_jobs, 0);
+    assert_eq!(restart.store_hits_delta as usize, restart.reports.len());
+    for (a, b) in cold.reports.iter().zip(&restart.reports) {
+        assert_eq!(a, b, "restarted daemon must serve the cold pass's bytes");
+    }
+
     let final_stats = client.stats().expect("final stats");
     client.shutdown().expect("shutdown");
     handle.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
 
-    let passes = [&cold, &warm, &stored];
+    let passes = [&cold, &warm, &stored, &concurrent, &restart];
     let header = [
         "pass",
+        "clients",
         "jobs",
         "wall (s)",
         "jobs/s",
@@ -150,9 +251,11 @@ fn main() {
     let mut series = String::new();
     for p in passes {
         let jps = p.jobs as f64 / p.wall;
-        let speedup = cold.wall / p.wall;
+        let cold_jps = cold.jobs as f64 / cold.wall;
+        let speedup = jps / cold_jps;
         rows.push(vec![
             p.name.to_string(),
+            p.clients.to_string(),
             p.jobs.to_string(),
             format!("{:.4}", p.wall),
             format!("{jps:.2}"),
@@ -164,15 +267,15 @@ fn main() {
         }
         let _ = write!(
             series,
-            "    {{\"pass\": \"{}\", \"jobs\": {}, \"wall_secs\": {:.6}, \
+            "    {{\"pass\": \"{}\", \"clients\": {}, \"jobs\": {}, \"wall_secs\": {:.6}, \
              \"jobs_per_sec\": {jps:.3}, \"speedup_vs_cold\": {speedup:.3}, \
              \"store_hits\": {}}}",
-            p.name, p.jobs, p.wall, p.store_hits_delta
+            p.name, p.clients, p.jobs, p.wall, p.store_hits_delta
         );
     }
 
     println!(
-        "== Serving-mode throughput ({} jobs per pass) ==",
+        "== Serving-mode throughput ({} jobs in the base mix) ==",
         cold.jobs
     );
     println!("{}", format_table(&header, &rows));
@@ -180,7 +283,8 @@ fn main() {
 
     let json = format!(
         "{{\n  \"experiment\": \"server-throughput\",\n  \"job_mix\": \"c432+c499\",\n  \
-         \"jobs_per_pass\": {},\n  \"passes\": [\n{series}\n  ]\n}}\n",
+         \"jobs_per_pass\": {},\n  \"concurrent_clients\": {CONCURRENT_CLIENTS},\n  \
+         \"passes\": [\n{series}\n  ]\n}}\n",
         cold.jobs
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

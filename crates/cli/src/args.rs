@@ -74,6 +74,13 @@ SERVE OPTIONS:
     --backend <name>      default convolution backend for submitted jobs,
                           grid or fft (jobs may override with
                           backend=<name> at submit time) [default: grid]
+    --store-dir <dir>     persist clean results to an on-disk log in
+                          <dir>; a restarted daemon serves them again
+                          byte-identically, and daemons may share a dir
+    --max-conns <n>       connection registry bound; connections beyond
+                          it are refused [default: 256]
+    --conn-threads <n>    polling workers multiplexing the connections
+                          [default: 4]
 
 CLIENT COMMANDS (all take --addr <host:port> [default: 127.0.0.1:7411]):
     submit <source> [key=value ...] [--wait]
@@ -81,8 +88,8 @@ CLIENT COMMANDS (all take --addr <host:port> [default: 127.0.0.1:7411]):
                           daemon host or @name for a built-in benchmark;
                           options mirror SUBMIT (confidence=0.1
                           threads=4 solver=topological ...); --wait
-                          polls until the job finishes and prints the
-                          report
+                          blocks until the job finishes (server-side
+                          WAIT) and prints the report
     status <job-id>       poll one job's state
     result <job-id> [--top <n>]
                           fetch a finished job's report
@@ -155,6 +162,12 @@ pub struct ServeArgs {
     pub max_wall_secs: Option<f64>,
     /// Default convolution backend for submitted jobs (None = grid).
     pub backend: Option<String>,
+    /// Persistent result-store directory (None = in-memory only).
+    pub store_dir: Option<String>,
+    /// Connection registry bound (None = daemon default).
+    pub max_conns: Option<usize>,
+    /// Polling connection workers (None = daemon default).
+    pub conn_threads: Option<usize>,
 }
 
 impl Default for ServeArgs {
@@ -165,6 +178,9 @@ impl Default for ServeArgs {
             cache_capacity: None,
             max_wall_secs: None,
             backend: None,
+            store_dir: None,
+            max_conns: None,
+            conn_threads: None,
         }
     }
 }
@@ -419,6 +435,11 @@ fn parse_serve(rest: &[String]) -> Result<Command, String> {
                 args.max_wall_secs = Some(parse_num(tok, value(tok, &mut it)?)?);
             }
             "--backend" => args.backend = Some(value(tok, &mut it)?.clone()),
+            "--store-dir" => args.store_dir = Some(value(tok, &mut it)?.clone()),
+            "--max-conns" => args.max_conns = Some(parse_num(tok, value(tok, &mut it)?)?),
+            "--conn-threads" => {
+                args.conn_threads = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
             other => return Err(format!("unknown serve argument `{other}`")),
         }
     }
@@ -770,6 +791,12 @@ mod tests {
             "2.5",
             "--backend",
             "fft",
+            "--store-dir",
+            "/tmp/statim-store",
+            "--max-conns",
+            "64",
+            "--conn-threads",
+            "2",
         ]))
         .unwrap()
         {
@@ -779,11 +806,16 @@ mod tests {
                 assert_eq!(s.cache_capacity, Some(128));
                 assert_eq!(s.max_wall_secs, Some(2.5));
                 assert_eq!(s.backend.as_deref(), Some("fft"));
+                assert_eq!(s.store_dir.as_deref(), Some("/tmp/statim-store"));
+                assert_eq!(s.max_conns, Some(64));
+                assert_eq!(s.conn_threads, Some(2));
             }
             other => panic!("{other:?}"),
         }
         assert!(parse(&v(&["serve", "positional"])).is_err());
         assert!(parse(&v(&["serve", "--max-queue", "x"])).is_err());
+        assert!(parse(&v(&["serve", "--store-dir"])).is_err());
+        assert!(parse(&v(&["serve", "--conn-threads", "two"])).is_err());
     }
 
     #[test]

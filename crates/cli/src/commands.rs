@@ -346,18 +346,24 @@ fn monte_carlo(a: AnalyzeArgs, samples: usize) -> DynResult {
 fn serve(s: ServeArgs) -> DynResult {
     use statim_server::daemon::{self, DaemonOptions};
     let backend = s.backend.as_deref().map(parse_backend).transpose()?;
-    let config = DaemonOptions {
+    let (config, tuning) = DaemonOptions {
         max_queue: s.max_queue,
         cache_capacity: s.cache_capacity,
         max_wall_secs: s.max_wall_secs,
         backend,
+        store_dir: s.store_dir.map(std::path::PathBuf::from),
+        max_conns: s.max_conns,
+        conn_threads: s.conn_threads,
     }
-    .into_service_config();
+    .into_configs();
     let max_queue = config.max_queue;
-    let handle =
-        daemon::spawn(&s.addr, config).map_err(|e| StatimError::from(e).with_file(&s.addr))?;
+    let store_note = match &config.store_dir {
+        Some(dir) => format!(", store {}", dir.display()),
+        None => String::new(),
+    };
+    let handle = daemon::spawn_tuned(&s.addr, config, tuning)?;
     println!(
-        "statim daemon listening on {} (queue bound {max_queue})",
+        "statim daemon listening on {} (queue bound {max_queue}{store_note})",
         handle.addr()
     );
     handle.join();
@@ -380,6 +386,7 @@ fn client_error(e: statim_server::ClientError) -> StatimError {
                 ErrorClass::Resource
             }
         },
+        ClientError::Timeout { .. } => ErrorClass::Resource,
     };
     StatimError::new(class, e.to_string())
 }

@@ -28,8 +28,9 @@
 //! per-gate variance decomposition), [`timing_yield`] (yield curves and
 //! clock constraints), [`cache`] (bit-identical memoization of the
 //! per-path kernels), [`supervise`] (panic isolation, deterministic
-//! retry, run budgets and Monte-Carlo checkpoint/resume) and [`report`]
-//! (text/CSV rendering).
+//! retry, run budgets and Monte-Carlo checkpoint/resume), [`store`]
+//! (the persistent on-disk result store behind [`service`]) and
+//! [`report`] (text/CSV rendering).
 //!
 //! # Example
 //!
@@ -70,6 +71,7 @@ pub mod rank;
 pub mod report;
 pub mod service;
 pub mod slack;
+pub mod store;
 pub mod supervise;
 pub mod timing_yield;
 pub mod worst_case;
@@ -86,6 +88,7 @@ pub use service::{
     ServiceError, ServiceStats, SubmitReceipt,
 };
 pub use statim_stats::ConvolveBackend;
+pub use store::{ResultLog, StoredPath, StoredReport};
 pub use supervise::{
     BudgetKind, CancelToken, ItemOutcome, McCheckpoint, McCheckpointer, RunBudget, Supervisor,
 };

@@ -49,11 +49,13 @@
 use crate::cache::{fnv1a, fold_f64, fold_u64, settings_fingerprint, CacheStats, KernelStore};
 use crate::engine::{LabelSolver, RunContext, SstaConfig, SstaEngine, SstaReport};
 use crate::error::{ErrorClass, StatimError};
+use crate::store::{ResultLog, StoredReport};
 use crate::supervise::{isolate, BudgetKind, RunBudget, Supervisor};
 use crate::CoreError;
 use statim_netlist::{bench_format, def_lite, Circuit, Placement};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
@@ -183,6 +185,12 @@ pub struct ServiceConfig {
     /// Convolution backend applied to jobs that did not pick one at
     /// submit time (`backend=` overrides per job).
     pub default_backend: statim_stats::ConvolveBackend,
+    /// Directory for the persistent result store ([`ResultLog`]). `None`
+    /// keeps results in memory only; with a directory, clean reports are
+    /// appended to the on-disk log as they complete and replayed into
+    /// the result store on the next start, so a restarted service serves
+    /// them byte-identically. Two services may share one directory.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -192,6 +200,7 @@ impl Default for ServiceConfig {
             default_budget: RunBudget::none(),
             cache_capacity: None,
             default_backend: statim_stats::ConvolveBackend::Grid,
+            store_dir: None,
         }
     }
 }
@@ -315,6 +324,11 @@ pub struct ServiceStats {
     pub running: usize,
     /// Distinct reports held by the result store.
     pub store_entries: usize,
+    /// Reports replayed from the persistent store log at start.
+    pub store_loaded: usize,
+    /// Failed persistent-store appends (the in-memory result is still
+    /// served; only durability is lost).
+    pub store_write_errors: u64,
     /// Kernel-store counters (process lifetime).
     pub cache: CacheStats,
 }
@@ -350,6 +364,9 @@ struct Shared {
     max_queue: usize,
     default_budget: RunBudget,
     default_backend: statim_stats::ConvolveBackend,
+    /// The persistent result log, when configured. Its own mutex — disk
+    /// appends must never serialize against the job-table lock.
+    persist: Option<Mutex<ResultLog>>,
 }
 
 impl Shared {
@@ -371,25 +388,52 @@ pub struct AnalysisService {
 }
 
 impl AnalysisService {
-    /// Starts the service (spawns the executor thread).
-    pub fn start(config: ServiceConfig) -> Self {
+    /// Starts the service (spawns the executor thread). With a
+    /// [`ServiceConfig::store_dir`], the persistent result log is opened
+    /// first and every stored report replayed into the result store —
+    /// re-submissions of pre-restart jobs are answered `from_store`,
+    /// byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// A `Resource`-class error if the store directory cannot be
+    /// created/read, a `Parse`-class error (with file and line) if the
+    /// log or index is corrupt or truncated.
+    pub fn start(config: ServiceConfig) -> std::result::Result<Self, StatimError> {
+        let mut state = State::default();
+        let persist = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let (log, records) = ResultLog::open(dir)?;
+                state.stats.store_loaded = records.len();
+                for (fingerprint, stored) in records {
+                    state
+                        .results
+                        .insert(fingerprint, Arc::new(stored.into_report()));
+                }
+                Some(Mutex::new(log))
+            }
+        };
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
+            state: Mutex::new(state),
             cv: Condvar::new(),
             store: Arc::new(KernelStore::with_capacity(config.cache_capacity)),
             max_queue: config.max_queue,
             default_budget: config.default_budget,
             default_backend: config.default_backend,
+            persist,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
             .name("statim-executor".into())
             .spawn(move || run_executor(&worker_shared))
-            .expect("spawn executor thread");
-        AnalysisService {
+            .map_err(|e| {
+                StatimError::new(ErrorClass::Resource, format!("spawn executor thread: {e}"))
+            })?;
+        Ok(AnalysisService {
             shared,
             worker: Some(worker),
-        }
+        })
     }
 
     /// The process-wide kernel store (shared across all jobs).
@@ -625,7 +669,7 @@ fn cancelled_error() -> StatimError {
 fn run_executor(shared: &Shared) {
     loop {
         // Dequeue the next runnable job, or exit on drained shutdown.
-        let (id, spec, sup) = {
+        let (id, fingerprint, spec, sup) = {
             let mut st = shared.lock();
             let picked = loop {
                 if let Some(id) = st.queue.pop_front() {
@@ -634,10 +678,11 @@ fn run_executor(shared: &Shared) {
                         continue; // cancelled while queued
                     }
                     job.state = JobState::Running;
+                    let fingerprint = job.fingerprint;
                     let spec = job.spec.take().expect("queued job carries its spec");
                     let sup = Arc::new(Supervisor::new(spec.config.budget, spec.config.retries));
                     job.supervisor = Some(Arc::clone(&sup));
-                    break Some((id, spec, sup));
+                    break Some((id, fingerprint, spec, sup));
                 }
                 if st.draining {
                     break None;
@@ -668,7 +713,30 @@ fn run_executor(shared: &Shared) {
             )
         });
 
+        // Persist clean reports to the on-disk log *before* taking the
+        // state lock — disk latency must never block submit/status. A
+        // failed append costs durability, not the result: the in-memory
+        // store still serves it, and the counter records the loss.
+        let mut persist_failed = false;
+        if let Some(persist) = &shared.persist {
+            if let Ok(Ok(report)) = &outcome {
+                let clean = report.degraded.is_empty()
+                    && report.budget_exhausted.is_none()
+                    && report.skipped_paths == 0;
+                if clean {
+                    let stored = StoredReport::from_report(report);
+                    let mut log = persist
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    persist_failed = log.append(fingerprint, &stored).is_err();
+                }
+            }
+        }
+
         let mut st = shared.lock();
+        if persist_failed {
+            st.stats.store_write_errors += 1;
+        }
         let job = st.jobs.get_mut(&id).expect("running id is in the table");
         job.supervisor = None;
         match outcome {
@@ -689,7 +757,6 @@ fn run_executor(shared: &Shared) {
                     };
                     job.report = Some(Arc::clone(&report));
                     if clean {
-                        let fingerprint = job.fingerprint;
                         st.results.insert(fingerprint, report);
                         st.stats.completed += 1;
                     } else {
@@ -748,7 +815,7 @@ mod tests {
 
     #[test]
     fn submit_run_result_roundtrip() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         let receipt = service
             .submit(spec(Benchmark::C432, SstaConfig::date05()))
             .expect("admitted");
@@ -767,7 +834,7 @@ mod tests {
 
     #[test]
     fn duplicate_submission_served_from_store_bit_identically() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         let first = service
             .submit(spec(Benchmark::C432, SstaConfig::date05()))
             .expect("admitted");
@@ -793,7 +860,8 @@ mod tests {
         let service = AnalysisService::start(ServiceConfig {
             max_queue: 0,
             ..ServiceConfig::default()
-        });
+        })
+        .expect("service starts");
         let err = service
             .submit(spec(Benchmark::C432, SstaConfig::date05()))
             .expect_err("queue of 0 admits nothing");
@@ -804,7 +872,7 @@ mod tests {
 
     #[test]
     fn cancel_queued_job_is_immediate() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         // A heavy first job keeps the single executor busy long enough
         // for the second to be reliably cancelled while queued.
         let heavy = service
@@ -839,7 +907,7 @@ mod tests {
 
     #[test]
     fn failed_job_keeps_service_alive() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         // An invalid config fails typed (Config) without touching the
         // executor's health.
         let mut bad = SstaConfig::date05();
@@ -866,7 +934,7 @@ mod tests {
 
     #[test]
     fn degraded_job_not_cached_in_result_store() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         let budget = RunBudget {
             max_paths: Some(1),
             ..RunBudget::none()
@@ -889,7 +957,7 @@ mod tests {
 
     #[test]
     fn draining_rejects_new_submissions_and_finishes_queued() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         let queued = service
             .submit(spec(Benchmark::C432, SstaConfig::date05()))
             .expect("admitted");
@@ -909,7 +977,7 @@ mod tests {
 
     #[test]
     fn unknown_and_unfinished_jobs_are_typed_errors() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         let missing = JobId(999);
         assert!(matches!(
             service.status(missing),
@@ -943,8 +1011,48 @@ mod tests {
     }
 
     #[test]
+    fn restarted_service_serves_persisted_results_bit_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("statim-service-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let with_store = || ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        let rendered_fresh;
+        {
+            let service = AnalysisService::start(with_store()).expect("service starts");
+            let receipt = service
+                .submit(spec(Benchmark::C432, SstaConfig::date05()))
+                .expect("admitted");
+            assert!(!receipt.from_store);
+            assert_eq!(wait_terminal(&service, receipt.id).state, JobState::Done);
+            let report = service.result(receipt.id).expect("report");
+            rendered_fresh = crate::report::deterministic_report(&report, 10);
+            service.join();
+        }
+        // A "restarted daemon": a brand-new service over the same store
+        // directory must answer the same spec from the replayed log,
+        // without running the engine, byte-identically.
+        let service = AnalysisService::start(with_store()).expect("service restarts");
+        assert_eq!(service.stats().store_loaded, 1);
+        assert_eq!(service.stats().store_entries, 1);
+        let receipt = service
+            .submit(spec(Benchmark::C432, SstaConfig::date05()))
+            .expect("admitted");
+        assert!(receipt.from_store, "restart must serve from the store");
+        let served = service.result(receipt.id).expect("served report");
+        assert_eq!(
+            crate::report::deterministic_report(&served, 10),
+            rendered_fresh
+        );
+        service.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn shared_store_warm_across_jobs() {
-        let service = AnalysisService::start(ServiceConfig::default());
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
         let a = service
             .submit(spec(Benchmark::C432, SstaConfig::date05()))
             .expect("admitted");

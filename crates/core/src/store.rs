@@ -1,0 +1,752 @@
+//! The persistent result store: an append-only record log plus a
+//! fingerprint index, so a daemon restart serves prior results
+//! byte-identically and two daemons can share one store directory.
+//!
+//! # Why a log, not a database
+//!
+//! The result store only ever does two things: replay every clean
+//! report at startup and append one record per newly completed job. An
+//! append-only text log makes both trivially crash-safe — a record is
+//! written with a single `write` on a file opened in append mode, so
+//! concurrent daemons sharing the directory interleave whole records,
+//! never bytes — and keeps the format inspectable with `less`.
+//!
+//! # On-disk layout (`<dir>/results.log` + `<dir>/results.idx`)
+//!
+//! ```text
+//! statim-store v1                              <- log header
+//! record <fingerprint:016x> <nlines> <checksum:016x>
+//! circuit <gates> <sweeps> <npaths> <name>
+//! scalars <det> <worst> <overest> <conf> <sigma_c>       ; f64 bit-hex
+//! path <det_rank> <prob_rank> <7 f64 bit-hex fields> gates <id...>
+//! ...                                          <- more records
+//! ```
+//!
+//! Every `f64` is stored as its exact bit pattern (the PR-4 checkpoint
+//! idiom), so a report loaded after a restart renders **bit-identically**
+//! through [`report::deterministic_report`](crate::report::deterministic_report).
+//! Each record carries an FNV-1a checksum of its body: a torn append, a
+//! flipped bit or a hand-truncated file is a typed `Parse` error with
+//! the offending 1-based line — never a silently wrong report.
+//!
+//! The index (`results.idx`) is a snapshot of the log's fingerprints and
+//! byte length, rewritten atomically (write `results.idx.tmp`, then
+//! rename) after every append. It is *not* the source of truth — the log
+//! is — but it lets [`ResultLog::open`] detect a log that lost bytes
+//! since the last successful append (truncation below the snapshot
+//! length is a typed `Parse` error). A log *longer* than the snapshot is
+//! fine: that is exactly the window between an append and its snapshot,
+//! or another daemon's append.
+//!
+//! Only **clean** reports are persisted (the same rule the in-memory
+//! store enforces): degraded or budget-tripped runs never reach the log.
+
+use crate::cache::fnv1a;
+use crate::engine::{RunProfile, SstaReport};
+use crate::error::{ErrorClass, StatimError};
+use crate::rank::RankedPath;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic string opening the record log.
+pub const STORE_MAGIC: &str = "statim-store";
+/// Magic string opening the index snapshot.
+pub const STORE_IDX_MAGIC: &str = "statim-store-idx";
+/// Current store format version (log and index move together).
+pub const STORE_VERSION: u32 = 1;
+
+/// Log file name inside the store directory.
+const LOG_NAME: &str = "results.log";
+/// Index snapshot name inside the store directory.
+const IDX_NAME: &str = "results.idx";
+
+fn parse_err(line: usize, message: impl Into<String>) -> StatimError {
+    StatimError {
+        class: ErrorClass::Parse,
+        message: message.into(),
+        file: None,
+        line: Some(line),
+        col: None,
+    }
+}
+
+fn io_err(what: &str, e: &std::io::Error) -> StatimError {
+    StatimError::new(ErrorClass::Resource, format!("{what}: {e}"))
+}
+
+/// One stored path: the ranks plus every scalar the deterministic
+/// report renders, with the gate ids (length = the table's gate count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredPath {
+    /// Rank by deterministic delay (1-based).
+    pub det_rank: usize,
+    /// Rank by confidence point (1-based).
+    pub prob_rank: usize,
+    /// Deterministic (nominal) delay, seconds.
+    pub det_delay: f64,
+    /// Worst-case corner delay, seconds.
+    pub worst_case: f64,
+    /// Mean of the total delay PDF, seconds.
+    pub mean: f64,
+    /// Standard deviation of the total delay PDF, seconds.
+    pub sigma: f64,
+    /// Inter-die component σ, seconds.
+    pub inter_sigma: f64,
+    /// Intra-die component σ, seconds.
+    pub intra_sigma: f64,
+    /// Ranking confidence point, seconds.
+    pub confidence_point: f64,
+    /// The gates on the path (raw ids, input side first).
+    pub gates: Vec<u32>,
+}
+
+/// A clean report's deterministic core — everything
+/// [`report::deterministic_report`](crate::report::deterministic_report)
+/// reads, losslessly serializable. Wall-clock profile data and the
+/// per-path PDFs are deliberately *not* stored: they never appear in
+/// served bytes, and the PDFs would dwarf the log for no serving value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// Gate count of the circuit.
+    pub gate_count: usize,
+    /// Bellman-Ford (or DP) relaxation sweeps.
+    pub label_sweeps: usize,
+    /// Deterministic critical path delay, seconds.
+    pub det_critical_delay: f64,
+    /// Worst-case (corner) critical delay, seconds.
+    pub worst_case_delay: f64,
+    /// Worst-case overestimation, percent.
+    pub overestimation_pct: f64,
+    /// Confidence constant used.
+    pub confidence: f64,
+    /// σ of the deterministic critical path's total delay PDF.
+    pub sigma_c: f64,
+    /// All analyzed paths in probabilistic rank order.
+    pub paths: Vec<StoredPath>,
+}
+
+impl StoredReport {
+    /// Captures the deterministic core of a clean report.
+    pub fn from_report(report: &SstaReport) -> StoredReport {
+        StoredReport {
+            circuit: report.circuit.clone(),
+            gate_count: report.gate_count,
+            label_sweeps: report.label_sweeps,
+            det_critical_delay: report.det_critical_delay,
+            worst_case_delay: report.worst_case_delay,
+            overestimation_pct: report.overestimation_pct,
+            confidence: report.confidence,
+            sigma_c: report.sigma_c,
+            paths: report
+                .paths
+                .iter()
+                .map(|r| StoredPath {
+                    det_rank: r.det_rank,
+                    prob_rank: r.prob_rank,
+                    det_delay: r.analysis.det_delay,
+                    worst_case: r.analysis.worst_case,
+                    mean: r.analysis.mean,
+                    sigma: r.analysis.sigma,
+                    inter_sigma: r.analysis.inter_sigma,
+                    intra_sigma: r.analysis.intra_sigma,
+                    confidence_point: r.analysis.confidence_point,
+                    gates: r.analysis.gates.iter().map(|g| g.0).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a servable [`SstaReport`]. The deterministic core —
+    /// every byte [`report::deterministic_report`](crate::report::deterministic_report)
+    /// renders — is restored exactly; wall-clock fields are zero and the
+    /// per-path PDFs are single-cell placeholders at the stored mean
+    /// (the store never persisted them, and served bytes never read
+    /// them).
+    pub fn into_report(self) -> SstaReport {
+        let num_paths = self.paths.len();
+        let paths = self
+            .paths
+            .into_iter()
+            .map(|p| {
+                let grid = statim_stats::Grid::new(p.mean, 1e-15, 1)
+                    .unwrap_or_else(|_| statim_stats::Grid::new(0.0, 1e-15, 1).expect("unit grid"));
+                let pdf = statim_stats::Pdf::delta(grid, p.mean)
+                    .unwrap_or_else(|_| statim_stats::Pdf::delta(grid, 0.0).expect("unit delta"));
+                RankedPath {
+                    analysis: crate::analyze::PathAnalysis {
+                        gates: p.gates.into_iter().map(statim_netlist::GateId).collect(),
+                        det_delay: p.det_delay,
+                        worst_case: p.worst_case,
+                        mean: p.mean,
+                        sigma: p.sigma,
+                        inter_sigma: p.inter_sigma,
+                        intra_sigma: p.intra_sigma,
+                        confidence_point: p.confidence_point,
+                        total_pdf: pdf.clone(),
+                        intra_pdf: pdf.clone(),
+                        inter_pdf: pdf,
+                    },
+                    det_rank: p.det_rank,
+                    prob_rank: p.prob_rank,
+                }
+            })
+            .collect();
+        SstaReport {
+            circuit: self.circuit,
+            gate_count: self.gate_count,
+            det_critical_delay: self.det_critical_delay,
+            worst_case_delay: self.worst_case_delay,
+            overestimation_pct: self.overestimation_pct,
+            confidence: self.confidence,
+            sigma_c: self.sigma_c,
+            num_paths,
+            paths,
+            label_sweeps: self.label_sweeps,
+            runtime: 0.0,
+            profile: RunProfile::default(),
+            degraded: Vec::new(),
+            budget_exhausted: None,
+            skipped_paths: 0,
+        }
+    }
+
+    /// Renders the record's body lines (no `record` header).
+    fn render_body(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "circuit {} {} {} {}",
+            self.gate_count,
+            self.label_sweeps,
+            self.paths.len(),
+            self.circuit
+        );
+        let _ = writeln!(
+            out,
+            "scalars {:016x} {:016x} {:016x} {:016x} {:016x}",
+            self.det_critical_delay.to_bits(),
+            self.worst_case_delay.to_bits(),
+            self.overestimation_pct.to_bits(),
+            self.confidence.to_bits(),
+            self.sigma_c.to_bits()
+        );
+        for p in &self.paths {
+            let _ = write!(
+                out,
+                "path {} {} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} gates",
+                p.det_rank,
+                p.prob_rank,
+                p.det_delay.to_bits(),
+                p.worst_case.to_bits(),
+                p.mean.to_bits(),
+                p.sigma.to_bits(),
+                p.inter_sigma.to_bits(),
+                p.intra_sigma.to_bits(),
+                p.confidence_point.to_bits()
+            );
+            for g in &p.gates {
+                let _ = write!(out, " {g}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders one complete log record: the `record` header line (with
+    /// body line count and checksum) followed by the body.
+    pub fn render_record(&self, fingerprint: u64) -> String {
+        let body = self.render_body();
+        let nlines = body.lines().count();
+        let checksum = fnv1a(0, body.as_bytes());
+        format!("record {fingerprint:016x} {nlines} {checksum:016x}\n{body}")
+    }
+}
+
+fn parse_f64_bits(line: usize, token: &str, what: &str) -> Result<f64, StatimError> {
+    let bits = u64::from_str_radix(token, 16)
+        .map_err(|_| parse_err(line, format!("{what} `{token}` is not an f64 bit pattern")))?;
+    let v = f64::from_bits(bits);
+    if !v.is_finite() {
+        return Err(parse_err(line, format!("{what} is non-finite")));
+    }
+    Ok(v)
+}
+
+/// Parses one record body (the lines between one `record` header and the
+/// next). `first_line` is the 1-based log line of the first body line.
+fn parse_body(body: &[&str], first_line: usize) -> Result<StoredReport, StatimError> {
+    let at = |offset: usize| first_line + offset;
+    let mut lines = body.iter().enumerate();
+    let (ci, circuit_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(first_line, "record has no circuit line"))?;
+    let rest = circuit_line.strip_prefix("circuit ").ok_or_else(|| {
+        parse_err(
+            at(ci),
+            "expected `circuit <gates> <sweeps> <npaths> <name>`",
+        )
+    })?;
+    let mut tok = rest.splitn(4, ' ');
+    let mut count_field = |what: &str| -> Result<usize, StatimError> {
+        tok.next()
+            .ok_or_else(|| parse_err(at(ci), format!("circuit line missing {what}")))?
+            .parse()
+            .map_err(|_| parse_err(at(ci), format!("circuit {what} is not a count")))
+    };
+    let gate_count = count_field("gate count")?;
+    let label_sweeps = count_field("sweep count")?;
+    let num_paths = count_field("path count")?;
+    let circuit = tok
+        .next()
+        .ok_or_else(|| parse_err(at(ci), "circuit line missing name"))?
+        .to_string();
+
+    let (si, scalars_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(at(ci), "record has no scalars line"))?;
+    let mut stok = scalars_line
+        .strip_prefix("scalars ")
+        .ok_or_else(|| parse_err(at(si), "expected `scalars <5 f64 bit patterns>`"))?
+        .split(' ');
+    let mut scalar = |what: &str| -> Result<f64, StatimError> {
+        let t = stok
+            .next()
+            .ok_or_else(|| parse_err(at(si), format!("scalars line missing {what}")))?;
+        parse_f64_bits(at(si), t, what)
+    };
+    let det_critical_delay = scalar("det critical delay")?;
+    let worst_case_delay = scalar("worst-case delay")?;
+    let overestimation_pct = scalar("overestimation")?;
+    let confidence = scalar("confidence")?;
+    let sigma_c = scalar("sigma_c")?;
+
+    let mut paths = Vec::with_capacity(num_paths);
+    for (pi, path_line) in lines {
+        let rest = path_line
+            .strip_prefix("path ")
+            .ok_or_else(|| parse_err(at(pi), format!("unknown record line `{path_line}`")))?;
+        let (ranks_and_floats, gates) = rest
+            .split_once(" gates")
+            .ok_or_else(|| parse_err(at(pi), "path line missing `gates` marker"))?;
+        let mut ptok = ranks_and_floats.split(' ');
+        let mut rank = |what: &str| -> Result<usize, StatimError> {
+            ptok.next()
+                .ok_or_else(|| parse_err(at(pi), format!("path line missing {what}")))?
+                .parse()
+                .map_err(|_| parse_err(at(pi), format!("path {what} is not a rank")))
+        };
+        let det_rank = rank("det rank")?;
+        let prob_rank = rank("prob rank")?;
+        let mut float = |what: &str| -> Result<f64, StatimError> {
+            let t = ptok
+                .next()
+                .ok_or_else(|| parse_err(at(pi), format!("path line missing {what}")))?;
+            parse_f64_bits(at(pi), t, what)
+        };
+        let det_delay = float("det delay")?;
+        let worst_case = float("worst case")?;
+        let mean = float("mean")?;
+        let sigma = float("sigma")?;
+        let inter_sigma = float("inter sigma")?;
+        let intra_sigma = float("intra sigma")?;
+        let confidence_point = float("confidence point")?;
+        let gates = gates
+            .split_ascii_whitespace()
+            .map(|g| {
+                g.parse::<u32>()
+                    .map_err(|_| parse_err(at(pi), format!("gate id `{g}` is not a u32")))
+            })
+            .collect::<Result<Vec<u32>, StatimError>>()?;
+        paths.push(StoredPath {
+            det_rank,
+            prob_rank,
+            det_delay,
+            worst_case,
+            mean,
+            sigma,
+            inter_sigma,
+            intra_sigma,
+            confidence_point,
+            gates,
+        });
+    }
+    if paths.len() != num_paths {
+        return Err(parse_err(
+            at(ci),
+            format!(
+                "record declares {num_paths} paths but carries {}",
+                paths.len()
+            ),
+        ));
+    }
+    Ok(StoredReport {
+        circuit,
+        gate_count,
+        label_sweeps,
+        det_critical_delay,
+        worst_case_delay,
+        overestimation_pct,
+        confidence,
+        sigma_c,
+        paths,
+    })
+}
+
+/// Parses a whole record log's text into `(fingerprint, report)` pairs
+/// in append order (a duplicated fingerprint keeps its latest record —
+/// two daemons racing the same job write identical content anyway).
+///
+/// # Errors
+///
+/// A typed `Parse`-class [`StatimError`] with the 1-based line of the
+/// first violation: wrong magic or version, a malformed header, a
+/// truncated record (EOF before the declared body lines), a checksum
+/// mismatch, or any corrupted body line.
+pub fn parse_log(text: &str) -> Result<Vec<(u64, StoredReport)>, StatimError> {
+    let all: Vec<&str> = text.lines().collect();
+    let header = *all.first().ok_or_else(|| parse_err(1, "empty store log"))?;
+    match header.strip_prefix(STORE_MAGIC) {
+        None => return Err(parse_err(1, format!("not a {STORE_MAGIC} file"))),
+        Some(v) if v.trim() != format!("v{STORE_VERSION}") => {
+            return Err(parse_err(
+                1,
+                format!(
+                    "unsupported store version `{}` (this build reads v{STORE_VERSION})",
+                    v.trim()
+                ),
+            ));
+        }
+        Some(_) => {}
+    }
+    let mut records = Vec::new();
+    let mut i = 1; // 0-based index into `all`
+    while i < all.len() {
+        let line_no = i + 1;
+        let line = all[i];
+        if line.trim().is_empty() {
+            i += 1;
+            continue;
+        }
+        let rest = line.strip_prefix("record ").ok_or_else(|| {
+            parse_err(line_no, format!("expected a `record` header, got `{line}`"))
+        })?;
+        let mut tok = rest.split(' ');
+        let fingerprint = tok
+            .next()
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| parse_err(line_no, "record fingerprint is not hex"))?;
+        let nlines: usize = tok
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "record line count is not a count"))?;
+        let checksum = tok
+            .next()
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| parse_err(line_no, "record checksum is not hex"))?;
+        if i + 1 + nlines > all.len() {
+            return Err(parse_err(
+                line_no,
+                format!(
+                    "truncated record: declares {nlines} body lines, log ends after {}",
+                    all.len() - i - 1
+                ),
+            ));
+        }
+        let body = &all[i + 1..i + 1 + nlines];
+        let mut body_bytes = String::new();
+        for l in body {
+            body_bytes.push_str(l);
+            body_bytes.push('\n');
+        }
+        let actual = fnv1a(0, body_bytes.as_bytes());
+        if actual != checksum {
+            return Err(parse_err(
+                line_no,
+                format!("record checksum mismatch (declared {checksum:016x}, body hashes {actual:016x})"),
+            ));
+        }
+        let report = parse_body(body, line_no + 1)?;
+        records.push((fingerprint, report));
+        i += 1 + nlines;
+    }
+    Ok(records)
+}
+
+/// The open store: the log/index paths plus the set of fingerprints
+/// already on disk (appends of a known fingerprint are no-ops).
+#[derive(Debug)]
+pub struct ResultLog {
+    log_path: PathBuf,
+    idx_path: PathBuf,
+    fingerprints: BTreeSet<u64>,
+    log_len: u64,
+}
+
+impl ResultLog {
+    /// Opens (creating if needed) the store in `dir` and replays its
+    /// records.
+    ///
+    /// # Errors
+    ///
+    /// `Resource`-class errors for directory/file I/O; `Parse`-class
+    /// errors (with the offending line) for a corrupt log or index, or a
+    /// log shorter than the index snapshot says it must be (lost bytes).
+    pub fn open(dir: &Path) -> Result<(ResultLog, Vec<(u64, StoredReport)>), StatimError> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            io_err("creating store directory", &e).with_file(dir.display().to_string())
+        })?;
+        let log_path = dir.join(LOG_NAME);
+        let idx_path = dir.join(IDX_NAME);
+        let file = |p: &Path| p.display().to_string();
+        if !log_path.exists() {
+            let header = format!("{STORE_MAGIC} v{STORE_VERSION}\n");
+            std::fs::write(&log_path, &header)
+                .map_err(|e| io_err("creating store log", &e).with_file(file(&log_path)))?;
+            let mut log = ResultLog {
+                log_path,
+                idx_path,
+                fingerprints: BTreeSet::new(),
+                log_len: header.len() as u64,
+            };
+            log.snapshot_index()?;
+            return Ok((log, Vec::new()));
+        }
+        let bytes = std::fs::read(&log_path)
+            .map_err(|e| io_err("reading store log", &e).with_file(file(&log_path)))?;
+        let log_len = bytes.len() as u64;
+        let text = String::from_utf8(bytes).map_err(|e| {
+            parse_err(1, format!("store log is not UTF-8: {e}")).with_file(file(&log_path))
+        })?;
+        // Truncation check against the last snapshot, before the
+        // record-granular parse: losing bytes off the tail can otherwise
+        // masquerade as a clean, shorter log.
+        if idx_path.exists() {
+            let idx_text = std::fs::read_to_string(&idx_path)
+                .map_err(|e| io_err("reading store index", &e).with_file(file(&idx_path)))?;
+            let snap_len = parse_index(&idx_text).map_err(|e| e.with_file(file(&idx_path)))?;
+            if log_len < snap_len {
+                return Err(parse_err(
+                    1,
+                    format!(
+                        "store log truncated: index snapshot records {snap_len} bytes, log has {log_len}"
+                    ),
+                )
+                .with_file(file(&log_path)));
+            }
+        }
+        let records = parse_log(&text).map_err(|e| e.with_file(file(&log_path)))?;
+        let fingerprints = records.iter().map(|(fp, _)| *fp).collect();
+        let mut log = ResultLog {
+            log_path,
+            idx_path,
+            fingerprints,
+            log_len,
+        };
+        log.snapshot_index()?;
+        Ok((log, records))
+    }
+
+    /// Fingerprints currently on disk.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Appends one clean report under its job fingerprint, then rewrites
+    /// the index snapshot atomically. A fingerprint already on disk is a
+    /// no-op (the content would be byte-identical by determinism).
+    ///
+    /// # Errors
+    ///
+    /// `Resource`-class I/O failures. The log itself is never left torn
+    /// by *this process*: the record goes out in a single `write` on an
+    /// append-mode handle.
+    pub fn append(&mut self, fingerprint: u64, report: &StoredReport) -> Result<(), StatimError> {
+        if self.fingerprints.contains(&fingerprint) {
+            return Ok(());
+        }
+        let record = report.render_record(fingerprint);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.log_path)
+            .map_err(|e| {
+                io_err("opening store log", &e).with_file(self.log_path.display().to_string())
+            })?;
+        f.write_all(record.as_bytes())
+            .and_then(|()| f.flush())
+            .map_err(|e| {
+                io_err("appending to store log", &e).with_file(self.log_path.display().to_string())
+            })?;
+        self.log_len += record.len() as u64;
+        self.fingerprints.insert(fingerprint);
+        self.snapshot_index()
+    }
+
+    /// Atomically rewrites the index snapshot (tmp + rename), the PR-4
+    /// checkpoint idiom: a killed process leaves the previous or the new
+    /// complete snapshot, never a torn one.
+    fn snapshot_index(&mut self) -> Result<(), StatimError> {
+        let mut out = String::new();
+        let _ = writeln!(out, "{STORE_IDX_MAGIC} v{STORE_VERSION}");
+        let _ = writeln!(out, "log_len {}", self.log_len);
+        let _ = writeln!(out, "records {}", self.fingerprints.len());
+        for fp in &self.fingerprints {
+            let _ = writeln!(out, "fp {fp:016x}");
+        }
+        let tmp = self.idx_path.with_extension("idx.tmp");
+        std::fs::write(&tmp, &out)
+            .and_then(|()| std::fs::rename(&tmp, &self.idx_path))
+            .map_err(|e| {
+                io_err("writing store index", &e).with_file(self.idx_path.display().to_string())
+            })
+    }
+}
+
+/// Parses an index snapshot, returning the log byte length it records.
+fn parse_index(text: &str) -> Result<u64, StatimError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty store index"))?;
+    match header.strip_prefix(STORE_IDX_MAGIC) {
+        None => return Err(parse_err(1, format!("not a {STORE_IDX_MAGIC} file"))),
+        Some(v) if v.trim() != format!("v{STORE_VERSION}") => {
+            return Err(parse_err(
+                1,
+                format!("unsupported index version `{}`", v.trim()),
+            ));
+        }
+        Some(_) => {}
+    }
+    let (i, len_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "index missing log_len"))?;
+    len_line
+        .strip_prefix("log_len ")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| parse_err(i + 1, "expected `log_len <bytes>`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SstaConfig, SstaEngine};
+    use crate::report::deterministic_report;
+    use statim_netlist::generators::iscas85::{self, Benchmark};
+    use statim_netlist::{Placement, PlacementStyle};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("statim-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn clean_report() -> SstaReport {
+        let circuit = iscas85::generate(Benchmark::C432);
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        let mut config = SstaConfig::date05();
+        config.quality_intra = 40;
+        config.quality_inter = 20;
+        SstaEngine::new(config)
+            .run(&circuit, &placement)
+            .expect("clean run")
+    }
+
+    #[test]
+    fn stored_report_roundtrips_and_renders_bit_identically() {
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        let record = stored.render_record(0xDEAD_BEEF);
+        let full = format!("{STORE_MAGIC} v{STORE_VERSION}\n{record}");
+        let parsed = parse_log(&full).expect("rendered record parses");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, 0xDEAD_BEEF);
+        assert_eq!(parsed[0].1, stored);
+        // The reconstructed report serves the exact bytes, at any limit.
+        let rebuilt = parsed[0].1.clone().into_report();
+        for limit in [1, 5, usize::MAX] {
+            assert_eq!(
+                deterministic_report(&rebuilt, limit),
+                deterministic_report(&report, limit),
+                "limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_append_and_reopen_replays_records() {
+        let dir = tmp_dir("reopen");
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        {
+            let (mut log, loaded) = ResultLog::open(&dir).expect("open fresh");
+            assert!(loaded.is_empty());
+            log.append(7, &stored).expect("append");
+            log.append(7, &stored).expect("duplicate append is a no-op");
+            assert_eq!(log.len(), 1);
+        }
+        let (log, loaded) = ResultLog::open(&dir).expect("reopen");
+        assert_eq!(log.len(), 1);
+        assert_eq!(loaded, vec![(7, stored)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_logs_fail_with_typed_parse_errors() {
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        let good = format!(
+            "{STORE_MAGIC} v{STORE_VERSION}\n{}",
+            stored.render_record(3)
+        );
+        assert!(parse_log(&good).is_ok());
+
+        // Each mutation must fail Parse-classed, never panic.
+        let cases: Vec<(String, &str)> = vec![
+            ("".into(), "empty"),
+            ("statim-stor v1\n".into(), "bad magic"),
+            (format!("{STORE_MAGIC} v9\n"), "bad version"),
+            (good.replace("record ", "rekord "), "bad record header"),
+            (
+                good.lines().take(3).collect::<Vec<_>>().join("\n") + "\n",
+                "truncated record",
+            ),
+            (good.replace("scalars ", "scalars zz"), "checksum trips"),
+        ];
+        for (text, what) in cases {
+            let err = parse_log(&text).expect_err(what);
+            assert_eq!(err.class, ErrorClass::Parse, "{what}: {err}");
+            assert!(err.line.is_some(), "{what}: wants a line number");
+        }
+    }
+
+    #[test]
+    fn truncated_log_below_snapshot_is_detected_on_open() {
+        let dir = tmp_dir("truncate");
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        {
+            let (mut log, _) = ResultLog::open(&dir).expect("open");
+            log.append(1, &stored).expect("append");
+        }
+        // Chop the tail off the log: record-granular parsing alone would
+        // also catch a mid-record cut, but the snapshot check catches
+        // even a cut at a record boundary.
+        let log_path = dir.join(LOG_NAME);
+        let text = std::fs::read_to_string(&log_path).expect("read log");
+        let header_only: String = text.lines().take(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&log_path, header_only).expect("truncate");
+        let err = ResultLog::open(&dir).expect_err("truncation detected");
+        assert_eq!(err.class, ErrorClass::Parse);
+        assert!(err.message.contains("truncated"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,7 +1,7 @@
 //! A small blocking client for the daemon protocol — the library behind
 //! `statim client`, also used by tests and CI to drive a daemon.
 
-use crate::protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_VERSION};
+use crate::protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_MINOR, PROTOCOL_VERSION};
 use statim_core::JobId;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -22,6 +22,14 @@ pub enum ClientError {
         /// The daemon's message.
         message: String,
     },
+    /// [`Client::wait`] exhausted its timeout before the job turned
+    /// terminal (the job itself is fine — poll again or cancel).
+    Timeout {
+        /// The job being waited on.
+        id: JobId,
+        /// Its state when the clock ran out.
+        last_state: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -30,6 +38,9 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+            ClientError::Timeout { id, last_state } => {
+                write!(f, "timed out waiting for {id} (last state {last_state})")
+            }
         }
     }
 }
@@ -41,6 +52,10 @@ impl From<std::io::Error> for ClientError {
         ClientError::Io(e)
     }
 }
+
+/// Longest single server-side `WAIT` the client issues; longer waits
+/// are chained from chunks of this size.
+const WAIT_CHUNK: Duration = Duration::from_secs(10);
 
 /// A reply: the parsed header plus any counted payload lines.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,10 +80,16 @@ impl Reply {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The negotiated protocol minor for this connection; gates `WAIT`
+    /// and anything else newer than v1.0.
+    minor: u32,
 }
 
 impl Client {
-    /// Connects, checks the greeting and performs the handshake.
+    /// Connects, checks the greeting and performs the handshake,
+    /// advertising the newest minor this build speaks. A daemon too old
+    /// to parse a dotted version gets a plain v1.0 `HELLO` retry, so the
+    /// client works against both generations.
     ///
     /// # Errors
     ///
@@ -81,6 +102,7 @@ impl Client {
         let mut client = Client {
             reader: BufReader::new(stream),
             writer,
+            minor: 0,
         };
         let greeting = client.read_line()?;
         if greeting != GREETING {
@@ -88,16 +110,39 @@ impl Client {
                 "unexpected greeting `{greeting}`"
             )));
         }
-        let reply = client.request(&Request::Hello {
+        let versioned = client.request(&Request::Hello {
             version: PROTOCOL_VERSION,
-        })?;
+            minor: PROTOCOL_MINOR,
+        });
+        let reply = match versioned {
+            Ok(reply) => reply,
+            // A v1.0 daemon rejects `HELLO 1.1` as unparseable but keeps
+            // the connection; fall back to the spelling it knows.
+            Err(ClientError::Server {
+                code: ErrorCode::Protocol,
+                ..
+            }) => client.request(&Request::Hello {
+                version: PROTOCOL_VERSION,
+                minor: 0,
+            })?,
+            Err(e) => return Err(e),
+        };
         match reply.response {
-            Response::Hello { .. } => Ok(client),
+            Response::Hello { minor, .. } => {
+                client.minor = minor;
+                Ok(client)
+            }
             other => Err(ClientError::Protocol(format!(
                 "handshake rejected: {}",
                 other.render()
             ))),
         }
+    }
+
+    /// The protocol minor negotiated at connect (0 against a v1.0
+    /// daemon).
+    pub fn minor(&self) -> u32 {
+        self.minor
     }
 
     /// Sends one request and reads the full reply (header + counted
@@ -145,6 +190,46 @@ impl Client {
             Response::Submitted { id, from_store } => Ok((id, from_store)),
             other => Err(unexpected("SUBMIT", &other)),
         }
+    }
+
+    /// Submits many jobs down the pipe before reading a single reply —
+    /// one write burst, then the replies in submission order. Per-job
+    /// failures (`BUSY`, a bad config) land in that job's slot without
+    /// aborting the rest of the batch.
+    ///
+    /// # Errors
+    ///
+    /// Only transport-level failures (I/O, malformed replies) abort the
+    /// whole call.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_batch(
+        &mut self,
+        jobs: &[(String, Vec<(String, String)>)],
+    ) -> Result<Vec<Result<(JobId, bool), ClientError>>, ClientError> {
+        let mut lines = String::new();
+        for (source, options) in jobs {
+            lines.push_str(
+                &Request::Submit {
+                    source: source.clone(),
+                    options: options.clone(),
+                }
+                .render(),
+            );
+            lines.push('\n');
+        }
+        self.writer.write_all(lines.as_bytes())?;
+        self.writer.flush()?;
+        let mut receipts = Vec::with_capacity(jobs.len());
+        for _ in jobs {
+            let header = self.read_line()?;
+            let response = Response::parse(&header).map_err(ClientError::Protocol)?;
+            receipts.push(match response {
+                Response::Submitted { id, from_store } => Ok((id, from_store)),
+                Response::Error { code, message } => Err(ClientError::Server { code, message }),
+                other => return Err(unexpected("SUBMIT", &other)),
+            });
+        }
+        Ok(receipts)
     }
 
     /// Polls one job's state; returns `(state, circuit, from_store)`.
@@ -218,23 +303,63 @@ impl Client {
         }
     }
 
-    /// Polls `STATUS` until the job reaches a terminal state (10 ms
-    /// cadence); returns the final state.
+    /// Waits until the job reaches a terminal state; returns the final
+    /// state. On a minor ≥ 1 connection this is the server-side `WAIT`
+    /// verb — the daemon holds the reply, no traffic in between — issued
+    /// in bounded chunks so a dead daemon surfaces as an I/O error
+    /// within one chunk; against a v1.0 daemon it degrades to `STATUS`
+    /// polling.
     ///
     /// # Errors
     ///
-    /// Polling errors, or [`ClientError::Protocol`] on timeout.
+    /// Transport/server errors, or [`ClientError::Timeout`] once
+    /// `timeout` elapses. A timeout larger than the clock can hold
+    /// saturates to "wait forever" instead of panicking.
     pub fn wait(&mut self, id: JobId, timeout: Duration) -> Result<String, ClientError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now().checked_add(timeout);
+        let expired = |d: Instant| Instant::now() >= d;
+        if self.minor >= 1 {
+            loop {
+                let chunk = match deadline {
+                    None => WAIT_CHUNK,
+                    Some(d) => d.saturating_duration_since(Instant::now()).min(WAIT_CHUNK),
+                };
+                let reply = self.request(&Request::Wait {
+                    id,
+                    timeout_ms: Some(chunk.as_millis() as u64),
+                });
+                match reply {
+                    Ok(Reply {
+                        response: Response::Waited { state, .. },
+                        ..
+                    }) => return Ok(state),
+                    Ok(Reply { response, .. }) => return Err(unexpected("WAIT", &response)),
+                    Err(ClientError::Server {
+                        code: ErrorCode::Pending,
+                        message,
+                    }) => {
+                        if deadline.is_some_and(expired) {
+                            let last_state = message
+                                .rsplit_once("still ")
+                                .map(|(_, s)| s.trim_end_matches(')').to_string())
+                                .unwrap_or_else(|| "unknown".to_string());
+                            return Err(ClientError::Timeout { id, last_state });
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         loop {
             let (state, _, _) = self.status(id)?;
             if matches!(state.as_str(), "done" | "degraded" | "failed" | "cancelled") {
                 return Ok(state);
             }
-            if Instant::now() >= deadline {
-                return Err(ClientError::Protocol(format!(
-                    "timed out waiting for {id} (last state {state})"
-                )));
+            if deadline.is_some_and(expired) {
+                return Err(ClientError::Timeout {
+                    id,
+                    last_state: state,
+                });
             }
             std::thread::sleep(Duration::from_millis(10));
         }

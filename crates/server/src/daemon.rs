@@ -1,39 +1,119 @@
-//! The TCP front-end: a std-only accept loop over the
+//! The TCP front-end: a std-only non-blocking readiness loop over the
 //! [`AnalysisService`].
 //!
-//! One thread accepts connections (non-blocking, 10 ms poll so shutdown
-//! is responsive), one thread per connection speaks the protocol, and
-//! the single executor thread inside [`AnalysisService`] runs jobs — so
-//! a slow analysis never blocks `STATUS`/`STATS`/`CANCEL` traffic.
+//! # Architecture
+//!
+//! A small fixed pool of polling workers (no thread per connection)
+//! multiplexes every socket. Each worker owns one shard of the
+//! connection registry; all workers race the shared non-blocking
+//! listener and register what they accept into their own shard, so
+//! accepted load spreads without a coordinator. One worker iteration
+//! is: accept what's pending → give every owned connection a chance to
+//! make progress (flush, resolve a blocking `WAIT`, read, execute
+//! complete request lines) → **remove finished connections from the
+//! shard**. That removal is the structural fix for the fd leak the
+//! thread-per-connection design had: a connection's only registration
+//! is its shard entry, and the entry dies with the connection — N
+//! connect/disconnect cycles leave the registry empty.
+//!
+//! Connections are non-blocking throughout: reads and writes buffer,
+//! `WouldBlock` yields the worker to the next socket, and a client
+//! writing a flood of pipelined requests gets its replies strictly in
+//! request order (a blocking `WAIT` simply parks the line cursor).
+//! The registry is bounded ([`DaemonTuning::max_conns`]); connections
+//! beyond the bound are refused with a best-effort `ERR RESOURCE` line.
 //!
 //! # Graceful shutdown
 //!
 //! `SHUTDOWN` (or [`DaemonHandle::shutdown`], the SIGTERM-equivalent
 //! test hook) flips the stop flag and starts the service drain: new
 //! submissions get `ERR SHUTDOWN`, while queued and running jobs finish
-//! and stay pollable. The accept loop exits once the service is drained
-//! and every connection has closed (lingering idle connections are
-//! closed server-side at that point); [`DaemonHandle::join`] returns
-//! when it is all over.
+//! and stay pollable. Each worker keeps serving until the service is
+//! drained, then flushes and closes its remaining connections and
+//! exits; [`DaemonHandle::join`] returns when every worker is done.
 
-use crate::protocol::{error_reply, ErrorCode, Request, Response, GREETING, PROTOCOL_VERSION};
+use crate::protocol::{
+    error_reply, ErrorCode, Request, Response, GREETING, PROTOCOL_MINOR, PROTOCOL_VERSION,
+};
 use statim_core::engine::{LabelSolver, SstaConfig};
 use statim_core::service::{AnalysisService, CancelOutcome, JobSpec, ServiceConfig, ServiceStats};
-use statim_core::{ErrorClass, RunBudget, StatimError};
+use statim_core::{ErrorClass, JobId, RunBudget, StatimError};
 use statim_netlist::generators::iscas85::{self, Benchmark};
 use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle};
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often the accept loop polls for connections and shutdown.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// How long an idle worker sleeps before re-polling its sockets (also
+/// the resolution of server-side `WAIT` completion).
+const IDLE_POLL: Duration = Duration::from_millis(1);
+
+/// Longest accepted request line; beyond this the connection is closed
+/// with `ERR PROTOCOL` (no verb comes anywhere near it).
+const MAX_LINE: usize = 64 * 1024;
+
+/// Most bytes a connection may have buffered (pipelined requests parked
+/// behind a `WAIT`) before it is closed as abusive.
+const MAX_BUFFERED: usize = 1024 * 1024;
 
 /// Default path-table row limit for `RESULT` replies without `top=`.
 const DEFAULT_TOP: usize = 10;
+
+/// Connection-pool knobs, separate from the job-level [`ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct DaemonTuning {
+    /// Registry bound: connections beyond this are refused with a
+    /// best-effort `ERR RESOURCE` line.
+    pub max_conns: usize,
+    /// Polling workers sharing the connection load.
+    pub workers: usize,
+}
+
+impl Default for DaemonTuning {
+    fn default() -> Self {
+        DaemonTuning {
+            max_conns: 256,
+            workers: 4,
+        }
+    }
+}
+
+/// The sharded connection registry. Each worker owns shard `[worker
+/// index]`; cross-shard access happens only for the global bound check
+/// and [`Registry::open_connections`].
+struct Registry {
+    shards: Vec<Mutex<HashMap<u64, Conn>>>,
+    max_conns: usize,
+}
+
+impl Registry {
+    fn new(tuning: &DaemonTuning) -> Registry {
+        Registry {
+            shards: (0..tuning.workers.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            max_conns: tuning.max_conns,
+        }
+    }
+
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, HashMap<u64, Conn>> {
+        self.shards[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Connections currently registered, across all shards.
+    fn open_connections(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).len())
+            .sum()
+    }
+}
 
 /// A running daemon: the bound address plus the handles needed to stop
 /// it. Dropping the handle abandons the daemon (it keeps serving);
@@ -41,13 +121,21 @@ const DEFAULT_TOP: usize = 10;
 pub struct DaemonHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    registry: Arc<Registry>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl DaemonHandle {
     /// The address the daemon actually bound (resolves `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Connections currently held in the registry — the observable the
+    /// churn regression test pins to zero after N connect/disconnect
+    /// cycles.
+    pub fn open_connections(&self) -> usize {
+        self.registry.open_connections()
     }
 
     /// Begins a graceful drain without a client connection — the
@@ -57,34 +145,66 @@ impl DaemonHandle {
         self.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Waits until the drain completes and the accept loop exits.
+    /// Waits until the drain completes and every worker exits.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Binds `addr` and starts serving in background threads.
+/// Binds `addr` and starts serving in background threads with default
+/// [`DaemonTuning`].
 ///
 /// # Errors
 ///
-/// Propagates the bind failure (address in use, permission).
-pub fn spawn(addr: &str, config: ServiceConfig) -> io::Result<DaemonHandle> {
-    let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
+/// The bind failure (address in use, permission) as a `Resource`-class
+/// error, or the service-start failure (corrupt persistent store →
+/// `Parse`, unreadable store directory → `Resource`).
+pub fn spawn(addr: &str, config: ServiceConfig) -> Result<DaemonHandle, StatimError> {
+    spawn_tuned(addr, config, DaemonTuning::default())
+}
+
+/// [`spawn`] with explicit connection-pool tuning.
+///
+/// # Errors
+///
+/// As [`spawn`].
+pub fn spawn_tuned(
+    addr: &str,
+    config: ServiceConfig,
+    tuning: DaemonTuning,
+) -> Result<DaemonHandle, StatimError> {
+    let bind_err = |e: io::Error| StatimError::from(e).with_file(addr.to_string());
+    let listener = TcpListener::bind(addr).map_err(bind_err)?;
+    listener.set_nonblocking(true).map_err(bind_err)?;
+    let bound = listener.local_addr().map_err(bind_err)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let service = Arc::new(AnalysisService::start(config));
-    let loop_stop = Arc::clone(&stop);
-    let accept_thread = thread::Builder::new()
-        .name("statim-accept".into())
-        .spawn(move || accept_loop(&listener, &service, &loop_stop))
-        .map_err(io::Error::other)?;
+    let service = Arc::new(AnalysisService::start(config)?);
+    let registry = Arc::new(Registry::new(&tuning));
+    let listener = Arc::new(listener);
+    let mut workers = Vec::with_capacity(registry.shards.len());
+    for wid in 0..registry.shards.len() {
+        let listener = Arc::clone(&listener);
+        let registry = Arc::clone(&registry);
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let worker = thread::Builder::new()
+            .name(format!("statim-conn-{wid}"))
+            .spawn(move || worker_loop(wid, &listener, &registry, &service, &stop))
+            .map_err(|e| {
+                StatimError::new(
+                    ErrorClass::Resource,
+                    format!("spawn connection worker: {e}"),
+                )
+            })?;
+        workers.push(worker);
+    }
     Ok(DaemonHandle {
-        addr,
+        addr: bound,
         stop,
-        accept_thread: Some(accept_thread),
+        registry,
+        workers,
     })
 }
 
@@ -93,149 +213,401 @@ pub fn spawn(addr: &str, config: ServiceConfig) -> io::Result<DaemonHandle> {
 ///
 /// # Errors
 ///
-/// Propagates the bind failure.
-pub fn serve(addr: &str, config: ServiceConfig) -> io::Result<SocketAddr> {
-    let handle = spawn(addr, config)?;
+/// As [`spawn`].
+pub fn serve(addr: &str, config: ServiceConfig) -> Result<SocketAddr, StatimError> {
+    serve_tuned(addr, config, DaemonTuning::default())
+}
+
+/// [`serve`] with explicit connection-pool tuning.
+///
+/// # Errors
+///
+/// As [`spawn`].
+pub fn serve_tuned(
+    addr: &str,
+    config: ServiceConfig,
+    tuning: DaemonTuning,
+) -> Result<SocketAddr, StatimError> {
+    let handle = spawn_tuned(addr, config, tuning)?;
     let bound = handle.addr();
     handle.join();
     Ok(bound)
 }
 
-fn accept_loop(listener: &TcpListener, service: &Arc<AnalysisService>, stop: &Arc<AtomicBool>) {
-    let active = Arc::new(AtomicUsize::new(0));
-    // Cloned read-halves of every accepted stream, so a drained
-    // shutdown can unblock handlers stuck in `read_line`.
-    let conns: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+/// One polling worker: accept into its own shard, progress every owned
+/// connection, drop the finished ones, exit once stopped and drained.
+fn worker_loop(
+    wid: usize,
+    listener: &TcpListener,
+    registry: &Registry,
+    service: &Arc<AnalysisService>,
+    stop: &AtomicBool,
+) {
+    let mut next_token: u64 = wid as u64;
     loop {
+        let mut busy = false;
+
+        // Accept everything pending. All workers race the listener;
+        // whoever wins owns the connection in its shard.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    busy = true;
+                    if registry.open_connections() >= registry.max_conns {
+                        // Best-effort refusal; the client sees the line
+                        // (or a clean close) instead of a greeting.
+                        let mut stream = stream;
+                        let _ = stream
+                            .write_all(b"ERR RESOURCE connection limit reached, retry later\n");
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    if let Ok(conn) = Conn::new(stream) {
+                        let token = next_token;
+                        next_token += registry.shards.len() as u64;
+                        registry.lock_shard(wid).insert(token, conn);
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Progress the shard; finished connections leave the registry
+        // right here — the fd-leak fix is this `retain`.
+        {
+            let mut shard = registry.lock_shard(wid);
+            shard.retain(|_, conn| {
+                busy |= conn.progress(service, stop);
+                !conn.finished()
+            });
+        }
+
         if stop.load(Ordering::SeqCst) {
             service.shutdown();
             if service.drained() {
-                for s in conns
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .drain(..)
-                {
-                    let _ = s.shutdown(Shutdown::Both);
+                // Drained: flush what's left and close everything in
+                // this worker's shard, then exit.
+                let mut shard = registry.lock_shard(wid);
+                for (_, conn) in shard.drain() {
+                    conn.close();
                 }
-                if active.load(Ordering::SeqCst) == 0 {
-                    return;
-                }
+                return;
             }
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if let Ok(clone) = stream.try_clone() {
-                    conns
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push(clone);
-                }
-                let service = Arc::clone(service);
-                let stop = Arc::clone(stop);
-                let conn_active = Arc::clone(&active);
-                active.fetch_add(1, Ordering::SeqCst);
-                let spawned = thread::Builder::new()
-                    .name("statim-conn".into())
-                    .spawn(move || {
-                        handle_connection(stream, &service, &stop);
-                        conn_active.fetch_sub(1, Ordering::SeqCst);
-                    });
-                if spawned.is_err() {
-                    active.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
-            Err(_) => thread::sleep(ACCEPT_POLL),
+
+        if !busy {
+            thread::sleep(IDLE_POLL);
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, service: &AnalysisService, stop: &AtomicBool) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    if writeln!(writer, "{GREETING}").is_err() {
-        return;
-    }
-    let mut greeted = false;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                let request = line.trim_end_matches(['\r', '\n']);
-                if request.is_empty() {
-                    continue;
-                }
-                let (reply, payload) = respond(request, &mut greeted, service);
-                let shutting_down = matches!(reply, Response::ShuttingDown);
-                let mut out = reply.render();
-                out.push('\n');
-                for l in payload {
-                    out.push_str(&l);
-                    out.push('\n');
-                }
-                if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                    return;
-                }
-                if shutting_down {
-                    stop.store(true, Ordering::SeqCst);
-                }
-            }
-            Err(_) => return, // force-closed during drain, or broken pipe
-        }
-    }
+/// A parked `WAIT`: replies (and further request processing) hold until
+/// the job turns terminal or the deadline passes.
+struct PendingWait {
+    id: JobId,
+    deadline: Option<Instant>,
 }
 
-/// Executes one request line against the service. Returns the reply
-/// header plus any counted payload lines.
-fn respond(line: &str, greeted: &mut bool, service: &AnalysisService) -> (Response, Vec<String>) {
-    let request = match Request::parse(line) {
-        Ok(r) => r,
-        Err(message) => {
-            return (
-                Response::Error {
+/// One multiplexed connection: the non-blocking socket plus its buffers
+/// and protocol state.
+struct Conn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    greeted: bool,
+    /// Negotiated protocol minor (0 until a versioned `HELLO` raises it).
+    minor: u32,
+    pending: Option<PendingWait>,
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        let mut outbuf = Vec::with_capacity(GREETING.len() + 1);
+        outbuf.extend_from_slice(GREETING.as_bytes());
+        outbuf.push(b'\n');
+        Ok(Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf,
+            greeted: false,
+            minor: 0,
+            pending: None,
+            closing: false,
+        })
+    }
+
+    /// Whether the worker should drop this connection now: it is
+    /// closing and everything owed to the client is flushed (or the
+    /// socket is beyond writing).
+    fn finished(&self) -> bool {
+        self.closing && self.outbuf.is_empty()
+    }
+
+    /// Final flush + close for drain-time teardown.
+    fn close(mut self) {
+        let _ = self.flush();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// One readiness turn: flush, resolve a parked `WAIT`, read what the
+    /// socket has, execute complete request lines, flush again. Returns
+    /// whether any I/O or request progress happened (the worker's idle
+    /// heuristic).
+    fn progress(&mut self, service: &AnalysisService, stop: &AtomicBool) -> bool {
+        let mut busy = self.flush();
+        if let Some(reply) = self.resolve_pending(service) {
+            self.queue(&reply, &[]);
+            busy = true;
+        }
+        busy |= self.fill();
+        while !self.closing && self.pending.is_none() {
+            let Some(line) = self.take_line() else { break };
+            busy = true;
+            self.execute(&line, service, stop);
+        }
+        // Oversized partial line, or a pipeline hoarding bytes behind a
+        // WAIT: protocol violation, close after the error flushes.
+        if !self.closing
+            && (self.inbuf.len() > MAX_BUFFERED
+                || (self.pending.is_none() && self.inbuf.len() > MAX_LINE))
+        {
+            self.queue(
+                &Response::Error {
                     code: ErrorCode::Protocol,
-                    message,
+                    message: format!("request line exceeds {MAX_LINE} bytes"),
                 },
-                Vec::new(),
-            )
+                &[],
+            );
+            self.closing = true;
         }
-    };
-    if !*greeted && !matches!(request, Request::Hello { .. }) {
-        return (
-            Response::Error {
-                code: ErrorCode::Protocol,
-                message: format!("handshake required (send HELLO {PROTOCOL_VERSION} first)"),
-            },
-            Vec::new(),
-        );
+        busy |= self.flush();
+        busy
     }
+
+    /// Resolves a parked `WAIT` if its job turned terminal or its
+    /// deadline passed.
+    fn resolve_pending(&mut self, service: &AnalysisService) -> Option<Response> {
+        let pending = self.pending.as_ref()?;
+        let id = pending.id;
+        match service.status(id) {
+            Ok(s) if s.state.is_terminal() => {
+                self.pending = None;
+                Some(Response::Waited {
+                    id,
+                    state: s.state.to_string(),
+                })
+            }
+            Ok(s) => {
+                if pending.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.pending = None;
+                    Some(Response::Error {
+                        code: ErrorCode::Pending,
+                        message: format!("timed out waiting for {id} (still {})", s.state),
+                    })
+                } else {
+                    None
+                }
+            }
+            Err(e) => {
+                self.pending = None;
+                Some(error_reply(&e))
+            }
+        }
+    }
+
+    /// Non-blocking read into the line buffer. Returns whether bytes
+    /// arrived; flags the connection closing on EOF or a hard error.
+    fn fill(&mut self) -> bool {
+        let mut busy = false;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.closing = true;
+                    self.outbuf.clear(); // client is gone; owe it nothing
+                    break;
+                }
+                Ok(n) => {
+                    busy = true;
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    if self.inbuf.len() > MAX_BUFFERED {
+                        break; // cap enforcement happens in progress()
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closing = true;
+                    self.outbuf.clear();
+                    break;
+                }
+            }
+        }
+        busy
+    }
+
+    /// Pops one complete request line (without its terminator) off the
+    /// buffer.
+    fn take_line(&mut self) -> Option<String> {
+        let nl = self.inbuf.iter().position(|&b| b == b'\n')?;
+        let mut raw: Vec<u8> = self.inbuf.drain(..=nl).collect();
+        raw.pop(); // the \n
+        while raw.last() == Some(&b'\r') {
+            raw.pop();
+        }
+        Some(String::from_utf8_lossy(&raw).into_owned())
+    }
+
+    /// Parses and executes one request line, queuing the reply.
+    fn execute(&mut self, line: &str, service: &AnalysisService, stop: &AtomicBool) {
+        if line.is_empty() {
+            return;
+        }
+        let request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(message) => {
+                self.queue(
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message,
+                    },
+                    &[],
+                );
+                return;
+            }
+        };
+        if !self.greeted && !matches!(request, Request::Hello { .. }) {
+            self.queue(
+                &Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("handshake required (send HELLO {PROTOCOL_VERSION} first)"),
+                },
+                &[],
+            );
+            return;
+        }
+        // WAIT manipulates connection state (it parks the reply), so it
+        // is handled here rather than in the stateless dispatcher.
+        if let Request::Wait { id, timeout_ms } = request {
+            if self.minor < 1 {
+                self.queue(
+                    &Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!(
+                            "WAIT needs protocol {PROTOCOL_VERSION}.1 (connection negotiated \
+                             {PROTOCOL_VERSION}.{}); poll STATUS instead",
+                            self.minor
+                        ),
+                    },
+                    &[],
+                );
+                return;
+            }
+            match service.status(id) {
+                Ok(s) if s.state.is_terminal() => {
+                    self.queue(
+                        &Response::Waited {
+                            id,
+                            state: s.state.to_string(),
+                        },
+                        &[],
+                    );
+                }
+                Ok(_) => {
+                    // Saturate instead of panicking on absurd timeouts;
+                    // an overflowing deadline means "no deadline".
+                    let deadline = timeout_ms
+                        .and_then(|ms| Instant::now().checked_add(Duration::from_millis(ms)));
+                    self.pending = Some(PendingWait { id, deadline });
+                }
+                Err(e) => self.queue(&error_reply(&e), &[]),
+            }
+            return;
+        }
+        let (reply, payload) = respond(request, &mut self.greeted, &mut self.minor, service);
+        if matches!(reply, Response::ShuttingDown) {
+            stop.store(true, Ordering::SeqCst);
+        }
+        self.queue(&reply, &payload);
+    }
+
+    /// Appends one rendered reply (header + counted payload) to the
+    /// write buffer.
+    fn queue(&mut self, reply: &Response, payload: &[String]) {
+        let mut out = reply.render();
+        out.push('\n');
+        for l in payload {
+            out.push_str(l);
+            out.push('\n');
+        }
+        self.outbuf.extend_from_slice(out.as_bytes());
+    }
+
+    /// Non-blocking flush of the write buffer. Returns whether bytes
+    /// moved.
+    fn flush(&mut self) -> bool {
+        let mut written = 0;
+        while written < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[written..]) {
+                Ok(0) => {
+                    self.closing = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.closing = true;
+                    self.outbuf.clear();
+                    return written > 0;
+                }
+            }
+        }
+        self.outbuf.drain(..written);
+        written > 0
+    }
+}
+
+/// Executes one stateless request against the service (everything but
+/// `WAIT`, whose reply can park). Returns the reply header plus any
+/// counted payload lines.
+fn respond(
+    request: Request,
+    greeted: &mut bool,
+    minor: &mut u32,
+    service: &AnalysisService,
+) -> (Response, Vec<String>) {
     match request {
-        Request::Hello { version } => {
+        Request::Hello {
+            version,
+            minor: client_minor,
+        } => {
             if version != PROTOCOL_VERSION {
                 return (
                     Response::Error {
                         code: ErrorCode::Protocol,
                         message: format!(
-                            "unsupported protocol version {version} (daemon speaks {PROTOCOL_VERSION})"
+                            "unsupported protocol version {version} (daemon speaks {PROTOCOL_VERSION}.{PROTOCOL_MINOR})"
                         ),
                     },
                     Vec::new(),
                 );
             }
             *greeted = true;
+            *minor = client_minor.min(PROTOCOL_MINOR);
             (
                 Response::Hello {
                     version: PROTOCOL_VERSION,
+                    minor: *minor,
                 },
                 Vec::new(),
             )
         }
+        Request::Wait { .. } => unreachable!("WAIT is handled by the connection"),
         Request::Submit { source, options } => {
             match build_spec(&source, &options, service.default_backend()) {
                 Ok(spec) => match service.submit(spec) {
@@ -323,6 +695,8 @@ fn render_stats(stats: &ServiceStats) -> Vec<String> {
         format!("queued: {}", stats.queued),
         format!("running: {}", stats.running),
         format!("store-entries: {}", stats.store_entries),
+        format!("store-loaded: {}", stats.store_loaded),
+        format!("store-write-errors: {}", stats.store_write_errors),
         format!(
             "kernel-cache: {} hits / {} lookups, {} entries, {} evictions",
             c.hits(),
@@ -469,11 +843,19 @@ pub struct DaemonOptions {
     /// Default convolution backend for jobs (`--backend`); `None` keeps
     /// the service default (grid).
     pub backend: Option<statim_core::ConvolveBackend>,
+    /// Persistent result-store directory (`--store-dir`); `None` keeps
+    /// results in memory only.
+    pub store_dir: Option<PathBuf>,
+    /// Connection registry bound (`--max-conns`).
+    pub max_conns: Option<usize>,
+    /// Polling connection workers (`--conn-threads`).
+    pub conn_threads: Option<usize>,
 }
 
 impl DaemonOptions {
-    /// Lowers the options onto a service configuration.
-    pub fn into_service_config(self) -> ServiceConfig {
+    /// Lowers the options onto a service configuration plus the
+    /// connection-pool tuning.
+    pub fn into_configs(self) -> (ServiceConfig, DaemonTuning) {
         let mut config = ServiceConfig::default();
         if let Some(q) = self.max_queue {
             config.max_queue = q;
@@ -486,6 +868,20 @@ impl DaemonOptions {
         if let Some(b) = self.backend {
             config.default_backend = b;
         }
-        config
+        config.store_dir = self.store_dir;
+        let mut tuning = DaemonTuning::default();
+        if let Some(n) = self.max_conns {
+            tuning.max_conns = n;
+        }
+        if let Some(n) = self.conn_threads {
+            tuning.workers = n.max(1);
+        }
+        (config, tuning)
+    }
+
+    /// Lowers the options onto a service configuration only, discarding
+    /// the pool tuning (kept for callers that tune separately).
+    pub fn into_service_config(self) -> ServiceConfig {
+        self.into_configs().0
     }
 }

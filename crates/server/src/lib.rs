@@ -4,15 +4,19 @@
 //! Three layers:
 //!
 //! * [`protocol`] — the line-delimited wire protocol (versioned
-//!   handshake, typed `ERR` codes, counted multi-line payloads), with
+//!   handshake with minor negotiation, typed `ERR` codes, counted
+//!   multi-line payloads, pipelining and server-side `WAIT`), with
 //!   round-trippable [`protocol::Request`]/[`protocol::Response`] types;
-//! * [`daemon`] — a std-only `TcpListener` accept loop over
-//!   [`statim_core::AnalysisService`]: thread-per-connection protocol
-//!   handling, a single analysis executor behind a bounded queue, and
-//!   graceful drain on `SHUTDOWN` (or the [`daemon::DaemonHandle`]
-//!   test hook);
+//! * [`daemon`] — a std-only non-blocking readiness loop over
+//!   [`statim_core::AnalysisService`]: a fixed pool of polling workers
+//!   multiplexes every connection through a bounded sharded registry
+//!   (entries removed on close), a single analysis executor behind a
+//!   bounded queue, optional on-disk result persistence
+//!   ([`statim_core::ResultLog`]), and graceful drain on `SHUTDOWN`
+//!   (or the [`daemon::DaemonHandle`] test hook);
 //! * [`client`] — a small blocking client used by `statim client`,
-//!   tests and CI.
+//!   tests and CI; wait via the `WAIT` verb (with a `STATUS`-polling
+//!   fallback for minor-0 daemons) and pipelined `submit_batch`.
 //!
 //! No external dependencies: the whole stack is `std::net` + the
 //! workspace crates, per the repo's no-new-deps rule.
@@ -42,5 +46,5 @@ pub mod daemon;
 pub mod protocol;
 
 pub use client::{Client, ClientError, Reply};
-pub use daemon::{serve, spawn, DaemonHandle, DaemonOptions};
-pub use protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_VERSION};
+pub use daemon::{serve, spawn, spawn_tuned, DaemonHandle, DaemonOptions, DaemonTuning};
+pub use protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_MINOR, PROTOCOL_VERSION};

@@ -8,31 +8,45 @@
 //! request  = "HELLO" SP version
 //!          | "SUBMIT" SP source *(SP key "=" value)
 //!          | "STATUS" SP job-id
+//!          | "WAIT" SP job-id [SP "timeout=" ms]       ; minor >= 1
 //!          | "RESULT" SP job-id [SP "top=" n]
 //!          | "CANCEL" SP job-id
 //!          | "STATS"
 //!          | "SHUTDOWN"
 //! source   = "@" benchmark-name | path          ; no spaces
 //! job-id   = "job-" n
+//! version  = major ["." minor]                  ; missing minor = 0
 //! ```
 //!
 //! On connect the daemon sends a greeting (`STATIM/1 ready`); the first
-//! request must be `HELLO 1` (the versioned handshake) — anything else
-//! is `ERR PROTOCOL`. Replies are one line, except `RESULT` and `STATS`
-//! whose `OK` line carries a payload line count (`OK RESULT job-3 17`
-//! means 17 payload lines follow), so a client never needs to sniff for
-//! an end marker:
+//! request must be `HELLO 1` or `HELLO 1.<minor>` (the versioned
+//! handshake) — anything else is `ERR PROTOCOL`. The daemon answers with
+//! the **negotiated** minor, `min(client, daemon)`; a bare `HELLO 1`
+//! negotiates minor 0 and gets the v1.0 reply `OK HELLO 1` back, so old
+//! clients keep working unchanged. `WAIT` — the server-side block until
+//! a job turns terminal, introduced at minor 1 so clients stop
+//! busy-polling `STATUS` over TCP — is refused with `ERR PROTOCOL` on a
+//! minor-0 connection; its `timeout=` expiry is `ERR PENDING` carrying
+//! the job's current state. Replies are one line, except `RESULT` and
+//! `STATS` whose `OK` line carries a payload line count (`OK RESULT
+//! job-3 17` means 17 payload lines follow), so a client never needs to
+//! sniff for an end marker:
 //!
 //! ```text
 //! reply    = "OK HELLO" SP version
 //!          | "OK SUBMIT" SP job-id SP ("queued" | "stored")
 //!          | "OK STATUS" SP job-id SP state SP "circuit=" name SP "from-store=" bit
+//!          | "OK WAIT" SP job-id SP state                 ; state is terminal
 //!          | "OK RESULT" SP job-id SP nlines CRLF *payload-line
 //!          | "OK CANCEL" SP job-id SP ("cancelled" | "cancelling")
 //!          | "OK STATS" SP nlines CRLF *payload-line
 //!          | "OK SHUTDOWN draining"
 //!          | "ERR" SP code SP message
 //! ```
+//!
+//! Requests may be **pipelined**: a client can write any number of
+//! request lines before reading replies, and the daemon answers strictly
+//! in request order (a blocking `WAIT` holds every reply behind it).
 //!
 //! Error codes: the four [`ErrorClass`] classes (`PARSE`, `CONFIG`,
 //! `RESOURCE`, `NUMERIC`) for failures of the job or its inputs, plus
@@ -51,8 +65,35 @@ use std::fmt;
 /// The protocol version the daemon speaks.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// The highest protocol *minor* this build speaks. Minor 1 adds `WAIT`
+/// and pipelined submission; each connection runs at the negotiated
+/// `min(client, daemon)` minor.
+pub const PROTOCOL_MINOR: u32 = 1;
+
 /// The greeting the daemon sends on connect, before any request.
 pub const GREETING: &str = "STATIM/1 ready";
+
+/// Renders `major[.minor]`, omitting a zero minor — the exact v1.0
+/// spelling, so minor-0 lines are byte-identical to the old protocol.
+fn render_version(version: u32, minor: u32) -> String {
+    if minor == 0 {
+        version.to_string()
+    } else {
+        format!("{version}.{minor}")
+    }
+}
+
+/// Parses `major[.minor]`; a missing minor is 0.
+fn parse_version(token: &str) -> Result<(u32, u32), String> {
+    let bad = || format!("invalid version `{token}` (expected an integer)");
+    match token.split_once('.') {
+        None => Ok((token.parse().map_err(|_| bad())?, 0)),
+        Some((major, minor)) => Ok((
+            major.parse().map_err(|_| bad())?,
+            minor.parse().map_err(|_| bad())?,
+        )),
+    }
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +102,8 @@ pub enum Request {
     Hello {
         /// Protocol version the client speaks.
         version: u32,
+        /// Protocol minor the client speaks (0 when absent on the wire).
+        minor: u32,
     },
     /// Submit a job: a netlist source plus `key=value` options.
     Submit {
@@ -73,6 +116,15 @@ pub enum Request {
     Status {
         /// The job.
         id: JobId,
+    },
+    /// Block server-side until the job reaches a terminal state (minor
+    /// ≥ 1 connections only).
+    Wait {
+        /// The job.
+        id: JobId,
+        /// Milliseconds after which the daemon gives up with `ERR
+        /// PENDING` (`None` = wait until terminal).
+        timeout_ms: Option<u64>,
     },
     /// Fetch a finished job's report.
     Result {
@@ -96,7 +148,9 @@ impl Request {
     /// Renders the request as its wire line (no terminator).
     pub fn render(&self) -> String {
         match self {
-            Request::Hello { version } => format!("HELLO {version}"),
+            Request::Hello { version, minor } => {
+                format!("HELLO {}", render_version(*version, *minor))
+            }
             Request::Submit { source, options } => {
                 let mut line = format!("SUBMIT {source}");
                 for (k, v) in options {
@@ -108,6 +162,14 @@ impl Request {
                 line
             }
             Request::Status { id } => format!("STATUS {id}"),
+            Request::Wait {
+                id,
+                timeout_ms: None,
+            } => format!("WAIT {id}"),
+            Request::Wait {
+                id,
+                timeout_ms: Some(ms),
+            } => format!("WAIT {id} timeout={ms}"),
             Request::Result { id, top: None } => format!("RESULT {id}"),
             Request::Result { id, top: Some(n) } => format!("RESULT {id} top={n}"),
             Request::Cancel { id } => format!("CANCEL {id}"),
@@ -127,11 +189,8 @@ impl Request {
         let verb = fields.next().unwrap_or("");
         let req = match verb {
             "HELLO" => {
-                let version = required(&mut fields, "HELLO", "version")?;
-                let version: u32 = version
-                    .parse()
-                    .map_err(|_| format!("invalid version `{version}` (expected an integer)"))?;
-                Request::Hello { version }
+                let (version, minor) = parse_version(required(&mut fields, "HELLO", "version")?)?;
+                Request::Hello { version, minor }
             }
             "SUBMIT" => {
                 let source = required(&mut fields, "SUBMIT", "source")?.to_string();
@@ -150,6 +209,21 @@ impl Request {
             "STATUS" => Request::Status {
                 id: job_id(&mut fields, "STATUS")?,
             },
+            "WAIT" => {
+                let id = job_id(&mut fields, "WAIT")?;
+                let timeout_ms = match fields.next() {
+                    None => None,
+                    Some(opt) => {
+                        let ms = opt
+                            .strip_prefix("timeout=")
+                            .ok_or_else(|| format!("unexpected WAIT option `{opt}`"))?;
+                        Some(ms.parse::<u64>().map_err(|_| {
+                            format!("invalid timeout `{ms}` (expected milliseconds)")
+                        })?)
+                    }
+                };
+                Request::Wait { id, timeout_ms }
+            }
             "RESULT" => {
                 let id = job_id(&mut fields, "RESULT")?;
                 let top = match fields.next() {
@@ -173,7 +247,7 @@ impl Request {
             "" => return Err("empty request".to_string()),
             other => {
                 return Err(format!(
-                    "unknown verb `{other}` (expected HELLO, SUBMIT, STATUS, RESULT, CANCEL, STATS or SHUTDOWN)"
+                    "unknown verb `{other}` (expected HELLO, SUBMIT, STATUS, WAIT, RESULT, CANCEL, STATS or SHUTDOWN)"
                 ))
             }
         };
@@ -301,6 +375,9 @@ pub enum Response {
     Hello {
         /// Protocol version the daemon speaks.
         version: u32,
+        /// Negotiated minor: `min(client, daemon)`; this connection's
+        /// feature level.
+        minor: u32,
     },
     /// Submission accepted.
     Submitted {
@@ -319,6 +396,14 @@ pub enum Response {
         circuit: String,
         /// Whether the result came from the result store.
         from_store: bool,
+    },
+    /// A `WAIT` completed: the job reached a terminal state.
+    Waited {
+        /// The job.
+        id: JobId,
+        /// The terminal state (`done`, `degraded`, `failed`,
+        /// `cancelled`).
+        state: String,
     },
     /// Report header; `lines` payload lines follow.
     Result {
@@ -355,7 +440,9 @@ impl Response {
     /// Renders the reply header as its wire line (no terminator).
     pub fn render(&self) -> String {
         match self {
-            Response::Hello { version } => format!("OK HELLO {version}"),
+            Response::Hello { version, minor } => {
+                format!("OK HELLO {}", render_version(*version, *minor))
+            }
             Response::Submitted { id, from_store } => {
                 let how = if *from_store { "stored" } else { "queued" };
                 format!("OK SUBMIT {id} {how}")
@@ -369,6 +456,7 @@ impl Response {
                 "OK STATUS {id} {state} circuit={circuit} from-store={}",
                 u8::from(*from_store)
             ),
+            Response::Waited { id, state } => format!("OK WAIT {id} {state}"),
             Response::Result { id, lines } => format!("OK RESULT {id} {lines}"),
             Response::Cancelled { id, immediate } => {
                 let how = if *immediate {
@@ -407,9 +495,13 @@ impl Response {
         let mut fields = rest.split(' ');
         let verb = fields.next().unwrap_or("");
         let parsed = match verb {
-            "HELLO" => Response::Hello {
-                version: next_parsed(&mut fields, line)?,
-            },
+            "HELLO" => {
+                let (version, minor) = fields
+                    .next()
+                    .and_then(|f| parse_version(f).ok())
+                    .ok_or_else(|| format!("malformed reply `{line}`"))?;
+                Response::Hello { version, minor }
+            }
             "SUBMIT" => {
                 let id = next_parsed(&mut fields, line)?;
                 let from_store = match fields.next() {
@@ -441,6 +533,14 @@ impl Response {
                     circuit,
                     from_store,
                 }
+            }
+            "WAIT" => {
+                let id = next_parsed(&mut fields, line)?;
+                let state = fields
+                    .next()
+                    .ok_or_else(|| format!("malformed WAIT reply `{line}`"))?
+                    .to_string();
+                Response::Waited { id, state }
             }
             "RESULT" => Response::Result {
                 id: next_parsed(&mut fields, line)?,
@@ -497,7 +597,22 @@ mod tests {
 
     #[test]
     fn request_roundtrips() {
-        roundtrip_request(Request::Hello { version: 1 });
+        roundtrip_request(Request::Hello {
+            version: 1,
+            minor: 0,
+        });
+        roundtrip_request(Request::Hello {
+            version: 1,
+            minor: 1,
+        });
+        roundtrip_request(Request::Wait {
+            id: "job-7".parse().expect("id"),
+            timeout_ms: None,
+        });
+        roundtrip_request(Request::Wait {
+            id: "job-7".parse().expect("id"),
+            timeout_ms: Some(2500),
+        });
         roundtrip_request(Request::Submit {
             source: "@c432".into(),
             options: vec![
@@ -526,7 +641,18 @@ mod tests {
     #[test]
     fn response_roundtrips() {
         let id: JobId = "job-3".parse().expect("id");
-        roundtrip_response(Response::Hello { version: 1 });
+        roundtrip_response(Response::Hello {
+            version: 1,
+            minor: 0,
+        });
+        roundtrip_response(Response::Hello {
+            version: 1,
+            minor: 1,
+        });
+        roundtrip_response(Response::Waited {
+            id,
+            state: "done".into(),
+        });
         roundtrip_response(Response::Submitted {
             id,
             from_store: true,
@@ -572,9 +698,47 @@ mod tests {
             "RESULT job-1 bottom=3",
             "RESULT job-1 top=many",
             "CANCEL jub-1",
+            "HELLO 1.",
+            "HELLO .1",
+            "HELLO 1.x",
+            "WAIT",
+            "WAIT job-x",
+            "WAIT job-1 deadline=5",
+            "WAIT job-1 timeout=soon",
+            "WAIT job-1 timeout=5 extra",
         ] {
             assert!(Request::parse(bad).is_err(), "`{bad}` must not parse");
         }
+    }
+
+    #[test]
+    fn version_wire_forms_are_stable() {
+        // Minor 0 renders exactly the v1.0 spelling — old peers never
+        // see a dot.
+        assert_eq!(
+            Request::Hello {
+                version: 1,
+                minor: 0
+            }
+            .render(),
+            "HELLO 1"
+        );
+        assert_eq!(
+            Response::Hello {
+                version: 1,
+                minor: 1
+            }
+            .render(),
+            "OK HELLO 1.1"
+        );
+        // And the old spelling still parses as minor 0.
+        assert_eq!(
+            Request::parse("HELLO 1").expect("parses"),
+            Request::Hello {
+                version: 1,
+                minor: 0
+            }
+        );
     }
 
     #[test]

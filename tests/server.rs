@@ -10,13 +10,15 @@
 use statim::core::engine::{SstaConfig, SstaEngine};
 use statim::core::report::deterministic_report;
 use statim::core::service::ServiceConfig;
+use statim::core::store::ResultLog;
+use statim::core::ErrorClass;
 use statim::netlist::generators::iscas85::{self, Benchmark};
 use statim::netlist::{Placement, PlacementStyle};
 use statim::server::{daemon, Client, ClientError, DaemonHandle, ErrorCode, Request, GREETING};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::path::Path;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Keep the tests quick: coarse kernels, same on both sides of every
 /// comparison.
@@ -26,6 +28,28 @@ const WAIT: Duration = Duration::from_secs(120);
 
 fn spawn_daemon(config: ServiceConfig) -> DaemonHandle {
     daemon::spawn("127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+/// A fresh store directory under the system temp dir (removed first, so
+/// a crashed previous run cannot leak state into this one).
+fn tmp_store(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("statim-server-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Polls `open_connections` until it reaches `want` — registry pruning
+/// happens on the owning worker's next tick, not synchronously with the
+/// socket close, so the observation needs a bounded grace window.
+fn wait_for_open_connections(handle: &DaemonHandle, want: usize) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let open = handle.open_connections();
+        if open == want || Instant::now() >= deadline {
+            return open;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }
 
 fn connect(handle: &DaemonHandle) -> Client {
@@ -318,6 +342,337 @@ fn shutdown_drains_queued_work_and_closes() {
 }
 
 // ---------------------------------------------------------------------
+// Connection lifecycle: the registry is bounded under churn, WAIT is
+// gated on the negotiated minor, pipelined batches reply in order.
+// ---------------------------------------------------------------------
+
+#[test]
+fn connection_churn_leaves_the_registry_empty() {
+    let handle = spawn_daemon(ServiceConfig::default());
+
+    // Raw connect/disconnect cycles, including sockets dropped before
+    // the daemon even greets them and half-written request lines.
+    for i in 0..48 {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        if i % 3 == 1 {
+            let _ = stream.write_all(b"HELLO");
+        }
+        drop(stream);
+    }
+    // Full handshakes dropped without SHUTDOWN leak just as easily.
+    for _ in 0..8 {
+        drop(connect(&handle));
+    }
+
+    assert_eq!(
+        wait_for_open_connections(&handle, 0),
+        0,
+        "closed connections must be pruned from the registry"
+    );
+
+    // The daemon is still healthy after the churn.
+    let mut client = connect(&handle);
+    let (id, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    assert_eq!(client.wait(id, WAIT).expect("wait"), "done");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn wait_verb_is_gated_on_the_negotiated_minor() {
+    let handle = spawn_daemon(ServiceConfig::default());
+
+    let raw = |hello: &str| {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut read_line = move || {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            line.trim_end().to_string()
+        };
+        assert_eq!(read_line(), GREETING);
+        writeln!(writer, "{hello}").expect("write");
+        (writer, read_line)
+    };
+
+    // A v1.0 connection has WAIT refused with a pointer at the minor…
+    let (mut writer, mut read_line) = raw("HELLO 1");
+    assert_eq!(read_line(), "OK HELLO 1");
+    writeln!(writer, "WAIT job-0").expect("write");
+    let reply = read_line();
+    assert!(
+        reply.starts_with("ERR PROTOCOL") && reply.contains("1.1"),
+        "v1.0 WAIT must be refused naming the needed minor, got `{reply}`"
+    );
+    // …and the refusal does not kill the connection.
+    writeln!(writer, "STATUS job-0").expect("write");
+    assert!(read_line().starts_with("ERR NOTFOUND"));
+
+    // A negotiated 1.1 connection gets the verb (NOTFOUND, not a gate).
+    let (mut writer, mut read_line) = raw("HELLO 1.1");
+    assert_eq!(read_line(), "OK HELLO 1.1");
+    writeln!(writer, "WAIT job-99").expect("write");
+    assert!(read_line().starts_with("ERR NOTFOUND"));
+
+    // The library client negotiates 1.1 against this daemon.
+    let mut client = connect(&handle);
+    assert_eq!(client.minor(), 1);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn wait_timeouts_are_typed_and_huge_timeouts_do_not_panic() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // A heavy job so the short wait below reliably expires first.
+    let heavy = opts(&[("confidence", "0.3")]);
+    let (slow, _) = client.submit("@c1355", &heavy).expect("submit heavy");
+    match client.wait(slow, Duration::from_millis(50)) {
+        Err(ClientError::Timeout { id, last_state }) => {
+            assert_eq!(id, slow);
+            assert!(
+                matches!(last_state.as_str(), "queued" | "running"),
+                "live job, got state `{last_state}`"
+            );
+        }
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    // A zero timeout expires immediately but stays typed.
+    match client.wait(slow, Duration::ZERO) {
+        Err(ClientError::Timeout { .. }) => {}
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    client.cancel(slow).expect("cancel");
+    client.wait(slow, WAIT).expect("wait cancelled");
+
+    // The `--wait` CLI path passes an astronomically large timeout; it
+    // must saturate to "wait forever", not panic in `Instant` math.
+    let (quick, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    let state = client
+        .wait(quick, Duration::from_secs(u64::MAX / 4))
+        .expect("huge timeout waits");
+    assert_eq!(state, "done");
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn pipelined_batch_replies_arrive_in_submission_order() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // One write burst: two good jobs around a bad one. The bad job's
+    // CONFIG error must land in its own slot without shifting the rest.
+    let jobs: Vec<(String, Vec<(String, String)>)> = vec![
+        ("@c432".to_string(), opts(&[])),
+        ("@c432".to_string(), opts(&[("backend", "warp")])),
+        ("@c499".to_string(), opts(&[])),
+    ];
+    let receipts = client.submit_batch(&jobs).expect("batch");
+    assert_eq!(receipts.len(), 3);
+    let (first, _) = *receipts[0].as_ref().expect("first job queued");
+    match &receipts[1] {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(*code, ErrorCode::Config);
+            assert!(message.contains("warp"), "{message}");
+        }
+        other => panic!("expected CONFIG error in slot 1, got {other:?}"),
+    }
+    let (third, _) = *receipts[2].as_ref().expect("third job queued");
+    assert_ne!(first, third);
+
+    // Byte-identity to the per-benchmark batch run proves the replies
+    // were not swapped: c432 and c499 reports differ.
+    client.wait(first, WAIT).expect("wait first");
+    client.wait(third, WAIT).expect("wait third");
+    assert_eq!(
+        client.result(first, Some(5)).expect("result first"),
+        batch_report(Benchmark::C432, 5)
+    );
+    assert_eq!(
+        client.result(third, Some(5)).expect("result third"),
+        batch_report(Benchmark::C499, 5)
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
+// Persistence: a restarted daemon serves prior results byte-identically,
+// surviving concurrent connection churn and a SIGTERM-style stop; a
+// corrupt store log is a typed Parse error, never a wrong report.
+// ---------------------------------------------------------------------
+
+#[test]
+fn restarted_daemon_serves_stored_results_bit_identically() {
+    let dir = tmp_store("restart");
+    let config = || ServiceConfig {
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    let handle = spawn_daemon(config());
+    let mut client = connect(&handle);
+    let (id, from_store) = client.submit("@c432", &opts(&[])).expect("submit");
+    assert!(!from_store, "empty store cannot hit");
+    assert_eq!(client.wait(id, WAIT).expect("wait"), "done");
+    let before = client.result(id, Some(5)).expect("result");
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // A brand-new daemon over the same directory: the resubmission is
+    // answered from disk, byte-identical to the pre-restart serving and
+    // to the one-shot run.
+    let handle = spawn_daemon(config());
+    let mut client = connect(&handle);
+    let (id, from_store) = client.submit("@c432", &opts(&[])).expect("resubmit");
+    assert!(from_store, "restart must replay the persistent store");
+    let after = client.result(id, Some(5)).expect("stored result");
+    assert_eq!(after, before, "restart changed the served bytes");
+    assert_eq!(after, batch_report(Benchmark::C432, 5));
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn soak_churn_with_kill_and_restart_preserves_results() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dir = tmp_store("soak");
+    let config = || ServiceConfig {
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let handle = spawn_daemon(config());
+
+    // Background churn: three threads hammering connect/disconnect —
+    // some raw drops, some full handshakes — while real work runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = handle.addr();
+    let churners: Vec<_> = (0..3)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut cycles = 0u32;
+                while !stop.load(Ordering::Relaxed) && cycles < 200 {
+                    if let Ok(mut s) = TcpStream::connect(addr) {
+                        if (cycles + t).is_multiple_of(2) {
+                            let _ = s.write_all(b"HELLO 1\n");
+                        }
+                        drop(s);
+                    }
+                    cycles += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+
+    let mut client = connect(&handle);
+    let mut before = Vec::new();
+    for source in ["@c432", "@c499"] {
+        let (id, _) = client.submit(source, &opts(&[])).expect("submit");
+        assert_eq!(client.wait(id, WAIT).expect("wait"), "done", "{source}");
+        before.push(client.result(id, Some(5)).expect("result"));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for t in churners {
+        t.join().expect("churn thread");
+    }
+    // Only the live client may remain registered once churn settles.
+    assert_eq!(
+        wait_for_open_connections(&handle, 1),
+        1,
+        "churned connections must not accumulate"
+    );
+
+    // SIGTERM-style stop: no client SHUTDOWN, just the process hook.
+    drop(client);
+    handle.shutdown();
+    handle.join();
+
+    // The restarted daemon serves both results from disk, byte-identical.
+    let handle = spawn_daemon(config());
+    let mut client = connect(&handle);
+    for (source, want) in ["@c432", "@c499"].iter().zip(&before) {
+        let (id, from_store) = client.submit(source, &opts(&[])).expect("resubmit");
+        assert!(from_store, "{source}: must be served from the store");
+        assert_eq!(
+            &client.result(id, Some(5)).expect("stored result"),
+            want,
+            "{source}: restart changed the served bytes"
+        );
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn store_corpus() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/store");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("store corpus dir")
+        .map(|e| e.expect("corpus entry").path())
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "store corpus unexpectedly small");
+    files
+}
+
+#[test]
+fn corrupt_store_logs_fail_open_with_typed_parse_errors() {
+    for file in store_corpus() {
+        let name = file
+            .file_name()
+            .expect("name")
+            .to_string_lossy()
+            .to_string();
+        let dir = tmp_store(&format!("corpus-{}", name.replace('.', "-")));
+        std::fs::create_dir_all(&dir).expect("store dir");
+        std::fs::copy(&file, dir.join("results.log")).expect("copy corpus log");
+        let err = ResultLog::open(&dir).expect_err(&name);
+        assert_eq!(err.class, ErrorClass::Parse, "{name}: {err}");
+        assert!(err.line.is_some(), "{name}: wants the offending line");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn daemon_refuses_to_start_over_a_corrupt_store() {
+    // The same corruption through the front door: `spawn` with a
+    // poisoned store directory is a typed startup failure, not a daemon
+    // that silently serves wrong bytes.
+    let file = store_corpus()
+        .into_iter()
+        .find(|f| f.file_name().is_some_and(|n| n == "bad_checksum.log"))
+        .expect("bad_checksum.log in corpus");
+    let dir = tmp_store("corrupt-spawn");
+    std::fs::create_dir_all(&dir).expect("store dir");
+    std::fs::copy(&file, dir.join("results.log")).expect("copy corpus log");
+    let err = match daemon::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+    ) {
+        Err(err) => err,
+        Ok(_) => panic!("spawn over a corrupt store must fail"),
+    };
+    assert_eq!(err.class, ErrorClass::Parse, "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
 // Protocol corpus: every malformed request line is a typed PROTOCOL
 // error — parse-level and against a live daemon — and never kills the
 // connection.
@@ -415,18 +770,18 @@ mod roundtrip {
 
     fn arb_request() -> impl Strategy<Value = Request> {
         (
-            0usize..7,
-            0u32..1000,
+            0usize..8,
+            (0u32..1000, 0u32..4),
             0u64..10_000,
             proptest::collection::vec((token(false), token(true)), 0..4),
             token(false),
-            // Encodes Option<usize>: values past 99 mean `top` absent.
+            // Encodes Option<usize>: values past 99 mean `top`/`timeout` absent.
             0usize..200,
         )
-            .prop_map(|(variant, version, id, options, source, top)| {
+            .prop_map(|(variant, (version, minor), id, options, source, top)| {
                 let id: JobId = format!("job-{id}").parse().expect("job id");
                 match variant {
-                    0 => Request::Hello { version },
+                    0 => Request::Hello { version, minor },
                     1 => Request::Submit { source, options },
                     2 => Request::Status { id },
                     3 => Request::Result {
@@ -434,7 +789,11 @@ mod roundtrip {
                         top: (top < 100).then_some(top),
                     },
                     4 => Request::Cancel { id },
-                    5 => Request::Stats,
+                    5 => Request::Wait {
+                        id,
+                        timeout_ms: (top < 100).then_some(top as u64 * 37),
+                    },
+                    6 => Request::Stats,
                     _ => Request::Shutdown,
                 }
             })
