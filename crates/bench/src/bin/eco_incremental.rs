@@ -1,0 +1,240 @@
+//! **Incremental ECO benchmark**: how much of a full re-analysis a
+//! dirty-cone edit actually saves on c880.
+//!
+//! Three scenarios — a 1-gate edit (a sink gate, minimal fanout cone),
+//! a 1% edit and a 10% edit (late-level gates, resized by 0.9) — each
+//! measured as: wall time of `IncrementalEngine::apply` on a warm
+//! engine vs wall time of a from-scratch `SstaEngine::run` on the same
+//! edited circuit. **Byte-identity of the two deterministic reports is
+//! asserted on every pass** — a speedup that changed the bytes would be
+//! a bug, not a result. The 1-gate scenario must clear 5x.
+//!
+//! Results overwrite `BENCH_incremental.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin eco_incremental --release
+//! ```
+
+use statim_core::engine::{SstaConfig, SstaEngine};
+use statim_core::report::deterministic_report;
+use statim_core::{apply_edits, EcoEdit, EcoScript, IncrementalEngine};
+use statim_netlist::generators::iscas85::{self, Benchmark};
+use statim_netlist::{Circuit, Placement, PlacementStyle, Signal};
+use std::time::Instant;
+
+const BENCH: Benchmark = Benchmark::C880;
+const REPEATS: usize = 3;
+const LIMIT: usize = 25;
+
+fn config() -> SstaConfig {
+    // A wide near-critical window (33 paths on c880 at C = 3) gives the
+    // path set real depth, so reuse-vs-recompute is measured against
+    // meaningful work rather than a single critical path.
+    SstaConfig::date05().with_confidence(3.0)
+}
+
+/// Gates with no gate fanout (sinks), latest first — the smallest
+/// possible dirty cones.
+fn sink_gates(circuit: &Circuit) -> Vec<String> {
+    let mut driven = vec![false; circuit.gate_count()];
+    for g in circuit.gates() {
+        for s in &g.inputs {
+            if let Signal::Gate(src) = s {
+                driven[src.index()] = true;
+            }
+        }
+    }
+    circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .rev()
+        .filter(|(i, _)| !driven[*i])
+        .map(|(_, g)| g.name.clone())
+        .collect()
+}
+
+/// A resize-by-0.9 script over `n` gates spread evenly across the
+/// netlist — representative cones, neither all-PI (worst case) nor
+/// all-sink (best case).
+fn resize_spread(circuit: &Circuit, n: usize) -> EcoScript {
+    let gates = circuit.gates();
+    let stride = gates.len() / n;
+    let edits = (0..n)
+        .map(|i| {
+            (
+                i + 1,
+                EcoEdit::ResizeGate {
+                    gate: gates[i * stride + stride / 2].name.clone(),
+                    drive: 0.9,
+                },
+            )
+        })
+        .collect();
+    EcoScript { edits }
+}
+
+struct Scenario {
+    label: &'static str,
+    script: EcoScript,
+}
+
+struct Outcome {
+    label: &'static str,
+    edits: usize,
+    dirty_gates: usize,
+    cone_gates: usize,
+    reused_paths: usize,
+    recomputed_paths: usize,
+    full_ms: f64,
+    incremental_ms: f64,
+}
+
+fn run_scenario(circuit: &Circuit, placement: &Placement, sc: &Scenario) -> Outcome {
+    let mut best_inc = f64::INFINITY;
+    let mut best_full = f64::INFINITY;
+    let mut stats = None;
+    for _ in 0..REPEATS {
+        // A fresh warm engine per pass: the base run seeds the retained
+        // analyses and kernel store but is not part of the measurement.
+        let mut inc = IncrementalEngine::new(
+            SstaEngine::new(config()),
+            circuit.clone(),
+            placement.clone(),
+        )
+        .expect("base run");
+        let t = Instant::now();
+        let outcome = inc.apply(&sc.script).expect("incremental apply");
+        best_inc = best_inc.min(t.elapsed().as_secs_f64() * 1e3);
+
+        let mut edited = circuit.clone();
+        apply_edits(&mut edited, &sc.script).expect("reference apply");
+        let t = Instant::now();
+        let fresh = SstaEngine::new(config())
+            .run(&edited, placement)
+            .expect("fresh run");
+        best_full = best_full.min(t.elapsed().as_secs_f64() * 1e3);
+
+        // The contract, checked on every timed pass.
+        assert_eq!(
+            deterministic_report(&outcome.report, LIMIT),
+            deterministic_report(&fresh, LIMIT),
+            "{}: incremental report diverged from from-scratch",
+            sc.label
+        );
+        stats = Some(outcome.stats);
+    }
+    let stats = stats.expect("at least one pass");
+    Outcome {
+        label: sc.label,
+        edits: stats.edits_applied,
+        dirty_gates: stats.dirty_gates,
+        cone_gates: stats.cone_gates,
+        reused_paths: stats.reused_paths,
+        recomputed_paths: stats.recomputed_paths,
+        full_ms: best_full,
+        incremental_ms: best_inc,
+    }
+}
+
+fn main() {
+    let circuit = iscas85::generate(BENCH);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let n = circuit.gate_count();
+    let one_pct = n.div_ceil(100);
+    let ten_pct = n / 10;
+
+    let sink = sink_gates(&circuit)
+        .into_iter()
+        .next()
+        .expect("c880 has sink gates");
+    let scenarios = [
+        Scenario {
+            label: "1-gate",
+            script: EcoScript {
+                edits: vec![(
+                    1,
+                    EcoEdit::ResizeGate {
+                        gate: sink,
+                        drive: 0.9,
+                    },
+                )],
+            },
+        },
+        Scenario {
+            label: "1%",
+            script: resize_spread(&circuit, one_pct),
+        },
+        Scenario {
+            label: "10%",
+            script: resize_spread(&circuit, ten_pct),
+        },
+    ];
+
+    let base = SstaEngine::new(config())
+        .run(&circuit, &placement)
+        .expect("sizing run");
+    println!(
+        "incremental ECO on {} ({} gates, {} near-critical paths), best of {REPEATS}:",
+        BENCH.name(),
+        n,
+        base.num_paths
+    );
+
+    let mut rows = Vec::new();
+    for sc in &scenarios {
+        let o = run_scenario(&circuit, &placement, sc);
+        println!(
+            "  {:>6}: {:>3} edit(s), cone {:>3}, reused {:>3}/{:<3} — full {:>8.2} ms, \
+             incremental {:>7.2} ms ({:.1}x)",
+            o.label,
+            o.edits,
+            o.cone_gates,
+            o.reused_paths,
+            o.reused_paths + o.recomputed_paths,
+            o.full_ms,
+            o.incremental_ms,
+            o.full_ms / o.incremental_ms
+        );
+        rows.push(o);
+    }
+
+    let one_gate = &rows[0];
+    let speedup = one_gate.full_ms / one_gate.incremental_ms;
+    assert!(
+        speedup >= 5.0,
+        "1-gate edit speedup {speedup:.1}x is below the 5x floor"
+    );
+
+    let points: Vec<String> = rows
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"label\": \"{}\", \"edits\": {}, \"dirty_gates\": {}, \
+                 \"cone_gates\": {}, \"reused_paths\": {}, \"recomputed_paths\": {}, \
+                 \"full_ms\": {:.3}, \"incremental_ms\": {:.3}, \"speedup\": {:.2}, \
+                 \"identical\": true}}",
+                o.label,
+                o.edits,
+                o.dirty_gates,
+                o.cone_gates,
+                o.reused_paths,
+                o.recomputed_paths,
+                o.full_ms,
+                o.incremental_ms,
+                o.full_ms / o.incremental_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"incremental-eco\",\n  \"circuit\": \"{}\",\n  \
+         \"gates\": {},\n  \"paths\": {},\n  \"repeats\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        BENCH.name(),
+        n,
+        base.num_paths,
+        REPEATS,
+        points.join(",\n")
+    );
+    std::fs::write("BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!("wrote BENCH_incremental.json");
+}

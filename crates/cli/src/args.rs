@@ -8,6 +8,9 @@ statim — path-based statistical static timing analysis (DATE'05)
 USAGE:
     statim analyze <circuit.bench> [OPTIONS]   analyze a .bench netlist
     statim analyze --benchmark <name> [OPTIONS] analyze a built-in ISCAS85 equivalent
+    statim eco --benchmark <name> --script <file> [OPTIONS]
+                                               incremental ECO re-analysis: apply an
+                                               edit script, re-run only the dirty cone
     statim yield --benchmark <name> [--target <y>] [OPTIONS]
                                                timing-yield curve and clock constraint
     statim mc --benchmark <name> [--samples <n>] [OPTIONS]
@@ -63,6 +66,15 @@ ANALYZE OPTIONS:
                           unbounded — results stay bit-identical either
                           way
 
+ECO OPTIONS (plus all ANALYZE OPTIONS):
+    --script <file>       ECO edit script, one edit per line (# comments):
+                          resize <gate> <drive> | retime <gate> <pad> |
+                          swap <gate> <kind> | addwire <driver> <sink> <pin> |
+                          rmwire <sink> <pin>; `-` reads stdin
+    --emit-bench <file>   also write the edited netlist as .bench (for
+                          diffing the incremental report against a clean
+                          `statim analyze` of the same edited circuit)
+
 SERVE OPTIONS:
     --addr <host:port>    listen address [default: 127.0.0.1:7411]
     --max-queue <n>       bounded job queue; submits beyond it get
@@ -94,6 +106,11 @@ CLIENT COMMANDS (all take --addr <host:port> [default: 127.0.0.1:7411]):
     result <job-id> [--top <n>]
                           fetch a finished job's report
     cancel <job-id>       cancel a queued or running job
+    edit <job-id> <script>
+                          apply a compact ECO script (resize:g1:2.0;...)
+                          to a known job's circuit; the daemon re-analyzes
+                          the edited circuit as a new job against its warm
+                          kernel store (needs protocol 1.1)
     stats                 print the daemon's counters
     shutdown              ask the daemon to drain and exit
 
@@ -108,6 +125,15 @@ MC OPTIONS:
 pub enum Command {
     /// Analyze a circuit.
     Analyze(AnalyzeArgs),
+    /// Incremental ECO re-analysis (analyze options plus a script).
+    Eco {
+        /// The analyze options (circuit source, engine knobs).
+        args: AnalyzeArgs,
+        /// ECO edit-script path (`-` = stdin).
+        script: String,
+        /// Optional path to write the edited netlist as `.bench`.
+        emit_bench: Option<String>,
+    },
     /// Timing-yield analysis (same options as analyze plus a target).
     Yield {
         /// The analyze options.
@@ -214,6 +240,14 @@ pub enum ClientAction {
         /// The job id.
         id: String,
     },
+    /// Apply a compact ECO script to a known job's circuit; the edited
+    /// circuit runs as a new job (protocol minor ≥ 1).
+    Edit {
+        /// The base job id.
+        id: String,
+        /// Compact space-free script (`resize:g1:2.0;swap:g2:nor2`).
+        script: String,
+    },
     /// Print daemon counters.
     Stats,
     /// Drain the daemon.
@@ -307,6 +341,18 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let cmd = it.next().ok_or("missing command")?;
     match cmd.as_str() {
         "analyze" => parse_analyze(it.as_slice()),
+        "eco" => {
+            let (args, extra) = parse_analyze_with(it.as_slice(), &["--script", "--emit-bench"])?;
+            let script = extra
+                .get("--script")
+                .cloned()
+                .ok_or("eco needs --script <file> (or `-` for stdin)")?;
+            Ok(Command::Eco {
+                args,
+                script,
+                emit_bench: extra.get("--emit-bench").cloned(),
+            })
+        }
         "yield" => {
             let (args, extra) = parse_analyze_with(it.as_slice(), &["--target"])?;
             let target = extra
@@ -494,6 +540,12 @@ fn parse_client(rest: &[String]) -> Result<Command, String> {
         },
         "cancel" => ClientAction::Cancel {
             id: toks.next().ok_or("client cancel needs a job id")?,
+        },
+        "edit" => ClientAction::Edit {
+            id: toks.next().ok_or("client edit needs a job id")?,
+            script: toks
+                .next()
+                .ok_or("client edit needs a compact script (resize:g1:2.0;...)")?,
         },
         "stats" => ClientAction::Stats,
         "shutdown" => ClientAction::Shutdown,
@@ -873,6 +925,70 @@ mod tests {
         assert!(parse(&v(&["client", "status"])).is_err());
         assert!(parse(&v(&["client", "submit", "@c432", "notkeyvalue"])).is_err());
         assert!(parse(&v(&["client", "status", "job-1", "extra"])).is_err());
+    }
+
+    #[test]
+    fn parses_eco() {
+        match parse(&v(&[
+            "eco",
+            "--benchmark",
+            "c432",
+            "--script",
+            "fix.eco",
+            "--emit-bench",
+            "edited.bench",
+            "--threads",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Command::Eco {
+                args,
+                script,
+                emit_bench,
+            } => {
+                assert_eq!(args.benchmark.as_deref(), Some("c432"));
+                assert_eq!(args.threads, Some(2));
+                assert_eq!(script, "fix.eco");
+                assert_eq!(emit_bench.as_deref(), Some("edited.bench"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The script is mandatory; the emit path is not.
+        assert!(parse(&v(&["eco", "--benchmark", "c432"])).is_err());
+        match parse(&v(&["eco", "--benchmark", "c432", "--script", "-"])).unwrap() {
+            Command::Eco {
+                script, emit_bench, ..
+            } => {
+                assert_eq!(script, "-");
+                assert!(emit_bench.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_client_edit() {
+        match parse(&v(&[
+            "client",
+            "edit",
+            "job-4",
+            "resize:g1:2.0;swap:g2:nor2",
+        ]))
+        .unwrap()
+        {
+            Command::Client { action, .. } => assert_eq!(
+                action,
+                ClientAction::Edit {
+                    id: "job-4".into(),
+                    script: "resize:g1:2.0;swap:g2:nor2".into(),
+                }
+            ),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["client", "edit", "job-4"])).is_err());
+        assert!(parse(&v(&["client", "edit"])).is_err());
+        assert!(parse(&v(&["client", "edit", "job-4", "resize:g1:2.0", "x"])).is_err());
     }
 
     #[test]

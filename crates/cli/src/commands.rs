@@ -19,6 +19,11 @@ type DynResult = Result<(), StatimError>;
 pub fn run(cmd: Command) -> DynResult {
     match cmd {
         Command::Analyze(a) => analyze(a),
+        Command::Eco {
+            args,
+            script,
+            emit_bench,
+        } => eco(args, &script, emit_bench),
         Command::Yield { args, target } => timing_yield(args, target),
         Command::Mc { args, samples } => monte_carlo(args, samples),
         Command::Generate {
@@ -121,11 +126,9 @@ fn parse_backend(name: &str) -> Result<statim_core::ConvolveBackend, StatimError
         .map_err(|e: String| StatimError::new(ErrorClass::Config, e))
 }
 
-/// Builds circuit, placement and config from analyze-style args, then
-/// runs the engine.
-fn run_engine(
-    a: &AnalyzeArgs,
-) -> Result<(statim_netlist::Circuit, Placement, statim_core::SstaReport), StatimError> {
+/// Builds circuit, placement and config from analyze-style args — the
+/// shared front half of `run_engine` and `eco`.
+fn build_setup(a: &AnalyzeArgs) -> Result<(Circuit, Placement, SstaConfig), StatimError> {
     // Reject a fault plan up front when this binary cannot honour it —
     // silently ignoring it would report fault-free results as faulty.
     #[cfg(not(feature = "fault-injection"))]
@@ -173,8 +176,53 @@ fn run_engine(
     if let Some(spec) = &a.fault_plan {
         config = config.with_faults(spec.parse()?);
     }
+    Ok((circuit, placement, config))
+}
+
+/// Builds circuit, placement and config from analyze-style args, then
+/// runs the engine.
+fn run_engine(
+    a: &AnalyzeArgs,
+) -> Result<(statim_netlist::Circuit, Placement, statim_core::SstaReport), StatimError> {
+    let (circuit, placement, config) = build_setup(a)?;
     let report = SstaEngine::new(config).run(&circuit, &placement)?;
     Ok((circuit, placement, report))
+}
+
+fn eco(a: AnalyzeArgs, script_path: &str, emit_bench: Option<String>) -> DynResult {
+    use statim_core::{EcoScript, IncrementalEngine};
+    reject_mc_only_flags(&a, "eco")?;
+    let text = if script_path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        buf
+    } else {
+        fs::read_to_string(script_path).map_err(|e| StatimError::from(e).with_file(script_path))?
+    };
+    let script =
+        EcoScript::parse(&text).map_err(|e| StatimError::from(e).with_file(script_path))?;
+    let (circuit, placement, config) = build_setup(&a)?;
+    let mut inc = IncrementalEngine::new(SstaEngine::new(config), circuit, placement)?;
+    let outcome = inc
+        .apply(&script)
+        .map_err(|e| StatimError::from(e).with_file(script_path))?;
+    println!(
+        "eco: applied {} edit(s) to {}",
+        outcome.stats.edits_applied, outcome.report.circuit
+    );
+    println!("{}", outcome.stats.summary_line());
+    if let Some(path) = &emit_bench {
+        fs::write(path, bench_format::write(inc.circuit()))
+            .map_err(|e| StatimError::from(e).with_file(path))?;
+        println!("wrote {path}");
+    }
+    println!();
+    print!(
+        "{}",
+        statim_core::report::deterministic_report(&outcome.report, a.top)
+    );
+    Ok(())
 }
 
 fn timing_yield(a: AnalyzeArgs, target: f64) -> DynResult {
@@ -442,6 +490,18 @@ fn client(addr: &str, action: ClientAction) -> DynResult {
             println!(
                 "{id} {}",
                 if immediate { "cancelled" } else { "cancelling" }
+            );
+        }
+        ClientAction::Edit { id, script } => {
+            let id = parse_job_id(&id)?;
+            let (new_id, from_store) = client.edit(id, &script).map_err(client_error)?;
+            println!(
+                "{new_id} {}",
+                if from_store {
+                    "served from result store"
+                } else {
+                    "queued"
+                }
             );
         }
         ClientAction::Stats => print!("{}", client.stats().map_err(client_error)?),

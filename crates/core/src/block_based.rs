@@ -11,9 +11,13 @@
 //! This module implements that baseline faithfully so the criticism can
 //! be measured: each gate's delay is an independent Gaussian whose σ
 //! comes from the full (unsplit) parameter variances through the gate's
-//! delay gradient; arrival PDFs propagate topologically with
-//! independent-sum (convolution) and independent-max (CDF product)
-//! kernels, at `O(|N|·QUALITY²)` cost.
+//! delay gradient; arrival PDFs propagate level by level over the
+//! [`TimingGraph`] IR with independent-sum (convolution) and
+//! independent-max (CDF product) kernels, at `O(|N|·QUALITY²)` cost.
+//! The propagation schedule comes from the IR's levelization; the
+//! per-gate MAX still folds the *raw netlist pins in pin order*
+//! (duplicate drivers included — the independent-max kernel is not
+//! idempotent, so collapsing duplicates would change the baseline).
 //!
 //! Against the exact correlated Monte-Carlo it *underestimates* the
 //! delay spread: positively correlated gate delays (inter-die variation
@@ -22,6 +26,7 @@
 //! and this baseline cannot.
 
 use crate::characterize::CircuitTiming;
+use crate::graph::TimingGraph;
 use crate::{CoreError, Result};
 use statim_netlist::{Circuit, Signal};
 use statim_process::param::Variations;
@@ -37,7 +42,10 @@ pub struct BlockBasedResult {
     /// Arrival-time PDF of the latest primary output (the circuit delay
     /// distribution under the independence assumptions).
     pub circuit_pdf: Pdf,
-    /// Arrival PDF per primary output, in output order.
+    /// Arrival PDF per gate-driven primary output, **in netlist output
+    /// order** (the order `circuit.outputs()` declares, which
+    /// `.bench`/DEF round-trips preserve) — deterministic by
+    /// construction, never keyed through a hash map.
     pub po_pdfs: Vec<(String, Pdf)>,
 }
 
@@ -62,7 +70,9 @@ pub fn independent_gate_sigma(timing: &CircuitTiming, gate: usize, vars: &Variat
         .sqrt()
 }
 
-/// Runs the block-based propagation at `quality` discretization points.
+/// Runs the block-based propagation at `quality` discretization points,
+/// building the [`TimingGraph`] IR internally. Callers that already hold
+/// the IR (the incremental engine) use [`block_based_on_graph`].
 ///
 /// # Errors
 ///
@@ -74,31 +84,55 @@ pub fn block_based_sta(
     vars: &Variations,
     quality: usize,
 ) -> Result<BlockBasedResult> {
+    let graph = TimingGraph::build(circuit)?;
+    block_based_on_graph(circuit, &graph, timing, vars, quality)
+}
+
+/// The block-based propagation on a pre-built [`TimingGraph`]: gates are
+/// visited level by level (the IR's schedule), which is observably
+/// identical to any topological order because each gate reads only
+/// earlier-level arrivals.
+///
+/// # Errors
+///
+/// As [`block_based_sta`].
+pub fn block_based_on_graph(
+    circuit: &Circuit,
+    graph: &TimingGraph,
+    timing: &CircuitTiming,
+    vars: &Variations,
+    quality: usize,
+) -> Result<BlockBasedResult> {
     if circuit.gate_count() == 0 {
         return Err(CoreError::EmptyCircuit);
     }
     let mut arrival: Vec<Option<Pdf>> = vec![None; circuit.gate_count()];
-    for (i, gate) in circuit.gates().iter().enumerate() {
-        // Incoming arrival: independent max over gate fan-ins (primary
-        // inputs arrive at t = 0 and are absorbed by the max identity).
-        let mut incoming: Option<Pdf> = None;
-        for s in &gate.inputs {
-            if let Signal::Gate(src) = s {
-                let a = arrival[src.index()].as_ref().expect("topological order");
-                incoming = Some(match incoming {
-                    None => a.clone(),
-                    Some(acc) => max_pdf(&acc, a, quality)?,
-                });
+    for level in graph.levels() {
+        for &g in level {
+            // Incoming arrival: independent max over the raw netlist
+            // pins in pin order, duplicates included (primary inputs
+            // arrive at t = 0 and are absorbed by the max identity).
+            let gate = circuit.gate(g);
+            let mut incoming: Option<Pdf> = None;
+            for s in &gate.inputs {
+                if let Signal::Gate(src) = s {
+                    let a = arrival[src.index()].as_ref().expect("level order");
+                    incoming = Some(match incoming {
+                        None => a.clone(),
+                        Some(acc) => max_pdf(&acc, a, quality)?,
+                    });
+                }
             }
+            // Own delay PDF: independent Gaussian around the nominal delay.
+            let nominal = timing.gate(g).nominal;
+            let sigma = independent_gate_sigma(timing, g.index(), vars);
+            let delay =
+                try_gaussian_pdf(nominal, sigma.max(nominal * 1e-9), vars.trunc_k, quality)?;
+            arrival[g.index()] = Some(match incoming {
+                None => delay,
+                Some(inc) => sum_pdf_resampled(&inc, &delay, quality)?,
+            });
         }
-        // Own delay PDF: independent Gaussian around the nominal delay.
-        let nominal = timing.gates()[i].nominal;
-        let sigma = independent_gate_sigma(timing, i, vars);
-        let delay = try_gaussian_pdf(nominal, sigma.max(nominal * 1e-9), vars.trunc_k, quality)?;
-        arrival[i] = Some(match incoming {
-            None => delay,
-            Some(inc) => sum_pdf_resampled(&inc, &delay, quality)?,
-        });
     }
     let mut po_pdfs = Vec::new();
     let mut circuit_pdf: Option<Pdf> = None;
@@ -204,6 +238,44 @@ mod tests {
             assert!(r.circuit_pdf.mean() >= pdf.mean() - 1e-15);
         }
         assert!(r.sigma_point(3.0) > r.circuit_pdf.mean());
+    }
+
+    #[test]
+    fn po_pdfs_follow_netlist_output_order() {
+        // Regression: PO iteration must follow the netlist's declared
+        // output order, not any hash-keyed traversal — the byte-stable
+        // differential suite depends on it.
+        let c = iscas85::generate(Benchmark::C880);
+        let tech = Technology::cmos130();
+        let vars = Variations::date05();
+        let t = characterize(&c, &tech).unwrap();
+        let r = block_based_sta(&c, &t, &vars, 40).unwrap();
+        let declared: Vec<&str> = c
+            .outputs()
+            .iter()
+            .filter(|(_, s)| matches!(s, Signal::Gate(_)))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let got: Vec<&str> = r.po_pdfs.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(got, declared);
+        // And the whole result is bit-stable across repeat runs.
+        let again = block_based_sta(&c, &t, &vars, 40).unwrap();
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn graph_schedule_matches_id_order_propagation() {
+        // Level-order (IR) and id-order propagation are the same
+        // computation: each gate only reads earlier-level arrivals.
+        // Compare against an explicitly id-ordered reference.
+        let c = iscas85::generate(Benchmark::C432);
+        let tech = Technology::cmos130();
+        let vars = Variations::date05();
+        let t = characterize(&c, &tech).unwrap();
+        let graph = TimingGraph::build(&c).unwrap();
+        let via_graph = block_based_on_graph(&c, &graph, &t, &vars, 50).unwrap();
+        let direct = block_based_sta(&c, &t, &vars, 50).unwrap();
+        assert_eq!(via_graph, direct);
     }
 
     #[test]

@@ -148,7 +148,22 @@ fn characterize_with_wires(
             Some(w) => Load::with_wire(fanout[i], w[i]),
             None => Load::fanout(fanout[i]),
         };
-        let ab = tech.alpha_beta(gate.kind, &load);
+        let mut ab = tech.alpha_beta(gate.kind, &load);
+        // ECO resize: a gate sized by `drive` sources drive× the
+        // current, so both coefficients (each ∝ C/(µ·W)) shrink by the
+        // same factor.
+        if gate.drive != 1.0 {
+            ab.alpha /= gate.drive;
+            ab.beta /= gate.drive;
+        }
+        // ECO retime: fold the pad into β so exactly `pad` seconds land
+        // on the nominal delay while the pad inherits the same
+        // inter-die (tox, Leff, Vdd, VTp) dependence as the gate.
+        if gate.pad != 0.0 {
+            let geom = tech.tox * tech.leff / tech.eps_ox;
+            let kernel = statim_process::delay::voltage_kernel(tech.vdd, tech.vtp);
+            ab.beta += gate.pad / (statim_process::tech::ELMORE_K * geom * kernel);
+        }
         let nominal = gate_delay(tech, &ab, &nominal_pt);
         if !nominal.is_finite() || nominal <= 0.0 {
             return Err(CoreError::NonFiniteDelay { gate: i });
@@ -214,6 +229,27 @@ mod tests {
         let d = t.path_delay(&[ids[0], ids[1]]);
         assert!((d - (t.gates()[0].nominal + t.gates()[1].nominal)).abs() < 1e-18);
         assert_eq!(t.path_delay(&[]), 0.0);
+    }
+
+    #[test]
+    fn drive_and_pad_overlays_shift_nominal_delay() {
+        let mut c = tiny();
+        let base = characterize(&c, &Technology::cmos130()).unwrap();
+        let g1 = statim_netlist::GateId(0);
+        // Doubling the drive halves both coefficients, halving the delay.
+        c.set_drive(g1, 2.0).unwrap();
+        let resized = characterize(&c, &Technology::cmos130()).unwrap();
+        let got = resized.gate(g1).nominal;
+        let want = base.gate(g1).nominal / 2.0;
+        assert!((got - want).abs() < 1e-18, "{got} vs {want}");
+        assert_eq!(resized.gates()[1], base.gates()[1], "others untouched");
+        // A pad lands on the nominal delay exactly, to f64 round-off.
+        c.set_drive(g1, 1.0).unwrap();
+        let pad = 2.5e-12;
+        c.set_pad(g1, pad).unwrap();
+        let padded = characterize(&c, &Technology::cmos130()).unwrap();
+        let got = padded.gate(g1).nominal - base.gate(g1).nominal;
+        assert!((got - pad).abs() < 1e-24, "pad landed as {got}, want {pad}");
     }
 
     #[test]

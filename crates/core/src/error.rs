@@ -69,6 +69,21 @@ pub enum CoreError {
         /// [`BudgetKind`](crate::supervise::BudgetKind)), as text.
         budget: String,
     },
+    /// An ECO edit script is syntactically malformed.
+    EcoParse {
+        /// 1-based line of the offending statement.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntactically valid ECO edit cannot be applied to the circuit
+    /// (unknown gate, dangling wire, cyclic add, arity clash, ...).
+    EcoApply {
+        /// 1-based line of the offending statement in its script.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 /// Coarse classification of a failure, for degraded-path accounting and
@@ -121,6 +136,8 @@ impl CoreError {
             CoreError::CheckpointIo { .. } | CoreError::BudgetExhausted { .. } => {
                 ErrorClass::Resource
             }
+            CoreError::EcoParse { .. } => ErrorClass::Parse,
+            CoreError::EcoApply { .. } => ErrorClass::Config,
         }
     }
 }
@@ -195,7 +212,9 @@ impl From<CoreError> for StatimError {
                 Some((l, c)) => (Some(l).filter(|&l| l > 0), Some(c).filter(|&c| c > 0)),
                 None => (None, None),
             },
-            CoreError::CheckpointParse { line, .. } => (Some(*line).filter(|&l| l > 0), None),
+            CoreError::CheckpointParse { line, .. }
+            | CoreError::EcoParse { line, .. }
+            | CoreError::EcoApply { line, .. } => (Some(*line).filter(|&l| l > 0), None),
             _ => (None, None),
         };
         StatimError {
@@ -262,6 +281,12 @@ impl fmt::Display for CoreError {
                     f,
                     "{budget} budget exhausted before any result was produced"
                 )
+            }
+            CoreError::EcoParse { line, message } => {
+                write!(f, "eco script parse error at line {line}: {message}")
+            }
+            CoreError::EcoApply { line, message } => {
+                write!(f, "eco edit at line {line} cannot be applied: {message}")
             }
         }
     }
@@ -360,6 +385,42 @@ mod tests {
             .classify(),
             ErrorClass::Resource
         );
+        assert_eq!(
+            CoreError::EcoParse {
+                line: 2,
+                message: "unknown verb".into(),
+            }
+            .classify(),
+            ErrorClass::Parse
+        );
+        assert_eq!(
+            CoreError::EcoApply {
+                line: 2,
+                message: "unknown gate".into(),
+            }
+            .classify(),
+            ErrorClass::Config
+        );
+    }
+
+    #[test]
+    fn eco_errors_carry_line_into_statim_error() {
+        let e: StatimError = CoreError::EcoParse {
+            line: 4,
+            message: "bad float".into(),
+        }
+        .into();
+        assert_eq!(e.class, ErrorClass::Parse);
+        assert_eq!(e.line, Some(4));
+        assert!(e.to_string().contains("line 4"), "{e}");
+        let e: StatimError = CoreError::EcoApply {
+            line: 7,
+            message: "gate `zz` not found".into(),
+        }
+        .into();
+        assert_eq!(e.class, ErrorClass::Config);
+        assert_eq!(e.line, Some(7));
+        assert!(e.to_string().contains("cannot be applied"), "{e}");
     }
 
     #[test]

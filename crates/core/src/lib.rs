@@ -29,8 +29,10 @@
 //! clock constraints), [`cache`] (bit-identical memoization of the
 //! per-path kernels), [`supervise`] (panic isolation, deterministic
 //! retry, run budgets and Monte-Carlo checkpoint/resume), [`store`]
-//! (the persistent on-disk result store behind [`service`]) and
-//! [`report`] (text/CSV rendering).
+//! (the persistent on-disk result store behind [`service`]), [`graph`]
+//! (the levelized timing-graph IR), [`incremental`] (ECO edit scripts
+//! and dirty-cone incremental re-analysis) and [`report`] (text/CSV
+//! rendering).
 //!
 //! # Example
 //!
@@ -62,6 +64,8 @@ pub mod enumerate;
 pub mod error;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod faults;
+pub mod graph;
+pub mod incremental;
 pub mod inter;
 pub mod intra;
 pub mod longest_path;
@@ -83,6 +87,10 @@ pub use engine::{DegradedPath, RunContext, SstaConfig, SstaEngine, SstaReport};
 pub use error::{CoreError, ErrorClass, StatimError};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use faults::{Fault, FaultPlan};
+pub use graph::{ArrivalModel, GraphNode, TimingGraph};
+pub use incremental::{
+    apply_edits, EcoEdit, EcoOutcome, EcoScript, IncrementalEngine, IncrementalStats,
+};
 pub use service::{
     AnalysisService, CancelOutcome, JobId, JobSpec, JobState, JobStatus, ServiceConfig,
     ServiceError, ServiceStats, SubmitReceipt,

@@ -339,8 +339,10 @@ struct Job {
     circuit: String,
     fingerprint: u64,
     from_store: bool,
-    /// Present while Queued; taken by the executor.
-    spec: Option<JobSpec>,
+    /// Retained for the job's lifetime (shared with the executor while
+    /// Running) so `EDIT` can derive a new spec from any base job —
+    /// including store-served and cancelled ones.
+    spec: Option<Arc<JobSpec>>,
     /// Present while Running, so `cancel` can reach the token.
     supervisor: Option<Arc<Supervisor>>,
     report: Option<Arc<SstaReport>>,
@@ -477,7 +479,7 @@ impl AnalysisService {
                     circuit: report.circuit.clone(),
                     fingerprint,
                     from_store: true,
-                    spec: None,
+                    spec: Some(Arc::new(spec)),
                     supervisor: None,
                     report: Some(report),
                     error: None,
@@ -504,7 +506,7 @@ impl AnalysisService {
                 circuit: spec.circuit.name().to_string(),
                 fingerprint,
                 from_store: false,
-                spec: Some(spec),
+                spec: Some(Arc::new(spec)),
                 supervisor: None,
                 report: None,
                 error: None,
@@ -565,6 +567,21 @@ impl AnalysisService {
         }
     }
 
+    /// The spec a job was submitted with — the base an `EDIT` mutates.
+    /// Available for every job the table knows, whatever its state
+    /// (specs are retained for the job's lifetime).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`] for an id the table never issued.
+    pub fn spec(&self, id: JobId) -> std::result::Result<Arc<JobSpec>, ServiceError> {
+        let st = self.shared.lock();
+        let job = st.jobs.get(&id.0).ok_or(ServiceError::UnknownJob(id))?;
+        Ok(Arc::clone(
+            job.spec.as_ref().expect("every job retains its spec"),
+        ))
+    }
+
     /// Cancels a job: queued jobs cancel immediately, running jobs get
     /// their token tripped ([`BudgetKind::Cancelled`]) and stop at the
     /// next item boundary.
@@ -579,7 +596,6 @@ impl AnalysisService {
         match job.state {
             JobState::Queued => {
                 job.state = JobState::Cancelled;
-                job.spec = None;
                 job.error = Some(cancelled_error());
                 st.stats.cancelled += 1;
                 Ok(CancelOutcome::Immediate)
@@ -679,7 +695,7 @@ fn run_executor(shared: &Shared) {
                     }
                     job.state = JobState::Running;
                     let fingerprint = job.fingerprint;
-                    let spec = job.spec.take().expect("queued job carries its spec");
+                    let spec = Arc::clone(job.spec.as_ref().expect("queued job carries its spec"));
                     let sup = Arc::new(Supervisor::new(spec.config.budget, spec.config.retries));
                     job.supervisor = Some(Arc::clone(&sup));
                     break Some((id, fingerprint, spec, sup));

@@ -15,6 +15,13 @@
 //! each function name through [`GateKind::from_bench`], so any circuit in
 //! the supported gate library round-trips. Gates are emitted in
 //! topological order by the writer.
+//!
+//! ECO overlays (per-gate drive strength and retiming pads) ride in
+//! `# statim drive <net> <factor>` / `# statim pad <net> <seconds>`
+//! directive comments: classic tools skip them as comments, while this
+//! reader applies them, so an edited circuit round-trips through `.bench`
+//! bit-exactly. The writer only emits directives for non-default values,
+//! keeping unedited circuits byte-identical to their classic form.
 
 use crate::circuit::{Circuit, Signal};
 use crate::error::NetlistError;
@@ -41,9 +48,17 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
     let mut inputs: Vec<(usize, &str)> = Vec::new();
     let mut outputs: Vec<(usize, &str)> = Vec::new();
     let mut defs: Vec<Def> = Vec::new();
+    // ECO overlay directives: (line, is_drive, net, value).
+    let mut overlays: Vec<(usize, bool, &str, f64)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
+        // Overlay directives live inside comments (so classic readers
+        // skip them); intercept before the comment strip.
+        if let Some(directive) = raw.trim().strip_prefix("# statim ") {
+            overlays.push(parse_directive(raw, line_no, directive)?);
+            continue;
+        }
         let line = match raw.find('#') {
             Some(p) => &raw[..p],
             None => raw,
@@ -160,7 +175,71 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
             })?;
         circuit.mark_output(*po, s)?;
     }
+    for (line, is_drive, net, value) in overlays {
+        let id = match circuit.find(net) {
+            Some(Signal::Gate(id)) => id,
+            Some(Signal::Input(_)) => {
+                return Err(NetlistError::Parse {
+                    line,
+                    col: 1,
+                    message: format!("statim directive targets primary input `{net}`, not a gate"),
+                })
+            }
+            None => {
+                return Err(NetlistError::UndefinedName {
+                    name: net.to_string(),
+                })
+            }
+        };
+        let applied = if is_drive {
+            circuit.set_drive(id, value)
+        } else {
+            circuit.set_pad(id, value)
+        };
+        applied.map_err(|e| NetlistError::Parse {
+            line,
+            col: 1,
+            message: e.to_string(),
+        })?;
+    }
     Ok(circuit)
+}
+
+/// Parses the tail of a `# statim ...` directive comment.
+fn parse_directive<'a>(
+    raw: &str,
+    line: usize,
+    directive: &'a str,
+) -> Result<(usize, bool, &'a str, f64)> {
+    let mut fields = directive.split_whitespace();
+    let bad = |message: String| NetlistError::Parse {
+        line,
+        col: crate::col_in(raw, directive),
+        message,
+    };
+    let verb = fields.next().unwrap_or("");
+    let is_drive = match verb {
+        "drive" => true,
+        "pad" => false,
+        other => {
+            return Err(bad(format!(
+                "unknown statim directive `{other}` (expected drive or pad)"
+            )))
+        }
+    };
+    let net = fields
+        .next()
+        .ok_or_else(|| bad(format!("statim {verb} needs a net name and a value")))?;
+    let value = fields
+        .next()
+        .ok_or_else(|| bad(format!("statim {verb} {net} needs a value")))?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| bad(format!("invalid {verb} value `{value}`")))?;
+    if let Some(extra) = fields.next() {
+        return Err(bad(format!("trailing field `{extra}` after statim {verb}")));
+    }
+    Ok((line, is_drive, net, value))
 }
 
 fn strip_decl<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -199,6 +278,17 @@ pub fn write(circuit: &Circuit) -> String {
             g.kind.bench_name(),
             args.join(", ")
         );
+    }
+    // ECO overlays, only where they differ from the defaults — unedited
+    // circuits keep their classic byte-exact form. `{}` on f64 prints
+    // the shortest round-trip-exact decimal, so parse(write(c)) == c.
+    for g in circuit.gates() {
+        if g.drive != 1.0 {
+            let _ = writeln!(out, "# statim drive {} {}", g.name, g.drive);
+        }
+        if g.pad != 0.0 {
+            let _ = writeln!(out, "# statim pad {} {}", g.name, g.pad);
+        }
     }
     out
 }
@@ -328,6 +418,53 @@ y = NOT(a)
             }) => {}
             other => panic!("expected Parse at col 4, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn eco_overlays_round_trip() {
+        let mut c = parse("c17", C17).unwrap();
+        let Some(Signal::Gate(g10)) = c.find("10") else {
+            panic!("gate 10 exists")
+        };
+        let Some(Signal::Gate(g22)) = c.find("22") else {
+            panic!("gate 22 exists")
+        };
+        c.set_drive(g10, 1.75).unwrap();
+        c.set_pad(g22, 3.25e-12).unwrap();
+        let text = write(&c);
+        assert!(text.contains("# statim drive 10 1.75"));
+        assert!(text.contains("# statim pad 22 0.00000000000325"));
+        let c2 = parse("c17", &text).unwrap();
+        assert_eq!(c2.gate(g10).drive, 1.75);
+        assert_eq!(c2.gate(g22).pad, 3.25e-12);
+        // Full byte-exact round trip, overlays included.
+        assert_eq!(write(&c2), text);
+        // Unedited circuits never grow directives.
+        assert!(!write(&parse("c17", C17).unwrap()).contains("statim"));
+    }
+
+    #[test]
+    fn malformed_directives_fail_typed() {
+        let base = "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n";
+        for (extra, want_line) in [
+            ("# statim boost b 2.0\n", 4),
+            ("# statim drive b\n", 4),
+            ("# statim drive b two\n", 4),
+            ("# statim drive b 2.0 junk\n", 4),
+            ("# statim drive b -1.0\n", 4),
+            ("# statim pad b -1e-12\n", 4),
+            ("# statim drive a 2.0\n", 4),
+        ] {
+            let text = format!("{base}{extra}");
+            match parse("t", &text) {
+                Err(NetlistError::Parse { line, .. }) => assert_eq!(line, want_line, "{extra}"),
+                other => panic!("`{extra}` should fail as Parse, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            parse("t", &format!("{base}# statim drive ghost 2.0\n")),
+            Err(NetlistError::UndefinedName { .. })
+        ));
     }
 
     #[test]

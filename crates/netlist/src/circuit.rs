@@ -42,6 +42,13 @@ pub struct Gate {
     pub kind: GateKind,
     /// Input connections, length = `kind.fan_in()`.
     pub inputs: Vec<Signal>,
+    /// Drive-strength multiplier from an ECO resize (1.0 = nominal).
+    /// Both current-factor coefficients of the delay model scale by
+    /// `1/drive`, so a 2x-sized gate is twice as fast at equal load.
+    pub drive: f64,
+    /// Delay pad in seconds from an ECO retime (0.0 = none), added to
+    /// the gate's nominal propagation delay.
+    pub pad: f64,
 }
 
 /// A combinational netlist.
@@ -125,6 +132,8 @@ impl Circuit {
             name,
             kind,
             inputs: inputs.to_vec(),
+            drive: 1.0,
+            pad: 0.0,
         });
         Ok(sig)
     }
@@ -195,6 +204,111 @@ impl Circuit {
                     self.gates.len()
                 ),
             })
+    }
+
+    /// Replaces a gate's type in place (an ECO swap). The new kind must
+    /// have the same fan-in — a swap never rewires pins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a foreign id and
+    /// [`NetlistError::ArityMismatch`] when the fan-ins differ.
+    pub fn set_gate_kind(&mut self, id: GateId, kind: GateKind) -> Result<()> {
+        self.try_gate(id)?;
+        let gate = &mut self.gates[id.index()];
+        if kind.fan_in() != gate.inputs.len() {
+            return Err(NetlistError::ArityMismatch {
+                gate: gate.name.clone(),
+                expected: kind.fan_in(),
+                got: gate.inputs.len(),
+            });
+        }
+        gate.kind = kind;
+        Ok(())
+    }
+
+    /// Reconnects one input pin of a gate to a different driver (an ECO
+    /// wire change). The driver must already exist and, when it is a
+    /// gate, must precede the sink in topological order — the invariant
+    /// that keeps the netlist acyclic by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a foreign id, an
+    /// out-of-range pin, or a driver at or after the sink in topological
+    /// order; [`NetlistError::DanglingSignal`] for a driver that does
+    /// not exist.
+    pub fn rewire_input(&mut self, id: GateId, pin: usize, driver: Signal) -> Result<()> {
+        self.try_gate(id)?;
+        if !self.signal_exists(driver) {
+            return Err(NetlistError::DanglingSignal {
+                gate: self.gates[id.index()].name.clone(),
+            });
+        }
+        let gate = &self.gates[id.index()];
+        if pin >= gate.inputs.len() {
+            return Err(NetlistError::InvalidConfig {
+                message: format!(
+                    "pin {pin} out of range for gate `{}` with {} inputs",
+                    gate.name,
+                    gate.inputs.len()
+                ),
+            });
+        }
+        if let Signal::Gate(src) = driver {
+            if src.index() >= id.index() {
+                return Err(NetlistError::InvalidConfig {
+                    message: format!(
+                        "driver `{}` does not precede sink `{}` in topological order \
+                         (the edge could close a cycle)",
+                        self.gates[src.index()].name,
+                        gate.name
+                    ),
+                });
+            }
+        }
+        self.gates[id.index()].inputs[pin] = driver;
+        Ok(())
+    }
+
+    /// Sets a gate's drive-strength multiplier (an ECO resize).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a foreign id or a
+    /// non-finite / non-positive drive.
+    pub fn set_drive(&mut self, id: GateId, drive: f64) -> Result<()> {
+        self.try_gate(id)?;
+        if !drive.is_finite() || drive <= 0.0 {
+            return Err(NetlistError::InvalidConfig {
+                message: format!(
+                    "drive {drive} for gate `{}` must be finite and positive",
+                    self.gates[id.index()].name
+                ),
+            });
+        }
+        self.gates[id.index()].drive = drive;
+        Ok(())
+    }
+
+    /// Sets a gate's retiming pad in seconds (an ECO retime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a foreign id or a
+    /// non-finite / negative pad.
+    pub fn set_pad(&mut self, id: GateId, pad: f64) -> Result<()> {
+        self.try_gate(id)?;
+        if !pad.is_finite() || pad < 0.0 {
+            return Err(NetlistError::InvalidConfig {
+                message: format!(
+                    "pad {pad} for gate `{}` must be finite and non-negative",
+                    self.gates[id.index()].name
+                ),
+            });
+        }
+        self.gates[id.index()].pad = pad;
+        Ok(())
     }
 
     /// All gates in topological (insertion) order.
@@ -518,6 +632,63 @@ mod tests {
         let h = c.kind_histogram();
         assert_eq!(h.len(), 2);
         assert_eq!(h[0].1, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn eco_mutators_enforce_invariants() -> Result<()> {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a")?;
+        let b = c.add_input("b")?;
+        let g1 = c.add_gate("g1", GateKind::Nand(2), &[a, b])?;
+        let Signal::Gate(id1) = g1 else {
+            unreachable!()
+        };
+        let g2 = c.add_gate("g2", GateKind::Inv, &[g1])?;
+        let Signal::Gate(id2) = g2 else {
+            unreachable!()
+        };
+        c.mark_output("o", g2)?;
+
+        // Swap keeps arity; a fan-in change is rejected.
+        c.set_gate_kind(id1, GateKind::Nor(2))?;
+        assert_eq!(c.gate(id1).kind, GateKind::Nor(2));
+        assert!(matches!(
+            c.set_gate_kind(id1, GateKind::Inv),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+
+        // Rewire honours pin bounds, existence, and topological order.
+        c.rewire_input(id1, 1, a)?;
+        assert_eq!(c.gate(id1).inputs[1], a);
+        assert!(matches!(
+            c.rewire_input(id1, 5, a),
+            Err(NetlistError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            c.rewire_input(id1, 0, Signal::Gate(GateId(99))),
+            Err(NetlistError::DanglingSignal { .. })
+        ));
+        // g2 -> g1 would point backwards (and could close a cycle).
+        assert!(matches!(
+            c.rewire_input(id1, 0, g2),
+            Err(NetlistError::InvalidConfig { .. })
+        ));
+        // Self-loop is equally refused.
+        assert!(matches!(
+            c.rewire_input(id2, 0, g2),
+            Err(NetlistError::InvalidConfig { .. })
+        ));
+
+        // Drive and pad validate their ranges.
+        c.set_drive(id1, 2.0)?;
+        assert_eq!(c.gate(id1).drive, 2.0);
+        assert!(c.set_drive(id1, 0.0).is_err());
+        assert!(c.set_drive(id1, f64::NAN).is_err());
+        c.set_pad(id2, 1.5e-12)?;
+        assert_eq!(c.gate(id2).pad, 1.5e-12);
+        assert!(c.set_pad(id2, -1.0e-12).is_err());
+        assert!(c.set_pad(id2, f64::INFINITY).is_err());
         Ok(())
     }
 

@@ -192,6 +192,27 @@ impl Client {
         }
     }
 
+    /// Applies a compact ECO edit script (`resize:g1:2.0;swap:g2:nor2`)
+    /// to a known job's circuit; the daemon re-analyzes the edited
+    /// circuit as a new job against its warm kernel store. Returns the
+    /// **new** job's id plus whether it was answered from the result
+    /// store. Needs a negotiated protocol minor ≥ 1.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, typed daemon errors (unknown base job, script
+    /// parse/apply errors), or an unexpected reply kind.
+    pub fn edit(&mut self, id: JobId, script: &str) -> Result<(JobId, bool), ClientError> {
+        let reply = self.request(&Request::Edit {
+            id,
+            script: script.to_string(),
+        })?;
+        match reply.response {
+            Response::Edited { id, from_store } => Ok((id, from_store)),
+            other => Err(unexpected("EDIT", &other)),
+        }
+    }
+
     /// Submits many jobs down the pipe before reading a single reply —
     /// one write burst, then the replies in submission order. Per-job
     /// failures (`BUSY`, a bad config) land in that job's slot without

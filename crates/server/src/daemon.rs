@@ -37,7 +37,7 @@ use crate::protocol::{
 };
 use statim_core::engine::{LabelSolver, SstaConfig};
 use statim_core::service::{AnalysisService, CancelOutcome, JobSpec, ServiceConfig, ServiceStats};
-use statim_core::{ErrorClass, JobId, RunBudget, StatimError};
+use statim_core::{apply_edits, EcoScript, ErrorClass, JobId, RunBudget, StatimError};
 use statim_netlist::generators::iscas85::{self, Benchmark};
 use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle};
 use std::collections::HashMap;
@@ -629,6 +629,43 @@ fn respond(
                 ),
             }
         }
+        Request::Edit { id, script } => {
+            if *minor < 1 {
+                return (
+                    Response::Error {
+                        code: ErrorCode::Protocol,
+                        message: format!(
+                            "EDIT needs protocol {PROTOCOL_VERSION}.1 (connection negotiated \
+                             {PROTOCOL_VERSION}.{minor})"
+                        ),
+                    },
+                    Vec::new(),
+                );
+            }
+            let base = match service.spec(id) {
+                Ok(spec) => spec,
+                Err(e) => return (error_reply(&e), Vec::new()),
+            };
+            match edited_spec(&base, &script) {
+                Ok(spec) => match service.submit(spec) {
+                    Ok(receipt) => (
+                        Response::Edited {
+                            id: receipt.id,
+                            from_store: receipt.from_store,
+                        },
+                        Vec::new(),
+                    ),
+                    Err(e) => (error_reply(&e), Vec::new()),
+                },
+                Err(e) => (
+                    Response::Error {
+                        code: ErrorCode::from(e.class),
+                        message: e.to_string(),
+                    },
+                    Vec::new(),
+                ),
+            }
+        }
         Request::Status { id } => match service.status(id) {
             Ok(s) => (
                 Response::Status {
@@ -801,6 +838,21 @@ fn build_spec(
         None => Placement::generate(&circuit, placement_style),
     };
     Ok(JobSpec::new(circuit, placement, config))
+}
+
+/// Derives a new [`JobSpec`] from a base job's spec by applying a
+/// compact ECO edit script to a clone of its circuit. Placement and run
+/// options carry over unchanged, so the new job re-analyzes against the
+/// daemon's warm kernel store and path-identical kernels hit the cache.
+fn edited_spec(base: &JobSpec, script: &str) -> Result<JobSpec, StatimError> {
+    let script = EcoScript::parse_compact(script).map_err(StatimError::from)?;
+    let mut circuit = base.circuit.clone();
+    apply_edits(&mut circuit, &script).map_err(StatimError::from)?;
+    Ok(JobSpec::new(
+        circuit,
+        base.placement.clone(),
+        base.config.clone(),
+    ))
 }
 
 fn load_source(source: &str) -> Result<Circuit, StatimError> {

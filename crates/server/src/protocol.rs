@@ -9,6 +9,7 @@
 //!          | "SUBMIT" SP source *(SP key "=" value)
 //!          | "STATUS" SP job-id
 //!          | "WAIT" SP job-id [SP "timeout=" ms]       ; minor >= 1
+//!          | "EDIT" SP job-id SP edit-script           ; minor >= 1
 //!          | "RESULT" SP job-id [SP "top=" n]
 //!          | "CANCEL" SP job-id
 //!          | "STATS"
@@ -16,6 +17,9 @@
 //! source   = "@" benchmark-name | path          ; no spaces
 //! job-id   = "job-" n
 //! version  = major ["." minor]                  ; missing minor = 0
+//! edit-script = compact ECO form                ; no spaces:
+//!               edits ";"-separated, fields ":"-separated,
+//!               e.g. resize:g1:2.0;swap:g2:nor2
 //! ```
 //!
 //! On connect the daemon sends a greeting (`STATIM/1 ready`); the first
@@ -27,7 +31,10 @@
 //! a job turns terminal, introduced at minor 1 so clients stop
 //! busy-polling `STATUS` over TCP — is refused with `ERR PROTOCOL` on a
 //! minor-0 connection; its `timeout=` expiry is `ERR PENDING` carrying
-//! the job's current state. Replies are one line, except `RESULT` and
+//! the job's current state. `EDIT` — also minor ≥ 1 — applies a compact
+//! ECO edit script to the named job's circuit and submits the edited
+//! circuit as a *new* job under the same options, re-analyzed against
+//! the daemon's warm kernel store. Replies are one line, except `RESULT` and
 //! `STATS` whose `OK` line carries a payload line count (`OK RESULT
 //! job-3 17` means 17 payload lines follow), so a client never needs to
 //! sniff for an end marker:
@@ -37,6 +44,7 @@
 //!          | "OK SUBMIT" SP job-id SP ("queued" | "stored")
 //!          | "OK STATUS" SP job-id SP state SP "circuit=" name SP "from-store=" bit
 //!          | "OK WAIT" SP job-id SP state                 ; state is terminal
+//!          | "OK EDIT" SP job-id SP ("queued" | "stored") ; the NEW job's id
 //!          | "OK RESULT" SP job-id SP nlines CRLF *payload-line
 //!          | "OK CANCEL" SP job-id SP ("cancelled" | "cancelling")
 //!          | "OK STATS" SP nlines CRLF *payload-line
@@ -126,6 +134,16 @@ pub enum Request {
         /// PENDING` (`None` = wait until terminal).
         timeout_ms: Option<u64>,
     },
+    /// Apply a compact ECO edit script to a job's circuit and submit
+    /// the edited circuit as a new job under the same options (minor
+    /// ≥ 1 connections only).
+    Edit {
+        /// The base job whose spec is edited.
+        id: JobId,
+        /// The compact edit script (`;`-separated edits, `:`-separated
+        /// fields — no spaces).
+        script: String,
+    },
     /// Fetch a finished job's report.
     Result {
         /// The job.
@@ -170,6 +188,7 @@ impl Request {
                 id,
                 timeout_ms: Some(ms),
             } => format!("WAIT {id} timeout={ms}"),
+            Request::Edit { id, script } => format!("EDIT {id} {script}"),
             Request::Result { id, top: None } => format!("RESULT {id}"),
             Request::Result { id, top: Some(n) } => format!("RESULT {id} top={n}"),
             Request::Cancel { id } => format!("CANCEL {id}"),
@@ -224,6 +243,10 @@ impl Request {
                 };
                 Request::Wait { id, timeout_ms }
             }
+            "EDIT" => Request::Edit {
+                id: job_id(&mut fields, "EDIT")?,
+                script: required(&mut fields, "EDIT", "edit script")?.to_string(),
+            },
             "RESULT" => {
                 let id = job_id(&mut fields, "RESULT")?;
                 let top = match fields.next() {
@@ -247,7 +270,7 @@ impl Request {
             "" => return Err("empty request".to_string()),
             other => {
                 return Err(format!(
-                    "unknown verb `{other}` (expected HELLO, SUBMIT, STATUS, WAIT, RESULT, CANCEL, STATS or SHUTDOWN)"
+                    "unknown verb `{other}` (expected HELLO, SUBMIT, STATUS, WAIT, EDIT, RESULT, CANCEL, STATS or SHUTDOWN)"
                 ))
             }
         };
@@ -405,6 +428,13 @@ pub enum Response {
         /// `cancelled`).
         state: String,
     },
+    /// An `EDIT` was accepted: the edited circuit runs as a new job.
+    Edited {
+        /// The **new** job's id.
+        id: JobId,
+        /// Whether the result store answered the edited spec directly.
+        from_store: bool,
+    },
     /// Report header; `lines` payload lines follow.
     Result {
         /// The job.
@@ -457,6 +487,10 @@ impl Response {
                 u8::from(*from_store)
             ),
             Response::Waited { id, state } => format!("OK WAIT {id} {state}"),
+            Response::Edited { id, from_store } => {
+                let how = if *from_store { "stored" } else { "queued" };
+                format!("OK EDIT {id} {how}")
+            }
             Response::Result { id, lines } => format!("OK RESULT {id} {lines}"),
             Response::Cancelled { id, immediate } => {
                 let how = if *immediate {
@@ -541,6 +575,15 @@ impl Response {
                     .ok_or_else(|| format!("malformed WAIT reply `{line}`"))?
                     .to_string();
                 Response::Waited { id, state }
+            }
+            "EDIT" => {
+                let id = next_parsed(&mut fields, line)?;
+                let from_store = match fields.next() {
+                    Some("stored") => true,
+                    Some("queued") => false,
+                    _ => return Err(format!("malformed EDIT reply `{line}`")),
+                };
+                Response::Edited { id, from_store }
             }
             "RESULT" => Response::Result {
                 id: next_parsed(&mut fields, line)?,
@@ -631,6 +674,10 @@ mod tests {
             id: "job-7".parse().expect("id"),
             top: None,
         });
+        roundtrip_request(Request::Edit {
+            id: "job-7".parse().expect("id"),
+            script: "resize:g1:2.0;swap:g2:nor2;rmwire:g9:1".into(),
+        });
         roundtrip_request(Request::Cancel {
             id: "job-0".parse().expect("id"),
         });
@@ -666,6 +713,14 @@ mod tests {
             state: "running".into(),
             circuit: "c432".into(),
             from_store: false,
+        });
+        roundtrip_response(Response::Edited {
+            id,
+            from_store: false,
+        });
+        roundtrip_response(Response::Edited {
+            id,
+            from_store: true,
         });
         roundtrip_response(Response::Result { id, lines: 17 });
         roundtrip_response(Response::Cancelled {
@@ -706,6 +761,10 @@ mod tests {
             "WAIT job-1 deadline=5",
             "WAIT job-1 timeout=soon",
             "WAIT job-1 timeout=5 extra",
+            "EDIT",
+            "EDIT job-1",
+            "EDIT job-x resize:g1:2.0",
+            "EDIT job-1 resize:g1:2.0 extra",
         ] {
             assert!(Request::parse(bad).is_err(), "`{bad}` must not parse");
         }

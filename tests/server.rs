@@ -221,6 +221,117 @@ fn daemon_default_backend_applies_to_bare_submissions() {
 }
 
 #[test]
+fn edit_verb_reanalyzes_the_edited_circuit_bit_identically() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    let (base, _) = client.submit("@c432", &opts(&[])).expect("submit");
+    assert_eq!(client.wait(base, WAIT).expect("wait"), "done");
+
+    // EDIT derives a new job from the base spec; its served report must
+    // be bit-identical to a one-shot run of the *edited* circuit under
+    // the base job's placement and options.
+    let script = "resize:g113:0.5;retime:g115:2e-12";
+    let (edited, from_store) = client.edit(base, script).expect("edit");
+    assert!(!from_store, "first edited run cannot hit the store");
+    assert_ne!(base, edited, "EDIT must mint a new job");
+    assert_eq!(client.wait(edited, WAIT).expect("wait edited"), "done");
+    let served = client.result(edited, Some(5)).expect("result");
+
+    let circuit = iscas85::generate(Benchmark::C432);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let mut reference = circuit.clone();
+    let eco = statim::core::EcoScript::parse_compact(script).expect("script");
+    statim::core::apply_edits(&mut reference, &eco).expect("apply");
+    let mut config = SstaConfig::date05();
+    config.quality_intra = 40;
+    config.quality_inter = 20;
+    let report = SstaEngine::new(config)
+        .run(&reference, &placement)
+        .expect("reference run");
+    assert_eq!(
+        served,
+        deterministic_report(&report, 5),
+        "served EDIT report differs from the one-shot edited run"
+    );
+
+    // Repeating the same edit fingerprints identically: a store hit —
+    // and specs are retained even for store-served jobs, so the hit
+    // itself can be edited again.
+    let (again, from_store) = client.edit(base, script).expect("re-edit");
+    assert!(from_store, "identical edit must hit the result store");
+    assert_eq!(
+        client.result(again, None).expect("stored result"),
+        client.result(edited, None).expect("full result"),
+        "store must serve the identical edited bytes"
+    );
+    let (chained, _) = client
+        .edit(again, "retime:g115:0")
+        .expect("edit a store-served job");
+    assert_eq!(client.wait(chained, WAIT).expect("wait chained"), "done");
+
+    // Script errors come back typed, with the 1-based edit position.
+    match client.edit(base, "resize:nosuch:2.0") {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Config, "{message}");
+            assert!(message.contains("nosuch"), "{message}");
+        }
+        other => panic!("expected CONFIG error, got {other:?}"),
+    }
+    match client.edit(base, "resize:g113") {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Parse, "{message}");
+            assert!(message.contains("line 1"), "{message}");
+        }
+        other => panic!("expected PARSE error, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn edit_verb_is_gated_on_the_negotiated_minor() {
+    let handle = spawn_daemon(ServiceConfig::default());
+
+    // A v1.0 connection has EDIT refused with a pointer at the minor.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut read_line = move || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+    assert_eq!(read_line(), GREETING);
+    writeln!(writer, "HELLO 1").expect("write");
+    assert_eq!(read_line(), "OK HELLO 1");
+    writeln!(writer, "EDIT job-0 resize:g1:2.0").expect("write");
+    let reply = read_line();
+    assert!(
+        reply.starts_with("ERR PROTOCOL") && reply.contains("1.1"),
+        "v1.0 EDIT must be refused naming the needed minor, got `{reply}`"
+    );
+    // The refusal does not kill the connection.
+    writeln!(writer, "STATUS job-0").expect("write");
+    assert!(read_line().starts_with("ERR NOTFOUND"));
+    writeln!(writer, "SHUTDOWN").expect("write");
+    assert_eq!(read_line(), "OK SHUTDOWN draining");
+
+    // On a 1.1 connection an unknown base job is NOTFOUND, not a gate.
+    handle.join();
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+    assert_eq!(client.minor(), 1);
+    match client.edit("job-99".parse().expect("id"), "resize:g1:2.0") {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::NotFound),
+        other => panic!("expected NOTFOUND, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
 fn full_queue_rejects_with_busy() {
     // A zero-capacity queue turns admission control all the way up:
     // every submission bounces with BUSY and the daemon stays healthy.
