@@ -17,10 +17,14 @@
 //! 5. **restart-hit** — the daemon is stopped, a fresh one is started
 //!    over the same store directory, and the mix is resubmitted: every
 //!    job is answered from disk.
+//! 6. **soak** — 1000+ short-lived clients (connect, one store-hit
+//!    job, disconnect) across several threads, recording the
+//!    p50/p95/p99/max per-client latency and the daemon's overload
+//!    counters (shed/reaped connections, throttled/expired jobs).
 //!
 //! Reports per-pass wall time, jobs/second and the daemon's own
 //! counters, and asserts the serving-mode determinism contract: the
-//! store-hit, concurrent and restart-hit passes all return
+//! store-hit, concurrent, restart-hit and soak passes all return
 //! byte-identical reports to the cold pass.
 //!
 //! Results overwrite `BENCH_server.json` at the repo root (hand-rendered
@@ -45,6 +49,10 @@ const WAIT: Duration = Duration::from_secs(600);
 
 /// Client threads in the concurrent pass.
 const CONCURRENT_CLIENTS: usize = 4;
+
+/// Short-lived clients in the soak pass, spread over [`SOAK_THREADS`].
+const SOAK_CLIENTS: usize = 1000;
+const SOAK_THREADS: usize = 8;
 
 fn repeats_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
@@ -170,6 +178,83 @@ fn run_concurrent(
     }
 }
 
+/// Soak-pass outcome: the latency distribution across every
+/// short-lived client plus the daemon's overload counters.
+struct Soak {
+    clients: usize,
+    wall: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    shed: u64,
+    reaped: u64,
+    throttled: u64,
+    expired: u64,
+}
+
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    let idx = ((pct / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx]
+}
+
+/// The soak pass: `SOAK_CLIENTS` one-shot sessions — connect, submit a
+/// store-warm job, fetch the report, disconnect — each timed end to
+/// end. Every session asserts byte-identity to the cold bytes, so the
+/// pass doubles as a 1000-client determinism check.
+fn run_soak(addr: &str, expected: &str, handle: &daemon::DaemonHandle) -> Soak {
+    let start = Instant::now();
+    let per_thread = SOAK_CLIENTS / SOAK_THREADS;
+    let threads: Vec<_> = (0..SOAK_THREADS)
+        .map(|t| {
+            let addr = addr.to_string();
+            let expected = expected.to_string();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(per_thread);
+                for _ in 0..per_thread {
+                    let one = Instant::now();
+                    let mut client =
+                        Client::connect_tagged(&addr, &format!("soak-{t}")).expect("connect");
+                    let (id, from_store) = client
+                        .submit("@c432", &options_for(0.05))
+                        .expect("soak submit");
+                    assert!(from_store, "soak jobs must be store hits");
+                    let report = client.result(id, Some(5)).expect("soak result");
+                    assert_eq!(report, expected, "soak client saw drifted bytes");
+                    drop(client);
+                    latencies.push(one.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(SOAK_CLIENTS);
+    for t in threads {
+        latencies.extend(t.join().expect("soak thread"));
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let mut monitor = Client::connect(addr).expect("monitor connect");
+    let stats = monitor.stats().expect("stats");
+    let counter = |key: &str| -> u64 {
+        stats
+            .lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or(0)
+    };
+    Soak {
+        clients: latencies.len(),
+        wall: start.elapsed().as_secs_f64(),
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+        max_ms: *latencies.last().expect("nonempty"),
+        shed: handle.shed_connections(),
+        reaped: handle.reaped_connections(),
+        throttled: counter("throttled:"),
+        expired: counter("expired:"),
+    }
+}
+
 /// Scrapes the `store-hits:` counter out of the STATS payload.
 fn store_hits(client: &mut Client) -> u64 {
     client
@@ -232,6 +317,8 @@ fn main() {
         assert_eq!(a, b, "restarted daemon must serve the cold pass's bytes");
     }
 
+    let soak = run_soak(&handle.addr().to_string(), &cold.reports[0], &handle);
+
     let final_stats = client.stats().expect("final stats");
     client.shutdown().expect("shutdown");
     handle.join();
@@ -279,12 +366,43 @@ fn main() {
         cold.jobs
     );
     println!("{}", format_table(&header, &rows));
+    println!(
+        "soak: {} short-lived clients over {SOAK_THREADS} threads in {:.3} s — \
+         p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms \
+         (shed {}, reaped {}, throttled {}, expired {})",
+        soak.clients,
+        soak.wall,
+        soak.p50_ms,
+        soak.p95_ms,
+        soak.p99_ms,
+        soak.max_ms,
+        soak.shed,
+        soak.reaped,
+        soak.throttled,
+        soak.expired
+    );
     println!("daemon counters after the run:\n{final_stats}");
 
+    let soak_json = format!(
+        "  \"soak\": {{\"clients\": {}, \"threads\": {SOAK_THREADS}, \"wall_secs\": {:.6}, \
+         \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \
+         \"shed_connections\": {}, \"reaped_connections\": {}, \
+         \"throttled\": {}, \"expired\": {}}}",
+        soak.clients,
+        soak.wall,
+        soak.p50_ms,
+        soak.p95_ms,
+        soak.p99_ms,
+        soak.max_ms,
+        soak.shed,
+        soak.reaped,
+        soak.throttled,
+        soak.expired
+    );
     let json = format!(
         "{{\n  \"experiment\": \"server-throughput\",\n  \"job_mix\": \"c432+c499\",\n  \
          \"jobs_per_pass\": {},\n  \"concurrent_clients\": {CONCURRENT_CLIENTS},\n  \
-         \"passes\": [\n{series}\n  ]\n}}\n",
+         \"passes\": [\n{series}\n  ],\n{soak_json}\n}}\n",
         cold.jobs
     );
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

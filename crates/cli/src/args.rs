@@ -93,6 +93,18 @@ SERVE OPTIONS:
                           it are refused [default: 256]
     --conn-threads <n>    polling workers multiplexing the connections
                           [default: 4]
+    --max-per-client <n>  live jobs (queued + running) any one client
+                          tag may hold; excess submits get ERR RESOURCE
+                          with a retry-after hint
+    --rate-limit <n>      per-client token bucket, sustained submits per
+                          second; throttled submits get ERR RESOURCE
+                          with a retry-after hint
+    --io-timeout-ms <n>   reap connections that sit mid-request (or
+                          never greet) with no socket progress for this
+                          long; parked WAITs are never reaped
+    --store-fsync         fsync the result log on every append and the
+                          directory on index rotation (crash-safe at a
+                          latency cost)
 
 CLIENT COMMANDS (all take --addr <host:port> [default: 127.0.0.1:7411]):
     submit <source> [key=value ...] [--wait]
@@ -194,6 +206,16 @@ pub struct ServeArgs {
     pub max_conns: Option<usize>,
     /// Polling connection workers (None = daemon default).
     pub conn_threads: Option<usize>,
+    /// Per-client live-job cap (None = unlimited).
+    pub max_per_client: Option<usize>,
+    /// Per-client sustained submits per second (None = unlimited).
+    pub rate_limit: Option<u32>,
+    /// Reap stalled mid-request connections after this many ms of no
+    /// socket progress (None = never).
+    pub io_timeout_ms: Option<u64>,
+    /// Fsync the result log on append and the directory on index
+    /// rotation.
+    pub store_fsync: bool,
 }
 
 impl Default for ServeArgs {
@@ -207,6 +229,10 @@ impl Default for ServeArgs {
             store_dir: None,
             max_conns: None,
             conn_threads: None,
+            max_per_client: None,
+            rate_limit: None,
+            io_timeout_ms: None,
+            store_fsync: false,
         }
     }
 }
@@ -486,6 +512,14 @@ fn parse_serve(rest: &[String]) -> Result<Command, String> {
             "--conn-threads" => {
                 args.conn_threads = Some(parse_num(tok, value(tok, &mut it)?)?);
             }
+            "--max-per-client" => {
+                args.max_per_client = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--rate-limit" => args.rate_limit = Some(parse_num(tok, value(tok, &mut it)?)?),
+            "--io-timeout-ms" => {
+                args.io_timeout_ms = Some(parse_num(tok, value(tok, &mut it)?)?);
+            }
+            "--store-fsync" => args.store_fsync = true,
             other => return Err(format!("unknown serve argument `{other}`")),
         }
     }
@@ -849,6 +883,13 @@ mod tests {
             "64",
             "--conn-threads",
             "2",
+            "--max-per-client",
+            "3",
+            "--rate-limit",
+            "10",
+            "--io-timeout-ms",
+            "5000",
+            "--store-fsync",
         ]))
         .unwrap()
         {
@@ -861,6 +902,10 @@ mod tests {
                 assert_eq!(s.store_dir.as_deref(), Some("/tmp/statim-store"));
                 assert_eq!(s.max_conns, Some(64));
                 assert_eq!(s.conn_threads, Some(2));
+                assert_eq!(s.max_per_client, Some(3));
+                assert_eq!(s.rate_limit, Some(10));
+                assert_eq!(s.io_timeout_ms, Some(5000));
+                assert!(s.store_fsync);
             }
             other => panic!("{other:?}"),
         }
@@ -868,6 +913,8 @@ mod tests {
         assert!(parse(&v(&["serve", "--max-queue", "x"])).is_err());
         assert!(parse(&v(&["serve", "--store-dir"])).is_err());
         assert!(parse(&v(&["serve", "--conn-threads", "two"])).is_err());
+        assert!(parse(&v(&["serve", "--rate-limit", "fast"])).is_err());
+        assert!(parse(&v(&["serve", "--max-per-client"])).is_err());
     }
 
     #[test]

@@ -402,6 +402,10 @@ fn serve(s: ServeArgs) -> DynResult {
         store_dir: s.store_dir.map(std::path::PathBuf::from),
         max_conns: s.max_conns,
         conn_threads: s.conn_threads,
+        max_per_client: s.max_per_client,
+        rate_limit: s.rate_limit,
+        io_timeout_ms: s.io_timeout_ms,
+        store_fsync: s.store_fsync,
     }
     .into_configs();
     let max_queue = config.max_queue;
@@ -434,7 +438,7 @@ fn client_error(e: statim_server::ClientError) -> StatimError {
                 ErrorClass::Resource
             }
         },
-        ClientError::Timeout { .. } => ErrorClass::Resource,
+        ClientError::Timeout { .. } | ClientError::Throttled { .. } => ErrorClass::Resource,
     };
     StatimError::new(class, e.to_string())
 }

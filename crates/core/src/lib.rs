@@ -93,10 +93,10 @@ pub use incremental::{
 };
 pub use service::{
     AnalysisService, CancelOutcome, JobId, JobSpec, JobState, JobStatus, ServiceConfig,
-    ServiceError, ServiceStats, SubmitReceipt,
+    ServiceError, ServiceStats, SubmitOptions, SubmitReceipt, ThrottleKind, TickClock,
 };
 pub use statim_stats::ConvolveBackend;
-pub use store::{ResultLog, StoredPath, StoredReport};
+pub use store::{ResultLog, StoreOptions, StoredPath, StoredReport};
 pub use supervise::{
     BudgetKind, CancelToken, ItemOutcome, McCheckpoint, McCheckpointer, RunBudget, Supervisor,
 };

@@ -15,12 +15,15 @@
 //!            ┌────────── result-store hit ──────────┐
 //!            │                                      ▼
 //! SUBMIT ─► Queued ─► Running ─► Done / Degraded / Failed
-//!            │           │
+//!            │  │        │
+//!            │  └─ deadline passed ─► Expired
 //!            └── CANCEL ─┴─► Cancelled
 //! ```
 //!
-//! * **Queued** — admitted past the bounded FIFO queue
-//!   ([`ServiceError::Busy`] beyond [`ServiceConfig::max_queue`]).
+//! * **Queued** — admitted past per-client admission control and the
+//!   bounded global queue ([`ServiceError::Busy`] beyond
+//!   [`ServiceConfig::max_queue`], [`ServiceError::Throttled`] beyond
+//!   the per-client limits).
 //! * **Running** — picked up by the single executor thread; a `CANCEL`
 //!   now trips the job's [`CancelToken`](crate::supervise::CancelToken)
 //!   with [`BudgetKind::Cancelled`], stopping at the next item boundary.
@@ -31,6 +34,24 @@
 //!   outside supervised code; the daemon keeps serving either way.
 //! * **Cancelled** — cancelled while queued, or the token tripped
 //!   mid-run.
+//! * **Expired** — the job's queue deadline ([`SubmitOptions::deadline_ms`])
+//!   passed before the executor reached it; the work was shed, never run.
+//!
+//! # Per-client fairness and admission
+//!
+//! Submissions carry a client identity ([`SubmitOptions::client`]; the
+//! daemon derives it from the `HELLO` tag or the peer address). Each
+//! client owns a **lane** — its own FIFO — and the executor drains lanes
+//! by deterministic round-robin in client *activation order* (first
+//! submission ever seen), one job per turn, so a flooder can delay its
+//! own backlog but never starve another client. Admission applies, in
+//! order: the token-bucket rate limit ([`ServiceConfig::rate_limit`],
+//! integer milli-token arithmetic over the injected [`TickClock`] — no
+//! floats, no wall-clock reads in tests), the per-client live-job cap
+//! ([`ServiceConfig::max_per_client`], queued + running), and the global
+//! queue bound. Every decision is a pure function of (submission order,
+//! tick sequence), so the same script of submissions and ticks sheds the
+//! same set at any thread count.
 //!
 //! # Determinism
 //!
@@ -57,8 +78,45 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// The millisecond tick source admission control reads. Production uses
+/// [`TickClock::wall`] (milliseconds since service start); tests inject
+/// [`TickClock::manual`] and advance it explicitly, making every
+/// rate-limit and deadline decision a deterministic function of the
+/// scripted tick sequence instead of the scheduler.
+#[derive(Debug, Clone)]
+pub enum TickClock {
+    /// Real time: milliseconds elapsed since the clock was created.
+    Wall(Instant),
+    /// A test-controlled tick counter (milliseconds).
+    Manual(Arc<AtomicU64>),
+}
+
+impl TickClock {
+    /// A wall clock starting at 0 now.
+    pub fn wall() -> TickClock {
+        TickClock::Wall(Instant::now())
+    }
+
+    /// A manual clock plus the handle that advances it (store
+    /// milliseconds with `Ordering::SeqCst`).
+    pub fn manual() -> (TickClock, Arc<AtomicU64>) {
+        let ticks = Arc::new(AtomicU64::new(0));
+        (TickClock::Manual(Arc::clone(&ticks)), ticks)
+    }
+
+    /// Current tick, in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            TickClock::Wall(epoch) => epoch.elapsed().as_millis() as u64,
+            TickClock::Manual(ticks) => ticks.load(Ordering::SeqCst),
+        }
+    }
+}
 
 /// Opaque job identifier, rendered and parsed as `job-<n>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -98,6 +156,9 @@ pub enum JobState {
     Failed,
     /// Cancelled while queued, or the cancel token tripped mid-run.
     Cancelled,
+    /// The queue deadline passed before the executor reached the job;
+    /// the work was shed without running.
+    Expired,
 }
 
 impl JobState {
@@ -116,6 +177,7 @@ impl fmt::Display for JobState {
             JobState::Degraded => "degraded",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::Expired => "expired",
         })
     }
 }
@@ -191,6 +253,20 @@ pub struct ServiceConfig {
     /// the result store on the next start, so a restarted service serves
     /// them byte-identically. Two services may share one directory.
     pub store_dir: Option<PathBuf>,
+    /// fsync the result log after every append (and the directory after
+    /// every index rename) — durability against power loss at the cost
+    /// of append latency. `false` keeps the PR-7 flush-only behavior.
+    pub store_fsync: bool,
+    /// Most live (queued + running) jobs one client may own; submissions
+    /// beyond this are [`ServiceError::Throttled`]. `None` = unlimited.
+    pub max_per_client: Option<usize>,
+    /// Per-client token-bucket rate limit in jobs per second (burst of
+    /// one second's worth); over-rate submissions are
+    /// [`ServiceError::Throttled`] with a computed `retry-after`.
+    /// `None` = unlimited.
+    pub rate_limit: Option<u32>,
+    /// The tick source admission control and queue deadlines read.
+    pub clock: TickClock,
 }
 
 impl Default for ServiceConfig {
@@ -201,8 +277,30 @@ impl Default for ServiceConfig {
             cache_capacity: None,
             default_backend: statim_stats::ConvolveBackend::Grid,
             store_dir: None,
+            store_fsync: false,
+            max_per_client: None,
+            rate_limit: None,
+            clock: TickClock::wall(),
         }
     }
+}
+
+/// Which per-client admission limit a submission tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrottleKind {
+    /// The token bucket is empty ([`ServiceConfig::rate_limit`]).
+    Rate {
+        /// The configured limit, jobs per second.
+        limit: u32,
+    },
+    /// The client is at its live-job cap
+    /// ([`ServiceConfig::max_per_client`]).
+    PerClient {
+        /// Live (queued + running) jobs the client owns.
+        active: usize,
+        /// The configured cap.
+        max: usize,
+    },
 }
 
 /// Why a service request could not be satisfied.
@@ -214,6 +312,17 @@ pub enum ServiceError {
         queued: usize,
         /// The admission limit.
         max_queue: usize,
+    },
+    /// The client exceeded one of its admission limits; resubmit no
+    /// sooner than `retry_after_ms` from now.
+    Throttled {
+        /// The client identity that tripped the limit.
+        client: String,
+        /// Deterministic retry hint, milliseconds (for a rate trip,
+        /// exactly when the bucket refills one job's worth).
+        retry_after_ms: u64,
+        /// Which limit tripped.
+        kind: ThrottleKind,
     },
     /// The service is draining after a shutdown request.
     Draining,
@@ -249,6 +358,22 @@ impl fmt::Display for ServiceError {
             ServiceError::Busy { queued, max_queue } => {
                 write!(f, "queue full ({queued} of {max_queue}); resubmit later")
             }
+            ServiceError::Throttled {
+                client,
+                retry_after_ms,
+                kind,
+            } => match kind {
+                ThrottleKind::Rate { limit } => write!(
+                    f,
+                    "client {client} over its rate limit ({limit} jobs/s); \
+                     retry in {retry_after_ms} ms"
+                ),
+                ThrottleKind::PerClient { active, max } => write!(
+                    f,
+                    "client {client} at its live-job cap ({active} of {max}); \
+                     retry in {retry_after_ms} ms"
+                ),
+            },
             ServiceError::Draining => write!(f, "service is draining; no new jobs accepted"),
             ServiceError::UnknownJob(id) => write!(f, "unknown job {id}"),
             ServiceError::NotFinished { id, state } => {
@@ -263,6 +388,29 @@ impl fmt::Display for ServiceError {
 }
 
 impl std::error::Error for ServiceError {}
+
+/// Per-submission admission parameters (who is asking, and how long the
+/// work may sit in the queue).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Client identity for fairness and admission accounting. `None`
+    /// lands in the shared anonymous lane (`""`).
+    pub client: Option<String>,
+    /// Queue deadline, milliseconds from submission (tick clock). If the
+    /// executor reaches the job later than this, the job turns
+    /// [`JobState::Expired`] instead of running.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SubmitOptions {
+    /// Options for a named client with no deadline.
+    pub fn for_client(client: impl Into<String>) -> SubmitOptions {
+        SubmitOptions {
+            client: Some(client.into()),
+            deadline_ms: None,
+        }
+    }
+}
 
 /// Receipt for an accepted submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +466,12 @@ pub struct ServiceStats {
     pub store_hits: u64,
     /// Submissions rejected by admission control.
     pub rejected: u64,
+    /// Submissions refused by a per-client limit (rate or live-job cap).
+    pub throttled: u64,
+    /// Jobs shed because their queue deadline passed before execution.
+    pub expired: u64,
+    /// Distinct client lanes seen since start.
+    pub clients: usize,
     /// Jobs currently queued.
     pub queued: usize,
     /// Jobs currently running (0 or 1 — single executor).
@@ -339,6 +493,10 @@ struct Job {
     circuit: String,
     fingerprint: u64,
     from_store: bool,
+    /// The lane this job was admitted under (`""` = anonymous).
+    client: String,
+    /// Absolute queue deadline on the tick clock, when one was set.
+    deadline_at_ms: Option<u64>,
     /// Retained for the job's lifetime (shared with the executor while
     /// Running) so `EDIT` can derive a new spec from any base job —
     /// including store-served and cancelled ones.
@@ -349,10 +507,79 @@ struct Job {
     error: Option<StatimError>,
 }
 
+/// One client's admission lane: its FIFO of queued job ids plus its
+/// token-bucket state. Arithmetic is integer milli-tokens (1 job = 1000)
+/// so refills at any rate are exact — no float drift in admission
+/// decisions.
+#[derive(Default)]
+struct Lane {
+    queue: VecDeque<u64>,
+    /// Live (queued + running) jobs this client owns.
+    active: usize,
+    /// Token bucket level, milli-tokens.
+    tokens_milli: u64,
+    /// Tick of the last refill, milliseconds.
+    last_refill_ms: u64,
+}
+
+/// Milli-tokens one submission costs.
+const SUBMIT_COST_MILLI: u64 = 1000;
+/// Deterministic retry hint when the per-client live-job cap (not the
+/// rate) refused a submission — a cap frees on job completion, which the
+/// clock cannot predict, so the hint is a fixed poll interval.
+const PER_CLIENT_RETRY_MS: u64 = 100;
+
+impl Lane {
+    /// A fresh lane, bucket full at `first_seen_ms`.
+    fn new(rate_limit: Option<u32>, now_ms: u64) -> Lane {
+        Lane {
+            queue: VecDeque::new(),
+            active: 0,
+            tokens_milli: bucket_cap_milli(rate_limit),
+            last_refill_ms: now_ms,
+        }
+    }
+
+    /// Refills the bucket for the ticks elapsed since the last refill.
+    fn refill(&mut self, rate_limit: Option<u32>, now_ms: u64) {
+        let Some(rate) = rate_limit else { return };
+        let elapsed = now_ms.saturating_sub(self.last_refill_ms);
+        // rate jobs/s == rate milli-tokens per millisecond.
+        let gained = elapsed.saturating_mul(u64::from(rate));
+        self.tokens_milli = (self.tokens_milli + gained).min(bucket_cap_milli(Some(rate)));
+        self.last_refill_ms = now_ms;
+    }
+
+    /// Milliseconds until the bucket holds one submission's worth, at
+    /// the current level (call after [`Lane::refill`]).
+    fn retry_after_ms(&self, rate: u32) -> u64 {
+        let missing = SUBMIT_COST_MILLI.saturating_sub(self.tokens_milli);
+        // ceil(missing / rate) ms; rate >= 1 is enforced at config time.
+        missing.div_ceil(u64::from(rate.max(1))).max(1)
+    }
+}
+
+/// Bucket capacity: one second's worth of submissions, at least one.
+fn bucket_cap_milli(rate_limit: Option<u32>) -> u64 {
+    match rate_limit {
+        Some(rate) => (u64::from(rate) * SUBMIT_COST_MILLI).max(SUBMIT_COST_MILLI),
+        None => SUBMIT_COST_MILLI,
+    }
+}
+
 #[derive(Default)]
 struct State {
     jobs: HashMap<u64, Job>,
-    queue: VecDeque<u64>,
+    /// Per-client lanes, keyed by client identity.
+    lanes: HashMap<String, Lane>,
+    /// Round-robin order: clients in first-submission order. Lanes are
+    /// never retired — the cursor walks this list forever, so the drain
+    /// order is a pure function of the submission script.
+    rr_order: Vec<String>,
+    /// Index into `rr_order` of the next lane to inspect.
+    rr_cursor: usize,
+    /// Jobs queued across all lanes (the global admission bound).
+    queued_total: usize,
     results: HashMap<u64, Arc<SstaReport>>,
     next_id: u64,
     draining: bool,
@@ -364,6 +591,9 @@ struct Shared {
     cv: Condvar,
     store: Arc<KernelStore>,
     max_queue: usize,
+    max_per_client: Option<usize>,
+    rate_limit: Option<u32>,
+    clock: TickClock,
     default_budget: RunBudget,
     default_backend: statim_stats::ConvolveBackend,
     /// The persistent result log, when configured. Its own mutex — disk
@@ -406,7 +636,12 @@ impl AnalysisService {
         let persist = match &config.store_dir {
             None => None,
             Some(dir) => {
-                let (log, records) = ResultLog::open(dir)?;
+                let (log, records) = ResultLog::open_with(
+                    dir,
+                    crate::store::StoreOptions {
+                        fsync: config.store_fsync,
+                    },
+                )?;
                 state.stats.store_loaded = records.len();
                 for (fingerprint, stored) in records {
                     state
@@ -421,6 +656,9 @@ impl AnalysisService {
             cv: Condvar::new(),
             store: Arc::new(KernelStore::with_capacity(config.cache_capacity)),
             max_queue: config.max_queue,
+            max_per_client: config.max_per_client,
+            rate_limit: config.rate_limit.map(|r| r.max(1)),
+            clock: config.clock,
             default_budget: config.default_budget,
             default_backend: config.default_backend,
             persist,
@@ -451,24 +689,67 @@ impl AnalysisService {
         self.shared.default_backend
     }
 
-    /// Submits a job. A fingerprint already in the result store returns
-    /// a terminally-Done job immediately (`from_store`); otherwise the
-    /// job is queued, subject to admission control.
+    /// Submits a job under the anonymous client lane with no deadline —
+    /// see [`AnalysisService::submit_with`].
     ///
     /// # Errors
     ///
+    /// As [`AnalysisService::submit_with`].
+    pub fn submit(&self, spec: JobSpec) -> std::result::Result<SubmitReceipt, ServiceError> {
+        self.submit_with(spec, SubmitOptions::default())
+    }
+
+    /// Submits a job for a client. Admission order is fixed and
+    /// documented: drain check, per-client rate limit, result-store
+    /// lookup (hits still pay a rate token but skip the queue limits —
+    /// they never occupy the executor), per-client live-job cap, global
+    /// queue bound. A fingerprint already in the result store returns a
+    /// terminally-Done job immediately (`from_store`); otherwise the job
+    /// is queued in the client's lane.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Throttled`] beyond a per-client limit,
     /// [`ServiceError::Busy`] beyond the queue bound,
     /// [`ServiceError::Draining`] after shutdown.
-    pub fn submit(&self, mut spec: JobSpec) -> std::result::Result<SubmitReceipt, ServiceError> {
+    pub fn submit_with(
+        &self,
+        mut spec: JobSpec,
+        options: SubmitOptions,
+    ) -> std::result::Result<SubmitReceipt, ServiceError> {
         let fingerprint = spec.fingerprint();
         if spec.config.budget == RunBudget::none() {
             spec.config.budget = self.shared.default_budget;
         }
+        let client = options.client.unwrap_or_default();
+        let now_ms = self.shared.clock.now_ms();
         let mut st = self.shared.lock();
         if st.draining {
             return Err(ServiceError::Draining);
         }
+        if !st.lanes.contains_key(&client) {
+            st.lanes
+                .insert(client.clone(), Lane::new(self.shared.rate_limit, now_ms));
+            st.rr_order.push(client.clone());
+        }
+        if let Some(rate) = self.shared.rate_limit {
+            let lane = st.lanes.get_mut(&client).expect("lane exists");
+            lane.refill(Some(rate), now_ms);
+            if lane.tokens_milli < SUBMIT_COST_MILLI {
+                let retry_after_ms = lane.retry_after_ms(rate);
+                st.stats.throttled += 1;
+                return Err(ServiceError::Throttled {
+                    client,
+                    retry_after_ms,
+                    kind: ThrottleKind::Rate { limit: rate },
+                });
+            }
+        }
         if let Some(report) = st.results.get(&fingerprint).cloned() {
+            if self.shared.rate_limit.is_some() {
+                let lane = st.lanes.get_mut(&client).expect("lane exists");
+                lane.tokens_milli -= SUBMIT_COST_MILLI;
+            }
             let id = st.alloc_id();
             st.stats.submitted += 1;
             st.stats.store_hits += 1;
@@ -479,6 +760,8 @@ impl AnalysisService {
                     circuit: report.circuit.clone(),
                     fingerprint,
                     from_store: true,
+                    client,
+                    deadline_at_ms: None,
                     spec: Some(Arc::new(spec)),
                     supervisor: None,
                     report: Some(report),
@@ -490,12 +773,27 @@ impl AnalysisService {
                 from_store: true,
             });
         }
-        if st.queue.len() >= self.shared.max_queue {
+        if let Some(max) = self.shared.max_per_client {
+            let active = st.lanes.get(&client).expect("lane exists").active;
+            if active >= max {
+                st.stats.throttled += 1;
+                return Err(ServiceError::Throttled {
+                    client,
+                    retry_after_ms: PER_CLIENT_RETRY_MS,
+                    kind: ThrottleKind::PerClient { active, max },
+                });
+            }
+        }
+        if st.queued_total >= self.shared.max_queue {
             st.stats.rejected += 1;
             return Err(ServiceError::Busy {
-                queued: st.queue.len(),
+                queued: st.queued_total,
                 max_queue: self.shared.max_queue,
             });
+        }
+        if self.shared.rate_limit.is_some() {
+            let lane = st.lanes.get_mut(&client).expect("lane exists");
+            lane.tokens_milli -= SUBMIT_COST_MILLI;
         }
         let id = st.alloc_id();
         st.stats.submitted += 1;
@@ -506,13 +804,18 @@ impl AnalysisService {
                 circuit: spec.circuit.name().to_string(),
                 fingerprint,
                 from_store: false,
+                client: client.clone(),
+                deadline_at_ms: options.deadline_ms.map(|ms| now_ms.saturating_add(ms)),
                 spec: Some(Arc::new(spec)),
                 supervisor: None,
                 report: None,
                 error: None,
             },
         );
-        st.queue.push_back(id);
+        let lane = st.lanes.get_mut(&client).expect("lane exists");
+        lane.queue.push_back(id);
+        lane.active += 1;
+        st.queued_total += 1;
         drop(st);
         self.shared.cv.notify_all();
         Ok(SubmitReceipt {
@@ -558,12 +861,17 @@ impl AnalysisService {
                 .report
                 .clone()
                 .expect("terminal Done/Degraded job carries a report")),
-            JobState::Failed | JobState::Cancelled => Err(ServiceError::JobFailed {
-                id,
-                error: job.error.clone().unwrap_or_else(|| {
-                    StatimError::new(ErrorClass::Resource, "job failed without a recorded error")
-                }),
-            }),
+            JobState::Failed | JobState::Cancelled | JobState::Expired => {
+                Err(ServiceError::JobFailed {
+                    id,
+                    error: job.error.clone().unwrap_or_else(|| {
+                        StatimError::new(
+                            ErrorClass::Resource,
+                            "job failed without a recorded error",
+                        )
+                    }),
+                })
+            }
         }
     }
 
@@ -597,7 +905,21 @@ impl AnalysisService {
             JobState::Queued => {
                 job.state = JobState::Cancelled;
                 job.error = Some(cancelled_error());
+                let client = job.client.clone();
                 st.stats.cancelled += 1;
+                // Pull the id out of its lane so admission accounting
+                // (queued_total, lane.active) stays exact.
+                let mut dequeued = false;
+                if let Some(lane) = st.lanes.get_mut(&client) {
+                    if let Some(pos) = lane.queue.iter().position(|&q| q == id.0) {
+                        lane.queue.remove(pos);
+                        dequeued = true;
+                    }
+                    lane.active = lane.active.saturating_sub(1);
+                }
+                if dequeued {
+                    st.queued_total -= 1;
+                }
                 Ok(CancelOutcome::Immediate)
             }
             JobState::Running => {
@@ -616,7 +938,8 @@ impl AnalysisService {
     pub fn stats(&self) -> ServiceStats {
         let st = self.shared.lock();
         let mut stats = st.stats.clone();
-        stats.queued = st.queue.len();
+        stats.queued = st.queued_total;
+        stats.clients = st.lanes.len();
         stats.running = st
             .jobs
             .values()
@@ -640,7 +963,7 @@ impl AnalysisService {
     pub fn drained(&self) -> bool {
         let st = self.shared.lock();
         st.draining
-            && st.queue.is_empty()
+            && st.queued_total == 0
             && st
                 .jobs
                 .values()
@@ -679,34 +1002,97 @@ fn cancelled_error() -> StatimError {
     StatimError::new(ErrorClass::Resource, "job cancelled before completion")
 }
 
-/// The executor loop: pop → run under panic isolation → record. Exits
-/// when draining and the queue is empty (running jobs always finish
-/// first — that *is* the drain).
+/// The typed error recorded for expired jobs.
+fn expired_error(deadline_ms: u64, now_ms: u64) -> StatimError {
+    StatimError::new(
+        ErrorClass::Resource,
+        format!("job expired in queue (deadline tick {deadline_ms}, dequeued at {now_ms})"),
+    )
+}
+
+/// Picks the next runnable job by round-robin over the client lanes,
+/// starting at the cursor. Jobs whose queue deadline already passed are
+/// turned terminally [`JobState::Expired`] on the spot (they were shed,
+/// not run) and the scan continues. The cursor advances past the lane
+/// that yielded a job, so each lane surrenders at most one job per
+/// drain turn — the fairness invariant.
+fn pick_runnable(
+    st: &mut State,
+    clock: &TickClock,
+) -> Option<(u64, u64, Arc<JobSpec>, Arc<Supervisor>)> {
+    let lanes_n = st.rr_order.len();
+    let now_ms = clock.now_ms();
+    for step in 0..lanes_n {
+        let idx = (st.rr_cursor + step) % lanes_n;
+        let key = st.rr_order[idx].clone();
+        while let Some(id) = st.lanes.get_mut(&key).and_then(|l| l.queue.pop_front()) {
+            st.queued_total -= 1;
+            let job = st.jobs.get_mut(&id).expect("queued id is in the table");
+            if job.state != JobState::Queued {
+                continue; // cancelled while queued (defensive; cancel also dequeues)
+            }
+            if let Some(deadline) = job.deadline_at_ms {
+                if now_ms > deadline {
+                    job.state = JobState::Expired;
+                    job.error = Some(expired_error(deadline, now_ms));
+                    st.stats.expired += 1;
+                    if let Some(lane) = st.lanes.get_mut(&key) {
+                        lane.active = lane.active.saturating_sub(1);
+                    }
+                    continue;
+                }
+            }
+            job.state = JobState::Running;
+            let fingerprint = job.fingerprint;
+            let spec = Arc::clone(job.spec.as_ref().expect("queued job carries its spec"));
+            let sup = Arc::new(Supervisor::new(spec.config.budget, spec.config.retries));
+            job.supervisor = Some(Arc::clone(&sup));
+            st.rr_cursor = (idx + 1) % lanes_n;
+            return Some((id, fingerprint, spec, sup));
+        }
+    }
+    None
+}
+
+/// The executor loop: pick (round-robin over lanes) → run under panic
+/// isolation → record. Exits when draining and the lanes are empty
+/// (running jobs always finish first — that *is* the drain).
 fn run_executor(shared: &Shared) {
     loop {
         // Dequeue the next runnable job, or exit on drained shutdown.
         let (id, fingerprint, spec, sup) = {
             let mut st = shared.lock();
             let picked = loop {
-                if let Some(id) = st.queue.pop_front() {
-                    let job = st.jobs.get_mut(&id).expect("queued id is in the table");
-                    if job.state != JobState::Queued {
-                        continue; // cancelled while queued
-                    }
-                    job.state = JobState::Running;
-                    let fingerprint = job.fingerprint;
-                    let spec = Arc::clone(job.spec.as_ref().expect("queued job carries its spec"));
-                    let sup = Arc::new(Supervisor::new(spec.config.budget, spec.config.retries));
-                    job.supervisor = Some(Arc::clone(&sup));
-                    break Some((id, fingerprint, spec, sup));
+                if let Some(t) = pick_runnable(&mut st, &shared.clock) {
+                    break Some(t);
                 }
                 if st.draining {
                     break None;
                 }
-                st = shared
-                    .cv
-                    .wait(st)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                // Sleep until new work arrives — or just past the
+                // earliest queued deadline, so expiry does not wait for
+                // the next submission to wake the executor.
+                let next_deadline = st
+                    .jobs
+                    .values()
+                    .filter(|j| j.state == JobState::Queued)
+                    .filter_map(|j| j.deadline_at_ms)
+                    .min();
+                st = match next_deadline {
+                    None => shared
+                        .cv
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    Some(deadline) => {
+                        let now_ms = shared.clock.now_ms();
+                        let wake = Duration::from_millis(deadline.saturating_sub(now_ms) + 1);
+                        shared
+                            .cv
+                            .wait_timeout(st, wake)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .0
+                    }
+                };
             };
             match picked {
                 Some(t) => t,
@@ -753,6 +1139,12 @@ fn run_executor(shared: &Shared) {
         if persist_failed {
             st.stats.store_write_errors += 1;
         }
+        let client = st
+            .jobs
+            .get(&id)
+            .expect("running id is in the table")
+            .client
+            .clone();
         let job = st.jobs.get_mut(&id).expect("running id is in the table");
         job.supervisor = None;
         match outcome {
@@ -800,6 +1192,11 @@ fn run_executor(shared: &Shared) {
                 ));
                 st.stats.failed += 1;
             }
+        }
+        // The job left Running: release its slot in the client's
+        // live-job accounting.
+        if let Some(lane) = st.lanes.get_mut(&client) {
+            lane.active = lane.active.saturating_sub(1);
         }
     }
 }
@@ -1088,5 +1485,253 @@ mod tests {
             "second job must reuse the corner point, not recompute it"
         );
         service.join();
+    }
+
+    /// A cheap, fingerprint-distinct spec: `seed` varies a wall-time-free
+    /// quality knob so every call is a distinct store key.
+    fn quick_spec(seed: u32) -> JobSpec {
+        let mut config = SstaConfig::date05();
+        config.quality_intra = 40 + seed as usize;
+        config.quality_inter = 20;
+        spec(Benchmark::C432, config)
+    }
+
+    #[test]
+    fn rate_limit_throttles_deterministically_on_the_tick_clock() {
+        let (clock, ticks) = TickClock::manual();
+        let service = AnalysisService::start(ServiceConfig {
+            rate_limit: Some(2),
+            clock,
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let opts = || SubmitOptions::for_client("flooder");
+        // Bucket starts full at 2 tokens: two submissions pass, the
+        // third is refused with the exact integer retry hint.
+        service.submit_with(quick_spec(0), opts()).expect("token 1");
+        service.submit_with(quick_spec(1), opts()).expect("token 2");
+        let err = service
+            .submit_with(quick_spec(2), opts())
+            .expect_err("bucket empty");
+        match err {
+            ServiceError::Throttled {
+                client,
+                retry_after_ms,
+                kind: ThrottleKind::Rate { limit },
+            } => {
+                assert_eq!(client, "flooder");
+                assert_eq!(limit, 2);
+                // 1000 milli-tokens missing at 2 tokens/ms-of-1000 →
+                // exactly 500 ms.
+                assert_eq!(retry_after_ms, 500);
+            }
+            other => panic!("expected rate throttle, got {other:?}"),
+        }
+        // 499 ticks later the bucket still lacks a whole token; at 500
+        // it refills exactly.
+        ticks.store(499, Ordering::SeqCst);
+        assert!(matches!(
+            service.submit_with(quick_spec(3), opts()),
+            Err(ServiceError::Throttled {
+                retry_after_ms: 1,
+                ..
+            })
+        ));
+        ticks.store(500, Ordering::SeqCst);
+        service
+            .submit_with(quick_spec(4), opts())
+            .expect("refilled after exactly retry-after ticks");
+        // An unthrottled second client is untouched by the flooder.
+        service
+            .submit_with(quick_spec(5), SubmitOptions::for_client("calm"))
+            .expect("other lanes unaffected");
+        assert_eq!(service.stats().throttled, 2);
+        assert_eq!(service.stats().clients, 2);
+        service.join();
+    }
+
+    #[test]
+    fn per_client_cap_throttles_until_a_slot_frees() {
+        let service = AnalysisService::start(ServiceConfig {
+            max_per_client: Some(1),
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let first = service
+            .submit_with(quick_spec(10), SubmitOptions::for_client("a"))
+            .expect("first job admitted");
+        let err = service
+            .submit_with(quick_spec(11), SubmitOptions::for_client("a"))
+            .expect_err("cap of 1");
+        match err {
+            ServiceError::Throttled {
+                retry_after_ms,
+                kind: ThrottleKind::PerClient { active, max },
+                ..
+            } => {
+                assert_eq!((active, max), (1, 1));
+                assert_eq!(retry_after_ms, PER_CLIENT_RETRY_MS);
+            }
+            other => panic!("expected per-client throttle, got {other:?}"),
+        }
+        // The cap is per client, not global.
+        service
+            .submit_with(quick_spec(12), SubmitOptions::for_client("b"))
+            .expect("other client admitted");
+        // Completion frees the slot.
+        wait_terminal(&service, first.id);
+        service
+            .submit_with(quick_spec(13), SubmitOptions::for_client("a"))
+            .expect("slot freed on completion");
+        assert_eq!(service.stats().throttled, 1);
+        service.join();
+    }
+
+    #[test]
+    fn store_hits_bypass_the_live_job_cap() {
+        let service = AnalysisService::start(ServiceConfig {
+            max_per_client: Some(1),
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        let warm = service
+            .submit_with(quick_spec(20), SubmitOptions::for_client("a"))
+            .expect("admitted");
+        wait_terminal(&service, warm.id);
+        // Occupy the client's only slot...
+        service
+            .submit_with(quick_spec(21), SubmitOptions::for_client("a"))
+            .expect("slot taken");
+        // ...and the cached resubmission still answers: it never
+        // touches the executor, so the cap does not apply.
+        let hit = service
+            .submit_with(quick_spec(20), SubmitOptions::for_client("a"))
+            .expect("store hit bypasses cap");
+        assert!(hit.from_store);
+        service.join();
+    }
+
+    #[test]
+    fn queue_deadline_expires_job_instead_of_running_it() {
+        let (clock, ticks) = TickClock::manual();
+        let service = AnalysisService::start(ServiceConfig {
+            clock,
+            ..ServiceConfig::default()
+        })
+        .expect("service starts");
+        // A heavy job pins the single executor while the victim's
+        // deadline passes on the manual clock.
+        let heavy = service
+            .submit(spec(
+                Benchmark::C1355,
+                SstaConfig::date05().with_confidence(0.3),
+            ))
+            .expect("admitted");
+        let victim = service
+            .submit_with(
+                quick_spec(30),
+                SubmitOptions {
+                    client: Some("deadline".into()),
+                    deadline_ms: Some(50),
+                },
+            )
+            .expect("admitted");
+        ticks.store(51, Ordering::SeqCst);
+        let status = wait_terminal(&service, victim.id);
+        assert_eq!(status.state, JobState::Expired);
+        match service.result(victim.id) {
+            Err(ServiceError::JobFailed { error, .. }) => {
+                assert_eq!(error.class, ErrorClass::Resource);
+                assert!(error.message.contains("expired"), "{error}");
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
+        assert_eq!(service.stats().expired, 1);
+        // A deadline met is not a shed: the heavy job completes.
+        assert_ne!(wait_terminal(&service, heavy.id).state, JobState::Expired);
+        service.join();
+    }
+
+    #[test]
+    fn round_robin_drains_lanes_fairly_in_activation_order() {
+        // Drive `pick_runnable` directly on a hand-built state: client
+        // `a` floods three jobs before `b` and `c` submit one or two —
+        // the drain must interleave a,b,c,a,b,a, not serve the flooder
+        // first.
+        let mut st = State::default();
+        let spec = Arc::new(quick_spec(40));
+        let script: &[(&str, u64)] = &[("a", 1), ("a", 2), ("a", 3), ("b", 4), ("b", 5), ("c", 6)];
+        for &(client, id) in script {
+            st.jobs.insert(
+                id,
+                Job {
+                    state: JobState::Queued,
+                    circuit: "c432".into(),
+                    fingerprint: id,
+                    from_store: false,
+                    client: client.into(),
+                    deadline_at_ms: None,
+                    spec: Some(Arc::clone(&spec)),
+                    supervisor: None,
+                    report: None,
+                    error: None,
+                },
+            );
+            if !st.lanes.contains_key(client) {
+                st.lanes.insert(client.into(), Lane::new(None, 0));
+                st.rr_order.push(client.into());
+            }
+            let lane = st.lanes.get_mut(client).expect("lane exists");
+            lane.queue.push_back(id);
+            lane.active += 1;
+            st.queued_total += 1;
+        }
+        let clock = TickClock::manual().0;
+        let mut order = Vec::new();
+        while let Some((id, _, _, _)) = pick_runnable(&mut st, &clock) {
+            order.push(id);
+        }
+        assert_eq!(order, vec![1, 4, 6, 2, 5, 3]);
+        assert_eq!(st.queued_total, 0);
+    }
+
+    #[test]
+    fn expired_jobs_are_skipped_in_place_during_the_drain() {
+        let mut st = State::default();
+        let spec = Arc::new(quick_spec(41));
+        for (id, deadline) in [(1u64, Some(10u64)), (2, None), (3, Some(500))] {
+            st.jobs.insert(
+                id,
+                Job {
+                    state: JobState::Queued,
+                    circuit: "c432".into(),
+                    fingerprint: id,
+                    from_store: false,
+                    client: "x".into(),
+                    deadline_at_ms: deadline,
+                    spec: Some(Arc::clone(&spec)),
+                    supervisor: None,
+                    report: None,
+                    error: None,
+                },
+            );
+        }
+        st.lanes.insert("x".into(), Lane::new(None, 0));
+        st.rr_order.push("x".into());
+        let lane = st.lanes.get_mut("x").expect("lane");
+        lane.queue.extend([1, 2, 3]);
+        lane.active = 3;
+        st.queued_total = 3;
+        let (clock, ticks) = TickClock::manual();
+        ticks.store(100, Ordering::SeqCst);
+        // Job 1's deadline (10) passed at tick 100: the drain sheds it
+        // and hands out job 2; job 3's deadline (500) is still good.
+        let (id, ..) = pick_runnable(&mut st, &clock).expect("job 2 runnable");
+        assert_eq!(id, 2);
+        assert_eq!(st.jobs[&1].state, JobState::Expired);
+        assert_eq!(st.stats.expired, 1);
+        let (id, ..) = pick_runnable(&mut st, &clock).expect("job 3 runnable");
+        assert_eq!(id, 3);
+        assert_eq!(st.queued_total, 0);
     }
 }

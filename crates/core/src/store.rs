@@ -38,6 +38,24 @@
 //! fine: that is exactly the window between an append and its snapshot,
 //! or another daemon's append.
 //!
+//! # Torn-tail recovery
+//!
+//! A crash mid-append can leave a **torn trailing record**: a partial
+//! header, a body cut short, or a checksum that no longer matches. That
+//! damage lies entirely past the last snapshot's byte length, so it is
+//! provably un-acknowledged work — [`ResultLog::open`] recovers by
+//! truncating the log back to the last record boundary that parses
+//! cleanly and carrying on ([`ResultLog::recovered_bytes`] reports the
+//! loss). Damage *below* the snapshot length — a bad header, corruption
+//! inside acknowledged records, a log shorter than the snapshot — is
+//! never recovered from: that is lost acknowledged data, and open fails
+//! with the typed `Parse` error exactly as before.
+//!
+//! Durability is flush-only by default (a crash loses at most the
+//! records the page cache held); [`StoreOptions::fsync`] upgrades every
+//! append to fsync the log and every index rename to fsync the
+//! directory, for power-loss safety at the cost of append latency.
+//!
 //! Only **clean** reports are persisted (the same rule the in-memory
 //! store enforces): degraded or budget-tripped runs never reach the log.
 
@@ -396,19 +414,54 @@ fn parse_body(body: &[&str], first_line: usize) -> Result<StoredReport, StatimEr
     })
 }
 
-/// Parses a whole record log's text into `(fingerprint, report)` pairs
-/// in append order (a duplicated fingerprint keeps its latest record —
-/// two daemons racing the same job write identical content anyway).
+/// The outcome of an offset-aware scan of a record log: every record in
+/// the longest clean prefix, that prefix's byte length (always a record
+/// boundary), and the first violation past it, if any. This is what
+/// torn-tail recovery truncates against.
+#[derive(Debug)]
+pub struct LogScan {
+    /// `(fingerprint, report)` pairs of the clean prefix, in append
+    /// order (a duplicated fingerprint keeps its latest record when
+    /// replayed into a map — two daemons racing the same job write
+    /// identical content anyway).
+    pub records: Vec<(u64, StoredReport)>,
+    /// Byte length of the longest clean prefix ending at a record
+    /// boundary (at minimum the header line when `error` is set).
+    pub valid_len: u64,
+    /// The first violation, located exactly at `valid_len`.
+    pub error: Option<StatimError>,
+}
+
+/// Scans a record log, splitting it into its longest clean prefix and
+/// the first violation (if any) — see [`LogScan`].
 ///
 /// # Errors
 ///
-/// A typed `Parse`-class [`StatimError`] with the 1-based line of the
-/// first violation: wrong magic or version, a malformed header, a
-/// truncated record (EOF before the declared body lines), a checksum
-/// mismatch, or any corrupted body line.
-pub fn parse_log(text: &str) -> Result<Vec<(u64, StoredReport)>, StatimError> {
-    let all: Vec<&str> = text.lines().collect();
-    let header = *all.first().ok_or_else(|| parse_err(1, "empty store log"))?;
+/// Only for damage recovery must never paper over: an empty log, wrong
+/// magic or an unsupported version. Everything downstream of a valid
+/// header lands in [`LogScan::error`] instead.
+pub fn scan_log(text: &str) -> Result<LogScan, StatimError> {
+    // (line, byte offset of line start); terminators are stripped per
+    // line but offsets keep the exact byte math truncation needs.
+    let mut lines: Vec<(&str, u64)> = Vec::new();
+    let mut off = 0u64;
+    for seg in text.split_inclusive('\n') {
+        let line = seg.strip_suffix('\n').unwrap_or(seg);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        lines.push((line, off));
+        off += seg.len() as u64;
+    }
+    let total = off;
+    // A final line without its `\n` is by definition torn (the writer
+    // only emits whole lines): exclude it from record consumption.
+    let complete = if text.ends_with('\n') || text.is_empty() {
+        lines.len()
+    } else {
+        lines.len() - 1
+    };
+    let (header, _) = *lines
+        .first()
+        .ok_or_else(|| parse_err(1, "empty store log"))?;
     match header.strip_prefix(STORE_MAGIC) {
         None => return Err(parse_err(1, format!("not a {STORE_MAGIC} file"))),
         Some(v) if v.trim() != format!("v{STORE_VERSION}") => {
@@ -422,58 +475,140 @@ pub fn parse_log(text: &str) -> Result<Vec<(u64, StoredReport)>, StatimError> {
         }
         Some(_) => {}
     }
+    if complete == 0 {
+        // The header itself has no terminator: nothing usable follows.
+        return Ok(LogScan {
+            records: Vec::new(),
+            valid_len: 0,
+            error: Some(parse_err(1, "store log header line is torn (no newline)")),
+        });
+    }
+    let end_of = |i: usize| lines.get(i + 1).map_or(total, |&(_, o)| o);
     let mut records = Vec::new();
-    let mut i = 1; // 0-based index into `all`
-    while i < all.len() {
+    let mut valid_len = end_of(0);
+    let mut i = 1;
+    let fail = |records: Vec<(u64, StoredReport)>, valid_len: u64, e: StatimError| {
+        Ok(LogScan {
+            records,
+            valid_len,
+            error: Some(e),
+        })
+    };
+    while i < lines.len() {
+        let (line, _) = lines[i];
         let line_no = i + 1;
-        let line = all[i];
+        if i >= complete {
+            return fail(
+                records,
+                valid_len,
+                parse_err(line_no, "trailing line is torn (no newline)"),
+            );
+        }
         if line.trim().is_empty() {
+            valid_len = end_of(i);
             i += 1;
             continue;
         }
-        let rest = line.strip_prefix("record ").ok_or_else(|| {
-            parse_err(line_no, format!("expected a `record` header, got `{line}`"))
-        })?;
+        macro_rules! check {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(e) => return fail(records, valid_len, e),
+                }
+            };
+        }
+        let rest = check!(line.strip_prefix("record ").ok_or_else(|| parse_err(
+            line_no,
+            format!("expected a `record` header, got `{line}`")
+        )));
         let mut tok = rest.split(' ');
-        let fingerprint = tok
+        let fingerprint = check!(tok
             .next()
             .and_then(|t| u64::from_str_radix(t, 16).ok())
-            .ok_or_else(|| parse_err(line_no, "record fingerprint is not hex"))?;
-        let nlines: usize = tok
+            .ok_or_else(|| parse_err(line_no, "record fingerprint is not hex")));
+        let nlines: usize = check!(tok
             .next()
             .and_then(|t| t.parse().ok())
-            .ok_or_else(|| parse_err(line_no, "record line count is not a count"))?;
-        let checksum = tok
+            .ok_or_else(|| parse_err(line_no, "record line count is not a count")));
+        let checksum = check!(tok
             .next()
             .and_then(|t| u64::from_str_radix(t, 16).ok())
-            .ok_or_else(|| parse_err(line_no, "record checksum is not hex"))?;
-        if i + 1 + nlines > all.len() {
-            return Err(parse_err(
-                line_no,
-                format!(
-                    "truncated record: declares {nlines} body lines, log ends after {}",
-                    all.len() - i - 1
+            .ok_or_else(|| parse_err(line_no, "record checksum is not hex")));
+        if i + 1 + nlines > complete {
+            return fail(
+                records,
+                valid_len,
+                parse_err(
+                    line_no,
+                    format!(
+                        "truncated record: declares {nlines} body lines, log ends after {}",
+                        complete - i - 1
+                    ),
                 ),
-            ));
+            );
         }
-        let body = &all[i + 1..i + 1 + nlines];
+        let body: Vec<&str> = lines[i + 1..i + 1 + nlines]
+            .iter()
+            .map(|&(l, _)| l)
+            .collect();
         let mut body_bytes = String::new();
-        for l in body {
+        for l in &body {
             body_bytes.push_str(l);
             body_bytes.push('\n');
         }
         let actual = fnv1a(0, body_bytes.as_bytes());
         if actual != checksum {
-            return Err(parse_err(
-                line_no,
-                format!("record checksum mismatch (declared {checksum:016x}, body hashes {actual:016x})"),
-            ));
+            return fail(
+                records,
+                valid_len,
+                parse_err(
+                    line_no,
+                    format!(
+                        "record checksum mismatch (declared {checksum:016x}, body hashes {actual:016x})"
+                    ),
+                ),
+            );
         }
-        let report = parse_body(body, line_no + 1)?;
+        let report = check!(parse_body(&body, line_no + 1));
         records.push((fingerprint, report));
         i += 1 + nlines;
+        valid_len = end_of(i - 1);
     }
-    Ok(records)
+    Ok(LogScan {
+        records,
+        valid_len,
+        error: None,
+    })
+}
+
+/// Parses a whole record log's text into `(fingerprint, report)` pairs
+/// in append order (a duplicated fingerprint keeps its latest record —
+/// two daemons racing the same job write identical content anyway).
+///
+/// # Errors
+///
+/// A typed `Parse`-class [`StatimError`] with the 1-based line of the
+/// first violation: wrong magic or version, a malformed header, a
+/// truncated record (EOF before the declared body lines), a checksum
+/// mismatch, or any corrupted body line. (This is the strict view of
+/// [`scan_log`]; [`ResultLog::open`] layers torn-tail recovery on top.)
+pub fn parse_log(text: &str) -> Result<Vec<(u64, StoredReport)>, StatimError> {
+    let scan = scan_log(text)?;
+    match scan.error {
+        Some(e) => Err(e),
+        None => Ok(scan.records),
+    }
+}
+
+/// Durability knobs for [`ResultLog::open_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// `fsync` the log file after every append and the store directory
+    /// after every index rename (the `--store-fsync` daemon flag). Off
+    /// by default: appends are then only as durable as the page cache,
+    /// but torn-tail recovery makes a crash lose at most the unsynced
+    /// suffix, never the store.
+    pub fsync: bool,
 }
 
 /// The open store: the log/index paths plus the set of fingerprints
@@ -484,18 +619,35 @@ pub struct ResultLog {
     idx_path: PathBuf,
     fingerprints: BTreeSet<u64>,
     log_len: u64,
+    fsync: bool,
+    recovered_bytes: u64,
 }
 
 impl ResultLog {
     /// Opens (creating if needed) the store in `dir` and replays its
-    /// records.
+    /// records, with default [`StoreOptions`].
     ///
     /// # Errors
     ///
     /// `Resource`-class errors for directory/file I/O; `Parse`-class
     /// errors (with the offending line) for a corrupt log or index, or a
     /// log shorter than the index snapshot says it must be (lost bytes).
+    /// A torn *trailing* record — damage entirely past the snapshot
+    /// length — is not an error: it is truncated away (see the module
+    /// docs on torn-tail recovery).
     pub fn open(dir: &Path) -> Result<(ResultLog, Vec<(u64, StoredReport)>), StatimError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`ResultLog::open`] with explicit [`StoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ResultLog::open`].
+    pub fn open_with(
+        dir: &Path,
+        options: StoreOptions,
+    ) -> Result<(ResultLog, Vec<(u64, StoredReport)>), StatimError> {
         std::fs::create_dir_all(dir).map_err(|e| {
             io_err("creating store directory", &e).with_file(dir.display().to_string())
         })?;
@@ -511,20 +663,22 @@ impl ResultLog {
                 idx_path,
                 fingerprints: BTreeSet::new(),
                 log_len: header.len() as u64,
+                fsync: options.fsync,
+                recovered_bytes: 0,
             };
             log.snapshot_index()?;
             return Ok((log, Vec::new()));
         }
         let bytes = std::fs::read(&log_path)
             .map_err(|e| io_err("reading store log", &e).with_file(file(&log_path)))?;
-        let log_len = bytes.len() as u64;
+        let mut log_len = bytes.len() as u64;
         let text = String::from_utf8(bytes).map_err(|e| {
             parse_err(1, format!("store log is not UTF-8: {e}")).with_file(file(&log_path))
         })?;
         // Truncation check against the last snapshot, before the
         // record-granular parse: losing bytes off the tail can otherwise
         // masquerade as a clean, shorter log.
-        if idx_path.exists() {
+        let snap_len = if idx_path.exists() {
             let idx_text = std::fs::read_to_string(&idx_path)
                 .map_err(|e| io_err("reading store index", &e).with_file(file(&idx_path)))?;
             let snap_len = parse_index(&idx_text).map_err(|e| e.with_file(file(&idx_path)))?;
@@ -537,17 +691,53 @@ impl ResultLog {
                 )
                 .with_file(file(&log_path)));
             }
+            snap_len
+        } else {
+            0
+        };
+        let scan = scan_log(&text).map_err(|e| e.with_file(file(&log_path)))?;
+        let mut recovered_bytes = 0;
+        if let Some(err) = scan.error {
+            // Recoverable only when every snapshotted byte still parses:
+            // then the damage is a torn tail this process (or a crash
+            // mid-append) left behind, and the acknowledged prefix is
+            // intact. Damage below the snapshot — or a log so mangled
+            // not even the header survives — is real corruption.
+            if scan.valid_len < snap_len || scan.valid_len == 0 {
+                return Err(err.with_file(file(&log_path)));
+            }
+            recovered_bytes = log_len - scan.valid_len;
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&log_path)
+                .map_err(|e| io_err("opening store log", &e).with_file(file(&log_path)))?;
+            f.set_len(scan.valid_len)
+                .map_err(|e| io_err("truncating torn store log", &e).with_file(file(&log_path)))?;
+            if options.fsync {
+                f.sync_all().map_err(|e| {
+                    io_err("syncing truncated store log", &e).with_file(file(&log_path))
+                })?;
+            }
+            log_len = scan.valid_len;
         }
-        let records = parse_log(&text).map_err(|e| e.with_file(file(&log_path)))?;
+        let records = scan.records;
         let fingerprints = records.iter().map(|(fp, _)| *fp).collect();
         let mut log = ResultLog {
             log_path,
             idx_path,
             fingerprints,
             log_len,
+            fsync: options.fsync,
+            recovered_bytes,
         };
         log.snapshot_index()?;
         Ok((log, records))
+    }
+
+    /// Bytes dropped from a torn trailing record at open time (0 for a
+    /// clean log).
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered_bytes
     }
 
     /// Fingerprints currently on disk.
@@ -582,6 +772,7 @@ impl ResultLog {
             })?;
         f.write_all(record.as_bytes())
             .and_then(|()| f.flush())
+            .and_then(|()| if self.fsync { f.sync_all() } else { Ok(()) })
             .map_err(|e| {
                 io_err("appending to store log", &e).with_file(self.log_path.display().to_string())
             })?;
@@ -604,6 +795,16 @@ impl ResultLog {
         let tmp = self.idx_path.with_extension("idx.tmp");
         std::fs::write(&tmp, &out)
             .and_then(|()| std::fs::rename(&tmp, &self.idx_path))
+            .and_then(|()| {
+                if self.fsync {
+                    // Make the rename itself durable: fsync the directory
+                    // so a crash cannot resurrect the old snapshot.
+                    let dir = self.idx_path.parent().unwrap_or(Path::new("."));
+                    std::fs::File::open(dir).and_then(|d| d.sync_all())
+                } else {
+                    Ok(())
+                }
+            })
             .map_err(|e| {
                 io_err("writing store index", &e).with_file(self.idx_path.display().to_string())
             })
@@ -747,6 +948,123 @@ mod tests {
         let err = ResultLog::open(&dir).expect_err("truncation detected");
         assert_eq!(err.class, ErrorClass::Parse);
         assert!(err.message.contains("truncated"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_truncated_away_on_open() {
+        let dir = tmp_dir("torn");
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        {
+            let (mut log, _) = ResultLog::open(&dir).expect("open");
+            log.append(1, &stored).expect("append");
+        }
+        // Simulate a crash mid-append: a second record goes out but only
+        // partially reaches disk. The snapshot still records the
+        // one-record length, so everything past it is fair game.
+        let log_path = dir.join(LOG_NAME);
+        let clean_len = std::fs::metadata(&log_path).expect("meta").len();
+        let record = stored.render_record(2);
+        let torn = &record.as_bytes()[..record.len() - 7];
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&log_path)
+                .expect("append-open");
+            f.write_all(torn).expect("write torn tail");
+        }
+        let (log, loaded) = ResultLog::open(&dir).expect("recovers from torn tail");
+        assert_eq!(log.recovered_bytes(), torn.len() as u64);
+        assert_eq!(loaded, vec![(1, stored.clone())]);
+        assert_eq!(
+            std::fs::metadata(&log_path).expect("meta").len(),
+            clean_len,
+            "log truncated back to the last clean boundary"
+        );
+        // And the recovered store accepts new appends cleanly.
+        let (mut log, _) = ResultLog::open(&dir).expect("reopen clean");
+        assert_eq!(log.recovered_bytes(), 0);
+        log.append(2, &stored).expect("append after recovery");
+        let (_, loaded) = ResultLog::open(&dir).expect("reopen");
+        assert_eq!(loaded.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damage_below_snapshot_is_never_recovered_from() {
+        let dir = tmp_dir("deepdamage");
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        {
+            let (mut log, _) = ResultLog::open(&dir).expect("open");
+            log.append(1, &stored).expect("append");
+        }
+        // Flip bytes inside the snapshotted record: the store must
+        // refuse to start rather than silently shorten acknowledged
+        // history.
+        let log_path = dir.join(LOG_NAME);
+        let text = std::fs::read_to_string(&log_path).expect("read");
+        std::fs::write(&log_path, text.replace("scalars ", "scalars zz")).expect("corrupt");
+        let err = ResultLog::open(&dir).expect_err("deep corruption is fatal");
+        assert_eq!(err.class, ErrorClass::Parse);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_fingerprint_keeps_latest_record_on_replay() {
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        let text = format!(
+            "{STORE_MAGIC} v{STORE_VERSION}\n{}{}",
+            stored.render_record(5),
+            stored.render_record(5)
+        );
+        let records = parse_log(&text).expect("duplicate fp parses");
+        assert_eq!(records.len(), 2);
+        let mut map = std::collections::HashMap::new();
+        for (fp, r) in records {
+            map.insert(fp, r);
+        }
+        assert_eq!(map.len(), 1, "replay into a map keeps one entry");
+    }
+
+    #[test]
+    fn scan_log_reports_exact_clean_prefix_length() {
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        let clean = format!(
+            "{STORE_MAGIC} v{STORE_VERSION}\n{}",
+            stored.render_record(9)
+        );
+        let scan = scan_log(&clean).expect("clean scan");
+        assert!(scan.error.is_none());
+        assert_eq!(scan.valid_len, clean.len() as u64);
+        // Cutting at every byte of the final record must always yield a
+        // clean prefix at the pre-record boundary, never a parse abort.
+        let boundary = format!("{STORE_MAGIC} v{STORE_VERSION}\n").len() as u64;
+        for cut in boundary as usize + 1..clean.len() - 1 {
+            let scan = scan_log(&clean[..cut]).expect("scan never hard-fails past header");
+            assert!(scan.error.is_some(), "cut at {cut} is torn");
+            assert_eq!(scan.valid_len, boundary, "cut at {cut}");
+            assert!(scan.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn fsync_store_appends_and_recovers_like_default() {
+        let dir = tmp_dir("fsync");
+        let report = clean_report();
+        let stored = StoredReport::from_report(&report);
+        let opts = StoreOptions { fsync: true };
+        {
+            let (mut log, _) = ResultLog::open_with(&dir, opts).expect("open fsync");
+            log.append(11, &stored).expect("append fsync");
+        }
+        let (log, loaded) = ResultLog::open_with(&dir, opts).expect("reopen fsync");
+        assert_eq!(log.len(), 1);
+        assert_eq!(loaded, vec![(11, stored)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,601 @@
+//! Deterministic network-chaos harness for adversarial serving tests.
+//!
+//! A [`ChaosProxy`] sits between a test client and a live daemon as an
+//! in-process TCP relay and misbehaves on purpose, according to a
+//! seeded [`ChaosPlan`]: it chops client writes into tiny segments,
+//! stalls mid-line like a slowloris, drops connections abruptly
+//! mid-request, half-closes the upstream while still draining replies,
+//! and floods the daemon with bare connections that never speak. The
+//! daemon under test is a stock `statim serve` — chaos lives entirely
+//! on the wire, so every behavior the suite asserts is one a real
+//! hostile or broken client could produce.
+//!
+//! # Determinism contract
+//!
+//! Chaos follows the same rule as [`statim_core::FaultPlan`]: nothing
+//! keys on wall time or shared rng state. Each proxied connection gets
+//! a stable accept index, and every randomized decision (the
+//! `chop-random` segment sizes) derives purely from
+//! `splitmix64(seed ^ f(index, chunk))`. Replaying a plan fragments
+//! the byte stream identically run over run; the only nondeterminism
+//! left is kernel-level segment coalescing, which the daemon must (and
+//! does) tolerate by design.
+//!
+//! # Plan grammar
+//!
+//! Plans parse from the same `;`-separated spec shape as
+//! `--fault-plan`: `[seed=N;]fault[@args];fault[@args];...`
+//!
+//! | spec | behavior |
+//! |------|----------|
+//! | `chop@1` | relay client→daemon bytes in fixed 1-byte writes |
+//! | `chop-random@8` | seeded segment sizes in `1..=8` bytes |
+//! | `stall@64:50` | after 64 relayed bytes, stall 50 ms mid-stream |
+//! | `rst@128` | abruptly kill both directions after 128 bytes |
+//! | `half-close@256` | FIN the upstream write side after 256 bytes, keep reading replies |
+//! | `flood@32` | hold 32 bare connections to the daemon that never greet |
+//!
+//! The module is compiled only under
+//! `cfg(any(test, feature = "fault-injection"))`; release builds
+//! without the feature carry none of it.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long relay loops sleep between stop-flag checks while idle.
+const RELAY_POLL: Duration = Duration::from_millis(10);
+
+/// One wire-level misbehavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChaosFault {
+    /// Relay client→daemon traffic in fixed `bytes`-sized writes (with
+    /// `TCP_NODELAY`, so the daemon sees maximally fragmented input).
+    Chop {
+        /// Segment size in bytes (≥ 1).
+        bytes: usize,
+    },
+    /// Like [`ChaosFault::Chop`] but each segment's size is drawn from
+    /// `1..=max` by `splitmix64(seed ^ f(conn, chunk))` — seeded, not
+    /// stateful, so the fragmentation pattern replays exactly.
+    ChopRandom {
+        /// Largest segment size (≥ 1).
+        max: usize,
+    },
+    /// After relaying `at` client→daemon bytes, stall the stream for
+    /// `ms` milliseconds — a slowloris freeze, usually mid-line.
+    Stall {
+        /// Byte offset at which to stall.
+        at: u64,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// After relaying `at` client→daemon bytes, kill both directions
+    /// at once: the daemon sees an abrupt disconnect (a FIN, or a real
+    /// RST when reply bytes were still queued), likely mid-request.
+    Abort {
+        /// Byte offset at which to kill the connection.
+        at: u64,
+    },
+    /// After relaying `at` client→daemon bytes, shut down the upstream
+    /// write side (FIN) while continuing to drain daemon replies — the
+    /// half-closed client every robust server must tolerate.
+    HalfClose {
+        /// Byte offset at which to half-close.
+        at: u64,
+    },
+    /// On proxy start, open `conns` bare connections straight to the
+    /// daemon and hold them silent until [`ChaosProxy::shutdown`] — an
+    /// accept-slot flood that never completes a greeting.
+    Flood {
+        /// Number of silent connections to hold.
+        conns: usize,
+    },
+}
+
+/// A seeded set of wire faults, parsed from a spec string (see the
+/// [module docs](self) for the grammar) or built with [`ChaosPlan::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    seed: u64,
+    faults: Vec<ChaosFault>,
+}
+
+/// SplitMix64 — the same stateless mixer `FaultPlan` uses; every
+/// randomized chaos decision is a pure function of it.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosPlan {
+    /// A plan with the given seed and faults.
+    pub fn new(seed: u64, faults: Vec<ChaosFault>) -> Self {
+        ChaosPlan { seed, faults }
+    }
+
+    /// The plan's seed (drives [`ChaosFault::ChopRandom`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's faults, in spec order.
+    pub fn faults(&self) -> &[ChaosFault] {
+        &self.faults
+    }
+
+    /// Segment size for chunk `chunk` of connection `conn`: the fixed
+    /// chop size if set, else a seeded draw from `1..=max`, else the
+    /// whole remaining buffer.
+    fn segment_len(&self, conn: u64, chunk: u64, remaining: usize) -> usize {
+        for fault in &self.faults {
+            match *fault {
+                ChaosFault::Chop { bytes } => return bytes.min(remaining),
+                ChaosFault::ChopRandom { max } => {
+                    let draw = splitmix64(self.seed ^ (conn << 24) ^ chunk) as usize;
+                    return (draw % max + 1).min(remaining);
+                }
+                _ => {}
+            }
+        }
+        remaining
+    }
+
+    /// The first positioned event (`stall`/`rst`/`half-close`) strictly
+    /// past `total` relayed bytes, if any.
+    fn next_event_after(&self, total: u64) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                ChaosFault::Stall { at, .. }
+                | ChaosFault::Abort { at }
+                | ChaosFault::HalfClose { at } => Some(at),
+                _ => None,
+            })
+            .filter(|&at| at > total)
+            .min()
+    }
+
+    /// Total silent flood connections requested by the plan.
+    fn flood_conns(&self) -> usize {
+        self.faults
+            .iter()
+            .map(|f| match *f {
+                ChaosFault::Flood { conns } => conns,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl FromStr for ChaosPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        fn bad(msg: impl Into<String>) -> String {
+            format!("chaos-plan: {}", msg.into())
+        }
+        fn num<T: FromStr>(token: &str, what: &str) -> Result<T, String> {
+            token
+                .trim()
+                .parse::<T>()
+                .map_err(|_| bad(format!("`{token}` is not a {what}")))
+        }
+
+        let mut seed = 0u64;
+        let mut faults = Vec::new();
+        for (i, part) in s.split(';').map(str::trim).enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            if let Some(v) = part.strip_prefix("seed=") {
+                if i != 0 {
+                    return Err(bad("seed= must be the first clause"));
+                }
+                seed = num(v, "u64 seed")?;
+                continue;
+            }
+            let (name, args) = match part.split_once('@') {
+                Some((n, a)) => (n.trim(), Some(a.trim())),
+                None => (part, None),
+            };
+            let fault = match name {
+                "chop" => {
+                    let bytes: usize = num(args.ok_or_else(|| bad("chop needs @bytes"))?, "size")?;
+                    if bytes == 0 {
+                        return Err(bad("chop size must be at least 1"));
+                    }
+                    ChaosFault::Chop { bytes }
+                }
+                "chop-random" => {
+                    let max: usize =
+                        num(args.ok_or_else(|| bad("chop-random needs @max"))?, "size")?;
+                    if max == 0 {
+                        return Err(bad("chop-random max must be at least 1"));
+                    }
+                    ChaosFault::ChopRandom { max }
+                }
+                "stall" => {
+                    let a = args.ok_or_else(|| bad("stall needs @offset:ms"))?;
+                    let (at, ms) = a
+                        .split_once(':')
+                        .ok_or_else(|| bad("stall args are offset:ms"))?;
+                    ChaosFault::Stall {
+                        at: num(at, "byte offset")?,
+                        ms: num(ms, "millisecond count")?,
+                    }
+                }
+                "rst" => ChaosFault::Abort {
+                    at: num(args.ok_or_else(|| bad("rst needs @offset"))?, "byte offset")?,
+                },
+                "half-close" => ChaosFault::HalfClose {
+                    at: num(
+                        args.ok_or_else(|| bad("half-close needs @offset"))?,
+                        "byte offset",
+                    )?,
+                },
+                "flood" => {
+                    let conns: usize =
+                        num(args.ok_or_else(|| bad("flood needs @conns"))?, "count")?;
+                    if conns == 0 {
+                        return Err(bad("flood needs at least one connection"));
+                    }
+                    ChaosFault::Flood { conns }
+                }
+                other => return Err(bad(format!("unknown fault `{other}`"))),
+            };
+            faults.push(fault);
+        }
+        if faults.is_empty() {
+            return Err(bad("empty plan"));
+        }
+        Ok(ChaosPlan::new(seed, faults))
+    }
+}
+
+/// An in-process TCP fault proxy: accepts on an ephemeral local port,
+/// relays each connection to `target`, and applies a [`ChaosPlan`] to
+/// the client→daemon byte stream.
+///
+/// Drop order is explicit: call [`ChaosProxy::shutdown`] to stop the
+/// accept loop, release any flood connections, and join every relay
+/// thread. Relay loops poll a stop flag on a short read timeout, so
+/// shutdown completes promptly even with live connections.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    relays: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    flood: Vec<TcpStream>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy in front of `target` (a `host:port` string that
+    /// must already be listening) and applies `plan` to every proxied
+    /// connection. Flood connections, if planned, are opened before
+    /// this returns, so the daemon is already under pressure when the
+    /// first real client arrives.
+    pub fn spawn(target: &str, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let target: SocketAddr = target
+            .parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+
+        let mut flood = Vec::new();
+        for _ in 0..plan.flood_conns() {
+            flood.push(TcpStream::connect(target)?);
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let relays: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let plan = Arc::new(plan);
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let relays = Arc::clone(&relays);
+            thread::spawn(move || {
+                let next_index = AtomicU64::new(0);
+                while !stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _)) => {
+                            let index = next_index.fetch_add(1, Ordering::SeqCst);
+                            let upstream = match TcpStream::connect(target) {
+                                Ok(s) => s,
+                                Err(_) => continue,
+                            };
+                            let up = {
+                                let client = match client.try_clone() {
+                                    Ok(c) => c,
+                                    Err(_) => continue,
+                                };
+                                let upstream = match upstream.try_clone() {
+                                    Ok(u) => u,
+                                    Err(_) => continue,
+                                };
+                                let plan = Arc::clone(&plan);
+                                let stop = Arc::clone(&stop);
+                                thread::spawn(move || {
+                                    pump_upstream(client, upstream, &plan, index, &stop)
+                                })
+                            };
+                            let down = {
+                                let stop = Arc::clone(&stop);
+                                thread::spawn(move || pump_downstream(upstream, client, &stop))
+                            };
+                            let mut guard = relays.lock().unwrap();
+                            guard.push(up);
+                            guard.push(down);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(RELAY_POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept: Some(accept),
+            relays,
+            flood,
+        })
+    }
+
+    /// The proxy's listen address — point the client under test here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drops every held flood connection, and joins
+    /// the accept and relay threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in self.flood.drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self.relays.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Relays client→daemon bytes, applying chop/stall/rst/half-close
+/// faults at their planned byte offsets.
+fn pump_upstream(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: &ChaosPlan,
+    index: u64,
+    stop: &AtomicBool,
+) {
+    let _ = from.set_read_timeout(Some(RELAY_POLL));
+    let _ = to.set_nodelay(true);
+    let mut total: u64 = 0;
+    let mut chunk: u64 = 0;
+    let mut write_open = true;
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = to.shutdown(Shutdown::Write);
+            return;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+        };
+        let mut pending = &buf[..n];
+        while !pending.is_empty() {
+            // Never let one write span a planned event offset: cut the
+            // segment at the event boundary so the fault fires exactly
+            // `at` bytes into the stream.
+            let mut len = plan.segment_len(index, chunk, pending.len());
+            if let Some(at) = plan.next_event_after(total) {
+                len = len.min((at - total) as usize);
+            }
+            chunk += 1;
+            if write_open && to.write_all(&pending[..len]).is_err() {
+                return;
+            }
+            total += len as u64;
+            pending = &pending[len..];
+            for fault in plan.faults() {
+                match *fault {
+                    ChaosFault::Stall { at, ms } if at == total => {
+                        thread::sleep(Duration::from_millis(ms));
+                    }
+                    ChaosFault::Abort { at } if at == total => {
+                        let _ = to.shutdown(Shutdown::Both);
+                        let _ = from.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    ChaosFault::HalfClose { at } if at == total && write_open => {
+                        let _ = to.shutdown(Shutdown::Write);
+                        write_open = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Relays daemon→client bytes unmodified (replies are the daemon's
+/// contract under test; chaos only mangles what clients send).
+fn pump_downstream(mut from: TcpStream, mut to: TcpStream, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(RELAY_POLL));
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = to.shutdown(Shutdown::Write);
+            return;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_parse_the_documented_grammar() {
+        let plan: ChaosPlan = "seed=7;chop@1;stall@64:50;rst@128".parse().unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(
+            plan.faults(),
+            &[
+                ChaosFault::Chop { bytes: 1 },
+                ChaosFault::Stall { at: 64, ms: 50 },
+                ChaosFault::Abort { at: 128 },
+            ]
+        );
+
+        let plan: ChaosPlan = "half-close@256;flood@32;chop-random@8".parse().unwrap();
+        assert_eq!(plan.flood_conns(), 32);
+        assert_eq!(
+            plan.faults()[2],
+            ChaosFault::ChopRandom { max: 8 },
+            "spec order is preserved"
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_context() {
+        for (spec, needle) in [
+            ("", "empty plan"),
+            ("chop", "chop needs @bytes"),
+            ("chop@0", "at least 1"),
+            ("chop-random@x", "not a size"),
+            ("stall@64", "offset:ms"),
+            ("rst@-1", "not a byte offset"),
+            ("flood@0", "at least one"),
+            ("tickle@3", "unknown fault"),
+            ("chop@1;seed=4", "first clause"),
+        ] {
+            let err = spec.parse::<ChaosPlan>().unwrap_err();
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn chop_random_segments_are_seeded_and_bounded() {
+        let plan: ChaosPlan = "seed=42;chop-random@8".parse().unwrap();
+        let sizes: Vec<usize> = (0..64).map(|c| plan.segment_len(3, c, 4096)).collect();
+        let replay: Vec<usize> = (0..64).map(|c| plan.segment_len(3, c, 4096)).collect();
+        assert_eq!(
+            sizes, replay,
+            "segment sizes are a pure function of the seed"
+        );
+        assert!(sizes.iter().all(|&s| (1..=8).contains(&s)));
+        let other: Vec<usize> = (0..64).map(|c| plan.segment_len(4, c, 4096)).collect();
+        assert_ne!(sizes, other, "different connections fragment differently");
+    }
+
+    #[test]
+    fn positioned_events_cut_segments_exactly_at_their_offset() {
+        let plan: ChaosPlan = "stall@10:1;half-close@20".parse().unwrap();
+        assert_eq!(plan.next_event_after(0), Some(10));
+        assert_eq!(plan.next_event_after(10), Some(20));
+        assert_eq!(plan.next_event_after(20), None);
+        // A 4096-byte buffer at offset 7 must be cut to 3 bytes so the
+        // stall fires exactly at byte 10.
+        let len = plan
+            .segment_len(0, 0, 4096)
+            .min((plan.next_event_after(7).unwrap() - 7) as usize);
+        assert_eq!(len, 3);
+    }
+
+    #[test]
+    fn proxy_relays_bytes_faithfully_through_chaos() {
+        // An echo server stands in for the daemon: everything written
+        // through a chopping, stalling proxy must come back intact.
+        let echo = TcpListener::bind("127.0.0.1:0").unwrap();
+        let echo_addr = echo.local_addr().unwrap();
+        let echo_thread = thread::spawn(move || {
+            let (mut conn, _) = echo.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+
+        let plan: ChaosPlan = "seed=1;chop-random@3;stall@5:20".parse().unwrap();
+        let mut proxy = ChaosProxy::spawn(&echo_addr.to_string(), plan).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        let message = b"HELLO 1.1 client=chaos-echo\n";
+        client.write_all(message).unwrap();
+        client.shutdown(Shutdown::Write).unwrap();
+        let mut back = Vec::new();
+        client.read_to_end(&mut back).unwrap();
+        assert_eq!(
+            back, message,
+            "chaos fragments the stream, never corrupts it"
+        );
+
+        proxy.shutdown();
+        echo_thread.join().unwrap();
+    }
+}

@@ -30,6 +30,14 @@ pub enum ClientError {
         /// Its state when the clock ran out.
         last_state: String,
     },
+    /// The daemon refused the submission under a per-client limit (rate
+    /// or live-job cap) and told us when to come back.
+    Throttled {
+        /// The daemon's retry hint.
+        retry_after: Duration,
+        /// The daemon's full message (past the `retry-after=` token).
+        message: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -40,6 +48,16 @@ impl fmt::Display for ClientError {
             ClientError::Server { code, message } => write!(f, "{code}: {message}"),
             ClientError::Timeout { id, last_state } => {
                 write!(f, "timed out waiting for {id} (last state {last_state})")
+            }
+            ClientError::Throttled {
+                retry_after,
+                message,
+            } => {
+                write!(
+                    f,
+                    "throttled ({message}); retry after {} ms",
+                    retry_after.as_millis()
+                )
             }
         }
     }
@@ -96,6 +114,23 @@ impl Client {
     /// Connection failures, a non-daemon greeting, or a handshake
     /// rejection.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Self::connect_with(addr, None)
+    }
+
+    /// [`Client::connect`], declaring a client identity (`client=<tag>`)
+    /// at HELLO — the daemon's fairness lane key. Untagged connections
+    /// are keyed by peer address instead, so a tag is how multiple
+    /// connections share one admission lane (or how one host's tools
+    /// keep separate ones).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_tagged(addr: &str, tag: &str) -> Result<Client, ClientError> {
+        Self::connect_with(addr, Some(tag.to_string()))
+    }
+
+    fn connect_with(addr: &str, tag: Option<String>) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
@@ -113,17 +148,21 @@ impl Client {
         let versioned = client.request(&Request::Hello {
             version: PROTOCOL_VERSION,
             minor: PROTOCOL_MINOR,
+            client: tag,
         });
         let reply = match versioned {
             Ok(reply) => reply,
             // A v1.0 daemon rejects `HELLO 1.1` as unparseable but keeps
-            // the connection; fall back to the spelling it knows.
+            // the connection; fall back to the spelling it knows (which
+            // predates client tags — the lane key degrades to the peer
+            // address).
             Err(ClientError::Server {
                 code: ErrorCode::Protocol,
                 ..
             }) => client.request(&Request::Hello {
                 version: PROTOCOL_VERSION,
                 minor: 0,
+                client: None,
             })?,
             Err(e) => return Err(e),
         };
@@ -159,7 +198,7 @@ impl Client {
         let header = self.read_line()?;
         let response = Response::parse(&header).map_err(ClientError::Protocol)?;
         if let Response::Error { code, message } = response {
-            return Err(ClientError::Server { code, message });
+            return Err(server_error(code, message));
         }
         let payload_lines = match response {
             Response::Result { lines, .. } | Response::Stats { lines } => lines,
@@ -246,7 +285,7 @@ impl Client {
             let response = Response::parse(&header).map_err(ClientError::Protocol)?;
             receipts.push(match response {
                 Response::Submitted { id, from_store } => Ok((id, from_store)),
-                Response::Error { code, message } => Err(ClientError::Server { code, message }),
+                Response::Error { code, message } => Err(server_error(code, message)),
                 other => return Err(unexpected("SUBMIT", &other)),
             });
         }
@@ -373,7 +412,10 @@ impl Client {
         }
         loop {
             let (state, _, _) = self.status(id)?;
-            if matches!(state.as_str(), "done" | "degraded" | "failed" | "cancelled") {
+            if matches!(
+                state.as_str(),
+                "done" | "degraded" | "failed" | "cancelled" | "expired"
+            ) {
                 return Ok(state);
             }
             if deadline.is_some_and(expired) {
@@ -403,4 +445,24 @@ impl Client {
 
 fn unexpected(verb: &str, response: &Response) -> ClientError {
     ClientError::Protocol(format!("unexpected reply to {verb}: {}", response.render()))
+}
+
+/// Types an `ERR` reply: a `RESOURCE` message leading with the
+/// `retry-after=<ms>` hint is a throttle, everything else a plain
+/// server error.
+fn server_error(code: ErrorCode, message: String) -> ClientError {
+    if code == ErrorCode::Resource {
+        if let Some((ms, text)) = message
+            .strip_prefix("retry-after=")
+            .and_then(|rest| rest.split_once(' '))
+        {
+            if let Ok(ms) = ms.parse::<u64>() {
+                return ClientError::Throttled {
+                    retry_after: Duration::from_millis(ms),
+                    message: text.to_string(),
+                };
+            }
+        }
+    }
+    ClientError::Server { code, message }
 }

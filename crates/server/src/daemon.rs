@@ -20,8 +20,24 @@
 //! `WouldBlock` yields the worker to the next socket, and a client
 //! writing a flood of pipelined requests gets its replies strictly in
 //! request order (a blocking `WAIT` simply parks the line cursor).
+//!
+//! # Overload defenses
+//!
 //! The registry is bounded ([`DaemonTuning::max_conns`]); connections
-//! beyond the bound are refused with a best-effort `ERR RESOURCE` line.
+//! beyond the bound are refused with a typed `ERR RESOURCE
+//! retry-after=<ms>` line on a blocking write under a short deadline,
+//! and counted (`shed-connections` in `STATS`). With
+//! [`DaemonTuning::io_timeout`] set, a connection that owes or is owed
+//! bytes but makes no progress for the deadline is reaped with a typed
+//! close reason (`reaped-connections`) — the slowloris defense; idle
+//! greeted keepalives and parked `WAIT`s have empty buffers and
+//! survive. Per-conn buffer caps are extended by a per-client aggregate
+//! ([`DaemonTuning::max_client_buffered`]) across every connection
+//! sharing a fairness lane (the HELLO `client=` tag, or the peer
+//! address). Job-plane admission — per-client rate limits, live-job
+//! caps, queue deadlines, weighted round-robin drain — lives in
+//! [`AnalysisService`]; this module only carries the client identity
+//! down to it.
 //!
 //! # Graceful shutdown
 //!
@@ -36,7 +52,9 @@ use crate::protocol::{
     error_reply, ErrorCode, Request, Response, GREETING, PROTOCOL_MINOR, PROTOCOL_VERSION,
 };
 use statim_core::engine::{LabelSolver, SstaConfig};
-use statim_core::service::{AnalysisService, CancelOutcome, JobSpec, ServiceConfig, ServiceStats};
+use statim_core::service::{
+    AnalysisService, CancelOutcome, JobSpec, ServiceConfig, ServiceStats, SubmitOptions,
+};
 use statim_core::{apply_edits, EcoScript, ErrorClass, JobId, RunBudget, StatimError};
 use statim_netlist::generators::iscas85::{self, Benchmark};
 use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle};
@@ -44,14 +62,26 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// How long an idle worker sleeps before re-polling its sockets (also
-/// the resolution of server-side `WAIT` completion).
-const IDLE_POLL: Duration = Duration::from_millis(1);
+/// Shortest idle sleep between worker polls (also the resolution of
+/// server-side `WAIT` completion under load).
+const IDLE_POLL_MIN: Duration = Duration::from_millis(1);
+
+/// Longest idle sleep: each quiet iteration doubles the backoff up to
+/// here, and any progress resets it to [`IDLE_POLL_MIN`] — an idle
+/// daemon stops burning a core without adding latency under traffic.
+const IDLE_POLL_MAX: Duration = Duration::from_millis(8);
+
+/// Write deadline for the best-effort `ERR RESOURCE` line sent to a
+/// connection refused over the registry bound.
+const SHED_WRITE_DEADLINE: Duration = Duration::from_millis(100);
+
+/// Retry hint (ms) in the over-`max_conns` refusal line.
+const SHED_RETRY_MS: u64 = 1000;
 
 /// Longest accepted request line; beyond this the connection is closed
 /// with `ERR PROTOCOL` (no verb comes anywhere near it).
@@ -72,6 +102,14 @@ pub struct DaemonTuning {
     pub max_conns: usize,
     /// Polling workers sharing the connection load.
     pub workers: usize,
+    /// Connection progress deadline (`--io-timeout-ms`): a connection
+    /// that owes or is owed bytes but makes no progress for this long is
+    /// reaped with a typed close reason (the slowloris defense). `None`
+    /// disables reaping.
+    pub io_timeout: Option<Duration>,
+    /// Aggregate buffered-byte cap across all of one client's
+    /// connections (the per-conn [`MAX_BUFFERED`] extended to the lane).
+    pub max_client_buffered: usize,
 }
 
 impl Default for DaemonTuning {
@@ -79,8 +117,21 @@ impl Default for DaemonTuning {
         DaemonTuning {
             max_conns: 256,
             workers: 4,
+            io_timeout: None,
+            max_client_buffered: 2 * MAX_BUFFERED,
         }
     }
+}
+
+/// Daemon-level defense counters (connection plane — the job-plane
+/// counters live in [`ServiceStats`]).
+#[derive(Default)]
+struct Counters {
+    /// Connections refused over the registry bound.
+    shed: AtomicU64,
+    /// Connections closed by the progress deadline or the per-client
+    /// aggregate buffer cap.
+    reaped: AtomicU64,
 }
 
 /// The sharded connection registry. Each worker owns shard `[worker
@@ -89,6 +140,13 @@ impl Default for DaemonTuning {
 struct Registry {
     shards: Vec<Mutex<HashMap<u64, Conn>>>,
     max_conns: usize,
+    io_timeout: Option<Duration>,
+    max_client_buffered: usize,
+    counters: Counters,
+    /// Aggregate buffered bytes per client lane, across shards. Updated
+    /// by delta accounting from each connection's progress turn — never
+    /// by cross-shard walks, which could deadlock two workers.
+    lane_bytes: Mutex<HashMap<String, usize>>,
 }
 
 impl Registry {
@@ -98,11 +156,21 @@ impl Registry {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             max_conns: tuning.max_conns,
+            io_timeout: tuning.io_timeout,
+            max_client_buffered: tuning.max_client_buffered,
+            counters: Counters::default(),
+            lane_bytes: Mutex::new(HashMap::new()),
         }
     }
 
     fn lock_shard(&self, i: usize) -> MutexGuard<'_, HashMap<u64, Conn>> {
         self.shards[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_lanes(&self) -> MutexGuard<'_, HashMap<String, usize>> {
+        self.lane_bytes
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -136,6 +204,17 @@ impl DaemonHandle {
     /// cycles.
     pub fn open_connections(&self) -> usize {
         self.registry.open_connections()
+    }
+
+    /// Connections refused over the `max_conns` bound since start.
+    pub fn shed_connections(&self) -> u64 {
+        self.registry.counters.shed.load(Ordering::SeqCst)
+    }
+
+    /// Connections reaped by the progress deadline or the per-client
+    /// aggregate buffer cap since start.
+    pub fn reaped_connections(&self) -> u64 {
+        self.registry.counters.reaped.load(Ordering::SeqCst)
     }
 
     /// Begins a graceful drain without a client connection — the
@@ -244,6 +323,7 @@ fn worker_loop(
     stop: &AtomicBool,
 ) {
     let mut next_token: u64 = wid as u64;
+    let mut idle = IDLE_POLL_MIN;
     loop {
         let mut busy = false;
 
@@ -254,11 +334,22 @@ fn worker_loop(
                 Ok((stream, _)) => {
                     busy = true;
                     if registry.open_connections() >= registry.max_conns {
-                        // Best-effort refusal; the client sees the line
-                        // (or a clean close) instead of a greeting.
+                        registry.counters.shed.fetch_add(1, Ordering::SeqCst);
+                        // Typed, observable refusal: a *blocking* write
+                        // under a short deadline, so a normally-reading
+                        // client reliably sees the line (instead of the
+                        // old fire-and-forget race) while a stalled one
+                        // cannot hold the worker past the deadline.
                         let mut stream = stream;
-                        let _ = stream
-                            .write_all(b"ERR RESOURCE connection limit reached, retry later\n");
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_write_timeout(Some(SHED_WRITE_DEADLINE));
+                        let _ = stream.write_all(
+                            format!(
+                                "ERR RESOURCE retry-after={SHED_RETRY_MS} \
+                                 connection limit reached, retry later\n"
+                            )
+                            .as_bytes(),
+                        );
                         let _ = stream.shutdown(Shutdown::Both);
                         continue;
                     }
@@ -274,12 +365,17 @@ fn worker_loop(
         }
 
         // Progress the shard; finished connections leave the registry
-        // right here — the fd-leak fix is this `retain`.
+        // right here — the fd-leak fix is this `retain` (which also
+        // settles the lane's buffer accounting).
         {
             let mut shard = registry.lock_shard(wid);
             shard.retain(|_, conn| {
-                busy |= conn.progress(service, stop);
-                !conn.finished()
+                busy |= conn.progress(service, stop, registry);
+                let done = conn.finished();
+                if done {
+                    conn.settle_accounting(registry);
+                }
+                !done
             });
         }
 
@@ -296,8 +392,13 @@ fn worker_loop(
             }
         }
 
-        if !busy {
-            thread::sleep(IDLE_POLL);
+        // Capped exponential idle backoff: 1 → 8 ms while quiet, reset
+        // to 1 ms by any progress so latency under load is unchanged.
+        if busy {
+            idle = IDLE_POLL_MIN;
+        } else {
+            thread::sleep(idle);
+            idle = (idle * 2).min(IDLE_POLL_MAX);
         }
     }
 }
@@ -318,14 +419,32 @@ struct Conn {
     greeted: bool,
     /// Negotiated protocol minor (0 until a versioned `HELLO` raises it).
     minor: u32,
+    /// The fairness lane this connection submits under: the HELLO
+    /// `client=` tag when given, otherwise the peer address.
+    lane: String,
     pending: Option<PendingWait>,
     closing: bool,
+    /// The peer sent FIN (half-close): no more requests will arrive,
+    /// but everything already pipelined still executes and its replies
+    /// are still owed before the connection closes.
+    eof: bool,
+    /// When this connection last made I/O or request progress (the
+    /// reaping deadline's anchor).
+    last_progress: Instant,
+    /// Buffered bytes currently charged to [`Registry::lane_bytes`]
+    /// under `accounted_lane` (delta accounting).
+    accounted: usize,
+    accounted_lane: String,
 }
 
 impl Conn {
     fn new(stream: TcpStream) -> io::Result<Conn> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true).ok();
+        let lane = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown-peer".to_string());
         let mut outbuf = Vec::with_capacity(GREETING.len() + 1);
         outbuf.extend_from_slice(GREETING.as_bytes());
         outbuf.push(b'\n');
@@ -335,8 +454,13 @@ impl Conn {
             outbuf,
             greeted: false,
             minor: 0,
+            accounted_lane: lane.clone(),
+            lane,
             pending: None,
             closing: false,
+            eof: false,
+            last_progress: Instant::now(),
+            accounted: 0,
         })
     }
 
@@ -354,10 +478,16 @@ impl Conn {
     }
 
     /// One readiness turn: flush, resolve a parked `WAIT`, read what the
-    /// socket has, execute complete request lines, flush again. Returns
-    /// whether any I/O or request progress happened (the worker's idle
-    /// heuristic).
-    fn progress(&mut self, service: &AnalysisService, stop: &AtomicBool) -> bool {
+    /// socket has, execute complete request lines, flush again, then
+    /// apply the connection-plane defenses (progress deadline,
+    /// per-client aggregate buffer cap). Returns whether any I/O or
+    /// request progress happened (the worker's idle heuristic).
+    fn progress(
+        &mut self,
+        service: &AnalysisService,
+        stop: &AtomicBool,
+        registry: &Registry,
+    ) -> bool {
         let mut busy = self.flush();
         if let Some(reply) = self.resolve_pending(service) {
             self.queue(&reply, &[]);
@@ -367,7 +497,14 @@ impl Conn {
         while !self.closing && self.pending.is_none() {
             let Some(line) = self.take_line() else { break };
             busy = true;
-            self.execute(&line, service, stop);
+            self.execute(&line, service, stop, &registry.counters);
+        }
+        // Half-close drained: every complete line the peer pipelined
+        // before its FIN has executed (a trailing partial line is torn
+        // by definition and forfeits). Close once the replies flush.
+        if self.eof && !self.closing && self.pending.is_none() {
+            self.inbuf.clear();
+            self.closing = true;
         }
         // Oversized partial line, or a pipeline hoarding bytes behind a
         // WAIT: protocol violation, close after the error flushes.
@@ -385,7 +522,100 @@ impl Conn {
             self.closing = true;
         }
         busy |= self.flush();
+        if busy {
+            self.last_progress = Instant::now();
+        } else if let Some(timeout) = registry.io_timeout {
+            // Slowloris defense: a connection that owes us a line
+            // (mid-request, or never greeted) or is refusing to drain
+            // its replies, and has made no progress for the deadline,
+            // is reaped. Parked WAITs and idle greeted keepalives have
+            // empty buffers and survive.
+            let stalled = !self.greeted || !self.inbuf.is_empty() || !self.outbuf.is_empty();
+            if !self.closing && stalled && self.last_progress.elapsed() >= timeout {
+                registry.counters.reaped.fetch_add(1, Ordering::SeqCst);
+                self.reap(format!(
+                    "connection reaped: no progress in {} ms (io-timeout)",
+                    timeout.as_millis()
+                ));
+            }
+        }
+        if self.update_accounting(registry) && !self.closing {
+            registry.counters.reaped.fetch_add(1, Ordering::SeqCst);
+            self.reap(format!(
+                "connection reaped: client `{}` over its {} byte aggregate buffer cap",
+                self.lane, registry.max_client_buffered
+            ));
+            self.update_accounting(registry);
+        }
         busy
+    }
+
+    /// Terminal defensive close: best-effort typed reason, then drop the
+    /// socket without waiting for the (possibly stalled) peer to drain.
+    fn reap(&mut self, reason: String) {
+        self.queue(
+            &Response::Error {
+                code: ErrorCode::Resource,
+                message: reason,
+            },
+            &[],
+        );
+        self.closing = true;
+        let _ = self.flush();
+        // Whatever did not flush is forfeit — a reaped peer is by
+        // definition not draining, and `finished()` needs an empty
+        // buffer to release the registry slot.
+        self.outbuf.clear();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Delta-updates this connection's contribution to its lane's
+    /// aggregate buffered bytes; returns whether the lane is over the
+    /// cap (charged against the connection that grew it).
+    fn update_accounting(&mut self, registry: &Registry) -> bool {
+        let cur = if self.finished() {
+            0
+        } else {
+            self.inbuf.len() + self.outbuf.len()
+        };
+        if cur == self.accounted && self.lane == self.accounted_lane {
+            return false;
+        }
+        let mut lanes = registry.lock_lanes();
+        if self.lane != self.accounted_lane {
+            // HELLO renamed the lane: move the charge.
+            if let Some(old) = lanes.get_mut(&self.accounted_lane) {
+                *old = old.saturating_sub(self.accounted);
+                if *old == 0 {
+                    lanes.remove(&self.accounted_lane);
+                }
+            }
+            self.accounted = 0;
+            self.accounted_lane = self.lane.clone();
+        }
+        let entry = lanes.entry(self.lane.clone()).or_insert(0);
+        *entry = entry.saturating_sub(self.accounted) + cur;
+        let total = *entry;
+        if total == 0 {
+            lanes.remove(&self.lane);
+        }
+        self.accounted = cur;
+        total > registry.max_client_buffered
+    }
+
+    /// Releases this connection's lane charge as it leaves the registry.
+    fn settle_accounting(&mut self, registry: &Registry) {
+        if self.accounted == 0 {
+            return;
+        }
+        let mut lanes = registry.lock_lanes();
+        if let Some(entry) = lanes.get_mut(&self.accounted_lane) {
+            *entry = entry.saturating_sub(self.accounted);
+            if *entry == 0 {
+                lanes.remove(&self.accounted_lane);
+            }
+        }
+        self.accounted = 0;
     }
 
     /// Resolves a parked `WAIT` if its job turned terminal or its
@@ -420,15 +650,20 @@ impl Conn {
     }
 
     /// Non-blocking read into the line buffer. Returns whether bytes
-    /// arrived; flags the connection closing on EOF or a hard error.
+    /// arrived. EOF is a half-close, not an abort: pipelined requests
+    /// that arrived with (or before) the FIN still execute and their
+    /// replies still flush; only a hard read error forfeits the
+    /// connection outright.
     fn fill(&mut self) -> bool {
+        if self.eof {
+            return false;
+        }
         let mut busy = false;
         let mut chunk = [0u8; 4096];
         loop {
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    self.closing = true;
-                    self.outbuf.clear(); // client is gone; owe it nothing
+                    self.eof = true;
                     break;
                 }
                 Ok(n) => {
@@ -463,7 +698,13 @@ impl Conn {
     }
 
     /// Parses and executes one request line, queuing the reply.
-    fn execute(&mut self, line: &str, service: &AnalysisService, stop: &AtomicBool) {
+    fn execute(
+        &mut self,
+        line: &str,
+        service: &AnalysisService,
+        stop: &AtomicBool,
+        counters: &Counters,
+    ) {
         if line.is_empty() {
             return;
         }
@@ -528,7 +769,14 @@ impl Conn {
             }
             return;
         }
-        let (reply, payload) = respond(request, &mut self.greeted, &mut self.minor, service);
+        let (reply, payload) = respond(
+            request,
+            &mut self.greeted,
+            &mut self.minor,
+            &mut self.lane,
+            service,
+            counters,
+        );
         if matches!(reply, Response::ShuttingDown) {
             stop.store(true, Ordering::SeqCst);
         }
@@ -579,12 +827,15 @@ fn respond(
     request: Request,
     greeted: &mut bool,
     minor: &mut u32,
+    lane: &mut String,
     service: &AnalysisService,
+    counters: &Counters,
 ) -> (Response, Vec<String>) {
     match request {
         Request::Hello {
             version,
             minor: client_minor,
+            client,
         } => {
             if version != PROTOCOL_VERSION {
                 return (
@@ -599,6 +850,9 @@ fn respond(
             }
             *greeted = true;
             *minor = client_minor.min(PROTOCOL_MINOR);
+            if let Some(tag) = client {
+                *lane = tag;
+            }
             (
                 Response::Hello {
                     version: PROTOCOL_VERSION,
@@ -610,16 +864,22 @@ fn respond(
         Request::Wait { .. } => unreachable!("WAIT is handled by the connection"),
         Request::Submit { source, options } => {
             match build_spec(&source, &options, service.default_backend()) {
-                Ok(spec) => match service.submit(spec) {
-                    Ok(receipt) => (
-                        Response::Submitted {
-                            id: receipt.id,
-                            from_store: receipt.from_store,
-                        },
-                        Vec::new(),
-                    ),
-                    Err(e) => (error_reply(&e), Vec::new()),
-                },
+                Ok((spec, deadline_ms)) => {
+                    let options = SubmitOptions {
+                        client: Some(lane.clone()),
+                        deadline_ms,
+                    };
+                    match service.submit_with(spec, options) {
+                        Ok(receipt) => (
+                            Response::Submitted {
+                                id: receipt.id,
+                                from_store: receipt.from_store,
+                            },
+                            Vec::new(),
+                        ),
+                        Err(e) => (error_reply(&e), Vec::new()),
+                    }
+                }
                 Err(e) => (
                     Response::Error {
                         code: ErrorCode::from(e.class),
@@ -647,16 +907,18 @@ fn respond(
                 Err(e) => return (error_reply(&e), Vec::new()),
             };
             match edited_spec(&base, &script) {
-                Ok(spec) => match service.submit(spec) {
-                    Ok(receipt) => (
-                        Response::Edited {
-                            id: receipt.id,
-                            from_store: receipt.from_store,
-                        },
-                        Vec::new(),
-                    ),
-                    Err(e) => (error_reply(&e), Vec::new()),
-                },
+                Ok(spec) => {
+                    match service.submit_with(spec, SubmitOptions::for_client(lane.clone())) {
+                        Ok(receipt) => (
+                            Response::Edited {
+                                id: receipt.id,
+                                from_store: receipt.from_store,
+                            },
+                            Vec::new(),
+                        ),
+                        Err(e) => (error_reply(&e), Vec::new()),
+                    }
+                }
                 Err(e) => (
                     Response::Error {
                         code: ErrorCode::from(e.class),
@@ -704,7 +966,7 @@ fn respond(
             Err(e) => (error_reply(&e), Vec::new()),
         },
         Request::Stats => {
-            let payload = render_stats(&service.stats());
+            let payload = render_stats(&service.stats(), counters);
             (
                 Response::Stats {
                     lines: payload.len(),
@@ -719,7 +981,7 @@ fn respond(
     }
 }
 
-fn render_stats(stats: &ServiceStats) -> Vec<String> {
+fn render_stats(stats: &ServiceStats, counters: &Counters) -> Vec<String> {
     let c = &stats.cache;
     vec![
         format!("submitted: {}", stats.submitted),
@@ -729,6 +991,14 @@ fn render_stats(stats: &ServiceStats) -> Vec<String> {
         format!("cancelled: {}", stats.cancelled),
         format!("store-hits: {}", stats.store_hits),
         format!("rejected: {}", stats.rejected),
+        format!("throttled: {}", stats.throttled),
+        format!("expired: {}", stats.expired),
+        format!("clients: {}", stats.clients),
+        format!("shed-connections: {}", counters.shed.load(Ordering::SeqCst)),
+        format!(
+            "reaped-connections: {}",
+            counters.reaped.load(Ordering::SeqCst)
+        ),
         format!("queued: {}", stats.queued),
         format!("running: {}", stats.running),
         format!("store-entries: {}", stats.store_entries),
@@ -745,12 +1015,14 @@ fn render_stats(stats: &ServiceStats) -> Vec<String> {
 }
 
 /// Builds the job spec a `SUBMIT` line describes: resolve the netlist
-/// source, the placement and the run options.
+/// source, the placement and the run options. Also returns the queue
+/// deadline (`deadline=<ms>`), which is admission metadata — it lives
+/// *outside* the spec so it never perturbs the result-store fingerprint.
 fn build_spec(
     source: &str,
     options: &[(String, String)],
     default_backend: statim_core::ConvolveBackend,
-) -> Result<JobSpec, StatimError> {
+) -> Result<(JobSpec, Option<u64>), StatimError> {
     let circuit = load_source(source)?;
     let mut config = SstaConfig::date05();
     // Seeded before the option scan so an explicit `backend=` wins and
@@ -758,9 +1030,11 @@ fn build_spec(
     config.backend = default_backend;
     let mut placement_style = PlacementStyle::Levelized;
     let mut def_path: Option<&str> = None;
+    let mut deadline_ms: Option<u64> = None;
     for (key, value) in options {
         match key.as_str() {
             "confidence" => config.confidence = parse_opt(key, value)?,
+            "deadline" => deadline_ms = Some(parse_opt(key, value)?),
             "quality-intra" => config.quality_intra = parse_opt(key, value)?,
             "quality-inter" => config.quality_inter = parse_opt(key, value)?,
             "max-paths" => config.max_paths = parse_opt(key, value)?,
@@ -837,7 +1111,7 @@ fn build_spec(
         }
         None => Placement::generate(&circuit, placement_style),
     };
-    Ok(JobSpec::new(circuit, placement, config))
+    Ok((JobSpec::new(circuit, placement, config), deadline_ms))
 }
 
 /// Derives a new [`JobSpec`] from a base job's spec by applying a
@@ -902,6 +1176,14 @@ pub struct DaemonOptions {
     pub max_conns: Option<usize>,
     /// Polling connection workers (`--conn-threads`).
     pub conn_threads: Option<usize>,
+    /// Per-client live-job cap (`--max-per-client`).
+    pub max_per_client: Option<usize>,
+    /// Per-client token-bucket rate limit, jobs/s (`--rate-limit`).
+    pub rate_limit: Option<u32>,
+    /// Connection progress deadline, ms (`--io-timeout-ms`).
+    pub io_timeout_ms: Option<u64>,
+    /// Fsync result-store appends and index renames (`--store-fsync`).
+    pub store_fsync: bool,
 }
 
 impl DaemonOptions {
@@ -921,6 +1203,9 @@ impl DaemonOptions {
             config.default_backend = b;
         }
         config.store_dir = self.store_dir;
+        config.max_per_client = self.max_per_client;
+        config.rate_limit = self.rate_limit;
+        config.store_fsync = self.store_fsync;
         let mut tuning = DaemonTuning::default();
         if let Some(n) = self.max_conns {
             tuning.max_conns = n;
@@ -928,6 +1213,7 @@ impl DaemonOptions {
         if let Some(n) = self.conn_threads {
             tuning.workers = n.max(1);
         }
+        tuning.io_timeout = self.io_timeout_ms.map(Duration::from_millis);
         (config, tuning)
     }
 

@@ -41,10 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod chaos;
 pub mod client;
 pub mod daemon;
 pub mod protocol;
 
+#[cfg(any(test, feature = "fault-injection"))]
+pub use chaos::{ChaosFault, ChaosPlan, ChaosProxy};
 pub use client::{Client, ClientError, Reply};
 pub use daemon::{serve, spawn, spawn_tuned, DaemonHandle, DaemonOptions, DaemonTuning};
 pub use protocol::{ErrorCode, Request, Response, GREETING, PROTOCOL_MINOR, PROTOCOL_VERSION};

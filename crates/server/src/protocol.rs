@@ -5,7 +5,7 @@
 //! One request per line, ASCII, fields separated by single spaces:
 //!
 //! ```text
-//! request  = "HELLO" SP version
+//! request  = "HELLO" SP version [SP "client=" tag]
 //!          | "SUBMIT" SP source *(SP key "=" value)
 //!          | "STATUS" SP job-id
 //!          | "WAIT" SP job-id [SP "timeout=" ms]       ; minor >= 1
@@ -17,6 +17,7 @@
 //! source   = "@" benchmark-name | path          ; no spaces
 //! job-id   = "job-" n
 //! version  = major ["." minor]                  ; missing minor = 0
+//! tag      = client identity, no spaces         ; fairness lane key
 //! edit-script = compact ECO form                ; no spaces:
 //!               edits ";"-separated, fields ":"-separated,
 //!               e.g. resize:g1:2.0;swap:g2:nor2
@@ -55,6 +56,18 @@
 //! Requests may be **pipelined**: a client can write any number of
 //! request lines before reading replies, and the daemon answers strictly
 //! in request order (a blocking `WAIT` holds every reply behind it).
+//!
+//! # Overload protection
+//!
+//! `HELLO 1.1 client=<tag>` names the connection's fairness lane (an
+//! untagged connection falls back to its peer address). A submission
+//! refused by a per-client limit — the token-bucket rate or the live-job
+//! cap — is answered `ERR RESOURCE retry-after=<ms> <reason>`: the
+//! machine-readable retry hint is always the first token of the message,
+//! so clients can back off without parsing prose. `SUBMIT ... deadline=<ms>`
+//! bounds the job's time *in queue*: if the executor reaches it later,
+//! the job turns terminally `expired` (reported by `STATUS`/`WAIT`, and
+//! `RESULT` answers `ERR RESOURCE`) instead of running stale work.
 //!
 //! Error codes: the four [`ErrorClass`] classes (`PARSE`, `CONFIG`,
 //! `RESOURCE`, `NUMERIC`) for failures of the job or its inputs, plus
@@ -112,6 +125,10 @@ pub enum Request {
         version: u32,
         /// Protocol minor the client speaks (0 when absent on the wire).
         minor: u32,
+        /// Self-declared client identity (`client=<tag>`), the fairness
+        /// lane key. Absent on the wire → the daemon falls back to the
+        /// connection's peer address.
+        client: Option<String>,
     },
     /// Submit a job: a netlist source plus `key=value` options.
     Submit {
@@ -166,8 +183,17 @@ impl Request {
     /// Renders the request as its wire line (no terminator).
     pub fn render(&self) -> String {
         match self {
-            Request::Hello { version, minor } => {
-                format!("HELLO {}", render_version(*version, *minor))
+            Request::Hello {
+                version,
+                minor,
+                client,
+            } => {
+                let mut line = format!("HELLO {}", render_version(*version, *minor));
+                if let Some(tag) = client {
+                    line.push_str(" client=");
+                    line.push_str(tag);
+                }
+                line
             }
             Request::Submit { source, options } => {
                 let mut line = format!("SUBMIT {source}");
@@ -209,7 +235,23 @@ impl Request {
         let req = match verb {
             "HELLO" => {
                 let (version, minor) = parse_version(required(&mut fields, "HELLO", "version")?)?;
-                Request::Hello { version, minor }
+                let client = match fields.next() {
+                    None => None,
+                    Some(opt) => {
+                        let tag = opt
+                            .strip_prefix("client=")
+                            .ok_or_else(|| format!("unexpected HELLO option `{opt}`"))?;
+                        if tag.is_empty() {
+                            return Err("empty client tag in HELLO".to_string());
+                        }
+                        Some(tag.to_string())
+                    }
+                };
+                Request::Hello {
+                    version,
+                    minor,
+                    client,
+                }
             }
             "SUBMIT" => {
                 let source = required(&mut fields, "SUBMIT", "source")?.to_string();
@@ -374,8 +416,17 @@ impl From<ErrorClass> for ErrorCode {
     }
 }
 
-/// Maps a service-layer failure to its wire code and message.
+/// Maps a service-layer failure to its wire code and message. A
+/// throttle carries its machine-readable hint as the message's first
+/// token (`retry-after=<ms>`), which [`crate::ClientError::Throttled`]
+/// parses back out.
 pub fn error_reply(err: &ServiceError) -> Response {
+    if let ServiceError::Throttled { retry_after_ms, .. } = err {
+        return Response::Error {
+            code: ErrorCode::Resource,
+            message: format!("retry-after={retry_after_ms} {err}"),
+        };
+    }
     let code = match err {
         ServiceError::Busy { .. } => ErrorCode::Busy,
         ServiceError::Draining => ErrorCode::Shutdown,
@@ -383,6 +434,7 @@ pub fn error_reply(err: &ServiceError) -> Response {
         ServiceError::NotFinished { .. } => ErrorCode::Pending,
         ServiceError::AlreadyFinished { .. } => ErrorCode::Finished,
         ServiceError::JobFailed { error, .. } => ErrorCode::from(error.class),
+        ServiceError::Throttled { .. } => unreachable!("handled above"),
     };
     Response::Error {
         code,
@@ -643,10 +695,17 @@ mod tests {
         roundtrip_request(Request::Hello {
             version: 1,
             minor: 0,
+            client: None,
         });
         roundtrip_request(Request::Hello {
             version: 1,
             minor: 1,
+            client: None,
+        });
+        roundtrip_request(Request::Hello {
+            version: 1,
+            minor: 1,
+            client: Some("sizer-7".into()),
         });
         roundtrip_request(Request::Wait {
             id: "job-7".parse().expect("id"),
@@ -756,6 +815,9 @@ mod tests {
             "HELLO 1.",
             "HELLO .1",
             "HELLO 1.x",
+            "HELLO 1.1 tag=x",
+            "HELLO 1.1 client=",
+            "HELLO 1.1 client=a extra",
             "WAIT",
             "WAIT job-x",
             "WAIT job-1 deadline=5",
@@ -777,7 +839,8 @@ mod tests {
         assert_eq!(
             Request::Hello {
                 version: 1,
-                minor: 0
+                minor: 0,
+                client: None,
             }
             .render(),
             "HELLO 1"
@@ -795,9 +858,41 @@ mod tests {
             Request::parse("HELLO 1").expect("parses"),
             Request::Hello {
                 version: 1,
-                minor: 0
+                minor: 0,
+                client: None,
             }
         );
+        // An untagged HELLO renders byte-identically to the old wire
+        // form — the tag is purely additive.
+        assert_eq!(
+            Request::Hello {
+                version: 1,
+                minor: 1,
+                client: None,
+            }
+            .render(),
+            "HELLO 1.1"
+        );
+    }
+
+    #[test]
+    fn throttle_errors_lead_with_the_retry_hint() {
+        use statim_core::ThrottleKind;
+        let err = ServiceError::Throttled {
+            client: "flooder".into(),
+            retry_after_ms: 500,
+            kind: ThrottleKind::Rate { limit: 2 },
+        };
+        match error_reply(&err) {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Resource);
+                assert!(
+                    message.starts_with("retry-after=500 "),
+                    "hint must be the first token: {message}"
+                );
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
     }
 
     #[test]

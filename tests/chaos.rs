@@ -1,0 +1,315 @@
+//! Network-chaos integration tests: a stock daemon behind the
+//! [`ChaosProxy`] fault relay, driven by hostile wire behavior —
+//! byte-chopped writes, mid-line stalls, abrupt disconnects,
+//! half-closed clients, connect floods. The invariant under every plan:
+//! the daemon never wedges (`open_connections` returns to zero), and a
+//! fresh clean client afterwards is served **byte-identically** to a
+//! one-shot batch run.
+//!
+//! Gated on `--features fault-injection`, like `tests/faults.rs`.
+#![cfg(feature = "fault-injection")]
+
+use statim::core::engine::{SstaConfig, SstaEngine};
+use statim::core::report::deterministic_report;
+use statim::core::service::ServiceConfig;
+use statim::netlist::generators::iscas85::{self, Benchmark};
+use statim::netlist::{Placement, PlacementStyle};
+use statim::server::{daemon, ChaosPlan, ChaosProxy, Client, DaemonHandle, GREETING};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+const QUALITY: &[(&str, &str)] = &[("quality-intra", "40"), ("quality-inter", "20")];
+const WAIT: Duration = Duration::from_secs(120);
+
+fn opts(extra: &[(&str, &str)]) -> Vec<(String, String)> {
+    QUALITY
+        .iter()
+        .chain(extra)
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn batch_report(bench: Benchmark, top: usize) -> String {
+    let circuit = iscas85::generate(bench);
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let mut config = SstaConfig::date05();
+    config.quality_intra = 40;
+    config.quality_inter = 20;
+    let report = SstaEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("batch run");
+    deterministic_report(&report, top)
+}
+
+fn proxy(handle: &DaemonHandle, plan: &str) -> ChaosProxy {
+    let plan: ChaosPlan = plan.parse().expect("chaos plan");
+    ChaosProxy::spawn(&handle.addr().to_string(), plan).expect("spawn proxy")
+}
+
+/// Polls `open_connections` down to `want` with a bounded grace window.
+fn wait_for_open_connections(handle: &DaemonHandle, want: usize) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let open = handle.open_connections();
+        if open == want || Instant::now() >= deadline {
+            return open;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The post-chaos health check: registry drained, and a fresh direct
+/// client is served byte-identically to the batch reference.
+fn assert_daemon_clean(handle: &DaemonHandle) {
+    assert_eq!(
+        wait_for_open_connections(handle, 0),
+        0,
+        "registry must drain after chaos"
+    );
+    let mut client = Client::connect(&handle.addr().to_string()).expect("clean connect");
+    let (id, _) = client.submit("@c432", &opts(&[])).expect("clean submit");
+    client.wait(id, WAIT).expect("clean wait");
+    assert_eq!(
+        client.result(id, Some(5)).expect("clean result"),
+        batch_report(Benchmark::C432, 5),
+        "served bytes drifted after chaos"
+    );
+}
+
+#[test]
+fn chopped_and_stalled_sessions_serve_byte_identical_reports() {
+    let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).expect("spawn");
+    // 1-byte writes with a 30 ms freeze mid-greeting: maximal
+    // fragmentation plus a slow client, on one connection.
+    let mut chaos = proxy(&handle, "seed=3;chop@1;stall@14:30");
+    let mut client = Client::connect(&chaos.addr().to_string()).expect("connect via proxy");
+    let (id, from_store) = client.submit("@c432", &opts(&[])).expect("submit");
+    assert!(!from_store);
+    client.wait(id, WAIT).expect("wait");
+    assert_eq!(
+        client.result(id, Some(5)).expect("result"),
+        batch_report(Benchmark::C432, 5),
+        "chopped session must serve the exact batch bytes"
+    );
+    drop(client);
+    chaos.shutdown();
+    assert_daemon_clean(&handle);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn seeded_random_chopping_replays_identically() {
+    let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).expect("spawn");
+    for round in 0..2 {
+        let mut chaos = proxy(&handle, "seed=11;chop-random@5");
+        let mut client = Client::connect(&chaos.addr().to_string()).expect("connect");
+        let (id, _) = client.submit("@c499", &opts(&[])).expect("submit");
+        client.wait(id, WAIT).expect("wait");
+        assert_eq!(
+            client.result(id, Some(5)).expect("result"),
+            batch_report(Benchmark::C499, 5),
+            "round {round}"
+        );
+        drop(client);
+        chaos.shutdown();
+    }
+    assert_daemon_clean(&handle);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn mid_request_disconnects_never_wedge_the_daemon() {
+    let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).expect("spawn");
+    let session = b"HELLO 1.1\nSUBMIT @c432 quality-intra=40 quality-inter=20\n";
+    // Kill mid-greeting, mid-verb, and one byte before the final
+    // newline — every cut lands inside a line.
+    for cut in [4usize, 16, session.len() - 1] {
+        let mut chaos = proxy(&handle, &format!("rst@{cut}"));
+        let mut stream = TcpStream::connect(chaos.addr()).expect("connect");
+        let _ = stream.write_all(session);
+        let _ = stream.flush();
+        // Drain whatever survived the cut; the proxy kills the relay at
+        // exactly `cut` bytes, so the daemon saw a torn request.
+        let mut sink = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut stream, &mut sink);
+        drop(stream);
+        chaos.shutdown();
+        assert_eq!(
+            wait_for_open_connections(&handle, 0),
+            0,
+            "cut at byte {cut} wedged the registry"
+        );
+    }
+    assert_daemon_clean(&handle);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn half_closed_clients_still_get_their_replies() {
+    let handle = daemon::spawn("127.0.0.1:0", ServiceConfig::default()).expect("spawn");
+    let session = "HELLO 1.1\nSUBMIT @c432 quality-intra=40 quality-inter=20\n";
+    // FIN exactly after the last request byte: the daemon must process
+    // the complete pipeline and deliver both replies to the half-closed
+    // peer before closing.
+    let mut chaos = proxy(&handle, &format!("half-close@{}", session.len()));
+    let stream = TcpStream::connect(chaos.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut read_line = move || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+    assert_eq!(read_line(), GREETING);
+    writer.write_all(session.as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    assert_eq!(read_line(), "OK HELLO 1.1");
+    let reply = read_line();
+    assert!(
+        reply.starts_with("OK SUBMIT job-") && reply.ends_with(" queued"),
+        "{reply}"
+    );
+    let id: statim::core::JobId = reply
+        .split_whitespace()
+        .nth(2)
+        .expect("job id")
+        .parse()
+        .expect("job id parses");
+    drop(writer);
+    chaos.shutdown();
+
+    // The job a half-closed client queued still runs to completion.
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.wait(id, WAIT).expect("wait");
+    assert_eq!(
+        client.result(id, Some(5)).expect("result"),
+        batch_report(Benchmark::C432, 5)
+    );
+    drop(client);
+    assert_daemon_clean(&handle);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn connect_floods_shed_cleanly_and_recover() {
+    let handle = daemon::spawn_tuned(
+        "127.0.0.1:0",
+        ServiceConfig::default(),
+        daemon::DaemonTuning {
+            max_conns: 4,
+            io_timeout: Some(Duration::from_millis(100)),
+            ..daemon::DaemonTuning::default()
+        },
+    )
+    .expect("spawn");
+
+    // 16 silent connections against 4 slots: the overflow is shed with
+    // typed refusals, the squatters are reaped by the progress
+    // deadline, and every one is accounted for.
+    let mut chaos = proxy(&handle, "flood@16");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.shed_connections() + handle.reaped_connections() < 16 && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        handle.shed_connections() + handle.reaped_connections(),
+        16,
+        "shed {} + reaped {} must cover the whole flood",
+        handle.shed_connections(),
+        handle.reaped_connections()
+    );
+    assert!(handle.shed_connections() >= 12, "most of the flood is shed");
+    chaos.shutdown();
+    assert_daemon_clean(&handle);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn mini_soak_slowloris_and_flood_leave_daemon_clean() {
+    // Sustained abuse: every round hits the daemon with a flood, a
+    // slowloris, and a mid-request disconnect while a clean client
+    // keeps demanding byte-identical store hits. Rounds repeat until
+    // the soak budget (STATIM_SOAK_SECS, default 2) is spent — CI runs
+    // the long version.
+    let secs: u64 = std::env::var("STATIM_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let dir = std::env::temp_dir().join(format!("statim-chaos-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = daemon::spawn_tuned(
+        "127.0.0.1:0",
+        ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+        daemon::DaemonTuning {
+            max_conns: 32,
+            io_timeout: Some(Duration::from_millis(100)),
+            ..daemon::DaemonTuning::default()
+        },
+    )
+    .expect("spawn");
+    let reference = {
+        let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+        let (id, _) = client.submit("@c432", &opts(&[])).expect("warm");
+        client.wait(id, WAIT).expect("warm wait");
+        client.result(id, Some(5)).expect("warm result")
+    };
+    assert_eq!(reference, batch_report(Benchmark::C432, 5));
+
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut rounds = 0u64;
+    while Instant::now() < deadline {
+        rounds += 1;
+        let mut flood = proxy(&handle, "flood@8");
+        let mut cutter = proxy(&handle, "rst@20");
+        // Slowloris: greet, then freeze mid-verb until reaped.
+        let slow = TcpStream::connect(handle.addr()).expect("slow connect");
+        {
+            let mut slow = slow.try_clone().expect("clone");
+            slow.write_all(b"HELLO 1.1\nSTA").expect("partial");
+            slow.flush().expect("flush");
+        }
+        // Mid-request disconnect through the cutting proxy.
+        {
+            let mut s = TcpStream::connect(cutter.addr()).expect("connect");
+            let _ = s.write_all(b"HELLO 1.1\nSUBMIT @c432 quality-intra=40\n");
+            let _ = s.flush();
+        }
+        // The clean client, in the thick of it, gets exact bytes.
+        let mut client =
+            Client::connect_tagged(&handle.addr().to_string(), "soak-clean").expect("connect");
+        let (id, from_store) = client.submit("@c432", &opts(&[])).expect("submit");
+        assert!(from_store, "round {rounds}: store hit expected");
+        assert_eq!(
+            client.result(id, Some(5)).expect("result"),
+            reference,
+            "round {rounds}: served bytes drifted mid-chaos"
+        );
+        drop(client);
+        drop(slow);
+        cutter.shutdown();
+        flood.shutdown();
+    }
+    assert!(rounds >= 1, "soak budget too small to run a round");
+    assert_daemon_clean(&handle);
+    let mut client = Client::connect(&handle.addr().to_string()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("shed-connections:"), "{stats}");
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -739,36 +739,114 @@ fn store_corpus() -> Vec<PathBuf> {
     files
 }
 
+/// Hard failures: the header itself is wrong, so no byte of the log
+/// can be trusted and recovery never applies.
+const CORPUS_HARD: &[&str] = &["bad_magic.log", "bad_version.log"];
+/// Recoverable tails: a clean header with damage confined to the
+/// unsnapshotted tail — open() truncates back to the last
+/// checksum-valid boundary instead of failing.
+const CORPUS_RECOVERABLE: &[&str] = &[
+    "bad_checksum.log",
+    "bad_float.log",
+    "not_a_record.log",
+    "torn_tail.log",
+    "truncated_record.log",
+];
+/// Valid logs that merely exercise replay rules (duplicate fingerprints
+/// keep the latest record).
+const CORPUS_CLEAN: &[&str] = &["duplicate_fp.log"];
+
+/// Copies a corpus log into a fresh store dir, optionally with an index
+/// snapshot acknowledging the full byte length (which makes any tail
+/// damage "below the snapshot" and therefore unrecoverable).
+fn stage_corpus(file: &Path, label: &str, with_idx: bool) -> PathBuf {
+    let dir = tmp_store(&format!("corpus-{label}"));
+    std::fs::create_dir_all(&dir).expect("store dir");
+    std::fs::copy(file, dir.join("results.log")).expect("copy corpus log");
+    if with_idx {
+        let len = std::fs::metadata(file).expect("corpus metadata").len();
+        std::fs::write(
+            dir.join("results.idx"),
+            format!("statim-store-idx v1\nlog_len {len}\nrecords 0\n"),
+        )
+        .expect("write idx");
+    }
+    dir
+}
+
 #[test]
-fn corrupt_store_logs_fail_open_with_typed_parse_errors() {
+fn corrupt_store_logs_split_into_hard_and_recoverable_sets() {
     for file in store_corpus() {
         let name = file
             .file_name()
             .expect("name")
             .to_string_lossy()
             .to_string();
-        let dir = tmp_store(&format!("corpus-{}", name.replace('.', "-")));
-        std::fs::create_dir_all(&dir).expect("store dir");
-        std::fs::copy(&file, dir.join("results.log")).expect("copy corpus log");
-        let err = ResultLog::open(&dir).expect_err(&name);
-        assert_eq!(err.class, ErrorClass::Parse, "{name}: {err}");
-        assert!(err.line.is_some(), "{name}: wants the offending line");
-        let _ = std::fs::remove_dir_all(&dir);
+        let label = name.replace('.', "-");
+        if CORPUS_HARD.contains(&name.as_str()) {
+            let dir = stage_corpus(&file, &label, false);
+            let err = ResultLog::open(&dir).expect_err(&name);
+            assert_eq!(err.class, ErrorClass::Parse, "{name}: {err}");
+            assert!(err.line.is_some(), "{name}: wants the offending line");
+            let _ = std::fs::remove_dir_all(&dir);
+        } else if CORPUS_RECOVERABLE.contains(&name.as_str()) {
+            // Without a snapshot the damage is all tail: open truncates
+            // back to the last checksum-valid boundary and serves what
+            // survived.
+            let dir = stage_corpus(&file, &label, false);
+            let (log, records) = ResultLog::open(&dir).expect(&name);
+            assert!(log.recovered_bytes() > 0, "{name}: recovery must report");
+            assert_eq!(records.len(), log.len(), "{name}");
+            // The same bytes under a full-length snapshot are
+            // acknowledged data: recovery is forbidden and open fails
+            // with the typed Parse error.
+            let _ = std::fs::remove_dir_all(&dir);
+            let dir = stage_corpus(&file, &format!("{label}-idx"), true);
+            let err = ResultLog::open(&dir).expect_err(&name);
+            assert_eq!(err.class, ErrorClass::Parse, "{name}: {err}");
+            assert!(err.line.is_some(), "{name}: wants the offending line");
+            let _ = std::fs::remove_dir_all(&dir);
+        } else if CORPUS_CLEAN.contains(&name.as_str()) {
+            let dir = stage_corpus(&file, &label, false);
+            let (log, records) = ResultLog::open(&dir).expect(&name);
+            assert_eq!(log.recovered_bytes(), 0, "{name}: nothing to recover");
+            // Replay yields both raw records; the fingerprint set (and
+            // any map built in replay order) collapses to one entry.
+            assert_eq!(records.len(), 2, "{name}");
+            assert_eq!(log.len(), 1, "{name}: duplicate fp is one entry");
+            let _ = std::fs::remove_dir_all(&dir);
+        } else {
+            panic!("unclassified corpus entry {name}: add it to a set");
+        }
     }
 }
 
 #[test]
+fn duplicate_fingerprint_replay_keeps_the_latest_record() {
+    let file = store_corpus()
+        .into_iter()
+        .find(|f| f.file_name().is_some_and(|n| n == "duplicate_fp.log"))
+        .expect("duplicate_fp.log in corpus");
+    let dir = stage_corpus(&file, "dup-latest", false);
+    let (_, records) = ResultLog::open(&dir).expect("open");
+    assert!(records.iter().all(|(fp, _)| *fp == 5));
+    // Records replay in file order, so a latest-wins map keeps the
+    // second one — which changes det_critical_delay to 2.0e-9.
+    let (_, latest) = records.last().expect("records");
+    assert_eq!(latest.det_critical_delay, 2.0e-9);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn daemon_refuses_to_start_over_a_corrupt_store() {
-    // The same corruption through the front door: `spawn` with a
-    // poisoned store directory is a typed startup failure, not a daemon
-    // that silently serves wrong bytes.
+    // The same corruption through the front door: `spawn` with a store
+    // whose snapshot acknowledges bytes that no longer parse is a typed
+    // startup failure, not a daemon that silently serves wrong bytes.
     let file = store_corpus()
         .into_iter()
         .find(|f| f.file_name().is_some_and(|n| n == "bad_checksum.log"))
         .expect("bad_checksum.log in corpus");
-    let dir = tmp_store("corrupt-spawn");
-    std::fs::create_dir_all(&dir).expect("store dir");
-    std::fs::copy(&file, dir.join("results.log")).expect("copy corpus log");
+    let dir = stage_corpus(&file, "corrupt-spawn", true);
     let err = match daemon::spawn(
         "127.0.0.1:0",
         ServiceConfig {
@@ -780,6 +858,32 @@ fn daemon_refuses_to_start_over_a_corrupt_store() {
         Ok(_) => panic!("spawn over a corrupt store must fail"),
     };
     assert_eq!(err.class, ErrorClass::Parse, "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn daemon_recovers_a_torn_store_tail_and_serves() {
+    // A torn trailing record — the crash-mid-append shape — must not
+    // keep the daemon down: open truncates the tail and serving resumes
+    // with the surviving records intact.
+    let file = store_corpus()
+        .into_iter()
+        .find(|f| f.file_name().is_some_and(|n| n == "torn_tail.log"))
+        .expect("torn_tail.log in corpus");
+    let dir = stage_corpus(&file, "torn-spawn", false);
+    let handle = daemon::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("spawn over a torn store tail");
+    let mut client = connect(&handle);
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("store-entries: 1"), "{stats}");
+    client.shutdown().expect("shutdown");
+    handle.join();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -861,6 +965,271 @@ fn corpus_lines_get_err_replies_and_the_connection_survives() {
 }
 
 // ---------------------------------------------------------------------
+// Overload defenses: fragmentation tolerance, per-client admission,
+// queue deadlines, slowloris reaping, connection shedding — the
+// serving-mode robustness contract.
+// ---------------------------------------------------------------------
+
+/// Opens a raw socket, returning (writer, line reader) past the
+/// greeting.
+fn raw_conn(handle: &DaemonHandle) -> (TcpStream, impl FnMut() -> String) {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut read_line = move || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    };
+    assert_eq!(read_line(), GREETING);
+    (stream, read_line)
+}
+
+#[test]
+fn pipelined_submit_batch_survives_any_byte_split() {
+    // A store-backed daemon so repeat submissions are instant hits —
+    // the test's subject is framing, not analysis throughput.
+    let dir = tmp_store("frag");
+    let handle = spawn_daemon(ServiceConfig {
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    {
+        let mut client = connect(&handle);
+        let (id, _) = client.submit("@c432", &opts(&[])).expect("warm submit");
+        client.wait(id, WAIT).expect("warm wait");
+    }
+
+    // One pipelined burst: handshake plus two submits. Splitting it at
+    // every byte boundary must never change the replies — the daemon
+    // reassembles lines from arbitrary TCP fragmentation.
+    let session = "HELLO 1.1 client=frag\n\
+                   SUBMIT @c432 quality-intra=40 quality-inter=20\n\
+                   SUBMIT @c432 quality-intra=40 quality-inter=20\n";
+    let bytes = session.as_bytes();
+    for cut in 1..bytes.len() {
+        let (mut writer, mut read_line) = raw_conn(&handle);
+        writer.set_nodelay(true).expect("nodelay");
+        writer.write_all(&bytes[..cut]).expect("first half");
+        writer.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+        writer.write_all(&bytes[cut..]).expect("second half");
+        writer.flush().expect("flush");
+        assert_eq!(read_line(), "OK HELLO 1.1", "cut at byte {cut}");
+        for slot in 0..2 {
+            let reply = read_line();
+            assert!(
+                reply.starts_with("OK SUBMIT job-") && reply.ends_with(" stored"),
+                "cut at byte {cut}, slot {slot}: `{reply}`"
+            );
+        }
+    }
+
+    let mut client = connect(&handle);
+    client.shutdown().expect("shutdown");
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn throttled_submits_are_typed_and_deterministic_across_thread_counts() {
+    // The same pipelined script must shed the same submissions whether
+    // one worker or four poll the connections: admission decisions key
+    // on arrival order, never on scheduling.
+    let mut outcomes = Vec::new();
+    for workers in [1usize, 4] {
+        let handle = daemon::spawn_tuned(
+            "127.0.0.1:0",
+            ServiceConfig {
+                max_per_client: Some(1),
+                ..ServiceConfig::default()
+            },
+            daemon::DaemonTuning {
+                workers,
+                ..daemon::DaemonTuning::default()
+            },
+        )
+        .expect("spawn");
+        let mut client =
+            Client::connect_tagged(&handle.addr().to_string(), "sizer-7").expect("connect");
+        let jobs: Vec<(String, Vec<(String, String)>)> =
+            (0..3).map(|_| ("@c432".to_string(), opts(&[]))).collect();
+        let receipts = client.submit_batch(&jobs).expect("batch");
+        let pattern: Vec<bool> = receipts.iter().map(|r| r.is_ok()).collect();
+        assert_eq!(pattern, [true, false, false], "workers={workers}");
+        for lost in &receipts[1..] {
+            match lost {
+                Err(ClientError::Throttled {
+                    retry_after,
+                    message,
+                }) => {
+                    assert_eq!(*retry_after, Duration::from_millis(100), "{message}");
+                    assert!(message.contains("client"), "{message}");
+                }
+                other => panic!("workers={workers}: expected Throttled, got {other:?}"),
+            }
+        }
+        let (id, _) = *receipts[0].as_ref().expect("first admitted");
+        client.wait(id, WAIT).expect("wait");
+        let stats = client.stats().expect("stats");
+        assert!(stats.contains("throttled: 2"), "workers={workers}: {stats}");
+        assert!(stats.contains("clients: 1"), "workers={workers}: {stats}");
+        outcomes.push(pattern);
+        client.shutdown().expect("shutdown");
+        handle.join();
+    }
+    assert_eq!(outcomes[0], outcomes[1], "shed set depends on thread count");
+}
+
+#[test]
+fn queue_deadlines_expire_jobs_over_the_wire() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // A heavy job pins the single executor; the victim's 1 ms queue
+    // deadline is long past when the drain reaches it.
+    let (heavy, _) = client
+        .submit("@c1355", &opts(&[("confidence", "0.3")]))
+        .expect("heavy");
+    let (victim, _) = client
+        .submit("@c432", &opts(&[("deadline", "1")]))
+        .expect("victim");
+
+    client.wait(heavy, WAIT).expect("heavy completes");
+    let deadline = Instant::now() + WAIT;
+    loop {
+        let (state, _, _) = client.status(victim).expect("status");
+        if state == "expired" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim stuck in `{state}`");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    match client.result(victim, None) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Resource, "{message}");
+            assert!(message.contains("expired"), "{message}");
+        }
+        other => panic!("expected RESOURCE expired, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("expired: 1"), "{stats}");
+    // The heavy job was untouched by its neighbor's expiry.
+    assert_eq!(
+        client.result(heavy, Some(5)).expect("heavy result").len(),
+        client.result(heavy, Some(5)).expect("stable").len()
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn stalled_connections_are_reaped_but_idle_clients_survive() {
+    let handle = daemon::spawn_tuned(
+        "127.0.0.1:0",
+        ServiceConfig::default(),
+        daemon::DaemonTuning {
+            io_timeout: Some(Duration::from_millis(100)),
+            ..daemon::DaemonTuning::default()
+        },
+    )
+    .expect("spawn");
+
+    // A well-behaved idle client: greeted, nothing owed in either
+    // direction. The progress deadline must never touch it.
+    let mut idle = connect(&handle);
+
+    // A slowloris: never greets (conn A), or freezes mid-line (conn B).
+    let (_conn_a, mut read_a) = raw_conn(&handle);
+    let (mut conn_b, mut read_b) = raw_conn(&handle);
+    writeln!(conn_b, "HELLO 1.1").expect("greet");
+    assert_eq!(read_b(), "OK HELLO 1.1");
+    write!(conn_b, "SUBM").expect("half a verb, no newline");
+    conn_b.flush().expect("flush");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.reaped_connections() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.reaped_connections(), 2, "both stalls reaped");
+    let reason = read_a();
+    assert!(
+        reason.starts_with("ERR RESOURCE") && reason.contains("reaped"),
+        "{reason}"
+    );
+    let reason = read_b();
+    assert!(
+        reason.starts_with("ERR RESOURCE") && reason.contains("reaped"),
+        "{reason}"
+    );
+    assert_eq!(wait_for_open_connections(&handle, 1), 1, "idle survives");
+
+    let stats = idle.stats().expect("idle client still served");
+    assert!(stats.contains("reaped-connections: 2"), "{stats}");
+    idle.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn connections_over_the_registry_bound_get_a_typed_refusal() {
+    let handle = daemon::spawn_tuned(
+        "127.0.0.1:0",
+        ServiceConfig::default(),
+        daemon::DaemonTuning {
+            max_conns: 1,
+            workers: 1,
+            ..daemon::DaemonTuning::default()
+        },
+    )
+    .expect("spawn");
+    let mut holder = connect(&handle);
+
+    // The refusal is a parseable RESOURCE error with a retry hint, not
+    // a silent close.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read refusal");
+    let line = line.trim_end();
+    assert!(
+        line.starts_with("ERR RESOURCE retry-after=") && line.contains("connection limit"),
+        "{line}"
+    );
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("eof");
+    assert!(rest.is_empty(), "refused connection closes after the line");
+
+    assert_eq!(handle.shed_connections(), 1);
+    let stats = holder.stats().expect("stats");
+    assert!(stats.contains("shed-connections: 1"), "{stats}");
+    holder.shutdown().expect("shutdown");
+    handle.join();
+}
+
+#[test]
+fn idle_daemon_stays_prompt_after_backoff() {
+    // The idle poll backs off to 8 ms; a burst of fresh connections
+    // after a long quiet spell must still be served promptly (churn
+    // latency is bounded by the backoff cap, not the quiet duration).
+    let handle = spawn_daemon(ServiceConfig::default());
+    std::thread::sleep(Duration::from_millis(200));
+    let start = Instant::now();
+    for _ in 0..20 {
+        let mut client = connect(&handle);
+        client.stats().expect("stats");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "churn after idle took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(wait_for_open_connections(&handle, 0), 0);
+    let mut client = connect(&handle);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+// ---------------------------------------------------------------------
 // Property: parse ∘ render == id over the request grammar.
 // ---------------------------------------------------------------------
 
@@ -886,28 +1255,36 @@ mod roundtrip {
             0u64..10_000,
             proptest::collection::vec((token(false), token(true)), 0..4),
             token(false),
-            // Encodes Option<usize>: values past 99 mean `top`/`timeout` absent.
-            0usize..200,
+            // Encodes Option<usize> (values past 99 mean `top`/`timeout`
+            // absent) and Option<String> (the tag applies when the flag
+            // is 0).
+            (0usize..200, (0usize..2, token(false))),
         )
-            .prop_map(|(variant, (version, minor), id, options, source, top)| {
-                let id: JobId = format!("job-{id}").parse().expect("job id");
-                match variant {
-                    0 => Request::Hello { version, minor },
-                    1 => Request::Submit { source, options },
-                    2 => Request::Status { id },
-                    3 => Request::Result {
-                        id,
-                        top: (top < 100).then_some(top),
-                    },
-                    4 => Request::Cancel { id },
-                    5 => Request::Wait {
-                        id,
-                        timeout_ms: (top < 100).then_some(top as u64 * 37),
-                    },
-                    6 => Request::Stats,
-                    _ => Request::Shutdown,
-                }
-            })
+            .prop_map(
+                |(variant, (version, minor), id, options, source, (top, (tagged, tag)))| {
+                    let id: JobId = format!("job-{id}").parse().expect("job id");
+                    match variant {
+                        0 => Request::Hello {
+                            version,
+                            minor,
+                            client: (tagged == 0).then_some(tag),
+                        },
+                        1 => Request::Submit { source, options },
+                        2 => Request::Status { id },
+                        3 => Request::Result {
+                            id,
+                            top: (top < 100).then_some(top),
+                        },
+                        4 => Request::Cancel { id },
+                        5 => Request::Wait {
+                            id,
+                            timeout_ms: (top < 100).then_some(top as u64 * 37),
+                        },
+                        6 => Request::Stats,
+                        _ => Request::Shutdown,
+                    }
+                },
+            )
     }
 
     proptest! {
