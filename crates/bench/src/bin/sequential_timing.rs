@@ -1,0 +1,152 @@
+//! **Sequential timing benchmark**: setup/hold check throughput of the
+//! sequential engine, cold vs warm kernel store.
+//!
+//! Each circuit is analyzed two ways, best of `REPEATS`:
+//!
+//! * **cold** — a fresh [`KernelStore`] per run, so every intra/inter
+//!   kernel is computed from scratch;
+//! * **warm** — one shared store seeded by an untimed priming run, the
+//!   resident-daemon steady state where repeated register topologies
+//!   hit cached kernels.
+//!
+//! **Byte-identity of the cold and warm deterministic reports is
+//! asserted on every pass** — the cache contract is that a hit returns
+//! exactly what a recompute would, so a speedup that changed the bytes
+//! would be a bug, not a result.
+//!
+//! Results overwrite `BENCH_sequential.json` at the repo root.
+//!
+//! ```text
+//! cargo run -p statim-bench --bin sequential_timing --release
+//! ```
+
+use statim_core::report::deterministic_sequential_report;
+use statim_core::{KernelStore, RunContext, SequentialConfig, SequentialEngine};
+use statim_netlist::generators::sequential::{pipeline, s27};
+use statim_netlist::{Circuit, Placement, PlacementStyle};
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPEATS: usize = 5;
+const LIMIT: usize = 25;
+
+struct Outcome {
+    circuit: String,
+    gates: usize,
+    registers: usize,
+    checks: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+fn run_circuit(circuit: &Circuit) -> Outcome {
+    let placement = Placement::generate(circuit, PlacementStyle::Levelized);
+    let engine = SequentialEngine::new(SequentialConfig::date05());
+    let context = |store: &Arc<KernelStore>| RunContext {
+        store: Some(Arc::clone(store)),
+        supervisor: None,
+    };
+
+    // Prime one store to the steady state the warm passes measure.
+    let shared = Arc::new(KernelStore::with_capacity(None));
+    let reference = engine
+        .run_with(circuit, &placement, context(&shared))
+        .expect("priming run");
+    let reference_text = deterministic_sequential_report(&reference, LIMIT);
+
+    let mut cold_ms = f64::INFINITY;
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let fresh = Arc::new(KernelStore::with_capacity(None));
+        let t = Instant::now();
+        let cold = engine
+            .run_with(circuit, &placement, context(&fresh))
+            .expect("cold run");
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        let warm = engine
+            .run_with(circuit, &placement, context(&shared))
+            .expect("warm run");
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        // The contract, checked on every timed pass.
+        assert_eq!(
+            deterministic_sequential_report(&cold, LIMIT),
+            reference_text,
+            "{}: cold report diverged",
+            circuit.name()
+        );
+        assert_eq!(
+            deterministic_sequential_report(&warm, LIMIT),
+            reference_text,
+            "{}: warm-kernel report diverged",
+            circuit.name()
+        );
+    }
+
+    Outcome {
+        circuit: circuit.name().to_string(),
+        gates: reference.gate_count,
+        registers: reference.registers,
+        checks: reference.checks.len(),
+        cold_ms,
+        warm_ms,
+    }
+}
+
+fn main() {
+    let circuits = [
+        s27(),
+        pipeline(2, 8).expect("pipe2x8"),
+        pipeline(4, 16).expect("pipe4x16"),
+    ];
+
+    println!("sequential setup/hold throughput, best of {REPEATS}:");
+    let mut rows = Vec::new();
+    for circuit in &circuits {
+        let o = run_circuit(circuit);
+        println!(
+            "  {:>9}: {:>4} gates, {:>3} registers, {:>4} checks — cold {:>8.2} ms \
+             ({:>7.0} checks/s), warm {:>8.2} ms ({:>7.0} checks/s, {:.1}x)",
+            o.circuit,
+            o.gates,
+            o.registers,
+            o.checks,
+            o.cold_ms,
+            o.checks as f64 / (o.cold_ms / 1e3),
+            o.warm_ms,
+            o.checks as f64 / (o.warm_ms / 1e3),
+            o.cold_ms / o.warm_ms
+        );
+        rows.push(o);
+    }
+
+    let points: Vec<String> = rows
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"circuit\": \"{}\", \"gates\": {}, \"registers\": {}, \
+                 \"checks\": {}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+                 \"cold_checks_per_s\": {:.1}, \"warm_checks_per_s\": {:.1}, \
+                 \"identical\": true}}",
+                o.circuit,
+                o.gates,
+                o.registers,
+                o.checks,
+                o.cold_ms,
+                o.warm_ms,
+                o.checks as f64 / (o.cold_ms / 1e3),
+                o.checks as f64 / (o.warm_ms / 1e3),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"sequential-timing\",\n  \"repeats\": {},\n  \
+         \"circuits\": [\n{}\n  ]\n}}\n",
+        REPEATS,
+        points.join(",\n")
+    );
+    std::fs::write("BENCH_sequential.json", &json).expect("write BENCH_sequential.json");
+    println!("wrote BENCH_sequential.json");
+}

@@ -13,6 +13,9 @@ USAGE:
                                                edit script, re-run only the dirty cone
     statim yield --benchmark <name> [--target <y>] [OPTIONS]
                                                timing-yield curve and clock constraint
+    statim seq <circuit.bench> [SEQ OPTIONS]   sequential setup/hold SSTA on a
+                                               registered netlist (also accepts
+                                               --benchmark s27 or pipe<S>x<W>)
     statim mc --benchmark <name> [--samples <n>] [OPTIONS]
                                                Monte-Carlo validation of the critical path
     statim generate <name> [--out-bench FILE] [--out-def FILE]
@@ -65,6 +68,19 @@ ANALYZE OPTIONS:
                           (second-chance eviction; n > 0); default is
                           unbounded — results stay bit-identical either
                           way
+
+SEQ OPTIONS (plus all ANALYZE OPTIONS):
+    --period <secs>       clock period override in seconds (default: the
+                          netlist's `# statim clock period` directive)
+    --derate-early <f>    OCV multiplier on early (fast) paths
+                          [default: 1.0, bit-identical to no derating]
+    --derate-late <f>     OCV multiplier on late (slow) paths
+                          [default: 1.0]
+    --target <y>          target yield for the minimum-period solve
+                          [default: 0.99]
+    --hold                strict hold sign-off: exit 1 after the report
+                          when any hold check is more likely violated
+                          than met
 
 ECO OPTIONS (plus all ANALYZE OPTIONS):
     --script <file>       ECO edit script, one edit per line (# comments):
@@ -152,6 +168,21 @@ pub enum Command {
         args: AnalyzeArgs,
         /// Target yield for the clock-period constraint.
         target: f64,
+    },
+    /// Sequential setup/hold analysis (analyze options plus clocking).
+    Seq {
+        /// The analyze options (circuit source, engine knobs).
+        args: AnalyzeArgs,
+        /// Clock period override, seconds (None = netlist directive).
+        period: Option<f64>,
+        /// OCV multiplier on early (fast) paths.
+        derate_early: f64,
+        /// OCV multiplier on late (slow) paths.
+        derate_late: f64,
+        /// Target yield for the minimum-period solve.
+        target: f64,
+        /// Strict hold sign-off: exit 1 on a likely hold violation.
+        strict_hold: bool,
     },
     /// Monte-Carlo validation of the critical path.
     Mc {
@@ -387,6 +418,39 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .transpose()?
                 .unwrap_or(0.99);
             Ok(Command::Yield { args, target })
+        }
+        "seq" => {
+            // `--hold` is the one bare flag; strip it before the
+            // value-flag parser sees the token stream.
+            let mut strict_hold = false;
+            let filtered: Vec<String> = it
+                .as_slice()
+                .iter()
+                .filter(|t| {
+                    if t.as_str() == "--hold" {
+                        strict_hold = true;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .cloned()
+                .collect();
+            let (args, extra) = parse_analyze_with(
+                &filtered,
+                &["--period", "--derate-early", "--derate-late", "--target"],
+            )?;
+            let num = |flag: &str| -> Result<Option<f64>, String> {
+                extra.get(flag).map(|v| parse_num(flag, v)).transpose()
+            };
+            Ok(Command::Seq {
+                args,
+                period: num("--period")?,
+                derate_early: num("--derate-early")?.unwrap_or(1.0),
+                derate_late: num("--derate-late")?.unwrap_or(1.0),
+                target: num("--target")?.unwrap_or(0.99),
+                strict_hold,
+            })
         }
         "mc" => {
             let (args, extra) = parse_analyze_with(it.as_slice(), &["--samples"])?;
@@ -1059,6 +1123,78 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse(&v(&["yield", "--benchmark", "c432", "--target", "bad"])).is_err());
+    }
+
+    #[test]
+    fn parses_seq() {
+        match parse(&v(&[
+            "seq",
+            "--benchmark",
+            "s27",
+            "--period",
+            "0.8e-9",
+            "--derate-early",
+            "0.95",
+            "--derate-late",
+            "1.05",
+            "--target",
+            "0.999",
+            "--hold",
+            "--threads",
+            "2",
+        ]))
+        .unwrap()
+        {
+            Command::Seq {
+                args,
+                period,
+                derate_early,
+                derate_late,
+                target,
+                strict_hold,
+            } => {
+                assert_eq!(args.benchmark.as_deref(), Some("s27"));
+                assert_eq!(args.threads, Some(2));
+                assert_eq!(period, Some(0.8e-9));
+                assert_eq!(derate_early, 0.95);
+                assert_eq!(derate_late, 1.05);
+                assert_eq!(target, 0.999);
+                assert!(strict_hold);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: unity derates, directive-supplied period, 0.99.
+        match parse(&v(&["seq", "my.bench"])).unwrap() {
+            Command::Seq {
+                args,
+                period,
+                derate_early,
+                derate_late,
+                target,
+                strict_hold,
+            } => {
+                assert_eq!(args.bench_file.as_deref(), Some("my.bench"));
+                assert_eq!(period, None);
+                assert_eq!(derate_early, 1.0);
+                assert_eq!(derate_late, 1.0);
+                assert_eq!(target, 0.99);
+                assert!(!strict_hold);
+            }
+            other => panic!("{other:?}"),
+        }
+        // `--hold` is bare: the next token still parses normally.
+        match parse(&v(&["seq", "--hold", "--benchmark", "pipe2x4"])).unwrap() {
+            Command::Seq {
+                args, strict_hold, ..
+            } => {
+                assert!(strict_hold);
+                assert_eq!(args.benchmark.as_deref(), Some("pipe2x4"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&v(&["seq"])).is_err());
+        assert!(parse(&v(&["seq", "--benchmark", "s27", "--period", "soon"])).is_err());
+        assert!(parse(&v(&["seq", "--benchmark", "s27", "--derate-late"])).is_err());
     }
 
     #[test]

@@ -8,15 +8,34 @@ use statim_netlist::{bench_format, def_lite, Circuit, Placement, PlacementStyle}
 use statim_process::sensitivity::table1;
 use statim_process::Technology;
 use std::fs;
+use std::process::ExitCode;
 
 type DynResult = Result<(), StatimError>;
 
-/// Runs a parsed command.
+/// Runs a parsed command. The returned exit code is `SUCCESS` for every
+/// clean run except `statim seq --hold` with a likely hold violation,
+/// which reports normally and exits 1 (sign-off failed, nothing errored).
 ///
 /// # Errors
 ///
 /// Returns I/O, parse and analysis errors for the caller to print.
-pub fn run(cmd: Command) -> DynResult {
+pub fn run(cmd: Command) -> Result<ExitCode, StatimError> {
+    if let Command::Seq {
+        args,
+        period,
+        derate_early,
+        derate_late,
+        target,
+        strict_hold,
+    } = cmd
+    {
+        return seq(args, period, derate_early, derate_late, target, strict_hold);
+    }
+    dispatch(cmd)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn dispatch(cmd: Command) -> DynResult {
     match cmd {
         Command::Analyze(a) => analyze(a),
         Command::Eco {
@@ -25,6 +44,7 @@ pub fn run(cmd: Command) -> DynResult {
             emit_bench,
         } => eco(args, &script, emit_bench),
         Command::Yield { args, target } => timing_yield(args, target),
+        Command::Seq { .. } => unreachable!("handled by run()"),
         Command::Mc { args, samples } => monte_carlo(args, samples),
         Command::Generate {
             name,
@@ -46,6 +66,9 @@ pub fn run(cmd: Command) -> DynResult {
                     b.output_count()
                 );
             }
+            println!("sequential benchmarks (for `statim seq`):");
+            println!("  s27        3 registers, 10 gates (ISCAS89-class)");
+            println!("  pipe<S>x<W>  S-stage, W-bit register pipeline (e.g. pipe4x8)");
             Ok(())
         }
         Command::Serve(s) => serve(s),
@@ -62,8 +85,11 @@ fn unknown_benchmark(name: &str) -> StatimError {
 
 fn load_circuit(a: &AnalyzeArgs) -> Result<Circuit, StatimError> {
     if let Some(name) = &a.benchmark {
-        let bench = Benchmark::from_name(name).ok_or_else(|| unknown_benchmark(name))?;
-        Ok(iscas85::generate(bench))
+        if let Some(bench) = Benchmark::from_name(name) {
+            return Ok(iscas85::generate(bench));
+        }
+        statim_netlist::generators::sequential::from_name(name)
+            .ok_or_else(|| unknown_benchmark(name))
     } else {
         let path = a.bench_file.as_deref().expect("validated by the parser");
         let text = fs::read_to_string(path).map_err(|e| StatimError::from(e).with_file(path))?;
@@ -255,6 +281,51 @@ fn timing_yield(a: AnalyzeArgs, target: f64) -> DynResult {
         None => println!("\ninvalid yield target {target}"),
     }
     Ok(())
+}
+
+fn seq(
+    a: AnalyzeArgs,
+    period: Option<f64>,
+    derate_early: f64,
+    derate_late: f64,
+    target: f64,
+    strict_hold: bool,
+) -> Result<ExitCode, StatimError> {
+    use statim_core::sequential::{Derates, SequentialConfig, SequentialEngine};
+    reject_mc_only_flags(&a, "seq")?;
+    let (circuit, placement, ssta) = build_setup(&a)?;
+    let config = SequentialConfig {
+        ssta,
+        period,
+        derates: Derates {
+            early: derate_early,
+            late: derate_late,
+        },
+        target_yield: target,
+        curve_points: 9,
+    };
+    let report = SequentialEngine::new(config).run(&circuit, &placement)?;
+    print!("{}", statim_core::report::seq_summary(&report));
+    println!("  run time                     : {:.3} s", report.runtime);
+    print!("{}", statim_core::report::seq_degraded_summary(&report));
+    print!("{}", statim_core::report::seq_supervision_summary(&report));
+    println!();
+    println!("{}", statim_core::report::check_table(&report, a.top));
+    println!("{}", statim_core::report::seq_curve_table(&report));
+    if strict_hold && report.hold_violation() {
+        eprintln!(
+            "hold violation: at least one hold check is more likely violated than met \
+             (worst hold yield {:.6})",
+            report
+                .checks
+                .iter()
+                .filter(|c| c.kind == statim_core::sequential::CheckKind::Hold)
+                .map(|c| c.yield_at_period)
+                .fold(f64::INFINITY, f64::min)
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// MC sampling seed and kernel quality — fixed so every `statim mc`
@@ -518,8 +589,11 @@ fn client(addr: &str, action: ClientAction) -> DynResult {
 }
 
 fn generate(name: &str, out_bench: Option<String>, out_def: Option<String>) -> DynResult {
-    let bench = Benchmark::from_name(name).ok_or_else(|| unknown_benchmark(name))?;
-    let circuit = iscas85::generate(bench);
+    let circuit = match Benchmark::from_name(name) {
+        Some(bench) => iscas85::generate(bench),
+        None => statim_netlist::generators::sequential::from_name(name)
+            .ok_or_else(|| unknown_benchmark(name))?,
+    };
     let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
     match &out_bench {
         Some(path) => {

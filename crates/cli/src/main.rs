@@ -30,7 +30,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 exit_code(e.class)

@@ -206,7 +206,7 @@ impl SstaConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.confidence < 0.0 || !self.confidence.is_finite() {
             return Err(CoreError::InvalidConfig {
                 message: format!("confidence C must be ≥ 0, got {}", self.confidence),
@@ -468,6 +468,22 @@ impl SstaEngine {
     ) -> Result<SstaReport> {
         let start = Instant::now();
         self.config.validate()?;
+        // Combinational SSTA has no notion of a clock edge: a register Q
+        // would be treated as a free input and every register-to-register
+        // constraint silently dropped. Refuse instead of mis-timing.
+        if let Some(first) = circuit.registers().first() {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "circuit `{}` is sequential ({} registers; first `{}` at line {}): \
+                     combinational SSTA cannot time registers — use the sequential flow \
+                     (`statim seq`)",
+                    circuit.name(),
+                    circuit.registers().len(),
+                    first.name,
+                    first.line
+                ),
+            });
+        }
         // The supervisor's wall clock starts with the run, so serial
         // stages count against --max-wall-secs even though only the
         // fan-out has cancellation points. An external supervisor keeps

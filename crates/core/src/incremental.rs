@@ -322,6 +322,23 @@ fn parse_edit(body: &str, line: usize) -> Result<EcoEdit> {
 /// (arity clash, dangling driver, cycle-closing wire, bad value). The
 /// circuit is left partially edited on error; apply to a scratch clone.
 pub fn apply_edits(circuit: &mut Circuit, script: &EcoScript) -> Result<Vec<GateId>> {
+    // ECO edits rewire the combinational timing graph; on a sequential
+    // netlist they could silently move logic across a register boundary
+    // and change which launch/capture checks exist. Until the sequential
+    // flow understands edits, refuse with a typed error.
+    if let Some(first) = circuit.registers().first() {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "circuit `{}` is sequential ({} registers; first `{}` at line {}): \
+                 ECO edits are combinational-only — re-run the full sequential flow \
+                 (`statim seq`) after editing the netlist",
+                circuit.name(),
+                circuit.registers().len(),
+                first.name,
+                first.line
+            ),
+        });
+    }
     let mut touched = Vec::new();
     for (line, edit) in &script.edits {
         let line = *line;

@@ -69,6 +69,12 @@ pub fn inter_pdf(
 ) -> Result<Pdf> {
     let w0 = layers.weights()?[0];
     let k = ELMORE_K / tech.eps_ox;
+    if ab.alpha == 0.0 && ab.beta == 0.0 {
+        // Zero coefficients (possible for derate-balanced clock-skew
+        // differences): the inter-die contribution is identically zero.
+        let grid = Grid::over(-1e-16, 1e-16, quality)?;
+        return Ok(Pdf::delta(grid, 0.0)?);
+    }
     if w0 <= 0.0 {
         // Degenerate: the inter-die point is exactly nominal.
         let pt = tech.nominal_point();
@@ -77,7 +83,10 @@ pub fn inter_pdf(
             * pt.leff()
             * (ab.alpha * voltage_kernel(pt.vdd(), pt.vtn())
                 + ab.beta * voltage_kernel(pt.vdd(), pt.vtp()));
-        let span = d * 1e-6;
+        // `d.abs()` keeps the span positive for negative coefficient
+        // sums (skew differences); the floor keeps the grid non-empty
+        // even at d == 0. Bit-identical to `d * 1e-6` for d > 0.
+        let span = d.abs().max(1e-22) * 1e-6;
         let grid = Grid::over(d - span, d + span, quality)?;
         return Ok(Pdf::delta(grid, d)?);
     }

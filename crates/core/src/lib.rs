@@ -73,6 +73,7 @@ pub mod monte_carlo;
 pub mod parallel;
 pub mod rank;
 pub mod report;
+pub mod sequential;
 pub mod service;
 pub mod slack;
 pub mod store;
@@ -91,8 +92,12 @@ pub use graph::{ArrivalModel, GraphNode, TimingGraph};
 pub use incremental::{
     apply_edits, EcoEdit, EcoOutcome, EcoScript, IncrementalEngine, IncrementalStats,
 };
+pub use sequential::{
+    CheckKind, ClockTree, DegradedCheck, Derates, SeqYieldPoint, SequentialCheck, SequentialConfig,
+    SequentialEngine, SequentialReport,
+};
 pub use service::{
-    AnalysisService, CancelOutcome, JobId, JobSpec, JobState, JobStatus, ServiceConfig,
+    AnalysisService, CancelOutcome, JobId, JobReport, JobSpec, JobState, JobStatus, ServiceConfig,
     ServiceError, ServiceStats, SubmitOptions, SubmitReceipt, ThrottleKind, TickClock,
 };
 pub use statim_stats::ConvolveBackend;

@@ -1,7 +1,9 @@
 //! Text rendering of SSTA results — the human-readable views the CLI
-//! and the regeneration binaries share.
+//! and the regeneration binaries share. Combinational reports first,
+//! sequential (setup/hold) reports at the end of the module.
 
 use crate::engine::SstaReport;
+use crate::sequential::{CheckKind, SequentialCheck, SequentialReport};
 use statim_stats::tabulate::format_table;
 use std::fmt::Write as _;
 
@@ -208,6 +210,202 @@ pub fn to_csv(report: &SstaReport) -> String {
     out
 }
 
+/// One-paragraph sequential summary: the sign-off quantities first.
+pub fn seq_summary(report: &SequentialReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "circuit {} — {} gates, {} registers, {} timing checks at period {} ps",
+        report.circuit,
+        report.gate_count,
+        report.registers,
+        report.checks.len(),
+        ps(report.period)
+    );
+    let _ = writeln!(
+        out,
+        "  clock tree                   : depth {} ({} buffer levels), latency {} ps",
+        report.clock_depth,
+        report.clock_depth + 1,
+        ps(report.clock_latency)
+    );
+    let _ = writeln!(
+        out,
+        "  derates (early / late)       : {:.6} / {:.6}",
+        report.derates.early, report.derates.late
+    );
+    let _ = writeln!(
+        out,
+        "  setup margin / hold margin   : {} ps / {} ps",
+        ps(report.setup_margin),
+        ps(report.hold_margin)
+    );
+    let _ = writeln!(
+        out,
+        "  setup yield at period        : {:.6}",
+        report.setup_yield
+    );
+    let _ = writeln!(
+        out,
+        "  hold yield                   : {:.6}",
+        report.hold_yield
+    );
+    for (label, kind) in [
+        ("worst setup slack", CheckKind::Setup),
+        ("worst hold slack", CheckKind::Hold),
+    ] {
+        if let Some(w) = report.worst(kind) {
+            let _ = writeln!(
+                out,
+                "  {label:<29}: mean {} ps, σ {} ps ({} → {})",
+                ps(w.slack_mean),
+                ps(w.slack_sigma),
+                w.launch_name.as_deref().unwrap_or("PI"),
+                w.capture_name
+            );
+        }
+    }
+    match report.min_period {
+        Some(t) => {
+            let _ = writeln!(
+                out,
+                "  min period at yield {:.4}   : {} ps",
+                report.target_yield,
+                ps(t)
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  min period at yield {:.4}   : unreachable (hold yield {:.6} caps the total)",
+                report.target_yield, report.hold_yield
+            );
+        }
+    }
+    out
+}
+
+/// Per-class quarantine line for sequential checks — the sequential
+/// sibling of [`degraded_summary`]. Empty for a healthy run.
+pub fn seq_degraded_summary(report: &SequentialReport) -> String {
+    if report.degraded.is_empty() {
+        return String::new();
+    }
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for d in &report.degraded {
+        let class = d.class.to_string();
+        match counts.iter_mut().find(|(c, _)| *c == class) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((class, 1)),
+        }
+    }
+    counts.sort();
+    let breakdown = counts
+        .iter()
+        .map(|(c, n)| format!("{n} {c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let total = report.checks.len() + report.degraded.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  degraded checks              : {} of {} quarantined ({})",
+        report.degraded.len(),
+        total,
+        breakdown
+    );
+    out
+}
+
+/// Budget line for a partial sequential run — the sequential sibling of
+/// [`supervision_summary`]. Empty for a complete run.
+pub fn seq_supervision_summary(report: &SequentialReport) -> String {
+    let mut out = String::new();
+    if let Some(kind) = report.budget_exhausted {
+        let _ = writeln!(
+            out,
+            "  budget_exhausted             : {} budget tripped — partial report ({} checks analyzed, {} skipped)",
+            kind,
+            report.checks.len(),
+            report.skipped_checks
+        );
+    }
+    out
+}
+
+/// The per-check table, worst (lowest mean slack) first, top `limit`
+/// rows.
+pub fn check_table(report: &SequentialReport, limit: usize) -> String {
+    let header = [
+        "check",
+        "launch",
+        "capture",
+        "gates",
+        "slack mean (ps)",
+        "slack σ (ps)",
+        "nominal X (ps)",
+        "yield",
+    ];
+    let mut ordered: Vec<&SequentialCheck> = report.checks.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.slack_mean
+            .total_cmp(&b.slack_mean)
+            .then_with(|| a.capture.cmp(&b.capture))
+            .then_with(|| format!("{}", a.kind).cmp(&format!("{}", b.kind)))
+    });
+    let rows: Vec<Vec<String>> = ordered
+        .iter()
+        .take(limit)
+        .map(|c| {
+            vec![
+                c.kind.to_string(),
+                c.launch_name.clone().unwrap_or_else(|| "PI".into()),
+                c.capture_name.clone(),
+                c.data_gates.len().to_string(),
+                ps(c.slack_mean),
+                ps(c.slack_sigma),
+                ps(c.nominal_x),
+                format!("{:.6}", c.yield_at_period),
+            ]
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+/// The setup/hold yield curve over the solver's period sweep.
+pub fn seq_curve_table(report: &SequentialReport) -> String {
+    let header = ["period (ps)", "setup yield", "hold yield", "total"];
+    let rows: Vec<Vec<String>> = report
+        .curve
+        .iter()
+        .map(|p| {
+            vec![
+                ps(p.period),
+                format!("{:.6}", p.setup),
+                format!("{:.6}", p.hold),
+                format!("{:.6}", p.total()),
+            ]
+        })
+        .collect();
+    format_table(&header, &rows)
+}
+
+/// The deterministic sequential payload — every line that is a pure
+/// function of the inputs, no wall-clock/profile lines. The daemon's
+/// `RESULT` replies for sequential jobs render through this, exactly as
+/// [`deterministic_report`] serves combinational jobs.
+pub fn deterministic_sequential_report(report: &SequentialReport, limit: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&seq_summary(report));
+    out.push_str(&seq_degraded_summary(report));
+    out.push_str(&seq_supervision_summary(report));
+    out.push('\n');
+    out.push_str(&check_table(report, limit));
+    out.push('\n');
+    out.push_str(&seq_curve_table(report));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +527,31 @@ mod tests {
     fn ps_format() {
         assert_eq!(ps(123.4564e-12), "123.456");
         assert_eq!(ps(0.0), "0.000");
+    }
+
+    #[test]
+    fn sequential_report_renders_all_sections() {
+        use crate::sequential::{SequentialConfig, SequentialEngine};
+        use statim_netlist::generators::sequential::s27;
+        let c = s27();
+        let p = Placement::generate(&c, PlacementStyle::Levelized);
+        let r = SequentialEngine::new(SequentialConfig::date05())
+            .run(&c, &p)
+            .expect("sequential flow");
+        let text = deterministic_sequential_report(&r, 10);
+        assert!(text.contains("circuit s27"), "{text}");
+        assert!(text.contains("3 registers, 6 timing checks"));
+        assert!(text.contains("setup yield at period"));
+        assert!(text.contains("hold yield"));
+        assert!(text.contains("min period at yield"));
+        assert!(text.contains("period (ps)"), "curve table present");
+        // Worst-first check table: header + 6 check rows.
+        let table = check_table(&r, 10);
+        assert_eq!(table.lines().filter(|l| l.starts_with("| ")).count(), 7);
+        // Healthy run: no degradation or budget lines.
+        assert!(seq_degraded_summary(&r).is_empty());
+        assert!(seq_supervision_summary(&r).is_empty());
+        // The deterministic payload must not mention wall-clock time.
+        assert!(!text.contains("runtime"));
     }
 }

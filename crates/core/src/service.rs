@@ -62,14 +62,18 @@
 //! solver. Knobs that change wall time but never results — thread count,
 //! cache capacity, retry bound, run budgets — are deliberately excluded,
 //! so a re-submission with a different thread count still hits. A served
-//! report is the same `SstaReport` value a fresh run would produce, so
-//! its deterministic rendering
-//! ([`report::deterministic_report`](crate::report::deterministic_report))
+//! report is the same `SstaReport` (or, for circuits with registers, the
+//! same `SequentialReport`) value a fresh run would produce, so its
+//! deterministic rendering
+//! ([`report::deterministic_report`](crate::report::deterministic_report)
+//! /
+//! [`report::deterministic_sequential_report`](crate::report::deterministic_sequential_report))
 //! is bit-identical.
 
 use crate::cache::{fnv1a, fold_f64, fold_u64, settings_fingerprint, CacheStats, KernelStore};
 use crate::engine::{LabelSolver, RunContext, SstaConfig, SstaEngine, SstaReport};
 use crate::error::{ErrorClass, StatimError};
+use crate::sequential::{SequentialConfig, SequentialEngine, SequentialReport};
 use crate::store::{ResultLog, StoredReport};
 use crate::supervise::{isolate, BudgetKind, RunBudget, Supervisor};
 use crate::CoreError;
@@ -229,6 +233,79 @@ impl JobSpec {
             },
         );
         h
+    }
+}
+
+/// A finished job's report: combinational jobs carry an [`SstaReport`],
+/// sequential jobs (any circuit with registers) a [`SequentialReport`].
+/// The executor dispatches on [`Circuit::is_sequential`] at run time, so
+/// a `SUBMIT` line needs no flow flag — the netlist decides. Both
+/// variants share the result-store path (keyed by the same spec
+/// fingerprint, which covers the serialized registers and clock
+/// directives), but only combinational reports are persisted to the
+/// on-disk [`ResultLog`]; sequential results live in memory for the
+/// process lifetime.
+#[derive(Debug, Clone)]
+pub enum JobReport {
+    /// A combinational SSTA report.
+    Analyze(Arc<SstaReport>),
+    /// A sequential setup/hold report.
+    Sequential(Arc<SequentialReport>),
+}
+
+impl JobReport {
+    /// The analyzed circuit's name.
+    pub fn circuit(&self) -> &str {
+        match self {
+            JobReport::Analyze(r) => &r.circuit,
+            JobReport::Sequential(r) => &r.circuit,
+        }
+    }
+
+    /// Whether the run completed without quarantine, budget trips or
+    /// skipped work — the result-store admission predicate.
+    pub fn is_clean(&self) -> bool {
+        match self {
+            JobReport::Analyze(r) => {
+                r.degraded.is_empty() && r.budget_exhausted.is_none() && r.skipped_paths == 0
+            }
+            JobReport::Sequential(r) => {
+                r.degraded.is_empty() && r.budget_exhausted.is_none() && r.skipped_checks == 0
+            }
+        }
+    }
+
+    /// The budget that stopped the run early, if any.
+    pub fn budget_exhausted(&self) -> Option<BudgetKind> {
+        match self {
+            JobReport::Analyze(r) => r.budget_exhausted,
+            JobReport::Sequential(r) => r.budget_exhausted,
+        }
+    }
+
+    /// The deterministic rendering a front-end serves for `RESULT` — the
+    /// same bytes the CLI prints (minus its wall-clock run-time line).
+    pub fn deterministic_text(&self, top: usize) -> String {
+        match self {
+            JobReport::Analyze(r) => crate::report::deterministic_report(r, top),
+            JobReport::Sequential(r) => crate::report::deterministic_sequential_report(r, top),
+        }
+    }
+
+    /// The combinational report, when this is one.
+    pub fn as_analyze(&self) -> Option<&Arc<SstaReport>> {
+        match self {
+            JobReport::Analyze(r) => Some(r),
+            JobReport::Sequential(_) => None,
+        }
+    }
+
+    /// The sequential report, when this is one.
+    pub fn as_sequential(&self) -> Option<&Arc<SequentialReport>> {
+        match self {
+            JobReport::Sequential(r) => Some(r),
+            JobReport::Analyze(_) => None,
+        }
     }
 }
 
@@ -503,7 +580,7 @@ struct Job {
     spec: Option<Arc<JobSpec>>,
     /// Present while Running, so `cancel` can reach the token.
     supervisor: Option<Arc<Supervisor>>,
-    report: Option<Arc<SstaReport>>,
+    report: Option<JobReport>,
     error: Option<StatimError>,
 }
 
@@ -580,7 +657,7 @@ struct State {
     rr_cursor: usize,
     /// Jobs queued across all lanes (the global admission bound).
     queued_total: usize,
-    results: HashMap<u64, Arc<SstaReport>>,
+    results: HashMap<u64, JobReport>,
     next_id: u64,
     draining: bool,
     stats: ServiceStats,
@@ -644,9 +721,10 @@ impl AnalysisService {
                 )?;
                 state.stats.store_loaded = records.len();
                 for (fingerprint, stored) in records {
-                    state
-                        .results
-                        .insert(fingerprint, Arc::new(stored.into_report()));
+                    state.results.insert(
+                        fingerprint,
+                        JobReport::Analyze(Arc::new(stored.into_report())),
+                    );
                 }
                 Some(Mutex::new(log))
             }
@@ -757,7 +835,7 @@ impl AnalysisService {
                 id,
                 Job {
                     state: JobState::Done,
-                    circuit: report.circuit.clone(),
+                    circuit: report.circuit().to_string(),
                     fingerprint,
                     from_store: true,
                     client,
@@ -842,14 +920,41 @@ impl AnalysisService {
         })
     }
 
-    /// The finished job's report.
+    /// The finished job's combinational report. Sequential jobs answer
+    /// with a typed `Config` failure pointing at
+    /// [`AnalysisService::result_any`] — front-ends that serve both
+    /// flows should call that instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownJob`], [`ServiceError::NotFinished`] while
+    /// queued/running, [`ServiceError::JobFailed`] for failed or
+    /// cancelled jobs (carrying the run's typed error) and for
+    /// sequential jobs fetched through this combinational accessor.
+    pub fn result(&self, id: JobId) -> std::result::Result<Arc<SstaReport>, ServiceError> {
+        match self.result_any(id)? {
+            JobReport::Analyze(report) => Ok(report),
+            JobReport::Sequential(report) => Err(ServiceError::JobFailed {
+                id,
+                error: StatimError::new(
+                    ErrorClass::Config,
+                    format!(
+                        "job analyzed sequential circuit `{}`; fetch its report with result_any",
+                        report.circuit
+                    ),
+                ),
+            }),
+        }
+    }
+
+    /// The finished job's report, whichever flow produced it.
     ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownJob`], [`ServiceError::NotFinished`] while
     /// queued/running, [`ServiceError::JobFailed`] for failed or
     /// cancelled jobs (carrying the run's typed error).
-    pub fn result(&self, id: JobId) -> std::result::Result<Arc<SstaReport>, ServiceError> {
+    pub fn result_any(&self, id: JobId) -> std::result::Result<JobReport, ServiceError> {
         let st = self.shared.lock();
         let job = st.jobs.get(&id.0).ok_or(ServiceError::UnknownJob(id))?;
         match job.state {
@@ -1103,34 +1208,48 @@ fn run_executor(shared: &Shared) {
         // Run outside the lock. `isolate` turns any panic that escapes
         // the engine's own per-path supervision into a typed failure of
         // *this job only* — the executor (and the daemon) keep serving.
-        let engine = SstaEngine::new(spec.config.clone());
+        // The netlist picks the flow: registers mean setup/hold SSTA
+        // through the sequential engine (period and margins from the
+        // circuit's clock directives), anything else the combinational
+        // engine. Both share the resident kernel store and the job's
+        // supervisor, so cancel and budgets behave identically.
+        let context = || RunContext {
+            store: Some(Arc::clone(&shared.store)),
+            supervisor: Some(&sup),
+        };
         let outcome = isolate(|| {
-            engine.run_with(
-                &spec.circuit,
-                &spec.placement,
-                RunContext {
-                    store: Some(Arc::clone(&shared.store)),
-                    supervisor: Some(&sup),
-                },
-            )
+            if spec.circuit.is_sequential() {
+                let config = SequentialConfig {
+                    ssta: spec.config.clone(),
+                    ..SequentialConfig::date05()
+                };
+                SequentialEngine::new(config)
+                    .run_with(&spec.circuit, &spec.placement, context())
+                    .map(|report| JobReport::Sequential(Arc::new(report)))
+            } else {
+                SstaEngine::new(spec.config.clone())
+                    .run_with(&spec.circuit, &spec.placement, context())
+                    .map(|report| JobReport::Analyze(Arc::new(report)))
+            }
         });
 
         // Persist clean reports to the on-disk log *before* taking the
         // state lock — disk latency must never block submit/status. A
         // failed append costs durability, not the result: the in-memory
-        // store still serves it, and the counter records the loss.
+        // store still serves it, and the counter records the loss. The
+        // on-disk record schema is combinational; sequential reports are
+        // served from the in-memory store for the process lifetime.
         let mut persist_failed = false;
         if let Some(persist) = &shared.persist {
             if let Ok(Ok(report)) = &outcome {
-                let clean = report.degraded.is_empty()
-                    && report.budget_exhausted.is_none()
-                    && report.skipped_paths == 0;
-                if clean {
-                    let stored = StoredReport::from_report(report);
-                    let mut log = persist
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    persist_failed = log.append(fingerprint, &stored).is_err();
+                if let Some(analyze) = report.as_analyze() {
+                    if report.is_clean() {
+                        let stored = StoredReport::from_report(analyze);
+                        let mut log = persist
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        persist_failed = log.append(fingerprint, &stored).is_err();
+                    }
                 }
             }
         }
@@ -1149,21 +1268,18 @@ fn run_executor(shared: &Shared) {
         job.supervisor = None;
         match outcome {
             Ok(Ok(report)) => {
-                if report.budget_exhausted == Some(BudgetKind::Cancelled) {
+                if report.budget_exhausted() == Some(BudgetKind::Cancelled) {
                     job.state = JobState::Cancelled;
                     job.error = Some(cancelled_error());
                     st.stats.cancelled += 1;
                 } else {
-                    let clean = report.degraded.is_empty()
-                        && report.budget_exhausted.is_none()
-                        && report.skipped_paths == 0;
-                    let report = Arc::new(report);
+                    let clean = report.is_clean();
                     job.state = if clean {
                         JobState::Done
                     } else {
                         JobState::Degraded
                     };
-                    job.report = Some(Arc::clone(&report));
+                    job.report = Some(report.clone());
                     if clean {
                         st.results.insert(fingerprint, report);
                         st.stats.completed += 1;
@@ -1650,6 +1766,113 @@ mod tests {
         // A deadline met is not a shed: the heavy job completes.
         assert_ne!(wait_terminal(&service, heavy.id).state, JobState::Expired);
         service.join();
+    }
+
+    /// A sequential spec: the s27 register benchmark, whose `# statim
+    /// clock` directive supplies the period the executor's flow needs.
+    fn seq_spec(config: SstaConfig) -> JobSpec {
+        let circuit =
+            statim_netlist::generators::sequential::from_name("s27").expect("s27 generator exists");
+        let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+        JobSpec::new(circuit, placement, config)
+    }
+
+    #[test]
+    fn sequential_job_runs_the_sequential_flow_bit_identically() {
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
+        let receipt = service
+            .submit(seq_spec(SstaConfig::date05()))
+            .expect("admitted");
+        assert!(!receipt.from_store);
+        let status = wait_terminal(&service, receipt.id);
+        assert_eq!(status.state, JobState::Done);
+        let report = service.result_any(receipt.id).expect("report available");
+        let served = report.as_sequential().expect("sequential variant").clone();
+        assert_eq!(served.circuit, "s27");
+        assert!(!served.checks.is_empty());
+        assert!(served.min_period.is_some());
+        // The combinational accessor refuses with a typed Config error
+        // pointing at result_any.
+        match service.result(receipt.id) {
+            Err(ServiceError::JobFailed { error, .. }) => {
+                assert_eq!(error.class, ErrorClass::Config);
+                assert!(error.message.contains("result_any"), "{error}");
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
+        // The served rendering is byte-identical to a fresh direct run
+        // with the same configuration.
+        let fresh = crate::sequential::SequentialEngine::new(crate::sequential::SequentialConfig {
+            ssta: SstaConfig::date05(),
+            ..crate::sequential::SequentialConfig::date05()
+        })
+        .run(
+            &statim_netlist::generators::sequential::from_name("s27").expect("s27"),
+            &Placement::generate(
+                &statim_netlist::generators::sequential::from_name("s27").expect("s27"),
+                PlacementStyle::Levelized,
+            ),
+        )
+        .expect("fresh sequential run");
+        assert_eq!(
+            report.deterministic_text(10),
+            crate::report::deterministic_sequential_report(&fresh, 10)
+        );
+        service.join();
+    }
+
+    #[test]
+    fn duplicate_sequential_submission_hits_the_result_store() {
+        let service = AnalysisService::start(ServiceConfig::default()).expect("service starts");
+        let first = service
+            .submit(seq_spec(SstaConfig::date05()))
+            .expect("admitted");
+        wait_terminal(&service, first.id);
+        let fresh = service.result_any(first.id).expect("first report");
+        // Thread count is wall-time-only: the fingerprint matches and
+        // the store serves the same Arc.
+        let second = service
+            .submit(seq_spec(SstaConfig::date05().with_threads(1)))
+            .expect("admitted");
+        assert!(second.from_store);
+        let served = service.result_any(second.id).expect("served report");
+        let (fresh, served) = (
+            fresh.as_sequential().expect("sequential"),
+            served.as_sequential().expect("sequential"),
+        );
+        assert!(Arc::ptr_eq(fresh, served), "served from the store");
+        assert_eq!(service.stats().store_hits, 1);
+        service.join();
+    }
+
+    #[test]
+    fn sequential_results_are_not_persisted_to_the_store_log() {
+        let dir =
+            std::env::temp_dir().join(format!("statim-service-seq-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let with_store = || ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        };
+        {
+            let service = AnalysisService::start(with_store()).expect("service starts");
+            let receipt = service
+                .submit(seq_spec(SstaConfig::date05()))
+                .expect("admitted");
+            assert_eq!(wait_terminal(&service, receipt.id).state, JobState::Done);
+            service.join();
+        }
+        // The restarted service replays nothing (sequential reports are
+        // memory-only) and re-runs the job instead of store-serving it.
+        let service = AnalysisService::start(with_store()).expect("service restarts");
+        assert_eq!(service.stats().store_loaded, 0);
+        let receipt = service
+            .submit(seq_spec(SstaConfig::date05()))
+            .expect("admitted");
+        assert!(!receipt.from_store, "no on-disk replay for sequential");
+        assert_eq!(wait_terminal(&service, receipt.id).state, JobState::Done);
+        service.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! reader applies them, so an edited circuit round-trips through `.bench`
 //! bit-exactly. The writer only emits directives for non-default values,
 //! keeping unedited circuits byte-identical to their classic form.
+//!
+//! Sequential netlists (ISCAS89-style) use `Q = DFF(D)` cells — parsed
+//! into [`Circuit`] registers, with Q as a pseudo primary input — plus
+//! clock/constraint directives in the same comment channel:
+//! `# statim clock period <seconds>`, `# statim clock depth <levels>`,
+//! `# statim constraint setup <seconds>`,
+//! `# statim constraint hold <seconds>`.
 
 use crate::circuit::{Circuit, Signal};
 use crate::error::NetlistError;
@@ -48,15 +55,16 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
     let mut inputs: Vec<(usize, &str)> = Vec::new();
     let mut outputs: Vec<(usize, &str)> = Vec::new();
     let mut defs: Vec<Def> = Vec::new();
-    // ECO overlay directives: (line, is_drive, net, value).
-    let mut overlays: Vec<(usize, bool, &str, f64)> = Vec::new();
+    // `Q = DFF(D)` cells: (line, q net, d net).
+    let mut dffs: Vec<(usize, &str, &str)> = Vec::new();
+    let mut directives: Vec<Directive<'_>> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
-        // Overlay directives live inside comments (so classic readers
+        // Statim directives live inside comments (so classic readers
         // skip them); intercept before the comment strip.
         if let Some(directive) = raw.trim().strip_prefix("# statim ") {
-            overlays.push(parse_directive(raw, line_no, directive)?);
+            directives.push(parse_directive(raw, line_no, directive)?);
             continue;
         }
         let line = match raw.find('#') {
@@ -99,12 +107,23 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
                     message: "empty net name, function or argument list".into(),
                 });
             }
-            defs.push(Def {
-                line: line_no,
-                out,
-                func,
-                args,
-            });
+            if func == "DFF" {
+                if args.len() != 1 {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        col: crate::col_in(raw, rhs),
+                        message: format!("DFF takes exactly one D argument, got {}", args.len()),
+                    });
+                }
+                dffs.push((line_no, out, args[0]));
+            } else {
+                defs.push(Def {
+                    line: line_no,
+                    out,
+                    func,
+                    args,
+                });
+            }
         } else {
             return Err(NetlistError::Parse {
                 line: line_no,
@@ -113,7 +132,7 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
             });
         }
     }
-    if inputs.is_empty() && defs.is_empty() {
+    if inputs.is_empty() && defs.is_empty() && dffs.is_empty() {
         return Err(NetlistError::Parse {
             line: 1,
             col: 1,
@@ -121,11 +140,16 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
         });
     }
 
-    // Build: PIs first, then gates in dependency order (iterate until all
-    // resolve; the format allows forward references).
+    // Build: PIs first, then register Qs (pseudo-inputs), then gates in
+    // dependency order (iterate until all resolve; the format allows
+    // forward references). Register D pins connect last — `.bench`
+    // sequential feedback means a D driver may be defined anywhere.
     let mut circuit = Circuit::new(name);
     for (_, pi) in &inputs {
         circuit.add_input(*pi)?;
+    }
+    for (line, q, _) in &dffs {
+        circuit.add_register(*q, *line)?;
     }
     let mut pending: Vec<&Def> = defs.iter().collect();
     let mut resolved: HashMap<&str, Signal> = HashMap::new();
@@ -167,6 +191,18 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
         }
         pending = still;
     }
+    for (index, (line, _, d)) in dffs.iter().enumerate() {
+        let s = circuit.find(d).ok_or_else(|| NetlistError::UndefinedName {
+            name: d.to_string(),
+        })?;
+        circuit
+            .connect_register_d(index, s)
+            .map_err(|e| NetlistError::Parse {
+                line: *line,
+                col: 1,
+                message: e.to_string(),
+            })?;
+    }
     for (_, po) in &outputs {
         let s = circuit
             .find(po)
@@ -175,42 +211,87 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit> {
             })?;
         circuit.mark_output(*po, s)?;
     }
-    for (line, is_drive, net, value) in overlays {
-        let id = match circuit.find(net) {
-            Some(Signal::Gate(id)) => id,
-            Some(Signal::Input(_)) => {
-                return Err(NetlistError::Parse {
-                    line,
-                    col: 1,
-                    message: format!("statim directive targets primary input `{net}`, not a gate"),
-                })
-            }
-            None => {
-                return Err(NetlistError::UndefinedName {
-                    name: net.to_string(),
-                })
-            }
-        };
-        let applied = if is_drive {
-            circuit.set_drive(id, value)
-        } else {
-            circuit.set_pad(id, value)
-        };
-        applied.map_err(|e| NetlistError::Parse {
-            line,
-            col: 1,
-            message: e.to_string(),
-        })?;
+    for d in directives {
+        apply_directive(&mut circuit, d)?;
     }
     Ok(circuit)
 }
 
+/// A parsed `# statim ...` directive.
+enum Directive<'a> {
+    Drive {
+        line: usize,
+        net: &'a str,
+        value: f64,
+    },
+    Pad {
+        line: usize,
+        net: &'a str,
+        value: f64,
+    },
+    ClockPeriod {
+        line: usize,
+        value: f64,
+    },
+    ClockDepth {
+        line: usize,
+        value: usize,
+    },
+    ConstraintSetup {
+        line: usize,
+        value: f64,
+    },
+    ConstraintHold {
+        line: usize,
+        value: f64,
+    },
+}
+
+fn apply_directive(circuit: &mut Circuit, d: Directive<'_>) -> Result<()> {
+    let as_parse = |line: usize| {
+        move |e: NetlistError| NetlistError::Parse {
+            line,
+            col: 1,
+            message: e.to_string(),
+        }
+    };
+    let overlay_gate = |circuit: &Circuit, line: usize, net: &str| match circuit.find(net) {
+        Some(Signal::Gate(id)) => Ok(id),
+        Some(Signal::Input(_)) => Err(NetlistError::Parse {
+            line,
+            col: 1,
+            message: format!("statim directive targets primary input `{net}`, not a gate"),
+        }),
+        None => Err(NetlistError::UndefinedName {
+            name: net.to_string(),
+        }),
+    };
+    match d {
+        Directive::Drive { line, net, value } => {
+            let id = overlay_gate(circuit, line, net)?;
+            circuit.set_drive(id, value).map_err(as_parse(line))
+        }
+        Directive::Pad { line, net, value } => {
+            let id = overlay_gate(circuit, line, net)?;
+            circuit.set_pad(id, value).map_err(as_parse(line))
+        }
+        Directive::ClockPeriod { line, value } => {
+            circuit.set_clock_period(value).map_err(as_parse(line))
+        }
+        Directive::ClockDepth { line, value } => {
+            circuit.set_tree_depth(value).map_err(as_parse(line))
+        }
+        Directive::ConstraintSetup { line, value } => {
+            circuit.set_setup_margin(value).map_err(as_parse(line))
+        }
+        Directive::ConstraintHold { line, value } => {
+            circuit.set_hold_margin(value).map_err(as_parse(line))
+        }
+    }
+}
+
 /// Parses the tail of a `# statim ...` directive comment.
-fn parse_directive<'a>(
-    raw: &str,
-    line: usize,
-    directive: &'a str,
-) -> Result<(usize, bool, &'a str, f64)> {
+fn parse_directive<'a>(raw: &str, line: usize, directive: &'a str) -> Result<Directive<'a>> {
     let mut fields = directive.split_whitespace();
     let bad = |message: String| NetlistError::Parse {
         line,
@@ -218,28 +299,80 @@ fn parse_directive<'a>(
         message,
     };
     let verb = fields.next().unwrap_or("");
-    let is_drive = match verb {
-        "drive" => true,
-        "pad" => false,
+    let parsed = match verb {
+        "drive" | "pad" => {
+            let net = fields
+                .next()
+                .ok_or_else(|| bad(format!("statim {verb} needs a net name and a value")))?;
+            let value = fields
+                .next()
+                .ok_or_else(|| bad(format!("statim {verb} {net} needs a value")))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|_| bad(format!("invalid {verb} value `{value}`")))?;
+            if verb == "drive" {
+                Directive::Drive { line, net, value }
+            } else {
+                Directive::Pad { line, net, value }
+            }
+        }
+        "clock" => {
+            let field = fields.next().ok_or_else(|| {
+                bad("statim clock needs a field (period or depth) and a value".into())
+            })?;
+            let value = fields
+                .next()
+                .ok_or_else(|| bad(format!("statim clock {field} needs a value")))?;
+            match field {
+                "period" => Directive::ClockPeriod {
+                    line,
+                    value: value
+                        .parse()
+                        .map_err(|_| bad(format!("invalid clock period `{value}`")))?,
+                },
+                "depth" => Directive::ClockDepth {
+                    line,
+                    value: value
+                        .parse()
+                        .map_err(|_| bad(format!("invalid clock depth `{value}`")))?,
+                },
+                other => {
+                    return Err(bad(format!(
+                        "unknown clock field `{other}` (expected period or depth)"
+                    )))
+                }
+            }
+        }
+        "constraint" => {
+            let field = fields.next().ok_or_else(|| {
+                bad("statim constraint needs a field (setup or hold) and a value".into())
+            })?;
+            let value = fields
+                .next()
+                .ok_or_else(|| bad(format!("statim constraint {field} needs a value")))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|_| bad(format!("invalid constraint {field} value `{value}`")))?;
+            match field {
+                "setup" => Directive::ConstraintSetup { line, value },
+                "hold" => Directive::ConstraintHold { line, value },
+                other => {
+                    return Err(bad(format!(
+                        "unknown constraint field `{other}` (expected setup or hold)"
+                    )))
+                }
+            }
+        }
         other => {
             return Err(bad(format!(
-                "unknown statim directive `{other}` (expected drive or pad)"
+                "unknown statim directive `{other}` (expected drive, pad, clock or constraint)"
             )))
         }
     };
-    let net = fields
-        .next()
-        .ok_or_else(|| bad(format!("statim {verb} needs a net name and a value")))?;
-    let value = fields
-        .next()
-        .ok_or_else(|| bad(format!("statim {verb} {net} needs a value")))?;
-    let value: f64 = value
-        .parse()
-        .map_err(|_| bad(format!("invalid {verb} value `{value}`")))?;
     if let Some(extra) = fields.next() {
         return Err(bad(format!("trailing field `{extra}` after statim {verb}")));
     }
-    Ok((line, is_drive, net, value))
+    Ok(parsed)
 }
 
 fn strip_decl<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -254,20 +387,39 @@ pub fn write(circuit: &Circuit) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "# {}", circuit.name());
-    let _ = writeln!(
-        out,
-        "# {} inputs, {} outputs, {} gates",
-        circuit.input_count(),
-        circuit.output_count(),
-        circuit.gate_count()
-    );
-    for pi in circuit.input_names() {
+    if circuit.is_sequential() {
+        let _ = writeln!(
+            out,
+            "# {} inputs, {} outputs, {} gates, {} registers",
+            circuit.true_input_count(),
+            circuit.output_count(),
+            circuit.gate_count(),
+            circuit.registers().len()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "# {} inputs, {} outputs, {} gates",
+            circuit.input_count(),
+            circuit.output_count(),
+            circuit.gate_count()
+        );
+    }
+    // Register Qs are pseudo-inputs: they come back from the DFF lines,
+    // not INPUT declarations.
+    for pi in circuit.true_input_names() {
         let _ = writeln!(out, "INPUT({pi})");
     }
     // .bench outputs are *net* names: emit the driving net of each PO
     // (output aliases such as "cor0" do not exist as nets).
     for &(_, sig) in circuit.outputs() {
         let _ = writeln!(out, "OUTPUT({})", circuit.signal_name(sig));
+    }
+    for r in circuit.registers() {
+        let d =
+            r.d.map(|s| circuit.signal_name(s))
+                .unwrap_or("<unconnected>");
+        let _ = writeln!(out, "{} = DFF({d})", r.name);
     }
     for g in circuit.gates() {
         let args: Vec<&str> = g.inputs.iter().map(|&s| circuit.signal_name(s)).collect();
@@ -289,6 +441,20 @@ pub fn write(circuit: &Circuit) -> String {
         if g.pad != 0.0 {
             let _ = writeln!(out, "# statim pad {} {}", g.name, g.pad);
         }
+    }
+    // Clock / constraint directives, non-default values only.
+    let seq = circuit.seq_spec();
+    if let Some(period) = seq.period {
+        let _ = writeln!(out, "# statim clock period {period}");
+    }
+    if let Some(depth) = seq.tree_depth {
+        let _ = writeln!(out, "# statim clock depth {depth}");
+    }
+    if seq.setup_margin != 0.0 {
+        let _ = writeln!(out, "# statim constraint setup {}", seq.setup_margin);
+    }
+    if seq.hold_margin != 0.0 {
+        let _ = writeln!(out, "# statim constraint hold {}", seq.hold_margin);
     }
     out
 }
@@ -465,6 +631,109 @@ y = NOT(a)
             parse("t", &format!("{base}# statim drive ghost 2.0\n")),
             Err(NetlistError::UndefinedName { .. })
         ));
+    }
+
+    const S_TINY: &str = "\
+# tiny sequential loop
+INPUT(a)
+OUTPUT(z)
+r0 = DFF(n1)
+n1 = NAND(a, r0)
+z = NOT(r0)
+# statim clock period 1e-09
+# statim constraint setup 2e-11
+";
+
+    #[test]
+    fn parses_sequential_bench() {
+        let c = parse("stiny", S_TINY).unwrap();
+        assert!(c.is_sequential());
+        assert_eq!(c.registers().len(), 1);
+        assert_eq!(c.true_input_count(), 1);
+        assert_eq!(c.input_count(), 2);
+        assert_eq!(c.gate_count(), 2);
+        let r = &c.registers()[0];
+        assert_eq!(r.name, "r0");
+        assert_eq!(r.line, 4);
+        assert_eq!(r.d, c.find("n1"));
+        assert_eq!(c.seq_spec().period, Some(1e-9));
+        assert_eq!(c.seq_spec().setup_margin, 2e-11);
+        assert_eq!(c.seq_spec().hold_margin, 0.0);
+    }
+
+    #[test]
+    fn sequential_round_trips_structurally() {
+        let c = parse("stiny", S_TINY).unwrap();
+        let text = write(&c);
+        assert!(text.contains("r0 = DFF(n1)"));
+        assert!(text.contains("# statim clock period 0.000000001"));
+        assert!(text.contains("# statim constraint setup 0.00000000002"));
+        assert!(!text.contains("INPUT(r0)"));
+        let c2 = parse("stiny", &text).unwrap();
+        assert_eq!(c, c2);
+        // And the second serialization is byte-stable.
+        assert_eq!(write(&c2), text);
+    }
+
+    #[test]
+    fn dff_feedback_through_gates_resolves() {
+        // D driver defined after the DFF, reading the DFF's own Q: the
+        // loop is cut at the register, so this must parse.
+        let text = "\
+INPUT(x)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(x, q)
+";
+        let c = parse("fb", text).unwrap();
+        assert_eq!(c.registers().len(), 1);
+        assert_eq!(c.registers()[0].d, c.find("d"));
+    }
+
+    #[test]
+    fn dff_errors_are_typed() {
+        // Wrong arity.
+        match parse("t", "INPUT(a)\nq = DFF(a, a)\n") {
+            Err(NetlistError::Parse { line: 2, .. }) => {}
+            other => panic!("expected Parse for 2-input DFF, got {other:?}"),
+        }
+        // Undefined D net.
+        assert!(matches!(
+            parse("t", "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n"),
+            Err(NetlistError::UndefinedName { .. })
+        ));
+        // Duplicate Q name.
+        assert!(matches!(
+            parse("t", "INPUT(a)\na = DFF(a)\n"),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_clock_directives_fail_typed() {
+        let base = "INPUT(a)\nOUTPUT(q)\nq = DFF(n)\nn = NOT(a)\n";
+        for extra in [
+            "# statim clock\n",
+            "# statim clock period\n",
+            "# statim clock period fast\n",
+            "# statim clock period 1e-9 junk\n",
+            "# statim clock period -1e-9\n",
+            "# statim clock period 0\n",
+            "# statim clock jitter 1e-12\n",
+            "# statim clock depth 0\n",
+            "# statim clock depth 99\n",
+            "# statim constraint\n",
+            "# statim constraint setup\n",
+            "# statim constraint setup tight\n",
+            "# statim constraint slew 1e-12\n",
+            "# statim constraint hold -1e-12\n",
+        ] {
+            let text = format!("{base}{extra}");
+            match parse("t", &text) {
+                Err(NetlistError::Parse { line: 5, .. }) => {}
+                other => panic!("`{extra}` should fail as Parse at line 5, got {other:?}"),
+            }
+        }
     }
 
     #[test]

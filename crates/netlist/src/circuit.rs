@@ -1,4 +1,4 @@
-//! Combinational circuit netlists.
+//! Circuit netlists: combinational gates plus optional D flip-flops.
 //!
 //! A [`Circuit`] is a directed acyclic graph of gates over named primary
 //! inputs and outputs — the object the methodology maps to a timing graph.
@@ -6,6 +6,13 @@
 //! [`Circuit::add_gate`] / [`Circuit::mark_output`]; structural validity
 //! (arity, dangling references, acyclicity by construction) is enforced as
 //! the circuit is built.
+//!
+//! Sequential circuits add [`Register`]s (edge-triggered DFFs): each
+//! register's Q output is modeled as a pseudo primary input appended after
+//! the true inputs, so the combinational core stays a DAG — feedback loops
+//! are cut at the registers. The [`SequentialSpec`] carries the clock
+//! period, clock-tree depth, and setup/hold margins parsed from
+//! `# statim clock` / `# statim constraint` directives.
 
 use crate::error::NetlistError;
 use crate::Result;
@@ -51,11 +58,69 @@ pub struct Gate {
     pub pad: f64,
 }
 
-/// A combinational netlist.
+/// An edge-triggered D flip-flop.
+///
+/// The register's Q output is a pseudo primary input (index `q_input`
+/// into the circuit's input list); its D pin samples `d` on each clock
+/// edge. Registers are ideal (zero clock-to-Q delay) — the launch clock
+/// arrival *is* the data departure time.
+#[derive(Debug, Clone)]
+pub struct Register {
+    /// Instance name — also the name of the Q net.
+    pub name: String,
+    /// Driver of the D pin. `None` until connected (parsers connect D
+    /// after all gates resolve, since `.bench` allows forward references).
+    pub d: Option<Signal>,
+    /// Index of the Q pseudo-input in the circuit's input list.
+    pub q_input: u32,
+    /// Source line of the defining `DFF(...)` cell (diagnostics only;
+    /// two circuits that differ only in register source lines compare
+    /// equal, so `parse(write(c)) == c` holds).
+    pub line: usize,
+}
+
+impl PartialEq for Register {
+    fn eq(&self, other: &Self) -> bool {
+        // `line` is a diagnostic annotation, not structure.
+        self.name == other.name && self.d == other.d && self.q_input == other.q_input
+    }
+}
+
+/// Clock and timing-check constraints for a sequential circuit, carried
+/// by `# statim clock` / `# statim constraint` directives in `.bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialSpec {
+    /// Clock period in seconds (`# statim clock period`). `None` means
+    /// the analysis must be given a period (or solve for one).
+    pub period: Option<f64>,
+    /// Clock-tree depth override (`# statim clock depth`). `None` lets
+    /// the analysis size a balanced tree to the register count.
+    pub tree_depth: Option<usize>,
+    /// Setup margin in seconds (`# statim constraint setup`).
+    pub setup_margin: f64,
+    /// Hold margin in seconds (`# statim constraint hold`).
+    pub hold_margin: f64,
+}
+
+impl Default for SequentialSpec {
+    fn default() -> Self {
+        SequentialSpec {
+            period: None,
+            tree_depth: None,
+            setup_margin: 0.0,
+            hold_margin: 0.0,
+        }
+    }
+}
+
+/// A netlist: combinational gates plus optional registers.
 ///
 /// Gates are stored in insertion order, which is guaranteed topological:
 /// a gate may only reference inputs and previously added gates, so the
-/// graph is acyclic by construction.
+/// graph is acyclic by construction. Register Q outputs are pseudo
+/// primary inputs appended *after* all true inputs (enforced by
+/// [`Circuit::add_input`]), which keeps the input order canonical so
+/// serialization round-trips structurally.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Circuit {
     name: String,
@@ -63,6 +128,8 @@ pub struct Circuit {
     gates: Vec<Gate>,
     outputs: Vec<(String, Signal)>,
     names: HashMap<String, Signal>,
+    registers: Vec<Register>,
+    seq: SequentialSpec,
 }
 
 impl Circuit {
@@ -83,9 +150,20 @@ impl Circuit {
     ///
     /// # Errors
     ///
-    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken and
+    /// [`NetlistError::InvalidConfig`] once any register exists — Q
+    /// pseudo-inputs must stay contiguous at the tail of the input list
+    /// so the input order is canonical.
     pub fn add_input(&mut self, name: impl Into<String>) -> Result<Signal> {
         let name = name.into();
+        if !self.registers.is_empty() {
+            return Err(NetlistError::InvalidConfig {
+                message: format!(
+                    "cannot add primary input `{name}` after registers: \
+                     true inputs must precede all register Q pseudo-inputs"
+                ),
+            });
+        }
         if self.names.contains_key(&name) {
             return Err(NetlistError::DuplicateName { name });
         }
@@ -93,6 +171,149 @@ impl Circuit {
         self.names.insert(name.clone(), sig);
         self.input_names.push(name);
         Ok(sig)
+    }
+
+    /// Adds a D flip-flop named `name` (also its Q net name) defined at
+    /// source `line`; returns the Q pseudo-input signal. The D pin starts
+    /// unconnected — call [`Circuit::connect_register_d`] once the driver
+    /// exists (possibly after gates that themselves read this Q).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_register(&mut self, name: impl Into<String>, line: usize) -> Result<Signal> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(NetlistError::DuplicateName { name });
+        }
+        let q_input = self.input_names.len() as u32;
+        let sig = Signal::Input(q_input);
+        self.names.insert(name.clone(), sig);
+        self.input_names.push(name.clone());
+        self.registers.push(Register {
+            name,
+            d: None,
+            q_input,
+            line,
+        });
+        Ok(sig)
+    }
+
+    /// Connects register `index`'s D pin to `driver`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for an out-of-range index
+    /// or an already-connected D pin, and
+    /// [`NetlistError::DanglingSignal`] if the driver does not exist.
+    pub fn connect_register_d(&mut self, index: usize, driver: Signal) -> Result<()> {
+        let count = self.registers.len();
+        let reg = self
+            .registers
+            .get_mut(index)
+            .ok_or_else(|| NetlistError::InvalidConfig {
+                message: format!("register index {index} out of range ({count} registers)"),
+            })?;
+        if reg.d.is_some() {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("register `{}` D pin is already connected", reg.name),
+            });
+        }
+        let name = reg.name.clone();
+        if !self.signal_exists(driver) {
+            return Err(NetlistError::DanglingSignal { gate: name });
+        }
+        self.registers[index].d = Some(driver);
+        Ok(())
+    }
+
+    /// All registers in definition order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// True when the circuit contains at least one register.
+    pub fn is_sequential(&self) -> bool {
+        !self.registers.is_empty()
+    }
+
+    /// Number of *true* primary inputs (excluding register Q
+    /// pseudo-inputs, which sit at the tail of the input list).
+    pub fn true_input_count(&self) -> usize {
+        self.input_names.len() - self.registers.len()
+    }
+
+    /// Names of the true primary inputs (excluding register Qs).
+    pub fn true_input_names(&self) -> &[String] {
+        &self.input_names[..self.true_input_count()]
+    }
+
+    /// Clock / constraint spec (defaults when no directives were given).
+    pub fn seq_spec(&self) -> &SequentialSpec {
+        &self.seq
+    }
+
+    /// Sets the clock period in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a non-finite or
+    /// non-positive period.
+    pub fn set_clock_period(&mut self, period: f64) -> Result<()> {
+        if !period.is_finite() || period <= 0.0 {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("clock period {period} must be finite and positive"),
+            });
+        }
+        self.seq.period = Some(period);
+        Ok(())
+    }
+
+    /// Sets the clock-tree depth override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for depth 0 or above 32.
+    pub fn set_tree_depth(&mut self, depth: usize) -> Result<()> {
+        if depth == 0 || depth > 32 {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("clock tree depth {depth} must be in 1..=32"),
+            });
+        }
+        self.seq.tree_depth = Some(depth);
+        Ok(())
+    }
+
+    /// Sets the setup margin in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a non-finite or
+    /// negative margin.
+    pub fn set_setup_margin(&mut self, margin: f64) -> Result<()> {
+        if !margin.is_finite() || margin < 0.0 {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("setup margin {margin} must be finite and non-negative"),
+            });
+        }
+        self.seq.setup_margin = margin;
+        Ok(())
+    }
+
+    /// Sets the hold margin in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidConfig`] for a non-finite or
+    /// negative margin.
+    pub fn set_hold_margin(&mut self, margin: f64) -> Result<()> {
+        if !margin.is_finite() || margin < 0.0 {
+            return Err(NetlistError::InvalidConfig {
+                message: format!("hold margin {margin} must be finite and non-negative"),
+            });
+        }
+        self.seq.hold_margin = margin;
+        Ok(())
     }
 
     /// Adds a gate driven by `inputs`; returns its output signal.
@@ -380,6 +601,12 @@ impl Circuit {
                 if let Signal::Gate(src) = s {
                     pins[src.index()] += 1;
                 }
+            }
+        }
+        // Register D pins load their drivers like any other gate pin.
+        for r in &self.registers {
+            if let Some(Signal::Gate(src)) = r.d {
+                pins[src.index()] += 1;
             }
         }
         pins
@@ -689,6 +916,91 @@ mod tests {
         assert_eq!(c.gate(id2).pad, 1.5e-12);
         assert!(c.set_pad(id2, -1.0e-12).is_err());
         assert!(c.set_pad(id2, f64::INFINITY).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn registers_build_and_query() -> Result<()> {
+        let mut c = Circuit::new("seq");
+        let a = c.add_input("a")?;
+        let q = c.add_register("r0", 3)?;
+        let g = c.add_gate("g", GateKind::Nand(2), &[a, q])?;
+        c.mark_output("o", g)?;
+        c.connect_register_d(0, g)?;
+        assert!(c.is_sequential());
+        assert_eq!(c.input_count(), 2);
+        assert_eq!(c.true_input_count(), 1);
+        assert_eq!(c.true_input_names(), ["a".to_string()]);
+        assert_eq!(c.registers().len(), 1);
+        assert_eq!(c.registers()[0].d, Some(g));
+        assert_eq!(c.registers()[0].line, 3);
+        assert_eq!(c.signal_name(q), "r0");
+        // Q behaves as an input for depth/level purposes (loop is cut).
+        assert_eq!(c.depth(), 1);
+        // The register D pin counts as fan-out load on its driver.
+        assert_eq!(c.fanout_pins(), vec![1]);
+        Ok(())
+    }
+
+    #[test]
+    fn register_invariants_enforced() -> Result<()> {
+        let mut c = Circuit::new("seq");
+        let a = c.add_input("a")?;
+        let _q = c.add_register("r0", 1)?;
+        // True inputs may not follow registers (canonical input order).
+        assert!(matches!(
+            c.add_input("late"),
+            Err(NetlistError::InvalidConfig { .. })
+        ));
+        // Duplicate names are rejected across inputs and registers.
+        assert!(matches!(
+            c.add_register("a", 2),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+        // D connection checks: range, existence, single connection.
+        assert!(c.connect_register_d(7, a).is_err());
+        assert!(matches!(
+            c.connect_register_d(0, Signal::Gate(GateId(99))),
+            Err(NetlistError::DanglingSignal { .. })
+        ));
+        c.connect_register_d(0, a)?;
+        assert!(matches!(
+            c.connect_register_d(0, a),
+            Err(NetlistError::InvalidConfig { .. })
+        ));
+        Ok(())
+    }
+
+    #[test]
+    fn sequential_spec_validates() -> Result<()> {
+        let mut c = Circuit::new("seq");
+        assert_eq!(c.seq_spec(), &SequentialSpec::default());
+        c.set_clock_period(1e-9)?;
+        c.set_tree_depth(4)?;
+        c.set_setup_margin(20e-12)?;
+        c.set_hold_margin(5e-12)?;
+        assert_eq!(c.seq_spec().period, Some(1e-9));
+        assert_eq!(c.seq_spec().tree_depth, Some(4));
+        assert!(c.set_clock_period(0.0).is_err());
+        assert!(c.set_clock_period(f64::NAN).is_err());
+        assert!(c.set_tree_depth(0).is_err());
+        assert!(c.set_tree_depth(33).is_err());
+        assert!(c.set_setup_margin(-1e-12).is_err());
+        assert!(c.set_hold_margin(f64::INFINITY).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn register_equality_ignores_line() -> Result<()> {
+        let mut a = Circuit::new("s");
+        let x = a.add_input("x")?;
+        a.add_register("r", 5)?;
+        a.connect_register_d(0, x)?;
+        let mut b = Circuit::new("s");
+        let x2 = b.add_input("x")?;
+        b.add_register("r", 9)?;
+        b.connect_register_d(0, x2)?;
+        assert_eq!(a, b);
         Ok(())
     }
 

@@ -9,7 +9,10 @@
 //! instead via [`crate::bench_format`].
 //!
 //! * [`blocks`] — a [`blocks::Builder`] with reusable structural blocks;
-//! * [`iscas85`] — the ten benchmark equivalents of the paper's Table 2.
+//! * [`iscas85`] — the ten benchmark equivalents of the paper's Table 2;
+//! * [`sequential`] — register-based benchmarks (s27-class, pipelines)
+//!   for setup/hold analysis.
 
 pub mod blocks;
 pub mod iscas85;
+pub mod sequential;

@@ -940,10 +940,12 @@ fn respond(
             ),
             Err(e) => (error_reply(&e), Vec::new()),
         },
-        Request::Result { id, top } => match service.result(id) {
+        // `result_any` serves whichever flow the netlist selected:
+        // combinational jobs render the path report, register netlists
+        // the setup/hold check report — same protocol, same framing.
+        Request::Result { id, top } => match service.result_any(id) {
             Ok(report) => {
-                let rendered =
-                    statim_core::report::deterministic_report(&report, top.unwrap_or(DEFAULT_TOP));
+                let rendered = report.deterministic_text(top.unwrap_or(DEFAULT_TOP));
                 let payload: Vec<String> = rendered.lines().map(str::to_string).collect();
                 (
                     Response::Result {
@@ -1131,13 +1133,18 @@ fn edited_spec(base: &JobSpec, script: &str) -> Result<JobSpec, StatimError> {
 
 fn load_source(source: &str) -> Result<Circuit, StatimError> {
     if let Some(name) = source.strip_prefix('@') {
-        let bench = Benchmark::from_name(name).ok_or_else(|| {
+        if let Some(bench) = Benchmark::from_name(name) {
+            return Ok(iscas85::generate(bench));
+        }
+        // Sequential built-ins (s27, pipe<stages>x<width>) share the
+        // `@name` namespace; the executor routes them to the
+        // sequential flow from the registers in the netlist.
+        return statim_netlist::generators::sequential::from_name(name).ok_or_else(|| {
             StatimError::new(
                 ErrorClass::Config,
                 format!("unknown built-in benchmark `@{name}`"),
             )
-        })?;
-        return Ok(iscas85::generate(bench));
+        });
     }
     let text =
         std::fs::read_to_string(source).map_err(|e| StatimError::from(e).with_file(source))?;

@@ -28,6 +28,24 @@ const CORPUS: &[(&str, Format, bool, &str)] = &[
     ("bench_cyclic.bench", Format::Bench, false, ""),
     ("bench_garbage_line.bench", Format::Bench, true, ""),
     ("bench_missing_rhs.bench", Format::Bench, true, ""),
+    (
+        "bench_bad_clock_period.bench",
+        Format::Bench,
+        true,
+        "clock period",
+    ),
+    (
+        "bench_unknown_clock_field.bench",
+        Format::Bench,
+        true,
+        "frequency",
+    ),
+    (
+        "bench_constraint_missing_value.bench",
+        Format::Bench,
+        true,
+        "constraint hold needs a value",
+    ),
     ("verilog_missing_paren.v", Format::Verilog, true, ""),
     ("verilog_unknown_prim.v", Format::Verilog, false, "majority"),
     ("verilog_empty_module.v", Format::Verilog, true, "empty"),

@@ -103,6 +103,55 @@ fn served_reports_are_bit_identical_to_batch() {
     handle.join();
 }
 
+/// The one-shot sequential reference: the same run the daemon's
+/// executor performs for a register netlist, rendered through the same
+/// deterministic report.
+fn batch_sequential_report(name: &str, top: usize) -> String {
+    use statim::core::report::deterministic_sequential_report;
+    use statim::core::{SequentialConfig, SequentialEngine};
+    let circuit = statim::netlist::generators::sequential::from_name(name).expect("generator");
+    let placement = Placement::generate(&circuit, PlacementStyle::Levelized);
+    let mut ssta = SstaConfig::date05();
+    ssta.quality_intra = 40;
+    ssta.quality_inter = 20;
+    let config = SequentialConfig {
+        ssta,
+        ..SequentialConfig::date05()
+    };
+    let report = SequentialEngine::new(config)
+        .run(&circuit, &placement)
+        .expect("batch sequential run");
+    deterministic_sequential_report(&report, top)
+}
+
+#[test]
+fn sequential_submission_serves_the_setup_hold_report() {
+    let handle = spawn_daemon(ServiceConfig::default());
+    let mut client = connect(&handle);
+
+    // A register netlist goes through SUBMIT unchanged: the executor
+    // routes it to the sequential flow, and RESULT serves the
+    // setup/hold check report byte-identical to a one-shot run.
+    let (id, from_store) = client.submit("@s27", &opts(&[])).expect("submit");
+    assert!(!from_store, "first sequential submission cannot hit");
+    assert_eq!(client.wait(id, WAIT).expect("wait"), "done");
+    let served = client.result(id, Some(10)).expect("result");
+    assert_eq!(served, batch_sequential_report("s27", 10));
+    assert!(served.contains("timing checks"), "report:\n{served}");
+    assert!(served.contains("setup"), "report:\n{served}");
+    assert!(served.contains("hold"), "report:\n{served}");
+
+    // An identical resubmission is answered from the result store with
+    // the identical bytes — sequential results are fingerprinted and
+    // cached like combinational ones.
+    let (second, from_store) = client.submit("@s27", &opts(&[])).expect("resubmit");
+    assert!(from_store, "sequential resubmission must hit the store");
+    assert_eq!(client.result(second, None).expect("stored"), served);
+
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
 #[test]
 fn duplicate_submission_is_served_from_the_result_store() {
     let handle = spawn_daemon(ServiceConfig::default());
